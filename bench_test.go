@@ -1,0 +1,455 @@
+package pragmaprim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"pragmaprim/internal/bst"
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/harness"
+	"pragmaprim/internal/kcss"
+	"pragmaprim/internal/llsc"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/mwcas"
+	"pragmaprim/internal/queue"
+	"pragmaprim/internal/stack"
+	"pragmaprim/internal/trie"
+	"pragmaprim/internal/workload"
+)
+
+// --- E1: uncontended SCX cost (k+1 CAS, f+2 writes) ------------------------
+
+// BenchmarkStepCountSCX times one LLX-per-record + SCX transaction over k
+// records finalizing f, and reports the measured CAS and write steps per
+// operation next to the paper's k+1 and f+2.
+func BenchmarkStepCountSCX(b *testing.B) {
+	for k := 1; k <= 5; k++ {
+		for _, f := range []int{0, k} {
+			b.Run(fmt.Sprintf("k=%d/f=%d", k, f), func(b *testing.B) {
+				p := core.NewProcess()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					// Fresh records per iteration: finalized records cannot
+					// be reused.
+					recs := make([]*core.Record, k)
+					for j := range recs {
+						recs[j] = core.NewRecord(2, []any{j, nil})
+					}
+					b.StartTimer()
+					for _, r := range recs {
+						if _, st := p.LLX(r); st != core.LLXOK {
+							b.Fatal("LLX failed")
+						}
+					}
+					if !p.SCX(recs, recs[k-f:], recs[0].Field(1), i) {
+						b.Fatal("SCX failed")
+					}
+				}
+				b.ReportMetric(float64(p.Metrics.CASSteps())/float64(b.N), "CAS/op")
+				b.ReportMetric(float64(p.Metrics.WriteSteps())/float64(b.N), "writes/op")
+			})
+		}
+	}
+}
+
+// --- E2: VLX cost (k reads) -------------------------------------------------
+
+// BenchmarkVLX times a VLX over k linked records.
+func BenchmarkVLX(b *testing.B) {
+	for k := 1; k <= 8; k *= 2 {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			p := core.NewProcess()
+			recs := make([]*core.Record, k)
+			for j := range recs {
+				recs[j] = core.NewRecord(1, []any{j})
+				if _, st := p.LLX(recs[j]); st != core.LLXOK {
+					b.Fatal("LLX failed")
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !p.VLX(recs) {
+					b.Fatal("VLX failed")
+				}
+			}
+			b.ReportMetric(float64(p.Metrics.VLXReads)/float64(b.N), "reads/op")
+		})
+	}
+}
+
+// BenchmarkLLXSnapshot times an uncontended LLX snapshot of a 2-field record.
+func BenchmarkLLXSnapshot(b *testing.B) {
+	p := core.NewProcess()
+	r := core.NewRecord(2, []any{1, "x"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, st := p.LLX(r); st != core.LLXOK {
+			b.Fatal("LLX failed")
+		}
+	}
+}
+
+// BenchmarkFieldRead times the plain read the paper's Proposition 2 lets
+// searches use in place of LLX.
+func BenchmarkFieldRead(b *testing.B) {
+	r := core.NewRecord(2, []any{1, "x"})
+	var sink any
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = r.Read(0)
+	}
+	_ = sink
+}
+
+// --- E3: disjoint vs. shared SCX success ------------------------------------
+
+// BenchmarkDisjointSCX runs SCX loops on per-goroutine records: the paper
+// claims every one succeeds (no retries, no aborts).
+func BenchmarkDisjointSCX(b *testing.B) {
+	var nextID atomic.Int64
+	var aborts atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		_ = nextID.Add(1)
+		p := core.NewProcess()
+		r := core.NewRecord(1, []any{0})
+		i := 0
+		for pb.Next() {
+			snap, st := p.LLX(r)
+			if st != core.LLXOK {
+				b.Fail()
+				return
+			}
+			if !p.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
+				b.Fail()
+				return
+			}
+			i++
+		}
+		aborts.Add(p.Metrics.AbortSteps)
+	})
+	b.ReportMetric(float64(aborts.Load()), "aborts")
+}
+
+// BenchmarkSharedSCX runs SCX retry loops against one shared record — the
+// contended counterpoint to BenchmarkDisjointSCX.
+func BenchmarkSharedSCX(b *testing.B) {
+	r := core.NewRecord(1, []any{0})
+	b.RunParallel(func(pb *testing.PB) {
+		p := core.NewProcess()
+		for pb.Next() {
+			for {
+				snap, st := p.LLX(r)
+				if st != core.LLXOK {
+					continue
+				}
+				if p.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
+					break
+				}
+			}
+		}
+	})
+}
+
+// --- E4: SCX vs. k-CAS vs. KCSS ---------------------------------------------
+
+// BenchmarkKCASvsSCX compares an uncontended k-record SCX transaction against
+// an uncontended k-word MWCAS and a k-location KCSS over the same width.
+func BenchmarkKCASvsSCX(b *testing.B) {
+	for k := 2; k <= 5; k++ {
+		b.Run(fmt.Sprintf("SCX/k=%d", k), func(b *testing.B) {
+			p := core.NewProcess()
+			recs := make([]*core.Record, k)
+			for j := range recs {
+				recs[j] = core.NewRecord(1, []any{0})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range recs {
+					if _, st := p.LLX(r); st != core.LLXOK {
+						b.Fatal("LLX failed")
+					}
+				}
+				if !p.SCX(recs, nil, recs[0].Field(0), i+1) {
+					b.Fatal("SCX failed")
+				}
+			}
+			b.ReportMetric(float64(p.Metrics.CASSteps())/float64(b.N), "CAS/op")
+		})
+		b.Run(fmt.Sprintf("MWCAS/k=%d", k), func(b *testing.B) {
+			cells := make([]*mwcas.Cell[int], k)
+			for j := range cells {
+				cells[j] = mwcas.NewCell(0)
+			}
+			old := make([]int, k)
+			newv := make([]int, k)
+			var st mwcas.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range cells {
+					old[j] = i
+					newv[j] = i + 1
+				}
+				if !mwcas.MWCAS(cells, old, newv, &st) {
+					b.Fatal("MWCAS failed")
+				}
+			}
+			b.ReportMetric(float64(st.CASAttempts.Load())/float64(b.N), "CAS/op")
+		})
+		b.Run(fmt.Sprintf("KCSS/k=%d", k), func(b *testing.B) {
+			h := kcss.NewHandle[int]()
+			locs := make([]*llsc.Loc[int], k)
+			for j := range locs {
+				locs[j] = llsc.NewLoc(0)
+			}
+			expected := make([]int, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				expected[0] = i
+				if !h.KCSS(locs, expected, i+1) {
+					b.Fatal("KCSS failed")
+				}
+			}
+		})
+	}
+}
+
+// --- E8: data-structure throughput -------------------------------------------
+
+// benchSession drives one harness session with a standard mixed workload.
+func benchSession(b *testing.B, f harness.Factory, cfg workload.Config) {
+	b.Helper()
+	newSession := f.New()
+	pre := newSession()
+	for k := 0; k < cfg.KeyRange; k += 2 {
+		pre.Insert(k)
+	}
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		s := newSession()
+		id := seed.Add(1)
+		keys := cfg.NewKeyGen(id*2 + 1)
+		ops := cfg.NewOpGen(id*2 + 2)
+		for pb.Next() {
+			key := keys.Next()
+			switch ops.Next() {
+			case workload.OpGet:
+				s.Get(key)
+			case workload.OpInsert:
+				s.Insert(key)
+			default:
+				s.Delete(key)
+			}
+		}
+	})
+}
+
+// BenchmarkThroughput regenerates the E8 series: every structure under the
+// read-mostly and update-heavy mixes (threads come from -cpu).
+func BenchmarkThroughput(b *testing.B) {
+	mixes := map[string]workload.Mix{
+		"readmostly":  workload.ReadMostly,
+		"updateheavy": workload.UpdateHeavy,
+	}
+	for _, f := range harness.Factories() {
+		for mixName, mix := range mixes {
+			b.Run(fmt.Sprintf("%s/%s", f.Name, mixName), func(b *testing.B) {
+				benchSession(b, f, workload.Config{
+					KeyRange: 1 << 10, Dist: workload.Uniform, Mix: mix,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkThroughputZipf is the skewed-contention variant of E8.
+func BenchmarkThroughputZipf(b *testing.B) {
+	for _, f := range harness.Factories() {
+		b.Run(f.Name, func(b *testing.B) {
+			benchSession(b, f, workload.Config{
+				KeyRange: 1 << 10, Dist: workload.Zipf, Mix: workload.Balanced,
+			})
+		})
+	}
+}
+
+// --- Single-threaded operation costs -----------------------------------------
+
+// BenchmarkMultisetOps times the three multiset operations in isolation on a
+// prefilled structure.
+func BenchmarkMultisetOps(b *testing.B) {
+	const keys = 1 << 10
+	newFilled := func() (*multiset.Multiset[int], *core.Process) {
+		m := multiset.New[int]()
+		p := core.NewProcess()
+		for k := 0; k < keys; k++ {
+			m.Insert(p, k, 1)
+		}
+		return m, p
+	}
+	b.Run("Get", func(b *testing.B) {
+		m, p := newFilled()
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Get(p, rng.Intn(keys))
+		}
+	})
+	b.Run("InsertExisting", func(b *testing.B) {
+		m, p := newFilled()
+		rng := rand.New(rand.NewSource(2))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Insert(p, rng.Intn(keys), 1)
+		}
+	})
+	b.Run("InsertDeleteNew", func(b *testing.B) {
+		m, p := newFilled()
+		rng := rand.New(rand.NewSource(3))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := keys + rng.Intn(keys)
+			m.Insert(p, k, 1)
+			m.Delete(p, k, 1)
+		}
+	})
+}
+
+// BenchmarkTrieOps times the three Patricia-trie operations in isolation.
+func BenchmarkTrieOps(b *testing.B) {
+	const keys = 1 << 10
+	newFilled := func() (*trie.Trie[int], *core.Process) {
+		t := trie.New[int]()
+		p := core.NewProcess()
+		for k := 0; k < keys; k++ {
+			t.Put(p, uint64(k), k)
+		}
+		return t, p
+	}
+	b.Run("Get", func(b *testing.B) {
+		t, p := newFilled()
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Get(p, uint64(rng.Intn(keys)))
+		}
+	})
+	b.Run("PutExisting", func(b *testing.B) {
+		t, p := newFilled()
+		rng := rand.New(rand.NewSource(2))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Put(p, uint64(rng.Intn(keys)), i)
+		}
+	})
+	b.Run("PutDeleteNew", func(b *testing.B) {
+		t, p := newFilled()
+		rng := rand.New(rand.NewSource(3))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := uint64(keys + rng.Intn(keys))
+			t.Put(p, k, i)
+			t.Delete(p, k)
+		}
+	})
+}
+
+// BenchmarkQueueOps times enqueue/dequeue pairs, single-threaded and
+// contended.
+func BenchmarkQueueOps(b *testing.B) {
+	b.Run("EnqueueDequeue", func(b *testing.B) {
+		q := queue.New[int]()
+		p := core.NewProcess()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Enqueue(p, i)
+			q.Dequeue(p)
+		}
+	})
+	b.Run("Contended", func(b *testing.B) {
+		q := queue.New[int]()
+		b.RunParallel(func(pb *testing.PB) {
+			p := core.NewProcess()
+			i := 0
+			for pb.Next() {
+				if i%2 == 0 {
+					q.Enqueue(p, i)
+				} else {
+					q.Dequeue(p)
+				}
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkStackOps times push/pop pairs, single-threaded and contended.
+func BenchmarkStackOps(b *testing.B) {
+	b.Run("PushPop", func(b *testing.B) {
+		s := stack.New[int]()
+		p := core.NewProcess()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Push(p, i)
+			s.Pop(p)
+		}
+	})
+	b.Run("Contended", func(b *testing.B) {
+		s := stack.New[int]()
+		b.RunParallel(func(pb *testing.PB) {
+			p := core.NewProcess()
+			i := 0
+			for pb.Next() {
+				if i%2 == 0 {
+					s.Push(p, i)
+				} else {
+					s.Pop(p)
+				}
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkBSTOps times the three BST operations in isolation.
+func BenchmarkBSTOps(b *testing.B) {
+	const keys = 1 << 10
+	newFilled := func() (*bst.Tree[int, int], *core.Process) {
+		t := bst.New[int, int]()
+		p := core.NewProcess()
+		perm := rand.New(rand.NewSource(7)).Perm(keys)
+		for _, k := range perm {
+			t.Put(p, k, k)
+		}
+		return t, p
+	}
+	b.Run("Get", func(b *testing.B) {
+		t, p := newFilled()
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Get(p, rng.Intn(keys))
+		}
+	})
+	b.Run("PutExisting", func(b *testing.B) {
+		t, p := newFilled()
+		rng := rand.New(rand.NewSource(2))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Put(p, rng.Intn(keys), i)
+		}
+	})
+	b.Run("PutDeleteNew", func(b *testing.B) {
+		t, p := newFilled()
+		rng := rand.New(rand.NewSource(3))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := keys + rng.Intn(keys)
+			t.Put(p, k, k)
+			t.Delete(p, k)
+		}
+	})
+}

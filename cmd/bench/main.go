@@ -1,0 +1,85 @@
+// Command bench regenerates the experiment tables of EXPERIMENTS.md: the
+// paper-claim versus measured rows for experiments E1-E8 (see DESIGN.md for
+// the per-experiment index).
+//
+// Usage:
+//
+//	bench [-exp e1,e2,...|all] [-threads 1,2,4,8] [-dur 500ms] [-rounds 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pragmaprim/internal/harness"
+	"pragmaprim/internal/stats"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		exps    = flag.String("exp", "all", "comma-separated experiments to run (e1..e8, or all)")
+		threads = flag.String("threads", "1,2,4,8", "thread counts for the E8 sweep")
+		dur     = flag.Duration("dur", 300*time.Millisecond, "measurement duration per E8 cell")
+		rounds  = flag.Int("rounds", 50, "history rounds for E7")
+	)
+	flag.Parse()
+
+	ths, err := parseInts(*threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: invalid -threads: %v\n", err)
+		return 2
+	}
+
+	runners := map[string]func() *stats.Table{
+		"e1": harness.E1StepCount,
+		"e2": harness.E2VLXReads,
+		"e3": harness.E3Disjoint,
+		"e4": harness.E4KCASComparison,
+		"e5": harness.E5Progress,
+		"e6": harness.E6Transitions,
+		"e7": func() *stats.Table { return harness.E7Linearizability(*rounds) },
+		"e8": func() *stats.Table { return harness.E8Throughput(ths, *dur) },
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"}
+
+	selected := order
+	if *exps != "all" {
+		selected = strings.Split(*exps, ",")
+	}
+	for _, name := range selected {
+		name = strings.TrimSpace(strings.ToLower(name))
+		runner, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q (want e1..e8 or all)\n", name)
+			return 2
+		}
+		if _, err := runner().WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("non-positive thread count %d", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+// Command stress exercises the LLX/SCX multiset and BST under sustained
+// concurrent churn, periodically pausing the workload to verify structural
+// invariants and per-key conservation. It is the long-running companion to
+// the unit suites: run it for minutes or hours to shake out rare
+// interleavings.
+//
+// Usage:
+//
+//	stress [-dur 10s] [-threads 8] [-keys 256] [-struct multiset|bst] [-checks 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pragmaprim/internal/bst"
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/multiset"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dur      = flag.Duration("dur", 10*time.Second, "total stress duration")
+		threads  = flag.Int("threads", 8, "worker goroutines")
+		keys     = flag.Int("keys", 256, "key range")
+		structur = flag.String("struct", "multiset", "structure to stress: multiset or bst")
+		checks   = flag.Int("checks", 10, "number of invariant checkpoints")
+	)
+	flag.Parse()
+
+	var stressFn func(dur time.Duration, threads, keys, checks int) error
+	switch *structur {
+	case "multiset":
+		stressFn = stressMultiset
+	case "bst":
+		stressFn = stressBST
+	default:
+		fmt.Fprintf(os.Stderr, "stress: unknown -struct %q\n", *structur)
+		return 2
+	}
+	if err := stressFn(*dur, *threads, *keys, *checks); err != nil {
+		fmt.Fprintf(os.Stderr, "stress: FAILED: %v\n", err)
+		return 1
+	}
+	fmt.Println("stress: OK")
+	return 0
+}
+
+// phase runs workers until stop flips, then joins them.
+func phase(threads int, body func(w int, stop *atomic.Bool)) func() {
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body(w, &stop)
+		}(w)
+	}
+	return func() {
+		stop.Store(true)
+		wg.Wait()
+	}
+}
+
+func stressMultiset(dur time.Duration, threads, keys, checks int) error {
+	m := multiset.New[int]()
+	// Per-worker per-key net counts let each checkpoint verify conservation.
+	nets := make([][]atomic.Int64, threads)
+	for w := range nets {
+		nets[w] = make([]atomic.Int64, keys)
+	}
+	var ops atomic.Int64
+
+	interval := dur / time.Duration(checks)
+	fmt.Printf("stress: multiset, %d threads, %d keys, %d checkpoints every %v\n",
+		threads, keys, checks, interval)
+	for c := 0; c < checks; c++ {
+		stopPhase := phase(threads, func(w int, stop *atomic.Bool) {
+			rng := rand.New(rand.NewSource(int64(c*threads + w)))
+			p := core.NewProcess()
+			for !stop.Load() {
+				key := rng.Intn(keys)
+				count := 1 + rng.Intn(3)
+				switch rng.Intn(3) {
+				case 0:
+					m.Insert(p, key, count)
+					nets[w][key].Add(int64(count))
+				case 1:
+					if m.Delete(p, key, count) {
+						nets[w][key].Add(-int64(count))
+					}
+				default:
+					m.Get(p, key)
+				}
+				ops.Add(1)
+			}
+		})
+		time.Sleep(interval)
+		stopPhase()
+
+		// Quiescent checkpoint.
+		if err := m.CheckInvariants(); err != nil {
+			return fmt.Errorf("checkpoint %d: %w", c, err)
+		}
+		items := m.Items()
+		for k := 0; k < keys; k++ {
+			var want int64
+			for w := 0; w < threads; w++ {
+				want += nets[w][k].Load()
+			}
+			if got := int64(items[k]); got != want {
+				return fmt.Errorf("checkpoint %d: key %d count %d, want %d", c, k, got, want)
+			}
+		}
+		fmt.Printf("  checkpoint %d ok: %d ops so far, %d keys live\n", c+1, ops.Load(), len(items))
+	}
+	return nil
+}
+
+func stressBST(dur time.Duration, threads, keys, checks int) error {
+	t := bst.New[int, int]()
+	// Partition the key space so each worker owns keys w mod threads and
+	// presence is exactly reconstructible at checkpoints.
+	present := make([][]atomic.Bool, threads)
+	for w := range present {
+		present[w] = make([]atomic.Bool, keys)
+	}
+	var ops atomic.Int64
+
+	interval := dur / time.Duration(checks)
+	fmt.Printf("stress: bst, %d threads, %d keys, %d checkpoints every %v\n",
+		threads, keys, checks, interval)
+	for c := 0; c < checks; c++ {
+		stopPhase := phase(threads, func(w int, stop *atomic.Bool) {
+			rng := rand.New(rand.NewSource(int64(c*threads+w) + 424242))
+			p := core.NewProcess()
+			for !stop.Load() {
+				k := rng.Intn(keys/threads)*threads + w // owned key
+				switch rng.Intn(3) {
+				case 0:
+					t.Put(p, k, k)
+					present[w][k].Store(true)
+				case 1:
+					t.Delete(p, k)
+					present[w][k].Store(false)
+				default:
+					t.Get(p, k)
+				}
+				ops.Add(1)
+			}
+		})
+		time.Sleep(interval)
+		stopPhase()
+
+		if err := t.CheckInvariants(); err != nil {
+			return fmt.Errorf("checkpoint %d: %w", c, err)
+		}
+		live := make(map[int]bool)
+		for _, k := range t.Keys() {
+			live[k] = true
+		}
+		for w := 0; w < threads; w++ {
+			for k := w; k < keys; k += threads {
+				if want := present[w][k].Load(); live[k] != want {
+					return fmt.Errorf("checkpoint %d: key %d present=%v, want %v",
+						c, k, live[k], want)
+				}
+			}
+		}
+		fmt.Printf("  checkpoint %d ok: %d ops so far, %d keys live\n", c+1, ops.Load(), len(live))
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package pragmaprim is a from-scratch Go reproduction of Brown, Ellen and
+// Ruppert, "Pragmatic Primitives for Non-blocking Data Structures"
+// (PODC 2013): the LLX/SCX/VLX primitives implemented from single-word CAS,
+// the paper's multiset running example, an LLX/SCX external binary search
+// tree, the baselines the paper compares against (LL/SC, KCSS, multi-word
+// CAS, lock-based lists), and a harness that regenerates every measurable
+// claim in the paper (see DESIGN.md and EXPERIMENTS.md).
+//
+// The implementation lives under internal/:
+//
+//	internal/core            LLX, SCX, VLX from CAS (the paper's contribution)
+//	internal/multiset        Section 5 multiset on a sorted linked list
+//	internal/bst             Section 6 application: external BST
+//	internal/llsc            single-word LL/SC from CAS
+//	internal/kcss            k-compare-single-swap baseline
+//	internal/mwcas           descriptor-based k-CAS baseline
+//	internal/lockds          lock-based multiset baselines
+//	internal/linearizability Wing-Gong checker used by the tests
+//	internal/history         concurrent history recorder
+//	internal/workload        key distributions and operation mixes
+//	internal/stats           summary statistics and table rendering
+//	internal/harness         experiments E1-E8
+//
+// The benchmarks in bench_test.go regenerate the experiment series from Go
+// tooling (go test -bench=.), and cmd/bench prints the full tables.
+package pragmaprim

@@ -1,0 +1,127 @@
+// BST example: a concurrent ordered index built on the LLX/SCX external
+// binary search tree (the application family of the paper's Section 6).
+//
+// The scenario is a small order book: concurrent writers insert, reprice and
+// cancel orders keyed by price while readers continuously look prices up;
+// at the end the index is checked against a sequential reconstruction and
+// the BST shape invariants.
+//
+// Run with: go run ./examples/bstmap
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pragmaprim/internal/bst"
+	"pragmaprim/internal/core"
+)
+
+func main() {
+	index := bst.New[int, string]()
+
+	// Writers churn disjoint price bands so the final state is predictable.
+	const writers = 4
+	const band = 250 // price band per writer
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			p := core.NewProcess()
+			base := w * band
+			// Insert the band, reprice half, cancel a third.
+			for i := 0; i < band; i++ {
+				index.Put(p, base+i, fmt.Sprintf("order-%d-v1", base+i))
+			}
+			for i := 0; i < band; i += 2 {
+				index.Put(p, base+i, fmt.Sprintf("order-%d-v2", base+i))
+			}
+			for i := 0; i < band; i += 3 {
+				index.Delete(p, base+i)
+			}
+			// A little random churn for interleaving variety.
+			for i := 0; i < 500; i++ {
+				k := base + rng.Intn(band)
+				if rng.Intn(2) == 0 {
+					index.Put(p, k, fmt.Sprintf("order-%d-v3", k))
+				} else {
+					index.Delete(p, k)
+				}
+			}
+			// Deterministic final pass so the expected state is known.
+			for i := 0; i < band; i++ {
+				k := base + i
+				if i%5 == 0 {
+					index.Delete(p, k)
+				} else {
+					index.Put(p, k, fmt.Sprintf("order-%d-final", k))
+				}
+			}
+		}(w)
+	}
+
+	// A reader races the writers, counting successful lookups; it must never
+	// crash or observe a malformed value. (On a single-CPU box the scheduler
+	// may give it few slices mid-churn; the counts below just report what it
+	// saw.)
+	stop := make(chan struct{})
+	var reads, hits int
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		rng := rand.New(rand.NewSource(99))
+		p := core.NewProcess()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reads++
+			if _, ok := index.Get(p, rng.Intn(writers*band)); ok {
+				hits++
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	// Verify against the deterministic final pass.
+	expectLive := 0
+	mismatches := 0
+	p := core.NewProcess()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < band; i++ {
+			k := w*band + i
+			v, ok := index.Get(p, k)
+			if i%5 == 0 {
+				if ok {
+					mismatches++
+				}
+				continue
+			}
+			expectLive++
+			if !ok || v != fmt.Sprintf("order-%d-final", k) {
+				mismatches++
+			}
+		}
+	}
+
+	fmt.Printf("index holds %d orders (expected %d); racing reader: %d hits in %d reads\n",
+		index.Len(), expectLive, hits, reads)
+	if err := index.CheckInvariants(); err != nil {
+		fmt.Printf("BST invariants VIOLATED: %v\n", err)
+		return
+	}
+	fmt.Printf("BST invariants hold; %d mismatches against the sequential reconstruction\n",
+		mismatches)
+
+	keys := index.Keys()
+	fmt.Printf("lowest ask %d, highest ask %d\n", keys[0], keys[len(keys)-1])
+}

@@ -1,0 +1,93 @@
+// Multiset example: a concurrent word-count over the paper's Section 5
+// multiset.
+//
+// Several goroutines tally word occurrences from a shared corpus into one
+// non-blocking multiset, then verify the tallies against a sequential count
+// — the scenario (concurrent counted membership) the multiset ADT models.
+//
+// Run with: go run ./examples/multiset
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/multiset"
+)
+
+const corpus = `
+the quick brown fox jumps over the lazy dog
+the dog barks and the fox runs over the hill
+a lazy afternoon the quick dog naps and the fox waits
+`
+
+func main() {
+	words := strings.Fields(corpus)
+	ms := multiset.New[string]()
+
+	// Fan the corpus out over workers, each tallying into the shared
+	// multiset with its own Process.
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := core.NewProcess()
+			for i := w; i < len(words); i += workers {
+				ms.Insert(p, words[i], 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Sequential reference count.
+	want := make(map[string]int)
+	for _, w := range words {
+		want[w]++
+	}
+
+	got := ms.Items()
+	keys := ms.Keys()
+	fmt.Printf("%d distinct words, %d total\n", len(keys), ms.TotalCount())
+	for _, k := range keys {
+		marker := ""
+		if got[k] != want[k] {
+			marker = "  MISMATCH"
+		}
+		fmt.Printf("  %-10s %d%s\n", k, got[k], marker)
+	}
+
+	// Delete semantics: remove exactly the "the"s, then try to over-delete.
+	p := core.NewProcess()
+	theCount := ms.Get(p, "the")
+	fmt.Printf("deleting %d occurrences of %q -> %v\n",
+		theCount, "the", ms.Delete(p, "the", theCount))
+	fmt.Printf("deleting one more %q -> %v (as the paper specifies, a short delete is a no-op)\n",
+		"the", ms.Delete(p, "the", 1))
+
+	// The remainder is still consistent.
+	delete(want, "the")
+	rest := ms.Items()
+	ok := len(rest) == len(want)
+	for k, v := range want {
+		if rest[k] != v {
+			ok = false
+		}
+	}
+	var status string
+	if ok {
+		status = "all counts match the sequential reference"
+	} else {
+		status = "MISMATCH against the sequential reference"
+	}
+	sortedKeys := make([]string, 0, len(rest))
+	for k := range rest {
+		sortedKeys = append(sortedKeys, k)
+	}
+	sort.Strings(sortedKeys)
+	fmt.Printf("%d words remain (%s)\n", len(sortedKeys), status)
+}

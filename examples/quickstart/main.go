@@ -1,0 +1,67 @@
+// Quickstart: the LLX/SCX primitives on a bare Data-record.
+//
+// This example mirrors the paper's Section 3 walk-through: create a
+// Data-record with mutable fields, snapshot it with LLX, update one field
+// with SCX, watch a conflicting SCX fail, and finalize a record so it can
+// never change again.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"pragmaprim/internal/core"
+)
+
+func main() {
+	// A Data-record with two mutable fields (count, note) and one immutable
+	// field (its name).
+	rec := core.NewRecord(2, []any{0, "fresh"}, "demo-record")
+	fmt.Printf("record %q starts with count=%v note=%q\n",
+		rec.Immutable(0), rec.Read(0), rec.Read(1))
+
+	// Each participating goroutine owns a Process, which holds its table of
+	// LLX results (the links SCX and VLX validate against).
+	alice := core.NewProcess()
+	bob := core.NewProcess()
+
+	// Alice snapshots the record and bumps its count with an SCX that
+	// depends on that snapshot.
+	snap, st := alice.LLX(rec)
+	fmt.Printf("alice LLX -> %v %v\n", snap, st)
+	ok := alice.SCX([]*core.Record{rec}, nil, rec.Field(0), snap[0].(int)+1)
+	fmt.Printf("alice SCX(count := %d) -> %v; count is now %v\n",
+		snap[0].(int)+1, ok, rec.Read(0))
+
+	// Bob linked BEFORE alice's update, so his SCX must fail: the record
+	// changed since his LLX. That failed SCX writes nothing.
+	bobSnap, _ := bob.LLX(rec)
+	_ = bobSnap
+	// ... meanwhile alice updates again ...
+	snap, _ = alice.LLX(rec)
+	alice.SCX([]*core.Record{rec}, nil, rec.Field(1), "updated-by-alice")
+	ok = bob.SCX([]*core.Record{rec}, nil, rec.Field(1), "updated-by-bob")
+	fmt.Printf("bob's stale SCX -> %v; note is %q\n", ok, rec.Read(1))
+
+	// VLX validates that a set of records is unchanged since the links.
+	a := core.NewRecord(1, []any{10}, "a")
+	b := core.NewRecord(1, []any{20}, "b")
+	alice.LLX(a)
+	alice.LLX(b)
+	fmt.Printf("alice VLX(a,b) with nothing changed -> %v\n", alice.VLX([]*core.Record{a, b}))
+	bs, _ := bob.LLX(b)
+	bob.SCX([]*core.Record{b}, nil, b.Field(0), bs[0].(int)+1)
+	fmt.Printf("alice VLX(a,b) after bob touched b -> %v\n", alice.VLX([]*core.Record{a, b}))
+
+	// SCX can atomically update one record AND finalize others — the paper's
+	// key extension over LL/SC. Here alice moves a's value into b's
+	// successor slot and retires a forever.
+	alice.LLX(a)
+	alice.LLX(b)
+	ok = alice.SCX([]*core.Record{b, a}, []*core.Record{a}, b.Field(0), "moved")
+	fmt.Printf("alice finalizing SCX -> %v; a finalized? %v\n", ok, a.Finalized())
+	if _, st := bob.LLX(a); st == core.LLXFinalized {
+		fmt.Println("bob's LLX(a) reports Finalized: a can never change again")
+	}
+}

@@ -1,0 +1,115 @@
+// Snapshot example: consistent multi-record reads with VLX.
+//
+// Concurrent workers move money between bank accounts; each transfer is a
+// debit SCX followed by a credit SCX, so at any instant the sum of balances
+// is at most the grand total (some money is in flight) and never above it.
+// An auditor takes atomic cross-account snapshots with Process.SnapshotAll
+// (one LLX per account validated by a single VLX): every validated snapshot
+// must respect the at-most-grand-total invariant. Plain unvalidated reads
+// could tear across many transfers and report totals above the grand total;
+// the VLX-validated snapshots cannot.
+//
+// Run with: go run ./examples/snapshot
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pragmaprim/internal/core"
+)
+
+const (
+	accounts       = 6
+	initialBalance = 1000
+	transfers      = 2000
+	workers        = 3
+)
+
+func main() {
+	// One record per account; field 0 is the balance.
+	recs := make([]*core.Record, accounts)
+	for i := range recs {
+		recs[i] = core.NewRecord(1, []any{initialBalance}, fmt.Sprintf("acct-%d", i))
+	}
+
+	// Writers move money with single-record SCXs: debit one account, then
+	// credit another. Individually atomic, pairwise not — exactly the
+	// situation where a reader needs a cross-record atomic snapshot to see
+	// a consistent total.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			p := core.NewProcess()
+			for i := 0; i < transfers; i++ {
+				from := rng.Intn(accounts)
+				to := (from + 1 + rng.Intn(accounts-1)) % accounts
+				amount := 1 + rng.Intn(20)
+				mutate(p, recs[from], -amount)
+				mutate(p, recs[to], amount)
+			}
+		}(w)
+	}
+
+	// The auditor snapshots all accounts atomically. Because each transfer
+	// is two separate SCXs, the snapshot total may be below the grand total
+	// by at most the workers' in-flight amounts (bounded by workers*maxAmt),
+	// but it can NEVER exceed it, and it can never show a torn single
+	// account. Plain reads could drift arbitrarily across many transfers.
+	p := core.NewProcess()
+	var audits, validated int
+	minTotal, maxTotal := 1<<62, -1
+	for validated < 300 {
+		audits++
+		snaps, ok := p.SnapshotAll(recs)
+		if !ok {
+			continue
+		}
+		total := 0
+		for _, s := range snaps {
+			total += s[0].(int)
+		}
+		if total < minTotal {
+			minTotal = total
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+		if total > accounts*initialBalance {
+			fmt.Printf("AUDIT VIOLATION: snapshot total %d exceeds %d\n",
+				total, accounts*initialBalance)
+			return
+		}
+		validated++
+	}
+	wg.Wait()
+
+	grand := accounts * initialBalance
+	fmt.Printf("%d audits, %d validated atomic snapshots\n", audits, validated)
+	fmt.Printf("snapshot totals ranged [%d, %d]; invariant: never above %d\n",
+		minTotal, maxTotal, grand)
+
+	// Quiescent: all money accounted for.
+	total := 0
+	for _, r := range recs {
+		total += r.Read(0).(int)
+	}
+	fmt.Printf("final total = %d (expected %d)\n", total, grand)
+}
+
+// mutate adds delta to the account's balance with an LLX/SCX retry loop.
+func mutate(p *core.Process, r *core.Record, delta int) {
+	for {
+		snap, st := p.LLX(r)
+		if st != core.LLXOK {
+			continue
+		}
+		if p.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+delta) {
+			return
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package bst implements a non-blocking external binary search tree on top
+// of the LLX/SCX primitives, the application family the paper's Section 6
+// names as the payoff of the new primitives (and that Brown, Ellen and
+// Ruppert develop fully in their follow-on tree-update template work).
+//
+// The tree is external: internal nodes are pure routers with two children,
+// leaves carry the key/value pairs. Every update replaces a small constant-
+// size portion of the tree with one SCX that swings a single child pointer
+// and finalizes exactly the removed nodes, so the structure inherits
+// linearizability and the non-blocking property from the primitives the
+// same way the paper's multiset does:
+//
+//   - Put of a new key replaces a leaf with an internal node carrying the
+//     new leaf and the old leaf (SCX on ⟨parent⟩, nothing finalized).
+//   - Put of an existing key replaces the old leaf (SCX on ⟨parent, leaf⟩,
+//     finalizing the old leaf).
+//   - Delete replaces the parent with the leaf's sibling (SCX on
+//     ⟨grandparent, parent, children in left-right order⟩, finalizing the
+//     parent and the removed leaf).
+//
+// Searches traverse child pointers with plain reads, justified by the
+// paper's Proposition 2. The tree uses the standard two-sentinel
+// construction (keys ∞₁ < ∞₂ above every real key) so that every real leaf
+// has an internal parent and grandparent.
+package bst
+
+import (
+	"cmp"
+	"fmt"
+
+	"pragmaprim/internal/core"
+)
+
+// Mutable-field indices of an internal node's Data-record.
+const (
+	fieldLeft  = 0
+	fieldRight = 1
+)
+
+// sentinel ranks; larger ranks compare above every real key.
+type sentinel int8
+
+const (
+	sentReal sentinel = iota
+	sentInf1
+	sentInf2
+)
+
+// node is one tree node. All node fields except the record's child pointers
+// are immutable, as the template requires.
+type node[K cmp.Ordered, V any] struct {
+	rec  *core.Record
+	key  K
+	sent sentinel
+	leaf bool
+	val  V // meaningful only for real leaves
+}
+
+func newInternal[K cmp.Ordered, V any](key K, sent sentinel, left, right *node[K, V]) *node[K, V] {
+	n := &node[K, V]{key: key, sent: sent}
+	n.rec = core.NewRecord(2, []any{left, right}, n)
+	return n
+}
+
+func newLeaf[K cmp.Ordered, V any](key K, sent sentinel, val V) *node[K, V] {
+	n := &node[K, V]{key: key, sent: sent, leaf: true, val: val}
+	n.rec = core.NewRecord(0, nil, n)
+	return n
+}
+
+// child reads the dir child of internal node n with a plain read.
+func (n *node[K, V]) child(dir int) *node[K, V] {
+	c, _ := n.rec.Read(dir).(*node[K, V])
+	return c
+}
+
+// keyLess reports whether a search for key descends left at n, i.e.
+// key < n.key with sentinel keys above all real keys.
+func (n *node[K, V]) keyLess(key K) bool {
+	if n.sent != sentReal {
+		return true
+	}
+	return key < n.key
+}
+
+// matches reports whether leaf n holds exactly key.
+func (n *node[K, V]) matches(key K) bool {
+	return n.sent == sentReal && n.key == key
+}
+
+// Tree is a non-blocking ordered map from K to V. The zero value is not
+// usable; create one with New. All methods are safe for concurrent use
+// provided each goroutine passes its own *core.Process.
+type Tree[K cmp.Ordered, V any] struct {
+	root *node[K, V]
+}
+
+// New creates an empty tree: a root router with key ∞₂ whose children are
+// the ∞₁ and ∞₂ sentinel leaves. The root is the sole entry point and is
+// never finalized.
+func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	var zeroK K
+	var zeroV V
+	l1 := newLeaf(zeroK, sentInf1, zeroV)
+	l2 := newLeaf(zeroK, sentInf2, zeroV)
+	return &Tree[K, V]{root: newInternal(zeroK, sentInf2, l1, l2)}
+}
+
+// search walks from the root to the leaf whose key range covers key,
+// returning the leaf l, its parent p and grandparent g (g is nil iff p is
+// the root). Plain reads only.
+func (t *Tree[K, V]) search(key K) (g, p, l *node[K, V]) {
+	l = t.root
+	for !l.leaf {
+		g = p
+		p = l
+		if l.keyLess(key) {
+			l = l.child(fieldLeft)
+		} else {
+			l = l.child(fieldRight)
+		}
+	}
+	return g, p, l
+}
+
+// Get returns the value stored for key, if any.
+func (t *Tree[K, V]) Get(proc *core.Process, key K) (V, bool) {
+	_, _, l := t.search(key)
+	if l.matches(key) {
+		return l.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (t *Tree[K, V]) Contains(proc *core.Process, key K) bool {
+	_, _, l := t.search(key)
+	return l.matches(key)
+}
+
+// childDir returns the field index of p's child that snapshot snap shows as
+// c, or -1 if c is no longer a child of p in snap.
+func childDir[K cmp.Ordered, V any](snap core.Snapshot, c *node[K, V]) int {
+	if n, _ := snap[fieldLeft].(*node[K, V]); n == c {
+		return fieldLeft
+	}
+	if n, _ := snap[fieldRight].(*node[K, V]); n == c {
+		return fieldRight
+	}
+	return -1
+}
+
+// Put maps key to val, returning true if key was newly inserted and false if
+// an existing mapping was replaced.
+func (t *Tree[K, V]) Put(proc *core.Process, key K, val V) bool {
+	for {
+		_, p, l := t.search(key)
+		localp, st := proc.LLX(p.rec)
+		if st != core.LLXOK {
+			continue
+		}
+		dir := childDir(localp, l)
+		if dir == -1 {
+			continue // tree moved under us; re-search
+		}
+		if l.matches(key) {
+			// Replace the existing leaf, finalizing it.
+			if _, st := proc.LLX(l.rec); st != core.LLXOK {
+				continue
+			}
+			repl := newLeaf(key, sentReal, val)
+			if proc.SCX([]*core.Record{p.rec, l.rec}, []*core.Record{l.rec},
+				p.rec.Field(dir), repl) {
+				return false
+			}
+			continue
+		}
+		// Splice an internal node carrying the new leaf and the old leaf.
+		nl := newLeaf(key, sentReal, val)
+		var inner *node[K, V]
+		switch {
+		case l.sent != sentReal:
+			// key < l: the router inherits l's sentinel key.
+			inner = newInternal(l.key, l.sent, nl, l)
+		case key < l.key:
+			inner = newInternal(l.key, sentReal, nl, l)
+		default:
+			inner = newInternal(key, sentReal, l, nl)
+		}
+		if proc.SCX([]*core.Record{p.rec}, nil, p.rec.Field(dir), inner) {
+			return true
+		}
+	}
+}
+
+// Delete removes key's mapping, returning the removed value and true, or the
+// zero value and false if key was absent.
+func (t *Tree[K, V]) Delete(proc *core.Process, key K) (V, bool) {
+	var zero V
+	for {
+		g, p, l := t.search(key)
+		if !l.matches(key) {
+			return zero, false
+		}
+		// A real leaf always has an internal parent and grandparent thanks
+		// to the sentinel construction.
+		localg, st := proc.LLX(g.rec)
+		if st != core.LLXOK {
+			continue
+		}
+		pdir := childDir(localg, p)
+		if pdir == -1 {
+			continue
+		}
+		localp, st := proc.LLX(p.rec)
+		if st != core.LLXOK {
+			continue
+		}
+		ldir := childDir(localp, l)
+		if ldir == -1 {
+			continue
+		}
+		s, _ := localp[1-ldir].(*node[K, V]) // sibling, per the snapshot
+		if s == nil {
+			continue
+		}
+		if _, st := proc.LLX(l.rec); st != core.LLXOK {
+			continue
+		}
+		if _, st := proc.LLX(s.rec); st != core.LLXOK {
+			continue
+		}
+		// V lists g, p, then p's children in left-right order — an order
+		// consistent with a preorder walk, satisfying the Section 4.1
+		// total-order constraint.
+		var v []*core.Record
+		if ldir == fieldLeft {
+			v = []*core.Record{g.rec, p.rec, l.rec, s.rec}
+		} else {
+			v = []*core.Record{g.rec, p.rec, s.rec, l.rec}
+		}
+		if proc.SCX(v, []*core.Record{p.rec, l.rec}, g.rec.Field(pdir), s) {
+			return l.val, true
+		}
+	}
+}
+
+// Len returns the number of real keys observed by one traversal. On a
+// quiescent tree it is exact; under concurrency it is a weakly consistent
+// count (each counted leaf was present at some point, Proposition 2).
+func (t *Tree[K, V]) Len() int {
+	n := 0
+	t.walk(t.root, func(l *node[K, V]) { n++ })
+	return n
+}
+
+// Keys returns the real keys in ascending order, with the same consistency
+// caveat as Len.
+func (t *Tree[K, V]) Keys() []K {
+	var keys []K
+	t.walk(t.root, func(l *node[K, V]) { keys = append(keys, l.key) })
+	return keys
+}
+
+// Items returns the key -> value contents, with the same consistency caveat
+// as Len.
+func (t *Tree[K, V]) Items() map[K]V {
+	items := make(map[K]V)
+	t.walk(t.root, func(l *node[K, V]) { items[l.key] = l.val })
+	return items
+}
+
+// walk visits real leaves in key order.
+func (t *Tree[K, V]) walk(n *node[K, V], visit func(l *node[K, V])) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		if n.sent == sentReal {
+			visit(n)
+		}
+		return
+	}
+	t.walk(n.child(fieldLeft), visit)
+	t.walk(n.child(fieldRight), visit)
+}
+
+// CheckInvariants verifies the external-BST shape on a quiescent tree: every
+// internal node has two children, keys respect the search-tree order with
+// sentinels outermost, and no reachable node is finalized. It returns an
+// error describing the first violation. Intended for tests.
+func (t *Tree[K, V]) CheckInvariants() error {
+	return t.check(t.root, nil, nil)
+}
+
+// check validates the subtree at n against the half-open key interval
+// [lo, hi) expressed as optional reference nodes: a router sends keys
+// strictly below its own key left and keys at or above it right.
+func (t *Tree[K, V]) check(n, lo, hi *node[K, V]) error {
+	if n == nil {
+		return fmt.Errorf("nil child reachable")
+	}
+	if n.rec.Finalized() {
+		return fmt.Errorf("reachable node (key %v, leaf=%v) is finalized", n.key, n.leaf)
+	}
+	if lo != nil && nodeLess(n, lo) {
+		return fmt.Errorf("node %v violates lower bound %v", n.key, lo.key)
+	}
+	if hi != nil && !nodeLess(n, hi) {
+		return fmt.Errorf("node %v violates upper bound %v", n.key, hi.key)
+	}
+	if n.leaf {
+		return nil
+	}
+	if err := t.check(n.child(fieldLeft), lo, n); err != nil {
+		return err
+	}
+	return t.check(n.child(fieldRight), n, hi)
+}
+
+// nodeLess orders nodes by (real keys, then ∞₁, then ∞₂), strictly.
+func nodeLess[K cmp.Ordered, V any](a, b *node[K, V]) bool {
+	if a.sent != b.sent {
+		return a.sent < b.sent
+	}
+	if a.sent != sentReal {
+		return false // equal sentinels are not strictly ordered
+	}
+	return a.key < b.key
+}

@@ -1,0 +1,422 @@
+package bst_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pragmaprim/internal/bst"
+	"pragmaprim/internal/core"
+)
+
+func checkInv(t *testing.T, tr *bst.Tree[int, int]) {
+	t.Helper()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := bst.New[int, int]()
+	p := core.NewProcess()
+	if _, ok := tr.Get(p, 5); ok {
+		t.Error("Get on empty returned ok")
+	}
+	if tr.Contains(p, 5) {
+		t.Error("Contains on empty = true")
+	}
+	if _, ok := tr.Delete(p, 5); ok {
+		t.Error("Delete on empty = true")
+	}
+	if got := tr.Len(); got != 0 {
+		t.Errorf("Len = %d, want 0", got)
+	}
+	checkInv(t, tr)
+}
+
+func TestPutGetSingle(t *testing.T) {
+	tr := bst.New[int, int]()
+	p := core.NewProcess()
+	if !tr.Put(p, 5, 50) {
+		t.Fatal("Put of new key returned false")
+	}
+	v, ok := tr.Get(p, 5)
+	if !ok || v != 50 {
+		t.Fatalf("Get(5) = (%d,%v), want (50,true)", v, ok)
+	}
+	checkInv(t, tr)
+}
+
+func TestPutReplacesValue(t *testing.T) {
+	tr := bst.New[int, int]()
+	p := core.NewProcess()
+	tr.Put(p, 5, 50)
+	if tr.Put(p, 5, 51) {
+		t.Fatal("Put of existing key returned true")
+	}
+	v, _ := tr.Get(p, 5)
+	if v != 51 {
+		t.Fatalf("Get(5) = %d, want 51", v)
+	}
+	if got := tr.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+	checkInv(t, tr)
+}
+
+func TestPutManySorted(t *testing.T) {
+	tr := bst.New[int, int]()
+	p := core.NewProcess()
+	for _, k := range []int{50, 20, 80, 10, 30, 70, 90, 25, 35} {
+		tr.Put(p, k, k*10)
+	}
+	keys := tr.Keys()
+	want := []int{10, 20, 25, 30, 35, 50, 70, 80, 90}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+	checkInv(t, tr)
+}
+
+func TestDeleteLeafAndReinsert(t *testing.T) {
+	tr := bst.New[int, int]()
+	p := core.NewProcess()
+	tr.Put(p, 5, 50)
+	v, ok := tr.Delete(p, 5)
+	if !ok || v != 50 {
+		t.Fatalf("Delete(5) = (%d,%v), want (50,true)", v, ok)
+	}
+	if tr.Contains(p, 5) {
+		t.Error("key still present after delete")
+	}
+	checkInv(t, tr)
+	// Tree must remain fully usable after emptying.
+	tr.Put(p, 7, 70)
+	if v, ok := tr.Get(p, 7); !ok || v != 70 {
+		t.Fatalf("Get(7) = (%d,%v), want (70,true)", v, ok)
+	}
+	checkInv(t, tr)
+}
+
+func TestDeleteAbsentKey(t *testing.T) {
+	tr := bst.New[int, int]()
+	p := core.NewProcess()
+	tr.Put(p, 5, 50)
+	if _, ok := tr.Delete(p, 6); ok {
+		t.Error("Delete of absent key = true")
+	}
+	if got := tr.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+	checkInv(t, tr)
+}
+
+func TestDeleteInteriorKeys(t *testing.T) {
+	tr := bst.New[int, int]()
+	p := core.NewProcess()
+	keys := []int{50, 20, 80, 10, 30, 70, 90}
+	for _, k := range keys {
+		tr.Put(p, k, k)
+	}
+	for _, k := range []int{20, 80, 50} { // keys with internal routers above
+		if _, ok := tr.Delete(p, k); !ok {
+			t.Fatalf("Delete(%d) = false", k)
+		}
+		checkInv(t, tr)
+	}
+	got := tr.Keys()
+	want := []int{10, 30, 70, 90}
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStringKeysAndValues(t *testing.T) {
+	tr := bst.New[string, string]()
+	p := core.NewProcess()
+	tr.Put(p, "m", "em")
+	tr.Put(p, "a", "ay")
+	tr.Put(p, "z", "zee")
+	if v, ok := tr.Get(p, "a"); !ok || v != "ay" {
+		t.Fatalf("Get(a) = (%q,%v)", v, ok)
+	}
+	if _, ok := tr.Delete(p, "m"); !ok {
+		t.Fatal("Delete(m) = false")
+	}
+	keys := tr.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "z" {
+		t.Fatalf("Keys = %v, want [a z]", keys)
+	}
+}
+
+// TestQuickAgainstMapModel drives random op sequences against a map model.
+func TestQuickAgainstMapModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  int16
+	}
+	f := func(ops []op) bool {
+		tr := bst.New[int, int]()
+		p := core.NewProcess()
+		model := make(map[int]int)
+		for _, o := range ops {
+			key := int(o.Key % 32)
+			val := int(o.Val)
+			switch o.Kind % 3 {
+			case 0:
+				_, existed := model[key]
+				if tr.Put(p, key, val) != !existed {
+					return false
+				}
+				model[key] = val
+			case 1:
+				want, existed := model[key]
+				got, ok := tr.Delete(p, key)
+				if ok != existed {
+					return false
+				}
+				if existed && got != want {
+					return false
+				}
+				delete(model, key)
+			case 2:
+				want, existed := model[key]
+				got, ok := tr.Get(p, key)
+				if ok != existed || (existed && got != want) {
+					return false
+				}
+			}
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		items := tr.Items()
+		if len(items) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if items[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentPutDisjointKeys: all puts on distinct keys must land.
+func TestConcurrentPutDisjointKeys(t *testing.T) {
+	const procs = 8
+	const perProc = 300
+	tr := bst.New[int, int]()
+
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				k := g*perProc + i
+				if !tr.Put(p, k, k) {
+					t.Errorf("Put(%d) of fresh key returned false", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	p := core.NewProcess()
+	for k := 0; k < procs*perProc; k++ {
+		if v, ok := tr.Get(p, k); !ok || v != k {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	if got := tr.Len(); got != procs*perProc {
+		t.Errorf("Len = %d, want %d", got, procs*perProc)
+	}
+	checkInv(t, tr)
+}
+
+// TestConcurrentInsertDeleteChurn: goroutines insert then delete their own
+// keys; the tree must drain to empty with invariants intact.
+func TestConcurrentInsertDeleteChurn(t *testing.T) {
+	const procs = 8
+	const perProc = 250
+	tr := bst.New[int, int]()
+
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				k := g*1000 + rng.Intn(500)
+				tr.Put(p, k, k)
+				if _, ok := tr.Delete(p, k); !ok {
+					t.Errorf("Delete(%d) = false though this goroutine owns the key", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := tr.Len(); got != 0 {
+		t.Fatalf("Len = %d, want 0; keys=%v", got, tr.Keys())
+	}
+	checkInv(t, tr)
+}
+
+// TestConcurrentMixedSharedKeys: heavy churn on a small shared key space;
+// afterwards, the surviving key set must match a per-key net reconstruction.
+func TestConcurrentMixedSharedKeys(t *testing.T) {
+	const procs = 6
+	const perProc = 400
+	const keyRange = 16
+	tr := bst.New[int, int]()
+
+	// Track per-key presence transitions: counts of successful inserts
+	// (Put returning true) and successful deletes per key must differ by
+	// exactly 0 or 1, and the key is present iff inserts == deletes+1.
+	inserts := make([][]int64, procs)
+	deletes := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		inserts[g] = make([]int64, keyRange)
+		deletes[g] = make([]int64, keyRange)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 99)))
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				k := rng.Intn(keyRange)
+				if rng.Intn(2) == 0 {
+					if tr.Put(p, k, g) {
+						inserts[g][k]++
+					}
+				} else if _, ok := tr.Delete(p, k); ok {
+					deletes[g][k]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	checkInv(t, tr)
+	present := make(map[int]bool)
+	for _, k := range tr.Keys() {
+		present[k] = true
+	}
+	for k := 0; k < keyRange; k++ {
+		var ins, del int64
+		for g := 0; g < procs; g++ {
+			ins += inserts[g][k]
+			del += deletes[g][k]
+		}
+		switch ins - del {
+		case 0:
+			if present[k] {
+				t.Errorf("key %d present but inserts==deletes==%d", k, ins)
+			}
+		case 1:
+			if !present[k] {
+				t.Errorf("key %d absent but inserts=%d deletes=%d", k, ins, del)
+			}
+		default:
+			t.Errorf("key %d: inserts=%d deletes=%d (impossible gap)", k, ins, del)
+		}
+	}
+}
+
+// TestConcurrentReadersDuringChurn: readers must never observe a broken tree
+// (panic/nil deref) and Gets must return only values some writer stored.
+func TestConcurrentReadersDuringChurn(t *testing.T) {
+	const writers = 4
+	const readers = 4
+	const perWriter = 500
+	const keyRange = 64
+	tr := bst.New[int, int]()
+	stop := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			p := core.NewProcess()
+			for i := 0; i < perWriter; i++ {
+				k := rng.Intn(keyRange)
+				if rng.Intn(2) == 0 {
+					tr.Put(p, k, k*7)
+				} else {
+					tr.Delete(p, k)
+				}
+			}
+		}(g)
+	}
+	var rg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		rg.Add(1)
+		go func(g int) {
+			defer rg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 1000)))
+			p := core.NewProcess()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(keyRange)
+				if v, ok := tr.Get(p, k); ok && v != k*7 {
+					t.Errorf("Get(%d) = %d, want %d", k, v, k*7)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	checkInv(t, tr)
+}
+
+func TestKeysSortedUnderRandomOps(t *testing.T) {
+	tr := bst.New[int, int]()
+	p := core.NewProcess()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 3000; i++ {
+		k := rng.Intn(200)
+		if rng.Intn(3) == 0 {
+			tr.Delete(p, k)
+		} else {
+			tr.Put(p, k, i)
+		}
+	}
+	keys := tr.Keys()
+	if !sort.IntsAreSorted(keys) {
+		t.Fatalf("Keys not sorted: %v", keys)
+	}
+	checkInv(t, tr)
+}

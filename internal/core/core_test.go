@@ -1,0 +1,398 @@
+package core_test
+
+import (
+	"testing"
+
+	"pragmaprim/internal/core"
+)
+
+// newPair returns a record with two mutable fields (0: count, 1: next) and an
+// immutable key, mirroring the paper's multiset node shape.
+func newPair(t *testing.T, key, count int, next any) *core.Record {
+	t.Helper()
+	return core.NewRecord(2, []any{count, next}, key)
+}
+
+func mustLLX(t *testing.T, p *core.Process, r *core.Record) core.Snapshot {
+	t.Helper()
+	snap, st := p.LLX(r)
+	if st != core.LLXOK {
+		t.Fatalf("LLX = %v, want OK", st)
+	}
+	return snap
+}
+
+func TestNewRecordInitialState(t *testing.T) {
+	r := core.NewRecord(3, []any{1, "two"}, "key", 42)
+	if got := r.NumMutable(); got != 3 {
+		t.Errorf("NumMutable = %d, want 3", got)
+	}
+	if got := r.NumImmutable(); got != 2 {
+		t.Errorf("NumImmutable = %d, want 2", got)
+	}
+	if got := r.Read(0); got != 1 {
+		t.Errorf("Read(0) = %v, want 1", got)
+	}
+	if got := r.Read(1); got != "two" {
+		t.Errorf("Read(1) = %v, want two", got)
+	}
+	if got := r.Read(2); got != nil {
+		t.Errorf("Read(2) = %v, want nil (defaulted)", got)
+	}
+	if got := r.Immutable(0); got != "key" {
+		t.Errorf("Immutable(0) = %v, want key", got)
+	}
+	if got := r.Immutable(1); got != 42 {
+		t.Errorf("Immutable(1) = %v, want 42", got)
+	}
+	if r.Finalized() {
+		t.Error("fresh record reports Finalized")
+	}
+	if r.Frozen() {
+		t.Error("fresh record reports Frozen")
+	}
+}
+
+func TestLLXReturnsSnapshot(t *testing.T) {
+	p := core.NewProcess()
+	r := newPair(t, 7, 3, nil)
+	snap := mustLLX(t, p, r)
+	if len(snap) != 2 {
+		t.Fatalf("snapshot length = %d, want 2", len(snap))
+	}
+	if snap[0] != 3 || snap[1] != nil {
+		t.Errorf("snapshot = %v, want [3 nil]", snap)
+	}
+	if !p.HasLink(r) {
+		t.Error("LLX did not record a link")
+	}
+}
+
+func TestSCXUpdatesField(t *testing.T) {
+	p := core.NewProcess()
+	r := newPair(t, 7, 3, nil)
+	mustLLX(t, p, r)
+	if !p.SCX([]*core.Record{r}, nil, r.Field(0), 8) {
+		t.Fatal("uncontended SCX failed")
+	}
+	if got := r.Read(0); got != 8 {
+		t.Errorf("Read(0) after SCX = %v, want 8", got)
+	}
+	if got := r.Read(1); got != nil {
+		t.Errorf("Read(1) changed unexpectedly: %v", got)
+	}
+	if r.Finalized() {
+		t.Error("record finalized though R was empty")
+	}
+	if p.HasLink(r) {
+		t.Error("SCX did not consume the link")
+	}
+}
+
+func TestSCXConsumesLinkEvenOnSuccess(t *testing.T) {
+	p := core.NewProcess()
+	r := newPair(t, 1, 1, nil)
+	mustLLX(t, p, r)
+	if !p.SCX([]*core.Record{r}, nil, r.Field(0), 2) {
+		t.Fatal("SCX failed")
+	}
+	// A second SCX without a fresh LLX is a precondition violation.
+	defer func() {
+		if recover() == nil {
+			t.Error("second SCX without LLX did not panic")
+		}
+	}()
+	p.SCX([]*core.Record{r}, nil, r.Field(0), 3)
+}
+
+func TestSCXFinalizesRecords(t *testing.T) {
+	p := core.NewProcess()
+	a := newPair(t, 1, 1, nil)
+	b := newPair(t, 2, 2, nil)
+	mustLLX(t, p, a)
+	mustLLX(t, p, b)
+	if !p.SCX([]*core.Record{a, b}, []*core.Record{b}, a.Field(1), "bye") {
+		t.Fatal("SCX failed")
+	}
+	if !b.Finalized() {
+		t.Error("b not finalized though it was in R")
+	}
+	if a.Finalized() {
+		t.Error("a finalized though it was not in R")
+	}
+	// P1: an LLX beginning after a successful finalizing SCX returns
+	// Finalized.
+	if _, st := p.LLX(b); st != core.LLXFinalized {
+		t.Errorf("LLX(finalized) = %v, want Finalized", st)
+	}
+	// The non-finalized record stays fully usable.
+	snap := mustLLX(t, p, a)
+	if snap[1] != "bye" {
+		t.Errorf("a.next = %v, want bye", snap[1])
+	}
+}
+
+func TestSCXFailsAfterConflictingSCX(t *testing.T) {
+	p1 := core.NewProcess()
+	p2 := core.NewProcess()
+	r := newPair(t, 1, 10, nil)
+
+	mustLLX(t, p1, r)
+	mustLLX(t, p2, r)
+	if !p2.SCX([]*core.Record{r}, nil, r.Field(0), 11) {
+		t.Fatal("p2 SCX failed")
+	}
+	// C4: p1's SCX must fail because r changed since p1's linked LLX.
+	if p1.SCX([]*core.Record{r}, nil, r.Field(0), 12) {
+		t.Fatal("p1 SCX succeeded despite intervening SCX")
+	}
+	if got := r.Read(0); got != 11 {
+		t.Errorf("field = %v, want 11 (failed SCX must not write)", got)
+	}
+}
+
+func TestSCXOnFinalizedRecordFails(t *testing.T) {
+	p1 := core.NewProcess()
+	p2 := core.NewProcess()
+	r := newPair(t, 1, 10, nil)
+
+	mustLLX(t, p1, r)
+	mustLLX(t, p2, r)
+	if !p2.SCX([]*core.Record{r}, []*core.Record{r}, r.Field(0), 11) {
+		t.Fatal("finalizing SCX failed")
+	}
+	if p1.SCX([]*core.Record{r}, nil, r.Field(0), 12) {
+		t.Fatal("SCX succeeded on a finalized record")
+	}
+	if !r.Finalized() {
+		t.Error("record not finalized")
+	}
+}
+
+func TestFinalizedRecordNeverChanges(t *testing.T) {
+	p := core.NewProcess()
+	r := newPair(t, 1, 10, "x")
+	mustLLX(t, p, r)
+	if !p.SCX([]*core.Record{r}, []*core.Record{r}, r.Field(0), 11) {
+		t.Fatal("SCX failed")
+	}
+	if got := r.Read(0); got != 11 {
+		t.Errorf("final value = %v, want 11", got)
+	}
+	if got := r.Read(1); got != "x" {
+		t.Errorf("untouched field = %v, want x", got)
+	}
+	// Every later LLX observes Finalized (P1), from any process.
+	for i := 0; i < 3; i++ {
+		q := core.NewProcess()
+		if _, st := q.LLX(r); st != core.LLXFinalized {
+			t.Fatalf("LLX %d = %v, want Finalized", i, st)
+		}
+	}
+}
+
+func TestVLXSucceedsWhenUnchanged(t *testing.T) {
+	p := core.NewProcess()
+	a := newPair(t, 1, 1, nil)
+	b := newPair(t, 2, 2, nil)
+	mustLLX(t, p, a)
+	mustLLX(t, p, b)
+	if !p.VLX([]*core.Record{a, b}) {
+		t.Fatal("VLX failed on unchanged records")
+	}
+	// A successful VLX preserves the links: it may be repeated.
+	if !p.VLX([]*core.Record{a, b}) {
+		t.Fatal("repeated VLX failed")
+	}
+}
+
+func TestVLXFailsAfterChange(t *testing.T) {
+	p1 := core.NewProcess()
+	p2 := core.NewProcess()
+	a := newPair(t, 1, 1, nil)
+	b := newPair(t, 2, 2, nil)
+
+	mustLLX(t, p1, a)
+	mustLLX(t, p1, b)
+	mustLLX(t, p2, b)
+	if !p2.SCX([]*core.Record{b}, nil, b.Field(0), 3) {
+		t.Fatal("p2 SCX failed")
+	}
+	if p1.VLX([]*core.Record{a, b}) {
+		t.Fatal("VLX succeeded despite an intervening SCX on b")
+	}
+	// An unsuccessful VLX consumes the links.
+	if p1.HasLink(a) || p1.HasLink(b) {
+		t.Error("failed VLX left links in place")
+	}
+}
+
+func TestLLXAfterSCXSeesNewValue(t *testing.T) {
+	p := core.NewProcess()
+	r := newPair(t, 1, 0, nil)
+	for i := 1; i <= 100; i++ {
+		mustLLX(t, p, r)
+		if !p.SCX([]*core.Record{r}, nil, r.Field(0), i) {
+			t.Fatalf("SCX %d failed", i)
+		}
+		snap := mustLLX(t, p, r)
+		if snap[0] != i {
+			t.Fatalf("snapshot after SCX %d = %v", i, snap[0])
+		}
+	}
+}
+
+func TestSCXSameValueTwiceIsABAFree(t *testing.T) {
+	// The classic ABA scenario: write v, write w, write v again. Because SCX
+	// boxes values freshly, a process that LLXed before the first write must
+	// still observe interference.
+	p1 := core.NewProcess()
+	p2 := core.NewProcess()
+	r := core.NewRecord(2, []any{"v", nil}, 1)
+
+	mustLLX(t, p1, r)
+
+	for _, val := range []string{"w", "v"} {
+		mustLLX(t, p2, r)
+		if !p2.SCX([]*core.Record{r}, nil, r.Field(0), val) {
+			t.Fatalf("p2 SCX(%q) failed", val)
+		}
+	}
+	if got := r.Read(0); got != "v" {
+		t.Fatalf("field = %v, want v", got)
+	}
+	// p1's view is stale even though the value matches: its SCX must fail.
+	if p1.SCX([]*core.Record{r}, nil, r.Field(0), "u") {
+		t.Fatal("ABA: stale SCX succeeded after value returned to v")
+	}
+}
+
+func TestSCXMultiRecordDependsOnAll(t *testing.T) {
+	p1 := core.NewProcess()
+	p2 := core.NewProcess()
+	a := newPair(t, 1, 1, nil)
+	b := newPair(t, 2, 2, nil)
+	c := newPair(t, 3, 3, nil)
+
+	mustLLX(t, p1, a)
+	mustLLX(t, p1, b)
+	mustLLX(t, p1, c)
+
+	// Change only c.
+	mustLLX(t, p2, c)
+	if !p2.SCX([]*core.Record{c}, nil, c.Field(0), 30) {
+		t.Fatal("p2 SCX failed")
+	}
+
+	// p1 depends on a, b and c; the change to c must doom it.
+	if p1.SCX([]*core.Record{a, b, c}, nil, a.Field(0), 10) {
+		t.Fatal("SCX succeeded though c changed since its linked LLX")
+	}
+	if got := a.Read(0); got != 1 {
+		t.Errorf("a.count = %v, want 1", got)
+	}
+}
+
+func TestZeroFieldRecord(t *testing.T) {
+	// Records with no mutable fields (e.g. BST leaves) may appear in V and R.
+	p := core.NewProcess()
+	leaf := core.NewRecord(0, nil, "leafkey")
+	parent := newPair(t, 0, 0, leaf)
+
+	snap, st := p.LLX(leaf)
+	if st != core.LLXOK || len(snap) != 0 {
+		t.Fatalf("LLX(leaf) = (%v, %v), want empty snapshot", snap, st)
+	}
+	mustLLX(t, p, parent)
+	if !p.SCX([]*core.Record{parent, leaf}, []*core.Record{leaf}, parent.Field(1), nil) {
+		t.Fatal("SCX replacing leaf failed")
+	}
+	if !leaf.Finalized() {
+		t.Error("leaf not finalized")
+	}
+	if got := parent.Read(1); got != nil {
+		t.Errorf("parent.next = %v, want nil", got)
+	}
+}
+
+func TestLLXStatusAndStateStrings(t *testing.T) {
+	cases := map[string]string{
+		core.LLXOK.String():           "OK",
+		core.LLXFinalized.String():    "Finalized",
+		core.LLXFail.String():         "Fail",
+		core.LLXStatus(99).String():   "InvalidStatus",
+		core.StateInProgress.String(): "InProgress",
+		core.StateCommitted.String():  "Committed",
+		core.StateAborted.String():    "Aborted",
+		core.State(99).String():       "InvalidState",
+		core.StepFreezingCAS.String(): "FreezingCAS",
+		core.StepFrozenCheck.String(): "FrozenCheck",
+		core.StepAbort.String():       "Abort",
+		core.StepFrozen.String():      "Frozen",
+		core.StepMark.String():        "Mark",
+		core.StepUpdateCAS.String():   "UpdateCAS",
+		core.StepCommit.String():      "Commit",
+		core.StepKind(99).String():    "InvalidStep",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPreconditionPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		})
+	}
+
+	expectPanic("NegativeFields", func() { core.NewRecord(-1, nil) })
+	expectPanic("TooManyInitial", func() { core.NewRecord(1, []any{1, 2}) })
+	expectPanic("FieldOutOfRange", func() { newPair(t, 1, 1, nil).Field(5) })
+	expectPanic("LLXNil", func() { core.NewProcess().LLX(nil) })
+	expectPanic("SCXEmptyV", func() {
+		p := core.NewProcess()
+		r := newPair(t, 1, 1, nil)
+		mustLLX(t, p, r)
+		p.SCX(nil, nil, r.Field(0), 1)
+	})
+	expectPanic("SCXNoLink", func() {
+		p := core.NewProcess()
+		r := newPair(t, 1, 1, nil)
+		p.SCX([]*core.Record{r}, nil, r.Field(0), 1)
+	})
+	expectPanic("SCXFldNotInV", func() {
+		p := core.NewProcess()
+		r := newPair(t, 1, 1, nil)
+		other := newPair(t, 2, 2, nil)
+		mustLLX(t, p, r)
+		mustLLX(t, p, other)
+		p.SCX([]*core.Record{r}, nil, other.Field(0), 1)
+	})
+	expectPanic("SCXRNotSubsetOfV", func() {
+		p := core.NewProcess()
+		r := newPair(t, 1, 1, nil)
+		other := newPair(t, 2, 2, nil)
+		mustLLX(t, p, r)
+		mustLLX(t, p, other)
+		p.SCX([]*core.Record{r}, []*core.Record{other}, r.Field(0), 1)
+	})
+	expectPanic("SCXNilInV", func() {
+		p := core.NewProcess()
+		r := newPair(t, 1, 1, nil)
+		mustLLX(t, p, r)
+		p.SCX([]*core.Record{r, nil}, nil, r.Field(0), 1)
+	})
+	expectPanic("VLXNoLink", func() {
+		p := core.NewProcess()
+		r := newPair(t, 1, 1, nil)
+		p.VLX([]*core.Record{r})
+	})
+}

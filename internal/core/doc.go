@@ -1,0 +1,35 @@
+// Package core implements the LLX, SCX and VLX synchronization primitives of
+// Brown, Ellen and Ruppert, "Pragmatic Primitives for Non-blocking Data
+// Structures" (PODC 2013), from single-word compare-and-swap.
+//
+// The primitives operate on Data-records (type Record), each holding a fixed
+// number of single-word mutable fields and a fixed number of immutable
+// fields:
+//
+//   - LLX(r) returns an atomic snapshot of r's mutable fields, or reports
+//     that r has been finalized, or fails.
+//   - SCX(V, R, fld, new) atomically stores new into the mutable field fld of
+//     one record in V and finalizes every record in R ⊆ V, succeeding only if
+//     no record in V has changed since the calling process's linked LLX on it.
+//   - VLX(V) succeeds iff no record in V has changed since the calling
+//     process's linked LLX on it.
+//
+// The implementation follows the paper's Figure 4 pseudocode: every record
+// carries an info pointer to an SCX-record (an operation descriptor) and a
+// marked bit. An SCX freezes each record in V by swinging its info pointer to
+// the SCX's descriptor; processes that encounter a frozen record help the
+// owning SCX to complete (cooperative technique), so the implementation is
+// non-blocking. Finalized records (marked, with a committed descriptor) can
+// never change again.
+//
+// Each participating goroutine must use its own Process handle, which holds
+// the paper's per-process table of LLX results. A Process is not safe for
+// concurrent use; Records may be shared freely between Processes.
+//
+// ABA freedom: the paper obliges the caller to never store a value into a
+// field that the field previously contained (Section 4.1). This package
+// discharges that obligation by construction: every SCX wraps the new value
+// in a freshly allocated box and CAS compares box identity, the paper's
+// "Solution 3" wrapper-object variant. Go's garbage collector is the safe
+// collector the paper assumes, so a box address cannot recur while reachable.
+package core

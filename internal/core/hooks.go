@@ -1,0 +1,64 @@
+package core
+
+// StepKind identifies a shared-memory step of the LLX/SCX algorithm, used by
+// the test instrumentation hook to observe and perturb executions.
+type StepKind int
+
+// Steps of the Help routine and LLX, in paper terminology.
+const (
+	StepFreezingCAS StepKind = iota + 1 // about to attempt a freezing CAS (line 26)
+	StepFrozenCheck                     // about to read allFrozen after a failed freeze (line 29)
+	StepAbort                           // about to perform an abort step (line 34)
+	StepFrozen                          // about to perform the frozen step (line 37)
+	StepMark                            // about to perform a mark step (line 38)
+	StepUpdateCAS                       // about to attempt the update CAS (line 39)
+	StepCommit                          // about to perform the commit step (line 41)
+)
+
+// String returns the step name for diagnostics.
+func (k StepKind) String() string {
+	switch k {
+	case StepFreezingCAS:
+		return "FreezingCAS"
+	case StepFrozenCheck:
+		return "FrozenCheck"
+	case StepAbort:
+		return "Abort"
+	case StepFrozen:
+		return "Frozen"
+	case StepMark:
+		return "Mark"
+	case StepUpdateCAS:
+		return "UpdateCAS"
+	case StepCommit:
+		return "Commit"
+	default:
+		return "InvalidStep"
+	}
+}
+
+// stepHook, when non-nil, is invoked immediately before each step of the Help
+// routine with the step kind, the SCX-record being helped, and the record
+// being operated on (nil for steps that do not target a specific record).
+//
+// The hook exists so tests can (a) record the state/allFrozen transition
+// sequences of Figures 2, 3 and 7 and assert they match the paper's diagrams,
+// and (b) stall a helper at a chosen step — the moral equivalent of a process
+// crash in the paper's asynchronous model — forcing other processes to help
+// the SCX to completion.
+//
+// It must be installed before any Process is used concurrently and may be
+// called from many goroutines; the hook body is responsible for its own
+// synchronization. Production code leaves it nil, which costs one
+// predictable branch per step.
+var stepHook func(k StepKind, u *SCXRecord, r *Record)
+
+// SetStepHook installs (or with nil, removes) the test instrumentation hook.
+// It must not be called while any Process is active.
+func SetStepHook(h func(k StepKind, u *SCXRecord, r *Record)) { stepHook = h }
+
+func callHook(k StepKind, u *SCXRecord, r *Record) {
+	if stepHook != nil {
+		stepHook(k, u, r)
+	}
+}

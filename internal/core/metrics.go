@@ -1,0 +1,76 @@
+package core
+
+// Metrics counts the shared-memory steps a Process performs, named after the
+// step taxonomy of the paper's Section 4 (freezing CAS, update CAS, frozen
+// step, mark step, commit step, abort step). The counters reproduce the
+// paper's analytical cost claims: an uncontended SCX over k records that
+// finalizes f of them performs exactly k+1 CAS steps (k freezing + 1 update)
+// and f+2 writes (1 frozen step + f mark steps + 1 commit step), and a VLX
+// over k records performs exactly k shared-memory reads.
+//
+// A Metrics belongs to a single Process and is updated without atomics; read
+// it only from the owning goroutine, or after the Process has quiesced.
+type Metrics struct {
+	// CAS steps.
+	FreezingCASAttempts  int64 // line 26 freezing CAS executions
+	FreezingCASSuccesses int64 // freezing CASes that succeeded
+	UpdateCASAttempts    int64 // line 39 update CAS executions
+	UpdateCASSuccesses   int64 // update CASes that succeeded
+
+	// Write steps.
+	FrozenSteps int64 // line 37 allFrozen := true
+	MarkSteps   int64 // line 38 r.marked := true
+	CommitSteps int64 // line 41 state := Committed
+	AbortSteps  int64 // line 34 state := Aborted
+
+	// Shared-memory reads performed by VLX (line 47), one per record.
+	VLXReads int64
+
+	// Operation outcomes.
+	LLXOps       int64 // LLX invocations
+	LLXSnapshots int64 // LLXs returning a snapshot
+	LLXFinalized int64 // LLXs returning Finalized
+	LLXFails     int64 // LLXs returning Fail
+	SCXOps       int64 // SCX invocations
+	SCXSuccesses int64 // SCXs returning true
+	VLXOps       int64 // VLX invocations
+	VLXSuccesses int64 // VLXs returning true
+	HelpCalls    int64 // invocations of the Help routine, own SCXs included
+}
+
+// CASSteps returns the total number of CAS instructions executed.
+func (m *Metrics) CASSteps() int64 {
+	return m.FreezingCASAttempts + m.UpdateCASAttempts
+}
+
+// WriteSteps returns the total number of plain shared-memory writes executed
+// by the Help routine (frozen + mark + commit + abort steps).
+func (m *Metrics) WriteSteps() int64 {
+	return m.FrozenSteps + m.MarkSteps + m.CommitSteps + m.AbortSteps
+}
+
+// Reset zeroes all counters.
+func (m *Metrics) Reset() { *m = Metrics{} }
+
+// Add accumulates o into m. Use it to aggregate the metrics of several
+// quiesced Processes.
+func (m *Metrics) Add(o *Metrics) {
+	m.FreezingCASAttempts += o.FreezingCASAttempts
+	m.FreezingCASSuccesses += o.FreezingCASSuccesses
+	m.UpdateCASAttempts += o.UpdateCASAttempts
+	m.UpdateCASSuccesses += o.UpdateCASSuccesses
+	m.FrozenSteps += o.FrozenSteps
+	m.MarkSteps += o.MarkSteps
+	m.CommitSteps += o.CommitSteps
+	m.AbortSteps += o.AbortSteps
+	m.VLXReads += o.VLXReads
+	m.LLXOps += o.LLXOps
+	m.LLXSnapshots += o.LLXSnapshots
+	m.LLXFinalized += o.LLXFinalized
+	m.LLXFails += o.LLXFails
+	m.SCXOps += o.SCXOps
+	m.SCXSuccesses += o.SCXSuccesses
+	m.VLXOps += o.VLXOps
+	m.VLXSuccesses += o.VLXSuccesses
+	m.HelpCalls += o.HelpCalls
+}

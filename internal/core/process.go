@@ -1,0 +1,278 @@
+package core
+
+import "fmt"
+
+// LLXStatus is the outcome of an LLX.
+type LLXStatus int
+
+// LLX outcomes.
+const (
+	// LLXOK: the LLX returned a snapshot of the record's mutable fields.
+	LLXOK LLXStatus = iota + 1
+	// LLXFinalized: the record has been finalized by a committed SCX and can
+	// never change again.
+	LLXFinalized
+	// LLXFail: the LLX failed due to a concurrent SCX; retry.
+	LLXFail
+)
+
+// String returns the status name for diagnostics.
+func (s LLXStatus) String() string {
+	switch s {
+	case LLXOK:
+		return "OK"
+	case LLXFinalized:
+		return "Finalized"
+	case LLXFail:
+		return "Fail"
+	default:
+		return "InvalidStatus"
+	}
+}
+
+// Snapshot is an atomic snapshot of a Record's mutable fields, indexed like
+// Record.Read. The caller owns the slice.
+type Snapshot []any
+
+// llxEntry is one row of the paper's per-process table of LLX results: the
+// info pointer and raw field boxes read by the process's last LLX on a
+// record.
+type llxEntry struct {
+	info  *SCXRecord
+	boxes []*box
+}
+
+// Process is a participant in the protocol, holding the paper's per-process
+// table of LLX results and per-process step Metrics. Create one Process per
+// goroutine with NewProcess; a Process must not be used concurrently.
+// Records and the data structures built from them are freely shared between
+// Processes.
+type Process struct {
+	table   map[*Record]llxEntry
+	Metrics Metrics
+}
+
+// NewProcess returns a fresh Process with an empty LLX table.
+func NewProcess() *Process {
+	return &Process{table: make(map[*Record]llxEntry)}
+}
+
+// LLX performs a load-link-extended on r (paper Figure 4, lines 1-16).
+//
+// On LLXOK it returns a snapshot of r's mutable fields and establishes a link
+// that a subsequent SCX or VLX whose V-sequence contains r will depend on.
+// LLXFinalized means r was finalized by a committed SCX. LLXFail means a
+// concurrent SCX interfered; the caller should retry. Per the paper's
+// linked-LLX definition, a successful LLX(r) remains linked until the process
+// performs another LLX(r), an SCX whose V contains r, or an unsuccessful VLX
+// whose V contains r.
+func (p *Process) LLX(r *Record) (Snapshot, LLXStatus) {
+	if r == nil {
+		panic("core: LLX of nil Record")
+	}
+	p.Metrics.LLXOps++
+
+	marked1 := r.marked.Load() // line 3: order of lines 3-6 matters
+	rinfo := r.info.Load()     // line 4
+	state := rinfo.State()     // line 5
+	marked2 := r.marked.Load() // line 6
+
+	// Line 7: r was not frozen at line 5.
+	if state == StateAborted || (state == StateCommitted && !marked2) {
+		// Line 8: read the mutable fields.
+		boxes := make([]*box, len(r.mutable))
+		vals := make(Snapshot, len(r.mutable))
+		for i := range r.mutable {
+			b := r.mutable[i].Load()
+			boxes[i] = b
+			vals[i] = b.val
+		}
+		// Line 9: r.info still points to the same SCX-record, so r was
+		// unfrozen throughout and the values form a snapshot.
+		if r.info.Load() == rinfo {
+			p.table[r] = llxEntry{info: rinfo, boxes: boxes} // line 10
+			p.Metrics.LLXSnapshots++
+			return vals, LLXOK // line 11
+		}
+	}
+
+	// Line 12: evaluated left to right with short-circuiting, exactly as in
+	// the paper: help rinfo if it is in progress, then test marked1.
+	finalized := state == StateCommitted ||
+		(state == StateInProgress && p.help(rinfo))
+	if finalized && marked1 {
+		p.Metrics.LLXFinalized++
+		return nil, LLXFinalized // line 13
+	}
+
+	// Line 15: help whatever SCX currently has r frozen, then fail.
+	if inf := r.info.Load(); inf.State() == StateInProgress {
+		p.help(inf)
+	}
+	p.Metrics.LLXFails++
+	return nil, LLXFail // line 16
+}
+
+// SCX performs a store-conditional-extended (paper Figure 4, lines 17-21):
+// atomically store newVal into the mutable field fld of one record in v and
+// finalize every record in rset, provided no record in v has changed since
+// this process's linked LLX on it. rset must be a subset of v, and fld.Rec
+// must be in v. SCX reports whether it succeeded; on failure the caller must
+// re-perform the LLXs before retrying.
+//
+// Preconditions (checked, panic on violation, as these are programming
+// errors): the process has a linked LLX for every record in v, rset ⊆ v, and
+// fld names a mutable field of a record in v. The paper's remaining
+// precondition — newVal must differ from every value fld has held — is
+// satisfied by construction because SCX boxes newVal freshly.
+func (p *Process) SCX(v []*Record, rset []*Record, fld FieldRef, newVal any) bool {
+	p.Metrics.SCXOps++
+	u := p.buildSCXRecord(v, rset, fld, newVal)
+	// Performing the SCX un-links the LLXs it consumed (Definition 7).
+	for _, r := range v {
+		delete(p.table, r)
+	}
+	ok := p.help(u) // line 21
+	if ok {
+		p.Metrics.SCXSuccesses++
+	}
+	return ok
+}
+
+// buildSCXRecord validates the SCX preconditions against the per-process LLX
+// table and materializes the operation descriptor (paper lines 19-21).
+func (p *Process) buildSCXRecord(v []*Record, rset []*Record, fld FieldRef, newVal any) *SCXRecord {
+	if len(v) == 0 {
+		panic("core: SCX with empty V sequence")
+	}
+	u := &SCXRecord{
+		v:          v,
+		r:          rset,
+		newBox:     &box{val: newVal},
+		infoFields: make([]*SCXRecord, len(v)),
+	}
+	u.state.Store(int32(StateInProgress))
+
+	fldInV := false
+	for i, r := range v {
+		if r == nil {
+			panic("core: SCX with nil Record in V")
+		}
+		e, ok := p.table[r]
+		if !ok {
+			panic("core: SCX without a linked LLX for a record in V")
+		}
+		u.infoFields[i] = e.info
+		if r == fld.Rec {
+			fldInV = true
+		}
+	}
+	if !fldInV {
+		panic("core: SCX fld does not name a record in V")
+	}
+	if fld.Field < 0 || fld.Field >= len(fld.Rec.mutable) {
+		panic(fmt.Sprintf("core: SCX fld index %d out of range [0,%d)",
+			fld.Field, len(fld.Rec.mutable)))
+	}
+	for _, r := range rset {
+		inV := false
+		for _, rv := range v {
+			if rv == r {
+				inV = true
+				break
+			}
+		}
+		if !inV {
+			panic("core: SCX with a record in R that is not in V")
+		}
+	}
+	u.fld = &fld.Rec.mutable[fld.Field]
+	u.oldBox = p.table[fld.Rec].boxes[fld.Field] // line 20
+	return u
+}
+
+// VLX performs a validate-extended on v (paper Figure 4, lines 43-48): it
+// returns true iff, for every record in v, the record has not changed since
+// this process's linked LLX on it. A successful VLX preserves the links; an
+// unsuccessful VLX consumes them. Panics if the process lacks a linked LLX
+// for some record in v.
+func (p *Process) VLX(v []*Record) bool {
+	p.Metrics.VLXOps++
+	for _, r := range v {
+		e, ok := p.table[r]
+		if !ok {
+			panic("core: VLX without a linked LLX for a record in V")
+		}
+		p.Metrics.VLXReads++
+		if r.info.Load() != e.info { // line 47
+			// An unsuccessful VLX un-links the LLXs for v (Definition 7).
+			for _, rr := range v {
+				delete(p.table, rr)
+			}
+			return false
+		}
+	}
+	p.Metrics.VLXSuccesses++
+	return true // line 48
+}
+
+// help executes the body of an SCX on behalf of whichever process created u
+// (paper Figure 4, lines 22-42). It returns true iff the SCX committed.
+func (p *Process) help(u *SCXRecord) bool {
+	p.Metrics.HelpCalls++
+
+	// Freeze every record in u.V, in order, to protect their mutable fields
+	// from other SCXs (lines 24-35).
+	for i, r := range u.v {
+		rinfo := u.infoFields[i]
+		callHook(StepFreezingCAS, u, r)
+		p.Metrics.FreezingCASAttempts++
+		if r.info.CompareAndSwap(rinfo, u) { // line 26: freezing CAS
+			p.Metrics.FreezingCASSuccesses++
+			continue
+		}
+		if r.info.Load() == u { // line 27: another helper froze r for u
+			continue
+		}
+		// r is frozen for a different SCX.
+		callHook(StepFrozenCheck, u, r)
+		if u.allFrozen.Load() { // line 29: frozen check step
+			// Every record was frozen for u at some point, so u has already
+			// committed (line 31).
+			return true
+		}
+		// Atomically unfreeze everything frozen for u (lines 34-35).
+		callHook(StepAbort, u, r)
+		u.state.Store(int32(StateAborted)) // abort step
+		p.Metrics.AbortSteps++
+		return false
+	}
+
+	callHook(StepFrozen, u, nil)
+	u.allFrozen.Store(true) // line 37: frozen step
+	p.Metrics.FrozenSteps++
+
+	for _, r := range u.r {
+		callHook(StepMark, u, r)
+		r.marked.Store(true) // line 38: mark step
+		p.Metrics.MarkSteps++
+	}
+
+	callHook(StepUpdateCAS, u, nil)
+	p.Metrics.UpdateCASAttempts++
+	if u.fld.CompareAndSwap(u.oldBox, u.newBox) { // line 39: update CAS
+		p.Metrics.UpdateCASSuccesses++
+	}
+
+	callHook(StepCommit, u, nil)
+	u.state.Store(int32(StateCommitted)) // line 41: commit step
+	p.Metrics.CommitSteps++
+	return true
+}
+
+// HasLink reports whether the process currently holds a linked LLX for r.
+// Useful for assertions in data-structure code and tests.
+func (p *Process) HasLink(r *Record) bool {
+	_, ok := p.table[r]
+	return ok
+}

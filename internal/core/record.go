@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// box wraps a single mutable-field value. Mutable fields store *box rather
+// than the value itself so that CAS operates on pointer identity: each SCX
+// allocates a fresh box, so a field can never be CASed back to a previous
+// value and the ABA constraint of Section 4.1 is satisfied by construction.
+type box struct {
+	val any
+}
+
+// Record is a Data-record: the unit on which LLX, SCX and VLX operate. A
+// Record has a fixed number of single-word mutable fields (read with Read,
+// snapshot with Process.LLX, written only by Process.SCX) and a fixed number
+// of immutable fields (read with Immutable; set once at creation).
+//
+// In addition to its user fields, a Record carries the bookkeeping fields of
+// the paper's Figure 1: an info pointer to the SCX-record of the last SCX
+// that froze it, and a marked bit used to finalize it.
+type Record struct {
+	info    atomic.Pointer[SCXRecord]
+	marked  atomic.Bool
+	mutable []atomic.Pointer[box]
+	immut   []any
+}
+
+// NewRecord creates a Record with numMutable mutable fields, initialized to
+// the corresponding entries of initial (missing entries default to nil), and
+// with the given immutable fields. The record's info pointer starts at the
+// dummy SCX-record (state Aborted) and its marked bit is false, as required
+// by the algorithm.
+func NewRecord(numMutable int, initial []any, immutable ...any) *Record {
+	if numMutable < 0 {
+		panic("core: NewRecord with negative field count")
+	}
+	if len(initial) > numMutable {
+		panic(fmt.Sprintf("core: NewRecord given %d initial values for %d mutable fields",
+			len(initial), numMutable))
+	}
+	r := &Record{
+		mutable: make([]atomic.Pointer[box], numMutable),
+		immut:   immutable,
+	}
+	for i := range r.mutable {
+		b := &box{}
+		if i < len(initial) {
+			b.val = initial[i]
+		}
+		r.mutable[i].Store(b)
+	}
+	r.info.Store(dummySCXRecord)
+	return r
+}
+
+// NumMutable returns the number of mutable fields of r.
+func (r *Record) NumMutable() int { return len(r.mutable) }
+
+// NumImmutable returns the number of immutable fields of r.
+func (r *Record) NumImmutable() int { return len(r.immut) }
+
+// Read atomically reads mutable field i of r. Reads are permitted alongside
+// LLX: the paper linearizes plain reads, and Proposition 2 lets searches
+// traverse a structure with reads instead of LLXs.
+func (r *Record) Read(i int) any {
+	return r.mutable[i].Load().val
+}
+
+// Immutable returns immutable field i of r. Immutable fields never change
+// after creation, so they may be read without synchronization.
+func (r *Record) Immutable(i int) any { return r.immut[i] }
+
+// Finalized reports whether r has been finalized: r is marked and the SCX
+// that marked it has committed. A finalized record can never change again.
+func (r *Record) Finalized() bool {
+	inf := r.info.Load()
+	return r.marked.Load() && State(inf.state.Load()) == StateCommitted
+}
+
+// Frozen reports whether r is currently frozen for some SCX-record, per the
+// paper's Figure 8: r.info's state is InProgress, or it is Committed and r is
+// marked. Intended for tests and diagnostics; the value may be stale by the
+// time it is returned.
+func (r *Record) Frozen() bool {
+	inf := r.info.Load()
+	switch State(inf.state.Load()) {
+	case StateInProgress:
+		return true
+	case StateCommitted:
+		return r.marked.Load()
+	default:
+		return false
+	}
+}
+
+// FieldRef names one mutable field of one Record; it is the fld argument of
+// Process.SCX.
+type FieldRef struct {
+	Rec   *Record
+	Field int
+}
+
+// Field returns a FieldRef for mutable field i of r.
+func (r *Record) Field(i int) FieldRef {
+	if i < 0 || i >= len(r.mutable) {
+		panic(fmt.Sprintf("core: field index %d out of range [0,%d)", i, len(r.mutable)))
+	}
+	return FieldRef{Rec: r, Field: i}
+}

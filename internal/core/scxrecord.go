@@ -1,0 +1,72 @@
+package core
+
+import "sync/atomic"
+
+// State is the lifecycle state of an SCX-record (paper Figure 2/7). A newly
+// created SCX-record is InProgress; it transitions exactly once, to Committed
+// (the SCX's update took effect) or Aborted (the SCX failed to freeze all of
+// V). The dummy SCX-record is permanently Aborted.
+type State int32
+
+// SCX-record states.
+const (
+	StateInProgress State = iota + 1
+	StateCommitted
+	StateAborted
+)
+
+// String returns the state name for diagnostics.
+func (s State) String() string {
+	switch s {
+	case StateInProgress:
+		return "InProgress"
+	case StateCommitted:
+		return "Committed"
+	case StateAborted:
+		return "Aborted"
+	default:
+		return "InvalidState"
+	}
+}
+
+// SCXRecord is an operation descriptor holding enough information for any
+// process to complete an in-progress SCX (paper Figure 1). While an SCX is
+// active, the info fields of the records in its V sequence point at its
+// SCXRecord, freezing them: a frozen record may be changed only on behalf of
+// that SCX. SCXRecords are exposed read-only, for tests and instrumentation.
+type SCXRecord struct {
+	v          []*Record
+	r          []*Record
+	fld        *atomic.Pointer[box]
+	newBox     *box
+	oldBox     *box
+	state      atomic.Int32
+	allFrozen  atomic.Bool
+	infoFields []*SCXRecord
+}
+
+// dummySCXRecord is the SCX-record all Records' info fields initially point
+// at. It is permanently in state Aborted and no process ever helps it
+// (paper Lemma 11).
+var dummySCXRecord = newDummySCXRecord()
+
+func newDummySCXRecord() *SCXRecord {
+	u := &SCXRecord{}
+	u.state.Store(int32(StateAborted))
+	return u
+}
+
+// State returns the current state of u.
+func (u *SCXRecord) State() State { return State(u.state.Load()) }
+
+// AllFrozen reports whether u's allFrozen bit has been set, meaning every
+// record in V was frozen for u and the SCX can no longer be aborted.
+func (u *SCXRecord) AllFrozen() bool { return u.allFrozen.Load() }
+
+// V returns the records the SCX depends on, in freezing order. The returned
+// slice must not be modified.
+func (u *SCXRecord) V() []*Record { return u.v }
+
+// R returns the records the SCX finalizes. The returned slice must not be
+// modified.
+func (u *SCXRecord) R() []*Record { return u.r }

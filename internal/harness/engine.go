@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pragmaprim/internal/workload"
+)
+
+// Result is one timed throughput measurement.
+type Result struct {
+	Structure string
+	Threads   int
+	Mix       workload.Mix
+	Dist      workload.Distribution
+	KeyRange  int
+	Ops       int64
+	Seconds   float64
+}
+
+// OpsPerSec returns the measured throughput.
+func (r Result) OpsPerSec() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Seconds
+}
+
+// RunThroughput measures f under cfg with the given worker count for roughly
+// dur. The structure is prefilled with half the key range so searches hit
+// about half the time, the standard set-benchmark methodology.
+func RunThroughput(f Factory, cfg workload.Config, threads int, dur time.Duration) Result {
+	if err := cfg.Validate(); err != nil {
+		panic("harness: " + err.Error())
+	}
+	newSession := f.New()
+
+	pre := newSession()
+	for k := 0; k < cfg.KeyRange; k += 2 {
+		pre.Insert(k)
+	}
+
+	var (
+		start   = make(chan struct{})
+		stop    atomic.Bool
+		total   atomic.Int64
+		wg      sync.WaitGroup
+		elapsed time.Duration
+	)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := newSession()
+			keys := cfg.NewKeyGen(int64(w)*2 + 1)
+			ops := cfg.NewOpGen(int64(w)*2 + 2)
+			<-start
+			n := int64(0)
+			for !stop.Load() {
+				key := keys.Next()
+				switch ops.Next() {
+				case workload.OpGet:
+					s.Get(key)
+				case workload.OpInsert:
+					s.Insert(key)
+				default:
+					s.Delete(key)
+				}
+				n++
+			}
+			total.Add(n)
+		}(w)
+	}
+
+	t0 := time.Now()
+	close(start)
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed = time.Since(t0)
+
+	return Result{
+		Structure: f.Name,
+		Threads:   threads,
+		Mix:       cfg.Mix,
+		Dist:      cfg.Dist,
+		KeyRange:  cfg.KeyRange,
+		Ops:       total.Load(),
+		Seconds:   elapsed.Seconds(),
+	}
+}

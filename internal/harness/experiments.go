@@ -1,0 +1,395 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/history"
+	"pragmaprim/internal/linearizability"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/mwcas"
+	"pragmaprim/internal/stats"
+	"pragmaprim/internal/workload"
+)
+
+// newRecords builds n single-field records initialized to their index.
+func newRecords(n int) []*core.Record {
+	recs := make([]*core.Record, n)
+	for i := range recs {
+		recs[i] = core.NewRecord(2, []any{i, nil}, i)
+	}
+	return recs
+}
+
+// E1StepCount reproduces claim A1 (Section 1): an uncontended SCX over k
+// records finalizing f of them costs k+1 CAS steps and f+2 writes, LLXs
+// included.
+func E1StepCount() *stats.Table {
+	t := stats.NewTable(
+		"E1: uncontended SCX cost — paper claim: k+1 CAS steps, f+2 writes (Sec. 1)",
+		"k", "f", "CAS(measured)", "CAS(paper)", "writes(measured)", "writes(paper)", "match")
+	for k := 1; k <= 5; k++ {
+		for _, f := range []int{0, k / 2, k} {
+			p := core.NewProcess()
+			recs := newRecords(k)
+			for _, r := range recs {
+				if _, st := p.LLX(r); st != core.LLXOK {
+					panic("harness: LLX failed on private record")
+				}
+			}
+			p.Metrics.Reset()
+			if !p.SCX(recs, recs[k-f:], recs[0].Field(1), "new") {
+				panic("harness: uncontended SCX failed")
+			}
+			cas, writes := p.Metrics.CASSteps(), p.Metrics.WriteSteps()
+			match := cas == int64(k+1) && writes == int64(f+2)
+			t.AddRow(k, f, cas, k+1, writes, f+2, match)
+		}
+	}
+	return t
+}
+
+// E2VLXReads reproduces claim A2 (Section 1): a VLX over k records performs
+// exactly k shared-memory reads and no CAS.
+func E2VLXReads() *stats.Table {
+	t := stats.NewTable(
+		"E2: VLX cost — paper claim: k reads, 0 CAS (Sec. 1)",
+		"k", "reads(measured)", "reads(paper)", "CAS(measured)", "match")
+	for k := 1; k <= 8; k++ {
+		p := core.NewProcess()
+		recs := newRecords(k)
+		for _, r := range recs {
+			if _, st := p.LLX(r); st != core.LLXOK {
+				panic("harness: LLX failed on private record")
+			}
+		}
+		p.Metrics.Reset()
+		if !p.VLX(recs) {
+			panic("harness: uncontended VLX failed")
+		}
+		reads, cas := p.Metrics.VLXReads, p.Metrics.CASSteps()
+		t.AddRow(k, reads, k, cas, reads == int64(k) && cas == 0)
+	}
+	return t
+}
+
+// E3Disjoint reproduces claim A3 (Sections 1, 3.2): concurrent SCXs over
+// disjoint V-sets all succeed; overlapping SCXs may fail individually but
+// the system makes progress (every process finishes its quota).
+func E3Disjoint() *stats.Table {
+	t := stats.NewTable(
+		"E3: SCX success under disjoint vs. shared records — paper claim: disjoint SCXs all succeed (Sec. 1)",
+		"mode", "procs", "SCX attempts", "successes", "success%", "quota met")
+	const perProc = 20000
+
+	for _, procs := range []int{2, 4, 8} {
+		for _, shared := range []bool{false, true} {
+			recs := newRecords(procs)
+			metrics := make([]core.Metrics, procs)
+			var wg sync.WaitGroup
+			for g := 0; g < procs; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					p := core.NewProcess()
+					r := recs[g]
+					if shared {
+						r = recs[0]
+					}
+					done := 0
+					for done < perProc {
+						snap, st := p.LLX(r)
+						if st != core.LLXOK {
+							continue
+						}
+						if p.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
+							done++
+						}
+					}
+					metrics[g] = p.Metrics
+				}(g)
+			}
+			wg.Wait()
+
+			var total core.Metrics
+			for i := range metrics {
+				total.Add(&metrics[i])
+			}
+			mode := "disjoint"
+			if shared {
+				mode = "shared"
+			}
+			rate := 100 * float64(total.SCXSuccesses) / float64(total.SCXOps)
+			t.AddRow(mode, procs, total.SCXOps, total.SCXSuccesses,
+				rate, total.SCXSuccesses == int64(procs*perProc))
+		}
+	}
+	return t
+}
+
+// E4KCASComparison reproduces claim A4 (Section 2): uncontended k-CAS costs
+// 2k+1 CAS steps where SCX over the same k records costs k+1.
+func E4KCASComparison() *stats.Table {
+	t := stats.NewTable(
+		"E4: SCX vs. k-CAS step counts — paper claim: k+1 vs. 2k+1 CAS (Sec. 2)",
+		"k", "SCX CAS", "SCX paper", "kCAS CAS", "kCAS paper", "kCAS/SCX", "match")
+	for k := 1; k <= 6; k++ {
+		// SCX side.
+		p := core.NewProcess()
+		recs := newRecords(k)
+		for _, r := range recs {
+			if _, st := p.LLX(r); st != core.LLXOK {
+				panic("harness: LLX failed")
+			}
+		}
+		p.Metrics.Reset()
+		if !p.SCX(recs, nil, recs[0].Field(0), -1) {
+			panic("harness: SCX failed")
+		}
+		scxCAS := p.Metrics.CASSteps()
+
+		// k-CAS side.
+		cells := make([]*mwcas.Cell[int], k)
+		old := make([]int, k)
+		newv := make([]int, k)
+		for i := range cells {
+			cells[i] = mwcas.NewCell(i)
+			old[i], newv[i] = i, i+1000
+		}
+		var st mwcas.Stats
+		if !mwcas.MWCAS(cells, old, newv, &st) {
+			panic("harness: MWCAS failed")
+		}
+		kcasCAS := st.CASAttempts.Load()
+
+		ratio := float64(kcasCAS) / float64(scxCAS)
+		t.AddRow(k, scxCAS, k+1, kcasCAS, 2*k+1, ratio,
+			scxCAS == int64(k+1) && kcasCAS == int64(2*k+1))
+	}
+	return t
+}
+
+// E5Progress reproduces claim A5 (Section 3.2, P1-P4): with processes
+// stalled mid-SCX (the moral equivalent of crashes), the remaining processes
+// help the stalled operations to completion and keep finishing their own.
+func E5Progress() *stats.Table {
+	t := stats.NewTable(
+		"E5: progress with stalled operators — paper claim: non-blocking via helping (Sec. 3.2, 4)",
+		"stalled ops", "survivors", "ops/survivor", "completed", "all quotas met")
+
+	const stallTarget = 2
+	const survivors = 4
+	const perSurvivor = 5000
+
+	recs := newRecords(4)
+
+	var stalledCount atomic.Int32
+	release := make(chan struct{})
+	stalledSCXs := make(chan struct{}, stallTarget)
+	core.SetStepHook(func(k core.StepKind, _ *core.SCXRecord, _ *core.Record) {
+		if k != core.StepUpdateCAS {
+			return
+		}
+		if n := stalledCount.Add(1); n <= stallTarget {
+			stalledSCXs <- struct{}{}
+			<-release
+		}
+	})
+	defer core.SetStepHook(nil)
+
+	// Victims: their SCXs freeze records and stall just before the update
+	// CAS, like a crashed process would.
+	var victims sync.WaitGroup
+	for v := 0; v < stallTarget; v++ {
+		victims.Add(1)
+		go func(v int) {
+			defer victims.Done()
+			p := core.NewProcess()
+			r := recs[v]
+			if _, st := p.LLX(r); st != core.LLXOK {
+				return
+			}
+			p.SCX([]*core.Record{r}, nil, r.Field(0), -1-v)
+		}(v)
+	}
+	for i := 0; i < stallTarget; i++ {
+		<-stalledSCXs // both victims are now frozen mid-SCX
+	}
+
+	// Survivors operate on the same records and must make progress by
+	// helping the stalled SCXs.
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < survivors; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := core.NewProcess()
+			rng := rand.New(rand.NewSource(int64(g)))
+			done := 0
+			for done < perSurvivor {
+				r := recs[rng.Intn(len(recs))]
+				snap, st := p.LLX(r)
+				if st != core.LLXOK {
+					continue
+				}
+				if p.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
+					done++
+					completed.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(release)
+	victims.Wait()
+
+	t.AddRow(stallTarget, survivors, perSurvivor, completed.Load(),
+		completed.Load() == int64(survivors*perSurvivor))
+	return t
+}
+
+// E6Transitions reproduces claim A6 (Figures 2/3/7): under a contended
+// workload, every sampled (state, allFrozen) pair of every SCX-record is a
+// vertex of Figure 2, and every record ends Committed or Aborted.
+func E6Transitions() *stats.Table {
+	t := stats.NewTable(
+		"E6: SCX-record state machine — paper claim: only Fig. 2 vertices occur",
+		"state", "allFrozen", "samples", "valid vertex")
+
+	type pair struct {
+		state  core.State
+		frozen bool
+	}
+	counts := make(map[pair]int64)
+	var mu sync.Mutex
+	core.SetStepHook(func(_ core.StepKind, u *core.SCXRecord, _ *core.Record) {
+		p := pair{state: u.State(), frozen: u.AllFrozen()}
+		mu.Lock()
+		counts[p]++
+		mu.Unlock()
+	})
+	defer core.SetStepHook(nil)
+
+	recs := newRecords(3)
+	const procs = 4
+	const perProc = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				a, b := recs[(g+i)%3], recs[(g+i+1)%3]
+				if _, st := p.LLX(a); st != core.LLXOK {
+					continue
+				}
+				if _, st := p.LLX(b); st != core.LLXOK {
+					continue
+				}
+				p.SCX([]*core.Record{a, b}, nil, a.Field(0), g*perProc+i)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	valid := func(p pair) bool {
+		switch p.state {
+		case core.StateInProgress:
+			return true
+		case core.StateCommitted:
+			return p.frozen
+		case core.StateAborted:
+			return !p.frozen
+		default:
+			return false
+		}
+	}
+	for _, p := range []pair{
+		{core.StateInProgress, false},
+		{core.StateInProgress, true},
+		{core.StateCommitted, true},
+		{core.StateAborted, false},
+		{core.StateCommitted, false}, // must have 0 samples
+		{core.StateAborted, true},    // must have 0 samples
+	} {
+		t.AddRow(p.state.String(), p.frozen, counts[p], valid(p) || counts[p] == 0)
+	}
+	return t
+}
+
+// E7Linearizability reproduces claim A7 (Theorem 6): recorded concurrent
+// multiset histories are linearizable per the Wing-Gong checker.
+func E7Linearizability(rounds int) *stats.Table {
+	t := stats.NewTable(
+		"E7: multiset linearizability — paper claim: Theorem 6",
+		"procs", "ops/proc", "rounds", "linearizable")
+	const procs = 3
+	const opsPerProc = 5
+	const keyRange = 3
+
+	passed := 0
+	for round := 0; round < rounds; round++ {
+		m := multiset.New[int]()
+		rec := history.NewRecorder(procs)
+		var wg sync.WaitGroup
+		for g := 0; g < procs; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*procs + g)))
+				p := core.NewProcess()
+				pr := rec.Proc(g)
+				for i := 0; i < opsPerProc; i++ {
+					key := rng.Intn(keyRange)
+					count := 1 + rng.Intn(2)
+					switch rng.Intn(3) {
+					case 0:
+						pr.Invoke(linearizability.MultisetInput{Op: "insert", Key: key, Count: count},
+							func() any { m.Insert(p, key, count); return nil })
+					case 1:
+						pr.Invoke(linearizability.MultisetInput{Op: "delete", Key: key, Count: count},
+							func() any { return m.Delete(p, key, count) })
+					default:
+						pr.Invoke(linearizability.MultisetInput{Op: "get", Key: key},
+							func() any { return m.Get(p, key) })
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if linearizability.Check(linearizability.MultisetModel(), rec.Ops()) {
+			passed++
+		}
+	}
+	t.AddRow(procs, opsPerProc, rounds, fmt.Sprintf("%d/%d", passed, rounds))
+	return t
+}
+
+// E8Throughput reproduces claim A8 (Section 6): the LLX/SCX structures scale
+// with threads while the coarse lock serializes; it prints the thread-sweep
+// series for each structure and mix.
+func E8Throughput(threads []int, dur time.Duration) *stats.Table {
+	t := stats.NewTable(
+		"E8: throughput scaling, ops/sec (prefilled to half of key range)",
+		"structure", "mix(g/i/d)", "dist", "keys", "threads", "Mops/s")
+	cfgs := []workload.Config{
+		{KeyRange: 1 << 10, Dist: workload.Uniform, Mix: workload.ReadMostly},
+		{KeyRange: 1 << 10, Dist: workload.Uniform, Mix: workload.UpdateHeavy},
+	}
+	for _, f := range Factories() {
+		for _, cfg := range cfgs {
+			for _, th := range threads {
+				r := RunThroughput(f, cfg, th, dur)
+				t.AddRow(r.Structure, r.Mix.String(), string(r.Dist), r.KeyRange,
+					r.Threads, r.OpsPerSec()/1e6)
+			}
+		}
+	}
+	return t
+}

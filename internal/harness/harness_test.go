@@ -1,0 +1,142 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pragmaprim/internal/harness"
+	"pragmaprim/internal/stats"
+	"pragmaprim/internal/workload"
+)
+
+// lastColumnAll asserts every row's last cell equals want.
+func lastColumnAll(t *testing.T, tb *stats.Table, want string) {
+	t.Helper()
+	rows := tb.Rows()
+	if len(rows) == 0 {
+		t.Fatal("table has no rows")
+	}
+	for i, row := range rows {
+		if got := row[len(row)-1]; got != want {
+			t.Errorf("row %d: verdict %q, want %q (row=%v)", i, got, want, row)
+		}
+	}
+}
+
+func TestE1StepCountMatchesPaper(t *testing.T) {
+	lastColumnAll(t, harness.E1StepCount(), "true")
+}
+
+func TestE2VLXReadsMatchesPaper(t *testing.T) {
+	lastColumnAll(t, harness.E2VLXReads(), "true")
+}
+
+func TestE3DisjointQuotasMet(t *testing.T) {
+	tb := harness.E3Disjoint()
+	lastColumnAll(t, tb, "true") // all quotas met in both modes (progress)
+	// Disjoint rows must additionally show a 100% success rate.
+	for _, row := range tb.Rows() {
+		if row[0] == "disjoint" && row[4] != "100" {
+			t.Errorf("disjoint success rate = %v, want 100", row[4])
+		}
+	}
+}
+
+func TestE4KCASComparisonMatchesPaper(t *testing.T) {
+	lastColumnAll(t, harness.E4KCASComparison(), "true")
+}
+
+func TestE5ProgressWithStalledOps(t *testing.T) {
+	lastColumnAll(t, harness.E5Progress(), "true")
+}
+
+func TestE6TransitionsOnlyValidVertices(t *testing.T) {
+	tb := harness.E6Transitions()
+	lastColumnAll(t, tb, "true")
+	// The two impossible vertices must have zero samples.
+	for _, row := range tb.Rows() {
+		impossible := (row[0] == "Committed" && row[1] == "false") ||
+			(row[0] == "Aborted" && row[1] == "true")
+		if impossible && row[2] != "0" {
+			t.Errorf("impossible vertex sampled: %v", row)
+		}
+	}
+}
+
+func TestE7LinearizabilityAllRoundsPass(t *testing.T) {
+	tb := harness.E7Linearizability(10)
+	rows := tb.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	if got := rows[0][3]; got != "10/10" {
+		t.Errorf("linearizable = %q, want 10/10", got)
+	}
+}
+
+func TestE8ThroughputProducesAllCells(t *testing.T) {
+	tb := harness.E8Throughput([]int{1, 2}, 20*time.Millisecond)
+	rows := tb.Rows()
+	// 5 structures x 2 mixes x 2 thread counts.
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(rows))
+	}
+	for _, row := range rows {
+		if row[5] == "0" || strings.HasPrefix(row[5], "-") {
+			t.Errorf("non-positive throughput: %v", row)
+		}
+	}
+}
+
+func TestFactoryByName(t *testing.T) {
+	for _, name := range []string{"llx-multiset", "llx-bst", "llx-trie", "coarse-lock", "fine-lock"} {
+		f, ok := harness.FactoryByName(name)
+		if !ok || f.Name != name {
+			t.Errorf("FactoryByName(%q) = (%v,%v)", name, f.Name, ok)
+		}
+	}
+	if _, ok := harness.FactoryByName("nope"); ok {
+		t.Error("unknown factory found")
+	}
+}
+
+func TestSessionsBehaveLikeSets(t *testing.T) {
+	for _, f := range harness.Factories() {
+		t.Run(f.Name, func(t *testing.T) {
+			mk := f.New()
+			s := mk()
+			// Smoke: the session API must tolerate any op order.
+			s.Insert(5)
+			s.Get(5)
+			s.Delete(5)
+			s.Delete(5)
+			s.Get(5)
+		})
+	}
+}
+
+func TestRunThroughputCountsOps(t *testing.T) {
+	cfg := workload.Config{KeyRange: 128, Dist: workload.Uniform, Mix: workload.Balanced}
+	r := harness.RunThroughput(harness.LLXMultisetFactory(), cfg, 2, 30*time.Millisecond)
+	if r.Ops <= 0 {
+		t.Fatalf("Ops = %d, want > 0", r.Ops)
+	}
+	if r.OpsPerSec() <= 0 {
+		t.Fatalf("OpsPerSec = %v", r.OpsPerSec())
+	}
+	if r.Structure != "llx-multiset" || r.Threads != 2 {
+		t.Errorf("result metadata wrong: %+v", r)
+	}
+}
+
+func TestRunThroughputRejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid config")
+		}
+	}()
+	harness.RunThroughput(harness.LLXMultisetFactory(),
+		workload.Config{KeyRange: 0, Dist: workload.Uniform, Mix: workload.Balanced},
+		1, time.Millisecond)
+}

@@ -1,0 +1,156 @@
+// Package harness runs the experiments E1-E8 catalogued in DESIGN.md and
+// EXPERIMENTS.md: it wraps every data structure behind a uniform session
+// interface, drives them with package workload, and renders the paper-claim
+// versus measured tables that cmd/bench prints.
+package harness
+
+import (
+	"pragmaprim/internal/bst"
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/lockds"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/trie"
+)
+
+// Session is one worker's handle onto a shared structure under test. A
+// Session is not safe for concurrent use; the structure behind it is.
+type Session interface {
+	// Get looks key up.
+	Get(key int)
+	// Insert adds key (one occurrence / a mapping).
+	Insert(key int)
+	// Delete removes key (one occurrence / the mapping).
+	Delete(key int)
+}
+
+// Factory names a structure under test and builds fresh instances of it.
+type Factory struct {
+	// Name identifies the structure in tables ("llx-multiset", ...).
+	Name string
+	// New creates one shared structure and returns a constructor for
+	// per-worker sessions onto it.
+	New func() func() Session
+}
+
+// Factories returns every structure the throughput experiments compare:
+// the paper's LLX/SCX multiset, the LLX/SCX external BST, the LLX/SCX
+// Patricia trie, and the two lock-based baselines.
+func Factories() []Factory {
+	return []Factory{
+		LLXMultisetFactory(),
+		LLXBSTFactory(),
+		LLXTrieFactory(),
+		CoarseLockFactory(),
+		FineLockFactory(),
+	}
+}
+
+// FactoryByName returns the named factory, or false.
+func FactoryByName(name string) (Factory, bool) {
+	for _, f := range Factories() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}
+
+// LLXMultisetFactory wraps the paper's Section 5 multiset.
+func LLXMultisetFactory() Factory {
+	return Factory{
+		Name: "llx-multiset",
+		New: func() func() Session {
+			m := multiset.New[int]()
+			return func() Session {
+				return &llxMultisetSession{m: m, p: core.NewProcess()}
+			}
+		},
+	}
+}
+
+type llxMultisetSession struct {
+	m *multiset.Multiset[int]
+	p *core.Process
+}
+
+func (s *llxMultisetSession) Get(key int)    { s.m.Get(s.p, key) }
+func (s *llxMultisetSession) Insert(key int) { s.m.Insert(s.p, key, 1) }
+func (s *llxMultisetSession) Delete(key int) { s.m.Delete(s.p, key, 1) }
+
+// LLXBSTFactory wraps the LLX/SCX external BST with map semantics.
+func LLXBSTFactory() Factory {
+	return Factory{
+		Name: "llx-bst",
+		New: func() func() Session {
+			t := bst.New[int, int]()
+			return func() Session {
+				return &llxBSTSession{t: t, p: core.NewProcess()}
+			}
+		},
+	}
+}
+
+type llxBSTSession struct {
+	t *bst.Tree[int, int]
+	p *core.Process
+}
+
+func (s *llxBSTSession) Get(key int)    { s.t.Get(s.p, key) }
+func (s *llxBSTSession) Insert(key int) { s.t.Put(s.p, key, key) }
+func (s *llxBSTSession) Delete(key int) { s.t.Delete(s.p, key) }
+
+// LLXTrieFactory wraps the LLX/SCX Patricia trie with map semantics.
+func LLXTrieFactory() Factory {
+	return Factory{
+		Name: "llx-trie",
+		New: func() func() Session {
+			t := trie.New[int]()
+			return func() Session {
+				return &llxTrieSession{t: t, p: core.NewProcess()}
+			}
+		},
+	}
+}
+
+type llxTrieSession struct {
+	t *trie.Trie[int]
+	p *core.Process
+}
+
+func (s *llxTrieSession) Get(key int)    { s.t.Get(s.p, uint64(key)) }
+func (s *llxTrieSession) Insert(key int) { s.t.Put(s.p, uint64(key), key) }
+func (s *llxTrieSession) Delete(key int) { s.t.Delete(s.p, uint64(key)) }
+
+// CoarseLockFactory wraps the single-mutex list baseline.
+func CoarseLockFactory() Factory {
+	return Factory{
+		Name: "coarse-lock",
+		New: func() func() Session {
+			m := lockds.NewCoarse()
+			return func() Session { return coarseSession{m: m} }
+		},
+	}
+}
+
+type coarseSession struct{ m *lockds.CoarseMultiset }
+
+func (s coarseSession) Get(key int)    { s.m.Get(key) }
+func (s coarseSession) Insert(key int) { s.m.Insert(key, 1) }
+func (s coarseSession) Delete(key int) { s.m.Delete(key, 1) }
+
+// FineLockFactory wraps the hand-over-hand lock list baseline.
+func FineLockFactory() Factory {
+	return Factory{
+		Name: "fine-lock",
+		New: func() func() Session {
+			m := lockds.NewFine()
+			return func() Session { return fineSession{m: m} }
+		},
+	}
+}
+
+type fineSession struct{ m *lockds.FineMultiset }
+
+func (s fineSession) Get(key int)    { s.m.Get(key) }
+func (s fineSession) Insert(key int) { s.m.Insert(key, 1) }
+func (s fineSession) Delete(key int) { s.m.Delete(key, 1) }

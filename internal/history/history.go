@@ -1,0 +1,76 @@
+// Package history records concurrent operation histories — invocation and
+// response ordering plus inputs and outputs — for offline linearizability
+// checking (experiment E7 reproduces the paper's Theorem 6 this way). A
+// global atomic counter provides the real-time order; two events get
+// distinct timestamps, so "op A returned before op B was invoked" is
+// unambiguous.
+package history
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Op is one completed operation in a history.
+type Op struct {
+	Proc   int   // recording process id
+	Call   int64 // timestamp immediately before invocation
+	Return int64 // timestamp immediately after response
+	Input  any   // operation description (model-specific)
+	Output any   // observed response (model-specific)
+}
+
+// Recorder collects a history from a fixed set of processes with no
+// cross-process synchronization beyond the shared clock. Create with
+// NewRecorder; hand each goroutine its own ProcRecorder.
+type Recorder struct {
+	clock atomic.Int64
+	procs []ProcRecorder
+}
+
+// NewRecorder returns a recorder for procs processes.
+func NewRecorder(procs int) *Recorder {
+	r := &Recorder{procs: make([]ProcRecorder, procs)}
+	for i := range r.procs {
+		r.procs[i].rec = r
+		r.procs[i].proc = i
+	}
+	return r
+}
+
+// Proc returns process i's recorder. Each ProcRecorder belongs to a single
+// goroutine.
+func (r *Recorder) Proc(i int) *ProcRecorder { return &r.procs[i] }
+
+// Ops returns every recorded operation, sorted by invocation time. Call it
+// only after all recording goroutines have finished.
+func (r *Recorder) Ops() []Op {
+	var ops []Op
+	for i := range r.procs {
+		ops = append(ops, r.procs[i].ops...)
+	}
+	sort.Slice(ops, func(a, b int) bool { return ops[a].Call < ops[b].Call })
+	return ops
+}
+
+// ProcRecorder records the operations of one process.
+type ProcRecorder struct {
+	rec  *Recorder
+	proc int
+	ops  []Op
+}
+
+// Invoke runs f as one operation with the given input description and
+// records its timestamps and output.
+func (p *ProcRecorder) Invoke(input any, f func() any) {
+	call := p.rec.clock.Add(1)
+	out := f()
+	ret := p.rec.clock.Add(1)
+	p.ops = append(p.ops, Op{
+		Proc:   p.proc,
+		Call:   call,
+		Return: ret,
+		Input:  input,
+		Output: out,
+	})
+}

@@ -1,0 +1,90 @@
+package history_test
+
+import (
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/history"
+)
+
+func TestInvokeRecordsTimestampsAndPayload(t *testing.T) {
+	rec := history.NewRecorder(1)
+	p := rec.Proc(0)
+	p.Invoke("in1", func() any { return "out1" })
+	p.Invoke("in2", func() any { return nil })
+
+	ops := rec.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("len(ops) = %d", len(ops))
+	}
+	if ops[0].Input != "in1" || ops[0].Output != "out1" {
+		t.Errorf("op0 = %+v", ops[0])
+	}
+	if ops[1].Input != "in2" || ops[1].Output != nil {
+		t.Errorf("op1 = %+v", ops[1])
+	}
+	if !(ops[0].Call < ops[0].Return && ops[0].Return < ops[1].Call && ops[1].Call < ops[1].Return) {
+		t.Errorf("timestamps not strictly ordered: %+v", ops)
+	}
+}
+
+func TestOpsSortedByCallAcrossProcs(t *testing.T) {
+	rec := history.NewRecorder(3)
+	// Interleave invocations across processes from one goroutine so the
+	// expected global order is deterministic.
+	for i := 0; i < 9; i++ {
+		rec.Proc(i%3).Invoke(i, func() any { return nil })
+	}
+	ops := rec.Ops()
+	if len(ops) != 9 {
+		t.Fatalf("len(ops) = %d", len(ops))
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1].Call >= ops[i].Call {
+			t.Fatalf("ops not sorted by Call at %d", i)
+		}
+	}
+	for i, op := range ops {
+		if op.Input != i {
+			t.Errorf("op %d input = %v", i, op.Input)
+		}
+		if op.Proc != i%3 {
+			t.Errorf("op %d proc = %d, want %d", i, op.Proc, i%3)
+		}
+	}
+}
+
+func TestConcurrentRecordingTimestampsUnique(t *testing.T) {
+	const procs = 4
+	const perProc = 200
+	rec := history.NewRecorder(procs)
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := rec.Proc(g)
+			for i := 0; i < perProc; i++ {
+				p.Invoke(i, func() any { return i })
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	ops := rec.Ops()
+	if len(ops) != procs*perProc {
+		t.Fatalf("len(ops) = %d", len(ops))
+	}
+	seen := make(map[int64]bool, 2*len(ops))
+	for _, op := range ops {
+		if op.Call >= op.Return {
+			t.Fatalf("op has Call >= Return: %+v", op)
+		}
+		for _, ts := range []int64{op.Call, op.Return} {
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %d", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}

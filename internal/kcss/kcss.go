@@ -1,0 +1,98 @@
+// Package kcss implements k-compare-single-swap (Luchangco, Moir and Shavit
+// [14]), the closest prior primitive the paper compares SCX against
+// (Section 2). KCSS atomically tests that k locations hold expected values
+// and, if so, writes a new value to the first of them.
+//
+// The implementation follows the original construction: an LL on the target
+// location, two identity-based collects of the other k-1 locations (standing
+// in for the version-numbered reads of the original), and an SC on the
+// target. It is obstruction-free — a process running alone terminates — but
+// unlike SCX it is not non-blocking under contention, and it cannot finalize
+// records; the paper's Section 2 discusses exactly these gaps.
+package kcss
+
+import (
+	"pragmaprim/internal/llsc"
+)
+
+// Handle is the per-process context for KCSS operations. One per goroutine;
+// not safe for concurrent use.
+type Handle[T comparable] struct {
+	h *llsc.Handle[T]
+
+	// Attempts counts internal retries of the collect phase, for the
+	// experiment harness.
+	Attempts int64
+}
+
+// NewHandle returns a fresh per-process handle.
+func NewHandle[T comparable]() *Handle[T] {
+	return &Handle[T]{h: llsc.NewHandle[T]()}
+}
+
+// Read returns the current value of a location.
+func (k *Handle[T]) Read(l *llsc.Loc[T]) T { return l.Load() }
+
+// KCSS atomically checks that locs[i] holds expected[i] for every i and, if
+// so, stores newVal into locs[0] and returns true. If some location holds an
+// unexpected value it returns false. Under contention the operation retries
+// internally (obstruction freedom): it terminates whenever it runs in
+// isolation for long enough.
+//
+// locs must be non-empty and duplicate-free; expected must have the same
+// length as locs.
+func (k *Handle[T]) KCSS(locs []*llsc.Loc[T], expected []T, newVal T) bool {
+	if len(locs) == 0 {
+		panic("kcss: KCSS with no locations")
+	}
+	if len(expected) != len(locs) {
+		panic("kcss: expected-values length does not match locations")
+	}
+	for {
+		k.Attempts++
+		// Step 1: LL the swap target and test its expected value.
+		if k.h.LL(locs[0]) != expected[0] {
+			return false
+		}
+		// Step 2: first collect of the remaining locations.
+		snap1, ok := collect(locs[1:], expected[1:])
+		if !ok {
+			return false
+		}
+		// Step 3: second collect; both collects must witness the very same
+		// writes, which (with the LL/SC link on locs[0]) pins an instant at
+		// which all k locations simultaneously held the expected values.
+		snap2, ok := collect(locs[1:], expected[1:])
+		if !ok {
+			return false
+		}
+		same := true
+		for i := range snap1 {
+			if !snap1[i].Same(snap2[i]) {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue // interference between collects; retry
+		}
+		// Step 4: SC the new value. Failure means locs[0] was written after
+		// our LL; retry from scratch.
+		if k.h.SC(locs[0], newVal) {
+			return true
+		}
+	}
+}
+
+// collect snapshots each location and compares against the expected values.
+// It returns ok=false on a value mismatch.
+func collect[T comparable](locs []*llsc.Loc[T], expected []T) ([]llsc.Snapshot[T], bool) {
+	snaps := make([]llsc.Snapshot[T], len(locs))
+	for i, l := range locs {
+		snaps[i] = l.TakeSnapshot()
+		if snaps[i].Value() != expected[i] {
+			return nil, false
+		}
+	}
+	return snaps, true
+}

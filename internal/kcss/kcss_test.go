@@ -1,0 +1,138 @@
+package kcss_test
+
+import (
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/kcss"
+	"pragmaprim/internal/llsc"
+)
+
+func locs(vals ...int) []*llsc.Loc[int] {
+	ls := make([]*llsc.Loc[int], len(vals))
+	for i, v := range vals {
+		ls[i] = llsc.NewLoc(v)
+	}
+	return ls
+}
+
+func TestKCSSSucceedsWhenAllMatch(t *testing.T) {
+	ls := locs(1, 2, 3)
+	h := kcss.NewHandle[int]()
+	if !h.KCSS(ls, []int{1, 2, 3}, 10) {
+		t.Fatal("KCSS failed though all values matched")
+	}
+	if got := ls[0].Load(); got != 10 {
+		t.Errorf("target = %d, want 10", got)
+	}
+	for i := 1; i < 3; i++ {
+		if got := ls[i].Load(); got != i+1 {
+			t.Errorf("loc[%d] = %d, want unchanged %d", i, got, i+1)
+		}
+	}
+}
+
+func TestKCSSFailsOnTargetMismatch(t *testing.T) {
+	ls := locs(1, 2)
+	h := kcss.NewHandle[int]()
+	if h.KCSS(ls, []int{9, 2}, 10) {
+		t.Fatal("KCSS succeeded with mismatched target")
+	}
+	if got := ls[0].Load(); got != 1 {
+		t.Errorf("target = %d, want unchanged 1", got)
+	}
+}
+
+func TestKCSSFailsOnCompareLocationMismatch(t *testing.T) {
+	ls := locs(1, 2, 3)
+	h := kcss.NewHandle[int]()
+	if h.KCSS(ls, []int{1, 2, 9}, 10) {
+		t.Fatal("KCSS succeeded with a mismatched compare location")
+	}
+	if got := ls[0].Load(); got != 1 {
+		t.Errorf("target = %d, want unchanged 1", got)
+	}
+}
+
+func TestKCSSSingleLocationDegeneratesToCAS(t *testing.T) {
+	ls := locs(5)
+	h := kcss.NewHandle[int]()
+	if !h.KCSS(ls, []int{5}, 6) {
+		t.Fatal("1-KCSS failed")
+	}
+	if h.KCSS(ls, []int{5}, 7) {
+		t.Fatal("1-KCSS succeeded with stale expectation")
+	}
+	if got := ls[0].Load(); got != 6 {
+		t.Errorf("value = %d, want 6", got)
+	}
+}
+
+func TestKCSSPanics(t *testing.T) {
+	h := kcss.NewHandle[int]()
+	for name, f := range map[string]func(){
+		"Empty":          func() { h.KCSS(nil, nil, 1) },
+		"LengthMismatch": func() { h.KCSS(locs(1, 2), []int{1}, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestKCSSRead(t *testing.T) {
+	l := llsc.NewLoc(7)
+	h := kcss.NewHandle[int]()
+	if got := h.Read(l); got != 7 {
+		t.Errorf("Read = %d, want 7", got)
+	}
+}
+
+// TestKCSSConcurrentGuardedCounter increments loc[0] only while a guard
+// location holds its expected value; no increment may be lost and none may
+// land after the guard flips.
+func TestKCSSConcurrentGuardedCounter(t *testing.T) {
+	const procs = 4
+	const perProc = 500
+	counter := llsc.NewLoc(0)
+	guard := llsc.NewLoc(0) // stays 0 throughout phase 1
+
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := kcss.NewHandle[int]()
+			for i := 0; i < perProc; i++ {
+				for {
+					v := h.Read(counter)
+					if h.KCSS([]*llsc.Loc[int]{counter, guard}, []int{v, 0}, v+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := counter.Load(); got != procs*perProc {
+		t.Fatalf("counter = %d, want %d", got, procs*perProc)
+	}
+
+	// Flip the guard; every further guarded increment must fail.
+	h := kcss.NewHandle[int]()
+	if !h.KCSS([]*llsc.Loc[int]{guard}, []int{0}, 1) {
+		t.Fatal("guard flip failed")
+	}
+	v := h.Read(counter)
+	if h.KCSS([]*llsc.Loc[int]{counter, guard}, []int{v, 0}, v+1) {
+		t.Fatal("KCSS succeeded against a flipped guard")
+	}
+	if got := counter.Load(); got != procs*perProc {
+		t.Fatalf("counter moved after guard flip: %d", got)
+	}
+}

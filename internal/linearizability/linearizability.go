@@ -1,0 +1,86 @@
+// Package linearizability implements the Wing-Gong linearizability checker:
+// given a sequential model and a recorded concurrent history, it decides
+// whether some linearization — a total order of the operations consistent
+// with the history's real-time order — exists in which every operation's
+// recorded output matches the model. The test suite uses it to validate the
+// paper's Theorem 6 (the multiset is linearizable) on real concurrent runs.
+//
+// The search is exponential in the worst case; it memoizes on the pair
+// (set of linearized ops, model state) and is intended for the small
+// histories the tests record (up to 63 operations).
+package linearizability
+
+import (
+	"fmt"
+	"reflect"
+
+	"pragmaprim/internal/history"
+)
+
+// Model is a deterministic sequential specification.
+type Model struct {
+	// Init returns the initial state.
+	Init func() any
+	// Step applies input to state, returning the successor state and the
+	// specified output. Step must not mutate state: return a fresh value.
+	Step func(state, input any) (newState, output any)
+	// Hash returns a canonical fingerprint of state, used for memoization.
+	// States with equal fingerprints must be behaviorally identical.
+	Hash func(state any) string
+}
+
+// Check reports whether ops is linearizable with respect to m.
+func Check(m Model, ops []history.Op) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	if n > 63 {
+		panic(fmt.Sprintf("linearizability: history of %d ops exceeds the 63-op limit", n))
+	}
+
+	all := uint64(1)<<n - 1
+	// visited marks (linearized-set, state) pairs already proven dead ends.
+	visited := make(map[string]bool)
+
+	var rec func(mask uint64, state any) bool
+	rec = func(mask uint64, state any) bool {
+		if mask == all {
+			return true
+		}
+		key := fmt.Sprintf("%x|%s", mask, m.Hash(state))
+		if visited[key] {
+			return false
+		}
+		// An op may linearize next iff no other unlinearized op returned
+		// before it was invoked.
+		minRet := int64(1<<62 - 1)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 && ops[i].Return < minRet {
+				minRet = ops[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 || ops[i].Call > minRet {
+				continue
+			}
+			next, out := m.Step(state, ops[i].Input)
+			if !outputsEqual(out, ops[i].Output) {
+				continue
+			}
+			if rec(mask|1<<i, next) {
+				return true
+			}
+		}
+		visited[key] = true
+		return false
+	}
+	return rec(0, m.Init())
+}
+
+func outputsEqual(a, b any) bool {
+	if a == nil && b == nil {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

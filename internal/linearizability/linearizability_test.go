@@ -1,0 +1,187 @@
+package linearizability_test
+
+import (
+	"testing"
+
+	"pragmaprim/internal/history"
+	"pragmaprim/internal/linearizability"
+)
+
+// op builds a history.Op tersely.
+func op(proc int, call, ret int64, in, out any) history.Op {
+	return history.Op{Proc: proc, Call: call, Return: ret, Input: in, Output: out}
+}
+
+func reg(opname string, val int) linearizability.RegisterInput {
+	return linearizability.RegisterInput{Op: opname, Val: val}
+}
+
+func ms(opname string, key, count int) linearizability.MultisetInput {
+	return linearizability.MultisetInput{Op: opname, Key: key, Count: count}
+}
+
+func TestEmptyHistoryIsLinearizable(t *testing.T) {
+	if !linearizability.Check(linearizability.RegisterModel(), nil) {
+		t.Fatal("empty history rejected")
+	}
+}
+
+func TestSequentialRegisterHistory(t *testing.T) {
+	ops := []history.Op{
+		op(0, 1, 2, reg("write", 5), nil),
+		op(0, 3, 4, reg("read", 0), 5),
+		op(0, 5, 6, reg("write", 7), nil),
+		op(0, 7, 8, reg("read", 0), 7),
+	}
+	if !linearizability.Check(linearizability.RegisterModel(), ops) {
+		t.Fatal("valid sequential history rejected")
+	}
+}
+
+func TestSequentialWrongReadRejected(t *testing.T) {
+	ops := []history.Op{
+		op(0, 1, 2, reg("write", 5), nil),
+		op(0, 3, 4, reg("read", 0), 6),
+	}
+	if linearizability.Check(linearizability.RegisterModel(), ops) {
+		t.Fatal("read of a never-written value accepted")
+	}
+}
+
+func TestConcurrentReadMayLinearizeEitherSide(t *testing.T) {
+	// A read overlapping a write may return the old or the new value.
+	for _, out := range []int{0, 5} {
+		ops := []history.Op{
+			op(0, 1, 4, reg("write", 5), nil),
+			op(1, 2, 3, reg("read", 0), out),
+		}
+		if !linearizability.Check(linearizability.RegisterModel(), ops) {
+			t.Fatalf("overlapping read returning %d rejected", out)
+		}
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// The read RETURNS before the write is INVOKED, yet sees the new value:
+	// must be rejected.
+	ops := []history.Op{
+		op(1, 1, 2, reg("read", 0), 5),
+		op(0, 3, 4, reg("write", 5), nil),
+	}
+	if linearizability.Check(linearizability.RegisterModel(), ops) {
+		t.Fatal("future read accepted")
+	}
+}
+
+func TestStaleReadAfterCompletedWriteRejected(t *testing.T) {
+	ops := []history.Op{
+		op(0, 1, 2, reg("write", 5), nil),
+		op(1, 3, 4, reg("read", 0), 0), // write already completed
+	}
+	if linearizability.Check(linearizability.RegisterModel(), ops) {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestMultisetSequential(t *testing.T) {
+	ops := []history.Op{
+		op(0, 1, 2, ms("insert", 7, 3), nil),
+		op(0, 3, 4, ms("get", 7, 0), 3),
+		op(0, 5, 6, ms("delete", 7, 2), true),
+		op(0, 7, 8, ms("get", 7, 0), 1),
+		op(0, 9, 10, ms("delete", 7, 2), false),
+		op(0, 11, 12, ms("delete", 7, 1), true),
+		op(0, 13, 14, ms("get", 7, 0), 0),
+	}
+	if !linearizability.Check(linearizability.MultisetModel(), ops) {
+		t.Fatal("valid multiset history rejected")
+	}
+}
+
+func TestMultisetOverlappingInsertsBothCount(t *testing.T) {
+	// Two concurrent inserts then a later get must see both.
+	ops := []history.Op{
+		op(0, 1, 4, ms("insert", 7, 1), nil),
+		op(1, 2, 3, ms("insert", 7, 2), nil),
+		op(0, 5, 6, ms("get", 7, 0), 3),
+	}
+	if !linearizability.Check(linearizability.MultisetModel(), ops) {
+		t.Fatal("history with both inserts visible rejected")
+	}
+	// Seeing only one of two completed inserts is NOT linearizable.
+	ops[2].Output = 1
+	if linearizability.Check(linearizability.MultisetModel(), ops) {
+		t.Fatal("lost insert accepted")
+	}
+}
+
+func TestMultisetDeleteOrderingAmbiguity(t *testing.T) {
+	// delete(7,2) overlaps insert(7,1) with only 1 present: may succeed
+	// (linearized after the insert) or fail (before it).
+	base := []history.Op{
+		op(0, 1, 2, ms("insert", 7, 1), nil),
+		op(0, 3, 6, ms("insert", 7, 1), nil),
+		op(1, 4, 5, ms("delete", 7, 2), true),
+	}
+	if !linearizability.Check(linearizability.MultisetModel(), base) {
+		t.Fatal("delete-after-insert linearization rejected")
+	}
+	base[2].Output = false
+	if !linearizability.Check(linearizability.MultisetModel(), base) {
+		t.Fatal("delete-before-insert linearization rejected")
+	}
+}
+
+func TestMapModelHistories(t *testing.T) {
+	mp := func(opname string, k, v int) linearizability.MapInput {
+		return linearizability.MapInput{Op: opname, Key: k, Val: v}
+	}
+	ops := []history.Op{
+		op(0, 1, 2, mp("put", 1, 10), true),
+		op(0, 3, 4, mp("put", 1, 11), false),
+		op(0, 5, 6, mp("get", 1, 0), [2]any{11, true}),
+		op(0, 7, 8, mp("delete", 1, 0), [2]any{11, true}),
+		op(0, 9, 10, mp("get", 1, 0), [2]any{0, false}),
+	}
+	if !linearizability.Check(linearizability.MapModel(), ops) {
+		t.Fatal("valid map history rejected")
+	}
+	ops[2].Output = [2]any{10, true} // stale value after completed overwrite
+	if linearizability.Check(linearizability.MapModel(), ops) {
+		t.Fatal("stale map read accepted")
+	}
+}
+
+func TestHistoryRecorderOrdering(t *testing.T) {
+	rec := history.NewRecorder(2)
+	p0 := rec.Proc(0)
+	p1 := rec.Proc(1)
+	p0.Invoke(reg("write", 1), func() any { return nil })
+	p1.Invoke(reg("read", 0), func() any { return 1 })
+	ops := rec.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("recorded %d ops, want 2", len(ops))
+	}
+	if ops[0].Return >= ops[1].Call {
+		t.Fatal("sequential invocations overlap in recorded time")
+	}
+	if ops[0].Proc != 0 || ops[1].Proc != 1 {
+		t.Fatal("proc ids wrong")
+	}
+	if !linearizability.Check(linearizability.RegisterModel(), ops) {
+		t.Fatal("recorded history rejected")
+	}
+}
+
+func TestTooLargeHistoryPanics(t *testing.T) {
+	ops := make([]history.Op, 64)
+	for i := range ops {
+		ops[i] = op(0, int64(2*i+1), int64(2*i+2), reg("write", i), nil)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for oversized history")
+		}
+	}()
+	linearizability.Check(linearizability.RegisterModel(), ops)
+}

@@ -1,0 +1,212 @@
+package linearizability
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MultisetInput describes one multiset operation for MultisetModel, matching
+// the paper's abstract data type (Section 1).
+type MultisetInput struct {
+	Op    string // "get", "insert", or "delete"
+	Key   int
+	Count int // insert/delete only
+}
+
+// MultisetModel is the sequential specification of the paper's multiset:
+// Get(key) returns the number of occurrences, Insert(key, count) adds count
+// occurrences, Delete(key, count) removes count occurrences and reports
+// true iff at least count were present.
+func MultisetModel() Model {
+	return Model{
+		Init: func() any { return map[int]int{} },
+		Step: func(state, input any) (any, any) {
+			s := state.(map[int]int)
+			in := input.(MultisetInput)
+			switch in.Op {
+			case "get":
+				return s, s[in.Key]
+			case "insert":
+				next := cloneCounts(s)
+				next[in.Key] += in.Count
+				return next, nil
+			case "delete":
+				if s[in.Key] < in.Count {
+					return s, false
+				}
+				next := cloneCounts(s)
+				next[in.Key] -= in.Count
+				if next[in.Key] == 0 {
+					delete(next, in.Key)
+				}
+				return next, true
+			default:
+				panic("linearizability: unknown multiset op " + in.Op)
+			}
+		},
+		Hash: func(state any) string {
+			s := state.(map[int]int)
+			keys := make([]int, 0, len(s))
+			for k := range s {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			var b strings.Builder
+			for _, k := range keys {
+				b.WriteString(strconv.Itoa(k))
+				b.WriteByte(':')
+				b.WriteString(strconv.Itoa(s[k]))
+				b.WriteByte(',')
+			}
+			return b.String()
+		},
+	}
+}
+
+func cloneCounts(s map[int]int) map[int]int {
+	next := make(map[int]int, len(s))
+	for k, v := range s {
+		next[k] = v
+	}
+	return next
+}
+
+// RegisterInput describes one operation for RegisterModel.
+type RegisterInput struct {
+	Op  string // "read" or "write"
+	Val int    // write only
+}
+
+// RegisterModel is the sequential specification of a single int register
+// with initial value 0; useful for checker self-tests.
+func RegisterModel() Model {
+	return Model{
+		Init: func() any { return 0 },
+		Step: func(state, input any) (any, any) {
+			in := input.(RegisterInput)
+			if in.Op == "write" {
+				return in.Val, nil
+			}
+			return state, state.(int)
+		},
+		Hash: func(state any) string { return strconv.Itoa(state.(int)) },
+	}
+}
+
+// SeqInput describes one operation for QueueModel or StackModel.
+type SeqInput struct {
+	Op  string // "push"/"enqueue" add; "pop"/"dequeue" remove
+	Val int    // add only
+}
+
+// QueueModel is the sequential specification of a FIFO queue of ints:
+// enqueue outputs nil, dequeue outputs [2]any{value, ok}.
+func QueueModel() Model {
+	return seqModel(true)
+}
+
+// StackModel is the sequential specification of a LIFO stack of ints: push
+// outputs nil, pop outputs [2]any{value, ok}.
+func StackModel() Model {
+	return seqModel(false)
+}
+
+// seqModel builds a queue (fifo=true) or stack (fifo=false) model over an
+// immutable []int state.
+func seqModel(fifo bool) Model {
+	return Model{
+		Init: func() any { return []int(nil) },
+		Step: func(state, input any) (any, any) {
+			s := state.([]int)
+			in := input.(SeqInput)
+			switch in.Op {
+			case "push", "enqueue":
+				next := make([]int, len(s)+1)
+				copy(next, s)
+				next[len(s)] = in.Val
+				return next, nil
+			case "pop", "dequeue":
+				if len(s) == 0 {
+					return s, [2]any{0, false}
+				}
+				if fifo {
+					next := make([]int, len(s)-1)
+					copy(next, s[1:])
+					return next, [2]any{s[0], true}
+				}
+				next := make([]int, len(s)-1)
+				copy(next, s[:len(s)-1])
+				return next, [2]any{s[len(s)-1], true}
+			default:
+				panic("linearizability: unknown sequence op " + in.Op)
+			}
+		},
+		Hash: func(state any) string {
+			s := state.([]int)
+			var b strings.Builder
+			for _, v := range s {
+				b.WriteString(strconv.Itoa(v))
+				b.WriteByte(',')
+			}
+			return b.String()
+		},
+	}
+}
+
+// MapInput describes one ordered-map operation for MapModel (used to check
+// the BST).
+type MapInput struct {
+	Op  string // "get", "put", or "delete"
+	Key int
+	Val int // put only
+}
+
+// MapModel is the sequential specification of a map from int to int: Put
+// returns true iff the key was new, Get and Delete return (value, ok) pairs
+// encoded as [2]any{value, ok}.
+func MapModel() Model {
+	return Model{
+		Init: func() any { return map[int]int{} },
+		Step: func(state, input any) (any, any) {
+			s := state.(map[int]int)
+			in := input.(MapInput)
+			switch in.Op {
+			case "get":
+				v, ok := s[in.Key]
+				return s, [2]any{v, ok}
+			case "put":
+				_, existed := s[in.Key]
+				next := cloneCounts(s)
+				next[in.Key] = in.Val
+				return next, !existed
+			case "delete":
+				v, ok := s[in.Key]
+				if !ok {
+					return s, [2]any{0, false}
+				}
+				next := cloneCounts(s)
+				delete(next, in.Key)
+				return next, [2]any{v, true}
+			default:
+				panic("linearizability: unknown map op " + in.Op)
+			}
+		},
+		Hash: func(state any) string {
+			s := state.(map[int]int)
+			keys := make([]int, 0, len(s))
+			for k := range s {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			var b strings.Builder
+			for _, k := range keys {
+				b.WriteString(strconv.Itoa(k))
+				b.WriteByte('=')
+				b.WriteString(strconv.Itoa(s[k]))
+				b.WriteByte(';')
+			}
+			return b.String()
+		},
+	}
+}

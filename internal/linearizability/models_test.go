@@ -1,0 +1,132 @@
+package linearizability_test
+
+import (
+	"testing"
+
+	"pragmaprim/internal/history"
+	"pragmaprim/internal/linearizability"
+)
+
+func seqIn(opname string, val int) linearizability.SeqInput {
+	return linearizability.SeqInput{Op: opname, Val: val}
+}
+
+func TestQueueModelFIFO(t *testing.T) {
+	ops := []history.Op{
+		op(0, 1, 2, seqIn("enqueue", 1), nil),
+		op(0, 3, 4, seqIn("enqueue", 2), nil),
+		op(0, 5, 6, seqIn("dequeue", 0), [2]any{1, true}),
+		op(0, 7, 8, seqIn("dequeue", 0), [2]any{2, true}),
+		op(0, 9, 10, seqIn("dequeue", 0), [2]any{0, false}),
+	}
+	if !linearizability.Check(linearizability.QueueModel(), ops) {
+		t.Fatal("valid FIFO history rejected")
+	}
+	// LIFO order must be rejected by the queue model.
+	ops[2].Output = [2]any{2, true}
+	ops[3].Output = [2]any{1, true}
+	if linearizability.Check(linearizability.QueueModel(), ops) {
+		t.Fatal("LIFO history accepted by the queue model")
+	}
+}
+
+func TestStackModelLIFO(t *testing.T) {
+	ops := []history.Op{
+		op(0, 1, 2, seqIn("push", 1), nil),
+		op(0, 3, 4, seqIn("push", 2), nil),
+		op(0, 5, 6, seqIn("pop", 0), [2]any{2, true}),
+		op(0, 7, 8, seqIn("pop", 0), [2]any{1, true}),
+		op(0, 9, 10, seqIn("pop", 0), [2]any{0, false}),
+	}
+	if !linearizability.Check(linearizability.StackModel(), ops) {
+		t.Fatal("valid LIFO history rejected")
+	}
+	ops[2].Output = [2]any{1, true}
+	ops[3].Output = [2]any{2, true}
+	if linearizability.Check(linearizability.StackModel(), ops) {
+		t.Fatal("FIFO history accepted by the stack model")
+	}
+}
+
+func TestQueueModelConcurrentAmbiguity(t *testing.T) {
+	// Two concurrent enqueues followed by two dequeues: either enqueue
+	// order is linearizable, so both dequeue orders must be accepted.
+	for _, firstOut := range []int{1, 2} {
+		secondOut := 3 - firstOut
+		ops := []history.Op{
+			op(0, 1, 4, seqIn("enqueue", 1), nil),
+			op(1, 2, 3, seqIn("enqueue", 2), nil),
+			op(0, 5, 6, seqIn("dequeue", 0), [2]any{firstOut, true}),
+			op(0, 7, 8, seqIn("dequeue", 0), [2]any{secondOut, true}),
+		}
+		if !linearizability.Check(linearizability.QueueModel(), ops) {
+			t.Fatalf("concurrent-enqueue order %d-first rejected", firstOut)
+		}
+	}
+}
+
+func TestModelsRejectUnknownOps(t *testing.T) {
+	for name, model := range map[string]linearizability.Model{
+		"multiset": linearizability.MultisetModel(),
+		"map":      linearizability.MapModel(),
+		"queue":    linearizability.QueueModel(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on unknown op")
+				}
+			}()
+			var in any
+			switch name {
+			case "multiset":
+				in = linearizability.MultisetInput{Op: "bogus"}
+			case "map":
+				in = linearizability.MapInput{Op: "bogus"}
+			default:
+				in = linearizability.SeqInput{Op: "bogus"}
+			}
+			model.Step(model.Init(), in)
+		})
+	}
+}
+
+func TestModelHashesDistinguishStates(t *testing.T) {
+	m := linearizability.MultisetModel()
+	s0 := m.Init()
+	s1, _ := m.Step(s0, linearizability.MultisetInput{Op: "insert", Key: 1, Count: 2})
+	s2, _ := m.Step(s0, linearizability.MultisetInput{Op: "insert", Key: 2, Count: 1})
+	if m.Hash(s1) == m.Hash(s2) {
+		t.Error("distinct multiset states hash equal")
+	}
+	if m.Hash(s0) == m.Hash(s1) {
+		t.Error("empty and non-empty states hash equal")
+	}
+
+	mm := linearizability.MapModel()
+	t0 := mm.Init()
+	t1, _ := mm.Step(t0, linearizability.MapInput{Op: "put", Key: 1, Val: 5})
+	t2, _ := mm.Step(t0, linearizability.MapInput{Op: "put", Key: 1, Val: 6})
+	if mm.Hash(t1) == mm.Hash(t2) {
+		t.Error("distinct map states hash equal")
+	}
+
+	q := linearizability.QueueModel()
+	q0 := q.Init()
+	q1, _ := q.Step(q0, linearizability.SeqInput{Op: "enqueue", Val: 1})
+	q2, _ := q.Step(q1, linearizability.SeqInput{Op: "enqueue", Val: 2})
+	if q.Hash(q1) == q.Hash(q2) || q.Hash(q0) == q.Hash(q1) {
+		t.Error("distinct queue states hash equal")
+	}
+}
+
+func TestDeleteOfAbsentMultisetKey(t *testing.T) {
+	m := linearizability.MultisetModel()
+	s, out := m.Step(m.Init(), linearizability.MultisetInput{Op: "delete", Key: 9, Count: 1})
+	if out != false {
+		t.Errorf("delete on empty = %v", out)
+	}
+	if m.Hash(s) != m.Hash(m.Init()) {
+		t.Error("failed delete changed state")
+	}
+}

@@ -1,0 +1,119 @@
+// Package llsc implements classic single-word load-link/store-conditional
+// (LL/SC/VL) from compare-and-swap, the baseline primitive family that LLX,
+// SCX and VLX generalize (paper Sections 1-2).
+//
+// The construction is the garbage-collection-based one the paper's setting
+// assumes: each location holds a pointer to an immutable cell; SC installs a
+// freshly allocated cell with CAS. Because a cell address cannot recur while
+// any process still references it, a successful CAS proves the location was
+// not written since the LL — the same argument the paper uses for info
+// fields (Lemma 12). LL, SC and VL are wait-free and take O(1) steps.
+package llsc
+
+import "sync/atomic"
+
+// cell is one immutable boxed value; a fresh cell is allocated per store.
+type cell[T any] struct {
+	val T
+}
+
+// Loc is a single word supporting LL/SC. Create with NewLoc; share freely.
+type Loc[T any] struct {
+	p atomic.Pointer[cell[T]]
+}
+
+// NewLoc returns a location holding initial.
+func NewLoc[T any](initial T) *Loc[T] {
+	l := &Loc[T]{}
+	l.p.Store(&cell[T]{val: initial})
+	return l
+}
+
+// Load returns the current value of l (a plain atomic read; it does not
+// establish a link).
+func (l *Loc[T]) Load() T {
+	return l.p.Load().val
+}
+
+// Handle holds the per-process link context: the cell observed by the last
+// LL on each location. One Handle per goroutine; a Handle is not safe for
+// concurrent use.
+type Handle[T any] struct {
+	links map[*Loc[T]]*cell[T]
+
+	// Step counters for the experiment harness.
+	CASAttempts  int64
+	CASSuccesses int64
+}
+
+// NewHandle returns an empty per-process handle.
+func NewHandle[T any]() *Handle[T] {
+	return &Handle[T]{links: make(map[*Loc[T]]*cell[T])}
+}
+
+// LL load-links l: it returns the current value and records the link that a
+// subsequent SC or VL on l will validate against.
+func (h *Handle[T]) LL(l *Loc[T]) T {
+	c := l.p.Load()
+	h.links[l] = c
+	return c.val
+}
+
+// SC store-conditionally writes v to l. It succeeds iff l has not been
+// written by a successful SC since h's last LL on l. SC consumes the link
+// whether or not it succeeds. Panics if h holds no link for l.
+func (h *Handle[T]) SC(l *Loc[T], v T) bool {
+	c, ok := h.links[l]
+	if !ok {
+		panic("llsc: SC without a preceding LL on the location")
+	}
+	delete(h.links, l)
+	h.CASAttempts++
+	if l.p.CompareAndSwap(c, &cell[T]{val: v}) {
+		h.CASSuccesses++
+		return true
+	}
+	return false
+}
+
+// VL validates the link on l: it reports whether l has not been written
+// since h's last LL on l. A successful VL preserves the link; a failed VL
+// consumes it. Panics if h holds no link for l.
+func (h *Handle[T]) VL(l *Loc[T]) bool {
+	c, ok := h.links[l]
+	if !ok {
+		panic("llsc: VL without a preceding LL on the location")
+	}
+	if l.p.Load() != c {
+		delete(h.links, l)
+		return false
+	}
+	return true
+}
+
+// Linked reports whether h currently holds a link for l.
+func (h *Handle[T]) Linked(l *Loc[T]) bool {
+	_, ok := h.links[l]
+	return ok
+}
+
+// Snapshot is an opaque witness of a location's content at one instant. Two
+// Snapshots of the same location are Same iff the location was not written
+// between them — even if the written values happened to be equal. It is the
+// identity-based analogue of the version numbers in Luchangco, Moir and
+// Shavit's KCSS construction, and package kcss builds its double collects
+// from it.
+type Snapshot[T any] struct {
+	c *cell[T]
+}
+
+// TakeSnapshot captures the current content witness of l.
+func (l *Loc[T]) TakeSnapshot() Snapshot[T] {
+	return Snapshot[T]{c: l.p.Load()}
+}
+
+// Value returns the value the snapshot witnessed.
+func (s Snapshot[T]) Value() T { return s.c.val }
+
+// Same reports whether o witnesses the identical write as s.
+func (s Snapshot[T]) Same(o Snapshot[T]) bool { return s.c == o.c }

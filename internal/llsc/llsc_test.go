@@ -1,0 +1,155 @@
+package llsc_test
+
+import (
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/llsc"
+)
+
+func TestLLReturnsCurrentValue(t *testing.T) {
+	l := llsc.NewLoc(42)
+	h := llsc.NewHandle[int]()
+	if got := h.LL(l); got != 42 {
+		t.Errorf("LL = %d, want 42", got)
+	}
+	if got := l.Load(); got != 42 {
+		t.Errorf("Load = %d, want 42", got)
+	}
+}
+
+func TestSCSucceedsWhenUnchanged(t *testing.T) {
+	l := llsc.NewLoc(1)
+	h := llsc.NewHandle[int]()
+	h.LL(l)
+	if !h.SC(l, 2) {
+		t.Fatal("uncontended SC failed")
+	}
+	if got := l.Load(); got != 2 {
+		t.Errorf("Load = %d, want 2", got)
+	}
+	if h.Linked(l) {
+		t.Error("SC did not consume the link")
+	}
+}
+
+func TestSCFailsAfterInterveningSC(t *testing.T) {
+	l := llsc.NewLoc(1)
+	h1 := llsc.NewHandle[int]()
+	h2 := llsc.NewHandle[int]()
+	h1.LL(l)
+	h2.LL(l)
+	if !h2.SC(l, 2) {
+		t.Fatal("h2 SC failed")
+	}
+	if h1.SC(l, 3) {
+		t.Fatal("h1 SC succeeded after intervening SC")
+	}
+	if got := l.Load(); got != 2 {
+		t.Errorf("Load = %d, want 2", got)
+	}
+}
+
+func TestSCIsABAFree(t *testing.T) {
+	l := llsc.NewLoc("v")
+	h1 := llsc.NewHandle[string]()
+	h2 := llsc.NewHandle[string]()
+	h1.LL(l)
+	for _, v := range []string{"w", "v"} { // value returns to "v"
+		h2.LL(l)
+		if !h2.SC(l, v) {
+			t.Fatalf("SC(%q) failed", v)
+		}
+	}
+	if h1.SC(l, "u") {
+		t.Fatal("stale SC succeeded after ABA on the value")
+	}
+}
+
+func TestVLSemantics(t *testing.T) {
+	l := llsc.NewLoc(1)
+	h1 := llsc.NewHandle[int]()
+	h2 := llsc.NewHandle[int]()
+	h1.LL(l)
+	if !h1.VL(l) {
+		t.Fatal("VL failed on unchanged location")
+	}
+	if !h1.Linked(l) {
+		t.Error("successful VL consumed the link")
+	}
+	h2.LL(l)
+	if !h2.SC(l, 2) {
+		t.Fatal("h2 SC failed")
+	}
+	if h1.VL(l) {
+		t.Fatal("VL succeeded after intervening SC")
+	}
+	if h1.Linked(l) {
+		t.Error("failed VL preserved the link")
+	}
+}
+
+func TestPanicsWithoutLink(t *testing.T) {
+	l := llsc.NewLoc(1)
+	h := llsc.NewHandle[int]()
+	for name, f := range map[string]func(){
+		"SC": func() { h.SC(l, 2) },
+		"VL": func() { h.VL(l) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestSnapshotIdentity(t *testing.T) {
+	l := llsc.NewLoc(1)
+	s1 := l.TakeSnapshot()
+	s2 := l.TakeSnapshot()
+	if !s1.Same(s2) {
+		t.Error("snapshots without intervening write differ")
+	}
+	h := llsc.NewHandle[int]()
+	h.LL(l)
+	if !h.SC(l, 1) { // same value, new write
+		t.Fatal("SC failed")
+	}
+	s3 := l.TakeSnapshot()
+	if s1.Same(s3) {
+		t.Error("snapshot identical across a write of an equal value")
+	}
+	if s3.Value() != 1 {
+		t.Errorf("snapshot value = %d, want 1", s3.Value())
+	}
+}
+
+func TestConcurrentCounterViaLLSC(t *testing.T) {
+	const procs = 8
+	const perProc = 2000
+	l := llsc.NewLoc(0)
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := llsc.NewHandle[int]()
+			for i := 0; i < perProc; i++ {
+				for {
+					v := h.LL(l)
+					if h.SC(l, v+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Load(); got != procs*perProc {
+		t.Fatalf("counter = %d, want %d", got, procs*perProc)
+	}
+}

@@ -1,0 +1,172 @@
+// Package lockds provides lock-based multiset baselines for the experiment
+// harness: a coarse-grained single-mutex sorted list and a fine-grained
+// hand-over-hand (lock-coupling) sorted list. The paper motivates LLX/SCX
+// with exactly this comparison — locks are simple but not fault-tolerant and
+// serialize updates (Section 1); these baselines supply the other side of
+// the throughput experiments (E8).
+package lockds
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// CoarseMultiset is a multiset of int keys guarded by one mutex. The zero
+// value is not usable; create with NewCoarse.
+type CoarseMultiset struct {
+	mu   sync.Mutex
+	head *coarseNode // sentinel with key math.MinInt
+}
+
+type coarseNode struct {
+	key   int
+	count int
+	next  *coarseNode
+}
+
+// NewCoarse returns an empty coarse-locked multiset.
+func NewCoarse() *CoarseMultiset {
+	tail := &coarseNode{key: math.MaxInt}
+	return &CoarseMultiset{head: &coarseNode{key: math.MinInt, next: tail}}
+}
+
+// Get returns the number of occurrences of key.
+func (m *CoarseMultiset) Get(key int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, _ := m.search(key)
+	if r.key == key {
+		return r.count
+	}
+	return 0
+}
+
+// Insert adds count occurrences of key; count must be positive.
+func (m *CoarseMultiset) Insert(key, count int) {
+	checkCount("Insert", count)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, p := m.search(key)
+	if r.key == key {
+		r.count += count
+		return
+	}
+	p.next = &coarseNode{key: key, count: count, next: r}
+}
+
+// Delete removes count occurrences of key, reporting whether it did; with
+// fewer than count present it removes nothing and returns false. count must
+// be positive.
+func (m *CoarseMultiset) Delete(key, count int) bool {
+	checkCount("Delete", count)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, p := m.search(key)
+	if r.key != key || r.count < count {
+		return false
+	}
+	if r.count > count {
+		r.count -= count
+		return true
+	}
+	p.next = r.next
+	return true
+}
+
+// search returns the first node r with key <= r.key and its predecessor.
+// Caller holds the lock.
+func (m *CoarseMultiset) search(key int) (r, p *coarseNode) {
+	p = m.head
+	r = p.next
+	for r.key < key {
+		p = r
+		r = r.next
+	}
+	return r, p
+}
+
+// FineMultiset is a multiset of int keys implemented as a sorted list with
+// hand-over-hand (lock-coupling) per-node locking. The zero value is not
+// usable; create with NewFine.
+type FineMultiset struct {
+	head *fineNode
+}
+
+type fineNode struct {
+	mu    sync.Mutex
+	key   int
+	count int
+	next  *fineNode
+}
+
+// NewFine returns an empty fine-grained-locked multiset.
+func NewFine() *FineMultiset {
+	tail := &fineNode{key: math.MaxInt}
+	return &FineMultiset{head: &fineNode{key: math.MinInt, next: tail}}
+}
+
+// search locks its way down the list hand-over-hand and returns the first
+// node r with key <= r.key and its predecessor p, with BOTH locks held. The
+// caller must unlock p and r.
+func (m *FineMultiset) search(key int) (r, p *fineNode) {
+	p = m.head
+	p.mu.Lock()
+	r = p.next
+	r.mu.Lock()
+	for r.key < key {
+		p.mu.Unlock()
+		p = r
+		r = r.next
+		r.mu.Lock()
+	}
+	return r, p
+}
+
+// Get returns the number of occurrences of key.
+func (m *FineMultiset) Get(key int) int {
+	r, p := m.search(key)
+	defer p.mu.Unlock()
+	defer r.mu.Unlock()
+	if r.key == key {
+		return r.count
+	}
+	return 0
+}
+
+// Insert adds count occurrences of key; count must be positive.
+func (m *FineMultiset) Insert(key, count int) {
+	checkCount("Insert", count)
+	r, p := m.search(key)
+	defer p.mu.Unlock()
+	defer r.mu.Unlock()
+	if r.key == key {
+		r.count += count
+		return
+	}
+	p.next = &fineNode{key: key, count: count, next: r}
+}
+
+// Delete removes count occurrences of key, reporting whether it did. count
+// must be positive.
+func (m *FineMultiset) Delete(key, count int) bool {
+	checkCount("Delete", count)
+	r, p := m.search(key)
+	defer p.mu.Unlock()
+	defer r.mu.Unlock()
+	if r.key != key || r.count < count {
+		return false
+	}
+	if r.count > count {
+		r.count -= count
+		return true
+	}
+	p.next = r.next
+	return true
+}
+
+func checkCount(op string, count int) {
+	if count <= 0 {
+		panic(fmt.Sprintf("lockds: %s with non-positive count %d", op, count))
+	}
+}

@@ -1,0 +1,149 @@
+package lockds_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/lockds"
+)
+
+// multiset abstracts the two lock-based variants so both get the same suite.
+type multiset interface {
+	Get(key int) int
+	Insert(key, count int)
+	Delete(key, count int) bool
+}
+
+func variants() map[string]func() multiset {
+	return map[string]func() multiset{
+		"Coarse": func() multiset { return lockds.NewCoarse() },
+		"Fine":   func() multiset { return lockds.NewFine() },
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			m := mk()
+			if got := m.Get(5); got != 0 {
+				t.Errorf("Get on empty = %d", got)
+			}
+			m.Insert(5, 3)
+			m.Insert(2, 1)
+			m.Insert(5, 2)
+			if got := m.Get(5); got != 5 {
+				t.Errorf("Get(5) = %d, want 5", got)
+			}
+			if got := m.Get(2); got != 1 {
+				t.Errorf("Get(2) = %d, want 1", got)
+			}
+			if m.Delete(5, 9) {
+				t.Error("Delete(5,9) = true with 5 present")
+			}
+			if !m.Delete(5, 2) {
+				t.Error("Delete(5,2) = false")
+			}
+			if got := m.Get(5); got != 3 {
+				t.Errorf("Get(5) = %d, want 3", got)
+			}
+			if !m.Delete(5, 3) {
+				t.Error("Delete(5,3) = false")
+			}
+			if got := m.Get(5); got != 0 {
+				t.Errorf("Get(5) = %d, want 0", got)
+			}
+			if got := m.Get(2); got != 1 {
+				t.Errorf("Get(2) = %d, want 1 (neighbor)", got)
+			}
+		})
+	}
+}
+
+func TestPanicsOnNonPositiveCount(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			m := mk()
+			for op, f := range map[string]func(){
+				"Insert": func() { m.Insert(1, 0) },
+				"Delete": func() { m.Delete(1, -1) },
+			} {
+				t.Run(op, func(t *testing.T) {
+					defer func() {
+						if recover() == nil {
+							t.Error("no panic")
+						}
+					}()
+					f()
+				})
+			}
+		})
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			const procs = 8
+			const perProc = 400
+			const keyRange = 16
+			m := mk()
+
+			net := make([][]int, procs)
+			var wg sync.WaitGroup
+			for g := 0; g < procs; g++ {
+				net[g] = make([]int, keyRange)
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					for i := 0; i < perProc; i++ {
+						key := rng.Intn(keyRange)
+						count := 1 + rng.Intn(3)
+						if rng.Intn(2) == 0 {
+							m.Insert(key, count)
+							net[g][key] += count
+						} else if m.Delete(key, count) {
+							net[g][key] -= count
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+
+			for k := 0; k < keyRange; k++ {
+				want := 0
+				for g := 0; g < procs; g++ {
+					want += net[g][k]
+				}
+				if got := m.Get(k); got != want {
+					t.Errorf("key %d: count %d, want %d", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentSameKeyNoLostUpdates(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			const procs = 8
+			const perProc = 500
+			m := mk()
+			var wg sync.WaitGroup
+			for g := 0; g < procs; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perProc; i++ {
+						m.Insert(7, 1)
+					}
+				}()
+			}
+			wg.Wait()
+			if got := m.Get(7); got != procs*perProc {
+				t.Fatalf("Get(7) = %d, want %d", got, procs*perProc)
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package multiset_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/history"
+	"pragmaprim/internal/linearizability"
+	"pragmaprim/internal/multiset"
+)
+
+// TestLinearizableHistories reproduces experiment E7 (the paper's Theorem 6):
+// many small concurrent runs against the real multiset, each recorded and
+// verified linearizable by the Wing-Gong checker against the sequential
+// multiset specification.
+func TestLinearizableHistories(t *testing.T) {
+	const rounds = 60
+	const procs = 3
+	const opsPerProc = 5
+	const keyRange = 3
+
+	for round := 0; round < rounds; round++ {
+		m := multiset.New[int]()
+		rec := history.NewRecorder(procs)
+
+		var wg sync.WaitGroup
+		for g := 0; g < procs; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*procs + g)))
+				p := core.NewProcess()
+				pr := rec.Proc(g)
+				for i := 0; i < opsPerProc; i++ {
+					key := rng.Intn(keyRange)
+					count := 1 + rng.Intn(2)
+					switch rng.Intn(3) {
+					case 0:
+						pr.Invoke(linearizability.MultisetInput{Op: "insert", Key: key, Count: count},
+							func() any { m.Insert(p, key, count); return nil })
+					case 1:
+						pr.Invoke(linearizability.MultisetInput{Op: "delete", Key: key, Count: count},
+							func() any { return m.Delete(p, key, count) })
+					default:
+						pr.Invoke(linearizability.MultisetInput{Op: "get", Key: key, Count: 0},
+							func() any { return m.Get(p, key) })
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		ops := rec.Ops()
+		if !linearizability.Check(linearizability.MultisetModel(), ops) {
+			t.Fatalf("round %d: history not linearizable:\n%+v", round, ops)
+		}
+	}
+}

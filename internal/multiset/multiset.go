@@ -1,0 +1,293 @@
+// Package multiset implements the paper's Section 5 running example: a
+// linearizable, non-blocking multiset backed by a sorted singly-linked list
+// of Data-records, built entirely from the LLX/SCX primitives of
+// internal/core (Figure 6 pseudocode).
+//
+// The multiset supports Get(key) (number of occurrences), Insert(key, count),
+// and Delete(key, count). Searches traverse the list with plain reads, which
+// is sound by the paper's Proposition 2; updates use LLX to snapshot the
+// affected nodes and a single SCX to swing one next pointer (or bump one
+// count), finalizing exactly the nodes the update removes (Lemma 4), which is
+// what makes the structure linearizable and non-blocking (Theorem 6).
+package multiset
+
+import (
+	"cmp"
+	"fmt"
+
+	"pragmaprim/internal/core"
+)
+
+// Mutable-field indices of a node's Data-record.
+const (
+	fieldCount = 0 // int: occurrences of key
+	fieldNext  = 1 // *node[K]: successor in the sorted list
+)
+
+// nodeKind distinguishes the two sentinel nodes from interior nodes; the
+// paper uses keys -inf and +inf, which have no value representation for a
+// generic ordered key type.
+type nodeKind int
+
+const (
+	kindHead nodeKind = iota + 1 // key -inf
+	kindInterior
+	kindTail // key +inf
+)
+
+// node is one list node. key and kind are immutable; count and next live in
+// the node's Data-record as mutable fields.
+type node[K cmp.Ordered] struct {
+	rec  *core.Record
+	key  K
+	kind nodeKind
+}
+
+func newNode[K cmp.Ordered](kind nodeKind, key K, count int, next *node[K]) *node[K] {
+	n := &node[K]{key: key, kind: kind}
+	n.rec = core.NewRecord(2, []any{count, next}, n)
+	return n
+}
+
+// next reads n's next pointer with a plain atomic read.
+func (n *node[K]) next() *node[K] {
+	nxt, _ := n.rec.Read(fieldNext).(*node[K])
+	return nxt
+}
+
+// count reads n's count with a plain atomic read.
+func (n *node[K]) count() int {
+	return n.rec.Read(fieldCount).(int)
+}
+
+// before reports whether n's key is strictly less than key, i.e. the search
+// for key must move past n. The head sentinel precedes every key; the tail
+// sentinel follows every key.
+func (n *node[K]) before(key K) bool {
+	switch n.kind {
+	case kindHead:
+		return true
+	case kindTail:
+		return false
+	default:
+		return n.key < key
+	}
+}
+
+// matches reports whether n is an interior node holding exactly key.
+func (n *node[K]) matches(key K) bool {
+	return n.kind == kindInterior && n.key == key
+}
+
+// Multiset is a non-blocking multiset of keys of type K. The zero value is
+// not usable; create one with New. All methods are safe for concurrent use,
+// with the proviso that each concurrent goroutine passes its own
+// *core.Process.
+type Multiset[K cmp.Ordered] struct {
+	head *node[K]
+}
+
+// New creates an empty multiset. As in the paper, the structure always holds
+// a head sentinel (key -inf) pointing at a tail sentinel (key +inf); the head
+// is the sole entry point and is never finalized.
+func New[K cmp.Ordered]() *Multiset[K] {
+	var zero K
+	tail := newNode[K](kindTail, zero, 0, nil)
+	head := newNode[K](kindHead, zero, 0, tail)
+	return &Multiset[K]{head: head}
+}
+
+// search traverses the list from head by plain reads, returning the first
+// node r with key <= r.key and its predecessor p (Figure 6, lines 6-13).
+// Postcondition: p.key < key <= r.key (with sentinels ordered as -inf/+inf).
+func (m *Multiset[K]) search(key K) (r, p *node[K]) {
+	p = m.head
+	r = p.next()
+	for r.before(key) {
+		p = r
+		r = r.next()
+	}
+	return r, p
+}
+
+// Get returns the number of occurrences of key (Figure 6, lines 1-5). proc
+// must be the calling goroutine's Process.
+func (m *Multiset[K]) Get(proc *core.Process, key K) int {
+	r, _ := m.search(key)
+	if r.matches(key) {
+		return r.count()
+	}
+	return 0
+}
+
+// Contains reports whether key occurs at least once.
+func (m *Multiset[K]) Contains(proc *core.Process, key K) bool {
+	return m.Get(proc, key) > 0
+}
+
+// Insert adds count occurrences of key (Figure 6, lines 14-24). count must be
+// positive. proc must be the calling goroutine's Process.
+func (m *Multiset[K]) Insert(proc *core.Process, key K, count int) {
+	if count <= 0 {
+		panic(fmt.Sprintf("multiset: Insert with non-positive count %d", count))
+	}
+	for {
+		r, p := m.search(key)
+		if r.matches(key) {
+			// Key present: bump r.count in place (Figure 5(b)).
+			localr, st := proc.LLX(r.rec)
+			if st != core.LLXOK {
+				continue
+			}
+			if proc.SCX([]*core.Record{r.rec}, nil,
+				r.rec.Field(fieldCount), localr[fieldCount].(int)+count) {
+				return
+			}
+		} else {
+			// Key absent: splice a new node between p and r (Figure 5(a)).
+			localp, st := proc.LLX(p.rec)
+			if st != core.LLXOK {
+				continue
+			}
+			if nxt, _ := localp[fieldNext].(*node[K]); nxt != r {
+				continue
+			}
+			n := newNode(kindInterior, key, count, r)
+			if proc.SCX([]*core.Record{p.rec}, nil, p.rec.Field(fieldNext), n) {
+				return
+			}
+		}
+	}
+}
+
+// Delete removes count occurrences of key and reports whether it did; if
+// fewer than count occurrences are present it removes nothing and returns
+// false (Figure 6, lines 25-36). count must be positive. proc must be the
+// calling goroutine's Process.
+func (m *Multiset[K]) Delete(proc *core.Process, key K, count int) bool {
+	if count <= 0 {
+		panic(fmt.Sprintf("multiset: Delete with non-positive count %d", count))
+	}
+	for {
+		r, p := m.search(key)
+		localp, stp := proc.LLX(p.rec)
+		if stp != core.LLXOK {
+			continue
+		}
+		localr, str := proc.LLX(r.rec)
+		if str != core.LLXOK {
+			continue
+		}
+		if nxt, _ := localp[fieldNext].(*node[K]); nxt != r {
+			continue
+		}
+		if !r.matches(key) || localr[fieldCount].(int) < count {
+			return false
+		}
+		if localr[fieldCount].(int) > count {
+			// Replace r with a reduced-count copy, finalizing r
+			// (Figure 5(d)).
+			rnext, _ := localr[fieldNext].(*node[K])
+			repl := newNode(kindInterior, r.key, localr[fieldCount].(int)-count, rnext)
+			if proc.SCX([]*core.Record{p.rec, r.rec}, []*core.Record{r.rec},
+				p.rec.Field(fieldNext), repl) {
+				return true
+			}
+			continue
+		}
+		// Exact count: unlink r entirely. To avoid the ABA problem on p.next,
+		// r's successor is replaced by a fresh copy and both r and the old
+		// successor are finalized (Figure 5(c)).
+		rnext := localr[fieldNext].(*node[K]) // non-nil: r is interior
+		localrn, st := proc.LLX(rnext.rec)
+		if st != core.LLXOK {
+			continue
+		}
+		cp := m.copyNode(rnext, localrn)
+		if proc.SCX([]*core.Record{p.rec, r.rec, rnext.rec},
+			[]*core.Record{r.rec, rnext.rec},
+			p.rec.Field(fieldNext), cp) {
+			return true
+		}
+	}
+}
+
+// copyNode builds a fresh node with the same key/kind as n and the mutable
+// values captured by snapshot snap.
+func (m *Multiset[K]) copyNode(n *node[K], snap core.Snapshot) *node[K] {
+	nxt, _ := snap[fieldNext].(*node[K])
+	return newNode(n.kind, n.key, snap[fieldCount].(int), nxt)
+}
+
+// Items returns the key -> count contents of the multiset as observed by a
+// single traversal with plain reads. The traversal is not atomic: under
+// concurrent updates it is only guaranteed that every reported node was in
+// the multiset at some time during the call (Proposition 2). On a quiescent
+// multiset it is exact.
+func (m *Multiset[K]) Items() map[K]int {
+	items := make(map[K]int)
+	for n := m.head.next(); n != nil && n.kind != kindTail; n = n.next() {
+		items[n.key] = n.count()
+	}
+	return items
+}
+
+// Len returns the number of distinct keys observed by a single traversal,
+// with the same consistency caveat as Items.
+func (m *Multiset[K]) Len() int {
+	n := 0
+	for cur := m.head.next(); cur != nil && cur.kind != kindTail; cur = cur.next() {
+		n++
+	}
+	return n
+}
+
+// TotalCount returns the sum of all counts observed by a single traversal,
+// with the same consistency caveat as Items.
+func (m *Multiset[K]) TotalCount() int {
+	total := 0
+	for cur := m.head.next(); cur != nil && cur.kind != kindTail; cur = cur.next() {
+		total += cur.count()
+	}
+	return total
+}
+
+// Keys returns the distinct keys in ascending order, with the same
+// consistency caveat as Items.
+func (m *Multiset[K]) Keys() []K {
+	var keys []K
+	for cur := m.head.next(); cur != nil && cur.kind != kindTail; cur = cur.next() {
+		keys = append(keys, cur.key)
+	}
+	return keys
+}
+
+// CheckInvariants verifies the paper's Invariant 3 on a quiescent multiset:
+// the list is strictly sorted, terminates at the tail sentinel, interior
+// counts are positive, and no reachable node is finalized. It returns an
+// error describing the first violation found. Intended for tests.
+func (m *Multiset[K]) CheckInvariants() error {
+	if m.head.rec.Finalized() {
+		return fmt.Errorf("head sentinel is finalized")
+	}
+	prev := m.head
+	cur := m.head.next()
+	for {
+		if cur == nil {
+			return fmt.Errorf("list does not terminate at the tail sentinel")
+		}
+		if cur.rec.Finalized() {
+			return fmt.Errorf("reachable node (key %v) is finalized", cur.key)
+		}
+		if cur.kind == kindTail {
+			return nil
+		}
+		if prev.kind == kindInterior && cur.key <= prev.key {
+			return fmt.Errorf("keys out of order: %v then %v", prev.key, cur.key)
+		}
+		if cur.count() <= 0 {
+			return fmt.Errorf("interior node %v has non-positive count %d", cur.key, cur.count())
+		}
+		prev, cur = cur, cur.next()
+	}
+}

@@ -1,0 +1,432 @@
+package multiset_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/multiset"
+)
+
+func checkInv(t *testing.T, m *multiset.Multiset[int]) {
+	t.Helper()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+}
+
+func TestEmptyMultiset(t *testing.T) {
+	m := multiset.New[int]()
+	p := core.NewProcess()
+	if got := m.Get(p, 42); got != 0 {
+		t.Errorf("Get on empty = %d, want 0", got)
+	}
+	if m.Contains(p, 42) {
+		t.Error("Contains on empty = true")
+	}
+	if m.Delete(p, 42, 1) {
+		t.Error("Delete on empty = true")
+	}
+	if got := m.Len(); got != 0 {
+		t.Errorf("Len = %d, want 0", got)
+	}
+	if got := m.TotalCount(); got != 0 {
+		t.Errorf("TotalCount = %d, want 0", got)
+	}
+	checkInv(t, m)
+}
+
+func TestInsertNewKey(t *testing.T) {
+	m := multiset.New[int]()
+	p := core.NewProcess()
+	m.Insert(p, 5, 3)
+	if got := m.Get(p, 5); got != 3 {
+		t.Errorf("Get(5) = %d, want 3", got)
+	}
+	if got := m.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+	checkInv(t, m)
+}
+
+func TestInsertExistingKeyBumpsCount(t *testing.T) {
+	m := multiset.New[int]()
+	p := core.NewProcess()
+	m.Insert(p, 5, 3)
+	m.Insert(p, 5, 4)
+	if got := m.Get(p, 5); got != 7 {
+		t.Errorf("Get(5) = %d, want 7", got)
+	}
+	if got := m.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1 (no duplicate node)", got)
+	}
+	checkInv(t, m)
+}
+
+func TestInsertMaintainsSortedOrder(t *testing.T) {
+	m := multiset.New[int]()
+	p := core.NewProcess()
+	for _, k := range []int{5, 1, 9, 3, 7, 2, 8, 4, 6} {
+		m.Insert(p, k, 1)
+	}
+	keys := m.Keys()
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+	checkInv(t, m)
+}
+
+func TestDeletePartial(t *testing.T) {
+	m := multiset.New[int]()
+	p := core.NewProcess()
+	m.Insert(p, 5, 10)
+	if !m.Delete(p, 5, 4) {
+		t.Fatal("Delete(5,4) = false")
+	}
+	if got := m.Get(p, 5); got != 6 {
+		t.Errorf("Get(5) = %d, want 6", got)
+	}
+	checkInv(t, m)
+}
+
+func TestDeleteExact(t *testing.T) {
+	m := multiset.New[int]()
+	p := core.NewProcess()
+	m.Insert(p, 5, 4)
+	m.Insert(p, 7, 1)
+	if !m.Delete(p, 5, 4) {
+		t.Fatal("Delete(5,4) = false")
+	}
+	if got := m.Get(p, 5); got != 0 {
+		t.Errorf("Get(5) = %d, want 0", got)
+	}
+	if got := m.Get(p, 7); got != 1 {
+		t.Errorf("Get(7) = %d, want 1 (neighbor must survive)", got)
+	}
+	checkInv(t, m)
+}
+
+func TestDeleteTooMany(t *testing.T) {
+	m := multiset.New[int]()
+	p := core.NewProcess()
+	m.Insert(p, 5, 3)
+	if m.Delete(p, 5, 4) {
+		t.Fatal("Delete(5,4) = true with only 3 present")
+	}
+	if got := m.Get(p, 5); got != 3 {
+		t.Errorf("Get(5) = %d, want 3 (failed delete must not change)", got)
+	}
+	checkInv(t, m)
+}
+
+func TestDeleteLastNodeBeforeTail(t *testing.T) {
+	// Deleting the node whose successor is the tail sentinel exercises the
+	// Figure 5(c) path where the copied successor is the tail itself.
+	m := multiset.New[int]()
+	p := core.NewProcess()
+	m.Insert(p, 5, 1)
+	if !m.Delete(p, 5, 1) {
+		t.Fatal("Delete = false")
+	}
+	checkInv(t, m)
+	// The structure must remain fully usable with its fresh tail copy.
+	m.Insert(p, 9, 2)
+	if got := m.Get(p, 9); got != 2 {
+		t.Errorf("Get(9) = %d, want 2", got)
+	}
+	checkInv(t, m)
+}
+
+func TestDeleteMiddleRelinksNeighbors(t *testing.T) {
+	m := multiset.New[int]()
+	p := core.NewProcess()
+	for _, k := range []int{1, 2, 3} {
+		m.Insert(p, k, k)
+	}
+	if !m.Delete(p, 2, 2) {
+		t.Fatal("Delete(2) = false")
+	}
+	keys := m.Keys()
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
+		t.Fatalf("Keys = %v, want [1 3]", keys)
+	}
+	checkInv(t, m)
+}
+
+func TestInsertAfterDeleteSameKey(t *testing.T) {
+	m := multiset.New[int]()
+	p := core.NewProcess()
+	for i := 0; i < 50; i++ {
+		m.Insert(p, 5, 1)
+		if !m.Delete(p, 5, 1) {
+			t.Fatalf("round %d: Delete = false", i)
+		}
+	}
+	if got := m.Get(p, 5); got != 0 {
+		t.Errorf("Get(5) = %d, want 0", got)
+	}
+	checkInv(t, m)
+}
+
+func TestPanicsOnNonPositiveCounts(t *testing.T) {
+	m := multiset.New[int]()
+	p := core.NewProcess()
+	for name, f := range map[string]func(){
+		"InsertZero":     func() { m.Insert(p, 1, 0) },
+		"InsertNegative": func() { m.Insert(p, 1, -2) },
+		"DeleteZero":     func() { m.Delete(p, 1, 0) },
+		"DeleteNegative": func() { m.Delete(p, 1, -2) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	m := multiset.New[string]()
+	p := core.NewProcess()
+	m.Insert(p, "banana", 2)
+	m.Insert(p, "apple", 1)
+	m.Insert(p, "cherry", 3)
+	keys := m.Keys()
+	want := []string{"apple", "banana", "cherry"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+	if !m.Delete(p, "banana", 2) {
+		t.Fatal("Delete(banana) = false")
+	}
+	if m.Contains(p, "banana") {
+		t.Error("banana still present")
+	}
+}
+
+// TestQuickAgainstMapModel drives random op sequences against a map-based
+// sequential model (single process, so every op must behave sequentially).
+func TestQuickAgainstMapModel(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint8
+		Count uint8
+	}
+	f := func(ops []op) bool {
+		m := multiset.New[int]()
+		p := core.NewProcess()
+		model := make(map[int]int)
+		for _, o := range ops {
+			key := int(o.Key % 16)
+			count := int(o.Count%5) + 1
+			switch o.Kind % 3 {
+			case 0:
+				m.Insert(p, key, count)
+				model[key] += count
+			case 1:
+				got := m.Delete(p, key, count)
+				want := model[key] >= count
+				if got != want {
+					return false
+				}
+				if want {
+					model[key] -= count
+					if model[key] == 0 {
+						delete(model, key)
+					}
+				}
+			case 2:
+				if m.Get(p, key) != model[key] {
+					return false
+				}
+			}
+		}
+		if m.CheckInvariants() != nil {
+			return false
+		}
+		items := m.Items()
+		if len(items) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if items[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentInsertDisjointKeys: inserts on distinct keys must all land.
+func TestConcurrentInsertDisjointKeys(t *testing.T) {
+	const procs = 8
+	const perProc = 200
+	m := multiset.New[int]()
+
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				m.Insert(p, g*perProc+i, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	p := core.NewProcess()
+	for g := 0; g < procs; g++ {
+		for i := 0; i < perProc; i++ {
+			if got := m.Get(p, g*perProc+i); got != 1 {
+				t.Fatalf("Get(%d) = %d, want 1", g*perProc+i, got)
+			}
+		}
+	}
+	if got := m.Len(); got != procs*perProc {
+		t.Errorf("Len = %d, want %d", got, procs*perProc)
+	}
+	checkInv(t, m)
+}
+
+// TestConcurrentInsertSameKey: concurrent count bumps on one key must not
+// lose updates.
+func TestConcurrentInsertSameKey(t *testing.T) {
+	const procs = 8
+	const perProc = 300
+	m := multiset.New[int]()
+
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				m.Insert(p, 7, 1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	p := core.NewProcess()
+	if got := m.Get(p, 7); got != procs*perProc {
+		t.Fatalf("Get(7) = %d, want %d (lost updates)", got, procs*perProc)
+	}
+	checkInv(t, m)
+}
+
+// TestConcurrentInsertDeleteBalance: each goroutine inserts then deletes its
+// own random keys; the multiset must drain to empty.
+func TestConcurrentInsertDeleteBalance(t *testing.T) {
+	const procs = 8
+	const perProc = 200
+	m := multiset.New[int]()
+
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				key := rng.Intn(32)
+				count := 1 + rng.Intn(3)
+				m.Insert(p, key, count)
+				for !m.Delete(p, key, count) {
+					// Another goroutine may transiently hold fewer than
+					// count occurrences visible? No: our own insert
+					// guarantees at least count are present until we delete
+					// them. A false return can only mean contention raced us
+					// past a node; retry.
+					t.Errorf("Delete(%d,%d) = false though we inserted it", key, count)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := m.TotalCount(); got != 0 {
+		t.Fatalf("TotalCount = %d, want 0; items=%v", got, m.Items())
+	}
+	checkInv(t, m)
+}
+
+// TestConcurrentMixedWorkloadConservation: with inserts and deletes of the
+// same per-key amounts tracked, the final contents must equal the net sums.
+func TestConcurrentMixedWorkloadConservation(t *testing.T) {
+	const procs = 6
+	const perProc = 400
+	const keyRange = 24
+	m := multiset.New[int]()
+
+	inserted := make([][]int, procs) // per-proc per-key inserted totals
+	deleted := make([][]int, procs)  // per-proc per-key deleted totals
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		inserted[g] = make([]int, keyRange)
+		deleted[g] = make([]int, keyRange)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				key := rng.Intn(keyRange)
+				count := 1 + rng.Intn(4)
+				if rng.Intn(2) == 0 {
+					m.Insert(p, key, count)
+					inserted[g][key] += count
+				} else if m.Delete(p, key, count) {
+					deleted[g][key] += count
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	want := make(map[int]int)
+	for k := 0; k < keyRange; k++ {
+		net := 0
+		for g := 0; g < procs; g++ {
+			net += inserted[g][k] - deleted[g][k]
+		}
+		if net < 0 {
+			t.Fatalf("key %d: net %d < 0 — deletes deleted more than inserted", k, net)
+		}
+		if net > 0 {
+			want[k] = net
+		}
+	}
+	items := m.Items()
+	for k, v := range want {
+		if items[k] != v {
+			t.Errorf("key %d: count %d, want %d", k, items[k], v)
+		}
+	}
+	for k, v := range items {
+		if want[k] != v {
+			t.Errorf("key %d: unexpected count %d (want %d)", k, v, want[k])
+		}
+	}
+	checkInv(t, m)
+}

@@ -1,0 +1,216 @@
+package mwcas_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/mwcas"
+)
+
+func cells(vals ...int) []*mwcas.Cell[int] {
+	cs := make([]*mwcas.Cell[int], len(vals))
+	for i, v := range vals {
+		cs[i] = mwcas.NewCell(v)
+	}
+	return cs
+}
+
+func TestMWCASSucceedsWhenAllMatch(t *testing.T) {
+	cs := cells(1, 2, 3)
+	if !mwcas.MWCAS(cs, []int{1, 2, 3}, []int{10, 20, 30}, nil) {
+		t.Fatal("MWCAS failed though all values matched")
+	}
+	for i, want := range []int{10, 20, 30} {
+		if got := mwcas.Read(cs[i]); got != want {
+			t.Errorf("cell[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMWCASFailsOnAnyMismatchAndRestores(t *testing.T) {
+	for bad := 0; bad < 3; bad++ {
+		t.Run(fmt.Sprintf("mismatchAt%d", bad), func(t *testing.T) {
+			cs := cells(1, 2, 3)
+			old := []int{1, 2, 3}
+			old[bad] = 99
+			if mwcas.MWCAS(cs, old, []int{10, 20, 30}, nil) {
+				t.Fatal("MWCAS succeeded with a mismatch")
+			}
+			for i, want := range []int{1, 2, 3} {
+				if got := mwcas.Read(cs[i]); got != want {
+					t.Errorf("cell[%d] = %d, want restored %d", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestMWCASStepCount2kPlus1(t *testing.T) {
+	// The paper's Section 2 costing: an uncontended k-CAS takes 2k+1 CAS
+	// steps (k claims, 1 status, k releases).
+	for k := 1; k <= 6; k++ {
+		vals := make([]int, k)
+		old := make([]int, k)
+		newv := make([]int, k)
+		for i := range vals {
+			vals[i], old[i], newv[i] = i, i, i+100
+		}
+		cs := cells(vals...)
+		var st mwcas.Stats
+		if !mwcas.MWCAS(cs, old, newv, &st) {
+			t.Fatalf("k=%d: MWCAS failed", k)
+		}
+		if got, want := st.CASAttempts.Load(), int64(2*k+1); got != want {
+			t.Errorf("k=%d: CAS steps = %d, want 2k+1 = %d", k, got, want)
+		}
+		if got, want := st.CASSuccesses.Load(), int64(2*k+1); got != want {
+			t.Errorf("k=%d: CAS successes = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestMWCASPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Empty":          func() { mwcas.MWCAS[int](nil, nil, nil, nil) },
+		"LengthMismatch": func() { mwcas.MWCAS(cells(1, 2), []int{1}, []int{2, 3}, nil) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestSortCellsGlobalOrder(t *testing.T) {
+	a, b, c := mwcas.NewCell(1), mwcas.NewCell(2), mwcas.NewCell(3)
+	cs := []*mwcas.Cell[int]{c, a, b}
+	old := []int{3, 1, 2}
+	newv := []int{30, 10, 20}
+	mwcas.SortCells(cs, old, newv)
+	if cs[0] != a || cs[1] != b || cs[2] != c {
+		t.Fatal("SortCells did not order by allocation")
+	}
+	if old[0] != 1 || newv[0] != 10 || old[2] != 3 || newv[2] != 30 {
+		t.Fatal("SortCells did not permute parallel slices consistently")
+	}
+	if !mwcas.MWCAS(cs, old, newv, nil) {
+		t.Fatal("MWCAS after SortCells failed")
+	}
+}
+
+// TestMWCASConcurrentTransfers models bank-style transfers: each op moves 1
+// unit between two cells with a 2-CAS; the total must be conserved and every
+// individual cell must stay within the transferred bounds.
+func TestMWCASConcurrentTransfers(t *testing.T) {
+	const procs = 8
+	const perProc = 500
+	const ncells = 4
+	const initial = 1 << 20 // large enough never to go negative
+
+	cs := make([]*mwcas.Cell[int], ncells)
+	for i := range cs {
+		cs[i] = mwcas.NewCell(initial)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				from := (g + i) % ncells
+				to := (from + 1) % ncells
+				for {
+					pair := []*mwcas.Cell[int]{cs[from], cs[to]}
+					old := []int{mwcas.Read(cs[from]), mwcas.Read(cs[to])}
+					newv := []int{old[0] - 1, old[1] + 1}
+					mwcas.SortCells(pair, old, newv)
+					if mwcas.MWCAS(pair, old, newv, nil) {
+						break
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, c := range cs {
+		total += mwcas.Read(c)
+	}
+	if total != ncells*initial {
+		t.Fatalf("total = %d, want %d (conservation violated)", total, ncells*initial)
+	}
+}
+
+// TestMWCASConcurrentDisjointCounters: operations on disjoint cells never
+// interfere; every increment lands.
+func TestMWCASConcurrentDisjointCounters(t *testing.T) {
+	const procs = 6
+	const perProc = 1000
+	cs := make([]*mwcas.Cell[int], procs)
+	for i := range cs {
+		cs[i] = mwcas.NewCell(0)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				if !mwcas.MWCAS([]*mwcas.Cell[int]{cs[g]}, []int{i}, []int{i + 1}, nil) {
+					t.Errorf("proc %d: disjoint MWCAS failed at %d", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, c := range cs {
+		if got := mwcas.Read(c); got != perProc {
+			t.Errorf("cell[%d] = %d, want %d", g, got, perProc)
+		}
+	}
+}
+
+// TestReadHelpsInProgressOperation ensures Read never returns a claim
+// artifact under heavy overlap.
+func TestReadHelpsInProgressOperation(t *testing.T) {
+	const rounds = 2000
+	a := mwcas.NewCell(0)
+	b := mwcas.NewCell(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < rounds; i++ {
+			mwcas.MWCAS([]*mwcas.Cell[int]{a, b}, []int{i, i}, []int{i + 1, i + 1}, nil)
+		}
+	}()
+	lastA, lastB := -1, -1
+	for {
+		select {
+		case <-done:
+			if va, vb := mwcas.Read(a), mwcas.Read(b); va != rounds || vb != rounds {
+				t.Fatalf("final = (%d,%d), want (%d,%d)", va, vb, rounds, rounds)
+			}
+			return
+		default:
+		}
+		va, vb := mwcas.Read(a), mwcas.Read(b)
+		// Each cell's value is written only by successive MWCASes, so reads
+		// must be monotone and within range; a claim artifact would violate
+		// both.
+		if va < lastA || vb < lastB {
+			t.Fatalf("non-monotone reads: a %d->%d, b %d->%d", lastA, va, lastB, vb)
+		}
+		if va > rounds || vb > rounds {
+			t.Fatalf("out-of-range reads: a=%d b=%d", va, vb)
+		}
+		lastA, lastB = va, vb
+	}
+}

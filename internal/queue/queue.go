@@ -1,0 +1,154 @@
+// Package queue implements a non-blocking FIFO queue on the LLX/SCX
+// primitives, in the shape of the Michael-Scott queue: a dummy head node, a
+// lazily advanced tail hint, and one SCX per mutation. It demonstrates the
+// paper's template away from search structures — enqueue appends by SCXing
+// one next pointer, dequeue advances the head pointer and finalizes exactly
+// the node it removes, so consumers can never act on a stale head.
+package queue
+
+import (
+	"pragmaprim/internal/core"
+)
+
+// Mutable-field indices.
+const (
+	entryHead = 0 // *node[T]: current dummy node
+	entryTail = 1 // *node[T]: tail hint (may lag; never ahead)
+	nodeNext  = 0 // *node[T]: successor
+)
+
+// node is one queue cell; val is immutable, next is the only mutable field.
+type node[T any] struct {
+	rec *core.Record
+	val T
+}
+
+func newNode[T any](val T) *node[T] {
+	n := &node[T]{val: val}
+	n.rec = core.NewRecord(1, []any{nil}, n)
+	return n
+}
+
+func (n *node[T]) next() *node[T] {
+	nxt, _ := n.rec.Read(nodeNext).(*node[T])
+	return nxt
+}
+
+// Queue is a non-blocking FIFO queue. The zero value is not usable; create
+// one with New. All methods are safe for concurrent use provided each
+// goroutine passes its own *core.Process.
+type Queue[T any] struct {
+	entry *core.Record // the sole entry point; never finalized
+}
+
+// New creates an empty queue holding only the initial dummy node.
+func New[T any]() *Queue[T] {
+	var zero T
+	dummy := newNode(zero)
+	return &Queue[T]{entry: core.NewRecord(2, []any{dummy, dummy})}
+}
+
+func (q *Queue[T]) head() *node[T] {
+	h, _ := q.entry.Read(entryHead).(*node[T])
+	return h
+}
+
+func (q *Queue[T]) tailHint() *node[T] {
+	t, _ := q.entry.Read(entryTail).(*node[T])
+	return t
+}
+
+// Enqueue appends val at the tail.
+func (q *Queue[T]) Enqueue(proc *core.Process, val T) {
+	n := newNode(val)
+	for {
+		// Find the last node, starting from the (possibly lagging) hint.
+		last := q.tailHint()
+		if last == nil {
+			last = q.head()
+		}
+		for {
+			nxt := last.next()
+			if nxt == nil {
+				break
+			}
+			last = nxt
+		}
+		localLast, st := proc.LLX(last.rec)
+		if st != core.LLXOK {
+			continue // finalized (dequeued past) or contended; re-find
+		}
+		if localLast[nodeNext] != any(nil) {
+			continue // someone appended after our walk
+		}
+		if proc.SCX([]*core.Record{last.rec}, nil, last.rec.Field(nodeNext), n) {
+			q.advanceTail(proc, n)
+			return
+		}
+	}
+}
+
+// advanceTail best-effort moves the tail hint to n; a failure just leaves
+// the hint lagging, which only costs later enqueues a longer walk.
+func (q *Queue[T]) advanceTail(proc *core.Process, n *node[T]) {
+	if _, st := proc.LLX(q.entry); st != core.LLXOK {
+		return
+	}
+	proc.SCX([]*core.Record{q.entry}, nil, q.entry.Field(entryTail), n)
+}
+
+// Dequeue removes and returns the oldest element; ok is false when the
+// queue is (momentarily) empty.
+func (q *Queue[T]) Dequeue(proc *core.Process) (T, bool) {
+	var zero T
+	for {
+		localEntry, st := proc.LLX(q.entry)
+		if st != core.LLXOK {
+			continue
+		}
+		d, _ := localEntry[entryHead].(*node[T])
+		locald, st := proc.LLX(d.rec)
+		if st != core.LLXOK {
+			continue
+		}
+		f, _ := locald[nodeNext].(*node[T])
+		if f == nil {
+			// The dummy has no successor: empty. The two LLX snapshots are
+			// individually linked; validate them together so the emptiness
+			// observation is atomic.
+			if proc.VLX([]*core.Record{q.entry, d.rec}) {
+				return zero, false
+			}
+			continue
+		}
+		// Swing head to f (which becomes the new dummy) and finalize the
+		// old dummy; f's value is the dequeued element.
+		if proc.SCX([]*core.Record{q.entry, d.rec}, []*core.Record{d.rec},
+			q.entry.Field(entryHead), f) {
+			return f.val, true
+		}
+	}
+}
+
+// Len counts the elements seen by one traversal: exact when quiescent,
+// weakly consistent under concurrency.
+func (q *Queue[T]) Len() int {
+	n := 0
+	for cur := q.head().next(); cur != nil; cur = cur.next() {
+		n++
+	}
+	return n
+}
+
+// Drain dequeues everything currently observable, returning the values in
+// FIFO order. Intended for quiescent use in tests.
+func (q *Queue[T]) Drain(proc *core.Process) []T {
+	var out []T
+	for {
+		v, ok := q.Dequeue(proc)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}

@@ -1,0 +1,298 @@
+package queue_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/history"
+	"pragmaprim/internal/linearizability"
+	"pragmaprim/internal/queue"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	q := queue.New[int]()
+	p := core.NewProcess()
+	if _, ok := q.Dequeue(p); ok {
+		t.Error("Dequeue on empty = true")
+	}
+	if got := q.Len(); got != 0 {
+		t.Errorf("Len = %d", got)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := queue.New[int]()
+	p := core.NewProcess()
+	for i := 1; i <= 10; i++ {
+		q.Enqueue(p, i)
+	}
+	if got := q.Len(); got != 10 {
+		t.Fatalf("Len = %d", got)
+	}
+	for i := 1; i <= 10; i++ {
+		v, ok := q.Dequeue(p)
+		if !ok || v != i {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(p); ok {
+		t.Fatal("Dequeue on drained queue = true")
+	}
+}
+
+func TestInterleavedEnqueueDequeue(t *testing.T) {
+	q := queue.New[string]()
+	p := core.NewProcess()
+	q.Enqueue(p, "a")
+	q.Enqueue(p, "b")
+	if v, _ := q.Dequeue(p); v != "a" {
+		t.Fatalf("Dequeue = %q, want a", v)
+	}
+	q.Enqueue(p, "c")
+	if v, _ := q.Dequeue(p); v != "b" {
+		t.Fatalf("Dequeue = %q, want b", v)
+	}
+	if v, _ := q.Dequeue(p); v != "c" {
+		t.Fatalf("Dequeue = %q, want c", v)
+	}
+}
+
+func TestDrainAfterRefill(t *testing.T) {
+	q := queue.New[int]()
+	p := core.NewProcess()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 20; i++ {
+			q.Enqueue(p, round*100+i)
+		}
+		got := q.Drain(p)
+		if len(got) != 20 {
+			t.Fatalf("round %d: drained %d", round, len(got))
+		}
+		for i, v := range got {
+			if v != round*100+i {
+				t.Fatalf("round %d: out of order at %d: %v", round, i, got)
+			}
+		}
+	}
+}
+
+// TestConcurrentAllElementsSurvive: every enqueued element is dequeued
+// exactly once, across producers and consumers.
+func TestConcurrentAllElementsSurvive(t *testing.T) {
+	const producers = 4
+	const consumers = 4
+	const perProducer = 500
+	q := queue.New[int]()
+
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := core.NewProcess()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(p, g*perProducer+i)
+			}
+		}(g)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	var cg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < consumers; g++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			p := core.NewProcess()
+			for {
+				v, ok := q.Dequeue(p)
+				if !ok {
+					select {
+					case <-stop:
+						// Producers done; drain the remainder, then exit.
+						for {
+							v, ok := q.Dequeue(p)
+							if !ok {
+								return
+							}
+							mu.Lock()
+							seen[v]++
+							mu.Unlock()
+						}
+					default:
+						continue
+					}
+				}
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	cg.Wait()
+
+	if len(seen) != producers*perProducer {
+		t.Fatalf("saw %d distinct elements, want %d", len(seen), producers*perProducer)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("element %d dequeued %d times", v, n)
+		}
+	}
+}
+
+// TestConcurrentPerProducerOrder: FIFO per producer — each producer's
+// elements must be consumed in its enqueue order.
+func TestConcurrentPerProducerOrder(t *testing.T) {
+	const producers = 3
+	const perProducer = 400
+	q := queue.New[[2]int]() // (producer, seq)
+
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := core.NewProcess()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(p, [2]int{g, i})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	p := core.NewProcess()
+	lastSeq := make([]int, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	for {
+		v, ok := q.Dequeue(p)
+		if !ok {
+			break
+		}
+		if v[1] != lastSeq[v[0]]+1 {
+			t.Fatalf("producer %d: seq %d after %d", v[0], v[1], lastSeq[v[0]])
+		}
+		lastSeq[v[0]] = v[1]
+	}
+	for g, last := range lastSeq {
+		if last != perProducer-1 {
+			t.Fatalf("producer %d: only %d elements arrived", g, last+1)
+		}
+	}
+}
+
+// TestConcurrentMixedChurn: random enqueues/dequeues; conservation holds.
+func TestConcurrentMixedChurn(t *testing.T) {
+	const procs = 6
+	const perProc = 500
+	q := queue.New[int]()
+	enq := make([]int64, procs)
+	deq := make([]int64, procs)
+
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				if rng.Intn(2) == 0 {
+					q.Enqueue(p, g*perProc+i)
+					enq[g]++
+				} else if _, ok := q.Dequeue(p); ok {
+					deq[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var totalEnq, totalDeq int64
+	for g := 0; g < procs; g++ {
+		totalEnq += enq[g]
+		totalDeq += deq[g]
+	}
+	if got := int64(q.Len()); got != totalEnq-totalDeq {
+		t.Fatalf("Len = %d, want enq-deq = %d", got, totalEnq-totalDeq)
+	}
+	// Remaining elements are distinct.
+	p := core.NewProcess()
+	rest := q.Drain(p)
+	dup := make(map[int]bool)
+	for _, v := range rest {
+		if dup[v] {
+			t.Fatalf("duplicate element %d survived", v)
+		}
+		dup[v] = true
+	}
+}
+
+// TestLinearizableHistories checks recorded concurrent histories against
+// the sequential FIFO specification.
+func TestLinearizableHistories(t *testing.T) {
+	const rounds = 60
+	const procs = 3
+	const opsPerProc = 5
+
+	for round := 0; round < rounds; round++ {
+		q := queue.New[int]()
+		rec := history.NewRecorder(procs)
+		var wg sync.WaitGroup
+		for g := 0; g < procs; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*procs + g + 101)))
+				p := core.NewProcess()
+				pr := rec.Proc(g)
+				for i := 0; i < opsPerProc; i++ {
+					if rng.Intn(2) == 0 {
+						v := g*100 + i
+						pr.Invoke(linearizability.SeqInput{Op: "enqueue", Val: v},
+							func() any { q.Enqueue(p, v); return nil })
+					} else {
+						pr.Invoke(linearizability.SeqInput{Op: "dequeue"},
+							func() any { v, ok := q.Dequeue(p); return [2]any{v, ok} })
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if !linearizability.Check(linearizability.QueueModel(), rec.Ops()) {
+			t.Fatalf("round %d: history not linearizable:\n%+v", round, rec.Ops())
+		}
+	}
+}
+
+// TestTailHintLagsHarmlessly exercises the lazy tail: dequeue everything so
+// the hint points at finalized nodes, then keep enqueueing.
+func TestTailHintLagsHarmlessly(t *testing.T) {
+	q := queue.New[int]()
+	p := core.NewProcess()
+	for i := 0; i < 50; i++ {
+		q.Enqueue(p, i)
+	}
+	q.Drain(p)
+	for i := 100; i < 150; i++ {
+		q.Enqueue(p, i)
+	}
+	got := q.Drain(p)
+	if len(got) != 50 {
+		t.Fatalf("drained %d, want 50", len(got))
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != 100+i {
+			t.Fatalf("element %d = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package stack implements a non-blocking LIFO stack on the LLX/SCX
+// primitives — the Treiber stack restated in the paper's template. The
+// entry point's top pointer is the only mutable word; cells are fully
+// immutable, and each pop finalizes exactly the cell it unlinks. Because
+// SCX boxes new values freshly, the classic Treiber ABA hazard (top
+// returning to a previously seen cell) is ruled out by construction.
+package stack
+
+import (
+	"pragmaprim/internal/core"
+)
+
+const entryTop = 0 // *cell[T]: top of stack
+
+// cell is one stack cell; both fields are immutable, so cells are
+// Data-records with zero mutable fields.
+type cell[T any] struct {
+	rec  *core.Record
+	val  T
+	next *cell[T]
+}
+
+func newCell[T any](val T, next *cell[T]) *cell[T] {
+	c := &cell[T]{val: val, next: next}
+	c.rec = core.NewRecord(0, nil, c)
+	return c
+}
+
+// Stack is a non-blocking LIFO stack. The zero value is not usable; create
+// one with New. All methods are safe for concurrent use provided each
+// goroutine passes its own *core.Process.
+type Stack[T any] struct {
+	entry *core.Record // the sole entry point; never finalized
+}
+
+// New creates an empty stack.
+func New[T any]() *Stack[T] {
+	return &Stack[T]{entry: core.NewRecord(1, []any{nil})}
+}
+
+func (s *Stack[T]) top() *cell[T] {
+	t, _ := s.entry.Read(entryTop).(*cell[T])
+	return t
+}
+
+// Push adds val on top.
+func (s *Stack[T]) Push(proc *core.Process, val T) {
+	for {
+		localEntry, st := proc.LLX(s.entry)
+		if st != core.LLXOK {
+			continue
+		}
+		topCell, _ := localEntry[entryTop].(*cell[T])
+		if proc.SCX([]*core.Record{s.entry}, nil, s.entry.Field(entryTop),
+			newCell(val, topCell)) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top element; ok is false when the stack is
+// (momentarily) empty.
+func (s *Stack[T]) Pop(proc *core.Process) (T, bool) {
+	var zero T
+	for {
+		localEntry, st := proc.LLX(s.entry)
+		if st != core.LLXOK {
+			continue
+		}
+		topCell, _ := localEntry[entryTop].(*cell[T])
+		if topCell == nil {
+			// The LLX snapshot itself is the atomic emptiness witness.
+			return zero, false
+		}
+		if _, st := proc.LLX(topCell.rec); st != core.LLXOK {
+			continue
+		}
+		if proc.SCX([]*core.Record{s.entry, topCell.rec},
+			[]*core.Record{topCell.rec},
+			s.entry.Field(entryTop), topCell.next) {
+			return topCell.val, true
+		}
+	}
+}
+
+// Len counts the cells seen by one traversal: exact when quiescent, weakly
+// consistent under concurrency.
+func (s *Stack[T]) Len() int {
+	n := 0
+	for c := s.top(); c != nil; c = c.next {
+		n++
+	}
+	return n
+}
+
+// Drain pops everything currently observable, returning values in LIFO
+// order. Intended for quiescent use in tests.
+func (s *Stack[T]) Drain(proc *core.Process) []T {
+	var out []T
+	for {
+		v, ok := s.Pop(proc)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}

@@ -1,0 +1,208 @@
+package stack_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/history"
+	"pragmaprim/internal/linearizability"
+	"pragmaprim/internal/stack"
+)
+
+func TestEmptyStack(t *testing.T) {
+	s := stack.New[int]()
+	p := core.NewProcess()
+	if _, ok := s.Pop(p); ok {
+		t.Error("Pop on empty = true")
+	}
+	if got := s.Len(); got != 0 {
+		t.Errorf("Len = %d", got)
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	s := stack.New[int]()
+	p := core.NewProcess()
+	for i := 1; i <= 10; i++ {
+		s.Push(p, i)
+	}
+	if got := s.Len(); got != 10 {
+		t.Fatalf("Len = %d", got)
+	}
+	for i := 10; i >= 1; i-- {
+		v, ok := s.Pop(p)
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := s.Pop(p); ok {
+		t.Fatal("Pop on drained stack = true")
+	}
+}
+
+func TestDrainAfterRefill(t *testing.T) {
+	s := stack.New[int]()
+	p := core.NewProcess()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 20; i++ {
+			s.Push(p, i)
+		}
+		got := s.Drain(p)
+		if len(got) != 20 {
+			t.Fatalf("round %d: drained %d", round, len(got))
+		}
+		for i, v := range got {
+			if v != 19-i {
+				t.Fatalf("round %d: out of order: %v", round, got)
+			}
+		}
+	}
+}
+
+// TestConcurrentAllElementsSurvive: every pushed element pops exactly once.
+func TestConcurrentAllElementsSurvive(t *testing.T) {
+	const pushers = 4
+	const perPusher = 500
+	s := stack.New[int]()
+
+	var wg sync.WaitGroup
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := core.NewProcess()
+			for i := 0; i < perPusher; i++ {
+				s.Push(p, g*perPusher+i)
+			}
+		}(g)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	var pg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < pushers; g++ {
+		pg.Add(1)
+		go func() {
+			defer pg.Done()
+			p := core.NewProcess()
+			for {
+				v, ok := s.Pop(p)
+				if ok {
+					mu.Lock()
+					seen[v]++
+					mu.Unlock()
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						v, ok := s.Pop(p)
+						if !ok {
+							return
+						}
+						mu.Lock()
+						seen[v]++
+						mu.Unlock()
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	pg.Wait()
+
+	if len(seen) != pushers*perPusher {
+		t.Fatalf("saw %d distinct elements, want %d", len(seen), pushers*perPusher)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("element %d popped %d times", v, n)
+		}
+	}
+}
+
+// TestConcurrentChurnConservation mirrors the queue churn test.
+func TestConcurrentChurnConservation(t *testing.T) {
+	const procs = 6
+	const perProc = 500
+	s := stack.New[int]()
+	pushes := make([]int64, procs)
+	pops := make([]int64, procs)
+
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				if rng.Intn(2) == 0 {
+					s.Push(p, g*perProc+i)
+					pushes[g]++
+				} else if _, ok := s.Pop(p); ok {
+					pops[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var totalPush, totalPop int64
+	for g := 0; g < procs; g++ {
+		totalPush += pushes[g]
+		totalPop += pops[g]
+	}
+	if got := int64(s.Len()); got != totalPush-totalPop {
+		t.Fatalf("Len = %d, want %d", got, totalPush-totalPop)
+	}
+	p := core.NewProcess()
+	dup := make(map[int]bool)
+	for _, v := range s.Drain(p) {
+		if dup[v] {
+			t.Fatalf("duplicate element %d survived", v)
+		}
+		dup[v] = true
+	}
+}
+
+// TestLinearizableHistories checks recorded concurrent histories against
+// the sequential LIFO specification.
+func TestLinearizableHistories(t *testing.T) {
+	const rounds = 60
+	const procs = 3
+	const opsPerProc = 5
+
+	for round := 0; round < rounds; round++ {
+		s := stack.New[int]()
+		rec := history.NewRecorder(procs)
+		var wg sync.WaitGroup
+		for g := 0; g < procs; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*procs + g + 202)))
+				p := core.NewProcess()
+				pr := rec.Proc(g)
+				for i := 0; i < opsPerProc; i++ {
+					if rng.Intn(2) == 0 {
+						v := g*100 + i
+						pr.Invoke(linearizability.SeqInput{Op: "push", Val: v},
+							func() any { s.Push(p, v); return nil })
+					} else {
+						pr.Invoke(linearizability.SeqInput{Op: "pop"},
+							func() any { v, ok := s.Pop(p); return [2]any{v, ok} })
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if !linearizability.Check(linearizability.StackModel(), rec.Ops()) {
+			t.Fatalf("round %d: history not linearizable:\n%+v", round, rec.Ops())
+		}
+	}
+}

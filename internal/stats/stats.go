@@ -1,0 +1,154 @@
+// Package stats provides the small numeric and table-rendering helpers the
+// experiment harness uses: summary statistics over repeated trials and
+// aligned plain-text tables matching the rows/series in EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Summary holds the summary statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0-100) of xs by linear
+// interpolation between closest ranks. An empty sample yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Throughput converts an operation count and elapsed seconds to ops/second.
+func Throughput(ops int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(ops) / seconds
+}
+
+// Table accumulates rows and renders them as an aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// formatFloat renders large values without scientific noise and small ones
+// with useful precision.
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Rows returns the formatted rows added so far; the slice is shared, do not
+// modify. Intended for tests and programmatic consumers.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// Headers returns the column headers.
+func (t *Table) Headers() []string { return t.headers }
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", t.title, strings.Repeat("-", len(t.title)))
+	}
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.headers, "\t"))
+	for _, row := range t.rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package stats_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pragmaprim/internal/stats"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := stats.Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Mean != 3 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 3 {
+		t.Errorf("Median = %v", s.Median)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("Stddev = %v, want %v", s.Stddev, math.Sqrt(2.5))
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := stats.Summarize(nil); s.N != 0 {
+		t.Errorf("empty N = %d", s.N)
+	}
+	s := stats.Summarize([]float64{7})
+	if s.Mean != 7 || s.Stddev != 0 || s.Median != 7 {
+		t.Errorf("single: %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {110, 40},
+	}
+	for _, c := range cases {
+		if got := stats.Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := stats.Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(empty) = %v", got)
+	}
+	// Input must not be reordered.
+	orig := []float64{3, 1, 2}
+	stats.Percentile(orig, 50)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := stats.Throughput(1000, 2); got != 500 {
+		t.Errorf("Throughput = %v", got)
+	}
+	if got := stats.Throughput(1000, 0); got != 0 {
+		t.Errorf("Throughput with zero time = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := stats.NewTable("My Table", "k", "value")
+	tb.AddRow(1, 3.14159)
+	tb.AddRow(2, 1000000.0)
+	out := tb.String()
+	for _, want := range []string{"My Table", "k", "value", "3.142", "1000000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, underline, header, 2 rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := stats.NewTable("", "a")
+	tb.AddRow("x")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Errorf("untitled table rendered an underline:\n%s", out)
+	}
+}

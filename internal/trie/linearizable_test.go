@@ -1,0 +1,58 @@
+package trie_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/history"
+	"pragmaprim/internal/linearizability"
+	"pragmaprim/internal/trie"
+)
+
+// TestLinearizableHistories records small concurrent runs against the trie
+// and verifies each against the sequential map specification.
+func TestLinearizableHistories(t *testing.T) {
+	const rounds = 60
+	const procs = 3
+	const opsPerProc = 5
+	const keyRange = 3
+
+	for round := 0; round < rounds; round++ {
+		tr := trie.New[int]()
+		rec := history.NewRecorder(procs)
+
+		var wg sync.WaitGroup
+		for g := 0; g < procs; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*procs + g + 555)))
+				p := core.NewProcess()
+				pr := rec.Proc(g)
+				for i := 0; i < opsPerProc; i++ {
+					key := rng.Intn(keyRange)
+					val := rng.Intn(100)
+					switch rng.Intn(3) {
+					case 0:
+						pr.Invoke(linearizability.MapInput{Op: "put", Key: key, Val: val},
+							func() any { return tr.Put(p, uint64(key), val) })
+					case 1:
+						pr.Invoke(linearizability.MapInput{Op: "delete", Key: key},
+							func() any { v, ok := tr.Delete(p, uint64(key)); return [2]any{v, ok} })
+					default:
+						pr.Invoke(linearizability.MapInput{Op: "get", Key: key},
+							func() any { v, ok := tr.Get(p, uint64(key)); return [2]any{v, ok} })
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		ops := rec.Ops()
+		if !linearizability.Check(linearizability.MapModel(), ops) {
+			t.Fatalf("round %d: history not linearizable:\n%+v", round, ops)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package trie implements a non-blocking binary Patricia trie on the
+// LLX/SCX primitives. The paper's related work (Section 2) points to
+// non-blocking Patricia tries as a product of the same cooperative
+// technique; this implementation shows the LLX/SCX template carrying over
+// unchanged: searches are plain reads (Proposition 2), every update is one
+// SCX that swings a single child pointer and finalizes exactly the removed
+// nodes.
+//
+// Keys are uint64, compared most-significant-bit first. Internal nodes are
+// pure routers labelled with the bit index where their subtrees diverge
+// (path compression: bit indices strictly increase downward); leaves carry
+// the key/value pairs. The trie's shape is a deterministic function of its
+// key set, so no rebalancing is ever needed — which is exactly why it is a
+// popular companion structure to the paper's BSTs.
+package trie
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pragmaprim/internal/core"
+)
+
+// Mutable-field indices. The root record has a single child field; internal
+// nodes have two.
+const (
+	fieldChild0 = 0 // bit == 0 side (also the root's only child field)
+	fieldChild1 = 1
+)
+
+// node is one trie node. All fields except the record's child pointers are
+// immutable.
+type node[V any] struct {
+	rec  *core.Record
+	leaf bool
+	bit  int    // internal: diverging bit index, 0 (MSB) .. 63
+	key  uint64 // leaf: the key
+	val  V      // leaf: the value
+}
+
+func newInternal[V any](bit int, child0, child1 *node[V]) *node[V] {
+	n := &node[V]{bit: bit}
+	n.rec = core.NewRecord(2, []any{child0, child1}, n)
+	return n
+}
+
+func newLeaf[V any](key uint64, val V) *node[V] {
+	n := &node[V]{leaf: true, key: key, val: val}
+	n.rec = core.NewRecord(0, nil, n)
+	return n
+}
+
+// child reads child dir of internal node n with a plain read.
+func (n *node[V]) child(dir int) *node[V] {
+	c, _ := n.rec.Read(dir).(*node[V])
+	return c
+}
+
+// bitOf extracts bit i of key, MSB first.
+func bitOf(key uint64, i int) int {
+	return int(key>>(63-i)) & 1
+}
+
+// diffBit returns the index of the most significant bit where a and b
+// differ; a must differ from b.
+func diffBit(a, b uint64) int {
+	return bits.LeadingZeros64(a ^ b)
+}
+
+// Trie is a non-blocking map from uint64 keys to V. The zero value is not
+// usable; create one with New. All methods are safe for concurrent use
+// provided each goroutine passes its own *core.Process.
+type Trie[V any] struct {
+	root *core.Record // entry point: one mutable field, the trie's root node
+}
+
+// New creates an empty trie. The entry-point record is never finalized.
+func New[V any]() *Trie[V] {
+	return &Trie[V]{root: core.NewRecord(1, []any{nil})}
+}
+
+// top reads the trie's root node (nil when empty).
+func (t *Trie[V]) top() *node[V] {
+	n, _ := t.root.Read(fieldChild0).(*node[V])
+	return n
+}
+
+// Get returns the value stored for key, if any.
+func (t *Trie[V]) Get(proc *core.Process, key uint64) (V, bool) {
+	var zero V
+	n := t.top()
+	for n != nil && !n.leaf {
+		n = n.child(bitOf(key, n.bit))
+	}
+	if n != nil && n.key == key {
+		return n.val, true
+	}
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (t *Trie[V]) Contains(proc *core.Process, key uint64) bool {
+	_, ok := t.Get(proc, key)
+	return ok
+}
+
+// walkToLeaf follows key's bits from n to a leaf.
+func walkToLeaf[V any](n *node[V], key uint64) *node[V] {
+	for n != nil && !n.leaf {
+		n = n.child(bitOf(key, n.bit))
+	}
+	return n
+}
+
+// Put maps key to val, returning true if key was newly inserted and false
+// if an existing mapping was replaced.
+func (t *Trie[V]) Put(proc *core.Process, key uint64, val V) bool {
+	for {
+		// Phase 1: probe for a leaf sharing key's routed prefix.
+		top := t.top()
+		if top == nil {
+			// Empty trie: install the first leaf at the entry point.
+			localr, st := proc.LLX(t.root)
+			if st != core.LLXOK {
+				continue
+			}
+			if localr[fieldChild0] != any(nil) {
+				continue // no longer empty; re-run
+			}
+			if proc.SCX([]*core.Record{t.root}, nil, t.root.Field(fieldChild0),
+				newLeaf(key, val)) {
+				return true
+			}
+			continue
+		}
+		probe := walkToLeaf(top, key)
+		if probe.key == key {
+			// Replace the existing leaf in place, finalizing it.
+			if t.replaceLeaf(proc, key, val) {
+				return false
+			}
+			continue
+		}
+		// Phase 2: splice a router at the diverging bit b: descend to the
+		// first edge whose child is a leaf or routes at or below b.
+		b := diffBit(key, probe.key)
+		parentRec, parentDir, cur := t.descendTo(key, b)
+		if cur == nil {
+			continue // structure moved; re-run
+		}
+		localp, st := proc.LLX(parentRec)
+		if st != core.LLXOK {
+			continue
+		}
+		if c, _ := localp[parentDir].(*node[V]); c != cur {
+			continue
+		}
+		// Revalidate b against the live structure: every key ever placed
+		// under cur shares cur's routing prefix, so one representative leaf
+		// pins the whole subtree's divergence from key. A stale probe (e.g.
+		// its leaf was deleted meanwhile) fails these checks and retries.
+		rep := walkToLeaf(cur, key)
+		if rep == nil || rep.key == key || diffBit(key, rep.key) != b {
+			continue
+		}
+		if !cur.leaf && cur.bit <= b {
+			continue
+		}
+		nl := newLeaf(key, val)
+		var inner *node[V]
+		if bitOf(key, b) == 0 {
+			inner = newInternal(b, nl, cur)
+		} else {
+			inner = newInternal(b, cur, nl)
+		}
+		if proc.SCX([]*core.Record{parentRec}, nil,
+			recField(parentRec, parentDir), inner) {
+			return true
+		}
+	}
+}
+
+// recField builds a FieldRef for a raw record (the entry point has one
+// field; internal nodes have two).
+func recField(rec *core.Record, dir int) core.FieldRef {
+	return rec.Field(dir)
+}
+
+// descendTo walks toward key and returns the edge (parent record, field
+// index) whose current child cur is the first node that is a leaf or routes
+// at a bit index >= b — the splice point for a new router at bit b.
+func (t *Trie[V]) descendTo(key uint64, b int) (*core.Record, int, *node[V]) {
+	parentRec := t.root
+	parentDir := fieldChild0
+	cur := t.top()
+	for cur != nil && !cur.leaf && cur.bit < b {
+		parentRec = cur.rec
+		parentDir = bitOf(key, cur.bit)
+		cur = cur.child(parentDir)
+	}
+	return parentRec, parentDir, cur
+}
+
+// replaceLeaf swaps the leaf holding key for a fresh leaf with val,
+// finalizing the old one. Returns false if the structure moved.
+func (t *Trie[V]) replaceLeaf(proc *core.Process, key uint64, val V) bool {
+	parentRec := t.root
+	parentDir := fieldChild0
+	cur := t.top()
+	for cur != nil && !cur.leaf {
+		parentRec = cur.rec
+		parentDir = bitOf(key, cur.bit)
+		cur = cur.child(parentDir)
+	}
+	if cur == nil || cur.key != key {
+		return false
+	}
+	localp, st := proc.LLX(parentRec)
+	if st != core.LLXOK {
+		return false
+	}
+	if c, _ := localp[parentDir].(*node[V]); c != cur {
+		return false
+	}
+	if _, st := proc.LLX(cur.rec); st != core.LLXOK {
+		return false
+	}
+	return proc.SCX([]*core.Record{parentRec, cur.rec}, []*core.Record{cur.rec},
+		recField(parentRec, parentDir), newLeaf(key, val))
+}
+
+// Delete removes key's mapping, returning the removed value and true, or
+// the zero value and false if key was absent.
+func (t *Trie[V]) Delete(proc *core.Process, key uint64) (V, bool) {
+	var zero V
+	for {
+		// Track grandparent edge, parent node, and leaf during the descent.
+		gRec := t.root
+		gDir := fieldChild0
+		var p *node[V]
+		l := t.top()
+		for l != nil && !l.leaf {
+			if p != nil {
+				gRec = p.rec
+				gDir = bitOf(key, p.bit)
+			}
+			p = l
+			l = l.child(bitOf(key, p.bit))
+		}
+		if l == nil || l.key != key {
+			return zero, false
+		}
+		if p == nil {
+			// The leaf is the entire trie: unlink it from the entry point.
+			localr, st := proc.LLX(t.root)
+			if st != core.LLXOK {
+				continue
+			}
+			if c, _ := localr[fieldChild0].(*node[V]); c != l {
+				continue
+			}
+			if _, st := proc.LLX(l.rec); st != core.LLXOK {
+				continue
+			}
+			if proc.SCX([]*core.Record{t.root, l.rec}, []*core.Record{l.rec},
+				t.root.Field(fieldChild0), nil) {
+				return l.val, true
+			}
+			continue
+		}
+		// Replace p with l's sibling, finalizing p and l.
+		localg, st := proc.LLX(gRec)
+		if st != core.LLXOK {
+			continue
+		}
+		if c, _ := localg[gDir].(*node[V]); c != p {
+			continue
+		}
+		localp, st := proc.LLX(p.rec)
+		if st != core.LLXOK {
+			continue
+		}
+		ldir := bitOf(key, p.bit)
+		if c, _ := localp[ldir].(*node[V]); c != l {
+			continue
+		}
+		s, _ := localp[1-ldir].(*node[V])
+		if s == nil {
+			continue
+		}
+		if _, st := proc.LLX(l.rec); st != core.LLXOK {
+			continue
+		}
+		if _, st := proc.LLX(s.rec); st != core.LLXOK {
+			continue
+		}
+		// V in preorder-consistent order: grandparent edge owner, p, then
+		// p's children in child order.
+		v := make([]*core.Record, 0, 4)
+		v = append(v, gRec, p.rec)
+		if ldir == 0 {
+			v = append(v, l.rec, s.rec)
+		} else {
+			v = append(v, s.rec, l.rec)
+		}
+		if proc.SCX(v, []*core.Record{p.rec, l.rec}, recField(gRec, gDir), s) {
+			return l.val, true
+		}
+	}
+}
+
+// Len returns the number of keys observed by one traversal (exact when
+// quiescent, weakly consistent under concurrency per Proposition 2).
+func (t *Trie[V]) Len() int {
+	n := 0
+	t.walk(t.top(), func(*node[V]) { n++ })
+	return n
+}
+
+// Keys returns the keys in ascending order (MSB-first bit order IS numeric
+// order), with the same consistency caveat as Len.
+func (t *Trie[V]) Keys() []uint64 {
+	var keys []uint64
+	t.walk(t.top(), func(l *node[V]) { keys = append(keys, l.key) })
+	return keys
+}
+
+// Items returns the key -> value contents, same caveat as Len.
+func (t *Trie[V]) Items() map[uint64]V {
+	items := make(map[uint64]V)
+	t.walk(t.top(), func(l *node[V]) { items[l.key] = l.val })
+	return items
+}
+
+func (t *Trie[V]) walk(n *node[V], visit func(l *node[V])) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		visit(n)
+		return
+	}
+	t.walk(n.child(fieldChild0), visit)
+	t.walk(n.child(fieldChild1), visit)
+}
+
+// CheckInvariants verifies the Patricia shape on a quiescent trie: bit
+// indices strictly increase downward, every key in a subtree agrees with
+// the routing decisions above it, internal nodes have two children, and no
+// reachable node is finalized.
+func (t *Trie[V]) CheckInvariants() error {
+	if t.root.Finalized() {
+		return fmt.Errorf("entry point finalized")
+	}
+	return t.check(t.top(), -1, 0, 0)
+}
+
+// check validates subtree n: parentBit is the bit index of n's parent (-1
+// at the top), and the bits of prefix masked by mask are the routing
+// decisions taken so far.
+func (t *Trie[V]) check(n *node[V], parentBit int, prefix, mask uint64) error {
+	if n == nil {
+		if parentBit == -1 {
+			return nil // empty trie
+		}
+		return fmt.Errorf("internal node missing a child")
+	}
+	if n.rec.Finalized() {
+		return fmt.Errorf("reachable node finalized (leaf=%v bit=%d key=%d)",
+			n.leaf, n.bit, n.key)
+	}
+	if n.leaf {
+		if n.key&mask != prefix {
+			return fmt.Errorf("leaf key %#x disagrees with routing prefix %#x/%#x",
+				n.key, prefix, mask)
+		}
+		return nil
+	}
+	if n.bit <= parentBit {
+		return fmt.Errorf("bit indices not increasing: parent %d, child %d",
+			parentBit, n.bit)
+	}
+	if n.bit > 63 {
+		return fmt.Errorf("bit index %d out of range", n.bit)
+	}
+	m := uint64(1) << (63 - n.bit)
+	if err := t.check(n.child(fieldChild0), n.bit, prefix, mask|m); err != nil {
+		return err
+	}
+	return t.check(n.child(fieldChild1), n.bit, prefix|m, mask|m)
+}

@@ -1,0 +1,323 @@
+package trie_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/trie"
+)
+
+func checkInv(t *testing.T, tr *trie.Trie[int]) {
+	t.Helper()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+}
+
+func TestEmptyTrie(t *testing.T) {
+	tr := trie.New[int]()
+	p := core.NewProcess()
+	if _, ok := tr.Get(p, 5); ok {
+		t.Error("Get on empty returned ok")
+	}
+	if _, ok := tr.Delete(p, 5); ok {
+		t.Error("Delete on empty = true")
+	}
+	if got := tr.Len(); got != 0 {
+		t.Errorf("Len = %d", got)
+	}
+	checkInv(t, tr)
+}
+
+func TestPutGetSingle(t *testing.T) {
+	tr := trie.New[int]()
+	p := core.NewProcess()
+	if !tr.Put(p, 42, 420) {
+		t.Fatal("Put of new key = false")
+	}
+	if v, ok := tr.Get(p, 42); !ok || v != 420 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	checkInv(t, tr)
+}
+
+func TestPutReplace(t *testing.T) {
+	tr := trie.New[int]()
+	p := core.NewProcess()
+	tr.Put(p, 42, 1)
+	if tr.Put(p, 42, 2) {
+		t.Fatal("Put of existing key = true")
+	}
+	if v, _ := tr.Get(p, 42); v != 2 {
+		t.Fatalf("Get = %d, want 2", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	checkInv(t, tr)
+}
+
+func TestPutManyKeysSorted(t *testing.T) {
+	tr := trie.New[int]()
+	p := core.NewProcess()
+	keys := []uint64{0, 1, 2, 3, 0xFF, 0xFF00, 1 << 40, 1<<63 + 5, 7, 6}
+	for _, k := range keys {
+		tr.Put(p, k, int(k%1000))
+	}
+	got := tr.Keys()
+	want := append([]uint64(nil), keys...)
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+	checkInv(t, tr)
+}
+
+func TestDeleteDownToEmpty(t *testing.T) {
+	tr := trie.New[int]()
+	p := core.NewProcess()
+	for _, k := range []uint64{5, 9, 12} {
+		tr.Put(p, k, int(k))
+	}
+	for _, k := range []uint64{9, 5, 12} {
+		v, ok := tr.Delete(p, k)
+		if !ok || v != int(k) {
+			t.Fatalf("Delete(%d) = (%d,%v)", k, v, ok)
+		}
+		checkInv(t, tr)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after draining", tr.Len())
+	}
+	// Still usable after emptying.
+	tr.Put(p, 77, 770)
+	if v, ok := tr.Get(p, 77); !ok || v != 770 {
+		t.Fatalf("Get(77) = (%d,%v)", v, ok)
+	}
+	checkInv(t, tr)
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := trie.New[int]()
+	p := core.NewProcess()
+	tr.Put(p, 8, 80)
+	if _, ok := tr.Delete(p, 9); ok {
+		t.Fatal("Delete of absent key = true")
+	}
+	// Key sharing a long prefix with an existing key but absent.
+	if _, ok := tr.Delete(p, 8|1<<63); ok {
+		t.Fatal("Delete of absent high-bit sibling = true")
+	}
+	checkInv(t, tr)
+}
+
+func TestAdjacentKeys(t *testing.T) {
+	// Keys differing only in the lowest bit exercise bit index 63.
+	tr := trie.New[int]()
+	p := core.NewProcess()
+	tr.Put(p, 10, 1)
+	tr.Put(p, 11, 2)
+	if v, _ := tr.Get(p, 10); v != 1 {
+		t.Fatalf("Get(10) = %d", v)
+	}
+	if v, _ := tr.Get(p, 11); v != 2 {
+		t.Fatalf("Get(11) = %d", v)
+	}
+	if _, ok := tr.Delete(p, 10); !ok {
+		t.Fatal("Delete(10) failed")
+	}
+	if v, _ := tr.Get(p, 11); v != 2 {
+		t.Fatalf("Get(11) after sibling delete = %d", v)
+	}
+	checkInv(t, tr)
+}
+
+func TestExtremeKeys(t *testing.T) {
+	tr := trie.New[int]()
+	p := core.NewProcess()
+	keys := []uint64{0, ^uint64(0), 1, 1 << 63}
+	for i, k := range keys {
+		tr.Put(p, k, i)
+	}
+	for i, k := range keys {
+		if v, ok := tr.Get(p, k); !ok || v != i {
+			t.Fatalf("Get(%#x) = (%d,%v), want (%d,true)", k, v, ok, i)
+		}
+	}
+	checkInv(t, tr)
+}
+
+func TestQuickAgainstMapModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  int16
+	}
+	f := func(ops []op) bool {
+		tr := trie.New[int]()
+		p := core.NewProcess()
+		model := make(map[uint64]int)
+		for _, o := range ops {
+			key := uint64(o.Key % 32)
+			val := int(o.Val)
+			switch o.Kind % 3 {
+			case 0:
+				_, existed := model[key]
+				if tr.Put(p, key, val) != !existed {
+					return false
+				}
+				model[key] = val
+			case 1:
+				want, existed := model[key]
+				got, ok := tr.Delete(p, key)
+				if ok != existed || (existed && got != want) {
+					return false
+				}
+				delete(model, key)
+			default:
+				want, existed := model[key]
+				got, ok := tr.Get(p, key)
+				if ok != existed || (existed && got != want) {
+					return false
+				}
+			}
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		items := tr.Items()
+		if len(items) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if items[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentPutDisjoint(t *testing.T) {
+	const procs = 8
+	const perProc = 300
+	tr := trie.New[int]()
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				k := uint64(g*perProc + i)
+				if !tr.Put(p, k, int(k)) {
+					t.Errorf("Put(%d) of fresh key = false", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p := core.NewProcess()
+	for k := 0; k < procs*perProc; k++ {
+		if v, ok := tr.Get(p, uint64(k)); !ok || v != k {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	checkInv(t, tr)
+}
+
+func TestConcurrentChurnDrainsToEmpty(t *testing.T) {
+	const procs = 8
+	const perProc = 250
+	tr := trie.New[int]()
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				k := uint64(g*1000 + rng.Intn(400))
+				tr.Put(p, k, int(k))
+				if _, ok := tr.Delete(p, k); !ok {
+					t.Errorf("Delete(%d) = false though owned", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 0 {
+		t.Fatalf("Len = %d, want 0; keys=%v", got, tr.Keys())
+	}
+	checkInv(t, tr)
+}
+
+func TestConcurrentSharedKeysReconcile(t *testing.T) {
+	const procs = 6
+	const perProc = 400
+	const keyRange = 16
+	tr := trie.New[int]()
+	inserts := make([][]int64, procs)
+	deletes := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		inserts[g] = make([]int64, keyRange)
+		deletes[g] = make([]int64, keyRange)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 31)))
+			p := core.NewProcess()
+			for i := 0; i < perProc; i++ {
+				k := uint64(rng.Intn(keyRange))
+				if rng.Intn(2) == 0 {
+					if tr.Put(p, k, g) {
+						inserts[g][k]++
+					}
+				} else if _, ok := tr.Delete(p, k); ok {
+					deletes[g][k]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	checkInv(t, tr)
+	present := make(map[uint64]bool)
+	for _, k := range tr.Keys() {
+		present[k] = true
+	}
+	for k := 0; k < keyRange; k++ {
+		var ins, del int64
+		for g := 0; g < procs; g++ {
+			ins += inserts[g][k]
+			del += deletes[g][k]
+		}
+		switch ins - del {
+		case 0:
+			if present[uint64(k)] {
+				t.Errorf("key %d present with inserts==deletes", k)
+			}
+		case 1:
+			if !present[uint64(k)] {
+				t.Errorf("key %d absent with inserts=deletes+1", k)
+			}
+		default:
+			t.Errorf("key %d: impossible insert/delete gap %d", k, ins-del)
+		}
+	}
+}

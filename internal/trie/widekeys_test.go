@@ -1,0 +1,97 @@
+package trie_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/trie"
+)
+
+// TestQuickWideKeys drives the trie with full-range 64-bit keys, exercising
+// splits at every bit depth, and checks contents and ordering against a map.
+func TestQuickWideKeys(t *testing.T) {
+	f := func(keys []uint64, deletions []uint8) bool {
+		tr := trie.New[int]()
+		p := core.NewProcess()
+		model := make(map[uint64]int)
+		for i, k := range keys {
+			tr.Put(p, k, i)
+			model[k] = i
+		}
+		for _, d := range deletions {
+			if len(keys) == 0 {
+				break
+			}
+			k := keys[int(d)%len(keys)]
+			_, gotOK := tr.Delete(p, k)
+			_, wantOK := model[k]
+			if gotOK != wantOK {
+				return false
+			}
+			delete(model, k)
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		got := tr.Keys()
+		want := make([]uint64, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		for k, v := range model {
+			if gv, ok := tr.Get(p, k); !ok || gv != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusteredHighBitKeys stresses splits close to the MSB and dense
+// clusters sharing long prefixes.
+func TestClusteredHighBitKeys(t *testing.T) {
+	tr := trie.New[int]()
+	p := core.NewProcess()
+	rng := rand.New(rand.NewSource(17))
+	base := uint64(0xDEADBEEF) << 32
+	inserted := make(map[uint64]bool)
+	for i := 0; i < 2000; i++ {
+		k := base | uint64(rng.Intn(512)) // long shared prefix
+		if rng.Intn(2) == 0 {
+			k |= 1 << 63 // and a cluster differing at the MSB
+		}
+		if rng.Intn(4) == 0 {
+			tr.Delete(p, k)
+			delete(inserted, k)
+		} else {
+			tr.Put(p, k, int(k&0xFFFF))
+			inserted[k] = true
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if got := tr.Len(); got != len(inserted) {
+		t.Fatalf("Len = %d, want %d", got, len(inserted))
+	}
+	for k := range inserted {
+		if _, ok := tr.Get(p, k); !ok {
+			t.Fatalf("key %#x lost", k)
+		}
+	}
+}

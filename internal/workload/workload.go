@@ -1,0 +1,166 @@
+// Package workload generates the keys and operation mixes the experiment
+// harness drives the data structures with: uniform and Zipfian key
+// distributions over a configurable key range, and percentage-based
+// get/insert/delete mixes, the standard parameters of the search-structure
+// benchmarks the paper's follow-on evaluation uses.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KeyGen produces keys. Implementations are not safe for concurrent use;
+// give each worker its own generator (see Config.NewKeyGen).
+type KeyGen interface {
+	// Next returns the next key.
+	Next() int
+}
+
+// uniformGen draws keys uniformly from [0, n).
+type uniformGen struct {
+	rng *rand.Rand
+	n   int
+}
+
+func (g *uniformGen) Next() int { return g.rng.Intn(g.n) }
+
+// zipfGen draws keys Zipf-distributed over [0, n): a small set of hot keys
+// receives most of the traffic, the classic skewed-contention workload.
+type zipfGen struct {
+	z *rand.Zipf
+}
+
+func (g *zipfGen) Next() int { return int(g.z.Uint64()) }
+
+// seqGen cycles 0,1,...,n-1,0,... — a worst-case-ordering insert pattern.
+type seqGen struct {
+	n, i int
+}
+
+func (g *seqGen) Next() int {
+	k := g.i
+	g.i++
+	if g.i == g.n {
+		g.i = 0
+	}
+	return k
+}
+
+// Distribution names a key distribution.
+type Distribution string
+
+// Supported key distributions.
+const (
+	Uniform    Distribution = "uniform"
+	Zipf       Distribution = "zipf"
+	Sequential Distribution = "sequential"
+)
+
+// Mix is an operation mix in percent; the three fields must sum to 100.
+type Mix struct {
+	GetPct    int
+	InsertPct int
+	DeletePct int
+}
+
+// Validate checks the mix sums to 100 with no negative entries.
+func (m Mix) Validate() error {
+	if m.GetPct < 0 || m.InsertPct < 0 || m.DeletePct < 0 {
+		return fmt.Errorf("workload: negative percentage in mix %+v", m)
+	}
+	if m.GetPct+m.InsertPct+m.DeletePct != 100 {
+		return fmt.Errorf("workload: mix %+v does not sum to 100", m)
+	}
+	return nil
+}
+
+// String renders the mix as "g/i/d".
+func (m Mix) String() string {
+	return fmt.Sprintf("%d/%d/%d", m.GetPct, m.InsertPct, m.DeletePct)
+}
+
+// Common mixes used across the experiments.
+var (
+	// ReadMostly is the classic 90% search mix.
+	ReadMostly = Mix{GetPct: 90, InsertPct: 5, DeletePct: 5}
+	// Balanced splits evenly between searches and updates.
+	Balanced = Mix{GetPct: 50, InsertPct: 25, DeletePct: 25}
+	// UpdateHeavy is all updates, the paper's worst case for helping.
+	UpdateHeavy = Mix{GetPct: 0, InsertPct: 50, DeletePct: 50}
+)
+
+// OpKind is one of the three multiset/map operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpGet OpKind = iota + 1
+	OpInsert
+	OpDelete
+)
+
+// Config describes a workload: key space, distribution, and op mix.
+type Config struct {
+	KeyRange int          // keys drawn from [0, KeyRange)
+	Dist     Distribution // key distribution
+	ZipfS    float64      // Zipf skew parameter (>1); 0 means the 1.5 default
+	Mix      Mix
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.KeyRange <= 0 {
+		return fmt.Errorf("workload: non-positive key range %d", c.KeyRange)
+	}
+	switch c.Dist {
+	case Uniform, Zipf, Sequential:
+	default:
+		return fmt.Errorf("workload: unknown distribution %q", c.Dist)
+	}
+	if c.ZipfS != 0 && c.ZipfS <= 1 {
+		return fmt.Errorf("workload: zipf skew must exceed 1, got %v", c.ZipfS)
+	}
+	return c.Mix.Validate()
+}
+
+// NewKeyGen builds a key generator for one worker, seeded deterministically.
+func (c Config) NewKeyGen(seed int64) KeyGen {
+	rng := rand.New(rand.NewSource(seed))
+	switch c.Dist {
+	case Zipf:
+		s := c.ZipfS
+		if s == 0 {
+			s = 1.5
+		}
+		return &zipfGen{z: rand.NewZipf(rng, s, 1, uint64(c.KeyRange-1))}
+	case Sequential:
+		return &seqGen{n: c.KeyRange, i: int(uint64(seed) % uint64(c.KeyRange))}
+	default:
+		return &uniformGen{rng: rng, n: c.KeyRange}
+	}
+}
+
+// OpGen draws operations according to a mix. Not safe for concurrent use.
+type OpGen struct {
+	rng *rand.Rand
+	mix Mix
+}
+
+// NewOpGen builds an operation generator for one worker.
+func (c Config) NewOpGen(seed int64) *OpGen {
+	return &OpGen{rng: rand.New(rand.NewSource(seed)), mix: c.Mix}
+}
+
+// Next returns the next operation kind.
+func (g *OpGen) Next() OpKind {
+	r := g.rng.Intn(100)
+	switch {
+	case r < g.mix.GetPct:
+		return OpGet
+	case r < g.mix.GetPct+g.mix.InsertPct:
+		return OpInsert
+	default:
+		return OpDelete
+	}
+}

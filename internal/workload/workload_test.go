@@ -1,0 +1,139 @@
+package workload_test
+
+import (
+	"testing"
+
+	"pragmaprim/internal/workload"
+)
+
+func TestMixValidate(t *testing.T) {
+	cases := []struct {
+		mix workload.Mix
+		ok  bool
+	}{
+		{workload.Mix{GetPct: 90, InsertPct: 5, DeletePct: 5}, true},
+		{workload.Mix{GetPct: 100}, true},
+		{workload.Mix{GetPct: 50, InsertPct: 50, DeletePct: 50}, false},
+		{workload.Mix{GetPct: -10, InsertPct: 60, DeletePct: 50}, false},
+		{workload.Mix{}, false},
+	}
+	for _, c := range cases {
+		if err := c.mix.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%v) err=%v, want ok=%v", c.mix, err, c.ok)
+		}
+	}
+	if got := workload.Balanced.String(); got != "50/25/25" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := workload.Config{KeyRange: 100, Dist: workload.Uniform, Mix: workload.Balanced}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []workload.Config{
+		{KeyRange: 0, Dist: workload.Uniform, Mix: workload.Balanced},
+		{KeyRange: 10, Dist: "nope", Mix: workload.Balanced},
+		{KeyRange: 10, Dist: workload.Zipf, ZipfS: 0.5, Mix: workload.Balanced},
+		{KeyRange: 10, Dist: workload.Uniform, Mix: workload.Mix{GetPct: 99}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestKeyGenRanges(t *testing.T) {
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipf, workload.Sequential} {
+		t.Run(string(dist), func(t *testing.T) {
+			c := workload.Config{KeyRange: 64, Dist: dist, Mix: workload.Balanced}
+			g := c.NewKeyGen(1)
+			seen := make(map[int]bool)
+			for i := 0; i < 10000; i++ {
+				k := g.Next()
+				if k < 0 || k >= 64 {
+					t.Fatalf("key %d out of range", k)
+				}
+				seen[k] = true
+			}
+			if len(seen) < 8 {
+				t.Errorf("only %d distinct keys in 10000 draws", len(seen))
+			}
+		})
+	}
+}
+
+func TestKeyGenDeterministicPerSeed(t *testing.T) {
+	c := workload.Config{KeyRange: 100, Dist: workload.Uniform, Mix: workload.Balanced}
+	a, b := c.NewKeyGen(7), c.NewKeyGen(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSequentialCycles(t *testing.T) {
+	c := workload.Config{KeyRange: 5, Dist: workload.Sequential, Mix: workload.Balanced}
+	g := c.NewKeyGen(0)
+	want := []int{0, 1, 2, 3, 4, 0, 1}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Fatalf("draw %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	c := workload.Config{KeyRange: 1000, Dist: workload.Zipf, Mix: workload.Balanced}
+	g := c.NewKeyGen(3)
+	const draws = 20000
+	low := 0
+	for i := 0; i < draws; i++ {
+		if g.Next() < 10 {
+			low++
+		}
+	}
+	// With skew 1.5 the 10 hottest of 1000 keys dominate; uniform would give
+	// ~1%. Use a loose threshold to stay robust.
+	if float64(low)/draws < 0.30 {
+		t.Errorf("zipf: hottest 1%% of keys got only %.1f%% of draws",
+			100*float64(low)/draws)
+	}
+}
+
+func TestOpGenHonorsMix(t *testing.T) {
+	c := workload.Config{KeyRange: 10, Dist: workload.Uniform,
+		Mix: workload.Mix{GetPct: 70, InsertPct: 20, DeletePct: 10}}
+	g := c.NewOpGen(11)
+	const draws = 50000
+	var counts [4]int
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	within := func(got int, pct float64) bool {
+		f := float64(got) / draws * 100
+		return f > pct-3 && f < pct+3
+	}
+	if !within(counts[workload.OpGet], 70) {
+		t.Errorf("gets = %d of %d", counts[workload.OpGet], draws)
+	}
+	if !within(counts[workload.OpInsert], 20) {
+		t.Errorf("inserts = %d of %d", counts[workload.OpInsert], draws)
+	}
+	if !within(counts[workload.OpDelete], 10) {
+		t.Errorf("deletes = %d of %d", counts[workload.OpDelete], draws)
+	}
+}
+
+func TestOpGenPureMixes(t *testing.T) {
+	c := workload.Config{KeyRange: 10, Dist: workload.Uniform, Mix: workload.Mix{GetPct: 100}}
+	g := c.NewOpGen(5)
+	for i := 0; i < 1000; i++ {
+		if g.Next() != workload.OpGet {
+			t.Fatal("non-get drawn from a 100% get mix")
+		}
+	}
+}
