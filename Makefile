@@ -1,0 +1,30 @@
+# Tier-1 verification plus the race-detector pass CI runs on every PR.
+
+GO ?= go
+
+.PHONY: all vet build test race check bench-core clean
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The step-semantics, helping and linearizability tests exercise real
+# concurrency; run the core and multiset packages under the race detector.
+race:
+	$(GO) test -race ./internal/core ./internal/multiset
+
+check: vet build test race
+
+# Regenerate the checked-in core fast-path microbenchmark dump.
+bench-core:
+	$(GO) run ./cmd/bench -corejson BENCH_core.json
+
+clean:
+	$(GO) clean ./...

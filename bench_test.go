@@ -6,12 +6,12 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"pragmaprim/internal/benchcore"
 	"pragmaprim/internal/bst"
 	"pragmaprim/internal/core"
 	"pragmaprim/internal/harness"
 	"pragmaprim/internal/kcss"
 	"pragmaprim/internal/llsc"
-	"pragmaprim/internal/multiset"
 	"pragmaprim/internal/mwcas"
 	"pragmaprim/internal/queue"
 	"pragmaprim/internal/stack"
@@ -29,6 +29,7 @@ func BenchmarkStepCountSCX(b *testing.B) {
 		for _, f := range []int{0, k} {
 			b.Run(fmt.Sprintf("k=%d/f=%d", k, f), func(b *testing.B) {
 				p := core.NewProcess()
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
@@ -69,6 +70,7 @@ func BenchmarkVLX(b *testing.B) {
 					b.Fatal("LLX failed")
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if !p.VLX(recs) {
@@ -80,72 +82,41 @@ func BenchmarkVLX(b *testing.B) {
 	}
 }
 
-// BenchmarkLLXSnapshot times an uncontended LLX snapshot of a 2-field record.
-func BenchmarkLLXSnapshot(b *testing.B) {
-	p := core.NewProcess()
-	r := core.NewRecord(2, []any{1, "x"})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, st := p.LLX(r); st != core.LLXOK {
-			b.Fatal("LLX failed")
-		}
-	}
-}
+// BenchmarkLLXSnapshot times an uncontended LLX snapshot of a 2-field record
+// through the snapshot-reuse API (0 allocs/op). The body is shared with
+// cmd/bench -corejson via internal/benchcore.
+func BenchmarkLLXSnapshot(b *testing.B) { benchcore.LLXInto(b) }
+
+// BenchmarkLLXSnapshotAlloc is the allocating compatibility wrapper, for
+// comparison with BenchmarkLLXSnapshot.
+func BenchmarkLLXSnapshotAlloc(b *testing.B) { benchcore.LLXAlloc(b) }
 
 // BenchmarkFieldRead times the plain read the paper's Proposition 2 lets
 // searches use in place of LLX.
-func BenchmarkFieldRead(b *testing.B) {
-	r := core.NewRecord(2, []any{1, "x"})
-	var sink any
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sink = r.Read(0)
-	}
-	_ = sink
-}
+func BenchmarkFieldRead(b *testing.B) { benchcore.FieldRead(b) }
 
 // --- E3: disjoint vs. shared SCX success ------------------------------------
 
 // BenchmarkDisjointSCX runs SCX loops on per-goroutine records: the paper
 // claims every one succeeds (no retries, no aborts).
-func BenchmarkDisjointSCX(b *testing.B) {
-	var nextID atomic.Int64
-	var aborts atomic.Int64
-	b.RunParallel(func(pb *testing.PB) {
-		_ = nextID.Add(1)
-		p := core.NewProcess()
-		r := core.NewRecord(1, []any{0})
-		i := 0
-		for pb.Next() {
-			snap, st := p.LLX(r)
-			if st != core.LLXOK {
-				b.Fail()
-				return
-			}
-			if !p.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
-				b.Fail()
-				return
-			}
-			i++
-		}
-		aborts.Add(p.Metrics.AbortSteps)
-	})
-	b.ReportMetric(float64(aborts.Load()), "aborts")
-}
+func BenchmarkDisjointSCX(b *testing.B) { benchcore.DisjointSCX(b) }
 
 // BenchmarkSharedSCX runs SCX retry loops against one shared record — the
 // contended counterpoint to BenchmarkDisjointSCX.
 func BenchmarkSharedSCX(b *testing.B) {
 	r := core.NewRecord(1, []any{0})
+	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		p := core.NewProcess()
+		buf := make(core.Snapshot, 1)
 		for pb.Next() {
 			for {
-				snap, st := p.LLX(r)
+				var st core.LLXStatus
+				buf, st = p.LLXInto(r, buf)
 				if st != core.LLXOK {
 					continue
 				}
-				if p.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
+				if p.SCX([]*core.Record{r}, nil, r.Field(0), buf[0].(int)+1) {
 					break
 				}
 			}
@@ -160,23 +131,7 @@ func BenchmarkSharedSCX(b *testing.B) {
 func BenchmarkKCASvsSCX(b *testing.B) {
 	for k := 2; k <= 5; k++ {
 		b.Run(fmt.Sprintf("SCX/k=%d", k), func(b *testing.B) {
-			p := core.NewProcess()
-			recs := make([]*core.Record, k)
-			for j := range recs {
-				recs[j] = core.NewRecord(1, []any{0})
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				for _, r := range recs {
-					if _, st := p.LLX(r); st != core.LLXOK {
-						b.Fatal("LLX failed")
-					}
-				}
-				if !p.SCX(recs, nil, recs[0].Field(0), i+1) {
-					b.Fatal("SCX failed")
-				}
-			}
-			b.ReportMetric(float64(p.Metrics.CASSteps())/float64(b.N), "CAS/op")
+			benchcore.SCXCycle(b, k)
 		})
 		b.Run(fmt.Sprintf("MWCAS/k=%d", k), func(b *testing.B) {
 			cells := make([]*mwcas.Cell[int], k)
@@ -186,6 +141,7 @@ func BenchmarkKCASvsSCX(b *testing.B) {
 			old := make([]int, k)
 			newv := make([]int, k)
 			var st mwcas.Stats
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for j := range cells {
@@ -205,6 +161,7 @@ func BenchmarkKCASvsSCX(b *testing.B) {
 				locs[j] = llsc.NewLoc(0)
 			}
 			expected := make([]int, k)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				expected[0] = i
@@ -227,6 +184,7 @@ func benchSession(b *testing.B, f harness.Factory, cfg workload.Config) {
 		pre.Insert(k)
 	}
 	var seed atomic.Int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		s := newSession()
@@ -279,43 +237,11 @@ func BenchmarkThroughputZipf(b *testing.B) {
 // --- Single-threaded operation costs -----------------------------------------
 
 // BenchmarkMultisetOps times the three multiset operations in isolation on a
-// prefilled structure.
+// prefilled structure (bodies shared with cmd/bench via internal/benchcore).
 func BenchmarkMultisetOps(b *testing.B) {
-	const keys = 1 << 10
-	newFilled := func() (*multiset.Multiset[int], *core.Process) {
-		m := multiset.New[int]()
-		p := core.NewProcess()
-		for k := 0; k < keys; k++ {
-			m.Insert(p, k, 1)
-		}
-		return m, p
-	}
-	b.Run("Get", func(b *testing.B) {
-		m, p := newFilled()
-		rng := rand.New(rand.NewSource(1))
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			m.Get(p, rng.Intn(keys))
-		}
-	})
-	b.Run("InsertExisting", func(b *testing.B) {
-		m, p := newFilled()
-		rng := rand.New(rand.NewSource(2))
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			m.Insert(p, rng.Intn(keys), 1)
-		}
-	})
-	b.Run("InsertDeleteNew", func(b *testing.B) {
-		m, p := newFilled()
-		rng := rand.New(rand.NewSource(3))
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			k := keys + rng.Intn(keys)
-			m.Insert(p, k, 1)
-			m.Delete(p, k, 1)
-		}
-	})
+	b.Run("Get", benchcore.MultisetGet)
+	b.Run("InsertExisting", benchcore.MultisetInsertExisting)
+	b.Run("InsertDeleteNew", benchcore.MultisetInsertDeleteNew)
 }
 
 // BenchmarkTrieOps times the three Patricia-trie operations in isolation.
@@ -332,6 +258,7 @@ func BenchmarkTrieOps(b *testing.B) {
 	b.Run("Get", func(b *testing.B) {
 		t, p := newFilled()
 		rng := rand.New(rand.NewSource(1))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			t.Get(p, uint64(rng.Intn(keys)))
@@ -340,6 +267,7 @@ func BenchmarkTrieOps(b *testing.B) {
 	b.Run("PutExisting", func(b *testing.B) {
 		t, p := newFilled()
 		rng := rand.New(rand.NewSource(2))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			t.Put(p, uint64(rng.Intn(keys)), i)
@@ -348,6 +276,7 @@ func BenchmarkTrieOps(b *testing.B) {
 	b.Run("PutDeleteNew", func(b *testing.B) {
 		t, p := newFilled()
 		rng := rand.New(rand.NewSource(3))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			k := uint64(keys + rng.Intn(keys))
@@ -363,6 +292,7 @@ func BenchmarkQueueOps(b *testing.B) {
 	b.Run("EnqueueDequeue", func(b *testing.B) {
 		q := queue.New[int]()
 		p := core.NewProcess()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			q.Enqueue(p, i)
@@ -371,6 +301,7 @@ func BenchmarkQueueOps(b *testing.B) {
 	})
 	b.Run("Contended", func(b *testing.B) {
 		q := queue.New[int]()
+		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
 			p := core.NewProcess()
 			i := 0
@@ -391,6 +322,7 @@ func BenchmarkStackOps(b *testing.B) {
 	b.Run("PushPop", func(b *testing.B) {
 		s := stack.New[int]()
 		p := core.NewProcess()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			s.Push(p, i)
@@ -399,6 +331,7 @@ func BenchmarkStackOps(b *testing.B) {
 	})
 	b.Run("Contended", func(b *testing.B) {
 		s := stack.New[int]()
+		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
 			p := core.NewProcess()
 			i := 0
@@ -429,6 +362,7 @@ func BenchmarkBSTOps(b *testing.B) {
 	b.Run("Get", func(b *testing.B) {
 		t, p := newFilled()
 		rng := rand.New(rand.NewSource(1))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			t.Get(p, rng.Intn(keys))
@@ -437,6 +371,7 @@ func BenchmarkBSTOps(b *testing.B) {
 	b.Run("PutExisting", func(b *testing.B) {
 		t, p := newFilled()
 		rng := rand.New(rand.NewSource(2))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			t.Put(p, rng.Intn(keys), i)
@@ -445,6 +380,7 @@ func BenchmarkBSTOps(b *testing.B) {
 	b.Run("PutDeleteNew", func(b *testing.B) {
 		t, p := newFilled()
 		rng := rand.New(rand.NewSource(3))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			k := keys + rng.Intn(keys)

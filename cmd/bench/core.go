@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pragmaprim/internal/benchcore"
+)
+
+// The core microbenchmark suite measures the LLX/SCX fast path — latency and
+// allocations per operation — and dumps the results as machine-readable JSON
+// (BENCH_core.json at the repository root is the checked-in trajectory). The
+// benchmark bodies live in internal/benchcore, shared with bench_test.go, so
+// the dump and `go test -bench` always measure the same workloads.
+
+// coreBenchResult is one row of the JSON dump.
+type coreBenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// coreBenchDump is the whole JSON document.
+type coreBenchDump struct {
+	GoVersion  string            `json:"go_version"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Results    []coreBenchResult `json:"results"`
+}
+
+type coreBench struct {
+	name     string
+	parallel bool // meaningless at GOMAXPROCS=1; skipped there
+	fn       func(b *testing.B)
+}
+
+func coreBenchmarks() []coreBench {
+	benches := []coreBench{
+		{"llx_into", false, benchcore.LLXInto},
+		{"llx_alloc", false, benchcore.LLXAlloc},
+		{"field_read", false, benchcore.FieldRead},
+		{"disjoint_scx_parallel", true, benchcore.DisjointSCX},
+	}
+	for k := 1; k <= 4; k++ {
+		k := k
+		benches = append(benches, coreBench{
+			fmt.Sprintf("scx_cycle_k%d", k),
+			false,
+			func(b *testing.B) { benchcore.SCXCycle(b, k) },
+		})
+	}
+	benches = append(benches,
+		coreBench{"multiset_get", false, benchcore.MultisetGet},
+		coreBench{"multiset_insert_existing", false, benchcore.MultisetInsertExisting},
+		coreBench{"multiset_insert_delete_new", false, benchcore.MultisetInsertDeleteNew},
+	)
+	return benches
+}
+
+// runCoreBench runs the suite, prints a human-readable table to stdout, and
+// writes the JSON dump to path.
+func runCoreBench(path string) error {
+	dump := coreBenchDump{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("%-28s %12s %12s %10s\n", "benchmark", "ns/op", "allocs/op", "B/op")
+	for _, cb := range coreBenchmarks() {
+		if cb.parallel && dump.GOMAXPROCS == 1 {
+			// A "parallel" row measured serially would be misleading in the
+			// checked-in trajectory; leave it out rather than mislabel it.
+			fmt.Printf("%-28s skipped: GOMAXPROCS=1 makes a parallel benchmark serial\n", cb.name)
+			continue
+		}
+		r := testing.Benchmark(cb.fn)
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s failed (b.Fatal/b.Fail inside the body)", cb.name)
+		}
+		res := coreBenchResult{
+			Name:        cb.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		dump.Results = append(dump.Results, res)
+		fmt.Printf("%-28s %12.1f %12d %10d\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+	out, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

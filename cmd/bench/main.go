@@ -1,10 +1,11 @@
-// Command bench regenerates the experiment tables of EXPERIMENTS.md: the
-// paper-claim versus measured rows for experiments E1-E8 (see DESIGN.md for
-// the per-experiment index).
+// Command bench regenerates the experiment tables: the paper-claim versus
+// measured rows for experiments E1-E8, and the core fast-path
+// microbenchmark dump (BENCH_core.json; see DESIGN.md).
 //
 // Usage:
 //
 //	bench [-exp e1,e2,...|all] [-threads 1,2,4,8] [-dur 500ms] [-rounds 50]
+//	bench -corejson BENCH_core.json
 package main
 
 import (
@@ -25,12 +26,21 @@ func main() {
 
 func run() int {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiments to run (e1..e8, or all)")
-		threads = flag.String("threads", "1,2,4,8", "thread counts for the E8 sweep")
-		dur     = flag.Duration("dur", 300*time.Millisecond, "measurement duration per E8 cell")
-		rounds  = flag.Int("rounds", 50, "history rounds for E7")
+		exps     = flag.String("exp", "all", "comma-separated experiments to run (e1..e8, or all)")
+		threads  = flag.String("threads", "1,2,4,8", "thread counts for the E8 sweep")
+		dur      = flag.Duration("dur", 300*time.Millisecond, "measurement duration per E8 cell")
+		rounds   = flag.Int("rounds", 50, "history rounds for E7")
+		corejson = flag.String("corejson", "", "run the core fast-path microbenchmarks and write JSON results to this path (e.g. BENCH_core.json), then exit")
 	)
 	flag.Parse()
+
+	if *corejson != "" {
+		if err := runCoreBench(*corejson); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	ths, err := parseInts(*threads)
 	if err != nil {

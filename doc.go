@@ -4,7 +4,10 @@
 // the paper's multiset running example, an LLX/SCX external binary search
 // tree, the baselines the paper compares against (LL/SC, KCSS, multi-word
 // CAS, lock-based lists), and a harness that regenerates every measurable
-// claim in the paper (see DESIGN.md and EXPERIMENTS.md).
+// claim in the paper. DESIGN.md documents the record/box memory layout, the
+// ABA argument, and the allocation-free fast path; BENCH_core.json is the
+// checked-in machine-readable microbenchmark dump (regenerate with
+// cmd/bench -corejson).
 //
 // The implementation lives under internal/:
 //
@@ -22,5 +25,6 @@
 //	internal/harness         experiments E1-E8
 //
 // The benchmarks in bench_test.go regenerate the experiment series from Go
-// tooling (go test -bench=.), and cmd/bench prints the full tables.
+// tooling (go test -bench=.), and cmd/bench prints the full tables and the
+// core fast-path microbenchmark JSON.
 package pragmaprim

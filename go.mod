@@ -1,0 +1,3 @@
+module pragmaprim
+
+go 1.24

@@ -1,0 +1,161 @@
+// Package benchcore holds the shared bodies of the core fast-path
+// microbenchmarks. Both the go-test benchmarks at the repository root
+// (bench_test.go) and cmd/bench's -corejson dump run these same functions,
+// so the checked-in BENCH_core.json trajectory and `go test -bench` can
+// never drift into measuring different workloads.
+package benchcore
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/multiset"
+)
+
+// LLXInto times an uncontended LLX snapshot of a 2-field record through the
+// snapshot-reuse API (0 allocs/op).
+func LLXInto(b *testing.B) {
+	p := core.NewProcess()
+	r := core.NewRecord(2, []any{1, "x"})
+	buf := make(core.Snapshot, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st core.LLXStatus
+		buf, st = p.LLXInto(r, buf)
+		if st != core.LLXOK {
+			b.Fatal("LLX failed")
+		}
+	}
+}
+
+// LLXAlloc times the allocating LLX compatibility wrapper.
+func LLXAlloc(b *testing.B) {
+	p := core.NewProcess()
+	r := core.NewRecord(2, []any{1, "x"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, st := p.LLX(r); st != core.LLXOK {
+			b.Fatal("LLX failed")
+		}
+	}
+}
+
+// FieldRead times the plain read the paper's Proposition 2 lets searches use
+// in place of LLX.
+func FieldRead(b *testing.B) {
+	r := core.NewRecord(2, []any{1, "x"})
+	var sink any
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = r.Read(0)
+	}
+	_ = sink
+}
+
+// DisjointSCX runs LLX+SCX loops on per-goroutine records: the paper claims
+// every one succeeds (no retries, no aborts). Parallel iff GOMAXPROCS > 1.
+func DisjointSCX(b *testing.B) {
+	var aborts atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		p := core.NewProcess()
+		r := core.NewRecord(1, []any{0})
+		buf := make(core.Snapshot, 1)
+		for pb.Next() {
+			var st core.LLXStatus
+			buf, st = p.LLXInto(r, buf)
+			if st != core.LLXOK {
+				b.Fail()
+				return
+			}
+			if !p.SCX([]*core.Record{r}, nil, r.Field(0), buf[0].(int)+1) {
+				b.Fail()
+				return
+			}
+		}
+		aborts.Add(p.Metrics.AbortSteps)
+	})
+	b.ReportMetric(float64(aborts.Load()), "aborts")
+}
+
+// SCXCycle times an uncontended k-record LLXInto+SCX transaction and reports
+// the measured CAS steps per operation (the paper's k+1).
+func SCXCycle(b *testing.B, k int) {
+	p := core.NewProcess()
+	recs := make([]*core.Record, k)
+	for j := range recs {
+		recs[j] = core.NewRecord(1, []any{0})
+	}
+	buf := make(core.Snapshot, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range recs {
+			var st core.LLXStatus
+			buf, st = p.LLXInto(r, buf)
+			if st != core.LLXOK {
+				b.Fatal("LLX failed")
+			}
+		}
+		if !p.SCX(recs, nil, recs[0].Field(0), i+1) {
+			b.Fatal("SCX failed")
+		}
+	}
+	b.ReportMetric(float64(p.Metrics.CASSteps())/float64(b.N), "CAS/op")
+}
+
+// MultisetKeys is the prefill size of the multiset operation benchmarks.
+const MultisetKeys = 1 << 10
+
+// NewFilledMultiset returns a multiset prefilled with MultisetKeys keys and
+// the process that filled it.
+func NewFilledMultiset() (*multiset.Multiset[int], *core.Process) {
+	m := multiset.New[int]()
+	p := core.NewProcess()
+	for k := 0; k < MultisetKeys; k++ {
+		m.Insert(p, k, 1)
+	}
+	return m, p
+}
+
+// MultisetGet times Get on a prefilled multiset.
+func MultisetGet(b *testing.B) {
+	m, p := NewFilledMultiset()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(p, rng.Intn(MultisetKeys))
+	}
+}
+
+// MultisetInsertExisting times Insert of already-present keys (a count bump:
+// one LLX + one SCX, no node allocation).
+func MultisetInsertExisting(b *testing.B) {
+	m, p := NewFilledMultiset()
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Insert(p, rng.Intn(MultisetKeys), 1)
+	}
+}
+
+// MultisetInsertDeleteNew times an insert/delete pair on fresh keys (node
+// splice plus three-record unlink SCX).
+func MultisetInsertDeleteNew(b *testing.B) {
+	m, p := NewFilledMultiset()
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := MultisetKeys + rng.Intn(MultisetKeys)
+		m.Insert(p, k, 1)
+		m.Delete(p, k, 1)
+	}
+}

@@ -154,9 +154,13 @@ func childDir[K cmp.Ordered, V any](snap core.Snapshot, c *node[K, V]) int {
 // Put maps key to val, returning true if key was newly inserted and false if
 // an existing mapping was replaced.
 func (t *Tree[K, V]) Put(proc *core.Process, key K, val V) bool {
+	// Reusable snapshot buffer: the retry loop allocates nothing beyond the
+	// nodes it splices in. Leaves have no mutable fields, so their LLXs take
+	// a nil buffer without allocating.
+	var pBuf [2]any
 	for {
 		_, p, l := t.search(key)
-		localp, st := proc.LLX(p.rec)
+		localp, st := proc.LLXInto(p.rec, pBuf[:])
 		if st != core.LLXOK {
 			continue
 		}
@@ -166,7 +170,7 @@ func (t *Tree[K, V]) Put(proc *core.Process, key K, val V) bool {
 		}
 		if l.matches(key) {
 			// Replace the existing leaf, finalizing it.
-			if _, st := proc.LLX(l.rec); st != core.LLXOK {
+			if _, st := proc.LLXInto(l.rec, nil); st != core.LLXOK {
 				continue
 			}
 			repl := newLeaf(key, sentReal, val)
@@ -198,6 +202,10 @@ func (t *Tree[K, V]) Put(proc *core.Process, key K, val V) bool {
 // zero value and false if key was absent.
 func (t *Tree[K, V]) Delete(proc *core.Process, key K) (V, bool) {
 	var zero V
+	// g's and p's snapshots are alive at once; the sibling's snapshot is
+	// never read, but an internal sibling has two mutable fields, so it
+	// still gets a buffer to keep the link allocation-free.
+	var gBuf, pBuf, sBuf [2]any
 	for {
 		g, p, l := t.search(key)
 		if !l.matches(key) {
@@ -205,7 +213,7 @@ func (t *Tree[K, V]) Delete(proc *core.Process, key K) (V, bool) {
 		}
 		// A real leaf always has an internal parent and grandparent thanks
 		// to the sentinel construction.
-		localg, st := proc.LLX(g.rec)
+		localg, st := proc.LLXInto(g.rec, gBuf[:])
 		if st != core.LLXOK {
 			continue
 		}
@@ -213,7 +221,7 @@ func (t *Tree[K, V]) Delete(proc *core.Process, key K) (V, bool) {
 		if pdir == -1 {
 			continue
 		}
-		localp, st := proc.LLX(p.rec)
+		localp, st := proc.LLXInto(p.rec, pBuf[:])
 		if st != core.LLXOK {
 			continue
 		}
@@ -225,10 +233,10 @@ func (t *Tree[K, V]) Delete(proc *core.Process, key K) (V, bool) {
 		if s == nil {
 			continue
 		}
-		if _, st := proc.LLX(l.rec); st != core.LLXOK {
+		if _, st := proc.LLXInto(l.rec, nil); st != core.LLXOK {
 			continue
 		}
-		if _, st := proc.LLX(s.rec); st != core.LLXOK {
+		if _, st := proc.LLXInto(s.rec, sBuf[:]); st != core.LLXOK {
 			continue
 		}
 		// V lists g, p, then p's children in left-right order — an order

@@ -1,0 +1,87 @@
+package core_test
+
+import (
+	"testing"
+
+	"pragmaprim/internal/core"
+)
+
+// The allocation regression tests pin the fast-path allocation ceilings the
+// DESIGN.md layout promises: LLXInto with an adequate caller buffer performs
+// zero heap allocations, the LLX compatibility wrapper performs exactly one
+// (the returned Snapshot), and an LLX+SCX cycle performs exactly one (the
+// operation descriptor, which must stay fresh per SCX for ABA-safety).
+
+func TestLLXIntoAllocFree(t *testing.T) {
+	p := core.NewProcess()
+	r := core.NewRecord(2, []any{1, "x"})
+	buf := make(core.Snapshot, 2)
+	allocs := testing.AllocsPerRun(1000, func() {
+		var st core.LLXStatus
+		buf, st = p.LLXInto(r, buf)
+		if st != core.LLXOK {
+			t.Fatal("LLX failed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("LLXInto with reused buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestLLXWrapperAllocCeiling(t *testing.T) {
+	p := core.NewProcess()
+	r := core.NewRecord(2, []any{1, "x"})
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, st := p.LLX(r); st != core.LLXOK {
+			t.Fatal("LLX failed")
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("LLX: %v allocs/op, want <= 1 (the returned Snapshot)", allocs)
+	}
+}
+
+func TestSCXCycleAllocCeiling(t *testing.T) {
+	p := core.NewProcess()
+	r := core.NewRecord(1, []any{0})
+	buf := make(core.Snapshot, 1)
+	v := make([]*core.Record, 1)
+	newVal := any("fresh") // pre-boxed so the cycle's only allocation is the descriptor
+	allocs := testing.AllocsPerRun(1000, func() {
+		var st core.LLXStatus
+		buf, st = p.LLXInto(r, buf)
+		if st != core.LLXOK {
+			t.Fatal("LLX failed")
+		}
+		v[0] = r
+		if !p.SCX(v, nil, r.Field(0), newVal) {
+			t.Fatal("SCX failed")
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("LLXInto+SCX cycle: %v allocs/op, want <= 1 (the descriptor)", allocs)
+	}
+}
+
+// TestSCXStackLiteralVSequence pins that SCX does not retain its v/rset
+// arguments: a V-sequence built as a slice literal at the call site must not
+// force a heap allocation beyond the descriptor.
+func TestSCXStackLiteralVSequence(t *testing.T) {
+	p := core.NewProcess()
+	r := core.NewRecord(1, []any{0})
+	buf := make(core.Snapshot, 1)
+	newVal := any("fresh")
+	allocs := testing.AllocsPerRun(1000, func() {
+		var st core.LLXStatus
+		buf, st = p.LLXInto(r, buf)
+		if st != core.LLXOK {
+			t.Fatal("LLX failed")
+		}
+		if !p.SCX([]*core.Record{r}, nil, r.Field(0), newVal) {
+			t.Fatal("SCX failed")
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("LLXInto+SCX with literal V: %v allocs/op, want <= 1", allocs)
+	}
+}

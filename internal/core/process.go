@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+)
 
 // LLXStatus is the outcome of an LLX.
 type LLXStatus int
@@ -34,13 +37,179 @@ func (s LLXStatus) String() string {
 // Record.Read. The caller owns the slice.
 type Snapshot []any
 
+// maxInlineFields is the number of field boxes an llxEntry holds without a
+// heap spill. Every record in this repository's data structures has at most
+// two mutable fields; four leaves headroom.
+const maxInlineFields = 4
+
 // llxEntry is one row of the paper's per-process table of LLX results: the
 // info pointer and raw field boxes read by the process's last LLX on a
-// record.
+// record. Boxes are stored inline up to maxInlineFields; wider records spill
+// to a heap slice (allocated once per LLX on such a record).
 type llxEntry struct {
-	info  *SCXRecord
-	boxes []*box
+	info     *SCXRecord
+	boxes    [maxInlineFields]*box
+	boxSpill []*box // non-nil iff the record has > maxInlineFields fields
 }
+
+// boxAt returns the box read for mutable field i.
+func (e *llxEntry) boxAt(i int) *box {
+	if e.boxSpill != nil {
+		return e.boxSpill[i]
+	}
+	return e.boxes[i]
+}
+
+// Link-table geometry. The paper's V-sequences have k <= 4 for every
+// structure in this repository, and links are consumed by the SCX/VLX that
+// follows them almost immediately, so the set of *live* links is tiny. The
+// inline table is a fixed-capacity open-addressed hash table (linear
+// probing, backward-shift deletion) sized so the hot path never touches a
+// Go map; links that overflow it — typically stale links abandoned by retry
+// loops — are evicted, oldest first, to a lazily allocated spill map, which
+// preserves the paper's linked-LLX semantics exactly.
+const (
+	linkTableBits = 4
+	linkTableCap  = 1 << linkTableBits // power of two: hashing and probe masks rely on it
+	linkTableMask = linkTableCap - 1
+	// linkTableMax caps the inline load at 3/4 so probe chains stay short
+	// and an empty slot always terminates a probe.
+	linkTableMax = linkTableCap * 3 / 4
+)
+
+// linkTable is the per-process table of linked LLX results.
+type linkTable struct {
+	recs    [linkTableCap]*Record
+	entries [linkTableCap]llxEntry
+	stamps  [linkTableCap]uint64
+	n       int
+	stamp   uint64
+	spill   map[*Record]llxEntry
+	scratch llxEntry // staging for get hits served from spill
+}
+
+// home returns the preferred slot for r: fibonacci hashing over the record's
+// address (records are heap-allocated and never move identity).
+func (t *linkTable) home(r *Record) int {
+	h := uint64(uintptr(unsafe.Pointer(r)))
+	return int((h * 0x9E3779B97F4A7C15) >> (64 - linkTableBits))
+}
+
+// get returns the entry linked for r, or nil. The returned pointer is
+// invalidated by the next operation on the table.
+func (t *linkTable) get(r *Record) *llxEntry {
+	i := t.home(r)
+	for {
+		switch t.recs[i] {
+		case r:
+			return &t.entries[i]
+		case nil:
+			if t.spill != nil {
+				if e, ok := t.spill[r]; ok {
+					t.scratch = e
+					return &t.scratch
+				}
+			}
+			return nil
+		}
+		i = (i + 1) & linkTableMask
+	}
+}
+
+// put returns the entry slot for r, inserting r if it is not present. The
+// caller fills the returned entry; its pointer is invalidated by the next
+// put/del.
+func (t *linkTable) put(r *Record) *llxEntry {
+	t.stamp++
+	i := t.home(r)
+	for {
+		switch t.recs[i] {
+		case r:
+			t.stamps[i] = t.stamp
+			return &t.entries[i]
+		case nil:
+			// Not inline. A re-LLX of a spilled record moves it back inline:
+			// it is hot again.
+			if t.spill != nil {
+				delete(t.spill, r)
+			}
+			if t.n == linkTableMax {
+				t.evictOldest()
+				// Eviction may have shifted slots; re-probe.
+				return t.put(r)
+			}
+			t.recs[i] = r
+			t.stamps[i] = t.stamp
+			t.n++
+			return &t.entries[i]
+		}
+		i = (i + 1) & linkTableMask
+	}
+}
+
+// del removes the link for r, if any.
+func (t *linkTable) del(r *Record) {
+	i := t.home(r)
+	for {
+		switch t.recs[i] {
+		case r:
+			t.removeAt(i)
+			return
+		case nil:
+			if t.spill != nil {
+				delete(t.spill, r)
+			}
+			return
+		}
+		i = (i + 1) & linkTableMask
+	}
+}
+
+// evictOldest moves the least recently linked inline entry to the spill map,
+// preserving its link.
+func (t *linkTable) evictOldest() {
+	oldest := -1
+	for i := range t.recs {
+		if t.recs[i] != nil && (oldest < 0 || t.stamps[i] < t.stamps[oldest]) {
+			oldest = i
+		}
+	}
+	if t.spill == nil {
+		t.spill = make(map[*Record]llxEntry)
+	}
+	t.spill[t.recs[oldest]] = t.entries[oldest]
+	t.removeAt(oldest)
+}
+
+// removeAt empties slot i, backward-shifting any displaced entries so linear
+// probing stays correct without tombstones.
+func (t *linkTable) removeAt(i int) {
+	t.n--
+	j := i
+	for {
+		t.recs[i] = nil
+		t.entries[i] = llxEntry{}
+		for {
+			j = (j + 1) & linkTableMask
+			if t.recs[j] == nil {
+				return
+			}
+			k := t.home(t.recs[j])
+			// Move the entry at j into the hole at i unless its home k lies
+			// cyclically in (i, j], in which case it is already reachable.
+			if (j > i && (k <= i || k > j)) || (j < i && k <= i && k > j) {
+				break
+			}
+		}
+		t.recs[i] = t.recs[j]
+		t.entries[i] = t.entries[j]
+		t.stamps[i] = t.stamps[j]
+		i = j
+	}
+}
+
+// links counts the live links (inline + spilled); for tests.
+func (t *linkTable) links() int { return t.n + len(t.spill) }
 
 // Process is a participant in the protocol, holding the paper's per-process
 // table of LLX results and per-process step Metrics. Create one Process per
@@ -48,13 +217,13 @@ type llxEntry struct {
 // Records and the data structures built from them are freely shared between
 // Processes.
 type Process struct {
-	table   map[*Record]llxEntry
+	table   linkTable
 	Metrics Metrics
 }
 
 // NewProcess returns a fresh Process with an empty LLX table.
 func NewProcess() *Process {
-	return &Process{table: make(map[*Record]llxEntry)}
+	return &Process{}
 }
 
 // LLX performs a load-link-extended on r (paper Figure 4, lines 1-16).
@@ -66,7 +235,20 @@ func NewProcess() *Process {
 // linked-LLX definition, a successful LLX(r) remains linked until the process
 // performs another LLX(r), an SCX whose V contains r, or an unsuccessful VLX
 // whose V contains r.
+//
+// LLX allocates a fresh Snapshot per call; hot loops should prefer LLXInto.
 func (p *Process) LLX(r *Record) (Snapshot, LLXStatus) {
+	return p.LLXInto(r, nil)
+}
+
+// LLXInto is LLX with snapshot reuse: on LLXOK the snapshot is written into
+// buf when cap(buf) suffices (a fresh slice is allocated only when it does
+// not; nil buf allocates whenever the record has mutable fields). The
+// returned Snapshot aliases buf, so the
+// previous contents of buf are invalidated. With an adequate caller-owned
+// buffer, an uncontended LLXInto on a record with at most maxInlineFields
+// mutable fields performs zero heap allocations.
+func (p *Process) LLXInto(r *Record, buf Snapshot) (Snapshot, LLXStatus) {
 	if r == nil {
 		panic("core: LLX of nil Record")
 	}
@@ -79,18 +261,35 @@ func (p *Process) LLX(r *Record) (Snapshot, LLXStatus) {
 
 	// Line 7: r was not frozen at line 5.
 	if state == StateAborted || (state == StateCommitted && !marked2) {
-		// Line 8: read the mutable fields.
-		boxes := make([]*box, len(r.mutable))
-		vals := make(Snapshot, len(r.mutable))
+		// Line 8: read the mutable fields. Boxes are staged on the stack (or
+		// in a spill slice for wide records) and published to the link table
+		// only after the line-9 validation.
+		nf := len(r.mutable)
+		var boxes [maxInlineFields]*box
+		var boxSpill []*box
+		if nf > maxInlineFields {
+			boxSpill = make([]*box, nf)
+		}
+		if cap(buf) < nf {
+			buf = make(Snapshot, nf)
+		}
+		vals := buf[:nf]
 		for i := range r.mutable {
 			b := r.mutable[i].Load()
-			boxes[i] = b
+			if boxSpill != nil {
+				boxSpill[i] = b
+			} else {
+				boxes[i] = b
+			}
 			vals[i] = b.val
 		}
 		// Line 9: r.info still points to the same SCX-record, so r was
 		// unfrozen throughout and the values form a snapshot.
 		if r.info.Load() == rinfo {
-			p.table[r] = llxEntry{info: rinfo, boxes: boxes} // line 10
+			e := p.table.put(r) // line 10
+			e.info = rinfo
+			e.boxes = boxes
+			e.boxSpill = boxSpill
 			p.Metrics.LLXSnapshots++
 			return vals, LLXOK // line 11
 		}
@@ -125,12 +324,17 @@ func (p *Process) LLX(r *Record) (Snapshot, LLXStatus) {
 // fld names a mutable field of a record in v. The paper's remaining
 // precondition — newVal must differ from every value fld has held — is
 // satisfied by construction because SCX boxes newVal freshly.
+//
+// SCX performs exactly one heap allocation on the fast path (len(v) and
+// len(rset) at most maxInlineV): the operation descriptor, which must be
+// fresh per SCX for ABA-safety. Neither v nor rset is retained, so callers
+// may reuse (or stack-allocate) the slices.
 func (p *Process) SCX(v []*Record, rset []*Record, fld FieldRef, newVal any) bool {
 	p.Metrics.SCXOps++
 	u := p.buildSCXRecord(v, rset, fld, newVal)
 	// Performing the SCX un-links the LLXs it consumed (Definition 7).
 	for _, r := range v {
-		delete(p.table, r)
+		p.table.del(r)
 	}
 	ok := p.help(u) // line 21
 	if ok {
@@ -140,16 +344,31 @@ func (p *Process) SCX(v []*Record, rset []*Record, fld FieldRef, newVal any) boo
 }
 
 // buildSCXRecord validates the SCX preconditions against the per-process LLX
-// table and materializes the operation descriptor (paper lines 19-21).
+// table and materializes the operation descriptor (paper lines 19-21) in a
+// single allocation: the V/R/info sequences land in the descriptor's inline
+// arrays (heap slices only beyond maxInlineV) and the fresh box for newVal is
+// embedded in the descriptor itself.
 func (p *Process) buildSCXRecord(v []*Record, rset []*Record, fld FieldRef, newVal any) *SCXRecord {
 	if len(v) == 0 {
 		panic("core: SCX with empty V sequence")
 	}
-	u := &SCXRecord{
-		v:          v,
-		r:          rset,
-		newBox:     &box{val: newVal},
-		infoFields: make([]*SCXRecord, len(v)),
+	u := &SCXRecord{nv: len(v), nr: len(rset)}
+	u.newBoxStore.val = newVal
+	u.newBox = &u.newBoxStore
+	var infos []*SCXRecord
+	if len(v) > maxInlineV {
+		// Copy, do not alias: v must not escape to the descriptor.
+		u.vSpill = append([]*Record(nil), v...)
+		u.infoSpill = make([]*SCXRecord, len(v))
+		infos = u.infoSpill
+	} else {
+		copy(u.vInline[:], v)
+		infos = u.infoInline[:len(v)]
+	}
+	if len(rset) > maxInlineV {
+		u.rSpill = append([]*Record(nil), rset...)
+	} else {
+		copy(u.rInline[:], rset)
 	}
 	u.state.Store(int32(StateInProgress))
 
@@ -158,11 +377,11 @@ func (p *Process) buildSCXRecord(v []*Record, rset []*Record, fld FieldRef, newV
 		if r == nil {
 			panic("core: SCX with nil Record in V")
 		}
-		e, ok := p.table[r]
-		if !ok {
+		e := p.table.get(r)
+		if e == nil {
 			panic("core: SCX without a linked LLX for a record in V")
 		}
-		u.infoFields[i] = e.info
+		infos[i] = e.info
 		if r == fld.Rec {
 			fldInV = true
 		}
@@ -187,7 +406,7 @@ func (p *Process) buildSCXRecord(v []*Record, rset []*Record, fld FieldRef, newV
 		}
 	}
 	u.fld = &fld.Rec.mutable[fld.Field]
-	u.oldBox = p.table[fld.Rec].boxes[fld.Field] // line 20
+	u.oldBox = p.table.get(fld.Rec).boxAt(fld.Field) // line 20
 	return u
 }
 
@@ -199,15 +418,15 @@ func (p *Process) buildSCXRecord(v []*Record, rset []*Record, fld FieldRef, newV
 func (p *Process) VLX(v []*Record) bool {
 	p.Metrics.VLXOps++
 	for _, r := range v {
-		e, ok := p.table[r]
-		if !ok {
+		e := p.table.get(r)
+		if e == nil {
 			panic("core: VLX without a linked LLX for a record in V")
 		}
 		p.Metrics.VLXReads++
 		if r.info.Load() != e.info { // line 47
 			// An unsuccessful VLX un-links the LLXs for v (Definition 7).
 			for _, rr := range v {
-				delete(p.table, rr)
+				p.table.del(rr)
 			}
 			return false
 		}
@@ -223,8 +442,9 @@ func (p *Process) help(u *SCXRecord) bool {
 
 	// Freeze every record in u.V, in order, to protect their mutable fields
 	// from other SCXs (lines 24-35).
-	for i, r := range u.v {
-		rinfo := u.infoFields[i]
+	infos := u.infoSeq()
+	for i, r := range u.vSeq() {
+		rinfo := infos[i]
 		callHook(StepFreezingCAS, u, r)
 		p.Metrics.FreezingCASAttempts++
 		if r.info.CompareAndSwap(rinfo, u) { // line 26: freezing CAS
@@ -252,7 +472,7 @@ func (p *Process) help(u *SCXRecord) bool {
 	u.allFrozen.Store(true) // line 37: frozen step
 	p.Metrics.FrozenSteps++
 
-	for _, r := range u.r {
+	for _, r := range u.rSeq() {
 		callHook(StepMark, u, r)
 		r.marked.Store(true) // line 38: mark step
 		p.Metrics.MarkSteps++
@@ -273,6 +493,5 @@ func (p *Process) help(u *SCXRecord) bool {
 // HasLink reports whether the process currently holds a linked LLX for r.
 // Useful for assertions in data-structure code and tests.
 func (p *Process) HasLink(r *Record) bool {
-	_, ok := p.table[r]
-	return ok
+	return p.table.get(r) != nil
 }

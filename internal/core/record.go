@@ -80,6 +80,12 @@ func (r *Record) Finalized() bool {
 	return r.marked.Load() && State(inf.state.Load()) == StateCommitted
 }
 
+// Info returns the SCX-record r's info pointer currently designates: the
+// descriptor of the last SCX that froze r, or the dummy SCX-record if none
+// has. Intended for tests and instrumentation; the value may be stale by the
+// time it is returned.
+func (r *Record) Info() *SCXRecord { return r.info.Load() }
+
 // Frozen reports whether r is currently frozen for some SCX-record, per the
 // paper's Figure 8: r.info's state is InProgress, or it is Committed and r is
 // marked. Intended for tests and diagnostics; the value may be stale by the

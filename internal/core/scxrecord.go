@@ -29,20 +29,65 @@ func (s State) String() string {
 	}
 }
 
+// maxInlineV is the V-sequence length an SCXRecord holds inline. The paper's
+// structures (and all of this repository's) use k <= 4; longer sequences
+// spill to heap slices.
+const maxInlineV = 4
+
 // SCXRecord is an operation descriptor holding enough information for any
 // process to complete an in-progress SCX (paper Figure 1). While an SCX is
 // active, the info fields of the records in its V sequence point at its
 // SCXRecord, freezing them: a frozen record may be changed only on behalf of
 // that SCX. SCXRecords are exposed read-only, for tests and instrumentation.
+//
+// The descriptor is a single allocation on the fast path: the V and R
+// sequences and the per-record info snapshot live in fixed inline arrays
+// (slices are used only when a sequence exceeds maxInlineV), and the fresh
+// box for the new field value is embedded in the descriptor (newBoxStore).
+// Because a descriptor is freshly allocated per SCX and never reused, the
+// embedded box's address is fresh too, preserving the ABA argument; see
+// DESIGN.md for why descriptor reuse would be unsound.
 type SCXRecord struct {
-	v          []*Record
-	r          []*Record
-	fld        *atomic.Pointer[box]
-	newBox     *box
-	oldBox     *box
-	state      atomic.Int32
-	allFrozen  atomic.Bool
-	infoFields []*SCXRecord
+	nv, nr      int
+	vInline     [maxInlineV]*Record
+	rInline     [maxInlineV]*Record
+	infoInline  [maxInlineV]*SCXRecord
+	vSpill      []*Record
+	rSpill      []*Record
+	infoSpill   []*SCXRecord
+	fld         *atomic.Pointer[box]
+	newBox      *box
+	oldBox      *box
+	newBoxStore box
+	state       atomic.Int32
+	allFrozen   atomic.Bool
+}
+
+// vSeq returns the V sequence without allocating (the inline case slices the
+// descriptor's own array). The result must not be modified.
+func (u *SCXRecord) vSeq() []*Record {
+	if u.vSpill != nil {
+		return u.vSpill
+	}
+	return u.vInline[:u.nv]
+}
+
+// rSeq returns the R sequence without allocating. The result must not be
+// modified.
+func (u *SCXRecord) rSeq() []*Record {
+	if u.rSpill != nil {
+		return u.rSpill
+	}
+	return u.rInline[:u.nr]
+}
+
+// infoSeq returns the info pointers read by the linked LLXs for V, aligned
+// with vSeq. The result must not be modified.
+func (u *SCXRecord) infoSeq() []*SCXRecord {
+	if u.infoSpill != nil {
+		return u.infoSpill
+	}
+	return u.infoInline[:u.nv]
 }
 
 // dummySCXRecord is the SCX-record all Records' info fields initially point
@@ -65,8 +110,8 @@ func (u *SCXRecord) AllFrozen() bool { return u.allFrozen.Load() }
 
 // V returns the records the SCX depends on, in freezing order. The returned
 // slice must not be modified.
-func (u *SCXRecord) V() []*Record { return u.v }
+func (u *SCXRecord) V() []*Record { return u.vSeq() }
 
 // R returns the records the SCX finalizes. The returned slice must not be
 // modified.
-func (u *SCXRecord) R() []*Record { return u.r }
+func (u *SCXRecord) R() []*Record { return u.rSeq() }

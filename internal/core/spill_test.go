@@ -1,0 +1,236 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pragmaprim/internal/core"
+)
+
+// The spill tests drive the fixed-capacity fast-path structures past their
+// inline limits — V-sequences longer than the descriptor's inline arrays,
+// records wider than an llxEntry's inline boxes, and more live links than
+// the open-addressed table holds — and check that behavior is unchanged.
+
+// TestSCXWideVSequence runs an SCX whose V and R sequences exceed the
+// descriptor's inline capacity (maxInlineV = 4).
+func TestSCXWideVSequence(t *testing.T) {
+	const k = 7
+	p := core.NewProcess()
+	recs := make([]*core.Record, k)
+	for i := range recs {
+		recs[i] = core.NewRecord(1, []any{i}, fmt.Sprintf("rec%d", i))
+	}
+	for _, r := range recs {
+		if _, st := p.LLX(r); st != core.LLXOK {
+			t.Fatalf("LLX failed: %v", st)
+		}
+	}
+	rset := recs[1:] // finalize 6 records: the R sequence spills too
+	if !p.SCX(recs, rset, recs[0].Field(0), 100) {
+		t.Fatal("wide SCX failed")
+	}
+	if got := recs[0].Read(0); got != 100 {
+		t.Errorf("field = %v, want 100", got)
+	}
+	for i, r := range rset {
+		if !r.Finalized() {
+			t.Errorf("rset[%d] not finalized", i)
+		}
+	}
+	if recs[0].Finalized() {
+		t.Error("recs[0] finalized but not in R")
+	}
+	// A subsequent LLX on a finalized record must report it.
+	if _, st := p.LLX(recs[1]); st != core.LLXFinalized {
+		t.Errorf("LLX on finalized record = %v, want Finalized", st)
+	}
+}
+
+// TestSCXWideVSequenceExposed checks that V() and R() round-trip the spilled
+// sequences for instrumentation.
+func TestSCXWideVSequenceExposed(t *testing.T) {
+	const k = 6
+	p := core.NewProcess()
+	recs := make([]*core.Record, k)
+	for i := range recs {
+		recs[i] = core.NewRecord(1, []any{i})
+		if _, st := p.LLX(recs[i]); st != core.LLXOK {
+			t.Fatalf("LLX failed")
+		}
+	}
+	if !p.SCX(recs, recs[:k-1], recs[0].Field(0), "wide") {
+		t.Fatal("wide SCX failed")
+	}
+	u := recs[k-1].Info()
+	if u == nil {
+		t.Fatal("no info record")
+	}
+	if got := u.V(); len(got) != k {
+		t.Fatalf("V() length = %d, want %d", len(got), k)
+	} else {
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Errorf("V()[%d] mismatch", i)
+			}
+		}
+	}
+	if got := u.R(); len(got) != k-1 {
+		t.Errorf("R() length = %d, want %d", len(got), k-1)
+	}
+}
+
+// TestWideRecordLLX drives LLX/SCX on a record with more mutable fields than
+// an llxEntry stores inline (maxInlineFields = 4), exercising the box-spill
+// path, including the old-box lookup for a high field index.
+func TestWideRecordLLX(t *testing.T) {
+	const nf = 7
+	p := core.NewProcess()
+	init := make([]any, nf)
+	for i := range init {
+		init[i] = i * 10
+	}
+	r := core.NewRecord(nf, init)
+	snap, st := p.LLX(r)
+	if st != core.LLXOK {
+		t.Fatalf("LLX failed: %v", st)
+	}
+	if len(snap) != nf {
+		t.Fatalf("snapshot length = %d, want %d", len(snap), nf)
+	}
+	for i := range snap {
+		if snap[i] != i*10 {
+			t.Errorf("snap[%d] = %v, want %d", i, snap[i], i*10)
+		}
+	}
+	// SCX against the highest field: the old box comes from the spill slice.
+	if !p.SCX([]*core.Record{r}, nil, r.Field(nf-1), "updated") {
+		t.Fatal("SCX on wide record failed")
+	}
+	if got := r.Read(nf - 1); got != "updated" {
+		t.Errorf("field %d = %v, want updated", nf-1, got)
+	}
+	for i := 0; i < nf-1; i++ {
+		if got := r.Read(i); got != i*10 {
+			t.Errorf("field %d = %v, want %d (unchanged)", i, got, i*10)
+		}
+	}
+	// LLXInto with a reused buffer on the wide record still snapshots
+	// correctly (the buffer is grown, not truncated).
+	buf := make(core.Snapshot, 2)
+	buf, st = p.LLXInto(r, buf)
+	if st != core.LLXOK {
+		t.Fatalf("LLXInto failed: %v", st)
+	}
+	if len(buf) != nf || buf[nf-1] != "updated" {
+		t.Errorf("LLXInto snapshot = %v", buf)
+	}
+	// And an SCX through that link also works end to end.
+	if !p.SCX([]*core.Record{r}, nil, r.Field(0), "again") {
+		t.Fatal("second SCX on wide record failed")
+	}
+	if got := r.Read(0); got != "again" {
+		t.Errorf("field 0 = %v, want again", got)
+	}
+}
+
+// TestLinkTableSpill establishes more simultaneous links than the inline
+// open-addressed table holds and checks that every link — inline or spilled
+// to the fallback map — still backs a successful SCX.
+func TestLinkTableSpill(t *testing.T) {
+	const n = 48 // well past the inline capacity of 16
+	p := core.NewProcess()
+	recs := make([]*core.Record, n)
+	for i := range recs {
+		recs[i] = core.NewRecord(1, []any{i})
+		if _, st := p.LLX(recs[i]); st != core.LLXOK {
+			t.Fatalf("LLX %d failed", i)
+		}
+	}
+	for i, r := range recs {
+		if !p.HasLink(r) {
+			t.Fatalf("link %d lost after spill", i)
+		}
+	}
+	// Every link, however stored, supports its SCX. Records are untouched in
+	// between, so all SCXs must succeed.
+	for i, r := range recs {
+		if !p.SCX([]*core.Record{r}, nil, r.Field(0), i+1000) {
+			t.Fatalf("SCX %d failed", i)
+		}
+		if p.HasLink(r) {
+			t.Fatalf("link %d not consumed by SCX", i)
+		}
+	}
+	for i, r := range recs {
+		if got := r.Read(0); got != i+1000 {
+			t.Errorf("rec %d = %v, want %d", i, got, i+1000)
+		}
+	}
+}
+
+// TestLinkTableSpillVLX validates spilled links with VLX, both the
+// preserving success path and the link-consuming failure path.
+func TestLinkTableSpillVLX(t *testing.T) {
+	const n = 40
+	p := core.NewProcess()
+	recs := make([]*core.Record, n)
+	for i := range recs {
+		recs[i] = core.NewRecord(1, []any{i})
+		if _, st := p.LLX(recs[i]); st != core.LLXOK {
+			t.Fatalf("LLX %d failed", i)
+		}
+	}
+	if !p.VLX(recs) {
+		t.Fatal("VLX over unchanged records failed")
+	}
+	for i, r := range recs {
+		if !p.HasLink(r) {
+			t.Fatalf("successful VLX consumed link %d", i)
+		}
+	}
+	// Another process changes one record; the VLX must now fail and consume
+	// every link in its V-sequence.
+	q := core.NewProcess()
+	if _, st := q.LLX(recs[n-1]); st != core.LLXOK {
+		t.Fatal("LLX by second process failed")
+	}
+	if !q.SCX([]*core.Record{recs[n-1]}, nil, recs[n-1].Field(0), "changed") {
+		t.Fatal("SCX by second process failed")
+	}
+	if p.VLX(recs) {
+		t.Fatal("VLX succeeded over a changed record")
+	}
+	for i, r := range recs {
+		if p.HasLink(r) {
+			t.Errorf("failed VLX preserved link %d", i)
+		}
+	}
+}
+
+// TestLinkTableRelinkAfterSpill re-LLXes records whose links were spilled
+// and checks the refreshed links are the ones an SCX consumes.
+func TestLinkTableRelinkAfterSpill(t *testing.T) {
+	const n = 32
+	p := core.NewProcess()
+	recs := make([]*core.Record, n)
+	for i := range recs {
+		recs[i] = core.NewRecord(1, []any{i})
+		if _, st := p.LLX(recs[i]); st != core.LLXOK {
+			t.Fatalf("LLX %d failed", i)
+		}
+	}
+	// The earliest links are the evicted ones; re-LLX them (moving them back
+	// inline) and SCX through the refreshed links.
+	for i := 0; i < 8; i++ {
+		if _, st := p.LLX(recs[i]); st != core.LLXOK {
+			t.Fatalf("re-LLX %d failed", i)
+		}
+		if !p.SCX([]*core.Record{recs[i]}, nil, recs[i].Field(0), i-1000) {
+			t.Fatalf("SCX %d after re-link failed", i)
+		}
+		if got := recs[i].Read(0); got != i-1000 {
+			t.Errorf("rec %d = %v, want %d", i, got, i-1000)
+		}
+	}
+}

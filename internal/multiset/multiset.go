@@ -131,11 +131,14 @@ func (m *Multiset[K]) Insert(proc *core.Process, key K, count int) {
 	if count <= 0 {
 		panic(fmt.Sprintf("multiset: Insert with non-positive count %d", count))
 	}
+	// Snapshot buffer reused across retries (core.LLXInto), so the retry
+	// loop performs no snapshot allocations.
+	var snapBuf [2]any
 	for {
 		r, p := m.search(key)
 		if r.matches(key) {
 			// Key present: bump r.count in place (Figure 5(b)).
-			localr, st := proc.LLX(r.rec)
+			localr, st := proc.LLXInto(r.rec, snapBuf[:])
 			if st != core.LLXOK {
 				continue
 			}
@@ -145,7 +148,7 @@ func (m *Multiset[K]) Insert(proc *core.Process, key K, count int) {
 			}
 		} else {
 			// Key absent: splice a new node between p and r (Figure 5(a)).
-			localp, st := proc.LLX(p.rec)
+			localp, st := proc.LLXInto(p.rec, snapBuf[:])
 			if st != core.LLXOK {
 				continue
 			}
@@ -168,13 +171,16 @@ func (m *Multiset[K]) Delete(proc *core.Process, key K, count int) bool {
 	if count <= 0 {
 		panic(fmt.Sprintf("multiset: Delete with non-positive count %d", count))
 	}
+	// Three snapshots (p, r, r's successor) are alive at once, so each gets
+	// its own reusable buffer.
+	var pBuf, rBuf, rnBuf [2]any
 	for {
 		r, p := m.search(key)
-		localp, stp := proc.LLX(p.rec)
+		localp, stp := proc.LLXInto(p.rec, pBuf[:])
 		if stp != core.LLXOK {
 			continue
 		}
-		localr, str := proc.LLX(r.rec)
+		localr, str := proc.LLXInto(r.rec, rBuf[:])
 		if str != core.LLXOK {
 			continue
 		}
@@ -199,7 +205,7 @@ func (m *Multiset[K]) Delete(proc *core.Process, key K, count int) bool {
 		// r's successor is replaced by a fresh copy and both r and the old
 		// successor are finalized (Figure 5(c)).
 		rnext := localr[fieldNext].(*node[K]) // non-nil: r is interior
-		localrn, st := proc.LLX(rnext.rec)
+		localrn, st := proc.LLXInto(rnext.rec, rnBuf[:])
 		if st != core.LLXOK {
 			continue
 		}

@@ -61,6 +61,8 @@ func (q *Queue[T]) tailHint() *node[T] {
 // Enqueue appends val at the tail.
 func (q *Queue[T]) Enqueue(proc *core.Process, val T) {
 	n := newNode(val)
+	// Reusable snapshot buffer (core.LLXInto): retries allocate nothing.
+	var lastBuf [1]any
 	for {
 		// Find the last node, starting from the (possibly lagging) hint.
 		last := q.tailHint()
@@ -74,7 +76,7 @@ func (q *Queue[T]) Enqueue(proc *core.Process, val T) {
 			}
 			last = nxt
 		}
-		localLast, st := proc.LLX(last.rec)
+		localLast, st := proc.LLXInto(last.rec, lastBuf[:])
 		if st != core.LLXOK {
 			continue // finalized (dequeued past) or contended; re-find
 		}
@@ -91,7 +93,8 @@ func (q *Queue[T]) Enqueue(proc *core.Process, val T) {
 // advanceTail best-effort moves the tail hint to n; a failure just leaves
 // the hint lagging, which only costs later enqueues a longer walk.
 func (q *Queue[T]) advanceTail(proc *core.Process, n *node[T]) {
-	if _, st := proc.LLX(q.entry); st != core.LLXOK {
+	var entryBuf [2]any
+	if _, st := proc.LLXInto(q.entry, entryBuf[:]); st != core.LLXOK {
 		return
 	}
 	proc.SCX([]*core.Record{q.entry}, nil, q.entry.Field(entryTail), n)
@@ -101,13 +104,17 @@ func (q *Queue[T]) advanceTail(proc *core.Process, n *node[T]) {
 // queue is (momentarily) empty.
 func (q *Queue[T]) Dequeue(proc *core.Process) (T, bool) {
 	var zero T
+	// The entry's and dummy's snapshots are alive at once, so each gets its
+	// own reusable buffer.
+	var entryBuf [2]any
+	var dBuf [1]any
 	for {
-		localEntry, st := proc.LLX(q.entry)
+		localEntry, st := proc.LLXInto(q.entry, entryBuf[:])
 		if st != core.LLXOK {
 			continue
 		}
 		d, _ := localEntry[entryHead].(*node[T])
-		locald, st := proc.LLX(d.rec)
+		locald, st := proc.LLXInto(d.rec, dBuf[:])
 		if st != core.LLXOK {
 			continue
 		}

@@ -45,8 +45,11 @@ func (s *Stack[T]) top() *cell[T] {
 
 // Push adds val on top.
 func (s *Stack[T]) Push(proc *core.Process, val T) {
+	// Reusable snapshot buffer (core.LLXInto): retries allocate nothing
+	// beyond the cell being pushed.
+	var entryBuf [1]any
 	for {
-		localEntry, st := proc.LLX(s.entry)
+		localEntry, st := proc.LLXInto(s.entry, entryBuf[:])
 		if st != core.LLXOK {
 			continue
 		}
@@ -62,8 +65,9 @@ func (s *Stack[T]) Push(proc *core.Process, val T) {
 // (momentarily) empty.
 func (s *Stack[T]) Pop(proc *core.Process) (T, bool) {
 	var zero T
+	var entryBuf [1]any
 	for {
-		localEntry, st := proc.LLX(s.entry)
+		localEntry, st := proc.LLXInto(s.entry, entryBuf[:])
 		if st != core.LLXOK {
 			continue
 		}
@@ -72,7 +76,8 @@ func (s *Stack[T]) Pop(proc *core.Process) (T, bool) {
 			// The LLX snapshot itself is the atomic emptiness witness.
 			return zero, false
 		}
-		if _, st := proc.LLX(topCell.rec); st != core.LLXOK {
+		// Cells have no mutable fields: a nil buffer links without allocating.
+		if _, st := proc.LLXInto(topCell.rec, nil); st != core.LLXOK {
 			continue
 		}
 		if proc.SCX([]*core.Record{s.entry, topCell.rec},

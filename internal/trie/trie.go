@@ -115,12 +115,16 @@ func walkToLeaf[V any](n *node[V], key uint64) *node[V] {
 // Put maps key to val, returning true if key was newly inserted and false
 // if an existing mapping was replaced.
 func (t *Trie[V]) Put(proc *core.Process, key uint64, val V) bool {
+	// Reusable snapshot buffers (core.LLXInto): the retry loop allocates
+	// nothing beyond the nodes it splices in.
+	var rootBuf [1]any
+	var pBuf [2]any
 	for {
 		// Phase 1: probe for a leaf sharing key's routed prefix.
 		top := t.top()
 		if top == nil {
 			// Empty trie: install the first leaf at the entry point.
-			localr, st := proc.LLX(t.root)
+			localr, st := proc.LLXInto(t.root, rootBuf[:])
 			if st != core.LLXOK {
 				continue
 			}
@@ -148,7 +152,7 @@ func (t *Trie[V]) Put(proc *core.Process, key uint64, val V) bool {
 		if cur == nil {
 			continue // structure moved; re-run
 		}
-		localp, st := proc.LLX(parentRec)
+		localp, st := proc.LLXInto(parentRec, pBuf[:])
 		if st != core.LLXOK {
 			continue
 		}
@@ -215,14 +219,15 @@ func (t *Trie[V]) replaceLeaf(proc *core.Process, key uint64, val V) bool {
 	if cur == nil || cur.key != key {
 		return false
 	}
-	localp, st := proc.LLX(parentRec)
+	var pBuf [2]any
+	localp, st := proc.LLXInto(parentRec, pBuf[:])
 	if st != core.LLXOK {
 		return false
 	}
 	if c, _ := localp[parentDir].(*node[V]); c != cur {
 		return false
 	}
-	if _, st := proc.LLX(cur.rec); st != core.LLXOK {
+	if _, st := proc.LLXInto(cur.rec, nil); st != core.LLXOK {
 		return false
 	}
 	return proc.SCX([]*core.Record{parentRec, cur.rec}, []*core.Record{cur.rec},
@@ -233,6 +238,9 @@ func (t *Trie[V]) replaceLeaf(proc *core.Process, key uint64, val V) bool {
 // the zero value and false if key was absent.
 func (t *Trie[V]) Delete(proc *core.Process, key uint64) (V, bool) {
 	var zero V
+	// g's and p's snapshots are alive at once; the sibling's link needs a
+	// buffer too since an internal sibling has two mutable fields.
+	var gBuf, pBuf, sBuf [2]any
 	for {
 		// Track grandparent edge, parent node, and leaf during the descent.
 		gRec := t.root
@@ -252,14 +260,14 @@ func (t *Trie[V]) Delete(proc *core.Process, key uint64) (V, bool) {
 		}
 		if p == nil {
 			// The leaf is the entire trie: unlink it from the entry point.
-			localr, st := proc.LLX(t.root)
+			localr, st := proc.LLXInto(t.root, gBuf[:])
 			if st != core.LLXOK {
 				continue
 			}
 			if c, _ := localr[fieldChild0].(*node[V]); c != l {
 				continue
 			}
-			if _, st := proc.LLX(l.rec); st != core.LLXOK {
+			if _, st := proc.LLXInto(l.rec, nil); st != core.LLXOK {
 				continue
 			}
 			if proc.SCX([]*core.Record{t.root, l.rec}, []*core.Record{l.rec},
@@ -269,14 +277,14 @@ func (t *Trie[V]) Delete(proc *core.Process, key uint64) (V, bool) {
 			continue
 		}
 		// Replace p with l's sibling, finalizing p and l.
-		localg, st := proc.LLX(gRec)
+		localg, st := proc.LLXInto(gRec, gBuf[:])
 		if st != core.LLXOK {
 			continue
 		}
 		if c, _ := localg[gDir].(*node[V]); c != p {
 			continue
 		}
-		localp, st := proc.LLX(p.rec)
+		localp, st := proc.LLXInto(p.rec, pBuf[:])
 		if st != core.LLXOK {
 			continue
 		}
@@ -288,10 +296,10 @@ func (t *Trie[V]) Delete(proc *core.Process, key uint64) (V, bool) {
 		if s == nil {
 			continue
 		}
-		if _, st := proc.LLX(l.rec); st != core.LLXOK {
+		if _, st := proc.LLXInto(l.rec, nil); st != core.LLXOK {
 			continue
 		}
-		if _, st := proc.LLX(s.rec); st != core.LLXOK {
+		if _, st := proc.LLXInto(s.rec, sBuf[:]); st != core.LLXOK {
 			continue
 		}
 		// V in preorder-consistent order: grandparent edge owner, p, then
