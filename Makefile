@@ -1,13 +1,27 @@
-# Tier-1 verification plus the race-detector pass CI runs on every PR.
+# Tier-1 verification plus the lint, race and benchmark-smoke lanes CI runs
+# on every PR.
 
 GO ?= go
+STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all vet build test race check bench-core clean
+.PHONY: all vet lint build test race benchsmoke check bench-core clean
 
 all: check
 
 vet:
 	$(GO) vet ./...
+
+# Lint: go vet always; staticcheck when installed. Local boxes without it
+# still get a meaningful `make lint`, but under CI (the runner sets CI=true)
+# a missing staticcheck is a hard failure so the gate cannot silently vanish.
+lint: vet
+ifdef STATICCHECK
+	$(STATICCHECK) ./...
+else ifdef CI
+	$(error lint: staticcheck required in CI but not installed)
+else
+	@echo "lint: staticcheck not installed; ran go vet only"
+endif
 
 build:
 	$(GO) build ./...
@@ -16,11 +30,17 @@ test:
 	$(GO) test ./...
 
 # The step-semantics, helping and linearizability tests exercise real
-# concurrency; run the core and multiset packages under the race detector.
+# concurrency; run the core, template and multiset packages under the race
+# detector.
 race:
-	$(GO) test -race ./internal/core ./internal/multiset
+	$(GO) test -race ./internal/core ./internal/template ./internal/multiset
 
-check: vet build test race
+# Compile and execute every benchmark once so benchmark code cannot rot
+# without failing CI; -benchtime=1x keeps it to seconds.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+check: lint build test race benchsmoke
 
 # Regenerate the checked-in core fast-path microbenchmark dump.
 bench-core:

@@ -95,6 +95,15 @@ func BenchmarkLLXSnapshotAlloc(b *testing.B) { benchcore.LLXAlloc(b) }
 // searches use in place of LLX.
 func BenchmarkFieldRead(b *testing.B) { benchcore.FieldRead(b) }
 
+// BenchmarkTemplateSCXCycle routes the scx_cycle_k1 transaction through the
+// template engine; compare against BenchmarkKCASvsSCX/SCX to see the
+// engine's overhead over the hand-rolled loop.
+func BenchmarkTemplateSCXCycle(b *testing.B) { benchcore.TemplateSCXCycle(b) }
+
+// BenchmarkHandleRoundtrip times a pooled Handle Acquire/Release pair, the
+// per-operation cost of the convenience API.
+func BenchmarkHandleRoundtrip(b *testing.B) { benchcore.HandleRoundtrip(b) }
+
 // --- E3: disjoint vs. shared SCX success ------------------------------------
 
 // BenchmarkDisjointSCX runs SCX loops on per-goroutine records: the paper
@@ -178,8 +187,8 @@ func BenchmarkKCASvsSCX(b *testing.B) {
 // benchSession drives one harness session with a standard mixed workload.
 func benchSession(b *testing.B, f harness.Factory, cfg workload.Config) {
 	b.Helper()
-	newSession := f.New()
-	pre := newSession()
+	inst := f.New()
+	pre := inst.NewSession()
 	for k := 0; k < cfg.KeyRange; k += 2 {
 		pre.Insert(k)
 	}
@@ -187,7 +196,7 @@ func benchSession(b *testing.B, f harness.Factory, cfg workload.Config) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
-		s := newSession()
+		s := inst.NewSession()
 		id := seed.Add(1)
 		keys := cfg.NewKeyGen(id*2 + 1)
 		ops := cfg.NewOpGen(id*2 + 2)
@@ -247,41 +256,41 @@ func BenchmarkMultisetOps(b *testing.B) {
 // BenchmarkTrieOps times the three Patricia-trie operations in isolation.
 func BenchmarkTrieOps(b *testing.B) {
 	const keys = 1 << 10
-	newFilled := func() (*trie.Trie[int], *core.Process) {
+	newFilled := func() trie.Session[int] {
 		t := trie.New[int]()
-		p := core.NewProcess()
+		s := t.Attach(core.NewHandle())
 		for k := 0; k < keys; k++ {
-			t.Put(p, uint64(k), k)
+			s.Put(uint64(k), k)
 		}
-		return t, p
+		return s
 	}
 	b.Run("Get", func(b *testing.B) {
-		t, p := newFilled()
+		s := newFilled()
 		rng := rand.New(rand.NewSource(1))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			t.Get(p, uint64(rng.Intn(keys)))
+			s.Get(uint64(rng.Intn(keys)))
 		}
 	})
 	b.Run("PutExisting", func(b *testing.B) {
-		t, p := newFilled()
+		s := newFilled()
 		rng := rand.New(rand.NewSource(2))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			t.Put(p, uint64(rng.Intn(keys)), i)
+			s.Put(uint64(rng.Intn(keys)), i)
 		}
 	})
 	b.Run("PutDeleteNew", func(b *testing.B) {
-		t, p := newFilled()
+		s := newFilled()
 		rng := rand.New(rand.NewSource(3))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			k := uint64(keys + rng.Intn(keys))
-			t.Put(p, k, i)
-			t.Delete(p, k)
+			s.Put(k, i)
+			s.Delete(k)
 		}
 	})
 }
@@ -291,25 +300,25 @@ func BenchmarkTrieOps(b *testing.B) {
 func BenchmarkQueueOps(b *testing.B) {
 	b.Run("EnqueueDequeue", func(b *testing.B) {
 		q := queue.New[int]()
-		p := core.NewProcess()
+		s := q.Attach(core.NewHandle())
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			q.Enqueue(p, i)
-			q.Dequeue(p)
+			s.Enqueue(i)
+			s.Dequeue()
 		}
 	})
 	b.Run("Contended", func(b *testing.B) {
 		q := queue.New[int]()
 		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
-			p := core.NewProcess()
+			s := q.Attach(core.NewHandle())
 			i := 0
 			for pb.Next() {
 				if i%2 == 0 {
-					q.Enqueue(p, i)
+					s.Enqueue(i)
 				} else {
-					q.Dequeue(p)
+					s.Dequeue()
 				}
 				i++
 			}
@@ -320,26 +329,26 @@ func BenchmarkQueueOps(b *testing.B) {
 // BenchmarkStackOps times push/pop pairs, single-threaded and contended.
 func BenchmarkStackOps(b *testing.B) {
 	b.Run("PushPop", func(b *testing.B) {
-		s := stack.New[int]()
-		p := core.NewProcess()
+		st := stack.New[int]()
+		s := st.Attach(core.NewHandle())
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			s.Push(p, i)
-			s.Pop(p)
+			s.Push(i)
+			s.Pop()
 		}
 	})
 	b.Run("Contended", func(b *testing.B) {
-		s := stack.New[int]()
+		st := stack.New[int]()
 		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
-			p := core.NewProcess()
+			s := st.Attach(core.NewHandle())
 			i := 0
 			for pb.Next() {
 				if i%2 == 0 {
-					s.Push(p, i)
+					s.Push(i)
 				} else {
-					s.Pop(p)
+					s.Pop()
 				}
 				i++
 			}
@@ -350,42 +359,42 @@ func BenchmarkStackOps(b *testing.B) {
 // BenchmarkBSTOps times the three BST operations in isolation.
 func BenchmarkBSTOps(b *testing.B) {
 	const keys = 1 << 10
-	newFilled := func() (*bst.Tree[int, int], *core.Process) {
+	newFilled := func() bst.Session[int, int] {
 		t := bst.New[int, int]()
-		p := core.NewProcess()
+		s := t.Attach(core.NewHandle())
 		perm := rand.New(rand.NewSource(7)).Perm(keys)
 		for _, k := range perm {
-			t.Put(p, k, k)
+			s.Put(k, k)
 		}
-		return t, p
+		return s
 	}
 	b.Run("Get", func(b *testing.B) {
-		t, p := newFilled()
+		s := newFilled()
 		rng := rand.New(rand.NewSource(1))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			t.Get(p, rng.Intn(keys))
+			s.Get(rng.Intn(keys))
 		}
 	})
 	b.Run("PutExisting", func(b *testing.B) {
-		t, p := newFilled()
+		s := newFilled()
 		rng := rand.New(rand.NewSource(2))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			t.Put(p, rng.Intn(keys), i)
+			s.Put(rng.Intn(keys), i)
 		}
 	})
 	b.Run("PutDeleteNew", func(b *testing.B) {
-		t, p := newFilled()
+		s := newFilled()
 		rng := rand.New(rand.NewSource(3))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			k := keys + rng.Intn(keys)
-			t.Put(p, k, k)
-			t.Delete(p, k)
+			s.Put(k, k)
+			s.Delete(k)
 		}
 	})
 }

@@ -55,6 +55,10 @@ func coreBenchmarks() []coreBench {
 		})
 	}
 	benches = append(benches,
+		coreBench{"template_scx_cycle", false, benchcore.TemplateSCXCycle},
+		coreBench{"handle_roundtrip", false, benchcore.HandleRoundtrip},
+	)
+	benches = append(benches,
 		coreBench{"multiset_get", false, benchcore.MultisetGet},
 		coreBench{"multiset_insert_existing", false, benchcore.MultisetInsertExisting},
 		coreBench{"multiset_insert_delete_new", false, benchcore.MultisetInsertDeleteNew},

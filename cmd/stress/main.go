@@ -2,7 +2,9 @@
 // concurrent churn, periodically pausing the workload to verify structural
 // invariants and per-key conservation. It is the long-running companion to
 // the unit suites: run it for minutes or hours to shake out rare
-// interleavings.
+// interleavings. Workers bind pooled core.Handles through each structure's
+// Attach API, and the final report includes the template engine's
+// contention counters.
 //
 // Usage:
 //
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +24,8 @@ import (
 	"pragmaprim/internal/bst"
 	"pragmaprim/internal/core"
 	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/stats"
+	"pragmaprim/internal/template"
 )
 
 func main() {
@@ -87,20 +92,22 @@ func stressMultiset(dur time.Duration, threads, keys, checks int) error {
 	for c := 0; c < checks; c++ {
 		stopPhase := phase(threads, func(w int, stop *atomic.Bool) {
 			rng := rand.New(rand.NewSource(int64(c*threads + w)))
-			p := core.NewProcess()
+			h := core.AcquireHandle()
+			defer h.Release()
+			s := m.Attach(h)
 			for !stop.Load() {
 				key := rng.Intn(keys)
 				count := 1 + rng.Intn(3)
 				switch rng.Intn(3) {
 				case 0:
-					m.Insert(p, key, count)
+					s.Insert(key, count)
 					nets[w][key].Add(int64(count))
 				case 1:
-					if m.Delete(p, key, count) {
+					if s.Delete(key, count) {
 						nets[w][key].Add(-int64(count))
 					}
 				default:
-					m.Get(p, key)
+					s.Get(key)
 				}
 				ops.Add(1)
 			}
@@ -124,6 +131,7 @@ func stressMultiset(dur time.Duration, threads, keys, checks int) error {
 		}
 		fmt.Printf("  checkpoint %d ok: %d ops so far, %d keys live\n", c+1, ops.Load(), len(items))
 	}
+	printEngineReport(m.EngineStats(), m.StatsByOp())
 	return nil
 }
 
@@ -143,18 +151,20 @@ func stressBST(dur time.Duration, threads, keys, checks int) error {
 	for c := 0; c < checks; c++ {
 		stopPhase := phase(threads, func(w int, stop *atomic.Bool) {
 			rng := rand.New(rand.NewSource(int64(c*threads+w) + 424242))
-			p := core.NewProcess()
+			h := core.AcquireHandle()
+			defer h.Release()
+			s := t.Attach(h)
 			for !stop.Load() {
 				k := rng.Intn(keys/threads)*threads + w // owned key
 				switch rng.Intn(3) {
 				case 0:
-					t.Put(p, k, k)
+					s.Put(k, k)
 					present[w][k].Store(true)
 				case 1:
-					t.Delete(p, k)
+					s.Delete(k)
 					present[w][k].Store(false)
 				default:
-					t.Get(p, k)
+					s.Get(k)
 				}
 				ops.Add(1)
 			}
@@ -179,5 +189,26 @@ func stressBST(dur time.Duration, threads, keys, checks int) error {
 		}
 		fmt.Printf("  checkpoint %d ok: %d ops so far, %d keys live\n", c+1, ops.Load(), len(live))
 	}
+	printEngineReport(t.EngineStats(), t.StatsByOp())
 	return nil
+}
+
+// printEngineReport renders the template engine's contention counters: the
+// aggregate line plus a per-operation breakdown table.
+func printEngineReport(total template.Counters, byOp map[string]template.Counters) {
+	fmt.Printf("stress: engine: %d update ops, %d retries, %d SCX failures\n",
+		total.Ops, total.Retries(), total.SCXFails)
+	tb := stats.NewTable("engine contention by operation",
+		"op", "ops", "attempts", "retries/op", "llx-fail%", "scx-fail%")
+	names := make([]string, 0, len(byOp))
+	for name := range byOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := byOp[name]
+		tb.AddRow(append([]any{name},
+			stats.ContentionRow(c.Ops, c.Attempts, c.LLXFails, c.SCXFails)...)...)
+	}
+	tb.WriteTo(os.Stdout)
 }

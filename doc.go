@@ -5,15 +5,29 @@
 // tree, the baselines the paper compares against (LL/SC, KCSS, multi-word
 // CAS, lock-based lists), and a harness that regenerates every measurable
 // claim in the paper. DESIGN.md documents the record/box memory layout, the
-// ABA argument, and the allocation-free fast path; BENCH_core.json is the
-// checked-in machine-readable microbenchmark dump (regenerate with
-// cmd/bench -corejson).
+// ABA argument, the allocation-free fast path, and the template engine +
+// process runtime; BENCH_core.json is the checked-in machine-readable
+// microbenchmark dump (regenerate with cmd/bench -corejson).
+//
+// The implementation is layered: internal/core provides the primitives and
+// the process runtime (a lock-free Handle pool, so callers never manage
+// *core.Process by hand), internal/template provides the one update engine
+// every structure's retry loop runs on, and the five data structures are
+// thin attempt bodies over that engine. Public structure APIs take no
+// Process: plain calls acquire a pooled Handle per operation, hot paths
+// bind one once via each structure's Attach/Session API.
 //
 // The implementation lives under internal/:
 //
-//	internal/core            LLX, SCX, VLX from CAS (the paper's contribution)
+//	internal/core            LLX, SCX, VLX from CAS (the paper's contribution),
+//	                         plus the ProcessPool/Handle runtime
+//	internal/template        the generic LLX→validate→SCX update engine:
+//	                         retry policies, contention counters, snapshot reuse
 //	internal/multiset        Section 5 multiset on a sorted linked list
 //	internal/bst             Section 6 application: external BST
+//	internal/trie            non-blocking binary Patricia trie
+//	internal/queue           Michael-Scott-shaped FIFO queue
+//	internal/stack           Treiber-shaped LIFO stack
 //	internal/llsc            single-word LL/SC from CAS
 //	internal/kcss            k-compare-single-swap baseline
 //	internal/mwcas           descriptor-based k-CAS baseline
@@ -23,6 +37,7 @@
 //	internal/workload        key distributions and operation mixes
 //	internal/stats           summary statistics and table rendering
 //	internal/harness         experiments E1-E8
+//	internal/benchcore       shared bodies of the core microbenchmarks
 //
 // The benchmarks in bench_test.go regenerate the experiment series from Go
 // tooling (go test -bench=.), and cmd/bench prints the full tables and the

@@ -30,34 +30,36 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w)))
-			p := core.NewProcess()
+			h := core.AcquireHandle()
+			defer h.Release()
+			s := index.Attach(h)
 			base := w * band
 			// Insert the band, reprice half, cancel a third.
 			for i := 0; i < band; i++ {
-				index.Put(p, base+i, fmt.Sprintf("order-%d-v1", base+i))
+				s.Put(base+i, fmt.Sprintf("order-%d-v1", base+i))
 			}
 			for i := 0; i < band; i += 2 {
-				index.Put(p, base+i, fmt.Sprintf("order-%d-v2", base+i))
+				s.Put(base+i, fmt.Sprintf("order-%d-v2", base+i))
 			}
 			for i := 0; i < band; i += 3 {
-				index.Delete(p, base+i)
+				s.Delete(base + i)
 			}
 			// A little random churn for interleaving variety.
 			for i := 0; i < 500; i++ {
 				k := base + rng.Intn(band)
 				if rng.Intn(2) == 0 {
-					index.Put(p, k, fmt.Sprintf("order-%d-v3", k))
+					s.Put(k, fmt.Sprintf("order-%d-v3", k))
 				} else {
-					index.Delete(p, k)
+					s.Delete(k)
 				}
 			}
 			// Deterministic final pass so the expected state is known.
 			for i := 0; i < band; i++ {
 				k := base + i
 				if i%5 == 0 {
-					index.Delete(p, k)
+					s.Delete(k)
 				} else {
-					index.Put(p, k, fmt.Sprintf("order-%d-final", k))
+					s.Put(k, fmt.Sprintf("order-%d-final", k))
 				}
 			}
 		}(w)
@@ -74,7 +76,6 @@ func main() {
 	go func() {
 		defer rg.Done()
 		rng := rand.New(rand.NewSource(99))
-		p := core.NewProcess()
 		for {
 			select {
 			case <-stop:
@@ -82,7 +83,7 @@ func main() {
 			default:
 			}
 			reads++
-			if _, ok := index.Get(p, rng.Intn(writers*band)); ok {
+			if _, ok := index.Get(rng.Intn(writers * band)); ok {
 				hits++
 			}
 		}
@@ -95,11 +96,10 @@ func main() {
 	// Verify against the deterministic final pass.
 	expectLive := 0
 	mismatches := 0
-	p := core.NewProcess()
 	for w := 0; w < writers; w++ {
 		for i := 0; i < band; i++ {
 			k := w*band + i
-			v, ok := index.Get(p, k)
+			v, ok := index.Get(k)
 			if i%5 == 0 {
 				if ok {
 					mismatches++

@@ -29,16 +29,18 @@ func main() {
 	ms := multiset.New[string]()
 
 	// Fan the corpus out over workers, each tallying into the shared
-	// multiset with its own Process.
+	// multiset through a Session bound to its own pooled Handle.
 	const workers = 4
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			p := core.NewProcess()
+			h := core.AcquireHandle()
+			defer h.Release()
+			s := ms.Attach(h)
 			for i := w; i < len(words); i += workers {
-				ms.Insert(p, words[i], 1)
+				s.Insert(words[i], 1)
 			}
 		}(w)
 	}
@@ -62,12 +64,13 @@ func main() {
 	}
 
 	// Delete semantics: remove exactly the "the"s, then try to over-delete.
-	p := core.NewProcess()
-	theCount := ms.Get(p, "the")
+	// One-off operations need no Handle at all: the methods acquire a
+	// pooled one internally.
+	theCount := ms.Get("the")
 	fmt.Printf("deleting %d occurrences of %q -> %v\n",
-		theCount, "the", ms.Delete(p, "the", theCount))
+		theCount, "the", ms.Delete("the", theCount))
 	fmt.Printf("deleting one more %q -> %v (as the paper specifies, a short delete is a no-op)\n",
-		"the", ms.Delete(p, "the", 1))
+		"the", ms.Delete("the", 1))
 
 	// The remainder is still consistent.
 	delete(want, "the")

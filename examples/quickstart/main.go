@@ -21,10 +21,16 @@ func main() {
 	fmt.Printf("record %q starts with count=%v note=%q\n",
 		rec.Immutable(0), rec.Read(0), rec.Read(1))
 
-	// Each participating goroutine owns a Process, which holds its table of
-	// LLX results (the links SCX and VLX validate against).
-	alice := core.NewProcess()
-	bob := core.NewProcess()
+	// Each participating goroutine acquires a Handle from the shared pool;
+	// the Handle's Process holds its table of LLX results (the links SCX
+	// and VLX validate against). Data-structure code never sees these:
+	// the internal/template engine drives the primitives for it.
+	ah := core.AcquireHandle()
+	defer ah.Release()
+	bh := core.AcquireHandle()
+	defer bh.Release()
+	alice := ah.Process()
+	bob := bh.Process()
 
 	// Alice snapshots the record and bumps its count with an SCX that
 	// depends on that snapshot.

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/template"
 )
 
 const (
@@ -44,13 +45,14 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w)))
-			p := core.NewProcess()
+			h := core.AcquireHandle()
+			defer h.Release()
 			for i := 0; i < transfers; i++ {
 				from := rng.Intn(accounts)
 				to := (from + 1 + rng.Intn(accounts-1)) % accounts
 				amount := 1 + rng.Intn(20)
-				mutate(p, recs[from], -amount)
-				mutate(p, recs[to], amount)
+				mutate(h, recs[from], -amount)
+				mutate(h, recs[to], amount)
 			}
 		}(w)
 	}
@@ -60,7 +62,9 @@ func main() {
 	// by at most the workers' in-flight amounts (bounded by workers*maxAmt),
 	// but it can NEVER exceed it, and it can never show a torn single
 	// account. Plain reads could drift arbitrarily across many transfers.
-	p := core.NewProcess()
+	ah := core.AcquireHandle()
+	defer ah.Release()
+	p := ah.Process()
 	var audits, validated int
 	minTotal, maxTotal := 1<<62, -1
 	for validated < 300 {
@@ -101,15 +105,18 @@ func main() {
 	fmt.Printf("final total = %d (expected %d)\n", total, grand)
 }
 
-// mutate adds delta to the account's balance with an LLX/SCX retry loop.
-func mutate(p *core.Process, r *core.Record, delta int) {
-	for {
-		snap, st := p.LLX(r)
+// mutate adds delta to the account's balance. The retry loop is the
+// template engine's: the attempt body only says "snapshot, then commit the
+// incremented value".
+func mutate(h *core.Handle, r *core.Record, delta int) {
+	template.Run(h, nil, nil, func(c *template.Ctx) (struct{}, template.Action) {
+		snap, st := c.LLX(r)
 		if st != core.LLXOK {
-			continue
+			return struct{}{}, template.Retry
 		}
-		if p.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+delta) {
-			return
+		if c.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+delta) {
+			return struct{}{}, template.Done
 		}
-	}
+		return struct{}{}, template.Retry
+	})
 }

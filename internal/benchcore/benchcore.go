@@ -12,6 +12,7 @@ import (
 
 	"pragmaprim/internal/core"
 	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/template"
 )
 
 // LLXInto times an uncontended LLX snapshot of a 2-field record through the
@@ -109,53 +110,88 @@ func SCXCycle(b *testing.B, k int) {
 	b.ReportMetric(float64(p.Metrics.CASSteps())/float64(b.N), "CAS/op")
 }
 
+// TemplateSCXCycle times the same uncontended 1-record LLX+SCX transaction
+// as SCXCycle(k=1), but routed through the template engine — the direct
+// measure of the engine's overhead over the hand-rolled loop.
+func TemplateSCXCycle(b *testing.B) {
+	h := core.NewHandle()
+	r := core.NewRecord(1, []any{0})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		template.Run(h, nil, nil, func(c *template.Ctx) (struct{}, template.Action) {
+			snap, st := c.LLX(r)
+			if st != core.LLXOK {
+				b.Fatal("LLX failed")
+			}
+			if c.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
+				return struct{}{}, template.Done
+			}
+			b.Fatal("SCX failed")
+			return struct{}{}, template.Retry
+		})
+	}
+}
+
+// HandleRoundtrip times a pooled Acquire/Release pair, the per-operation
+// cost of the convenience API that hides Process management.
+func HandleRoundtrip(b *testing.B) {
+	pool := core.NewProcessPool()
+	pool.Acquire().Release() // warm the pool so the loop measures reuse
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Acquire().Release()
+	}
+}
+
 // MultisetKeys is the prefill size of the multiset operation benchmarks.
 const MultisetKeys = 1 << 10
 
 // NewFilledMultiset returns a multiset prefilled with MultisetKeys keys and
-// the process that filled it.
-func NewFilledMultiset() (*multiset.Multiset[int], *core.Process) {
+// a Session bound to a fresh Handle.
+func NewFilledMultiset() (*multiset.Multiset[int], multiset.Session[int]) {
 	m := multiset.New[int]()
-	p := core.NewProcess()
+	s := m.Attach(core.NewHandle())
 	for k := 0; k < MultisetKeys; k++ {
-		m.Insert(p, k, 1)
+		s.Insert(k, 1)
 	}
-	return m, p
+	return m, s
 }
 
 // MultisetGet times Get on a prefilled multiset.
 func MultisetGet(b *testing.B) {
-	m, p := NewFilledMultiset()
+	m, _ := NewFilledMultiset()
 	rng := rand.New(rand.NewSource(1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Get(p, rng.Intn(MultisetKeys))
+		m.Get(rng.Intn(MultisetKeys))
 	}
 }
 
 // MultisetInsertExisting times Insert of already-present keys (a count bump:
-// one LLX + one SCX, no node allocation).
+// one LLX + one SCX, no node allocation) through a bound Session.
 func MultisetInsertExisting(b *testing.B) {
-	m, p := NewFilledMultiset()
+	_, s := NewFilledMultiset()
 	rng := rand.New(rand.NewSource(2))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Insert(p, rng.Intn(MultisetKeys), 1)
+		s.Insert(rng.Intn(MultisetKeys), 1)
 	}
 }
 
 // MultisetInsertDeleteNew times an insert/delete pair on fresh keys (node
-// splice plus three-record unlink SCX).
+// splice plus three-record unlink SCX) through a bound Session.
 func MultisetInsertDeleteNew(b *testing.B) {
-	m, p := NewFilledMultiset()
+	_, s := NewFilledMultiset()
 	rng := rand.New(rand.NewSource(3))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := MultisetKeys + rng.Intn(MultisetKeys)
-		m.Insert(p, k, 1)
-		m.Delete(p, k, 1)
+		s.Insert(k, 1)
+		s.Delete(k, 1)
 	}
 }

@@ -19,9 +19,13 @@
 //     parent and the removed leaf).
 //
 // Searches traverse child pointers with plain reads, justified by the
-// paper's Proposition 2. The tree uses the standard two-sentinel
-// construction (keys ∞₁ < ∞₂ above every real key) so that every real leaf
-// has an internal parent and grandparent.
+// paper's Proposition 2; updates run on the internal/template engine, which
+// owns the retry loop, backoff and contention counters. The tree uses the
+// standard two-sentinel construction (keys ∞₁ < ∞₂ above every real key) so
+// that every real leaf has an internal parent and grandparent.
+//
+// Methods never take a *core.Process: plain calls acquire a pooled Handle
+// per operation, and hot paths bind one with Attach.
 package bst
 
 import (
@@ -29,6 +33,7 @@ import (
 	"fmt"
 
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/template"
 )
 
 // Mutable-field indices of an internal node's Data-record.
@@ -89,10 +94,12 @@ func (n *node[K, V]) matches(key K) bool {
 }
 
 // Tree is a non-blocking ordered map from K to V. The zero value is not
-// usable; create one with New. All methods are safe for concurrent use
-// provided each goroutine passes its own *core.Process.
+// usable; create one with New. All methods are safe for concurrent use.
 type Tree[K cmp.Ordered, V any] struct {
-	root *node[K, V]
+	root     *node[K, V]
+	policy   template.Policy
+	putStats template.OpStats
+	delStats template.OpStats
 }
 
 // New creates an empty tree: a root router with key ∞₂ whose children are
@@ -105,6 +112,40 @@ func New[K cmp.Ordered, V any]() *Tree[K, V] {
 	l2 := newLeaf(zeroK, sentInf2, zeroV)
 	return &Tree[K, V]{root: newInternal(zeroK, sentInf2, l1, l2)}
 }
+
+// SetPolicy installs the retry policy updates back off with; nil (the
+// default) retries immediately. Call before sharing the tree.
+func (t *Tree[K, V]) SetPolicy(p template.Policy) { t.policy = p }
+
+// EngineStats returns the template engine's aggregate attempt/failure
+// counters across all update operations.
+func (t *Tree[K, V]) EngineStats() template.Counters {
+	return t.putStats.Snapshot().Add(t.delStats.Snapshot())
+}
+
+// StatsByOp returns the engine counters broken out per operation.
+func (t *Tree[K, V]) StatsByOp() map[string]template.Counters {
+	return map[string]template.Counters{
+		"put":    t.putStats.Snapshot(),
+		"delete": t.delStats.Snapshot(),
+	}
+}
+
+// Session is a Handle-bound view of a Tree: the hot-path API for a
+// goroutine performing many operations. Not safe for concurrent use; any
+// number of Sessions may share the Tree.
+type Session[K cmp.Ordered, V any] struct {
+	t *Tree[K, V]
+	h *core.Handle
+}
+
+// Attach binds a Session to h. The caller keeps ownership of h.
+func (t *Tree[K, V]) Attach(h *core.Handle) Session[K, V] {
+	return Session[K, V]{t: t, h: h}
+}
+
+// Handle returns the Session's Handle.
+func (s Session[K, V]) Handle() *core.Handle { return s.h }
 
 // search walks from the root to the leaf whose key range covers key,
 // returning the leaf l, its parent p and grandparent g (g is nil iff p is
@@ -123,8 +164,9 @@ func (t *Tree[K, V]) search(key K) (g, p, l *node[K, V]) {
 	return g, p, l
 }
 
-// Get returns the value stored for key, if any.
-func (t *Tree[K, V]) Get(proc *core.Process, key K) (V, bool) {
+// Get returns the value stored for key, if any. Searches are plain reads
+// (Proposition 2), so Get needs no Handle.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
 	_, _, l := t.search(key)
 	if l.matches(key) {
 		return l.val, true
@@ -134,10 +176,34 @@ func (t *Tree[K, V]) Get(proc *core.Process, key K) (V, bool) {
 }
 
 // Contains reports whether key is present.
-func (t *Tree[K, V]) Contains(proc *core.Process, key K) bool {
+func (t *Tree[K, V]) Contains(key K) bool {
 	_, _, l := t.search(key)
 	return l.matches(key)
 }
+
+// Put maps key to val using a pooled Handle; see Session.Put for the
+// hot-path form.
+func (t *Tree[K, V]) Put(key K, val V) bool {
+	h := core.AcquireHandle()
+	ok := t.Attach(h).Put(key, val)
+	h.Release()
+	return ok
+}
+
+// Delete removes key's mapping using a pooled Handle; see Session.Delete
+// for the hot-path form.
+func (t *Tree[K, V]) Delete(key K) (V, bool) {
+	h := core.AcquireHandle()
+	v, ok := t.Attach(h).Delete(key)
+	h.Release()
+	return v, ok
+}
+
+// Get returns the value stored for key, if any.
+func (s Session[K, V]) Get(key K) (V, bool) { return s.t.Get(key) }
+
+// Contains reports whether key is present.
+func (s Session[K, V]) Contains(key K) bool { return s.t.Contains(key) }
 
 // childDir returns the field index of p's child that snapshot snap shows as
 // c, or -1 if c is no longer a child of p in snap.
@@ -153,32 +219,29 @@ func childDir[K cmp.Ordered, V any](snap core.Snapshot, c *node[K, V]) int {
 
 // Put maps key to val, returning true if key was newly inserted and false if
 // an existing mapping was replaced.
-func (t *Tree[K, V]) Put(proc *core.Process, key K, val V) bool {
-	// Reusable snapshot buffer: the retry loop allocates nothing beyond the
-	// nodes it splices in. Leaves have no mutable fields, so their LLXs take
-	// a nil buffer without allocating.
-	var pBuf [2]any
-	for {
+func (s Session[K, V]) Put(key K, val V) bool {
+	t := s.t
+	return template.Run(s.h, t.policy, &t.putStats, func(c *template.Ctx) (bool, template.Action) {
 		_, p, l := t.search(key)
-		localp, st := proc.LLXInto(p.rec, pBuf[:])
+		localp, st := c.LLX(p.rec)
 		if st != core.LLXOK {
-			continue
+			return false, template.Retry
 		}
 		dir := childDir(localp, l)
 		if dir == -1 {
-			continue // tree moved under us; re-search
+			return false, template.Retry // tree moved under us; re-search
 		}
 		if l.matches(key) {
 			// Replace the existing leaf, finalizing it.
-			if _, st := proc.LLXInto(l.rec, nil); st != core.LLXOK {
-				continue
+			if _, st := c.LLX(l.rec); st != core.LLXOK {
+				return false, template.Retry
 			}
 			repl := newLeaf(key, sentReal, val)
-			if proc.SCX([]*core.Record{p.rec, l.rec}, []*core.Record{l.rec},
+			if c.SCX([]*core.Record{p.rec, l.rec}, []*core.Record{l.rec},
 				p.rec.Field(dir), repl) {
-				return false
+				return false, template.Done
 			}
-			continue
+			return false, template.Retry
 		}
 		// Splice an internal node carrying the new leaf and the old leaf.
 		nl := newLeaf(key, sentReal, val)
@@ -192,66 +255,71 @@ func (t *Tree[K, V]) Put(proc *core.Process, key K, val V) bool {
 		default:
 			inner = newInternal(key, sentReal, l, nl)
 		}
-		if proc.SCX([]*core.Record{p.rec}, nil, p.rec.Field(dir), inner) {
-			return true
+		if c.SCX([]*core.Record{p.rec}, nil, p.rec.Field(dir), inner) {
+			return true, template.Done
 		}
-	}
+		return false, template.Retry
+	})
+}
+
+// delResult carries Delete's two return values through the engine.
+type delResult[V any] struct {
+	val V
+	ok  bool
 }
 
 // Delete removes key's mapping, returning the removed value and true, or the
 // zero value and false if key was absent.
-func (t *Tree[K, V]) Delete(proc *core.Process, key K) (V, bool) {
-	var zero V
-	// g's and p's snapshots are alive at once; the sibling's snapshot is
-	// never read, but an internal sibling has two mutable fields, so it
-	// still gets a buffer to keep the link allocation-free.
-	var gBuf, pBuf, sBuf [2]any
-	for {
+func (s Session[K, V]) Delete(key K) (V, bool) {
+	t := s.t
+	res := template.Run(s.h, t.policy, &t.delStats, func(c *template.Ctx) (delResult[V], template.Action) {
 		g, p, l := t.search(key)
 		if !l.matches(key) {
-			return zero, false
+			return delResult[V]{}, template.Done
 		}
 		// A real leaf always has an internal parent and grandparent thanks
 		// to the sentinel construction.
-		localg, st := proc.LLXInto(g.rec, gBuf[:])
+		localg, st := c.LLX(g.rec)
 		if st != core.LLXOK {
-			continue
+			return delResult[V]{}, template.Retry
 		}
 		pdir := childDir(localg, p)
 		if pdir == -1 {
-			continue
+			return delResult[V]{}, template.Retry
 		}
-		localp, st := proc.LLXInto(p.rec, pBuf[:])
+		localp, st := c.LLX(p.rec)
 		if st != core.LLXOK {
-			continue
+			return delResult[V]{}, template.Retry
 		}
 		ldir := childDir(localp, l)
 		if ldir == -1 {
-			continue
+			return delResult[V]{}, template.Retry
 		}
-		s, _ := localp[1-ldir].(*node[K, V]) // sibling, per the snapshot
-		if s == nil {
-			continue
+		sib, _ := localp[1-ldir].(*node[K, V]) // sibling, per the snapshot
+		if sib == nil {
+			return delResult[V]{}, template.Retry
 		}
-		if _, st := proc.LLXInto(l.rec, nil); st != core.LLXOK {
-			continue
+		if _, st := c.LLX(l.rec); st != core.LLXOK {
+			return delResult[V]{}, template.Retry
 		}
-		if _, st := proc.LLXInto(s.rec, sBuf[:]); st != core.LLXOK {
-			continue
+		if _, st := c.LLX(sib.rec); st != core.LLXOK {
+			return delResult[V]{}, template.Retry
 		}
 		// V lists g, p, then p's children in left-right order — an order
 		// consistent with a preorder walk, satisfying the Section 4.1
 		// total-order constraint.
 		var v []*core.Record
 		if ldir == fieldLeft {
-			v = []*core.Record{g.rec, p.rec, l.rec, s.rec}
+			v = []*core.Record{g.rec, p.rec, l.rec, sib.rec}
 		} else {
-			v = []*core.Record{g.rec, p.rec, s.rec, l.rec}
+			v = []*core.Record{g.rec, p.rec, sib.rec, l.rec}
 		}
-		if proc.SCX(v, []*core.Record{p.rec, l.rec}, g.rec.Field(pdir), s) {
-			return l.val, true
+		if c.SCX(v, []*core.Record{p.rec, l.rec}, g.rec.Field(pdir), sib) {
+			return delResult[V]{val: l.val, ok: true}, template.Done
 		}
-	}
+		return delResult[V]{}, template.Retry
+	})
+	return res.val, res.ok
 }
 
 // Len returns the number of real keys observed by one traversal. On a

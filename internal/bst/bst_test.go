@@ -8,7 +8,6 @@ import (
 	"testing/quick"
 
 	"pragmaprim/internal/bst"
-	"pragmaprim/internal/core"
 )
 
 func checkInv(t *testing.T, tr *bst.Tree[int, int]) {
@@ -20,14 +19,13 @@ func checkInv(t *testing.T, tr *bst.Tree[int, int]) {
 
 func TestEmptyTree(t *testing.T) {
 	tr := bst.New[int, int]()
-	p := core.NewProcess()
-	if _, ok := tr.Get(p, 5); ok {
+	if _, ok := tr.Get(5); ok {
 		t.Error("Get on empty returned ok")
 	}
-	if tr.Contains(p, 5) {
+	if tr.Contains(5) {
 		t.Error("Contains on empty = true")
 	}
-	if _, ok := tr.Delete(p, 5); ok {
+	if _, ok := tr.Delete(5); ok {
 		t.Error("Delete on empty = true")
 	}
 	if got := tr.Len(); got != 0 {
@@ -38,11 +36,10 @@ func TestEmptyTree(t *testing.T) {
 
 func TestPutGetSingle(t *testing.T) {
 	tr := bst.New[int, int]()
-	p := core.NewProcess()
-	if !tr.Put(p, 5, 50) {
+	if !tr.Put(5, 50) {
 		t.Fatal("Put of new key returned false")
 	}
-	v, ok := tr.Get(p, 5)
+	v, ok := tr.Get(5)
 	if !ok || v != 50 {
 		t.Fatalf("Get(5) = (%d,%v), want (50,true)", v, ok)
 	}
@@ -51,12 +48,11 @@ func TestPutGetSingle(t *testing.T) {
 
 func TestPutReplacesValue(t *testing.T) {
 	tr := bst.New[int, int]()
-	p := core.NewProcess()
-	tr.Put(p, 5, 50)
-	if tr.Put(p, 5, 51) {
+	tr.Put(5, 50)
+	if tr.Put(5, 51) {
 		t.Fatal("Put of existing key returned true")
 	}
-	v, _ := tr.Get(p, 5)
+	v, _ := tr.Get(5)
 	if v != 51 {
 		t.Fatalf("Get(5) = %d, want 51", v)
 	}
@@ -68,9 +64,8 @@ func TestPutReplacesValue(t *testing.T) {
 
 func TestPutManySorted(t *testing.T) {
 	tr := bst.New[int, int]()
-	p := core.NewProcess()
 	for _, k := range []int{50, 20, 80, 10, 30, 70, 90, 25, 35} {
-		tr.Put(p, k, k*10)
+		tr.Put(k, k*10)
 	}
 	keys := tr.Keys()
 	want := []int{10, 20, 25, 30, 35, 50, 70, 80, 90}
@@ -87,19 +82,18 @@ func TestPutManySorted(t *testing.T) {
 
 func TestDeleteLeafAndReinsert(t *testing.T) {
 	tr := bst.New[int, int]()
-	p := core.NewProcess()
-	tr.Put(p, 5, 50)
-	v, ok := tr.Delete(p, 5)
+	tr.Put(5, 50)
+	v, ok := tr.Delete(5)
 	if !ok || v != 50 {
 		t.Fatalf("Delete(5) = (%d,%v), want (50,true)", v, ok)
 	}
-	if tr.Contains(p, 5) {
+	if tr.Contains(5) {
 		t.Error("key still present after delete")
 	}
 	checkInv(t, tr)
 	// Tree must remain fully usable after emptying.
-	tr.Put(p, 7, 70)
-	if v, ok := tr.Get(p, 7); !ok || v != 70 {
+	tr.Put(7, 70)
+	if v, ok := tr.Get(7); !ok || v != 70 {
 		t.Fatalf("Get(7) = (%d,%v), want (70,true)", v, ok)
 	}
 	checkInv(t, tr)
@@ -107,9 +101,8 @@ func TestDeleteLeafAndReinsert(t *testing.T) {
 
 func TestDeleteAbsentKey(t *testing.T) {
 	tr := bst.New[int, int]()
-	p := core.NewProcess()
-	tr.Put(p, 5, 50)
-	if _, ok := tr.Delete(p, 6); ok {
+	tr.Put(5, 50)
+	if _, ok := tr.Delete(6); ok {
 		t.Error("Delete of absent key = true")
 	}
 	if got := tr.Len(); got != 1 {
@@ -120,13 +113,12 @@ func TestDeleteAbsentKey(t *testing.T) {
 
 func TestDeleteInteriorKeys(t *testing.T) {
 	tr := bst.New[int, int]()
-	p := core.NewProcess()
 	keys := []int{50, 20, 80, 10, 30, 70, 90}
 	for _, k := range keys {
-		tr.Put(p, k, k)
+		tr.Put(k, k)
 	}
 	for _, k := range []int{20, 80, 50} { // keys with internal routers above
-		if _, ok := tr.Delete(p, k); !ok {
+		if _, ok := tr.Delete(k); !ok {
 			t.Fatalf("Delete(%d) = false", k)
 		}
 		checkInv(t, tr)
@@ -145,14 +137,13 @@ func TestDeleteInteriorKeys(t *testing.T) {
 
 func TestStringKeysAndValues(t *testing.T) {
 	tr := bst.New[string, string]()
-	p := core.NewProcess()
-	tr.Put(p, "m", "em")
-	tr.Put(p, "a", "ay")
-	tr.Put(p, "z", "zee")
-	if v, ok := tr.Get(p, "a"); !ok || v != "ay" {
+	tr.Put("m", "em")
+	tr.Put("a", "ay")
+	tr.Put("z", "zee")
+	if v, ok := tr.Get("a"); !ok || v != "ay" {
 		t.Fatalf("Get(a) = (%q,%v)", v, ok)
 	}
-	if _, ok := tr.Delete(p, "m"); !ok {
+	if _, ok := tr.Delete("m"); !ok {
 		t.Fatal("Delete(m) = false")
 	}
 	keys := tr.Keys()
@@ -170,7 +161,6 @@ func TestQuickAgainstMapModel(t *testing.T) {
 	}
 	f := func(ops []op) bool {
 		tr := bst.New[int, int]()
-		p := core.NewProcess()
 		model := make(map[int]int)
 		for _, o := range ops {
 			key := int(o.Key % 32)
@@ -178,13 +168,13 @@ func TestQuickAgainstMapModel(t *testing.T) {
 			switch o.Kind % 3 {
 			case 0:
 				_, existed := model[key]
-				if tr.Put(p, key, val) != !existed {
+				if tr.Put(key, val) != !existed {
 					return false
 				}
 				model[key] = val
 			case 1:
 				want, existed := model[key]
-				got, ok := tr.Delete(p, key)
+				got, ok := tr.Delete(key)
 				if ok != existed {
 					return false
 				}
@@ -194,7 +184,7 @@ func TestQuickAgainstMapModel(t *testing.T) {
 				delete(model, key)
 			case 2:
 				want, existed := model[key]
-				got, ok := tr.Get(p, key)
+				got, ok := tr.Get(key)
 				if ok != existed || (existed && got != want) {
 					return false
 				}
@@ -230,10 +220,9 @@ func TestConcurrentPutDisjointKeys(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			p := core.NewProcess()
 			for i := 0; i < perProc; i++ {
 				k := g*perProc + i
-				if !tr.Put(p, k, k) {
+				if !tr.Put(k, k) {
 					t.Errorf("Put(%d) of fresh key returned false", k)
 					return
 				}
@@ -241,10 +230,8 @@ func TestConcurrentPutDisjointKeys(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-
-	p := core.NewProcess()
 	for k := 0; k < procs*perProc; k++ {
-		if v, ok := tr.Get(p, k); !ok || v != k {
+		if v, ok := tr.Get(k); !ok || v != k {
 			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
 		}
 	}
@@ -267,11 +254,10 @@ func TestConcurrentInsertDeleteChurn(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
-			p := core.NewProcess()
 			for i := 0; i < perProc; i++ {
 				k := g*1000 + rng.Intn(500)
-				tr.Put(p, k, k)
-				if _, ok := tr.Delete(p, k); !ok {
+				tr.Put(k, k)
+				if _, ok := tr.Delete(k); !ok {
 					t.Errorf("Delete(%d) = false though this goroutine owns the key", k)
 					return
 				}
@@ -307,14 +293,13 @@ func TestConcurrentMixedSharedKeys(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g + 99)))
-			p := core.NewProcess()
 			for i := 0; i < perProc; i++ {
 				k := rng.Intn(keyRange)
 				if rng.Intn(2) == 0 {
-					if tr.Put(p, k, g) {
+					if tr.Put(k, g) {
 						inserts[g][k]++
 					}
-				} else if _, ok := tr.Delete(p, k); ok {
+				} else if _, ok := tr.Delete(k); ok {
 					deletes[g][k]++
 				}
 			}
@@ -364,13 +349,12 @@ func TestConcurrentReadersDuringChurn(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
-			p := core.NewProcess()
 			for i := 0; i < perWriter; i++ {
 				k := rng.Intn(keyRange)
 				if rng.Intn(2) == 0 {
-					tr.Put(p, k, k*7)
+					tr.Put(k, k*7)
 				} else {
-					tr.Delete(p, k)
+					tr.Delete(k)
 				}
 			}
 		}(g)
@@ -381,7 +365,6 @@ func TestConcurrentReadersDuringChurn(t *testing.T) {
 		go func(g int) {
 			defer rg.Done()
 			rng := rand.New(rand.NewSource(int64(g + 1000)))
-			p := core.NewProcess()
 			for {
 				select {
 				case <-stop:
@@ -389,7 +372,7 @@ func TestConcurrentReadersDuringChurn(t *testing.T) {
 				default:
 				}
 				k := rng.Intn(keyRange)
-				if v, ok := tr.Get(p, k); ok && v != k*7 {
+				if v, ok := tr.Get(k); ok && v != k*7 {
 					t.Errorf("Get(%d) = %d, want %d", k, v, k*7)
 					return
 				}
@@ -404,14 +387,13 @@ func TestConcurrentReadersDuringChurn(t *testing.T) {
 
 func TestKeysSortedUnderRandomOps(t *testing.T) {
 	tr := bst.New[int, int]()
-	p := core.NewProcess()
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 3000; i++ {
 		k := rng.Intn(200)
 		if rng.Intn(3) == 0 {
-			tr.Delete(p, k)
+			tr.Delete(k)
 		} else {
-			tr.Put(p, k, i)
+			tr.Put(k, i)
 		}
 	}
 	keys := tr.Keys()

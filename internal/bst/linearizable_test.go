@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"pragmaprim/internal/bst"
-	"pragmaprim/internal/core"
 	"pragmaprim/internal/history"
 	"pragmaprim/internal/linearizability"
 )
@@ -29,7 +28,6 @@ func TestLinearizableHistories(t *testing.T) {
 			go func(g int) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(int64(round*procs + g + 7777)))
-				p := core.NewProcess()
 				pr := rec.Proc(g)
 				for i := 0; i < opsPerProc; i++ {
 					key := rng.Intn(keyRange)
@@ -37,13 +35,13 @@ func TestLinearizableHistories(t *testing.T) {
 					switch rng.Intn(3) {
 					case 0:
 						pr.Invoke(linearizability.MapInput{Op: "put", Key: key, Val: val},
-							func() any { return tr.Put(p, key, val) })
+							func() any { return tr.Put(key, val) })
 					case 1:
 						pr.Invoke(linearizability.MapInput{Op: "delete", Key: key},
-							func() any { v, ok := tr.Delete(p, key); return [2]any{v, ok} })
+							func() any { v, ok := tr.Delete(key); return [2]any{v, ok} })
 					default:
 						pr.Invoke(linearizability.MapInput{Op: "get", Key: key},
-							func() any { v, ok := tr.Get(p, key); return [2]any{v, ok} })
+							func() any { v, ok := tr.Get(key); return [2]any{v, ok} })
 					}
 				}
 			}(g)

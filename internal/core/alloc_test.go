@@ -4,7 +4,25 @@ import (
 	"testing"
 
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/template"
 )
+
+// allocMultiset is the end-to-end fixture for TestSessionUpdateAllocCeiling:
+// a real multiset with one resident key, driven through a bound Session.
+type allocMultiset struct {
+	s multiset.Session[int]
+}
+
+func newAllocMultiset() *allocMultiset {
+	m := multiset.New[int]()
+	s := m.Attach(core.NewHandle())
+	s.Insert(1, 1)
+	return &allocMultiset{s: s}
+}
+
+// bump re-inserts the resident key: one LLX + one count-bump SCX.
+func (a *allocMultiset) bump() { a.s.Insert(1, 1) }
 
 // The allocation regression tests pin the fast-path allocation ceilings the
 // DESIGN.md layout promises: LLXInto with an adequate caller buffer performs
@@ -60,6 +78,66 @@ func TestSCXCycleAllocCeiling(t *testing.T) {
 	})
 	if allocs > 1 {
 		t.Errorf("LLXInto+SCX cycle: %v allocs/op, want <= 1 (the descriptor)", allocs)
+	}
+}
+
+// TestTemplateRunAllocFree pins that the template engine adds zero
+// allocations over the hand-rolled loop it replaced: the LLXInto+SCX cycle
+// measured by TestSCXCycleAllocCeiling costs exactly one allocation (the
+// descriptor), and the same transaction routed through template.Run — with
+// its closure, Ctx-owned snapshot buffer, stats flush and policy hook —
+// must cost exactly the same. The Ctx itself is cached on the Handle, so
+// after the warm-up call nothing engine-side touches the heap.
+func TestTemplateRunAllocFree(t *testing.T) {
+	h := core.NewHandle()
+	r := core.NewRecord(1, []any{0})
+	newVal := any("fresh") // pre-boxed: the cycle's only allocation is the descriptor
+	var st template.OpStats
+	attempt := func(c *template.Ctx) (struct{}, template.Action) {
+		if _, s := c.LLX(r); s != core.LLXOK {
+			t.Fatal("LLX failed")
+		}
+		if !c.SCX([]*core.Record{r}, nil, r.Field(0), newVal) {
+			t.Fatal("SCX failed")
+		}
+		return struct{}{}, template.Done
+	}
+	template.Run(h, template.Immediate(), &st, attempt) // warm-up builds the Ctx
+	allocs := testing.AllocsPerRun(1000, func() {
+		template.Run(h, template.Immediate(), &st, attempt)
+	})
+	if allocs > 1 {
+		t.Errorf("template.Run LLX+SCX cycle: %v allocs/op, want <= 1 (the descriptor, same as hand-rolled)", allocs)
+	}
+}
+
+// TestHandleAcquireReleaseAllocFree pins that the pooled Handle roundtrip —
+// the per-operation cost of the convenience API — is allocation-free after
+// warmup: the Handle, its embedded Process, and its cached engine Ctx are
+// all reused from the pool.
+func TestHandleAcquireReleaseAllocFree(t *testing.T) {
+	pool := core.NewProcessPool()
+	pool.Acquire().Release() // warm-up mints the one pooled Handle
+	allocs := testing.AllocsPerRun(1000, func() {
+		pool.Acquire().Release()
+	})
+	if allocs != 0 {
+		t.Errorf("Handle Acquire/Release: %v allocs/op, want 0 after warmup", allocs)
+	}
+}
+
+// TestSessionUpdateAllocCeiling pins the whole stack end to end: a
+// structure operation through a bound Session (engine + handle + snapshot
+// reuse) must keep the hand-rolled loop's allocation ceiling. An Insert of
+// an existing key is one LLX + one SCX + one boxed int: two allocations
+// (descriptor + boxed count), exactly what the PR 1 loop paid.
+func TestSessionUpdateAllocCeiling(t *testing.T) {
+	m := newAllocMultiset()
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.bump()
+	})
+	if allocs > 2 {
+		t.Errorf("Session count-bump: %v allocs/op, want <= 2 (descriptor + boxed int)", allocs)
 	}
 }
 

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// Handle is an exclusive claim on a Process, the unit the goroutine-facing
+// data-structure APIs work with. A Handle embeds its Process by value, so
+// acquiring a pooled Handle reuses the Process's link table (and any engine
+// scratch state attached via Scratch) without touching the heap.
+//
+// A Handle must not be used concurrently, and must not be used after Release.
+type Handle struct {
+	proc    Process
+	pool    *ProcessPool
+	scratch any // lazily attached engine state (see Scratch); reused across acquisitions
+}
+
+// NewHandle returns a Handle backed by a fresh Process and no pool; Release
+// on it is a no-op. Useful when the caller wants to manage lifetime itself.
+func NewHandle() *Handle {
+	return &Handle{}
+}
+
+// Process returns the Handle's Process, for callers that need the raw
+// LLX/SCX/VLX primitives.
+func (h *Handle) Process() *Process {
+	return &h.proc
+}
+
+// Release returns the Handle to the pool it was acquired from. The caller
+// must not use the Handle afterwards. Releasing a pool-less Handle is a
+// no-op.
+func (h *Handle) Release() {
+	if h.pool != nil {
+		h.pool.put(h)
+	}
+}
+
+// Scratch returns the opaque per-Handle scratch slot. The slot is owned by
+// internal/template, which caches its (allocation-heavy) per-operation
+// context here so that pooled handles run updates allocation-free after
+// warmup. It survives Release/Acquire cycles by design: the state it holds
+// is only ever meaningful between operations, never across them.
+func (h *Handle) Scratch() any { return h.scratch }
+
+// SetScratch stores v in the scratch slot (see Scratch).
+func (h *Handle) SetScratch(v any) { h.scratch = v }
+
+// poolSlots is the capacity of a ProcessPool's slot array. Handles beyond
+// this many simultaneously released simply fall to the garbage collector,
+// so the pool never grows; 64 comfortably covers GOMAXPROCS-scale fan-out.
+const poolSlots = 64
+
+// ProcessPool is a lock-free free list of Handles. Acquire pops a pooled
+// Handle (or builds a fresh one when the pool is empty); Release pushes it
+// back. The pool is a fixed array of slots claimed and emptied with
+// single-word CAS: a slot holding h means exactly "h is free". Because a
+// slot transition is always between nil and a specific Handle, a successful
+// CAS(h -> nil) proves h was free at that instant — the value carries the
+// ownership, so the classic ABA hazard of a linked free list cannot arise,
+// and no operation ever blocks another (a failed CAS means some other
+// process completed an acquire or release).
+//
+// Ownership rules: a Handle is owned by exactly one goroutine from Acquire
+// until Release. The pool never touches a Handle while it is owned, and an
+// owned Handle holds no reference back into the pool other than for Release.
+// Double-Release is a caller bug with undefined behaviour (the same Handle
+// would be handed to two goroutines).
+type ProcessPool struct {
+	slots [poolSlots]atomic.Pointer[Handle]
+	// rot spreads acquire/release probes over the slot array so independent
+	// goroutines do not all hammer slot 0.
+	rot atomic.Uint32
+}
+
+// NewProcessPool returns an empty pool. The zero value is also ready to use.
+func NewProcessPool() *ProcessPool {
+	return &ProcessPool{}
+}
+
+// Acquire returns an exclusively owned Handle, reusing a pooled one when
+// available. The Handle must be returned with Release.
+func (pp *ProcessPool) Acquire() *Handle {
+	start := int(pp.rot.Add(1) % poolSlots) // modulo before int: stays in range on 32-bit
+	for i := 0; i < poolSlots; i++ {
+		slot := &pp.slots[(start+i)%poolSlots]
+		if h := slot.Load(); h != nil && slot.CompareAndSwap(h, nil) {
+			return h
+		}
+	}
+	return &Handle{pool: pp}
+}
+
+// put offers h back to the pool; if every slot is taken the Handle is
+// dropped for the garbage collector.
+func (pp *ProcessPool) put(h *Handle) {
+	start := int(pp.rot.Add(1) % poolSlots)
+	for i := 0; i < poolSlots; i++ {
+		slot := &pp.slots[(start+i)%poolSlots]
+		if slot.Load() == nil && slot.CompareAndSwap(nil, h) {
+			return
+		}
+	}
+}
+
+// pooled counts the Handles currently parked in the pool; for tests.
+func (pp *ProcessPool) pooled() int {
+	n := 0
+	for i := range pp.slots {
+		if pp.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// defaultPool backs the package-level convenience path used by data
+// structures whose callers did not bring their own Handle.
+var defaultPool ProcessPool
+
+// AcquireHandle returns a Handle from the shared default pool. It is the
+// goroutine-scoped convenience path: acquire once per goroutine (or per
+// batch of operations), pass the Handle to the structures' Attach views, and
+// Release when done.
+func AcquireHandle() *Handle {
+	return defaultPool.Acquire()
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pragmaprim/internal/template"
 	"pragmaprim/internal/workload"
 )
 
@@ -17,6 +18,9 @@ type Result struct {
 	KeyRange  int
 	Ops       int64
 	Seconds   float64
+	// Engine is the template engine's attempt/failure counters over the
+	// measured window (prefill excluded); zero for the lock baselines.
+	Engine template.Counters
 }
 
 // OpsPerSec returns the measured throughput.
@@ -34,12 +38,14 @@ func RunThroughput(f Factory, cfg workload.Config, threads int, dur time.Duratio
 	if err := cfg.Validate(); err != nil {
 		panic("harness: " + err.Error())
 	}
-	newSession := f.New()
+	inst := f.New()
 
-	pre := newSession()
+	pre := inst.NewSession()
 	for k := 0; k < cfg.KeyRange; k += 2 {
 		pre.Insert(k)
 	}
+	closeSession(pre)
+	base := inst.EngineStats() // exclude the prefill from the reported counters
 
 	var (
 		start   = make(chan struct{})
@@ -52,7 +58,8 @@ func RunThroughput(f Factory, cfg workload.Config, threads int, dur time.Duratio
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			s := newSession()
+			s := inst.NewSession()
+			defer closeSession(s)
 			keys := cfg.NewKeyGen(int64(w)*2 + 1)
 			ops := cfg.NewOpGen(int64(w)*2 + 2)
 			<-start
@@ -80,6 +87,7 @@ func RunThroughput(f Factory, cfg workload.Config, threads int, dur time.Duratio
 	wg.Wait()
 	elapsed = time.Since(t0)
 
+	end := inst.EngineStats()
 	return Result{
 		Structure: f.Name,
 		Threads:   threads,
@@ -88,5 +96,18 @@ func RunThroughput(f Factory, cfg workload.Config, threads int, dur time.Duratio
 		KeyRange:  cfg.KeyRange,
 		Ops:       total.Load(),
 		Seconds:   elapsed.Seconds(),
+		Engine: template.Counters{
+			Ops:      end.Ops - base.Ops,
+			Attempts: end.Attempts - base.Attempts,
+			LLXFails: end.LLXFails - base.LLXFails,
+			SCXFails: end.SCXFails - base.SCXFails,
+		},
+	}
+}
+
+// closeSession releases a session's pooled Handle if it holds one.
+func closeSession(s Session) {
+	if c, ok := s.(interface{ Close() }); ok {
+		c.Close()
 	}
 }

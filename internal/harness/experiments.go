@@ -13,6 +13,7 @@ import (
 	"pragmaprim/internal/multiset"
 	"pragmaprim/internal/mwcas"
 	"pragmaprim/internal/stats"
+	"pragmaprim/internal/template"
 	"pragmaprim/internal/workload"
 )
 
@@ -79,38 +80,44 @@ func E2VLXReads() *stats.Table {
 
 // E3Disjoint reproduces claim A3 (Sections 1, 3.2): concurrent SCXs over
 // disjoint V-sets all succeed; overlapping SCXs may fail individually but
-// the system makes progress (every process finishes its quota).
+// the system makes progress (every process finishes its quota). The
+// increment loops run on the template engine, whose counters must agree
+// with the core SCX metrics.
 func E3Disjoint() *stats.Table {
 	t := stats.NewTable(
 		"E3: SCX success under disjoint vs. shared records — paper claim: disjoint SCXs all succeed (Sec. 1)",
-		"mode", "procs", "SCX attempts", "successes", "success%", "quota met")
+		"mode", "procs", "SCX attempts", "successes", "success%", "engine agrees", "quota met")
 	const perProc = 20000
 
 	for _, procs := range []int{2, 4, 8} {
 		for _, shared := range []bool{false, true} {
 			recs := newRecords(procs)
 			metrics := make([]core.Metrics, procs)
+			var eng template.OpStats
 			var wg sync.WaitGroup
 			for g := 0; g < procs; g++ {
 				wg.Add(1)
 				go func(g int) {
 					defer wg.Done()
-					p := core.NewProcess()
+					h := core.NewHandle()
 					r := recs[g]
 					if shared {
 						r = recs[0]
 					}
-					done := 0
-					for done < perProc {
-						snap, st := p.LLX(r)
-						if st != core.LLXOK {
-							continue
-						}
-						if p.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
-							done++
-						}
+					for done := 0; done < perProc; done++ {
+						template.Run(h, nil, &eng,
+							func(c *template.Ctx) (struct{}, template.Action) {
+								snap, st := c.LLX(r)
+								if st != core.LLXOK {
+									return struct{}{}, template.Retry
+								}
+								if c.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
+									return struct{}{}, template.Done
+								}
+								return struct{}{}, template.Retry
+							})
 					}
-					metrics[g] = p.Metrics
+					metrics[g] = h.Process().Metrics
 				}(g)
 			}
 			wg.Wait()
@@ -123,9 +130,12 @@ func E3Disjoint() *stats.Table {
 			if shared {
 				mode = "shared"
 			}
+			snap := eng.Snapshot()
+			agrees := snap.Ops == int64(procs*perProc) &&
+				snap.SCXFails == total.SCXOps-total.SCXSuccesses
 			rate := 100 * float64(total.SCXSuccesses) / float64(total.SCXOps)
 			t.AddRow(mode, procs, total.SCXOps, total.SCXSuccesses,
-				rate, total.SCXSuccesses == int64(procs*perProc))
+				rate, agrees, total.SCXSuccesses == int64(procs*perProc))
 		}
 	}
 	return t
@@ -221,26 +231,30 @@ func E5Progress() *stats.Table {
 	}
 
 	// Survivors operate on the same records and must make progress by
-	// helping the stalled SCXs.
+	// helping the stalled SCXs; their increments run on the template engine
+	// like any structure update would.
 	var completed atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < survivors; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			p := core.NewProcess()
+			h := core.NewHandle()
 			rng := rand.New(rand.NewSource(int64(g)))
-			done := 0
-			for done < perSurvivor {
+			for done := 0; done < perSurvivor; done++ {
 				r := recs[rng.Intn(len(recs))]
-				snap, st := p.LLX(r)
-				if st != core.LLXOK {
-					continue
-				}
-				if p.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
-					done++
-					completed.Add(1)
-				}
+				template.Run(h, nil, nil,
+					func(c *template.Ctx) (struct{}, template.Action) {
+						snap, st := c.LLX(r)
+						if st != core.LLXOK {
+							return struct{}{}, template.Retry
+						}
+						if c.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
+							return struct{}{}, template.Done
+						}
+						return struct{}{}, template.Retry
+					})
+				completed.Add(1)
 			}
 		}(g)
 	}
@@ -343,7 +357,9 @@ func E7Linearizability(rounds int) *stats.Table {
 			go func(g int) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(int64(round*procs + g)))
-				p := core.NewProcess()
+				h := core.AcquireHandle()
+				defer h.Release()
+				s := m.Attach(h)
 				pr := rec.Proc(g)
 				for i := 0; i < opsPerProc; i++ {
 					key := rng.Intn(keyRange)
@@ -351,13 +367,13 @@ func E7Linearizability(rounds int) *stats.Table {
 					switch rng.Intn(3) {
 					case 0:
 						pr.Invoke(linearizability.MultisetInput{Op: "insert", Key: key, Count: count},
-							func() any { m.Insert(p, key, count); return nil })
+							func() any { s.Insert(key, count); return nil })
 					case 1:
 						pr.Invoke(linearizability.MultisetInput{Op: "delete", Key: key, Count: count},
-							func() any { return m.Delete(p, key, count) })
+							func() any { return s.Delete(key, count) })
 					default:
 						pr.Invoke(linearizability.MultisetInput{Op: "get", Key: key},
-							func() any { return m.Get(p, key) })
+							func() any { return s.Get(key) })
 					}
 				}
 			}(g)
@@ -373,11 +389,12 @@ func E7Linearizability(rounds int) *stats.Table {
 
 // E8Throughput reproduces claim A8 (Section 6): the LLX/SCX structures scale
 // with threads while the coarse lock serializes; it prints the thread-sweep
-// series for each structure and mix.
+// series for each structure and mix, with the template engine's SCX failure
+// rate as the contention figure (the lock baselines report "-").
 func E8Throughput(threads []int, dur time.Duration) *stats.Table {
 	t := stats.NewTable(
 		"E8: throughput scaling, ops/sec (prefilled to half of key range)",
-		"structure", "mix(g/i/d)", "dist", "keys", "threads", "Mops/s")
+		"structure", "mix(g/i/d)", "dist", "keys", "threads", "Mops/s", "scx-fail%")
 	cfgs := []workload.Config{
 		{KeyRange: 1 << 10, Dist: workload.Uniform, Mix: workload.ReadMostly},
 		{KeyRange: 1 << 10, Dist: workload.Uniform, Mix: workload.UpdateHeavy},
@@ -386,8 +403,12 @@ func E8Throughput(threads []int, dur time.Duration) *stats.Table {
 		for _, cfg := range cfgs {
 			for _, th := range threads {
 				r := RunThroughput(f, cfg, th, dur)
+				failPct := any("-")
+				if r.Engine.Attempts > 0 {
+					failPct = stats.RatePct(r.Engine.SCXFails, r.Engine.Attempts)
+				}
 				t.AddRow(r.Structure, r.Mix.String(), string(r.Dist), r.KeyRange,
-					r.Threads, r.OpsPerSec()/1e6)
+					r.Threads, r.OpsPerSec()/1e6, failPct)
 			}
 		}
 	}

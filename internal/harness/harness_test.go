@@ -35,10 +35,14 @@ func TestE2VLXReadsMatchesPaper(t *testing.T) {
 func TestE3DisjointQuotasMet(t *testing.T) {
 	tb := harness.E3Disjoint()
 	lastColumnAll(t, tb, "true") // all quotas met in both modes (progress)
-	// Disjoint rows must additionally show a 100% success rate.
 	for _, row := range tb.Rows() {
+		// Disjoint rows must additionally show a 100% success rate.
 		if row[0] == "disjoint" && row[4] != "100" {
 			t.Errorf("disjoint success rate = %v, want 100", row[4])
+		}
+		// The template engine's counters must agree with the core metrics.
+		if row[5] != "true" {
+			t.Errorf("engine counters disagree with core metrics: %v", row)
 		}
 	}
 }
@@ -104,14 +108,17 @@ func TestFactoryByName(t *testing.T) {
 func TestSessionsBehaveLikeSets(t *testing.T) {
 	for _, f := range harness.Factories() {
 		t.Run(f.Name, func(t *testing.T) {
-			mk := f.New()
-			s := mk()
+			inst := f.New()
+			s := inst.NewSession()
 			// Smoke: the session API must tolerate any op order.
 			s.Insert(5)
 			s.Get(5)
 			s.Delete(5)
 			s.Delete(5)
 			s.Get(5)
+			if got := inst.EngineStats(); got.Attempts < got.Ops {
+				t.Errorf("EngineStats attempts %d < ops %d", got.Attempts, got.Ops)
+			}
 		})
 	}
 }
@@ -127,6 +134,14 @@ func TestRunThroughputCountsOps(t *testing.T) {
 	}
 	if r.Structure != "llx-multiset" || r.Threads != 2 {
 		t.Errorf("result metadata wrong: %+v", r)
+	}
+	// The measured window ran ~half updates, so the engine must have seen
+	// operations, and attempts can never undercut completed operations.
+	if r.Engine.Ops <= 0 {
+		t.Errorf("Engine.Ops = %d, want > 0", r.Engine.Ops)
+	}
+	if r.Engine.Attempts < r.Engine.Ops {
+		t.Errorf("Engine.Attempts %d < Engine.Ops %d", r.Engine.Attempts, r.Engine.Ops)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"pragmaprim/internal/core"
 	"pragmaprim/internal/lockds"
 	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/template"
 	"pragmaprim/internal/trie"
 )
 
@@ -23,13 +24,26 @@ type Session interface {
 	Delete(key int)
 }
 
+// Instance is one shared structure under test: a factory for per-worker
+// sessions plus the update engine's contention counters (zero-valued for
+// structures that do not run on the template engine, like the lock
+// baselines).
+type Instance struct {
+	// NewSession creates one worker's session onto the shared structure.
+	// Each LLX/SCX session binds a pooled core.Handle, the runtime's
+	// goroutine-scoped hot path.
+	NewSession func() Session
+	// EngineStats reports the aggregate template-engine counters, from
+	// which E8 derives SCX failure rates. Nil-safe: never nil.
+	EngineStats func() template.Counters
+}
+
 // Factory names a structure under test and builds fresh instances of it.
 type Factory struct {
 	// Name identifies the structure in tables ("llx-multiset", ...).
 	Name string
-	// New creates one shared structure and returns a constructor for
-	// per-worker sessions onto it.
-	New func() func() Session
+	// New creates one shared structure.
+	New func() Instance
 }
 
 // Factories returns every structure the throughput experiments compare:
@@ -55,79 +69,94 @@ func FactoryByName(name string) (Factory, bool) {
 	return Factory{}, false
 }
 
+// noStats is the EngineStats of structures outside the template engine.
+func noStats() template.Counters { return template.Counters{} }
+
 // LLXMultisetFactory wraps the paper's Section 5 multiset.
 func LLXMultisetFactory() Factory {
 	return Factory{
 		Name: "llx-multiset",
-		New: func() func() Session {
+		New: func() Instance {
 			m := multiset.New[int]()
-			return func() Session {
-				return &llxMultisetSession{m: m, p: core.NewProcess()}
+			return Instance{
+				NewSession: func() Session {
+					return &llxMultisetSession{s: m.Attach(core.AcquireHandle())}
+				},
+				EngineStats: m.EngineStats,
 			}
 		},
 	}
 }
 
 type llxMultisetSession struct {
-	m *multiset.Multiset[int]
-	p *core.Process
+	s multiset.Session[int]
 }
 
-func (s *llxMultisetSession) Get(key int)    { s.m.Get(s.p, key) }
-func (s *llxMultisetSession) Insert(key int) { s.m.Insert(s.p, key, 1) }
-func (s *llxMultisetSession) Delete(key int) { s.m.Delete(s.p, key, 1) }
+func (s *llxMultisetSession) Close()         { s.s.Handle().Release() }
+func (s *llxMultisetSession) Get(key int)    { s.s.Get(key) }
+func (s *llxMultisetSession) Insert(key int) { s.s.Insert(key, 1) }
+func (s *llxMultisetSession) Delete(key int) { s.s.Delete(key, 1) }
 
 // LLXBSTFactory wraps the LLX/SCX external BST with map semantics.
 func LLXBSTFactory() Factory {
 	return Factory{
 		Name: "llx-bst",
-		New: func() func() Session {
+		New: func() Instance {
 			t := bst.New[int, int]()
-			return func() Session {
-				return &llxBSTSession{t: t, p: core.NewProcess()}
+			return Instance{
+				NewSession: func() Session {
+					return &llxBSTSession{s: t.Attach(core.AcquireHandle())}
+				},
+				EngineStats: t.EngineStats,
 			}
 		},
 	}
 }
 
 type llxBSTSession struct {
-	t *bst.Tree[int, int]
-	p *core.Process
+	s bst.Session[int, int]
 }
 
-func (s *llxBSTSession) Get(key int)    { s.t.Get(s.p, key) }
-func (s *llxBSTSession) Insert(key int) { s.t.Put(s.p, key, key) }
-func (s *llxBSTSession) Delete(key int) { s.t.Delete(s.p, key) }
+func (s *llxBSTSession) Close()         { s.s.Handle().Release() }
+func (s *llxBSTSession) Get(key int)    { s.s.Get(key) }
+func (s *llxBSTSession) Insert(key int) { s.s.Put(key, key) }
+func (s *llxBSTSession) Delete(key int) { s.s.Delete(key) }
 
 // LLXTrieFactory wraps the LLX/SCX Patricia trie with map semantics.
 func LLXTrieFactory() Factory {
 	return Factory{
 		Name: "llx-trie",
-		New: func() func() Session {
+		New: func() Instance {
 			t := trie.New[int]()
-			return func() Session {
-				return &llxTrieSession{t: t, p: core.NewProcess()}
+			return Instance{
+				NewSession: func() Session {
+					return &llxTrieSession{s: t.Attach(core.AcquireHandle())}
+				},
+				EngineStats: t.EngineStats,
 			}
 		},
 	}
 }
 
 type llxTrieSession struct {
-	t *trie.Trie[int]
-	p *core.Process
+	s trie.Session[int]
 }
 
-func (s *llxTrieSession) Get(key int)    { s.t.Get(s.p, uint64(key)) }
-func (s *llxTrieSession) Insert(key int) { s.t.Put(s.p, uint64(key), key) }
-func (s *llxTrieSession) Delete(key int) { s.t.Delete(s.p, uint64(key)) }
+func (s *llxTrieSession) Close()         { s.s.Handle().Release() }
+func (s *llxTrieSession) Get(key int)    { s.s.Get(uint64(key)) }
+func (s *llxTrieSession) Insert(key int) { s.s.Put(uint64(key), key) }
+func (s *llxTrieSession) Delete(key int) { s.s.Delete(uint64(key)) }
 
 // CoarseLockFactory wraps the single-mutex list baseline.
 func CoarseLockFactory() Factory {
 	return Factory{
 		Name: "coarse-lock",
-		New: func() func() Session {
+		New: func() Instance {
 			m := lockds.NewCoarse()
-			return func() Session { return coarseSession{m: m} }
+			return Instance{
+				NewSession:  func() Session { return coarseSession{m: m} },
+				EngineStats: noStats,
+			}
 		},
 	}
 }
@@ -142,9 +171,12 @@ func (s coarseSession) Delete(key int) { s.m.Delete(key, 1) }
 func FineLockFactory() Factory {
 	return Factory{
 		Name: "fine-lock",
-		New: func() func() Session {
+		New: func() Instance {
 			m := lockds.NewFine()
-			return func() Session { return fineSession{m: m} }
+			return Instance{
+				NewSession:  func() Session { return fineSession{m: m} },
+				EngineStats: noStats,
+			}
 		},
 	}
 }

@@ -2,13 +2,11 @@ package multiset_test
 
 import (
 	"math/rand"
-	"sync"
-	"testing"
-
-	"pragmaprim/internal/core"
 	"pragmaprim/internal/history"
 	"pragmaprim/internal/linearizability"
 	"pragmaprim/internal/multiset"
+	"sync"
+	"testing"
 )
 
 // TestLinearizableHistories reproduces experiment E7 (the paper's Theorem 6):
@@ -31,7 +29,6 @@ func TestLinearizableHistories(t *testing.T) {
 			go func(g int) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(int64(round*procs + g)))
-				p := core.NewProcess()
 				pr := rec.Proc(g)
 				for i := 0; i < opsPerProc; i++ {
 					key := rng.Intn(keyRange)
@@ -39,13 +36,13 @@ func TestLinearizableHistories(t *testing.T) {
 					switch rng.Intn(3) {
 					case 0:
 						pr.Invoke(linearizability.MultisetInput{Op: "insert", Key: key, Count: count},
-							func() any { m.Insert(p, key, count); return nil })
+							func() any { m.Insert(key, count); return nil })
 					case 1:
 						pr.Invoke(linearizability.MultisetInput{Op: "delete", Key: key, Count: count},
-							func() any { return m.Delete(p, key, count) })
+							func() any { return m.Delete(key, count) })
 					default:
 						pr.Invoke(linearizability.MultisetInput{Op: "get", Key: key, Count: 0},
-							func() any { return m.Get(p, key) })
+							func() any { return m.Get(key) })
 					}
 				}
 			}(g)

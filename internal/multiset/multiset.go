@@ -5,10 +5,19 @@
 //
 // The multiset supports Get(key) (number of occurrences), Insert(key, count),
 // and Delete(key, count). Searches traverse the list with plain reads, which
-// is sound by the paper's Proposition 2; updates use LLX to snapshot the
-// affected nodes and a single SCX to swing one next pointer (or bump one
-// count), finalizing exactly the nodes the update removes (Lemma 4), which is
-// what makes the structure linearizable and non-blocking (Theorem 6).
+// is sound by the paper's Proposition 2; updates run on the internal/template
+// engine — each attempt LLXs the affected nodes and commits with a single
+// SCX that swings one next pointer (or bumps one count), finalizing exactly
+// the nodes the update removes (Lemma 4), which is what makes the structure
+// linearizable and non-blocking (Theorem 6).
+//
+// Methods never take a *core.Process: plain calls acquire a pooled Handle
+// per operation, and hot paths bind one with Attach:
+//
+//	h := core.AcquireHandle()
+//	defer h.Release()
+//	s := m.Attach(h)
+//	s.Insert(k, 1)
 package multiset
 
 import (
@@ -16,6 +25,7 @@ import (
 	"fmt"
 
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/template"
 )
 
 // Mutable-field indices of a node's Data-record.
@@ -80,11 +90,12 @@ func (n *node[K]) matches(key K) bool {
 }
 
 // Multiset is a non-blocking multiset of keys of type K. The zero value is
-// not usable; create one with New. All methods are safe for concurrent use,
-// with the proviso that each concurrent goroutine passes its own
-// *core.Process.
+// not usable; create one with New. All methods are safe for concurrent use.
 type Multiset[K cmp.Ordered] struct {
-	head *node[K]
+	head     *node[K]
+	policy   template.Policy
+	insStats template.OpStats
+	delStats template.OpStats
 }
 
 // New creates an empty multiset. As in the paper, the structure always holds
@@ -96,6 +107,42 @@ func New[K cmp.Ordered]() *Multiset[K] {
 	head := newNode[K](kindHead, zero, 0, tail)
 	return &Multiset[K]{head: head}
 }
+
+// SetPolicy installs the retry policy updates back off with; nil (the
+// default) retries immediately. Call before sharing the multiset.
+func (m *Multiset[K]) SetPolicy(p template.Policy) { m.policy = p }
+
+// EngineStats returns the template engine's aggregate attempt/failure
+// counters across all update operations.
+func (m *Multiset[K]) EngineStats() template.Counters {
+	return m.insStats.Snapshot().Add(m.delStats.Snapshot())
+}
+
+// StatsByOp returns the engine counters broken out per operation.
+func (m *Multiset[K]) StatsByOp() map[string]template.Counters {
+	return map[string]template.Counters{
+		"insert": m.insStats.Snapshot(),
+		"delete": m.delStats.Snapshot(),
+	}
+}
+
+// Session is a Handle-bound view of a Multiset: the hot-path API for a
+// goroutine that performs many operations. A Session is as cheap as a pair
+// of pointers; it is not safe for concurrent use (the Handle is exclusive),
+// but any number of Sessions may operate on the shared Multiset.
+type Session[K cmp.Ordered] struct {
+	m *Multiset[K]
+	h *core.Handle
+}
+
+// Attach binds a Session to h. The caller keeps ownership of h and releases
+// it when done.
+func (m *Multiset[K]) Attach(h *core.Handle) Session[K] {
+	return Session[K]{m: m, h: h}
+}
+
+// Handle returns the Session's Handle.
+func (s Session[K]) Handle() *core.Handle { return s.h }
 
 // search traverses the list from head by plain reads, returning the first
 // node r with key <= r.key and its predecessor p (Figure 6, lines 6-13).
@@ -110,9 +157,9 @@ func (m *Multiset[K]) search(key K) (r, p *node[K]) {
 	return r, p
 }
 
-// Get returns the number of occurrences of key (Figure 6, lines 1-5). proc
-// must be the calling goroutine's Process.
-func (m *Multiset[K]) Get(proc *core.Process, key K) int {
+// Get returns the number of occurrences of key (Figure 6, lines 1-5).
+// Searches are plain reads (Proposition 2), so Get needs no Handle.
+func (m *Multiset[K]) Get(key K) int {
 	r, _ := m.search(key)
 	if r.matches(key) {
 		return r.count()
@@ -121,101 +168,121 @@ func (m *Multiset[K]) Get(proc *core.Process, key K) int {
 }
 
 // Contains reports whether key occurs at least once.
-func (m *Multiset[K]) Contains(proc *core.Process, key K) bool {
-	return m.Get(proc, key) > 0
+func (m *Multiset[K]) Contains(key K) bool {
+	return m.Get(key) > 0
 }
 
-// Insert adds count occurrences of key (Figure 6, lines 14-24). count must be
-// positive. proc must be the calling goroutine's Process.
-func (m *Multiset[K]) Insert(proc *core.Process, key K, count int) {
+// Insert adds count occurrences of key using a pooled Handle; see
+// Session.Insert for the hot-path form. count must be positive.
+func (m *Multiset[K]) Insert(key K, count int) {
+	h := core.AcquireHandle()
+	m.Attach(h).Insert(key, count)
+	h.Release()
+}
+
+// Delete removes count occurrences of key using a pooled Handle; see
+// Session.Delete for the hot-path form and semantics.
+func (m *Multiset[K]) Delete(key K, count int) bool {
+	h := core.AcquireHandle()
+	ok := m.Attach(h).Delete(key, count)
+	h.Release()
+	return ok
+}
+
+// Get returns the number of occurrences of key.
+func (s Session[K]) Get(key K) int { return s.m.Get(key) }
+
+// Contains reports whether key occurs at least once.
+func (s Session[K]) Contains(key K) bool { return s.m.Contains(key) }
+
+// Insert adds count occurrences of key (Figure 6, lines 14-24). count must
+// be positive.
+func (s Session[K]) Insert(key K, count int) {
 	if count <= 0 {
 		panic(fmt.Sprintf("multiset: Insert with non-positive count %d", count))
 	}
-	// Snapshot buffer reused across retries (core.LLXInto), so the retry
-	// loop performs no snapshot allocations.
-	var snapBuf [2]any
-	for {
+	m := s.m
+	template.Run(s.h, m.policy, &m.insStats, func(c *template.Ctx) (struct{}, template.Action) {
 		r, p := m.search(key)
 		if r.matches(key) {
 			// Key present: bump r.count in place (Figure 5(b)).
-			localr, st := proc.LLXInto(r.rec, snapBuf[:])
+			localr, st := c.LLX(r.rec)
 			if st != core.LLXOK {
-				continue
+				return struct{}{}, template.Retry
 			}
-			if proc.SCX([]*core.Record{r.rec}, nil,
+			if c.SCX([]*core.Record{r.rec}, nil,
 				r.rec.Field(fieldCount), localr[fieldCount].(int)+count) {
-				return
+				return struct{}{}, template.Done
 			}
-		} else {
-			// Key absent: splice a new node between p and r (Figure 5(a)).
-			localp, st := proc.LLXInto(p.rec, snapBuf[:])
-			if st != core.LLXOK {
-				continue
-			}
-			if nxt, _ := localp[fieldNext].(*node[K]); nxt != r {
-				continue
-			}
-			n := newNode(kindInterior, key, count, r)
-			if proc.SCX([]*core.Record{p.rec}, nil, p.rec.Field(fieldNext), n) {
-				return
-			}
+			return struct{}{}, template.Retry
 		}
-	}
+		// Key absent: splice a new node between p and r (Figure 5(a)).
+		localp, st := c.LLX(p.rec)
+		if st != core.LLXOK {
+			return struct{}{}, template.Retry
+		}
+		if nxt, _ := localp[fieldNext].(*node[K]); nxt != r {
+			return struct{}{}, template.Retry
+		}
+		n := newNode(kindInterior, key, count, r)
+		if c.SCX([]*core.Record{p.rec}, nil, p.rec.Field(fieldNext), n) {
+			return struct{}{}, template.Done
+		}
+		return struct{}{}, template.Retry
+	})
 }
 
 // Delete removes count occurrences of key and reports whether it did; if
 // fewer than count occurrences are present it removes nothing and returns
-// false (Figure 6, lines 25-36). count must be positive. proc must be the
-// calling goroutine's Process.
-func (m *Multiset[K]) Delete(proc *core.Process, key K, count int) bool {
+// false (Figure 6, lines 25-36). count must be positive.
+func (s Session[K]) Delete(key K, count int) bool {
 	if count <= 0 {
 		panic(fmt.Sprintf("multiset: Delete with non-positive count %d", count))
 	}
-	// Three snapshots (p, r, r's successor) are alive at once, so each gets
-	// its own reusable buffer.
-	var pBuf, rBuf, rnBuf [2]any
-	for {
+	m := s.m
+	return template.Run(s.h, m.policy, &m.delStats, func(c *template.Ctx) (bool, template.Action) {
 		r, p := m.search(key)
-		localp, stp := proc.LLXInto(p.rec, pBuf[:])
+		localp, stp := c.LLX(p.rec)
 		if stp != core.LLXOK {
-			continue
+			return false, template.Retry
 		}
-		localr, str := proc.LLXInto(r.rec, rBuf[:])
+		localr, str := c.LLX(r.rec)
 		if str != core.LLXOK {
-			continue
+			return false, template.Retry
 		}
 		if nxt, _ := localp[fieldNext].(*node[K]); nxt != r {
-			continue
+			return false, template.Retry
 		}
 		if !r.matches(key) || localr[fieldCount].(int) < count {
-			return false
+			return false, template.Done
 		}
 		if localr[fieldCount].(int) > count {
 			// Replace r with a reduced-count copy, finalizing r
 			// (Figure 5(d)).
 			rnext, _ := localr[fieldNext].(*node[K])
 			repl := newNode(kindInterior, r.key, localr[fieldCount].(int)-count, rnext)
-			if proc.SCX([]*core.Record{p.rec, r.rec}, []*core.Record{r.rec},
+			if c.SCX([]*core.Record{p.rec, r.rec}, []*core.Record{r.rec},
 				p.rec.Field(fieldNext), repl) {
-				return true
+				return true, template.Done
 			}
-			continue
+			return false, template.Retry
 		}
 		// Exact count: unlink r entirely. To avoid the ABA problem on p.next,
 		// r's successor is replaced by a fresh copy and both r and the old
 		// successor are finalized (Figure 5(c)).
 		rnext := localr[fieldNext].(*node[K]) // non-nil: r is interior
-		localrn, st := proc.LLXInto(rnext.rec, rnBuf[:])
+		localrn, st := c.LLX(rnext.rec)
 		if st != core.LLXOK {
-			continue
+			return false, template.Retry
 		}
 		cp := m.copyNode(rnext, localrn)
-		if proc.SCX([]*core.Record{p.rec, r.rec, rnext.rec},
+		if c.SCX([]*core.Record{p.rec, r.rec, rnext.rec},
 			[]*core.Record{r.rec, rnext.rec},
 			p.rec.Field(fieldNext), cp) {
-			return true
+			return true, template.Done
 		}
-	}
+		return false, template.Retry
+	})
 }
 
 // copyNode builds a fresh node with the same key/kind as n and the mutable

@@ -2,12 +2,10 @@ package multiset_test
 
 import (
 	"math/rand"
+	"pragmaprim/internal/multiset"
 	"sync"
 	"testing"
 	"testing/quick"
-
-	"pragmaprim/internal/core"
-	"pragmaprim/internal/multiset"
 )
 
 func checkInv(t *testing.T, m *multiset.Multiset[int]) {
@@ -19,14 +17,13 @@ func checkInv(t *testing.T, m *multiset.Multiset[int]) {
 
 func TestEmptyMultiset(t *testing.T) {
 	m := multiset.New[int]()
-	p := core.NewProcess()
-	if got := m.Get(p, 42); got != 0 {
+	if got := m.Get(42); got != 0 {
 		t.Errorf("Get on empty = %d, want 0", got)
 	}
-	if m.Contains(p, 42) {
+	if m.Contains(42) {
 		t.Error("Contains on empty = true")
 	}
-	if m.Delete(p, 42, 1) {
+	if m.Delete(42, 1) {
 		t.Error("Delete on empty = true")
 	}
 	if got := m.Len(); got != 0 {
@@ -40,9 +37,8 @@ func TestEmptyMultiset(t *testing.T) {
 
 func TestInsertNewKey(t *testing.T) {
 	m := multiset.New[int]()
-	p := core.NewProcess()
-	m.Insert(p, 5, 3)
-	if got := m.Get(p, 5); got != 3 {
+	m.Insert(5, 3)
+	if got := m.Get(5); got != 3 {
 		t.Errorf("Get(5) = %d, want 3", got)
 	}
 	if got := m.Len(); got != 1 {
@@ -53,10 +49,9 @@ func TestInsertNewKey(t *testing.T) {
 
 func TestInsertExistingKeyBumpsCount(t *testing.T) {
 	m := multiset.New[int]()
-	p := core.NewProcess()
-	m.Insert(p, 5, 3)
-	m.Insert(p, 5, 4)
-	if got := m.Get(p, 5); got != 7 {
+	m.Insert(5, 3)
+	m.Insert(5, 4)
+	if got := m.Get(5); got != 7 {
 		t.Errorf("Get(5) = %d, want 7", got)
 	}
 	if got := m.Len(); got != 1 {
@@ -67,9 +62,8 @@ func TestInsertExistingKeyBumpsCount(t *testing.T) {
 
 func TestInsertMaintainsSortedOrder(t *testing.T) {
 	m := multiset.New[int]()
-	p := core.NewProcess()
 	for _, k := range []int{5, 1, 9, 3, 7, 2, 8, 4, 6} {
-		m.Insert(p, k, 1)
+		m.Insert(k, 1)
 	}
 	keys := m.Keys()
 	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
@@ -86,12 +80,11 @@ func TestInsertMaintainsSortedOrder(t *testing.T) {
 
 func TestDeletePartial(t *testing.T) {
 	m := multiset.New[int]()
-	p := core.NewProcess()
-	m.Insert(p, 5, 10)
-	if !m.Delete(p, 5, 4) {
+	m.Insert(5, 10)
+	if !m.Delete(5, 4) {
 		t.Fatal("Delete(5,4) = false")
 	}
-	if got := m.Get(p, 5); got != 6 {
+	if got := m.Get(5); got != 6 {
 		t.Errorf("Get(5) = %d, want 6", got)
 	}
 	checkInv(t, m)
@@ -99,16 +92,15 @@ func TestDeletePartial(t *testing.T) {
 
 func TestDeleteExact(t *testing.T) {
 	m := multiset.New[int]()
-	p := core.NewProcess()
-	m.Insert(p, 5, 4)
-	m.Insert(p, 7, 1)
-	if !m.Delete(p, 5, 4) {
+	m.Insert(5, 4)
+	m.Insert(7, 1)
+	if !m.Delete(5, 4) {
 		t.Fatal("Delete(5,4) = false")
 	}
-	if got := m.Get(p, 5); got != 0 {
+	if got := m.Get(5); got != 0 {
 		t.Errorf("Get(5) = %d, want 0", got)
 	}
-	if got := m.Get(p, 7); got != 1 {
+	if got := m.Get(7); got != 1 {
 		t.Errorf("Get(7) = %d, want 1 (neighbor must survive)", got)
 	}
 	checkInv(t, m)
@@ -116,12 +108,11 @@ func TestDeleteExact(t *testing.T) {
 
 func TestDeleteTooMany(t *testing.T) {
 	m := multiset.New[int]()
-	p := core.NewProcess()
-	m.Insert(p, 5, 3)
-	if m.Delete(p, 5, 4) {
+	m.Insert(5, 3)
+	if m.Delete(5, 4) {
 		t.Fatal("Delete(5,4) = true with only 3 present")
 	}
-	if got := m.Get(p, 5); got != 3 {
+	if got := m.Get(5); got != 3 {
 		t.Errorf("Get(5) = %d, want 3 (failed delete must not change)", got)
 	}
 	checkInv(t, m)
@@ -131,15 +122,14 @@ func TestDeleteLastNodeBeforeTail(t *testing.T) {
 	// Deleting the node whose successor is the tail sentinel exercises the
 	// Figure 5(c) path where the copied successor is the tail itself.
 	m := multiset.New[int]()
-	p := core.NewProcess()
-	m.Insert(p, 5, 1)
-	if !m.Delete(p, 5, 1) {
+	m.Insert(5, 1)
+	if !m.Delete(5, 1) {
 		t.Fatal("Delete = false")
 	}
 	checkInv(t, m)
 	// The structure must remain fully usable with its fresh tail copy.
-	m.Insert(p, 9, 2)
-	if got := m.Get(p, 9); got != 2 {
+	m.Insert(9, 2)
+	if got := m.Get(9); got != 2 {
 		t.Errorf("Get(9) = %d, want 2", got)
 	}
 	checkInv(t, m)
@@ -147,11 +137,10 @@ func TestDeleteLastNodeBeforeTail(t *testing.T) {
 
 func TestDeleteMiddleRelinksNeighbors(t *testing.T) {
 	m := multiset.New[int]()
-	p := core.NewProcess()
 	for _, k := range []int{1, 2, 3} {
-		m.Insert(p, k, k)
+		m.Insert(k, k)
 	}
-	if !m.Delete(p, 2, 2) {
+	if !m.Delete(2, 2) {
 		t.Fatal("Delete(2) = false")
 	}
 	keys := m.Keys()
@@ -163,14 +152,13 @@ func TestDeleteMiddleRelinksNeighbors(t *testing.T) {
 
 func TestInsertAfterDeleteSameKey(t *testing.T) {
 	m := multiset.New[int]()
-	p := core.NewProcess()
 	for i := 0; i < 50; i++ {
-		m.Insert(p, 5, 1)
-		if !m.Delete(p, 5, 1) {
+		m.Insert(5, 1)
+		if !m.Delete(5, 1) {
 			t.Fatalf("round %d: Delete = false", i)
 		}
 	}
-	if got := m.Get(p, 5); got != 0 {
+	if got := m.Get(5); got != 0 {
 		t.Errorf("Get(5) = %d, want 0", got)
 	}
 	checkInv(t, m)
@@ -178,12 +166,11 @@ func TestInsertAfterDeleteSameKey(t *testing.T) {
 
 func TestPanicsOnNonPositiveCounts(t *testing.T) {
 	m := multiset.New[int]()
-	p := core.NewProcess()
 	for name, f := range map[string]func(){
-		"InsertZero":     func() { m.Insert(p, 1, 0) },
-		"InsertNegative": func() { m.Insert(p, 1, -2) },
-		"DeleteZero":     func() { m.Delete(p, 1, 0) },
-		"DeleteNegative": func() { m.Delete(p, 1, -2) },
+		"InsertZero":     func() { m.Insert(1, 0) },
+		"InsertNegative": func() { m.Insert(1, -2) },
+		"DeleteZero":     func() { m.Delete(1, 0) },
+		"DeleteNegative": func() { m.Delete(1, -2) },
 	} {
 		t.Run(name, func(t *testing.T) {
 			defer func() {
@@ -198,10 +185,9 @@ func TestPanicsOnNonPositiveCounts(t *testing.T) {
 
 func TestStringKeys(t *testing.T) {
 	m := multiset.New[string]()
-	p := core.NewProcess()
-	m.Insert(p, "banana", 2)
-	m.Insert(p, "apple", 1)
-	m.Insert(p, "cherry", 3)
+	m.Insert("banana", 2)
+	m.Insert("apple", 1)
+	m.Insert("cherry", 3)
 	keys := m.Keys()
 	want := []string{"apple", "banana", "cherry"}
 	for i := range want {
@@ -209,10 +195,10 @@ func TestStringKeys(t *testing.T) {
 			t.Fatalf("Keys = %v, want %v", keys, want)
 		}
 	}
-	if !m.Delete(p, "banana", 2) {
+	if !m.Delete("banana", 2) {
 		t.Fatal("Delete(banana) = false")
 	}
-	if m.Contains(p, "banana") {
+	if m.Contains("banana") {
 		t.Error("banana still present")
 	}
 }
@@ -227,17 +213,16 @@ func TestQuickAgainstMapModel(t *testing.T) {
 	}
 	f := func(ops []op) bool {
 		m := multiset.New[int]()
-		p := core.NewProcess()
 		model := make(map[int]int)
 		for _, o := range ops {
 			key := int(o.Key % 16)
 			count := int(o.Count%5) + 1
 			switch o.Kind % 3 {
 			case 0:
-				m.Insert(p, key, count)
+				m.Insert(key, count)
 				model[key] += count
 			case 1:
-				got := m.Delete(p, key, count)
+				got := m.Delete(key, count)
 				want := model[key] >= count
 				if got != want {
 					return false
@@ -249,7 +234,7 @@ func TestQuickAgainstMapModel(t *testing.T) {
 					}
 				}
 			case 2:
-				if m.Get(p, key) != model[key] {
+				if m.Get(key) != model[key] {
 					return false
 				}
 			}
@@ -284,18 +269,15 @@ func TestConcurrentInsertDisjointKeys(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			p := core.NewProcess()
 			for i := 0; i < perProc; i++ {
-				m.Insert(p, g*perProc+i, 1)
+				m.Insert(g*perProc+i, 1)
 			}
 		}(g)
 	}
 	wg.Wait()
-
-	p := core.NewProcess()
 	for g := 0; g < procs; g++ {
 		for i := 0; i < perProc; i++ {
-			if got := m.Get(p, g*perProc+i); got != 1 {
+			if got := m.Get(g*perProc + i); got != 1 {
 				t.Fatalf("Get(%d) = %d, want 1", g*perProc+i, got)
 			}
 		}
@@ -318,16 +300,13 @@ func TestConcurrentInsertSameKey(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := core.NewProcess()
 			for i := 0; i < perProc; i++ {
-				m.Insert(p, 7, 1)
+				m.Insert(7, 1)
 			}
 		}()
 	}
 	wg.Wait()
-
-	p := core.NewProcess()
-	if got := m.Get(p, 7); got != procs*perProc {
+	if got := m.Get(7); got != procs*perProc {
 		t.Fatalf("Get(7) = %d, want %d (lost updates)", got, procs*perProc)
 	}
 	checkInv(t, m)
@@ -346,12 +325,11 @@ func TestConcurrentInsertDeleteBalance(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
-			p := core.NewProcess()
 			for i := 0; i < perProc; i++ {
 				key := rng.Intn(32)
 				count := 1 + rng.Intn(3)
-				m.Insert(p, key, count)
-				for !m.Delete(p, key, count) {
+				m.Insert(key, count)
+				for !m.Delete(key, count) {
 					// Another goroutine may transiently hold fewer than
 					// count occurrences visible? No: our own insert
 					// guarantees at least count are present until we delete
@@ -389,14 +367,13 @@ func TestConcurrentMixedWorkloadConservation(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(1000 + g)))
-			p := core.NewProcess()
 			for i := 0; i < perProc; i++ {
 				key := rng.Intn(keyRange)
 				count := 1 + rng.Intn(4)
 				if rng.Intn(2) == 0 {
-					m.Insert(p, key, count)
+					m.Insert(key, count)
 					inserted[g][key] += count
-				} else if m.Delete(p, key, count) {
+				} else if m.Delete(key, count) {
 					deleted[g][key] += count
 				}
 			}

@@ -16,9 +16,8 @@ import (
 // rather than bare records.
 func TestStalledDeleteDoesNotBlockNeighbors(t *testing.T) {
 	m := multiset.New[int]()
-	setup := core.NewProcess()
 	for _, k := range []int{10, 20, 30, 40} {
-		m.Insert(setup, k, 1)
+		m.Insert(k, 1)
 	}
 
 	var claimed atomic.Bool
@@ -36,8 +35,7 @@ func TestStalledDeleteDoesNotBlockNeighbors(t *testing.T) {
 	// which has mark steps) and stalls mid-operation.
 	victimDone := make(chan bool)
 	go func() {
-		p := core.NewProcess()
-		victimDone <- m.Delete(p, 20, 1)
+		victimDone <- m.Delete(20, 1)
 	}()
 	select {
 	case <-stalled:
@@ -47,16 +45,15 @@ func TestStalledDeleteDoesNotBlockNeighbors(t *testing.T) {
 
 	// Neighbors proceed: they traverse past the frozen region and, when
 	// they need the frozen nodes, help the stalled delete first.
-	p := core.NewProcess()
-	m.Insert(p, 15, 2)
-	m.Insert(p, 25, 3)
-	if !m.Delete(p, 40, 1) {
+	m.Insert(15, 2)
+	m.Insert(25, 3)
+	if !m.Delete(40, 1) {
 		t.Fatal("Delete(40) failed while a delete is stalled")
 	}
-	if got := m.Get(p, 15); got != 2 {
+	if got := m.Get(15); got != 2 {
 		t.Errorf("Get(15) = %d, want 2", got)
 	}
-	if got := m.Get(p, 25); got != 3 {
+	if got := m.Get(25); got != 3 {
 		t.Errorf("Get(25) = %d, want 3", got)
 	}
 	// The stalled delete's effect must already be visible if the helpers
@@ -65,7 +62,7 @@ func TestStalledDeleteDoesNotBlockNeighbors(t *testing.T) {
 	// that must help: deleting 20 again from this process either helps the
 	// victim's SCX to completion first and then fails to find a copy, or
 	// observes it already gone.
-	if m.Delete(p, 20, 1) {
+	if m.Delete(20, 1) {
 		t.Error("key 20 deleted twice")
 	}
 
@@ -73,7 +70,7 @@ func TestStalledDeleteDoesNotBlockNeighbors(t *testing.T) {
 	if !<-victimDone {
 		t.Fatal("victim delete reported failure after being helped")
 	}
-	if got := m.Get(p, 20); got != 0 {
+	if got := m.Get(20); got != 0 {
 		t.Errorf("Get(20) = %d, want 0", got)
 	}
 	if err := m.CheckInvariants(); err != nil {

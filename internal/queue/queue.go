@@ -3,11 +3,17 @@
 // lazily advanced tail hint, and one SCX per mutation. It demonstrates the
 // paper's template away from search structures — enqueue appends by SCXing
 // one next pointer, dequeue advances the head pointer and finalizes exactly
-// the node it removes, so consumers can never act on a stale head.
+// the node it removes, so consumers can never act on a stale head. Both
+// update loops run on the internal/template engine; the dequeue's empty
+// case shows the engine's VLX path (a validated read-only observation).
+//
+// Methods never take a *core.Process: plain calls acquire a pooled Handle
+// per operation, and hot paths bind one with Attach.
 package queue
 
 import (
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/template"
 )
 
 // Mutable-field indices.
@@ -35,10 +41,12 @@ func (n *node[T]) next() *node[T] {
 }
 
 // Queue is a non-blocking FIFO queue. The zero value is not usable; create
-// one with New. All methods are safe for concurrent use provided each
-// goroutine passes its own *core.Process.
+// one with New. All methods are safe for concurrent use.
 type Queue[T any] struct {
-	entry *core.Record // the sole entry point; never finalized
+	entry    *core.Record // the sole entry point; never finalized
+	policy   template.Policy
+	enqStats template.OpStats
+	deqStats template.OpStats
 }
 
 // New creates an empty queue holding only the initial dummy node.
@@ -47,6 +55,40 @@ func New[T any]() *Queue[T] {
 	dummy := newNode(zero)
 	return &Queue[T]{entry: core.NewRecord(2, []any{dummy, dummy})}
 }
+
+// SetPolicy installs the retry policy updates back off with; nil (the
+// default) retries immediately. Call before sharing the queue.
+func (q *Queue[T]) SetPolicy(p template.Policy) { q.policy = p }
+
+// EngineStats returns the template engine's aggregate attempt/failure
+// counters across all update operations.
+func (q *Queue[T]) EngineStats() template.Counters {
+	return q.enqStats.Snapshot().Add(q.deqStats.Snapshot())
+}
+
+// StatsByOp returns the engine counters broken out per operation.
+func (q *Queue[T]) StatsByOp() map[string]template.Counters {
+	return map[string]template.Counters{
+		"enqueue": q.enqStats.Snapshot(),
+		"dequeue": q.deqStats.Snapshot(),
+	}
+}
+
+// Session is a Handle-bound view of a Queue: the hot-path API for a
+// goroutine performing many operations. Not safe for concurrent use; any
+// number of Sessions may share the Queue.
+type Session[T any] struct {
+	q *Queue[T]
+	h *core.Handle
+}
+
+// Attach binds a Session to h. The caller keeps ownership of h.
+func (q *Queue[T]) Attach(h *core.Handle) Session[T] {
+	return Session[T]{q: q, h: h}
+}
+
+// Handle returns the Session's Handle.
+func (s Session[T]) Handle() *core.Handle { return s.h }
 
 func (q *Queue[T]) head() *node[T] {
 	h, _ := q.entry.Read(entryHead).(*node[T])
@@ -58,12 +100,28 @@ func (q *Queue[T]) tailHint() *node[T] {
 	return t
 }
 
+// Enqueue appends val using a pooled Handle; see Session.Enqueue for the
+// hot-path form.
+func (q *Queue[T]) Enqueue(val T) {
+	h := core.AcquireHandle()
+	q.Attach(h).Enqueue(val)
+	h.Release()
+}
+
+// Dequeue removes the oldest element using a pooled Handle; see
+// Session.Dequeue for the hot-path form.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	h := core.AcquireHandle()
+	v, ok := q.Attach(h).Dequeue()
+	h.Release()
+	return v, ok
+}
+
 // Enqueue appends val at the tail.
-func (q *Queue[T]) Enqueue(proc *core.Process, val T) {
-	n := newNode(val)
-	// Reusable snapshot buffer (core.LLXInto): retries allocate nothing.
-	var lastBuf [1]any
-	for {
+func (s Session[T]) Enqueue(val T) {
+	q := s.q
+	n := newNode(val) // allocated once; retries reuse it
+	template.Run(s.h, q.policy, &q.enqStats, func(c *template.Ctx) (struct{}, template.Action) {
 		// Find the last node, starting from the (possibly lagging) hint.
 		last := q.tailHint()
 		if last == nil {
@@ -76,65 +134,73 @@ func (q *Queue[T]) Enqueue(proc *core.Process, val T) {
 			}
 			last = nxt
 		}
-		localLast, st := proc.LLXInto(last.rec, lastBuf[:])
+		localLast, st := c.LLX(last.rec)
 		if st != core.LLXOK {
-			continue // finalized (dequeued past) or contended; re-find
+			return struct{}{}, template.Retry // finalized (dequeued past) or contended; re-find
 		}
 		if localLast[nodeNext] != any(nil) {
-			continue // someone appended after our walk
+			return struct{}{}, template.Retry // someone appended after our walk
 		}
-		if proc.SCX([]*core.Record{last.rec}, nil, last.rec.Field(nodeNext), n) {
-			q.advanceTail(proc, n)
-			return
+		if c.SCX([]*core.Record{last.rec}, nil, last.rec.Field(nodeNext), n) {
+			q.advanceTail(c, n)
+			return struct{}{}, template.Done
 		}
-	}
+		return struct{}{}, template.Retry
+	})
 }
 
 // advanceTail best-effort moves the tail hint to n; a failure just leaves
-// the hint lagging, which only costs later enqueues a longer walk.
-func (q *Queue[T]) advanceTail(proc *core.Process, n *node[T]) {
+// the hint lagging, which only costs later enqueues a longer walk. It uses
+// the raw primitives rather than the Ctx so its expected-and-harmless
+// failures never count as operation contention in the engine stats.
+func (q *Queue[T]) advanceTail(c *template.Ctx, n *node[T]) {
+	p := c.Process()
 	var entryBuf [2]any
-	if _, st := proc.LLXInto(q.entry, entryBuf[:]); st != core.LLXOK {
+	if _, st := p.LLXInto(q.entry, entryBuf[:]); st != core.LLXOK {
 		return
 	}
-	proc.SCX([]*core.Record{q.entry}, nil, q.entry.Field(entryTail), n)
+	p.SCX([]*core.Record{q.entry}, nil, q.entry.Field(entryTail), n)
+}
+
+// deqResult carries Dequeue's two return values through the engine.
+type deqResult[T any] struct {
+	val T
+	ok  bool
 }
 
 // Dequeue removes and returns the oldest element; ok is false when the
 // queue is (momentarily) empty.
-func (q *Queue[T]) Dequeue(proc *core.Process) (T, bool) {
-	var zero T
-	// The entry's and dummy's snapshots are alive at once, so each gets its
-	// own reusable buffer.
-	var entryBuf [2]any
-	var dBuf [1]any
-	for {
-		localEntry, st := proc.LLXInto(q.entry, entryBuf[:])
+func (s Session[T]) Dequeue() (T, bool) {
+	q := s.q
+	res := template.Run(s.h, q.policy, &q.deqStats, func(c *template.Ctx) (deqResult[T], template.Action) {
+		localEntry, st := c.LLX(q.entry)
 		if st != core.LLXOK {
-			continue
+			return deqResult[T]{}, template.Retry
 		}
 		d, _ := localEntry[entryHead].(*node[T])
-		locald, st := proc.LLXInto(d.rec, dBuf[:])
+		locald, st := c.LLX(d.rec)
 		if st != core.LLXOK {
-			continue
+			return deqResult[T]{}, template.Retry
 		}
 		f, _ := locald[nodeNext].(*node[T])
 		if f == nil {
 			// The dummy has no successor: empty. The two LLX snapshots are
 			// individually linked; validate them together so the emptiness
 			// observation is atomic.
-			if proc.VLX([]*core.Record{q.entry, d.rec}) {
-				return zero, false
+			if c.VLX([]*core.Record{q.entry, d.rec}) {
+				return deqResult[T]{}, template.Done
 			}
-			continue
+			return deqResult[T]{}, template.Retry
 		}
 		// Swing head to f (which becomes the new dummy) and finalize the
 		// old dummy; f's value is the dequeued element.
-		if proc.SCX([]*core.Record{q.entry, d.rec}, []*core.Record{d.rec},
+		if c.SCX([]*core.Record{q.entry, d.rec}, []*core.Record{d.rec},
 			q.entry.Field(entryHead), f) {
-			return f.val, true
+			return deqResult[T]{val: f.val, ok: true}, template.Done
 		}
-	}
+		return deqResult[T]{}, template.Retry
+	})
+	return res.val, res.ok
 }
 
 // Len counts the elements seen by one traversal: exact when quiescent,
@@ -149,10 +215,13 @@ func (q *Queue[T]) Len() int {
 
 // Drain dequeues everything currently observable, returning the values in
 // FIFO order. Intended for quiescent use in tests.
-func (q *Queue[T]) Drain(proc *core.Process) []T {
+func (q *Queue[T]) Drain() []T {
+	h := core.AcquireHandle()
+	defer h.Release()
+	s := q.Attach(h)
 	var out []T
 	for {
-		v, ok := q.Dequeue(proc)
+		v, ok := s.Dequeue()
 		if !ok {
 			return out
 		}

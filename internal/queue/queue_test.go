@@ -2,20 +2,17 @@ package queue_test
 
 import (
 	"math/rand"
-	"sort"
-	"sync"
-	"testing"
-
-	"pragmaprim/internal/core"
 	"pragmaprim/internal/history"
 	"pragmaprim/internal/linearizability"
 	"pragmaprim/internal/queue"
+	"sort"
+	"sync"
+	"testing"
 )
 
 func TestEmptyQueue(t *testing.T) {
 	q := queue.New[int]()
-	p := core.NewProcess()
-	if _, ok := q.Dequeue(p); ok {
+	if _, ok := q.Dequeue(); ok {
 		t.Error("Dequeue on empty = true")
 	}
 	if got := q.Len(); got != 0 {
@@ -25,49 +22,46 @@ func TestEmptyQueue(t *testing.T) {
 
 func TestFIFOOrder(t *testing.T) {
 	q := queue.New[int]()
-	p := core.NewProcess()
 	for i := 1; i <= 10; i++ {
-		q.Enqueue(p, i)
+		q.Enqueue(i)
 	}
 	if got := q.Len(); got != 10 {
 		t.Fatalf("Len = %d", got)
 	}
 	for i := 1; i <= 10; i++ {
-		v, ok := q.Dequeue(p)
+		v, ok := q.Dequeue()
 		if !ok || v != i {
 			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, i)
 		}
 	}
-	if _, ok := q.Dequeue(p); ok {
+	if _, ok := q.Dequeue(); ok {
 		t.Fatal("Dequeue on drained queue = true")
 	}
 }
 
 func TestInterleavedEnqueueDequeue(t *testing.T) {
 	q := queue.New[string]()
-	p := core.NewProcess()
-	q.Enqueue(p, "a")
-	q.Enqueue(p, "b")
-	if v, _ := q.Dequeue(p); v != "a" {
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if v, _ := q.Dequeue(); v != "a" {
 		t.Fatalf("Dequeue = %q, want a", v)
 	}
-	q.Enqueue(p, "c")
-	if v, _ := q.Dequeue(p); v != "b" {
+	q.Enqueue("c")
+	if v, _ := q.Dequeue(); v != "b" {
 		t.Fatalf("Dequeue = %q, want b", v)
 	}
-	if v, _ := q.Dequeue(p); v != "c" {
+	if v, _ := q.Dequeue(); v != "c" {
 		t.Fatalf("Dequeue = %q, want c", v)
 	}
 }
 
 func TestDrainAfterRefill(t *testing.T) {
 	q := queue.New[int]()
-	p := core.NewProcess()
 	for round := 0; round < 5; round++ {
 		for i := 0; i < 20; i++ {
-			q.Enqueue(p, round*100+i)
+			q.Enqueue(round*100 + i)
 		}
-		got := q.Drain(p)
+		got := q.Drain()
 		if len(got) != 20 {
 			t.Fatalf("round %d: drained %d", round, len(got))
 		}
@@ -92,9 +86,8 @@ func TestConcurrentAllElementsSurvive(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			p := core.NewProcess()
 			for i := 0; i < perProducer; i++ {
-				q.Enqueue(p, g*perProducer+i)
+				q.Enqueue(g*perProducer + i)
 			}
 		}(g)
 	}
@@ -107,15 +100,14 @@ func TestConcurrentAllElementsSurvive(t *testing.T) {
 		cg.Add(1)
 		go func() {
 			defer cg.Done()
-			p := core.NewProcess()
 			for {
-				v, ok := q.Dequeue(p)
+				v, ok := q.Dequeue()
 				if !ok {
 					select {
 					case <-stop:
 						// Producers done; drain the remainder, then exit.
 						for {
-							v, ok := q.Dequeue(p)
+							v, ok := q.Dequeue()
 							if !ok {
 								return
 							}
@@ -159,21 +151,18 @@ func TestConcurrentPerProducerOrder(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			p := core.NewProcess()
 			for i := 0; i < perProducer; i++ {
-				q.Enqueue(p, [2]int{g, i})
+				q.Enqueue([2]int{g, i})
 			}
 		}(g)
 	}
 	wg.Wait()
-
-	p := core.NewProcess()
 	lastSeq := make([]int, producers)
 	for i := range lastSeq {
 		lastSeq[i] = -1
 	}
 	for {
-		v, ok := q.Dequeue(p)
+		v, ok := q.Dequeue()
 		if !ok {
 			break
 		}
@@ -203,12 +192,11 @@ func TestConcurrentMixedChurn(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
-			p := core.NewProcess()
 			for i := 0; i < perProc; i++ {
 				if rng.Intn(2) == 0 {
-					q.Enqueue(p, g*perProc+i)
+					q.Enqueue(g*perProc + i)
 					enq[g]++
-				} else if _, ok := q.Dequeue(p); ok {
+				} else if _, ok := q.Dequeue(); ok {
 					deq[g]++
 				}
 			}
@@ -225,8 +213,7 @@ func TestConcurrentMixedChurn(t *testing.T) {
 		t.Fatalf("Len = %d, want enq-deq = %d", got, totalEnq-totalDeq)
 	}
 	// Remaining elements are distinct.
-	p := core.NewProcess()
-	rest := q.Drain(p)
+	rest := q.Drain()
 	dup := make(map[int]bool)
 	for _, v := range rest {
 		if dup[v] {
@@ -252,16 +239,15 @@ func TestLinearizableHistories(t *testing.T) {
 			go func(g int) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(int64(round*procs + g + 101)))
-				p := core.NewProcess()
 				pr := rec.Proc(g)
 				for i := 0; i < opsPerProc; i++ {
 					if rng.Intn(2) == 0 {
 						v := g*100 + i
 						pr.Invoke(linearizability.SeqInput{Op: "enqueue", Val: v},
-							func() any { q.Enqueue(p, v); return nil })
+							func() any { q.Enqueue(v); return nil })
 					} else {
 						pr.Invoke(linearizability.SeqInput{Op: "dequeue"},
-							func() any { v, ok := q.Dequeue(p); return [2]any{v, ok} })
+							func() any { v, ok := q.Dequeue(); return [2]any{v, ok} })
 					}
 				}
 			}(g)
@@ -277,15 +263,14 @@ func TestLinearizableHistories(t *testing.T) {
 // the hint points at finalized nodes, then keep enqueueing.
 func TestTailHintLagsHarmlessly(t *testing.T) {
 	q := queue.New[int]()
-	p := core.NewProcess()
 	for i := 0; i < 50; i++ {
-		q.Enqueue(p, i)
+		q.Enqueue(i)
 	}
-	q.Drain(p)
+	q.Drain()
 	for i := 100; i < 150; i++ {
-		q.Enqueue(p, i)
+		q.Enqueue(i)
 	}
-	got := q.Drain(p)
+	got := q.Drain()
 	if len(got) != 50 {
 		t.Fatalf("drained %d, want 50", len(got))
 	}

@@ -3,11 +3,16 @@
 // entry point's top pointer is the only mutable word; cells are fully
 // immutable, and each pop finalizes exactly the cell it unlinks. Because
 // SCX boxes new values freshly, the classic Treiber ABA hazard (top
-// returning to a previously seen cell) is ruled out by construction.
+// returning to a previously seen cell) is ruled out by construction. Push
+// and Pop run on the internal/template engine like every other structure.
+//
+// Methods never take a *core.Process: plain calls acquire a pooled Handle
+// per operation, and hot paths bind one with Attach.
 package stack
 
 import (
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/template"
 )
 
 const entryTop = 0 // *cell[T]: top of stack
@@ -27,10 +32,12 @@ func newCell[T any](val T, next *cell[T]) *cell[T] {
 }
 
 // Stack is a non-blocking LIFO stack. The zero value is not usable; create
-// one with New. All methods are safe for concurrent use provided each
-// goroutine passes its own *core.Process.
+// one with New. All methods are safe for concurrent use.
 type Stack[T any] struct {
-	entry *core.Record // the sole entry point; never finalized
+	entry     *core.Record // the sole entry point; never finalized
+	policy    template.Policy
+	pushStats template.OpStats
+	popStats  template.OpStats
 }
 
 // New creates an empty stack.
@@ -38,54 +45,111 @@ func New[T any]() *Stack[T] {
 	return &Stack[T]{entry: core.NewRecord(1, []any{nil})}
 }
 
+// SetPolicy installs the retry policy updates back off with; nil (the
+// default) retries immediately. Call before sharing the stack.
+func (s *Stack[T]) SetPolicy(p template.Policy) { s.policy = p }
+
+// EngineStats returns the template engine's aggregate attempt/failure
+// counters across all update operations.
+func (s *Stack[T]) EngineStats() template.Counters {
+	return s.pushStats.Snapshot().Add(s.popStats.Snapshot())
+}
+
+// StatsByOp returns the engine counters broken out per operation.
+func (s *Stack[T]) StatsByOp() map[string]template.Counters {
+	return map[string]template.Counters{
+		"push": s.pushStats.Snapshot(),
+		"pop":  s.popStats.Snapshot(),
+	}
+}
+
+// Session is a Handle-bound view of a Stack: the hot-path API for a
+// goroutine performing many operations. Not safe for concurrent use; any
+// number of Sessions may share the Stack.
+type Session[T any] struct {
+	s *Stack[T]
+	h *core.Handle
+}
+
+// Attach binds a Session to h. The caller keeps ownership of h.
+func (s *Stack[T]) Attach(h *core.Handle) Session[T] {
+	return Session[T]{s: s, h: h}
+}
+
+// Handle returns the Session's Handle.
+func (v Session[T]) Handle() *core.Handle { return v.h }
+
 func (s *Stack[T]) top() *cell[T] {
 	t, _ := s.entry.Read(entryTop).(*cell[T])
 	return t
 }
 
+// Push adds val on top using a pooled Handle; see Session.Push for the
+// hot-path form.
+func (s *Stack[T]) Push(val T) {
+	h := core.AcquireHandle()
+	s.Attach(h).Push(val)
+	h.Release()
+}
+
+// Pop removes the top element using a pooled Handle; see Session.Pop for
+// the hot-path form.
+func (s *Stack[T]) Pop() (T, bool) {
+	h := core.AcquireHandle()
+	v, ok := s.Attach(h).Pop()
+	h.Release()
+	return v, ok
+}
+
 // Push adds val on top.
-func (s *Stack[T]) Push(proc *core.Process, val T) {
-	// Reusable snapshot buffer (core.LLXInto): retries allocate nothing
-	// beyond the cell being pushed.
-	var entryBuf [1]any
-	for {
-		localEntry, st := proc.LLXInto(s.entry, entryBuf[:])
+func (v Session[T]) Push(val T) {
+	s := v.s
+	template.Run(v.h, s.policy, &s.pushStats, func(c *template.Ctx) (struct{}, template.Action) {
+		localEntry, st := c.LLX(s.entry)
 		if st != core.LLXOK {
-			continue
+			return struct{}{}, template.Retry
 		}
 		topCell, _ := localEntry[entryTop].(*cell[T])
-		if proc.SCX([]*core.Record{s.entry}, nil, s.entry.Field(entryTop),
+		if c.SCX([]*core.Record{s.entry}, nil, s.entry.Field(entryTop),
 			newCell(val, topCell)) {
-			return
+			return struct{}{}, template.Done
 		}
-	}
+		return struct{}{}, template.Retry
+	})
+}
+
+// popResult carries Pop's two return values through the engine.
+type popResult[T any] struct {
+	val T
+	ok  bool
 }
 
 // Pop removes and returns the top element; ok is false when the stack is
 // (momentarily) empty.
-func (s *Stack[T]) Pop(proc *core.Process) (T, bool) {
-	var zero T
-	var entryBuf [1]any
-	for {
-		localEntry, st := proc.LLXInto(s.entry, entryBuf[:])
+func (v Session[T]) Pop() (T, bool) {
+	s := v.s
+	res := template.Run(v.h, s.policy, &s.popStats, func(c *template.Ctx) (popResult[T], template.Action) {
+		localEntry, st := c.LLX(s.entry)
 		if st != core.LLXOK {
-			continue
+			return popResult[T]{}, template.Retry
 		}
 		topCell, _ := localEntry[entryTop].(*cell[T])
 		if topCell == nil {
 			// The LLX snapshot itself is the atomic emptiness witness.
-			return zero, false
+			return popResult[T]{}, template.Done
 		}
-		// Cells have no mutable fields: a nil buffer links without allocating.
-		if _, st := proc.LLXInto(topCell.rec, nil); st != core.LLXOK {
-			continue
+		// Cells have no mutable fields: their LLX links without a buffer.
+		if _, st := c.LLX(topCell.rec); st != core.LLXOK {
+			return popResult[T]{}, template.Retry
 		}
-		if proc.SCX([]*core.Record{s.entry, topCell.rec},
+		if c.SCX([]*core.Record{s.entry, topCell.rec},
 			[]*core.Record{topCell.rec},
 			s.entry.Field(entryTop), topCell.next) {
-			return topCell.val, true
+			return popResult[T]{val: topCell.val, ok: true}, template.Done
 		}
-	}
+		return popResult[T]{}, template.Retry
+	})
+	return res.val, res.ok
 }
 
 // Len counts the cells seen by one traversal: exact when quiescent, weakly
@@ -100,10 +164,13 @@ func (s *Stack[T]) Len() int {
 
 // Drain pops everything currently observable, returning values in LIFO
 // order. Intended for quiescent use in tests.
-func (s *Stack[T]) Drain(proc *core.Process) []T {
+func (s *Stack[T]) Drain() []T {
+	h := core.AcquireHandle()
+	defer h.Release()
+	sess := s.Attach(h)
 	var out []T
 	for {
-		v, ok := s.Pop(proc)
+		v, ok := sess.Pop()
 		if !ok {
 			return out
 		}

@@ -2,19 +2,16 @@ package stack_test
 
 import (
 	"math/rand"
-	"sync"
-	"testing"
-
-	"pragmaprim/internal/core"
 	"pragmaprim/internal/history"
 	"pragmaprim/internal/linearizability"
 	"pragmaprim/internal/stack"
+	"sync"
+	"testing"
 )
 
 func TestEmptyStack(t *testing.T) {
 	s := stack.New[int]()
-	p := core.NewProcess()
-	if _, ok := s.Pop(p); ok {
+	if _, ok := s.Pop(); ok {
 		t.Error("Pop on empty = true")
 	}
 	if got := s.Len(); got != 0 {
@@ -24,32 +21,30 @@ func TestEmptyStack(t *testing.T) {
 
 func TestLIFOOrder(t *testing.T) {
 	s := stack.New[int]()
-	p := core.NewProcess()
 	for i := 1; i <= 10; i++ {
-		s.Push(p, i)
+		s.Push(i)
 	}
 	if got := s.Len(); got != 10 {
 		t.Fatalf("Len = %d", got)
 	}
 	for i := 10; i >= 1; i-- {
-		v, ok := s.Pop(p)
+		v, ok := s.Pop()
 		if !ok || v != i {
 			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
 		}
 	}
-	if _, ok := s.Pop(p); ok {
+	if _, ok := s.Pop(); ok {
 		t.Fatal("Pop on drained stack = true")
 	}
 }
 
 func TestDrainAfterRefill(t *testing.T) {
 	s := stack.New[int]()
-	p := core.NewProcess()
 	for round := 0; round < 5; round++ {
 		for i := 0; i < 20; i++ {
-			s.Push(p, i)
+			s.Push(i)
 		}
-		got := s.Drain(p)
+		got := s.Drain()
 		if len(got) != 20 {
 			t.Fatalf("round %d: drained %d", round, len(got))
 		}
@@ -72,9 +67,8 @@ func TestConcurrentAllElementsSurvive(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			p := core.NewProcess()
 			for i := 0; i < perPusher; i++ {
-				s.Push(p, g*perPusher+i)
+				s.Push(g*perPusher + i)
 			}
 		}(g)
 	}
@@ -86,9 +80,8 @@ func TestConcurrentAllElementsSurvive(t *testing.T) {
 		pg.Add(1)
 		go func() {
 			defer pg.Done()
-			p := core.NewProcess()
 			for {
-				v, ok := s.Pop(p)
+				v, ok := s.Pop()
 				if ok {
 					mu.Lock()
 					seen[v]++
@@ -98,7 +91,7 @@ func TestConcurrentAllElementsSurvive(t *testing.T) {
 				select {
 				case <-stop:
 					for {
-						v, ok := s.Pop(p)
+						v, ok := s.Pop()
 						if !ok {
 							return
 						}
@@ -139,12 +132,11 @@ func TestConcurrentChurnConservation(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
-			p := core.NewProcess()
 			for i := 0; i < perProc; i++ {
 				if rng.Intn(2) == 0 {
-					s.Push(p, g*perProc+i)
+					s.Push(g*perProc + i)
 					pushes[g]++
-				} else if _, ok := s.Pop(p); ok {
+				} else if _, ok := s.Pop(); ok {
 					pops[g]++
 				}
 			}
@@ -160,9 +152,8 @@ func TestConcurrentChurnConservation(t *testing.T) {
 	if got := int64(s.Len()); got != totalPush-totalPop {
 		t.Fatalf("Len = %d, want %d", got, totalPush-totalPop)
 	}
-	p := core.NewProcess()
 	dup := make(map[int]bool)
-	for _, v := range s.Drain(p) {
+	for _, v := range s.Drain() {
 		if dup[v] {
 			t.Fatalf("duplicate element %d survived", v)
 		}
@@ -186,16 +177,15 @@ func TestLinearizableHistories(t *testing.T) {
 			go func(g int) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(int64(round*procs + g + 202)))
-				p := core.NewProcess()
 				pr := rec.Proc(g)
 				for i := 0; i < opsPerProc; i++ {
 					if rng.Intn(2) == 0 {
 						v := g*100 + i
 						pr.Invoke(linearizability.SeqInput{Op: "push", Val: v},
-							func() any { s.Push(p, v); return nil })
+							func() any { s.Push(v); return nil })
 					} else {
 						pr.Invoke(linearizability.SeqInput{Op: "pop"},
-							func() any { v, ok := s.Pop(p); return [2]any{v, ok} })
+							func() any { v, ok := s.Pop(); return [2]any{v, ok} })
 					}
 				}
 			}(g)

@@ -81,6 +81,28 @@ func Throughput(ops int64, seconds float64) float64 {
 	return float64(ops) / seconds
 }
 
+// RatePct returns part as a percentage of whole, 0 when whole is 0 — the
+// form the experiment tables report the update engine's retry and SCX
+// failure counters in.
+func RatePct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// ContentionRow renders an update-engine counter set (operations, attempts,
+// and failure counts) into the row shape the contention tables share:
+// ops, attempts, retries-per-op, and failure percentages.
+func ContentionRow(ops, attempts, llxFails, scxFails int64) []any {
+	retriesPerOp := 0.0
+	if ops > 0 {
+		retriesPerOp = float64(attempts-ops) / float64(ops)
+	}
+	return []any{ops, attempts, retriesPerOp,
+		RatePct(llxFails, attempts), RatePct(scxFails, attempts)}
+}
+
 // Table accumulates rows and renders them as an aligned text table.
 type Table struct {
 	title   string

@@ -94,3 +94,39 @@ func TestTableNoTitle(t *testing.T) {
 		t.Errorf("untitled table rendered an underline:\n%s", out)
 	}
 }
+
+func TestRatePct(t *testing.T) {
+	if got := stats.RatePct(25, 100); got != 25 {
+		t.Errorf("RatePct(25,100) = %v, want 25", got)
+	}
+	if got := stats.RatePct(1, 3); got < 33.3 || got > 33.4 {
+		t.Errorf("RatePct(1,3) = %v, want ~33.33", got)
+	}
+	if got := stats.RatePct(5, 0); got != 0 {
+		t.Errorf("RatePct with zero whole = %v, want 0", got)
+	}
+}
+
+func TestContentionRow(t *testing.T) {
+	row := stats.ContentionRow(100, 150, 30, 20)
+	if len(row) != 5 {
+		t.Fatalf("ContentionRow has %d cells, want 5", len(row))
+	}
+	if row[0] != int64(100) || row[1] != int64(150) {
+		t.Errorf("ops/attempts = %v/%v", row[0], row[1])
+	}
+	if got := row[2].(float64); got != 0.5 {
+		t.Errorf("retries/op = %v, want 0.5", got)
+	}
+	if got := row[3].(float64); got != 20 {
+		t.Errorf("llx-fail%% = %v, want 20", got)
+	}
+	if got := row[4].(float64); got < 13.3 || got > 13.4 {
+		t.Errorf("scx-fail%% = %v, want ~13.33", got)
+	}
+	// Zero ops must not divide by zero.
+	zero := stats.ContentionRow(0, 0, 0, 0)
+	if got := zero[2].(float64); got != 0 {
+		t.Errorf("zero-ops retries/op = %v", got)
+	}
+}

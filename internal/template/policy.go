@@ -1,0 +1,82 @@
+package template
+
+import (
+	"runtime"
+)
+
+// Policy decides how an operation waits between failed attempts. backoff is
+// called with the zero-based index of the attempt that just failed and
+// returns an int so the engine can sink the spin work against dead-code
+// elimination; implementations must be allocation-free and safe for
+// concurrent use (they carry no per-operation state — the attempt index is
+// the whole input).
+type Policy interface {
+	backoff(attempt int) int
+}
+
+// Immediate retries with no delay: the behaviour of the hand-rolled loops
+// this engine replaced, and the default for every structure. Under the
+// paper's disjoint-access workloads retries are rare enough that waiting
+// only adds latency.
+func Immediate() Policy { return immediate{} }
+
+type immediate struct{}
+
+func (immediate) backoff(int) int { return 0 }
+
+// CappedBackoff spins 2^attempt × base iterations, capped at max, yielding
+// the processor instead once the cap is passed. Classic contention control
+// for hot-spot workloads (every process hammering one record): backing off
+// losers lets a winner's SCX commit without another freeze fight.
+func CappedBackoff(base, max int) Policy {
+	if base < 1 {
+		base = 1
+	}
+	if max < base {
+		max = base
+	}
+	return capped{base: base, max: max}
+}
+
+type capped struct{ base, max int }
+
+func (p capped) backoff(attempt int) int {
+	spins := p.base
+	for i := 0; i < attempt && spins < p.max; i++ {
+		spins <<= 1
+	}
+	if spins >= p.max {
+		runtime.Gosched()
+		spins = p.max
+	}
+	return spin(spins)
+}
+
+// SpinThenYield spins a fixed budget on every failed attempt and then hands
+// the processor over — the right shape when contention comes from more
+// runnable goroutines than cores, where pure spinning starves the very SCX
+// being waited on.
+func SpinThenYield(spins int) Policy {
+	if spins < 0 {
+		spins = 0
+	}
+	return spinYield{spins: spins}
+}
+
+type spinYield struct{ spins int }
+
+func (p spinYield) backoff(int) int {
+	n := spin(p.spins)
+	runtime.Gosched()
+	return n
+}
+
+// spin burns n iterations of work the compiler cannot remove (the result is
+// sunk into the Ctx by the engine).
+func spin(n int) int {
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += i & 1
+	}
+	return acc
+}

@@ -1,0 +1,103 @@
+package template
+
+import (
+	"sync/atomic"
+)
+
+// statStripes spreads an OpStats over several cache lines so that
+// goroutines hammering the same operation of the same structure do not
+// serialize on one counter line; 8 stripes cover typical GOMAXPROCS-scale
+// fan-out. Power of two: flush masks the Ctx's stripe id with it.
+const statStripes = 8
+
+// statStripe is one stripe of counters, padded out to its own cache line
+// (4 live words + 4 pad words = 64 bytes).
+type statStripe struct {
+	ops      atomic.Int64
+	attempts atomic.Int64
+	llxFails atomic.Int64
+	scxFails atomic.Int64
+	_        [4]int64
+}
+
+// OpStats counts what the engine did for one named operation of one
+// structure (e.g. multiset Insert). Counters are atomic so concurrent
+// goroutines share a single OpStats per operation; the engine batches its
+// updates into one flush per completed operation, and each Ctx lands on its
+// own stripe, so the hot path is a couple of atomic adds on a cache line
+// few other goroutines touch.
+type OpStats struct {
+	stripes [statStripes]statStripe
+}
+
+// flush records one completed operation that took the given number of
+// attempts and saw the given failure counts; stripe selects the caller's
+// counter stripe.
+func (s *OpStats) flush(stripe uint32, attempts, llxFails, scxFails int64) {
+	sp := &s.stripes[stripe&(statStripes-1)]
+	sp.ops.Add(1)
+	sp.attempts.Add(attempts)
+	if llxFails != 0 {
+		sp.llxFails.Add(llxFails)
+	}
+	if scxFails != 0 {
+		sp.scxFails.Add(scxFails)
+	}
+}
+
+// Snapshot returns a point-in-time copy of the counters. Reading while
+// operations are in flight is safe; the fields are individually consistent.
+func (s *OpStats) Snapshot() Counters {
+	var c Counters
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		c.Ops += sp.ops.Load()
+		c.Attempts += sp.attempts.Load()
+		c.LLXFails += sp.llxFails.Load()
+		c.SCXFails += sp.scxFails.Load()
+	}
+	return c
+}
+
+// Reset zeroes the counters (between experiment phases).
+func (s *OpStats) Reset() {
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.ops.Store(0)
+		sp.attempts.Store(0)
+		sp.llxFails.Store(0)
+		sp.scxFails.Store(0)
+	}
+}
+
+// Counters is a plain-value snapshot of an OpStats, the currency the
+// harness and internal/stats report in.
+type Counters struct {
+	Ops      int64 // completed Run invocations
+	Attempts int64 // attempt bodies executed (>= Ops)
+	LLXFails int64 // LLXs that returned Fail
+	SCXFails int64 // SCXs that returned false
+}
+
+// Retries returns the number of extra attempts beyond one per operation —
+// the engine's measure of contention.
+func (c Counters) Retries() int64 { return c.Attempts - c.Ops }
+
+// Add accumulates o into c, for aggregating the counters of several
+// operations or structures.
+func (c Counters) Add(o Counters) Counters {
+	c.Ops += o.Ops
+	c.Attempts += o.Attempts
+	c.LLXFails += o.LLXFails
+	c.SCXFails += o.SCXFails
+	return c
+}
+
+// SCXFailureRate returns failed SCXs as a fraction of all attempts, 0 when
+// nothing ran — the per-structure contention figure experiment E8 reports.
+func (c Counters) SCXFailureRate() float64 {
+	if c.Attempts == 0 {
+		return 0
+	}
+	return float64(c.SCXFails) / float64(c.Attempts)
+}

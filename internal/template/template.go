@@ -1,0 +1,205 @@
+// Package template is the update engine shared by every LLX/SCX data
+// structure in this repository. The paper's pitch is that all non-blocking
+// updates have one shape — search with plain reads, LLX the records the
+// update depends on, validate, then commit with a single SCX — and the five
+// structures here (multiset, bst, trie, queue, stack) used to hand-roll that
+// loop. Run owns it instead: the retry loop, the retry policy (immediate,
+// capped spin backoff, spin-then-yield), the per-operation attempt/failure
+// counters, the reusable LLXInto snapshot buffers that keep the fast path
+// allocation-free, and the guard that turns a would-spin-forever retry on a
+// finalized record into a crash with a diagnosis.
+//
+// An operation supplies only its attempt body: position with plain reads,
+// link records with Ctx.LLX, validate the snapshots, and either commit with
+// Ctx.SCX (or Ctx.VLX for read validation) and return Done, or return Retry.
+// Everything else — when to back off, what to count, which snapshot buffer a
+// link uses — is the engine's job, so a new structure gets the whole of PR
+// 1's zero-allocation fast path by construction.
+package template
+
+import (
+	"sync/atomic"
+
+	"pragmaprim/internal/core"
+)
+
+// Action is an attempt body's verdict on one try of an operation.
+type Action uint8
+
+const (
+	// Retry re-runs the attempt after the policy's backoff: an LLX failed,
+	// a validation caught the structure moving, or the SCX lost a race.
+	Retry Action = iota
+	// Done ends the operation; Run returns the attempt's result.
+	Done
+)
+
+// Geometry of a Ctx's snapshot-buffer and read-set arrays. The widest
+// V-sequence any structure here links is 4 records (BST and trie deletes),
+// and no record has more than core's inline 4 mutable fields; 6×4 leaves
+// headroom without making the cached Ctx large.
+const (
+	maxLinks = 6
+	maxWidth = 4
+)
+
+// Ctx is the per-attempt face of the engine: it hands out snapshot buffers,
+// forwards to the LLX/SCX/VLX primitives, and records what happened for the
+// retry counters and the finalized-spin guard. A Ctx is valid only inside
+// the attempt body it was passed to.
+type Ctx struct {
+	proc *core.Process
+
+	// Snapshot buffers, one per LLX of the current attempt. They are reused
+	// across attempts and operations (the engine caches the Ctx on the
+	// Handle), which is safe because an attempt that fails abandons its
+	// snapshots and a Done attempt consumes them before Run returns.
+	bufs [maxLinks][maxWidth]any
+	nbuf int
+
+	// Read set of the current and previous attempt, for the finalized-spin
+	// guard (see Run).
+	linked    [maxLinks]*core.Record
+	nlinked   int
+	prev      [maxLinks]*core.Record
+	nprev     int
+	finalized bool
+
+	// Per-operation tallies, flushed to the OpStats once per Run.
+	llxFails int64
+	scxFails int64
+	stripe   uint32 // this Ctx's OpStats counter stripe
+	spinSink int    // keeps backoff spin loops from being optimized away
+}
+
+// nextStripe assigns counter stripes to Ctxs round-robin.
+var nextStripe atomic.Uint32
+
+// Process exposes the underlying Process for primitives the Ctx does not
+// wrap (SnapshotAll, metrics).
+func (c *Ctx) Process() *core.Process { return c.proc }
+
+// LLX load-link-extends r through an engine-owned snapshot buffer, so the
+// link allocates nothing for records up to maxWidth mutable fields. The
+// returned Snapshot is valid until the attempt returns.
+func (c *Ctx) LLX(r *core.Record) (core.Snapshot, core.LLXStatus) {
+	var buf core.Snapshot
+	if c.nbuf < maxLinks {
+		buf = c.bufs[c.nbuf][:]
+		c.nbuf++
+	}
+	snap, st := c.proc.LLXInto(r, buf)
+	if c.nlinked < maxLinks {
+		c.linked[c.nlinked] = r
+		c.nlinked++
+	}
+	switch st {
+	case core.LLXFinalized:
+		c.finalized = true
+	case core.LLXFail:
+		c.llxFails++
+	}
+	return snap, st
+}
+
+// SCX commits the attempt's update: one atomic store into fld plus
+// finalization of rset, conditional on every record in v being unchanged
+// since this attempt's LLX on it. Neither v nor rset is retained, so slice
+// literals at the call site stay on the caller's stack.
+func (c *Ctx) SCX(v []*core.Record, rset []*core.Record, fld core.FieldRef, newVal any) bool {
+	ok := c.proc.SCX(v, rset, fld, newVal)
+	if !ok {
+		c.scxFails++
+	}
+	return ok
+}
+
+// VLX validates that every record in v is unchanged since this attempt's
+// LLX on it — the read-only commit used where an operation's result is an
+// observation (e.g. queue emptiness) rather than a write.
+func (c *Ctx) VLX(v []*core.Record) bool {
+	return c.proc.VLX(v)
+}
+
+// beginAttempt rolls the read set over and rearms the buffers.
+func (c *Ctx) beginAttempt() {
+	c.nprev = c.nlinked
+	copy(c.prev[:c.nprev], c.linked[:c.nlinked])
+	c.nlinked = 0
+	c.nbuf = 0
+	c.finalized = false
+}
+
+// pinned reports whether the attempt that just failed saw a finalized
+// record AND linked exactly the records its predecessor linked, in order.
+// Retrying such an attempt cannot ever succeed — a finalized record never
+// changes again — so the engine refuses to spin on it (see Run).
+func (c *Ctx) pinned() bool {
+	if !c.finalized || c.nlinked == 0 || c.nlinked != c.nprev {
+		return false
+	}
+	for i := 0; i < c.nlinked; i++ {
+		if c.linked[i] != c.prev[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ctxOf returns h's cached Ctx, building it on first use. The Ctx lives in
+// the Handle's scratch slot, so pooled handles run operations with zero
+// engine allocations after warmup.
+func ctxOf(h *core.Handle) *Ctx {
+	if c, ok := h.Scratch().(*Ctx); ok {
+		return c
+	}
+	c := &Ctx{proc: h.Process(), stripe: nextStripe.Add(1)}
+	h.SetScratch(c)
+	return c
+}
+
+// Run executes one non-blocking update: it calls attempt until the attempt
+// reports Done, applying the policy's backoff between tries and recording
+// attempt/failure tallies into st. A nil policy means retry immediately; a
+// nil st records nothing.
+//
+// Snapshot discipline: the Ctx hands every LLX its own engine-owned buffer,
+// and buffers are recycled only at attempt boundaries — never while an
+// attempt is running — so an attempt may hold all of its snapshots live at
+// once, and a failed attempt's snapshots are dead by definition (the paper's
+// contract: after a failed SCX the caller must re-LLX before retrying).
+// That is what makes reusing the buffers across retries safe.
+//
+// Finalized-spin guard: if a failed attempt saw LLXFinalized and linked
+// exactly the same records as the attempt before it, no future attempt can
+// ever succeed (a finalized record is permanently frozen), so Run panics
+// with a diagnosis instead of spinning forever. Structures never trip this:
+// their attempts re-search from an entry point that is never finalized, so a
+// finalized record vanishes from the read set on the next try. Only an
+// attempt body that hard-codes a finalizable record can, and that is a
+// programming error worth crashing on.
+func Run[T any](h *core.Handle, pol Policy, st *OpStats, attempt func(*Ctx) (T, Action)) T {
+	c := ctxOf(h)
+	c.nlinked, c.nprev = 0, 0
+	c.llxFails, c.scxFails = 0, 0
+	tries := int64(0)
+	for {
+		c.beginAttempt()
+		tries++
+		res, act := attempt(c)
+		if act == Done {
+			if st != nil {
+				st.flush(c.stripe, tries, c.llxFails, c.scxFails)
+			}
+			return res
+		}
+		if c.pinned() {
+			panic("template: retrying an update whose read set is pinned on a " +
+				"finalized record; the attempt must re-search instead of " +
+				"reusing records that can be finalized")
+		}
+		if pol != nil {
+			c.spinSink += pol.backoff(int(tries) - 1)
+		}
+	}
+}

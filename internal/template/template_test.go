@@ -1,0 +1,330 @@
+package template_test
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/template"
+)
+
+// TestRunUncontendedSingleAttempt pins the quiet-path accounting: one
+// operation, one attempt, no failures.
+func TestRunUncontendedSingleAttempt(t *testing.T) {
+	h := core.NewHandle()
+	r := core.NewRecord(1, []any{0})
+	var st template.OpStats
+	got := template.Run(h, nil, &st, func(c *template.Ctx) (int, template.Action) {
+		snap, s := c.LLX(r)
+		if s != core.LLXOK {
+			return 0, template.Retry
+		}
+		if c.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+7) {
+			return snap[0].(int) + 7, template.Done
+		}
+		return 0, template.Retry
+	})
+	if got != 7 {
+		t.Fatalf("Run = %d, want 7", got)
+	}
+	snap := st.Snapshot()
+	if snap.Ops != 1 || snap.Attempts != 1 || snap.Retries() != 0 ||
+		snap.LLXFails != 0 || snap.SCXFails != 0 {
+		t.Fatalf("counters = %+v, want exactly one clean attempt", snap)
+	}
+}
+
+// TestRunContendedCountersMatchObservedRetries hammers one record from
+// GOMAXPROCS goroutines under the race detector. Every goroutine counts its
+// own attempt-body executions; the engine's shared counters must agree with
+// the observed totals exactly, and attempts must decompose into operations
+// plus failures' retries.
+func TestRunContendedCountersMatchObservedRetries(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		procs = 2
+	}
+	const perG = 2000
+
+	r := core.NewRecord(1, []any{0})
+	var st template.OpStats
+	observed := make([]int64, procs) // attempt-body executions per goroutine
+
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := core.NewHandle()
+			for i := 0; i < perG; i++ {
+				template.Run(h, nil, &st, func(c *template.Ctx) (struct{}, template.Action) {
+					observed[g]++
+					snap, s := c.LLX(r)
+					if s != core.LLXOK {
+						return struct{}{}, template.Retry
+					}
+					if c.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
+						return struct{}{}, template.Done
+					}
+					return struct{}{}, template.Retry
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var observedAttempts int64
+	for _, n := range observed {
+		observedAttempts += n
+	}
+	snap := st.Snapshot()
+	if snap.Ops != int64(procs*perG) {
+		t.Errorf("Ops = %d, want %d", snap.Ops, procs*perG)
+	}
+	if snap.Attempts != observedAttempts {
+		t.Errorf("Attempts = %d, observed attempt bodies = %d", snap.Attempts, observedAttempts)
+	}
+	if snap.Retries() != observedAttempts-int64(procs*perG) {
+		t.Errorf("Retries() = %d, want %d", snap.Retries(), observedAttempts-int64(procs*perG))
+	}
+	// Every retry stems from a failed LLX or a failed SCX (this attempt
+	// body has no other Retry path), and failures cannot exceed retries.
+	if snap.LLXFails+snap.SCXFails != snap.Retries() {
+		t.Errorf("LLXFails %d + SCXFails %d != Retries %d",
+			snap.LLXFails, snap.SCXFails, snap.Retries())
+	}
+	// All increments landed: the record's final value is the total op count.
+	if got := r.Read(0).(int); got != procs*perG {
+		t.Errorf("final value = %d, want %d", got, procs*perG)
+	}
+}
+
+// TestRunFinalizedAbortsInsteadOfSpinning pins the finalized-spin guard: an
+// attempt body that hard-codes a finalized record (instead of re-searching)
+// must crash the operation with a diagnosis, not spin forever.
+func TestRunFinalizedAbortsInsteadOfSpinning(t *testing.T) {
+	// Build a finalized record: an SCX over (a, b) finalizing b.
+	setup := core.NewProcess()
+	a := core.NewRecord(1, []any{0})
+	b := core.NewRecord(1, []any{0})
+	if _, st := setup.LLX(a); st != core.LLXOK {
+		t.Fatal("setup LLX(a) failed")
+	}
+	if _, st := setup.LLX(b); st != core.LLXOK {
+		t.Fatal("setup LLX(b) failed")
+	}
+	if !setup.SCX([]*core.Record{a, b}, []*core.Record{b}, a.Field(0), 1) {
+		t.Fatal("setup finalizing SCX failed")
+	}
+	if !b.Finalized() {
+		t.Fatal("b not finalized")
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run returned instead of aborting on a pinned finalized record")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "finalized") {
+			t.Fatalf("panic = %v, want the finalized-spin diagnosis", r)
+		}
+	}()
+	h := core.NewHandle()
+	template.Run(h, nil, nil, func(c *template.Ctx) (struct{}, template.Action) {
+		// Deliberately broken attempt: always retries the same record.
+		if _, st := c.LLX(b); st == core.LLXOK {
+			return struct{}{}, template.Done
+		}
+		return struct{}{}, template.Retry
+	})
+}
+
+// TestRunFinalizedRecoversWhenReadSetChanges is the guard's complement: an
+// attempt that adapts its read set after seeing Finalized (as every real
+// structure's re-search does) must complete normally.
+func TestRunFinalizedRecoversWhenReadSetChanges(t *testing.T) {
+	setup := core.NewProcess()
+	a := core.NewRecord(1, []any{0})
+	b := core.NewRecord(1, []any{0})
+	live := core.NewRecord(1, []any{10})
+	if _, st := setup.LLX(a); st != core.LLXOK {
+		t.Fatal("setup LLX(a) failed")
+	}
+	if _, st := setup.LLX(b); st != core.LLXOK {
+		t.Fatal("setup LLX(b) failed")
+	}
+	if !setup.SCX([]*core.Record{a, b}, []*core.Record{b}, a.Field(0), 1) {
+		t.Fatal("setup finalizing SCX failed")
+	}
+
+	h := core.NewHandle()
+	var st template.OpStats
+	tries := 0
+	got := template.Run(h, nil, &st, func(c *template.Ctx) (int, template.Action) {
+		tries++
+		target := b // first try lands on the finalized record...
+		if tries > 1 {
+			target = live // ...then the "search" finds the live one
+		}
+		snap, s := c.LLX(target)
+		if s != core.LLXOK {
+			return 0, template.Retry
+		}
+		if c.SCX([]*core.Record{target}, nil, target.Field(0), snap[0].(int)+1) {
+			return snap[0].(int) + 1, template.Done
+		}
+		return 0, template.Retry
+	})
+	if got != 11 {
+		t.Fatalf("Run = %d, want 11", got)
+	}
+	if snap := st.Snapshot(); snap.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", snap.Attempts)
+	}
+}
+
+// TestRunVLXPath pins the read-only commit: a VLX-validated observation
+// completes the operation without an SCX.
+func TestRunVLXPath(t *testing.T) {
+	h := core.NewHandle()
+	a := core.NewRecord(1, []any{1})
+	b := core.NewRecord(1, []any{2})
+	sum := template.Run(h, nil, nil, func(c *template.Ctx) (int, template.Action) {
+		sa, st := c.LLX(a)
+		if st != core.LLXOK {
+			return 0, template.Retry
+		}
+		sb, st := c.LLX(b)
+		if st != core.LLXOK {
+			return 0, template.Retry
+		}
+		if !c.VLX([]*core.Record{a, b}) {
+			return 0, template.Retry
+		}
+		return sa[0].(int) + sb[0].(int), template.Done
+	})
+	if sum != 3 {
+		t.Fatalf("validated sum = %d, want 3", sum)
+	}
+}
+
+// TestPoliciesCompleteUnderContention runs the same contended increment
+// workload under each retry policy; all of them must preserve correctness
+// (the policies only shape waiting, never semantics).
+func TestPoliciesCompleteUnderContention(t *testing.T) {
+	policies := map[string]template.Policy{
+		"immediate":     template.Immediate(),
+		"nil":           nil,
+		"cappedBackoff": template.CappedBackoff(4, 256),
+		"spinThenYield": template.SpinThenYield(16),
+	}
+	for name, pol := range policies {
+		t.Run(name, func(t *testing.T) {
+			const procs = 4
+			const perG = 500
+			r := core.NewRecord(1, []any{0})
+			var wg sync.WaitGroup
+			for g := 0; g < procs; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					h := core.NewHandle()
+					for i := 0; i < perG; i++ {
+						template.Run(h, pol, nil, func(c *template.Ctx) (struct{}, template.Action) {
+							snap, s := c.LLX(r)
+							if s != core.LLXOK {
+								return struct{}{}, template.Retry
+							}
+							if c.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
+								return struct{}{}, template.Done
+							}
+							return struct{}{}, template.Retry
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			if got := r.Read(0).(int); got != procs*perG {
+				t.Fatalf("final value = %d, want %d", got, procs*perG)
+			}
+		})
+	}
+}
+
+// TestCtxSnapshotsStayLiveWithinAttempt pins the buffer discipline: several
+// snapshots taken in one attempt must all remain readable until the attempt
+// ends (each LLX gets its own engine-owned buffer).
+func TestCtxSnapshotsStayLiveWithinAttempt(t *testing.T) {
+	h := core.NewHandle()
+	recs := make([]*core.Record, 4)
+	for i := range recs {
+		recs[i] = core.NewRecord(2, []any{i, i * 10})
+	}
+	ok := template.Run(h, nil, nil, func(c *template.Ctx) (bool, template.Action) {
+		snaps := make([]core.Snapshot, len(recs))
+		for i, r := range recs {
+			s, st := c.LLX(r)
+			if st != core.LLXOK {
+				return false, template.Retry
+			}
+			snaps[i] = s
+		}
+		for i, s := range snaps {
+			if s[0].(int) != i || s[1].(int) != i*10 {
+				t.Errorf("snapshot %d = %v, want [%d %d]", i, s, i, i*10)
+			}
+		}
+		return true, template.Done
+	})
+	if !ok {
+		t.Fatal("Run failed")
+	}
+}
+
+// TestCountersSnapshotArithmetic covers the Counters helpers.
+func TestCountersSnapshotArithmetic(t *testing.T) {
+	a := template.Counters{Ops: 10, Attempts: 15, LLXFails: 2, SCXFails: 3}
+	b := template.Counters{Ops: 5, Attempts: 5}
+	sum := a.Add(b)
+	if sum.Ops != 15 || sum.Attempts != 20 || sum.LLXFails != 2 || sum.SCXFails != 3 {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if got := sum.Retries(); got != 5 {
+		t.Fatalf("Retries = %d, want 5", got)
+	}
+	if got := a.SCXFailureRate(); got != 0.2 {
+		t.Fatalf("SCXFailureRate = %v, want 0.2", got)
+	}
+	if got := (template.Counters{}).SCXFailureRate(); got != 0 {
+		t.Fatalf("empty SCXFailureRate = %v, want 0", got)
+	}
+}
+
+// TestOpStatsReset covers Reset between experiment phases.
+func TestOpStatsReset(t *testing.T) {
+	h := core.NewHandle()
+	r := core.NewRecord(1, []any{0})
+	var st template.OpStats
+	for i := 0; i < 3; i++ {
+		template.Run(h, nil, &st, func(c *template.Ctx) (struct{}, template.Action) {
+			snap, s := c.LLX(r)
+			if s != core.LLXOK {
+				return struct{}{}, template.Retry
+			}
+			if c.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
+				return struct{}{}, template.Done
+			}
+			return struct{}{}, template.Retry
+		})
+	}
+	if snap := st.Snapshot(); snap.Ops != 3 {
+		t.Fatalf("Ops = %d, want 3", snap.Ops)
+	}
+	st.Reset()
+	if snap := st.Snapshot(); snap != (template.Counters{}) {
+		t.Fatalf("after Reset: %+v", snap)
+	}
+}

@@ -2,13 +2,11 @@ package trie_test
 
 import (
 	"math/rand"
-	"sync"
-	"testing"
-
-	"pragmaprim/internal/core"
 	"pragmaprim/internal/history"
 	"pragmaprim/internal/linearizability"
 	"pragmaprim/internal/trie"
+	"sync"
+	"testing"
 )
 
 // TestLinearizableHistories records small concurrent runs against the trie
@@ -29,7 +27,6 @@ func TestLinearizableHistories(t *testing.T) {
 			go func(g int) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(int64(round*procs + g + 555)))
-				p := core.NewProcess()
 				pr := rec.Proc(g)
 				for i := 0; i < opsPerProc; i++ {
 					key := rng.Intn(keyRange)
@@ -37,13 +34,13 @@ func TestLinearizableHistories(t *testing.T) {
 					switch rng.Intn(3) {
 					case 0:
 						pr.Invoke(linearizability.MapInput{Op: "put", Key: key, Val: val},
-							func() any { return tr.Put(p, uint64(key), val) })
+							func() any { return tr.Put(uint64(key), val) })
 					case 1:
 						pr.Invoke(linearizability.MapInput{Op: "delete", Key: key},
-							func() any { v, ok := tr.Delete(p, uint64(key)); return [2]any{v, ok} })
+							func() any { v, ok := tr.Delete(uint64(key)); return [2]any{v, ok} })
 					default:
 						pr.Invoke(linearizability.MapInput{Op: "get", Key: key},
-							func() any { v, ok := tr.Get(p, uint64(key)); return [2]any{v, ok} })
+							func() any { v, ok := tr.Get(uint64(key)); return [2]any{v, ok} })
 					}
 				}
 			}(g)

@@ -4,7 +4,8 @@
 // technique; this implementation shows the LLX/SCX template carrying over
 // unchanged: searches are plain reads (Proposition 2), every update is one
 // SCX that swings a single child pointer and finalizes exactly the removed
-// nodes.
+// nodes, and the retry loop itself lives in internal/template like every
+// other structure here.
 //
 // Keys are uint64, compared most-significant-bit first. Internal nodes are
 // pure routers labelled with the bit index where their subtrees diverge
@@ -12,6 +13,9 @@
 // the key/value pairs. The trie's shape is a deterministic function of its
 // key set, so no rebalancing is ever needed — which is exactly why it is a
 // popular companion structure to the paper's BSTs.
+//
+// Methods never take a *core.Process: plain calls acquire a pooled Handle
+// per operation, and hot paths bind one with Attach.
 package trie
 
 import (
@@ -19,6 +23,7 @@ import (
 	"math/bits"
 
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/template"
 )
 
 // Mutable-field indices. The root record has a single child field; internal
@@ -68,10 +73,12 @@ func diffBit(a, b uint64) int {
 }
 
 // Trie is a non-blocking map from uint64 keys to V. The zero value is not
-// usable; create one with New. All methods are safe for concurrent use
-// provided each goroutine passes its own *core.Process.
+// usable; create one with New. All methods are safe for concurrent use.
 type Trie[V any] struct {
-	root *core.Record // entry point: one mutable field, the trie's root node
+	root     *core.Record // entry point: one mutable field, the trie's root node
+	policy   template.Policy
+	putStats template.OpStats
+	delStats template.OpStats
 }
 
 // New creates an empty trie. The entry-point record is never finalized.
@@ -79,14 +86,49 @@ func New[V any]() *Trie[V] {
 	return &Trie[V]{root: core.NewRecord(1, []any{nil})}
 }
 
+// SetPolicy installs the retry policy updates back off with; nil (the
+// default) retries immediately. Call before sharing the trie.
+func (t *Trie[V]) SetPolicy(p template.Policy) { t.policy = p }
+
+// EngineStats returns the template engine's aggregate attempt/failure
+// counters across all update operations.
+func (t *Trie[V]) EngineStats() template.Counters {
+	return t.putStats.Snapshot().Add(t.delStats.Snapshot())
+}
+
+// StatsByOp returns the engine counters broken out per operation.
+func (t *Trie[V]) StatsByOp() map[string]template.Counters {
+	return map[string]template.Counters{
+		"put":    t.putStats.Snapshot(),
+		"delete": t.delStats.Snapshot(),
+	}
+}
+
+// Session is a Handle-bound view of a Trie: the hot-path API for a
+// goroutine performing many operations. Not safe for concurrent use; any
+// number of Sessions may share the Trie.
+type Session[V any] struct {
+	t *Trie[V]
+	h *core.Handle
+}
+
+// Attach binds a Session to h. The caller keeps ownership of h.
+func (t *Trie[V]) Attach(h *core.Handle) Session[V] {
+	return Session[V]{t: t, h: h}
+}
+
+// Handle returns the Session's Handle.
+func (s Session[V]) Handle() *core.Handle { return s.h }
+
 // top reads the trie's root node (nil when empty).
 func (t *Trie[V]) top() *node[V] {
 	n, _ := t.root.Read(fieldChild0).(*node[V])
 	return n
 }
 
-// Get returns the value stored for key, if any.
-func (t *Trie[V]) Get(proc *core.Process, key uint64) (V, bool) {
+// Get returns the value stored for key, if any. Searches are plain reads
+// (Proposition 2), so Get needs no Handle.
+func (t *Trie[V]) Get(key uint64) (V, bool) {
 	var zero V
 	n := t.top()
 	for n != nil && !n.leaf {
@@ -99,10 +141,34 @@ func (t *Trie[V]) Get(proc *core.Process, key uint64) (V, bool) {
 }
 
 // Contains reports whether key is present.
-func (t *Trie[V]) Contains(proc *core.Process, key uint64) bool {
-	_, ok := t.Get(proc, key)
+func (t *Trie[V]) Contains(key uint64) bool {
+	_, ok := t.Get(key)
 	return ok
 }
+
+// Put maps key to val using a pooled Handle; see Session.Put for the
+// hot-path form.
+func (t *Trie[V]) Put(key uint64, val V) bool {
+	h := core.AcquireHandle()
+	ok := t.Attach(h).Put(key, val)
+	h.Release()
+	return ok
+}
+
+// Delete removes key's mapping using a pooled Handle; see Session.Delete
+// for the hot-path form.
+func (t *Trie[V]) Delete(key uint64) (V, bool) {
+	h := core.AcquireHandle()
+	v, ok := t.Attach(h).Delete(key)
+	h.Release()
+	return v, ok
+}
+
+// Get returns the value stored for key, if any.
+func (s Session[V]) Get(key uint64) (V, bool) { return s.t.Get(key) }
+
+// Contains reports whether key is present.
+func (s Session[V]) Contains(key uint64) bool { return s.t.Contains(key) }
 
 // walkToLeaf follows key's bits from n to a leaf.
 func walkToLeaf[V any](n *node[V], key uint64) *node[V] {
@@ -114,50 +180,47 @@ func walkToLeaf[V any](n *node[V], key uint64) *node[V] {
 
 // Put maps key to val, returning true if key was newly inserted and false
 // if an existing mapping was replaced.
-func (t *Trie[V]) Put(proc *core.Process, key uint64, val V) bool {
-	// Reusable snapshot buffers (core.LLXInto): the retry loop allocates
-	// nothing beyond the nodes it splices in.
-	var rootBuf [1]any
-	var pBuf [2]any
-	for {
+func (s Session[V]) Put(key uint64, val V) bool {
+	t := s.t
+	return template.Run(s.h, t.policy, &t.putStats, func(c *template.Ctx) (bool, template.Action) {
 		// Phase 1: probe for a leaf sharing key's routed prefix.
 		top := t.top()
 		if top == nil {
 			// Empty trie: install the first leaf at the entry point.
-			localr, st := proc.LLXInto(t.root, rootBuf[:])
+			localr, st := c.LLX(t.root)
 			if st != core.LLXOK {
-				continue
+				return false, template.Retry
 			}
 			if localr[fieldChild0] != any(nil) {
-				continue // no longer empty; re-run
+				return false, template.Retry // no longer empty; re-run
 			}
-			if proc.SCX([]*core.Record{t.root}, nil, t.root.Field(fieldChild0),
+			if c.SCX([]*core.Record{t.root}, nil, t.root.Field(fieldChild0),
 				newLeaf(key, val)) {
-				return true
+				return true, template.Done
 			}
-			continue
+			return false, template.Retry
 		}
 		probe := walkToLeaf(top, key)
 		if probe.key == key {
 			// Replace the existing leaf in place, finalizing it.
-			if t.replaceLeaf(proc, key, val) {
-				return false
+			if t.replaceLeaf(c, key, val) {
+				return false, template.Done
 			}
-			continue
+			return false, template.Retry
 		}
 		// Phase 2: splice a router at the diverging bit b: descend to the
 		// first edge whose child is a leaf or routes at or below b.
 		b := diffBit(key, probe.key)
 		parentRec, parentDir, cur := t.descendTo(key, b)
 		if cur == nil {
-			continue // structure moved; re-run
+			return false, template.Retry // structure moved; re-run
 		}
-		localp, st := proc.LLXInto(parentRec, pBuf[:])
+		localp, st := c.LLX(parentRec)
 		if st != core.LLXOK {
-			continue
+			return false, template.Retry
 		}
-		if c, _ := localp[parentDir].(*node[V]); c != cur {
-			continue
+		if ch, _ := localp[parentDir].(*node[V]); ch != cur {
+			return false, template.Retry
 		}
 		// Revalidate b against the live structure: every key ever placed
 		// under cur shares cur's routing prefix, so one representative leaf
@@ -165,10 +228,10 @@ func (t *Trie[V]) Put(proc *core.Process, key uint64, val V) bool {
 		// its leaf was deleted meanwhile) fails these checks and retries.
 		rep := walkToLeaf(cur, key)
 		if rep == nil || rep.key == key || diffBit(key, rep.key) != b {
-			continue
+			return false, template.Retry
 		}
 		if !cur.leaf && cur.bit <= b {
-			continue
+			return false, template.Retry
 		}
 		nl := newLeaf(key, val)
 		var inner *node[V]
@@ -177,11 +240,12 @@ func (t *Trie[V]) Put(proc *core.Process, key uint64, val V) bool {
 		} else {
 			inner = newInternal(b, cur, nl)
 		}
-		if proc.SCX([]*core.Record{parentRec}, nil,
+		if c.SCX([]*core.Record{parentRec}, nil,
 			recField(parentRec, parentDir), inner) {
-			return true
+			return true, template.Done
 		}
-	}
+		return false, template.Retry
+	})
 }
 
 // recField builds a FieldRef for a raw record (the entry point has one
@@ -207,7 +271,7 @@ func (t *Trie[V]) descendTo(key uint64, b int) (*core.Record, int, *node[V]) {
 
 // replaceLeaf swaps the leaf holding key for a fresh leaf with val,
 // finalizing the old one. Returns false if the structure moved.
-func (t *Trie[V]) replaceLeaf(proc *core.Process, key uint64, val V) bool {
+func (t *Trie[V]) replaceLeaf(c *template.Ctx, key uint64, val V) bool {
 	parentRec := t.root
 	parentDir := fieldChild0
 	cur := t.top()
@@ -219,29 +283,31 @@ func (t *Trie[V]) replaceLeaf(proc *core.Process, key uint64, val V) bool {
 	if cur == nil || cur.key != key {
 		return false
 	}
-	var pBuf [2]any
-	localp, st := proc.LLXInto(parentRec, pBuf[:])
+	localp, st := c.LLX(parentRec)
 	if st != core.LLXOK {
 		return false
 	}
-	if c, _ := localp[parentDir].(*node[V]); c != cur {
+	if ch, _ := localp[parentDir].(*node[V]); ch != cur {
 		return false
 	}
-	if _, st := proc.LLXInto(cur.rec, nil); st != core.LLXOK {
+	if _, st := c.LLX(cur.rec); st != core.LLXOK {
 		return false
 	}
-	return proc.SCX([]*core.Record{parentRec, cur.rec}, []*core.Record{cur.rec},
+	return c.SCX([]*core.Record{parentRec, cur.rec}, []*core.Record{cur.rec},
 		recField(parentRec, parentDir), newLeaf(key, val))
+}
+
+// delResult carries Delete's two return values through the engine.
+type delResult[V any] struct {
+	val V
+	ok  bool
 }
 
 // Delete removes key's mapping, returning the removed value and true, or
 // the zero value and false if key was absent.
-func (t *Trie[V]) Delete(proc *core.Process, key uint64) (V, bool) {
-	var zero V
-	// g's and p's snapshots are alive at once; the sibling's link needs a
-	// buffer too since an internal sibling has two mutable fields.
-	var gBuf, pBuf, sBuf [2]any
-	for {
+func (s Session[V]) Delete(key uint64) (V, bool) {
+	t := s.t
+	res := template.Run(s.h, t.policy, &t.delStats, func(c *template.Ctx) (delResult[V], template.Action) {
 		// Track grandparent edge, parent node, and leaf during the descent.
 		gRec := t.root
 		gDir := fieldChild0
@@ -256,65 +322,66 @@ func (t *Trie[V]) Delete(proc *core.Process, key uint64) (V, bool) {
 			l = l.child(bitOf(key, p.bit))
 		}
 		if l == nil || l.key != key {
-			return zero, false
+			return delResult[V]{}, template.Done
 		}
 		if p == nil {
 			// The leaf is the entire trie: unlink it from the entry point.
-			localr, st := proc.LLXInto(t.root, gBuf[:])
+			localr, st := c.LLX(t.root)
 			if st != core.LLXOK {
-				continue
+				return delResult[V]{}, template.Retry
 			}
-			if c, _ := localr[fieldChild0].(*node[V]); c != l {
-				continue
+			if ch, _ := localr[fieldChild0].(*node[V]); ch != l {
+				return delResult[V]{}, template.Retry
 			}
-			if _, st := proc.LLXInto(l.rec, nil); st != core.LLXOK {
-				continue
+			if _, st := c.LLX(l.rec); st != core.LLXOK {
+				return delResult[V]{}, template.Retry
 			}
-			if proc.SCX([]*core.Record{t.root, l.rec}, []*core.Record{l.rec},
+			if c.SCX([]*core.Record{t.root, l.rec}, []*core.Record{l.rec},
 				t.root.Field(fieldChild0), nil) {
-				return l.val, true
+				return delResult[V]{val: l.val, ok: true}, template.Done
 			}
-			continue
+			return delResult[V]{}, template.Retry
 		}
 		// Replace p with l's sibling, finalizing p and l.
-		localg, st := proc.LLXInto(gRec, gBuf[:])
+		localg, st := c.LLX(gRec)
 		if st != core.LLXOK {
-			continue
+			return delResult[V]{}, template.Retry
 		}
-		if c, _ := localg[gDir].(*node[V]); c != p {
-			continue
+		if ch, _ := localg[gDir].(*node[V]); ch != p {
+			return delResult[V]{}, template.Retry
 		}
-		localp, st := proc.LLXInto(p.rec, pBuf[:])
+		localp, st := c.LLX(p.rec)
 		if st != core.LLXOK {
-			continue
+			return delResult[V]{}, template.Retry
 		}
 		ldir := bitOf(key, p.bit)
-		if c, _ := localp[ldir].(*node[V]); c != l {
-			continue
+		if ch, _ := localp[ldir].(*node[V]); ch != l {
+			return delResult[V]{}, template.Retry
 		}
-		s, _ := localp[1-ldir].(*node[V])
-		if s == nil {
-			continue
+		sib, _ := localp[1-ldir].(*node[V])
+		if sib == nil {
+			return delResult[V]{}, template.Retry
 		}
-		if _, st := proc.LLXInto(l.rec, nil); st != core.LLXOK {
-			continue
+		if _, st := c.LLX(l.rec); st != core.LLXOK {
+			return delResult[V]{}, template.Retry
 		}
-		if _, st := proc.LLXInto(s.rec, sBuf[:]); st != core.LLXOK {
-			continue
+		if _, st := c.LLX(sib.rec); st != core.LLXOK {
+			return delResult[V]{}, template.Retry
 		}
 		// V in preorder-consistent order: grandparent edge owner, p, then
 		// p's children in child order.
-		v := make([]*core.Record, 0, 4)
-		v = append(v, gRec, p.rec)
+		var v []*core.Record
 		if ldir == 0 {
-			v = append(v, l.rec, s.rec)
+			v = []*core.Record{gRec, p.rec, l.rec, sib.rec}
 		} else {
-			v = append(v, s.rec, l.rec)
+			v = []*core.Record{gRec, p.rec, sib.rec, l.rec}
 		}
-		if proc.SCX(v, []*core.Record{p.rec, l.rec}, recField(gRec, gDir), s) {
-			return l.val, true
+		if c.SCX(v, []*core.Record{p.rec, l.rec}, recField(gRec, gDir), sib) {
+			return delResult[V]{val: l.val, ok: true}, template.Done
 		}
-	}
+		return delResult[V]{}, template.Retry
+	})
+	return res.val, res.ok
 }
 
 // Len returns the number of keys observed by one traversal (exact when

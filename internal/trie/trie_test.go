@@ -2,13 +2,11 @@ package trie_test
 
 import (
 	"math/rand"
+	"pragmaprim/internal/trie"
 	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
-
-	"pragmaprim/internal/core"
-	"pragmaprim/internal/trie"
 )
 
 func checkInv(t *testing.T, tr *trie.Trie[int]) {
@@ -20,11 +18,10 @@ func checkInv(t *testing.T, tr *trie.Trie[int]) {
 
 func TestEmptyTrie(t *testing.T) {
 	tr := trie.New[int]()
-	p := core.NewProcess()
-	if _, ok := tr.Get(p, 5); ok {
+	if _, ok := tr.Get(5); ok {
 		t.Error("Get on empty returned ok")
 	}
-	if _, ok := tr.Delete(p, 5); ok {
+	if _, ok := tr.Delete(5); ok {
 		t.Error("Delete on empty = true")
 	}
 	if got := tr.Len(); got != 0 {
@@ -35,11 +32,10 @@ func TestEmptyTrie(t *testing.T) {
 
 func TestPutGetSingle(t *testing.T) {
 	tr := trie.New[int]()
-	p := core.NewProcess()
-	if !tr.Put(p, 42, 420) {
+	if !tr.Put(42, 420) {
 		t.Fatal("Put of new key = false")
 	}
-	if v, ok := tr.Get(p, 42); !ok || v != 420 {
+	if v, ok := tr.Get(42); !ok || v != 420 {
 		t.Fatalf("Get = (%d,%v)", v, ok)
 	}
 	checkInv(t, tr)
@@ -47,12 +43,11 @@ func TestPutGetSingle(t *testing.T) {
 
 func TestPutReplace(t *testing.T) {
 	tr := trie.New[int]()
-	p := core.NewProcess()
-	tr.Put(p, 42, 1)
-	if tr.Put(p, 42, 2) {
+	tr.Put(42, 1)
+	if tr.Put(42, 2) {
 		t.Fatal("Put of existing key = true")
 	}
-	if v, _ := tr.Get(p, 42); v != 2 {
+	if v, _ := tr.Get(42); v != 2 {
 		t.Fatalf("Get = %d, want 2", v)
 	}
 	if tr.Len() != 1 {
@@ -63,10 +58,9 @@ func TestPutReplace(t *testing.T) {
 
 func TestPutManyKeysSorted(t *testing.T) {
 	tr := trie.New[int]()
-	p := core.NewProcess()
 	keys := []uint64{0, 1, 2, 3, 0xFF, 0xFF00, 1 << 40, 1<<63 + 5, 7, 6}
 	for _, k := range keys {
-		tr.Put(p, k, int(k%1000))
+		tr.Put(k, int(k%1000))
 	}
 	got := tr.Keys()
 	want := append([]uint64(nil), keys...)
@@ -84,12 +78,11 @@ func TestPutManyKeysSorted(t *testing.T) {
 
 func TestDeleteDownToEmpty(t *testing.T) {
 	tr := trie.New[int]()
-	p := core.NewProcess()
 	for _, k := range []uint64{5, 9, 12} {
-		tr.Put(p, k, int(k))
+		tr.Put(k, int(k))
 	}
 	for _, k := range []uint64{9, 5, 12} {
-		v, ok := tr.Delete(p, k)
+		v, ok := tr.Delete(k)
 		if !ok || v != int(k) {
 			t.Fatalf("Delete(%d) = (%d,%v)", k, v, ok)
 		}
@@ -99,8 +92,8 @@ func TestDeleteDownToEmpty(t *testing.T) {
 		t.Fatalf("Len = %d after draining", tr.Len())
 	}
 	// Still usable after emptying.
-	tr.Put(p, 77, 770)
-	if v, ok := tr.Get(p, 77); !ok || v != 770 {
+	tr.Put(77, 770)
+	if v, ok := tr.Get(77); !ok || v != 770 {
 		t.Fatalf("Get(77) = (%d,%v)", v, ok)
 	}
 	checkInv(t, tr)
@@ -108,13 +101,12 @@ func TestDeleteDownToEmpty(t *testing.T) {
 
 func TestDeleteAbsent(t *testing.T) {
 	tr := trie.New[int]()
-	p := core.NewProcess()
-	tr.Put(p, 8, 80)
-	if _, ok := tr.Delete(p, 9); ok {
+	tr.Put(8, 80)
+	if _, ok := tr.Delete(9); ok {
 		t.Fatal("Delete of absent key = true")
 	}
 	// Key sharing a long prefix with an existing key but absent.
-	if _, ok := tr.Delete(p, 8|1<<63); ok {
+	if _, ok := tr.Delete(8 | 1<<63); ok {
 		t.Fatal("Delete of absent high-bit sibling = true")
 	}
 	checkInv(t, tr)
@@ -123,19 +115,18 @@ func TestDeleteAbsent(t *testing.T) {
 func TestAdjacentKeys(t *testing.T) {
 	// Keys differing only in the lowest bit exercise bit index 63.
 	tr := trie.New[int]()
-	p := core.NewProcess()
-	tr.Put(p, 10, 1)
-	tr.Put(p, 11, 2)
-	if v, _ := tr.Get(p, 10); v != 1 {
+	tr.Put(10, 1)
+	tr.Put(11, 2)
+	if v, _ := tr.Get(10); v != 1 {
 		t.Fatalf("Get(10) = %d", v)
 	}
-	if v, _ := tr.Get(p, 11); v != 2 {
+	if v, _ := tr.Get(11); v != 2 {
 		t.Fatalf("Get(11) = %d", v)
 	}
-	if _, ok := tr.Delete(p, 10); !ok {
+	if _, ok := tr.Delete(10); !ok {
 		t.Fatal("Delete(10) failed")
 	}
-	if v, _ := tr.Get(p, 11); v != 2 {
+	if v, _ := tr.Get(11); v != 2 {
 		t.Fatalf("Get(11) after sibling delete = %d", v)
 	}
 	checkInv(t, tr)
@@ -143,13 +134,12 @@ func TestAdjacentKeys(t *testing.T) {
 
 func TestExtremeKeys(t *testing.T) {
 	tr := trie.New[int]()
-	p := core.NewProcess()
 	keys := []uint64{0, ^uint64(0), 1, 1 << 63}
 	for i, k := range keys {
-		tr.Put(p, k, i)
+		tr.Put(k, i)
 	}
 	for i, k := range keys {
-		if v, ok := tr.Get(p, k); !ok || v != i {
+		if v, ok := tr.Get(k); !ok || v != i {
 			t.Fatalf("Get(%#x) = (%d,%v), want (%d,true)", k, v, ok, i)
 		}
 	}
@@ -164,7 +154,6 @@ func TestQuickAgainstMapModel(t *testing.T) {
 	}
 	f := func(ops []op) bool {
 		tr := trie.New[int]()
-		p := core.NewProcess()
 		model := make(map[uint64]int)
 		for _, o := range ops {
 			key := uint64(o.Key % 32)
@@ -172,20 +161,20 @@ func TestQuickAgainstMapModel(t *testing.T) {
 			switch o.Kind % 3 {
 			case 0:
 				_, existed := model[key]
-				if tr.Put(p, key, val) != !existed {
+				if tr.Put(key, val) != !existed {
 					return false
 				}
 				model[key] = val
 			case 1:
 				want, existed := model[key]
-				got, ok := tr.Delete(p, key)
+				got, ok := tr.Delete(key)
 				if ok != existed || (existed && got != want) {
 					return false
 				}
 				delete(model, key)
 			default:
 				want, existed := model[key]
-				got, ok := tr.Get(p, key)
+				got, ok := tr.Get(key)
 				if ok != existed || (existed && got != want) {
 					return false
 				}
@@ -219,10 +208,9 @@ func TestConcurrentPutDisjoint(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			p := core.NewProcess()
 			for i := 0; i < perProc; i++ {
 				k := uint64(g*perProc + i)
-				if !tr.Put(p, k, int(k)) {
+				if !tr.Put(k, int(k)) {
 					t.Errorf("Put(%d) of fresh key = false", k)
 					return
 				}
@@ -230,9 +218,8 @@ func TestConcurrentPutDisjoint(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	p := core.NewProcess()
 	for k := 0; k < procs*perProc; k++ {
-		if v, ok := tr.Get(p, uint64(k)); !ok || v != k {
+		if v, ok := tr.Get(uint64(k)); !ok || v != k {
 			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
 		}
 	}
@@ -249,11 +236,10 @@ func TestConcurrentChurnDrainsToEmpty(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
-			p := core.NewProcess()
 			for i := 0; i < perProc; i++ {
 				k := uint64(g*1000 + rng.Intn(400))
-				tr.Put(p, k, int(k))
-				if _, ok := tr.Delete(p, k); !ok {
+				tr.Put(k, int(k))
+				if _, ok := tr.Delete(k); !ok {
 					t.Errorf("Delete(%d) = false though owned", k)
 					return
 				}
@@ -282,14 +268,13 @@ func TestConcurrentSharedKeysReconcile(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g + 31)))
-			p := core.NewProcess()
 			for i := 0; i < perProc; i++ {
 				k := uint64(rng.Intn(keyRange))
 				if rng.Intn(2) == 0 {
-					if tr.Put(p, k, g) {
+					if tr.Put(k, g) {
 						inserts[g][k]++
 					}
-				} else if _, ok := tr.Delete(p, k); ok {
+				} else if _, ok := tr.Delete(k); ok {
 					deletes[g][k]++
 				}
 			}

@@ -2,12 +2,10 @@ package trie_test
 
 import (
 	"math/rand"
+	"pragmaprim/internal/trie"
 	"sort"
 	"testing"
 	"testing/quick"
-
-	"pragmaprim/internal/core"
-	"pragmaprim/internal/trie"
 )
 
 // TestQuickWideKeys drives the trie with full-range 64-bit keys, exercising
@@ -15,10 +13,9 @@ import (
 func TestQuickWideKeys(t *testing.T) {
 	f := func(keys []uint64, deletions []uint8) bool {
 		tr := trie.New[int]()
-		p := core.NewProcess()
 		model := make(map[uint64]int)
 		for i, k := range keys {
-			tr.Put(p, k, i)
+			tr.Put(k, i)
 			model[k] = i
 		}
 		for _, d := range deletions {
@@ -26,7 +23,7 @@ func TestQuickWideKeys(t *testing.T) {
 				break
 			}
 			k := keys[int(d)%len(keys)]
-			_, gotOK := tr.Delete(p, k)
+			_, gotOK := tr.Delete(k)
 			_, wantOK := model[k]
 			if gotOK != wantOK {
 				return false
@@ -51,7 +48,7 @@ func TestQuickWideKeys(t *testing.T) {
 			}
 		}
 		for k, v := range model {
-			if gv, ok := tr.Get(p, k); !ok || gv != v {
+			if gv, ok := tr.Get(k); !ok || gv != v {
 				return false
 			}
 		}
@@ -66,7 +63,6 @@ func TestQuickWideKeys(t *testing.T) {
 // clusters sharing long prefixes.
 func TestClusteredHighBitKeys(t *testing.T) {
 	tr := trie.New[int]()
-	p := core.NewProcess()
 	rng := rand.New(rand.NewSource(17))
 	base := uint64(0xDEADBEEF) << 32
 	inserted := make(map[uint64]bool)
@@ -76,10 +72,10 @@ func TestClusteredHighBitKeys(t *testing.T) {
 			k |= 1 << 63 // and a cluster differing at the MSB
 		}
 		if rng.Intn(4) == 0 {
-			tr.Delete(p, k)
+			tr.Delete(k)
 			delete(inserted, k)
 		} else {
-			tr.Put(p, k, int(k&0xFFFF))
+			tr.Put(k, int(k&0xFFFF))
 			inserted[k] = true
 		}
 	}
@@ -90,7 +86,7 @@ func TestClusteredHighBitKeys(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", got, len(inserted))
 	}
 	for k := range inserted {
-		if _, ok := tr.Get(p, k); !ok {
+		if _, ok := tr.Get(k); !ok {
 			t.Fatalf("key %#x lost", k)
 		}
 	}
