@@ -26,19 +26,25 @@ endif
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order so inter-test state dependencies
+# cannot hide.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The step-semantics, helping and linearizability tests exercise real
-# concurrency; run the core, template and multiset packages under the race
+# concurrency; run the core, template and multiset packages plus the
+# container/shard layer (cross-shard counter aggregation) under the race
 # detector.
 race:
-	$(GO) test -race ./internal/core ./internal/template ./internal/multiset
+	$(GO) test -race ./internal/core ./internal/template ./internal/multiset \
+		./internal/container ./internal/shard
 
 # Compile and execute every benchmark once so benchmark code cannot rot
-# without failing CI; -benchtime=1x keeps it to seconds.
+# without failing CI (-benchtime=1x keeps it to seconds), and smoke the
+# sharded stress path end to end.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/stress -dur 1s -threads 4 -keys 128 -shards 4 -checks 2
 
 check: lint build test race benchsmoke
 

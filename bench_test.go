@@ -10,9 +10,6 @@ import (
 	"pragmaprim/internal/bst"
 	"pragmaprim/internal/core"
 	"pragmaprim/internal/harness"
-	"pragmaprim/internal/kcss"
-	"pragmaprim/internal/llsc"
-	"pragmaprim/internal/mwcas"
 	"pragmaprim/internal/queue"
 	"pragmaprim/internal/stack"
 	"pragmaprim/internal/trie"
@@ -136,55 +133,26 @@ func BenchmarkSharedSCX(b *testing.B) {
 // --- E4: SCX vs. k-CAS vs. KCSS ---------------------------------------------
 
 // BenchmarkKCASvsSCX compares an uncontended k-record SCX transaction against
-// an uncontended k-word MWCAS and a k-location KCSS over the same width.
+// an uncontended k-word MWCAS and a k-location KCSS over the same width
+// (bodies shared with cmd/bench -corejson via internal/benchcore).
 func BenchmarkKCASvsSCX(b *testing.B) {
 	for k := 2; k <= 5; k++ {
 		b.Run(fmt.Sprintf("SCX/k=%d", k), func(b *testing.B) {
 			benchcore.SCXCycle(b, k)
 		})
 		b.Run(fmt.Sprintf("MWCAS/k=%d", k), func(b *testing.B) {
-			cells := make([]*mwcas.Cell[int], k)
-			for j := range cells {
-				cells[j] = mwcas.NewCell(0)
-			}
-			old := make([]int, k)
-			newv := make([]int, k)
-			var st mwcas.Stats
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				for j := range cells {
-					old[j] = i
-					newv[j] = i + 1
-				}
-				if !mwcas.MWCAS(cells, old, newv, &st) {
-					b.Fatal("MWCAS failed")
-				}
-			}
-			b.ReportMetric(float64(st.CASAttempts.Load())/float64(b.N), "CAS/op")
+			benchcore.MWCASCycle(b, k)
 		})
 		b.Run(fmt.Sprintf("KCSS/k=%d", k), func(b *testing.B) {
-			h := kcss.NewHandle[int]()
-			locs := make([]*llsc.Loc[int], k)
-			for j := range locs {
-				locs[j] = llsc.NewLoc(0)
-			}
-			expected := make([]int, k)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				expected[0] = i
-				if !h.KCSS(locs, expected, i+1) {
-					b.Fatal("KCSS failed")
-				}
-			}
+			benchcore.KCSSCycle(b, k)
 		})
 	}
 }
 
 // --- E8: data-structure throughput -------------------------------------------
 
-// benchSession drives one harness session with a standard mixed workload.
+// benchSession drives one container session per worker with a standard
+// mixed workload.
 func benchSession(b *testing.B, f harness.Factory, cfg workload.Config) {
 	b.Helper()
 	inst := f.New()
@@ -192,11 +160,13 @@ func benchSession(b *testing.B, f harness.Factory, cfg workload.Config) {
 	for k := 0; k < cfg.KeyRange; k += 2 {
 		pre.Insert(k)
 	}
+	pre.Close()
 	var seed atomic.Int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		s := inst.NewSession()
+		defer s.Close()
 		id := seed.Add(1)
 		keys := cfg.NewKeyGen(id*2 + 1)
 		ops := cfg.NewOpGen(id*2 + 2)
@@ -241,6 +211,32 @@ func BenchmarkThroughputZipf(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkThroughputSharded is the E9 series in go-test form: the multiset
+// behind 1/2/4/8 hash shards under the zipf hot-key update mix.
+func BenchmarkThroughputSharded(b *testing.B) {
+	base := harness.LLXMultisetFactory()
+	for _, n := range []int{1, 2, 4, 8} {
+		f := base
+		if n > 1 {
+			f = harness.ShardedFactory(base, n)
+		}
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			benchSession(b, f, workload.Config{
+				KeyRange: 1 << 10, Dist: workload.Zipf, Mix: workload.UpdateHeavy,
+			})
+		})
+	}
+}
+
+// BenchmarkShardedMultisetOps times the single-threaded sharded multiset
+// operations next to BenchmarkMultisetOps — the per-op cost of the
+// container+shard layer (bodies shared with cmd/bench via benchcore).
+func BenchmarkShardedMultisetOps(b *testing.B) {
+	b.Run("Get", benchcore.ShardedMultisetGet)
+	b.Run("InsertExisting", benchcore.ShardedMultisetInsertExisting)
+	b.Run("InsertDeleteNew", benchcore.ShardedMultisetInsertDeleteNew)
 }
 
 // --- Single-threaded operation costs -----------------------------------------

@@ -55,6 +55,10 @@ func coreBenchmarks() []coreBench {
 		})
 	}
 	benches = append(benches,
+		coreBench{"kcss_k2", false, func(b *testing.B) { benchcore.KCSSCycle(b, 2) }},
+		coreBench{"mwcas_k2", false, func(b *testing.B) { benchcore.MWCASCycle(b, 2) }},
+	)
+	benches = append(benches,
 		coreBench{"template_scx_cycle", false, benchcore.TemplateSCXCycle},
 		coreBench{"handle_roundtrip", false, benchcore.HandleRoundtrip},
 	)
@@ -62,6 +66,11 @@ func coreBenchmarks() []coreBench {
 		coreBench{"multiset_get", false, benchcore.MultisetGet},
 		coreBench{"multiset_insert_existing", false, benchcore.MultisetInsertExisting},
 		coreBench{"multiset_insert_delete_new", false, benchcore.MultisetInsertDeleteNew},
+	)
+	benches = append(benches,
+		coreBench{"sharded_multiset_get", false, benchcore.ShardedMultisetGet},
+		coreBench{"sharded_multiset_insert_existing", false, benchcore.ShardedMultisetInsertExisting},
+		coreBench{"sharded_multiset_insert_delete_new", false, benchcore.ShardedMultisetInsertDeleteNew},
 	)
 	return benches
 }
@@ -74,12 +83,12 @@ func runCoreBench(path string) error {
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	fmt.Printf("%-28s %12s %12s %10s\n", "benchmark", "ns/op", "allocs/op", "B/op")
+	fmt.Printf("%-36s %12s %12s %10s\n", "benchmark", "ns/op", "allocs/op", "B/op")
 	for _, cb := range coreBenchmarks() {
 		if cb.parallel && dump.GOMAXPROCS == 1 {
 			// A "parallel" row measured serially would be misleading in the
 			// checked-in trajectory; leave it out rather than mislabel it.
-			fmt.Printf("%-28s skipped: GOMAXPROCS=1 makes a parallel benchmark serial\n", cb.name)
+			fmt.Printf("%-36s skipped: GOMAXPROCS=1 makes a parallel benchmark serial\n", cb.name)
 			continue
 		}
 		r := testing.Benchmark(cb.fn)
@@ -94,7 +103,7 @@ func runCoreBench(path string) error {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
 		dump.Results = append(dump.Results, res)
-		fmt.Printf("%-28s %12.1f %12d %10d\n",
+		fmt.Printf("%-36s %12.1f %12d %10d\n",
 			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
 	}
 	out, err := json.MarshalIndent(dump, "", "  ")

@@ -1,10 +1,11 @@
 // Command bench regenerates the experiment tables: the paper-claim versus
-// measured rows for experiments E1-E8, and the core fast-path
-// microbenchmark dump (BENCH_core.json; see DESIGN.md).
+// measured rows for experiments E1-E8, the shard-scaling experiments E9-E10,
+// and the core fast-path microbenchmark dump (BENCH_core.json; see
+// DESIGN.md).
 //
 // Usage:
 //
-//	bench [-exp e1,e2,...|all] [-threads 1,2,4,8] [-dur 500ms] [-rounds 50]
+//	bench [-exp e1,e2,...|all] [-threads 1,2,4,8] [-shards 1,2,4,8] [-dur 500ms] [-rounds 50]
 //	bench -corejson BENCH_core.json
 package main
 
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"pragmaprim/internal/harness"
+	"pragmaprim/internal/shard"
 	"pragmaprim/internal/stats"
 )
 
@@ -26,9 +28,10 @@ func main() {
 
 func run() int {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments to run (e1..e8, or all)")
+		exps     = flag.String("exp", "all", "comma-separated experiments to run (e1..e10, or all)")
 		threads  = flag.String("threads", "1,2,4,8", "thread counts for the E8 sweep")
-		dur      = flag.Duration("dur", 300*time.Millisecond, "measurement duration per E8 cell")
+		shards   = flag.String("shards", "1,2,4,8", "shard counts for the E9/E10 sweeps (non-powers of two round up)")
+		dur      = flag.Duration("dur", 300*time.Millisecond, "measurement duration per E8-E10 cell")
 		rounds   = flag.Int("rounds", 50, "history rounds for E7")
 		corejson = flag.String("corejson", "", "run the core fast-path microbenchmarks and write JSON results to this path (e.g. BENCH_core.json), then exit")
 	)
@@ -47,18 +50,45 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "bench: invalid -threads: %v\n", err)
 		return 2
 	}
+	shs, err := parseInts(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: invalid -shards: %v\n", err)
+		return 2
+	}
+	// Round shard counts up to powers of two and drop the duplicates the
+	// rounding can create, so E9/E10 never measure one configuration twice.
+	seen := map[int]bool{}
+	rounded := shs[:0]
+	for _, n := range shs {
+		n = shard.NextPow2(n)
+		if !seen[n] {
+			seen[n] = true
+			rounded = append(rounded, n)
+		}
+	}
+	shs = rounded
+	// E9/E10 contend workers against each other; use the widest E8 thread
+	// count so sharding has contention to relieve.
+	shardThreads := ths[0]
+	for _, n := range ths {
+		if n > shardThreads {
+			shardThreads = n
+		}
+	}
 
 	runners := map[string]func() *stats.Table{
-		"e1": harness.E1StepCount,
-		"e2": harness.E2VLXReads,
-		"e3": harness.E3Disjoint,
-		"e4": harness.E4KCASComparison,
-		"e5": harness.E5Progress,
-		"e6": harness.E6Transitions,
-		"e7": func() *stats.Table { return harness.E7Linearizability(*rounds) },
-		"e8": func() *stats.Table { return harness.E8Throughput(ths, *dur) },
+		"e1":  harness.E1StepCount,
+		"e2":  harness.E2VLXReads,
+		"e3":  harness.E3Disjoint,
+		"e4":  harness.E4KCASComparison,
+		"e5":  harness.E5Progress,
+		"e6":  harness.E6Transitions,
+		"e7":  func() *stats.Table { return harness.E7Linearizability(*rounds) },
+		"e8":  func() *stats.Table { return harness.E8Throughput(ths, *dur) },
+		"e9":  func() *stats.Table { return harness.E9ShardScaling(shs, shardThreads, *dur) },
+		"e10": func() *stats.Table { return harness.E10HotKeyContention(shs, shardThreads, *dur) },
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
 
 	selected := order
 	if *exps != "all" {
@@ -68,7 +98,7 @@ func run() int {
 		name = strings.TrimSpace(strings.ToLower(name))
 		runner, ok := runners[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q (want e1..e8 or all)\n", name)
+			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q (want e1..e10 or all)\n", name)
 			return 2
 		}
 		if _, err := runner().WriteTo(os.Stdout); err != nil {

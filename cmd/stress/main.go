@@ -6,9 +6,15 @@
 // Attach API, and the final report includes the template engine's
 // contention counters.
 //
+// With -shards > 1 the multiset runs behind the internal/shard
+// hash-partitioned container wrapper: the workload routes through the
+// sharded session, checkpoints verify per-key conservation against the
+// union of all shards plus every shard's structural invariants, and the
+// final report adds a per-shard contention table.
+//
 // Usage:
 //
-//	stress [-dur 10s] [-threads 8] [-keys 256] [-struct multiset|bst] [-checks 10]
+//	stress [-dur 10s] [-threads 8] [-keys 256] [-struct multiset|bst] [-shards 1] [-checks 10]
 package main
 
 import (
@@ -22,8 +28,10 @@ import (
 	"time"
 
 	"pragmaprim/internal/bst"
+	"pragmaprim/internal/container"
 	"pragmaprim/internal/core"
 	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/shard"
 	"pragmaprim/internal/stats"
 	"pragmaprim/internal/template"
 )
@@ -38,15 +46,29 @@ func run() int {
 		threads  = flag.Int("threads", 8, "worker goroutines")
 		keys     = flag.Int("keys", 256, "key range")
 		structur = flag.String("struct", "multiset", "structure to stress: multiset or bst")
+		shards   = flag.Int("shards", 1, "hash-partition the multiset across this many shards (rounds up to a power of two)")
 		checks   = flag.Int("checks", 10, "number of invariant checkpoints")
 	)
 	flag.Parse()
 
+	if *threads < 1 || *keys < 1 || *checks < 1 {
+		fmt.Fprintln(os.Stderr, "stress: -threads, -keys and -checks must be >= 1")
+		return 2
+	}
+
 	var stressFn func(dur time.Duration, threads, keys, checks int) error
-	switch *structur {
-	case "multiset":
+	switch {
+	case *structur == "multiset" && *shards > 1:
+		n := shard.NextPow2(*shards)
+		stressFn = func(dur time.Duration, threads, keys, checks int) error {
+			return stressShardedMultiset(dur, threads, keys, checks, n)
+		}
+	case *structur == "multiset":
 		stressFn = stressMultiset
-	case "bst":
+	case *structur == "bst" && *shards > 1:
+		fmt.Fprintln(os.Stderr, "stress: -shards supports -struct multiset only")
+		return 2
+	case *structur == "bst":
 		stressFn = stressBST
 	default:
 		fmt.Fprintf(os.Stderr, "stress: unknown -struct %q\n", *structur)
@@ -58,6 +80,91 @@ func run() int {
 	}
 	fmt.Println("stress: OK")
 	return 0
+}
+
+// stressShardedMultiset churns a hash-partitioned multiset through the
+// container/shard layer. Each checkpoint quiesces the workload, checks every
+// shard's structural invariants, and verifies per-key conservation against
+// the union of the shards' contents — which also proves the router sent
+// every key to exactly one shard (a double-routed key would double-count).
+func stressShardedMultiset(dur time.Duration, threads, keys, checks, shardCount int) error {
+	sets := make([]*multiset.Multiset[int], shardCount)
+	sh := shard.New(shardCount, func(i int) container.Container {
+		sets[i] = multiset.New[int]()
+		return container.Multiset(sets[i])
+	})
+
+	nets := make([][]atomic.Int64, threads)
+	for w := range nets {
+		nets[w] = make([]atomic.Int64, keys)
+	}
+	var ops atomic.Int64
+
+	interval := dur / time.Duration(checks)
+	fmt.Printf("stress: multiset/%dsh, %d threads, %d keys, %d checkpoints every %v\n",
+		shardCount, threads, keys, checks, interval)
+	for c := 0; c < checks; c++ {
+		stopPhase := phase(threads, func(w int, stop *atomic.Bool) {
+			rng := rand.New(rand.NewSource(int64(c*threads + w)))
+			s := sh.NewSession()
+			defer s.Close()
+			for !stop.Load() {
+				key := rng.Intn(keys)
+				switch rng.Intn(3) {
+				case 0:
+					if s.Insert(key) {
+						nets[w][key].Add(1)
+					}
+				case 1:
+					if s.Delete(key) {
+						nets[w][key].Add(-1)
+					}
+				default:
+					s.Get(key)
+				}
+				ops.Add(1)
+			}
+		})
+		time.Sleep(interval)
+		stopPhase()
+
+		// Quiescent checkpoint over the union of the shards.
+		items := make(map[int]int)
+		for i, m := range sets {
+			if err := m.CheckInvariants(); err != nil {
+				return fmt.Errorf("checkpoint %d: shard %d: %w", c, i, err)
+			}
+			for k, n := range m.Items() {
+				items[k] += n
+			}
+		}
+		for k := 0; k < keys; k++ {
+			var want int64
+			for w := 0; w < threads; w++ {
+				want += nets[w][k].Load()
+			}
+			if got := int64(items[k]); got != want {
+				return fmt.Errorf("checkpoint %d: key %d count %d, want %d", c, k, got, want)
+			}
+		}
+		fmt.Printf("  checkpoint %d ok: %d ops so far, %d keys live over %d shards\n",
+			c+1, ops.Load(), len(items), shardCount)
+	}
+	printEngineReport(sh.EngineStats(), sh.StatsByOp())
+	printShardReport(sh)
+	return nil
+}
+
+// printShardReport renders the per-shard contention and occupancy table.
+func printShardReport(sh *shard.Sharded) {
+	tb := stats.NewTable("contention by shard",
+		"shard", "size", "ops", "attempts", "retries/op", "llx-fail%", "scx-fail%")
+	sh.ForEachShard(func(i int, c container.Container) {
+		cnt := c.EngineStats()
+		tb.AddRow(append([]any{i, c.Size()},
+			stats.ContentionRow(cnt.Ops, cnt.Attempts, cnt.LLXFails, cnt.SCXFails)...)...)
+	})
+	tb.WriteTo(os.Stdout)
 }
 
 // phase runs workers until stop flips, then joins them.

@@ -15,7 +15,11 @@
 // every structure's retry loop runs on, and the five data structures are
 // thin attempt bodies over that engine. Public structure APIs take no
 // Process: plain calls acquire a pooled Handle per operation, hot paths
-// bind one once via each structure's Attach/Session API.
+// bind one once via each structure's Attach/Session API. Above the
+// structures, internal/container gives all of them (plus the lock
+// baselines) one typed result-returning interface, and internal/shard
+// hash-partitions any container across independent instances — the scale
+// lever the shard-scaling experiments (E9/E10) measure.
 //
 // The implementation lives under internal/:
 //
@@ -32,11 +36,15 @@
 //	internal/kcss            k-compare-single-swap baseline
 //	internal/mwcas           descriptor-based k-CAS baseline
 //	internal/lockds          lock-based multiset baselines
+//	internal/container       the typed Container/Session interface every
+//	                         structure is driven through (ops return results)
+//	internal/shard           hash-partitioned Sharded wrapper over any
+//	                         container: Fibonacci routing, per-shard counters
 //	internal/linearizability Wing-Gong checker used by the tests
 //	internal/history         concurrent history recorder
 //	internal/workload        key distributions and operation mixes
 //	internal/stats           summary statistics and table rendering
-//	internal/harness         experiments E1-E8
+//	internal/harness         experiments E1-E10
 //	internal/benchcore       shared bodies of the core microbenchmarks
 //
 // The benchmarks in bench_test.go regenerate the experiment series from Go

@@ -10,8 +10,13 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"pragmaprim/internal/container"
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/kcss"
+	"pragmaprim/internal/llsc"
 	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/mwcas"
+	"pragmaprim/internal/shard"
 	"pragmaprim/internal/template"
 )
 
@@ -145,6 +150,49 @@ func HandleRoundtrip(b *testing.B) {
 	}
 }
 
+// MWCASCycle times an uncontended k-word multi-word CAS, the paper's
+// Section 2 descriptor-based baseline (2k+1 CAS steps where SCX needs k+1).
+func MWCASCycle(b *testing.B, k int) {
+	cells := make([]*mwcas.Cell[int], k)
+	for j := range cells {
+		cells[j] = mwcas.NewCell(0)
+	}
+	old := make([]int, k)
+	newv := make([]int, k)
+	var st mwcas.Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range cells {
+			old[j] = i
+			newv[j] = i + 1
+		}
+		if !mwcas.MWCAS(cells, old, newv, &st) {
+			b.Fatal("MWCAS failed")
+		}
+	}
+	b.ReportMetric(float64(st.CASAttempts.Load())/float64(b.N), "CAS/op")
+}
+
+// KCSSCycle times an uncontended k-location k-compare-single-swap, the
+// LL/SC-based baseline the paper positions SCX against.
+func KCSSCycle(b *testing.B, k int) {
+	h := kcss.NewHandle[int]()
+	locs := make([]*llsc.Loc[int], k)
+	for j := range locs {
+		locs[j] = llsc.NewLoc(0)
+	}
+	expected := make([]int, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expected[0] = i
+		if !h.KCSS(locs, expected, i+1) {
+			b.Fatal("KCSS failed")
+		}
+	}
+}
+
 // MultisetKeys is the prefill size of the multiset operation benchmarks.
 const MultisetKeys = 1 << 10
 
@@ -193,5 +241,66 @@ func MultisetInsertDeleteNew(b *testing.B) {
 		k := MultisetKeys + rng.Intn(MultisetKeys)
 		s.Insert(k, 1)
 		s.Delete(k, 1)
+	}
+}
+
+// ShardedShards is the shard count of the sharded-multiset benchmarks: wide
+// enough to exercise real routing, narrow enough that each shard still
+// holds a realistic share of MultisetKeys.
+const ShardedShards = 4
+
+// NewFilledShardedMultiset returns a ShardedShards-way sharded multiset
+// prefilled with MultisetKeys keys and a routing session over it. The rows
+// it backs measure the container+shard layer's overhead against the
+// unsharded multiset_* rows: the same operations plus one hash, one index
+// and two interface calls.
+func NewFilledShardedMultiset() (*shard.Sharded, container.Session) {
+	sh := shard.New(ShardedShards, func(int) container.Container {
+		return container.Multiset(multiset.New[int]())
+	})
+	s := sh.NewSession()
+	for k := 0; k < MultisetKeys; k++ {
+		s.Insert(k)
+	}
+	return sh, s
+}
+
+// ShardedMultisetGet times Get through the sharded container session.
+func ShardedMultisetGet(b *testing.B) {
+	_, s := NewFilledShardedMultiset()
+	b.Cleanup(s.Close) // return the per-shard pooled Handles
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(rng.Intn(MultisetKeys))
+	}
+}
+
+// ShardedMultisetInsertExisting times the count-bump insert through the
+// sharded container session.
+func ShardedMultisetInsertExisting(b *testing.B) {
+	_, s := NewFilledShardedMultiset()
+	b.Cleanup(s.Close)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(rng.Intn(MultisetKeys))
+	}
+}
+
+// ShardedMultisetInsertDeleteNew times the fresh-key insert/delete pair
+// through the sharded container session.
+func ShardedMultisetInsertDeleteNew(b *testing.B) {
+	_, s := NewFilledShardedMultiset()
+	b.Cleanup(s.Close)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := MultisetKeys + rng.Intn(MultisetKeys)
+		s.Insert(k)
+		s.Delete(k)
 	}
 }

@@ -1,0 +1,173 @@
+package container
+
+import (
+	"pragmaprim/internal/bst"
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/lockds"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/queue"
+	"pragmaprim/internal/stack"
+	"pragmaprim/internal/template"
+	"pragmaprim/internal/trie"
+)
+
+// Every adapter wraps an existing structure instance rather than building
+// its own, so callers (cmd/stress, the shard demos) can keep the concrete
+// handle for structure-specific inspection — Items, CheckInvariants — while
+// driving the structure through the uniform interface.
+
+// noStats is the EngineStats of structures outside the template engine.
+func noStats() template.Counters { return template.Counters{} }
+
+// --- LLX/SCX multiset -------------------------------------------------------
+
+// Multiset adapts the paper's Section 5 multiset: Insert adds one
+// occurrence, Delete removes one, Size is the total occurrence count.
+func Multiset(m *multiset.Multiset[int]) Container { return msContainer{m} }
+
+type msContainer struct{ m *multiset.Multiset[int] }
+
+func (c msContainer) NewSession() Session {
+	return &msSession{s: c.m.Attach(core.AcquireHandle())}
+}
+func (c msContainer) EngineStats() template.Counters          { return c.m.EngineStats() }
+func (c msContainer) StatsByOp() map[string]template.Counters { return c.m.StatsByOp() }
+func (c msContainer) Size() int                               { return c.m.TotalCount() }
+
+type msSession struct{ s multiset.Session[int] }
+
+func (s *msSession) Get(key int) bool    { return s.s.Get(key) > 0 }
+func (s *msSession) Insert(key int) bool { s.s.Insert(key, 1); return true }
+func (s *msSession) Delete(key int) bool { return s.s.Delete(key, 1) }
+func (s *msSession) Close()              { s.s.Handle().Release() }
+
+// --- LLX/SCX external BST ---------------------------------------------------
+
+// BST adapts the external BST with map semantics: Insert maps key to itself
+// and applies only when the key was absent, Size is the number of keys.
+func BST(t *bst.Tree[int, int]) Container { return bstContainer{t} }
+
+type bstContainer struct{ t *bst.Tree[int, int] }
+
+func (c bstContainer) NewSession() Session {
+	return &bstSession{s: c.t.Attach(core.AcquireHandle())}
+}
+func (c bstContainer) EngineStats() template.Counters          { return c.t.EngineStats() }
+func (c bstContainer) StatsByOp() map[string]template.Counters { return c.t.StatsByOp() }
+func (c bstContainer) Size() int                               { return c.t.Len() }
+
+type bstSession struct{ s bst.Session[int, int] }
+
+func (s *bstSession) Get(key int) bool    { return s.s.Contains(key) }
+func (s *bstSession) Insert(key int) bool { return s.s.Put(key, key) }
+func (s *bstSession) Delete(key int) bool { _, ok := s.s.Delete(key); return ok }
+func (s *bstSession) Close()              { s.s.Handle().Release() }
+
+// --- LLX/SCX Patricia trie --------------------------------------------------
+
+// Trie adapts the Patricia trie with map semantics over the non-negative
+// int keys the workloads generate.
+func Trie(t *trie.Trie[int]) Container { return trieContainer{t} }
+
+type trieContainer struct{ t *trie.Trie[int] }
+
+func (c trieContainer) NewSession() Session {
+	return &trieSession{s: c.t.Attach(core.AcquireHandle())}
+}
+func (c trieContainer) EngineStats() template.Counters          { return c.t.EngineStats() }
+func (c trieContainer) StatsByOp() map[string]template.Counters { return c.t.StatsByOp() }
+func (c trieContainer) Size() int                               { return c.t.Len() }
+
+type trieSession struct{ s trie.Session[int] }
+
+func (s *trieSession) Get(key int) bool    { return s.s.Contains(uint64(key)) }
+func (s *trieSession) Insert(key int) bool { return s.s.Put(uint64(key), key) }
+func (s *trieSession) Delete(key int) bool { _, ok := s.s.Delete(uint64(key)); return ok }
+func (s *trieSession) Close()              { s.s.Handle().Release() }
+
+// --- LLX/SCX queue (produce/consume) ----------------------------------------
+
+// Queue adapts the FIFO queue as a produce/consume container: Insert
+// enqueues key, Delete dequeues the oldest element (the key argument only
+// routes, e.g. to a shard), Get peeks at the head.
+func Queue(q *queue.Queue[int]) Container { return queueContainer{q} }
+
+type queueContainer struct{ q *queue.Queue[int] }
+
+func (c queueContainer) NewSession() Session {
+	return &queueSession{q: c.q, s: c.q.Attach(core.AcquireHandle())}
+}
+func (c queueContainer) EngineStats() template.Counters          { return c.q.EngineStats() }
+func (c queueContainer) StatsByOp() map[string]template.Counters { return c.q.StatsByOp() }
+func (c queueContainer) Size() int                               { return c.q.Len() }
+
+type queueSession struct {
+	q *queue.Queue[int]
+	s queue.Session[int]
+}
+
+func (s *queueSession) Get(int) bool        { _, ok := s.q.Peek(); return ok }
+func (s *queueSession) Insert(key int) bool { s.s.Enqueue(key); return true }
+func (s *queueSession) Delete(int) bool     { _, ok := s.s.Dequeue(); return ok }
+func (s *queueSession) Close()              { s.s.Handle().Release() }
+
+// --- LLX/SCX stack (produce/consume) ----------------------------------------
+
+// Stack adapts the LIFO stack as a produce/consume container: Insert pushes
+// key, Delete pops the top element, Get peeks at it.
+func Stack(st *stack.Stack[int]) Container { return stackContainer{st} }
+
+type stackContainer struct{ st *stack.Stack[int] }
+
+func (c stackContainer) NewSession() Session {
+	return &stackSession{st: c.st, s: c.st.Attach(core.AcquireHandle())}
+}
+func (c stackContainer) EngineStats() template.Counters          { return c.st.EngineStats() }
+func (c stackContainer) StatsByOp() map[string]template.Counters { return c.st.StatsByOp() }
+func (c stackContainer) Size() int                               { return c.st.Len() }
+
+type stackSession struct {
+	st *stack.Stack[int]
+	s  stack.Session[int]
+}
+
+func (s *stackSession) Get(int) bool        { _, ok := s.st.Peek(); return ok }
+func (s *stackSession) Insert(key int) bool { s.s.Push(key); return true }
+func (s *stackSession) Delete(int) bool     { _, ok := s.s.Pop(); return ok }
+func (s *stackSession) Close()              { s.s.Handle().Release() }
+
+// --- lock baselines ---------------------------------------------------------
+
+// CoarseLock adapts the single-mutex multiset baseline.
+func CoarseLock(m *lockds.CoarseMultiset) Container { return coarseContainer{m} }
+
+type coarseContainer struct{ m *lockds.CoarseMultiset }
+
+func (c coarseContainer) NewSession() Session                     { return coarseSession{c.m} }
+func (c coarseContainer) EngineStats() template.Counters          { return noStats() }
+func (c coarseContainer) StatsByOp() map[string]template.Counters { return nil }
+func (c coarseContainer) Size() int                               { return c.m.TotalCount() }
+
+type coarseSession struct{ m *lockds.CoarseMultiset }
+
+func (s coarseSession) Get(key int) bool    { return s.m.Get(key) > 0 }
+func (s coarseSession) Insert(key int) bool { s.m.Insert(key, 1); return true }
+func (s coarseSession) Delete(key int) bool { return s.m.Delete(key, 1) }
+func (s coarseSession) Close()              {}
+
+// FineLock adapts the hand-over-hand lock-coupling multiset baseline.
+func FineLock(m *lockds.FineMultiset) Container { return fineContainer{m} }
+
+type fineContainer struct{ m *lockds.FineMultiset }
+
+func (c fineContainer) NewSession() Session                     { return fineSession{c.m} }
+func (c fineContainer) EngineStats() template.Counters          { return noStats() }
+func (c fineContainer) StatsByOp() map[string]template.Counters { return nil }
+func (c fineContainer) Size() int                               { return c.m.TotalCount() }
+
+type fineSession struct{ m *lockds.FineMultiset }
+
+func (s fineSession) Get(key int) bool    { return s.m.Get(key) > 0 }
+func (s fineSession) Insert(key int) bool { s.m.Insert(key, 1); return true }
+func (s fineSession) Delete(key int) bool { return s.m.Delete(key, 1) }
+func (s fineSession) Close()              {}

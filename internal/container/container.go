@@ -1,0 +1,73 @@
+// Package container defines the typed interface every structure in this
+// repository is driven through by the layers above it — the experiment
+// harness, the shard wrapper (internal/shard), the stress binary, and the
+// benchmarks. It replaces the harness's former duck-typed session layer,
+// whose operations discarded their results, with a contract that returns
+// them: every operation reports what it observed or applied, which is what
+// lets throughput runs cross-check conservation invariants and lets the
+// sharding layer stay agnostic of the structure it partitions.
+//
+// The key type is int throughout: the workload generators (internal/
+// workload) speak int keys, and every structure here either stores ints
+// directly or embeds them losslessly (the trie widens to uint64).
+//
+// Two usage levels mirror the structures' own APIs:
+//
+//   - Container is the shared instance: safe for concurrent use, the unit a
+//     factory builds and the shard wrapper partitions.
+//   - Session is one worker's exclusive view: for the LLX/SCX structures it
+//     binds a pooled core.Handle, so a goroutine that performs many
+//     operations pays the Handle acquisition once. Close releases it.
+//
+// Adapters for all seven structures live in adapters.go. Keyed structures
+// (multiset, BST, trie, the two lock lists) map Get/Insert/Delete onto
+// lookup/add/remove of the key; the queue and stack adapt as
+// produce/consume containers — Insert produces the key, Delete consumes
+// whatever is at the structure's removal end, and Get peeks at it — so the
+// throughput experiments can drive all five LLX/SCX structures with one
+// workload shape.
+package container
+
+import "pragmaprim/internal/template"
+
+// Session is one worker's view onto a shared Container. A Session is not
+// safe for concurrent use; the Container behind it is. Every operation
+// returns what happened, so callers can account for applied effects.
+type Session interface {
+	// Get looks key up (keyed adapters) or peeks at the removal end
+	// (produce/consume adapters); it reports whether an element was found.
+	Get(key int) bool
+	// Insert adds key — one occurrence, a mapping, or a produced element —
+	// and reports whether the container grew. Multiset and produce/consume
+	// inserts always apply; map inserts report false when they replaced an
+	// existing mapping in place.
+	Insert(key int) bool
+	// Delete removes key (keyed) or consumes one element (produce/consume)
+	// and reports whether the container shrank.
+	Delete(key int) bool
+	// Close releases per-session resources (the pooled Handle of an
+	// LLX/SCX session). The Session must not be used afterwards.
+	Close()
+}
+
+// Container is one shared structure under test. All methods are safe for
+// concurrent use.
+type Container interface {
+	// NewSession creates one worker's session onto the structure.
+	NewSession() Session
+	// EngineStats reports the aggregate template-engine attempt/failure
+	// counters; zero-valued for structures that do not run on the engine
+	// (the lock baselines).
+	EngineStats() template.Counters
+	// StatsByOp breaks the engine counters out per operation; nil or empty
+	// for structures outside the engine.
+	StatsByOp() map[string]template.Counters
+	// Size returns the container's cardinality under the adapter's
+	// accounting: total occurrence count for multisets, distinct keys for
+	// maps, element count for the queue and stack. It is exact on a
+	// quiescent container and weakly consistent under concurrency, and it
+	// is conserved by construction: Size changes by +1 for every applied
+	// Insert and -1 for every applied Delete — the invariant the harness
+	// cross-checks after every throughput run.
+	Size() int
+}

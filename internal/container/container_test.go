@@ -1,0 +1,173 @@
+package container_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pragmaprim/internal/bst"
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/lockds"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/queue"
+	"pragmaprim/internal/stack"
+	"pragmaprim/internal/template"
+	"pragmaprim/internal/trie"
+)
+
+// fixture builds one fresh container of each adapted structure.
+type fixture struct {
+	name string
+	// keyed reports whether Get/Delete address the inserted key (maps,
+	// multisets) rather than the removal end (queue, stack).
+	keyed bool
+	// multi reports whether repeated Inserts of one key all apply.
+	multi bool
+	build func() container.Container
+}
+
+func fixtures() []fixture {
+	return []fixture{
+		{"multiset", true, true, func() container.Container { return container.Multiset(multiset.New[int]()) }},
+		{"bst", true, false, func() container.Container { return container.BST(bst.New[int, int]()) }},
+		{"trie", true, false, func() container.Container { return container.Trie(trie.New[int]()) }},
+		{"queue", false, true, func() container.Container { return container.Queue(queue.New[int]()) }},
+		{"stack", false, true, func() container.Container { return container.Stack(stack.New[int]()) }},
+		{"coarse-lock", true, true, func() container.Container { return container.CoarseLock(lockds.NewCoarse()) }},
+		{"fine-lock", true, true, func() container.Container { return container.FineLock(lockds.NewFine()) }},
+	}
+}
+
+// TestResultSemantics pins the shared op-result contract: a first Insert
+// applies, Get then finds the element, a Delete applies, and once the
+// container is empty again both Delete and Get report false.
+func TestResultSemantics(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			c := fx.build()
+			s := c.NewSession()
+			defer s.Close()
+
+			if s.Get(5) {
+				t.Error("Get on empty container = true")
+			}
+			if s.Delete(5) {
+				t.Error("Delete on empty container = true")
+			}
+			if !s.Insert(5) {
+				t.Error("first Insert = false")
+			}
+			if !s.Get(5) {
+				t.Error("Get after Insert = false")
+			}
+			if got := c.Size(); got != 1 {
+				t.Errorf("Size after one Insert = %d, want 1", got)
+			}
+			if got, want := s.Insert(5), fx.multi; got != want {
+				t.Errorf("second Insert of same key = %v, want %v", got, want)
+			}
+			for c.Size() > 0 {
+				if !s.Delete(5) {
+					t.Fatal("Delete = false while Size > 0")
+				}
+			}
+			if s.Delete(5) || s.Get(5) {
+				t.Error("Delete/Get on emptied container = true")
+			}
+		})
+	}
+}
+
+// TestQueueStackOrdering pins the produce/consume adapters to their
+// structures' removal order: the adapter must not reorder or invent
+// elements, it only widens the interface.
+func TestQueueStackOrdering(t *testing.T) {
+	q := queue.New[int]()
+	s := container.Queue(q).NewSession()
+	defer s.Close()
+	s.Insert(1)
+	s.Insert(2)
+	if v, _ := q.Peek(); v != 1 {
+		t.Errorf("queue Peek = %d, want 1 (FIFO head)", v)
+	}
+	s.Delete(0)
+	if v, _ := q.Peek(); v != 2 {
+		t.Errorf("queue Peek after Delete = %d, want 2", v)
+	}
+
+	st := stack.New[int]()
+	ss := container.Stack(st).NewSession()
+	defer ss.Close()
+	ss.Insert(1)
+	ss.Insert(2)
+	if v, _ := st.Peek(); v != 2 {
+		t.Errorf("stack Peek = %d, want 2 (LIFO top)", v)
+	}
+	ss.Delete(0)
+	if v, _ := st.Peek(); v != 1 {
+		t.Errorf("stack Peek after Delete = %d, want 1", v)
+	}
+}
+
+// TestSizeConservation drives every adapter with a random single-threaded
+// op sequence and checks the invariant the harness relies on: Size equals
+// applied inserts minus applied deletes.
+func TestSizeConservation(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			c := fx.build()
+			s := c.NewSession()
+			defer s.Close()
+			rng := rand.New(rand.NewSource(42))
+			net := 0
+			for i := 0; i < 2000; i++ {
+				key := rng.Intn(64)
+				switch rng.Intn(3) {
+				case 0:
+					if s.Insert(key) {
+						net++
+					}
+				case 1:
+					if s.Delete(key) {
+						net--
+					}
+				default:
+					s.Get(key)
+				}
+			}
+			if got := c.Size(); got != net {
+				t.Errorf("Size = %d, want applied net %d", got, net)
+			}
+		})
+	}
+}
+
+// TestEngineStatsWiring checks the LLX/SCX adapters surface their engine
+// counters (and the lock baselines stay at zero).
+func TestEngineStatsWiring(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			c := fx.build()
+			s := c.NewSession()
+			defer s.Close()
+			for k := 0; k < 10; k++ {
+				s.Insert(k)
+				s.Delete(k)
+			}
+			got := c.EngineStats()
+			engined := fx.name != "coarse-lock" && fx.name != "fine-lock"
+			if engined {
+				if got.Ops < 20 {
+					t.Errorf("EngineStats.Ops = %d, want >= 20", got.Ops)
+				}
+				if got.Attempts < got.Ops {
+					t.Errorf("Attempts %d < Ops %d", got.Attempts, got.Ops)
+				}
+				if len(c.StatsByOp()) == 0 {
+					t.Error("StatsByOp empty for an engine-backed structure")
+				}
+			} else if got != (template.Counters{}) {
+				t.Errorf("lock baseline EngineStats = %+v, want zero", got)
+			}
+		})
+	}
+}

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pragmaprim/internal/container"
 	"pragmaprim/internal/template"
 	"pragmaprim/internal/workload"
 )
@@ -21,6 +23,17 @@ type Result struct {
 	// Engine is the template engine's attempt/failure counters over the
 	// measured window (prefill excluded); zero for the lock baselines.
 	Engine template.Counters
+	// AppliedInserts and AppliedDeletes count the operations whose result
+	// reported an applied effect, the inputs to the conservation check.
+	AppliedInserts int64
+	AppliedDeletes int64
+	// BaseSize and FinalSize are the container's Size before and after the
+	// measured window. Every throughput run cross-checks the conservation
+	// invariant FinalSize == BaseSize + AppliedInserts - AppliedDeletes, so
+	// throughput numbers are never reported off a silently corrupted
+	// structure; a violation panics.
+	BaseSize  int
+	FinalSize int
 }
 
 // OpsPerSec returns the measured throughput.
@@ -31,26 +44,36 @@ func (r Result) OpsPerSec() float64 {
 	return float64(r.Ops) / r.Seconds
 }
 
-// RunThroughput measures f under cfg with the given worker count for roughly
-// dur. The structure is prefilled with half the key range so searches hit
-// about half the time, the standard set-benchmark methodology.
+// RunThroughput measures f under cfg with the given worker count for
+// roughly dur; see RunThroughputOn.
 func RunThroughput(f Factory, cfg workload.Config, threads int, dur time.Duration) Result {
+	return RunThroughputOn(f.Name, f.New(), cfg, threads, dur)
+}
+
+// RunThroughputOn measures an existing container under cfg with the given
+// worker count for roughly dur. The container is prefilled with half the
+// key range so searches hit about half the time, the standard set-benchmark
+// methodology; after the workers drain it verifies the applied-operation
+// conservation invariant (see Result) and panics on a violation.
+func RunThroughputOn(name string, inst container.Container, cfg workload.Config, threads int, dur time.Duration) Result {
 	if err := cfg.Validate(); err != nil {
 		panic("harness: " + err.Error())
 	}
-	inst := f.New()
 
 	pre := inst.NewSession()
 	for k := 0; k < cfg.KeyRange; k += 2 {
 		pre.Insert(k)
 	}
-	closeSession(pre)
+	pre.Close()
 	base := inst.EngineStats() // exclude the prefill from the reported counters
+	baseSize := inst.Size()
 
 	var (
 		start   = make(chan struct{})
 		stop    atomic.Bool
 		total   atomic.Int64
+		inserts atomic.Int64
+		deletes atomic.Int64
 		wg      sync.WaitGroup
 		elapsed time.Duration
 	)
@@ -59,24 +82,30 @@ func RunThroughput(f Factory, cfg workload.Config, threads int, dur time.Duratio
 		go func(w int) {
 			defer wg.Done()
 			s := inst.NewSession()
-			defer closeSession(s)
+			defer s.Close()
 			keys := cfg.NewKeyGen(int64(w)*2 + 1)
 			ops := cfg.NewOpGen(int64(w)*2 + 2)
 			<-start
-			n := int64(0)
+			var n, ins, del int64
 			for !stop.Load() {
 				key := keys.Next()
 				switch ops.Next() {
 				case workload.OpGet:
 					s.Get(key)
 				case workload.OpInsert:
-					s.Insert(key)
+					if s.Insert(key) {
+						ins++
+					}
 				default:
-					s.Delete(key)
+					if s.Delete(key) {
+						del++
+					}
 				}
 				n++
 			}
 			total.Add(n)
+			inserts.Add(ins)
+			deletes.Add(del)
 		}(w)
 	}
 
@@ -88,8 +117,8 @@ func RunThroughput(f Factory, cfg workload.Config, threads int, dur time.Duratio
 	elapsed = time.Since(t0)
 
 	end := inst.EngineStats()
-	return Result{
-		Structure: f.Name,
+	r := Result{
+		Structure: name,
 		Threads:   threads,
 		Mix:       cfg.Mix,
 		Dist:      cfg.Dist,
@@ -102,12 +131,15 @@ func RunThroughput(f Factory, cfg workload.Config, threads int, dur time.Duratio
 			LLXFails: end.LLXFails - base.LLXFails,
 			SCXFails: end.SCXFails - base.SCXFails,
 		},
+		AppliedInserts: inserts.Load(),
+		AppliedDeletes: deletes.Load(),
+		BaseSize:       baseSize,
 	}
-}
-
-// closeSession releases a session's pooled Handle if it holds one.
-func closeSession(s Session) {
-	if c, ok := s.(interface{ Close() }); ok {
-		c.Close()
+	r.FinalSize = inst.Size()
+	if want := r.BaseSize + int(r.AppliedInserts-r.AppliedDeletes); r.FinalSize != want {
+		panic(fmt.Sprintf(
+			"harness: %s conservation violated: size %d after run, want %d (base %d + %d applied inserts - %d applied deletes)",
+			name, r.FinalSize, want, r.BaseSize, r.AppliedInserts, r.AppliedDeletes))
 	}
+	return r
 }

@@ -3,15 +3,18 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pragmaprim/internal/container"
 	"pragmaprim/internal/core"
 	"pragmaprim/internal/history"
 	"pragmaprim/internal/linearizability"
 	"pragmaprim/internal/multiset"
 	"pragmaprim/internal/mwcas"
+	"pragmaprim/internal/shard"
 	"pragmaprim/internal/stats"
 	"pragmaprim/internal/template"
 	"pragmaprim/internal/workload"
@@ -390,7 +393,9 @@ func E7Linearizability(rounds int) *stats.Table {
 // E8Throughput reproduces claim A8 (Section 6): the LLX/SCX structures scale
 // with threads while the coarse lock serializes; it prints the thread-sweep
 // series for each structure and mix, with the template engine's SCX failure
-// rate as the contention figure (the lock baselines report "-").
+// rate as the contention figure (the lock baselines report "-"). All five
+// LLX/SCX structures run — the queue and stack through their
+// produce/consume container adapters.
 func E8Throughput(threads []int, dur time.Duration) *stats.Table {
 	t := stats.NewTable(
 		"E8: throughput scaling, ops/sec (prefilled to half of key range)",
@@ -403,14 +408,108 @@ func E8Throughput(threads []int, dur time.Duration) *stats.Table {
 		for _, cfg := range cfgs {
 			for _, th := range threads {
 				r := RunThroughput(f, cfg, th, dur)
-				failPct := any("-")
-				if r.Engine.Attempts > 0 {
-					failPct = stats.RatePct(r.Engine.SCXFails, r.Engine.Attempts)
-				}
 				t.AddRow(r.Structure, r.Mix.String(), string(r.Dist), r.KeyRange,
-					r.Threads, r.OpsPerSec()/1e6, failPct)
+					r.Threads, r.OpsPerSec()/1e6, failPctCell(r.Engine))
 			}
 		}
+	}
+	return t
+}
+
+// failPctCell renders the engine's SCX failure rate, or "-" for structures
+// outside the engine.
+func failPctCell(c template.Counters) any {
+	if c.Attempts == 0 {
+		return "-"
+	}
+	return stats.RatePct(c.SCXFails, c.Attempts)
+}
+
+// singleCoreNote flags tables whose point is parallel scaling when the run
+// cannot exhibit any (GOMAXPROCS=1 serializes the workers).
+func singleCoreNote() string {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return ""
+	}
+	return " [single-core run: GOMAXPROCS=1 serializes workers, sharding gains need parallelism]"
+}
+
+// E9ShardScaling measures the sharding claim that follows from the paper's
+// disjoint-access progress property (Sections 1, 3.2): because an
+// operation's contention window is its private read set, hash-partitioned
+// instances compose with no cross-shard coordination, so throughput under a
+// hot-key (Zipf) update mix should recover as shards split the hot keys
+// apart. Rows sweep shard counts (1 = the unsharded structure) under
+// uniform and Zipf keys; vs-1sh is each row's speedup over the unsharded
+// row of the same distribution. The unsharded baseline always runs first —
+// explicit 1s in the sweep are folded into it — so the speedup column is
+// never without its denominator.
+func E9ShardScaling(shards []int, threads int, dur time.Duration) *stats.Table {
+	t := stats.NewTable(
+		"E9: sharded multiset throughput vs. shard count, update-heavy mix"+singleCoreNote(),
+		"structure", "dist", "keys", "threads", "Mops/s", "vs-1sh", "scx-fail%")
+	var widths []int
+	for _, n := range shards {
+		if n > 1 {
+			widths = append(widths, n)
+		}
+	}
+	base := LLXMultisetFactory()
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipf} {
+		cfg := workload.Config{KeyRange: 1 << 10, Dist: dist, Mix: workload.UpdateHeavy}
+		r := RunThroughput(base, cfg, threads, dur)
+		unsharded := r.OpsPerSec() / 1e6
+		t.AddRow(r.Structure, string(r.Dist), r.KeyRange, r.Threads,
+			unsharded, "-", failPctCell(r.Engine))
+		for _, n := range widths {
+			r := RunThroughput(ShardedFactory(base, n), cfg, threads, dur)
+			mops := r.OpsPerSec() / 1e6
+			speedup := any("-")
+			if unsharded > 0 {
+				speedup = mops / unsharded
+			}
+			t.AddRow(r.Structure, string(r.Dist), r.KeyRange, r.Threads,
+				mops, speedup, failPctCell(r.Engine))
+		}
+	}
+	return t
+}
+
+// E10HotKeyContention isolates what sharding does to contention itself: a
+// Zipf update-heavy workload hammers a few hot keys, and the table reports
+// the engine's SCX failure rate and retries per operation as shards peel
+// hot keys onto separate instances, plus how concentrated the load on the
+// hottest shard remains (share of all attempts, and its own failure rate)
+// from the per-shard counters.
+func E10HotKeyContention(shards []int, threads int, dur time.Duration) *stats.Table {
+	t := stats.NewTable(
+		"E10: hot-key (zipf) contention vs. shard count, llx-multiset"+singleCoreNote(),
+		"shards", "threads", "Mops/s", "retries/op", "scx-fail%", "hot-shard att%", "hot-shard scx-fail%")
+	cfg := workload.Config{KeyRange: 1 << 10, Dist: workload.Zipf, Mix: workload.UpdateHeavy}
+	base := LLXMultisetFactory()
+	for _, n := range shards {
+		sh := shard.New(n, func(int) container.Container { return base.New() })
+		r := RunThroughputOn(fmt.Sprintf("llx-multiset/%dsh", n), sh, cfg, threads, dur)
+
+		// Per-shard counters include the prefill, which is uncontended and
+		// spread thin; its attempts only dilute shares marginally.
+		var hottest template.Counters
+		var totalAttempts int64
+		sh.ForEachShard(func(_ int, c container.Container) {
+			cnt := c.EngineStats()
+			totalAttempts += cnt.Attempts
+			if cnt.Attempts > hottest.Attempts {
+				hottest = cnt
+			}
+		})
+		retriesPerOp := 0.0
+		if r.Engine.Ops > 0 {
+			retriesPerOp = float64(r.Engine.Retries()) / float64(r.Engine.Ops)
+		}
+		t.AddRow(n, r.Threads, r.OpsPerSec()/1e6, retriesPerOp,
+			failPctCell(r.Engine),
+			stats.RatePct(hottest.Attempts, totalAttempts),
+			failPctCell(hottest))
 	}
 	return t
 }

@@ -82,9 +82,9 @@ func TestE7LinearizabilityAllRoundsPass(t *testing.T) {
 func TestE8ThroughputProducesAllCells(t *testing.T) {
 	tb := harness.E8Throughput([]int{1, 2}, 20*time.Millisecond)
 	rows := tb.Rows()
-	// 5 structures x 2 mixes x 2 thread counts.
-	if len(rows) != 20 {
-		t.Fatalf("rows = %d, want 20", len(rows))
+	// 7 structures x 2 mixes x 2 thread counts.
+	if len(rows) != 28 {
+		t.Fatalf("rows = %d, want 28", len(rows))
 	}
 	for _, row := range rows {
 		if row[5] == "0" || strings.HasPrefix(row[5], "-") {
@@ -93,8 +93,48 @@ func TestE8ThroughputProducesAllCells(t *testing.T) {
 	}
 }
 
+func TestE9ShardScalingProducesAllCells(t *testing.T) {
+	tb := harness.E9ShardScaling([]int{1, 2, 4}, 2, 20*time.Millisecond)
+	rows := tb.Rows()
+	// 2 distributions x 3 shard counts.
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for i, row := range rows {
+		if row[4] == "0" || strings.HasPrefix(row[4], "-") {
+			t.Errorf("non-positive throughput: %v", row)
+		}
+		// Unsharded rows report no speedup; sharded rows a positive one.
+		if unsharded := i%3 == 0; unsharded {
+			if row[5] != "-" {
+				t.Errorf("unsharded row has speedup cell %q: %v", row[5], row)
+			}
+		} else if row[5] == "0" || strings.HasPrefix(row[5], "-") {
+			t.Errorf("sharded row lacks a positive speedup: %v", row)
+		}
+	}
+}
+
+func TestE10HotKeyContentionProducesAllCells(t *testing.T) {
+	tb := harness.E10HotKeyContention([]int{1, 4}, 2, 20*time.Millisecond)
+	rows := tb.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, row := range rows {
+		if row[2] == "0" {
+			t.Errorf("non-positive throughput: %v", row)
+		}
+		if row[5] == "0" {
+			t.Errorf("hot-shard attempt share is zero: %v", row)
+		}
+	}
+}
+
 func TestFactoryByName(t *testing.T) {
-	for _, name := range []string{"llx-multiset", "llx-bst", "llx-trie", "coarse-lock", "fine-lock"} {
+	names := []string{"llx-multiset", "llx-bst", "llx-trie", "llx-queue",
+		"llx-stack", "coarse-lock", "fine-lock"}
+	for _, name := range names {
 		f, ok := harness.FactoryByName(name)
 		if !ok || f.Name != name {
 			t.Errorf("FactoryByName(%q) = (%v,%v)", name, f.Name, ok)
@@ -105,17 +145,48 @@ func TestFactoryByName(t *testing.T) {
 	}
 }
 
-func TestSessionsBehaveLikeSets(t *testing.T) {
+func TestShardedFactory(t *testing.T) {
+	f := harness.ShardedFactory(harness.LLXMultisetFactory(), 4)
+	if f.Name != "llx-multiset/4sh" {
+		t.Errorf("sharded factory name = %q", f.Name)
+	}
+	inst := f.New()
+	s := inst.NewSession()
+	defer s.Close()
+	for k := 0; k < 64; k++ {
+		s.Insert(k)
+	}
+	if got := inst.Size(); got != 64 {
+		t.Errorf("sharded Size = %d, want 64", got)
+	}
+	if got := inst.EngineStats(); got.Ops != 64 {
+		t.Errorf("sharded EngineStats.Ops = %d, want 64", got.Ops)
+	}
+}
+
+func TestSessionsBehaveLikeContainers(t *testing.T) {
 	for _, f := range harness.Factories() {
 		t.Run(f.Name, func(t *testing.T) {
 			inst := f.New()
 			s := inst.NewSession()
-			// Smoke: the session API must tolerate any op order.
-			s.Insert(5)
-			s.Get(5)
-			s.Delete(5)
-			s.Delete(5)
-			s.Get(5)
+			defer s.Close()
+			// The op results must be coherent in any order, for both keyed
+			// and produce/consume adapters.
+			if !s.Insert(5) {
+				t.Error("Insert into empty container = false")
+			}
+			if !s.Get(5) {
+				t.Error("Get after Insert = false")
+			}
+			if !s.Delete(5) {
+				t.Error("Delete of present element = false")
+			}
+			if s.Delete(5) {
+				t.Error("Delete of emptied container = true")
+			}
+			if s.Get(5) {
+				t.Error("Get on emptied container = true")
+			}
 			if got := inst.EngineStats(); got.Attempts < got.Ops {
 				t.Errorf("EngineStats attempts %d < ops %d", got.Attempts, got.Ops)
 			}
@@ -142,6 +213,14 @@ func TestRunThroughputCountsOps(t *testing.T) {
 	}
 	if r.Engine.Attempts < r.Engine.Ops {
 		t.Errorf("Engine.Attempts %d < Engine.Ops %d", r.Engine.Attempts, r.Engine.Ops)
+	}
+	// The conservation cross-check ran (a violation would have panicked) and
+	// its inputs are visible in the result.
+	if r.FinalSize != r.BaseSize+int(r.AppliedInserts-r.AppliedDeletes) {
+		t.Errorf("reported sizes inconsistent: %+v", r)
+	}
+	if r.BaseSize != 64 { // prefill inserts every other key of 128
+		t.Errorf("BaseSize = %d, want 64", r.BaseSize)
 	}
 }
 

@@ -1,59 +1,42 @@
-// Package harness runs the experiments E1-E8 catalogued in DESIGN.md and
-// EXPERIMENTS.md: it wraps every data structure behind a uniform session
-// interface, drives them with package workload, and renders the paper-claim
-// versus measured tables that cmd/bench prints.
+// Package harness runs the experiments E1-E10 catalogued in DESIGN.md: it
+// drives every structure through the typed internal/container interface
+// with package workload, and renders the paper-claim versus measured tables
+// that cmd/bench prints.
 package harness
 
 import (
+	"fmt"
+
 	"pragmaprim/internal/bst"
-	"pragmaprim/internal/core"
+	"pragmaprim/internal/container"
 	"pragmaprim/internal/lockds"
 	"pragmaprim/internal/multiset"
-	"pragmaprim/internal/template"
+	"pragmaprim/internal/queue"
+	"pragmaprim/internal/shard"
+	"pragmaprim/internal/stack"
 	"pragmaprim/internal/trie"
 )
 
-// Session is one worker's handle onto a shared structure under test. A
-// Session is not safe for concurrent use; the structure behind it is.
-type Session interface {
-	// Get looks key up.
-	Get(key int)
-	// Insert adds key (one occurrence / a mapping).
-	Insert(key int)
-	// Delete removes key (one occurrence / the mapping).
-	Delete(key int)
-}
-
-// Instance is one shared structure under test: a factory for per-worker
-// sessions plus the update engine's contention counters (zero-valued for
-// structures that do not run on the template engine, like the lock
-// baselines).
-type Instance struct {
-	// NewSession creates one worker's session onto the shared structure.
-	// Each LLX/SCX session binds a pooled core.Handle, the runtime's
-	// goroutine-scoped hot path.
-	NewSession func() Session
-	// EngineStats reports the aggregate template-engine counters, from
-	// which E8 derives SCX failure rates. Nil-safe: never nil.
-	EngineStats func() template.Counters
-}
-
-// Factory names a structure under test and builds fresh instances of it.
+// Factory names a structure under test and builds fresh instances of it as
+// typed containers (internal/container).
 type Factory struct {
 	// Name identifies the structure in tables ("llx-multiset", ...).
 	Name string
-	// New creates one shared structure.
-	New func() Instance
+	// New creates one shared structure behind the container interface.
+	New func() container.Container
 }
 
-// Factories returns every structure the throughput experiments compare:
-// the paper's LLX/SCX multiset, the LLX/SCX external BST, the LLX/SCX
-// Patricia trie, and the two lock-based baselines.
+// Factories returns every structure the throughput experiments compare: all
+// five LLX/SCX structures — the paper's multiset, the external BST, the
+// Patricia trie, and the queue and stack under their produce/consume
+// adapters — plus the two lock-based baselines.
 func Factories() []Factory {
 	return []Factory{
 		LLXMultisetFactory(),
 		LLXBSTFactory(),
 		LLXTrieFactory(),
+		LLXQueueFactory(),
+		LLXStackFactory(),
 		CoarseLockFactory(),
 		FineLockFactory(),
 	}
@@ -69,120 +52,72 @@ func FactoryByName(name string) (Factory, bool) {
 	return Factory{}, false
 }
 
-// noStats is the EngineStats of structures outside the template engine.
-func noStats() template.Counters { return template.Counters{} }
-
 // LLXMultisetFactory wraps the paper's Section 5 multiset.
 func LLXMultisetFactory() Factory {
 	return Factory{
 		Name: "llx-multiset",
-		New: func() Instance {
-			m := multiset.New[int]()
-			return Instance{
-				NewSession: func() Session {
-					return &llxMultisetSession{s: m.Attach(core.AcquireHandle())}
-				},
-				EngineStats: m.EngineStats,
-			}
-		},
+		New:  func() container.Container { return container.Multiset(multiset.New[int]()) },
 	}
 }
-
-type llxMultisetSession struct {
-	s multiset.Session[int]
-}
-
-func (s *llxMultisetSession) Close()         { s.s.Handle().Release() }
-func (s *llxMultisetSession) Get(key int)    { s.s.Get(key) }
-func (s *llxMultisetSession) Insert(key int) { s.s.Insert(key, 1) }
-func (s *llxMultisetSession) Delete(key int) { s.s.Delete(key, 1) }
 
 // LLXBSTFactory wraps the LLX/SCX external BST with map semantics.
 func LLXBSTFactory() Factory {
 	return Factory{
 		Name: "llx-bst",
-		New: func() Instance {
-			t := bst.New[int, int]()
-			return Instance{
-				NewSession: func() Session {
-					return &llxBSTSession{s: t.Attach(core.AcquireHandle())}
-				},
-				EngineStats: t.EngineStats,
-			}
-		},
+		New:  func() container.Container { return container.BST(bst.New[int, int]()) },
 	}
 }
-
-type llxBSTSession struct {
-	s bst.Session[int, int]
-}
-
-func (s *llxBSTSession) Close()         { s.s.Handle().Release() }
-func (s *llxBSTSession) Get(key int)    { s.s.Get(key) }
-func (s *llxBSTSession) Insert(key int) { s.s.Put(key, key) }
-func (s *llxBSTSession) Delete(key int) { s.s.Delete(key) }
 
 // LLXTrieFactory wraps the LLX/SCX Patricia trie with map semantics.
 func LLXTrieFactory() Factory {
 	return Factory{
 		Name: "llx-trie",
-		New: func() Instance {
-			t := trie.New[int]()
-			return Instance{
-				NewSession: func() Session {
-					return &llxTrieSession{s: t.Attach(core.AcquireHandle())}
-				},
-				EngineStats: t.EngineStats,
-			}
-		},
+		New:  func() container.Container { return container.Trie(trie.New[int]()) },
 	}
 }
 
-type llxTrieSession struct {
-	s trie.Session[int]
+// LLXQueueFactory wraps the LLX/SCX FIFO queue under the produce/consume
+// adapter (Insert enqueues, Delete dequeues, Get peeks).
+func LLXQueueFactory() Factory {
+	return Factory{
+		Name: "llx-queue",
+		New:  func() container.Container { return container.Queue(queue.New[int]()) },
+	}
 }
 
-func (s *llxTrieSession) Close()         { s.s.Handle().Release() }
-func (s *llxTrieSession) Get(key int)    { s.s.Get(uint64(key)) }
-func (s *llxTrieSession) Insert(key int) { s.s.Put(uint64(key), key) }
-func (s *llxTrieSession) Delete(key int) { s.s.Delete(uint64(key)) }
+// LLXStackFactory wraps the LLX/SCX Treiber stack under the produce/consume
+// adapter (Insert pushes, Delete pops, Get peeks).
+func LLXStackFactory() Factory {
+	return Factory{
+		Name: "llx-stack",
+		New:  func() container.Container { return container.Stack(stack.New[int]()) },
+	}
+}
 
 // CoarseLockFactory wraps the single-mutex list baseline.
 func CoarseLockFactory() Factory {
 	return Factory{
 		Name: "coarse-lock",
-		New: func() Instance {
-			m := lockds.NewCoarse()
-			return Instance{
-				NewSession:  func() Session { return coarseSession{m: m} },
-				EngineStats: noStats,
-			}
-		},
+		New:  func() container.Container { return container.CoarseLock(lockds.NewCoarse()) },
 	}
 }
-
-type coarseSession struct{ m *lockds.CoarseMultiset }
-
-func (s coarseSession) Get(key int)    { s.m.Get(key) }
-func (s coarseSession) Insert(key int) { s.m.Insert(key, 1) }
-func (s coarseSession) Delete(key int) { s.m.Delete(key, 1) }
 
 // FineLockFactory wraps the hand-over-hand lock list baseline.
 func FineLockFactory() Factory {
 	return Factory{
 		Name: "fine-lock",
-		New: func() Instance {
-			m := lockds.NewFine()
-			return Instance{
-				NewSession:  func() Session { return fineSession{m: m} },
-				EngineStats: noStats,
-			}
-		},
+		New:  func() container.Container { return container.FineLock(lockds.NewFine()) },
 	}
 }
 
-type fineSession struct{ m *lockds.FineMultiset }
-
-func (s fineSession) Get(key int)    { s.m.Get(key) }
-func (s fineSession) Insert(key int) { s.m.Insert(key, 1) }
-func (s fineSession) Delete(key int) { s.m.Delete(key, 1) }
+// ShardedFactory wraps f in an n-shard hash-partitioned container
+// (internal/shard); n must be a positive power of two. The name gains a
+// "/<n>sh" suffix so tables distinguish shard widths.
+func ShardedFactory(f Factory, n int) Factory {
+	return Factory{
+		Name: fmt.Sprintf("%s/%dsh", f.Name, n),
+		New: func() container.Container {
+			return shard.New(n, func(int) container.Container { return f.New() })
+		},
+	}
+}

@@ -74,6 +74,17 @@ func (m *CoarseMultiset) Delete(key, count int) bool {
 	return true
 }
 
+// TotalCount returns the sum of all occurrence counts.
+func (m *CoarseMultiset) TotalCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for n := m.head.next; n.key != math.MaxInt; n = n.next {
+		total += n.count
+	}
+	return total
+}
+
 // search returns the first node r with key <= r.key and its predecessor.
 // Caller holds the lock.
 func (m *CoarseMultiset) search(key int) (r, p *coarseNode) {
@@ -163,6 +174,25 @@ func (m *FineMultiset) Delete(key, count int) bool {
 	}
 	p.next = r.next
 	return true
+}
+
+// TotalCount returns the sum of all occurrence counts, locking hand-over-hand
+// down the list. Exact when quiescent.
+func (m *FineMultiset) TotalCount() int {
+	total := 0
+	p := m.head
+	p.mu.Lock()
+	for {
+		r := p.next
+		r.mu.Lock()
+		p.mu.Unlock()
+		if r.key == math.MaxInt {
+			r.mu.Unlock()
+			return total
+		}
+		total += r.count
+		p = r
+	}
 }
 
 func checkCount(op string, count int) {

@@ -13,6 +13,7 @@ type multiset interface {
 	Get(key int) int
 	Insert(key, count int)
 	Delete(key, count int) bool
+	TotalCount() int
 }
 
 func variants() map[string]func() multiset {
@@ -55,6 +56,27 @@ func TestSequentialSemantics(t *testing.T) {
 			}
 			if got := m.Get(2); got != 1 {
 				t.Errorf("Get(2) = %d, want 1 (neighbor)", got)
+			}
+		})
+	}
+}
+
+func TestTotalCount(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			m := mk()
+			if got := m.TotalCount(); got != 0 {
+				t.Errorf("TotalCount on empty = %d", got)
+			}
+			m.Insert(3, 2)
+			m.Insert(7, 1)
+			m.Insert(3, 1)
+			if got := m.TotalCount(); got != 4 {
+				t.Errorf("TotalCount = %d, want 4", got)
+			}
+			m.Delete(3, 3)
+			if got := m.TotalCount(); got != 1 {
+				t.Errorf("TotalCount after delete = %d, want 1", got)
 			}
 		})
 	}

@@ -203,6 +203,17 @@ func (s Session[T]) Dequeue() (T, bool) {
 	return res.val, res.ok
 }
 
+// Peek returns the oldest element without removing it; ok is false when the
+// queue is (momentarily) empty. It is a plain read of the dummy's successor
+// (Proposition 2): O(1), no Handle, weakly consistent under concurrency.
+func (q *Queue[T]) Peek() (T, bool) {
+	if f := q.head().next(); f != nil {
+		return f.val, true
+	}
+	var zero T
+	return zero, false
+}
+
 // Len counts the elements seen by one traversal: exact when quiescent,
 // weakly consistent under concurrency.
 func (q *Queue[T]) Len() int {

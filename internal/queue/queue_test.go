@@ -20,6 +20,26 @@ func TestEmptyQueue(t *testing.T) {
 	}
 }
 
+func TestPeek(t *testing.T) {
+	q := queue.New[int]()
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty = true")
+	}
+	q.Enqueue(1)
+	q.Enqueue(2)
+	if v, ok := q.Peek(); !ok || v != 1 {
+		t.Errorf("Peek = (%d,%v), want (1,true)", v, ok)
+	}
+	q.Dequeue()
+	if v, ok := q.Peek(); !ok || v != 2 {
+		t.Errorf("Peek after Dequeue = (%d,%v), want (2,true)", v, ok)
+	}
+	q.Dequeue()
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on drained queue = true")
+	}
+}
+
 func TestFIFOOrder(t *testing.T) {
 	q := queue.New[int]()
 	for i := 1; i <= 10; i++ {

@@ -1,0 +1,150 @@
+// Package shard hash-partitions the key space of a container.Container
+// across a power-of-two number of independent instances. The paper's
+// LLX/SCX primitives confine contention to each operation's small read set,
+// so the structures built on them compose under partitioning with no
+// cross-shard coordination at all: a Sharded container routes every
+// operation to exactly one shard, each shard keeps its own entry point,
+// retry policy and engine counters, and the wrapper only ever aggregates —
+// it never synchronizes.
+//
+// Routing uses Fibonacci hashing: the key is multiplied by 2^64/φ and the
+// top log2(shards) bits select the shard. The multiplier's bit avalanche
+// spreads both sequential and clustered key patterns evenly (a plain
+// key%shards would map the workload generators' dense [0,n) ranges onto
+// shards in stripes that correlate with access order), and the top-bits
+// extraction is a single multiply and shift on the hot path.
+//
+// What sharding does NOT give you: any operation spanning two shards. There
+// is no atomic cross-shard snapshot, no global ordering between shards, and
+// Size/EngineStats aggregate weakly consistent per-shard values. Each
+// individual operation remains linearizable within its shard, which is
+// exactly the contract the workload experiments need.
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/template"
+)
+
+// fibMult is 2^64 divided by the golden ratio, the classic Fibonacci-hashing
+// multiplier (odd, so multiplication is a bijection on uint64).
+const fibMult = 0x9E3779B97F4A7C15
+
+// Sharded partitions one logical container across independent shards. It
+// implements container.Container itself, so every layer that drives a
+// container — the harness, cmd/stress, the benchmarks — can run sharded or
+// unsharded through the same code path. All methods are safe for concurrent
+// use.
+type Sharded struct {
+	shards []container.Container
+	shift  uint // 64 - log2(len(shards)); top bits select the shard
+}
+
+// New builds a Sharded container over n independent shards, n a power of
+// two (see NextPow2). build is called once per shard with the shard index,
+// so callers can vary per-shard configuration — most usefully the retry
+// policy of the underlying structure (a hot shard can back off while cold
+// shards retry immediately), which stays sound because no operation ever
+// touches two shards.
+func New(n int, build func(i int) container.Container) *Sharded {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("shard: count %d is not a positive power of two (round with NextPow2)", n))
+	}
+	s := &Sharded{
+		shards: make([]container.Container, n),
+		shift:  uint(64 - bits.TrailingZeros(uint(n))),
+	}
+	for i := range s.shards {
+		s.shards[i] = build(i)
+	}
+	return s
+}
+
+// NextPow2 rounds n up to the nearest power of two (minimum 1), the shape
+// New requires.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// ShardCount returns the number of shards.
+func (s *Sharded) ShardCount() int { return len(s.shards) }
+
+// ShardOf returns the index of the shard that owns key.
+func (s *Sharded) ShardOf(key int) int {
+	return int((uint64(key) * fibMult) >> s.shift)
+}
+
+// Shard returns shard i, for diagnostics and tests.
+func (s *Sharded) Shard(i int) container.Container { return s.shards[i] }
+
+// ForEachShard calls fn for every shard in index order, the hook the
+// per-shard contention tables and invariant checkpoints are built on.
+func (s *Sharded) ForEachShard(fn func(i int, c container.Container)) {
+	for i, c := range s.shards {
+		fn(i, c)
+	}
+}
+
+// NewSession binds one session per shard eagerly, so the per-operation path
+// is a multiply, a shift and an interface call — no allocation, no locking,
+// and the underlying sessions keep their pooled Handles for the session's
+// whole lifetime (the zero-alloc fast path is preserved by construction).
+func (s *Sharded) NewSession() container.Session {
+	subs := make([]container.Session, len(s.shards))
+	for i, c := range s.shards {
+		subs[i] = c.NewSession()
+	}
+	return &session{s: s, subs: subs}
+}
+
+// EngineStats returns the template-engine counters summed over all shards.
+func (s *Sharded) EngineStats() template.Counters {
+	var total template.Counters
+	for _, c := range s.shards {
+		total = total.Add(c.EngineStats())
+	}
+	return total
+}
+
+// StatsByOp returns the per-operation engine counters summed over all
+// shards (per-shard breakdowns come from ForEachShard + Shard.StatsByOp).
+func (s *Sharded) StatsByOp() map[string]template.Counters {
+	out := make(map[string]template.Counters)
+	for _, c := range s.shards {
+		for op, cnt := range c.StatsByOp() {
+			out[op] = out[op].Add(cnt)
+		}
+	}
+	return out
+}
+
+// Size returns the summed shard sizes; exact when quiescent.
+func (s *Sharded) Size() int {
+	total := 0
+	for _, c := range s.shards {
+		total += c.Size()
+	}
+	return total
+}
+
+// session routes one worker's operations to its per-shard sessions.
+type session struct {
+	s    *Sharded
+	subs []container.Session
+}
+
+func (w *session) Get(key int) bool    { return w.subs[w.s.ShardOf(key)].Get(key) }
+func (w *session) Insert(key int) bool { return w.subs[w.s.ShardOf(key)].Insert(key) }
+func (w *session) Delete(key int) bool { return w.subs[w.s.ShardOf(key)].Delete(key) }
+
+func (w *session) Close() {
+	for _, sub := range w.subs {
+		sub.Close()
+	}
+}

@@ -1,0 +1,193 @@
+package shard_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/shard"
+	"pragmaprim/internal/template"
+)
+
+// newShardedMultiset builds an n-shard LLX/SCX multiset, the structure the
+// shard-scaling experiments run on.
+func newShardedMultiset(n int) *shard.Sharded {
+	return shard.New(n, func(int) container.Container {
+		return container.Multiset(multiset.New[int]())
+	})
+}
+
+func TestNewRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 6, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			newShardedMultiset(n)
+		}()
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{-4: 1, 0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 8: 8, 9: 16, 1000: 1024}
+	for in, want := range cases {
+		if got := shard.NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestRoutingIsDeterministicAndTotal checks every key goes to exactly one
+// in-range shard, stably across calls.
+func TestRoutingIsDeterministicAndTotal(t *testing.T) {
+	s := newShardedMultiset(8)
+	for key := -1000; key < 1000; key++ {
+		i := s.ShardOf(key)
+		if i < 0 || i >= s.ShardCount() {
+			t.Fatalf("ShardOf(%d) = %d, out of range [0,%d)", key, i, s.ShardCount())
+		}
+		if j := s.ShardOf(key); j != i {
+			t.Fatalf("ShardOf(%d) unstable: %d then %d", key, i, j)
+		}
+	}
+	if got := newShardedMultiset(1).ShardOf(12345); got != 0 {
+		t.Errorf("single-shard ShardOf = %d, want 0", got)
+	}
+}
+
+// TestDistributionBalance is the satellite's balance check: uniform keys
+// must land on the 8 shards without gross skew — every shard populated and
+// max/min occupancy within 2x of each other — for both the dense
+// sequential ranges the workloads use and sparse random keys.
+func TestDistributionBalance(t *testing.T) {
+	const shards = 8
+	const keys = 1 << 13
+	patterns := map[string]func(i int) int{
+		"sequential": func(i int) int { return i },
+		"random":     func(i int) int { return rand.New(rand.NewSource(int64(i))).Int() },
+	}
+	for name, keyOf := range patterns {
+		t.Run(name, func(t *testing.T) {
+			s := newShardedMultiset(shards)
+			w := s.NewSession()
+			defer w.Close()
+			for i := 0; i < keys; i++ {
+				w.Insert(keyOf(i))
+			}
+			minSz, maxSz := keys, 0
+			s.ForEachShard(func(i int, c container.Container) {
+				sz := c.Size()
+				if sz == 0 {
+					t.Errorf("shard %d is empty after %d uniform inserts", i, keys)
+				}
+				if sz < minSz {
+					minSz = sz
+				}
+				if sz > maxSz {
+					maxSz = sz
+				}
+			})
+			if got := s.Size(); got != keys {
+				t.Errorf("aggregate Size = %d, want %d", got, keys)
+			}
+			if maxSz > 2*minSz {
+				t.Errorf("shard occupancy skew: max %d > 2x min %d", maxSz, minSz)
+			}
+		})
+	}
+}
+
+// TestCounterAggregationConcurrent is the satellite's cross-shard
+// counter-agreement check, meant to run under the race detector: with
+// workers hammering every shard, the aggregated engine counters must equal
+// both the sum of per-shard counters and the number of update operations
+// issued, and the aggregate Size must match the applied net.
+func TestCounterAggregationConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 3000
+	s := newShardedMultiset(4)
+
+	var applied [workers]int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := s.NewSession()
+			defer w.Close()
+			rng := rand.New(rand.NewSource(int64(g)))
+			net := int64(0)
+			for i := 0; i < perWorker; i++ {
+				key := rng.Intn(128)
+				if rng.Intn(2) == 0 {
+					if w.Insert(key) {
+						net++
+					}
+				} else if w.Delete(key) {
+					net--
+				}
+			}
+			applied[g] = net
+		}(g)
+	}
+	wg.Wait()
+
+	agg := s.EngineStats()
+	if want := int64(workers * perWorker); agg.Ops != want {
+		t.Errorf("aggregated EngineStats.Ops = %d, want %d", agg.Ops, want)
+	}
+	var sum, byOpSum template.Counters
+	s.ForEachShard(func(_ int, c container.Container) {
+		sum = sum.Add(c.EngineStats())
+	})
+	if agg != sum {
+		t.Errorf("EngineStats %+v != per-shard sum %+v", agg, sum)
+	}
+	for _, cnt := range s.StatsByOp() {
+		byOpSum = byOpSum.Add(cnt)
+	}
+	if agg != byOpSum {
+		t.Errorf("EngineStats %+v != StatsByOp sum %+v", agg, byOpSum)
+	}
+
+	var net int64
+	for _, n := range applied {
+		net += n
+	}
+	if got := int64(s.Size()); got != net {
+		t.Errorf("aggregate Size = %d, want applied net %d", got, net)
+	}
+}
+
+// TestShardedAllocCeiling extends the allocation-regression suite to the
+// sharded path: routing must add zero allocations per operation over the
+// unsharded container (Get stays allocation-free, Insert of a resident key
+// stays at the single SCX-descriptor allocation).
+func TestShardedAllocCeiling(t *testing.T) {
+	measure := func(c container.Container) (get, bump float64) {
+		w := c.NewSession()
+		defer w.Close()
+		w.Insert(7)
+		get = testing.AllocsPerRun(1000, func() { w.Get(7) })
+		bump = testing.AllocsPerRun(1000, func() { w.Insert(7) })
+		return get, bump
+	}
+	flatGet, flatBump := measure(container.Multiset(multiset.New[int]()))
+	shGet, shBump := measure(newShardedMultiset(4))
+	if shGet > flatGet {
+		t.Errorf("sharded Get allocs %v > unsharded %v", shGet, flatGet)
+	}
+	if shBump > flatBump {
+		t.Errorf("sharded Insert allocs %v > unsharded %v", shBump, flatBump)
+	}
+	if shGet != 0 {
+		t.Errorf("sharded Get allocs %v, want 0", shGet)
+	}
+	if shBump > 1 {
+		t.Errorf("sharded resident-key Insert allocs %v, want <= 1 (descriptor)", shBump)
+	}
+}

@@ -152,6 +152,17 @@ func (v Session[T]) Pop() (T, bool) {
 	return res.val, res.ok
 }
 
+// Peek returns the top element without removing it; ok is false when the
+// stack is (momentarily) empty. It is a plain read of the entry point's top
+// pointer: O(1), no Handle, weakly consistent under concurrency.
+func (s *Stack[T]) Peek() (T, bool) {
+	if t := s.top(); t != nil {
+		return t.val, true
+	}
+	var zero T
+	return zero, false
+}
+
 // Len counts the cells seen by one traversal: exact when quiescent, weakly
 // consistent under concurrency.
 func (s *Stack[T]) Len() int {

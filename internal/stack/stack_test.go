@@ -19,6 +19,26 @@ func TestEmptyStack(t *testing.T) {
 	}
 }
 
+func TestPeek(t *testing.T) {
+	s := stack.New[int]()
+	if _, ok := s.Peek(); ok {
+		t.Error("Peek on empty = true")
+	}
+	s.Push(1)
+	s.Push(2)
+	if v, ok := s.Peek(); !ok || v != 2 {
+		t.Errorf("Peek = (%d,%v), want (2,true)", v, ok)
+	}
+	s.Pop()
+	if v, ok := s.Peek(); !ok || v != 1 {
+		t.Errorf("Peek after Pop = (%d,%v), want (1,true)", v, ok)
+	}
+	s.Pop()
+	if _, ok := s.Peek(); ok {
+		t.Error("Peek on drained stack = true")
+	}
+}
+
 func TestLIFOOrder(t *testing.T) {
 	s := stack.New[int]()
 	for i := 1; i <= 10; i++ {
