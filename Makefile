@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all vet lint build test race benchsmoke check bench-core clean
+.PHONY: all vet lint build test race benchsmoke benchdiff check bench-core clean
 
 all: check
 
@@ -33,20 +33,31 @@ test:
 
 # The step-semantics, helping and linearizability tests exercise real
 # concurrency; run the core, template and multiset packages plus the
-# container/shard layer (cross-shard counter aggregation) under the race
-# detector.
+# container/shard layer (cross-shard counter aggregation), the epoch
+# reclamation machinery, and the queue/stack recycle hammers under the race
+# detector: the epoch protocol's happens-before edges are exactly what the
+# detector validates.
 race:
 	$(GO) test -race ./internal/core ./internal/template ./internal/multiset \
-		./internal/container ./internal/shard
+		./internal/container ./internal/shard ./internal/reclaim \
+		./internal/queue ./internal/stack ./internal/bst ./internal/trie
 
 # Compile and execute every benchmark once so benchmark code cannot rot
 # without failing CI (-benchtime=1x keeps it to seconds), and smoke the
-# sharded stress path end to end.
+# sharded stress path end to end (reclamation is always on: the stress run
+# churns node recycling under invariant checks).
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/stress -dur 1s -threads 4 -keys 128 -shards 4 -checks 2
 
-check: lint build test race benchsmoke
+# Re-run the core fast-path suite and diff against the checked-in
+# trajectory, failing if any row's allocs/op regressed. Timings are noisy
+# on shared runners; allocation counts are deterministic, so that is the
+# gate (see cmd/bench -compare).
+benchdiff:
+	$(GO) run ./cmd/bench -compare BENCH_core.json -maxallocregress
+
+check: lint build test race benchsmoke benchdiff
 
 # Regenerate the checked-in core fast-path microbenchmark dump.
 bench-core:

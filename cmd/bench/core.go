@@ -59,8 +59,10 @@ func coreBenchmarks() []coreBench {
 		coreBench{"mwcas_k2", false, func(b *testing.B) { benchcore.MWCASCycle(b, 2) }},
 	)
 	benches = append(benches,
+		coreBench{"scx_cycle_recycled", false, benchcore.SCXCycleRecycled},
 		coreBench{"template_scx_cycle", false, benchcore.TemplateSCXCycle},
 		coreBench{"handle_roundtrip", false, benchcore.HandleRoundtrip},
+		coreBench{"reclaim_retire", false, benchcore.ReclaimRetire},
 	)
 	benches = append(benches,
 		coreBench{"multiset_get", false, benchcore.MultisetGet},
@@ -75,9 +77,8 @@ func coreBenchmarks() []coreBench {
 	return benches
 }
 
-// runCoreBench runs the suite, prints a human-readable table to stdout, and
-// writes the JSON dump to path.
-func runCoreBench(path string) error {
+// collectCoreBench runs the suite, printing a human-readable table.
+func collectCoreBench() (coreBenchDump, error) {
 	dump := coreBenchDump{
 		GoVersion:  runtime.Version(),
 		GOARCH:     runtime.GOARCH,
@@ -93,7 +94,7 @@ func runCoreBench(path string) error {
 		}
 		r := testing.Benchmark(cb.fn)
 		if r.N == 0 {
-			return fmt.Errorf("benchmark %s failed (b.Fatal/b.Fail inside the body)", cb.name)
+			return dump, fmt.Errorf("benchmark %s failed (b.Fatal/b.Fail inside the body)", cb.name)
 		}
 		res := coreBenchResult{
 			Name:        cb.name,
@@ -106,10 +107,105 @@ func runCoreBench(path string) error {
 		fmt.Printf("%-36s %12.1f %12d %10d\n",
 			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
 	}
+	return dump, nil
+}
+
+// runCoreBench runs the suite and writes the JSON dump to path.
+func runCoreBench(path string) error {
+	dump, err := collectCoreBench()
+	if err != nil {
+		return err
+	}
+	return writeDump(dump, path)
+}
+
+func writeDump(dump coreBenchDump, path string) error {
 	out, err := json.MarshalIndent(dump, "", "  ")
 	if err != nil {
 		return err
 	}
 	out = append(out, '\n')
 	return os.WriteFile(path, out, 0o644)
+}
+
+// loadDump reads a prior -corejson file.
+func loadDump(path string) (coreBenchDump, error) {
+	var dump coreBenchDump
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return dump, err
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return dump, fmt.Errorf("%s: %w", path, err)
+	}
+	return dump, nil
+}
+
+// runCompareBench runs the suite and prints a benchstat-style delta table
+// against the baseline file. When maxAllocRegress is set it returns an
+// error if any row tracked by both runs regressed in allocs/op — timings
+// are noisy on shared runners, allocation counts are not, so the CI gate
+// compares only allocations. When outPath is non-empty the fresh results
+// are also written there.
+func runCompareBench(baselinePath, outPath string, maxAllocRegress bool) error {
+	base, err := loadDump(baselinePath)
+	if err != nil {
+		return err
+	}
+	baseRows := make(map[string]coreBenchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseRows[r.Name] = r
+	}
+	dump, err := collectCoreBench()
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := writeDump(dump, outPath); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("\ncompare vs %s\n", baselinePath)
+	fmt.Printf("%-36s %12s %12s %8s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "Δallocs")
+	var regressed []string
+	for _, r := range dump.Results {
+		old, ok := baseRows[r.Name]
+		if !ok {
+			fmt.Printf("%-36s %12s %12.1f %8s %10s %10d %8s\n",
+				r.Name, "-", r.NsPerOp, "new", "-", r.AllocsPerOp, "-")
+			continue
+		}
+		delta := "~"
+		if old.NsPerOp > 0 {
+			pct := (r.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+			if pct <= -2 || pct >= 2 {
+				delta = fmt.Sprintf("%+.1f%%", pct)
+			}
+		}
+		dAllocs := r.AllocsPerOp - old.AllocsPerOp
+		fmt.Printf("%-36s %12.1f %12.1f %8s %10d %10d %+8d\n",
+			r.Name, old.NsPerOp, r.NsPerOp, delta, old.AllocsPerOp, r.AllocsPerOp, dAllocs)
+		if dAllocs > 0 {
+			regressed = append(regressed, fmt.Sprintf("%s (%d -> %d allocs/op)",
+				r.Name, old.AllocsPerOp, r.AllocsPerOp))
+		}
+	}
+	for _, r := range base.Results {
+		found := false
+		for _, n := range dump.Results {
+			if n.Name == r.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-36s %12.1f %12s  (row no longer measured)\n", r.Name, r.NsPerOp, "-")
+		}
+	}
+	if maxAllocRegress && len(regressed) > 0 {
+		return fmt.Errorf("allocs/op regressed on %d row(s): %v", len(regressed), regressed)
+	}
+	return nil
 }

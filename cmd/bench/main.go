@@ -7,6 +7,12 @@
 //
 //	bench [-exp e1,e2,...|all] [-threads 1,2,4,8] [-shards 1,2,4,8] [-dur 500ms] [-rounds 50]
 //	bench -corejson BENCH_core.json
+//	bench -compare old.json [-corejson new.json] [-maxallocregress]
+//
+// -compare re-runs the core suite and prints a benchstat-style delta table
+// against a prior -corejson dump; with -maxallocregress the command exits
+// non-zero if any shared row's allocs/op regressed (the CI gate: timings
+// are noisy on shared runners, allocation counts are not).
 package main
 
 import (
@@ -34,8 +40,22 @@ func run() int {
 		dur      = flag.Duration("dur", 300*time.Millisecond, "measurement duration per E8-E10 cell")
 		rounds   = flag.Int("rounds", 50, "history rounds for E7")
 		corejson = flag.String("corejson", "", "run the core fast-path microbenchmarks and write JSON results to this path (e.g. BENCH_core.json), then exit")
+		compare  = flag.String("compare", "", "run the core microbenchmarks and print a before/after delta table against this prior -corejson file, then exit")
+		maxAR    = flag.Bool("maxallocregress", false, "with -compare: exit non-zero when any shared row's allocs/op regressed")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		if err := runCompareBench(*compare, *corejson, *maxAR); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *maxAR {
+		fmt.Fprintln(os.Stderr, "bench: -maxallocregress requires -compare")
+		return 2
+	}
 
 	if *corejson != "" {
 		if err := runCoreBench(*corejson); err != nil {

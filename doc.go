@@ -32,6 +32,9 @@
 //	internal/trie            non-blocking binary Patricia trie
 //	internal/queue           Michael-Scott-shaped FIFO queue
 //	internal/stack           Treiber-shaped LIFO stack
+//	internal/reclaim         DEBRA-style epoch reclamation: announcement
+//	                         slots, limbo lists, typed freelists — the
+//	                         GC-free steady state for nodes and descriptors
 //	internal/llsc            single-word LL/SC from CAS
 //	internal/kcss            k-compare-single-swap baseline
 //	internal/mwcas           descriptor-based k-CAS baseline

@@ -9,35 +9,38 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"testing"
+	"unsafe"
 
 	"pragmaprim/internal/container"
 	"pragmaprim/internal/core"
 	"pragmaprim/internal/kcss"
-	"pragmaprim/internal/llsc"
 	"pragmaprim/internal/multiset"
 	"pragmaprim/internal/mwcas"
+	"pragmaprim/internal/reclaim"
 	"pragmaprim/internal/shard"
 	"pragmaprim/internal/template"
 )
 
-// LLXInto times an uncontended LLX snapshot of a 2-field record through the
-// snapshot-reuse API (0 allocs/op).
+// LLXInto times an uncontended LLX snapshot of a 2-field typed record (one
+// word, one pointer) through the de-boxed Fields API: 0 allocs/op, no
+// boxing, no type assertions.
 func LLXInto(b *testing.B) {
 	p := core.NewProcess()
-	r := core.NewRecord(2, []any{1, "x"})
-	buf := make(core.Snapshot, 2)
+	r := core.NewTypedRecord(1, 1)
+	r.SetWord(0, 1)
+	r.SetPtr(0, unsafe.Pointer(r))
+	var f core.Fields
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var st core.LLXStatus
-		buf, st = p.LLXInto(r, buf)
-		if st != core.LLXOK {
+		if st := p.LLXFields(r, &f); st != core.LLXOK {
 			b.Fatal("LLX failed")
 		}
 	}
 }
 
-// LLXAlloc times the allocating LLX compatibility wrapper.
+// LLXAlloc times the legacy boxed LLX compatibility wrapper (allocates the
+// returned Snapshot and unboxes through interface values).
 func LLXAlloc(b *testing.B) {
 	p := core.NewProcess()
 	r := core.NewRecord(2, []any{1, "x"})
@@ -50,36 +53,36 @@ func LLXAlloc(b *testing.B) {
 	}
 }
 
-// FieldRead times the plain read the paper's Proposition 2 lets searches use
-// in place of LLX.
+// FieldRead times the plain de-boxed word read the paper's Proposition 2
+// lets searches use in place of LLX.
 func FieldRead(b *testing.B) {
-	r := core.NewRecord(2, []any{1, "x"})
-	var sink any
+	r := core.NewTypedRecord(1, 1)
+	r.SetWord(0, 42)
+	var sink uint64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sink = r.Read(0)
+		sink += r.Word(0)
 	}
 	_ = sink
 }
 
-// DisjointSCX runs LLX+SCX loops on per-goroutine records: the paper claims
-// every one succeeds (no retries, no aborts). Parallel iff GOMAXPROCS > 1.
+// DisjointSCX runs LLX+SCX loops on per-goroutine typed records: the paper
+// claims every one succeeds (no retries, no aborts). Parallel iff
+// GOMAXPROCS > 1.
 func DisjointSCX(b *testing.B) {
 	var aborts atomic.Int64
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		p := core.NewProcess()
-		r := core.NewRecord(1, []any{0})
-		buf := make(core.Snapshot, 1)
+		r := core.NewTypedRecord(1, 0)
+		var f core.Fields
 		for pb.Next() {
-			var st core.LLXStatus
-			buf, st = p.LLXInto(r, buf)
-			if st != core.LLXOK {
+			if st := p.LLXFields(r, &f); st != core.LLXOK {
 				b.Fail()
 				return
 			}
-			if !p.SCX([]*core.Record{r}, nil, r.Field(0), buf[0].(int)+1) {
+			if !p.SCXWord([]*core.Record{r}, nil, r.WordField(0), f.Word(0)+1) {
 				b.Fail()
 				return
 			}
@@ -89,47 +92,76 @@ func DisjointSCX(b *testing.B) {
 	b.ReportMetric(float64(aborts.Load()), "aborts")
 }
 
-// SCXCycle times an uncontended k-record LLXInto+SCX transaction and reports
-// the measured CAS steps per operation (the paper's k+1).
+// SCXCycle times an uncontended k-record LLXFields+SCXWord transaction on a
+// raw (un-announced) Process — descriptors are allocated per SCX, the
+// classic GC-reliant mode — and reports the measured CAS steps per
+// operation (the paper's k+1).
 func SCXCycle(b *testing.B, k int) {
 	p := core.NewProcess()
 	recs := make([]*core.Record, k)
 	for j := range recs {
-		recs[j] = core.NewRecord(1, []any{0})
+		recs[j] = core.NewTypedRecord(1, 0)
 	}
-	buf := make(core.Snapshot, 1)
+	var f core.Fields
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, r := range recs {
-			var st core.LLXStatus
-			buf, st = p.LLXInto(r, buf)
-			if st != core.LLXOK {
+			if st := p.LLXFields(r, &f); st != core.LLXOK {
 				b.Fatal("LLX failed")
 			}
 		}
-		if !p.SCX(recs, nil, recs[0].Field(0), i+1) {
+		if !p.SCXWord(recs, nil, recs[0].WordField(0), uint64(i)+1) {
 			b.Fatal("SCX failed")
 		}
 	}
 	b.ReportMetric(float64(p.Metrics.CASSteps())/float64(b.N), "CAS/op")
 }
 
+// SCXCycleRecycled is SCXCycle(k=1) under an announced reclamation epoch:
+// the hand-rolled GC-free steady state, where the SCX descriptor comes from
+// and returns to the process's freelist (0 allocs/op after warmup).
+func SCXCycleRecycled(b *testing.B) {
+	p := core.NewProcess()
+	l := p.Reclaimer()
+	r := core.NewTypedRecord(1, 0)
+	var f core.Fields
+	cycle := func(i int) {
+		l.Enter()
+		if st := p.LLXFields(r, &f); st != core.LLXOK {
+			b.Fatal("LLX failed")
+		}
+		if !p.SCXWord([]*core.Record{r}, nil, r.WordField(0), uint64(i)+1) {
+			b.Fatal("SCX failed")
+		}
+		l.Exit()
+	}
+	for i := 0; i < 64; i++ {
+		cycle(i) // prime the descriptor freelist
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle(64 + i)
+	}
+}
+
 // TemplateSCXCycle times the same uncontended 1-record LLX+SCX transaction
 // as SCXCycle(k=1), but routed through the template engine — the direct
-// measure of the engine's overhead over the hand-rolled loop.
+// measure of the engine's overhead over the hand-rolled loop. The engine
+// announces the epoch, so after warmup the cycle is allocation-free.
 func TemplateSCXCycle(b *testing.B) {
 	h := core.NewHandle()
-	r := core.NewRecord(1, []any{0})
+	r := core.NewTypedRecord(1, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		template.Run(h, nil, nil, func(c *template.Ctx) (struct{}, template.Action) {
-			snap, st := c.LLX(r)
+			snap, st := c.LLXF(r)
 			if st != core.LLXOK {
 				b.Fatal("LLX failed")
 			}
-			if c.SCX([]*core.Record{r}, nil, r.Field(0), snap[0].(int)+1) {
+			if c.SCXWord([]*core.Record{r}, nil, r.WordField(0), snap.Word(0)+1) {
 				return struct{}{}, template.Done
 			}
 			b.Fatal("SCX failed")
@@ -150,22 +182,59 @@ func HandleRoundtrip(b *testing.B) {
 	}
 }
 
-// MWCASCycle times an uncontended k-word multi-word CAS, the paper's
-// Section 2 descriptor-based baseline (2k+1 CAS steps where SCX needs k+1).
-func MWCASCycle(b *testing.B, k int) {
-	cells := make([]*mwcas.Cell[int], k)
-	for j := range cells {
-		cells[j] = mwcas.NewCell(0)
+// benchThing is the payload of the ReclaimRetire benchmark.
+type benchThing struct{ v int }
+
+// ReclaimRetire times one retire-and-reallocate cycle through the epoch
+// machinery: Enter, Retire into limbo, Exit (with its opportunistic
+// advance/drain), and a Pool.Get that recycles an earlier retiree. This is
+// the steady-state overhead a structure pays per removed node.
+func ReclaimRetire(b *testing.B) {
+	d := reclaim.NewDomain()
+	l := reclaim.NewLocal(d)
+	pool := reclaim.NewPool[benchThing]()
+	x := &benchThing{}
+	for i := 0; i < 64; i++ { // prime the pipeline
+		l.Enter()
+		pool.Retire(l, x)
+		l.Exit()
+		if y := pool.Get(l); y != nil {
+			x = y
+		} else {
+			x = &benchThing{}
+		}
 	}
-	old := make([]int, k)
-	newv := make([]int, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Enter()
+		pool.Retire(l, x)
+		l.Exit()
+		if y := pool.Get(l); y != nil {
+			x = y
+		} else {
+			x = &benchThing{}
+		}
+	}
+}
+
+// MWCASCycle times an uncontended k-word multi-word CAS over uint64 cells,
+// the paper's Section 2 descriptor-based baseline (2k+1 CAS steps where SCX
+// needs k+1); the whole operation is one descriptor allocation.
+func MWCASCycle(b *testing.B, k int) {
+	cells := make([]*mwcas.Cell[uint64], k)
+	for j := range cells {
+		cells[j] = mwcas.NewCell[uint64](0)
+	}
+	old := make([]uint64, k)
+	newv := make([]uint64, k)
 	var st mwcas.Stats
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := range cells {
-			old[j] = i
-			newv[j] = i + 1
+			old[j] = uint64(i)
+			newv[j] = uint64(i) + 1
 		}
 		if !mwcas.MWCAS(cells, old, newv, &st) {
 			b.Fatal("MWCAS failed")
@@ -174,20 +243,21 @@ func MWCASCycle(b *testing.B, k int) {
 	b.ReportMetric(float64(st.CASAttempts.Load())/float64(b.N), "CAS/op")
 }
 
-// KCSSCycle times an uncontended k-location k-compare-single-swap, the
-// LL/SC-based baseline the paper positions SCX against.
+// KCSSCycle times an uncontended k-location k-compare-single-swap over
+// de-boxed version-packed word locations, the LL/SC-based baseline the
+// paper positions SCX against (0 allocs/op).
 func KCSSCycle(b *testing.B, k int) {
-	h := kcss.NewHandle[int]()
-	locs := make([]*llsc.Loc[int], k)
+	h := kcss.NewWordHandle()
+	locs := make([]*kcss.WordLoc, k)
 	for j := range locs {
-		locs[j] = llsc.NewLoc(0)
+		locs[j] = kcss.NewWordLoc(0)
 	}
-	expected := make([]int, k)
+	expected := make([]uint32, k)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		expected[0] = i
-		if !h.KCSS(locs, expected, i+1) {
+		expected[0] = uint32(i)
+		if !h.KCSS(locs, expected, uint32(i)+1) {
 			b.Fatal("KCSS failed")
 		}
 	}
@@ -207,19 +277,21 @@ func NewFilledMultiset() (*multiset.Multiset[int], multiset.Session[int]) {
 	return m, s
 }
 
-// MultisetGet times Get on a prefilled multiset.
+// MultisetGet times Get on a prefilled multiset through a bound Session
+// (plain-read search under the session's epoch guard).
 func MultisetGet(b *testing.B) {
-	m, _ := NewFilledMultiset()
+	_, s := NewFilledMultiset()
 	rng := rand.New(rand.NewSource(1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Get(rng.Intn(MultisetKeys))
+		s.Get(rng.Intn(MultisetKeys))
 	}
 }
 
 // MultisetInsertExisting times Insert of already-present keys (a count bump:
-// one LLX + one SCX, no node allocation) through a bound Session.
+// one LLX + one word SCX, no node allocation, recycled descriptor — 0
+// allocs/op after warmup) through a bound Session.
 func MultisetInsertExisting(b *testing.B) {
 	_, s := NewFilledMultiset()
 	rng := rand.New(rand.NewSource(2))
@@ -231,10 +303,17 @@ func MultisetInsertExisting(b *testing.B) {
 }
 
 // MultisetInsertDeleteNew times an insert/delete pair on fresh keys (node
-// splice plus three-record unlink SCX) through a bound Session.
+// splice plus three-record unlink SCX) through a bound Session. With node
+// recycling the steady state allocates nothing: the splice reuses the nodes
+// earlier deletes retired.
 func MultisetInsertDeleteNew(b *testing.B) {
 	_, s := NewFilledMultiset()
 	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 256; i++ { // prime the recycling pipeline
+		k := MultisetKeys + rng.Intn(MultisetKeys)
+		s.Insert(k, 1)
+		s.Delete(k, 1)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -296,6 +375,11 @@ func ShardedMultisetInsertDeleteNew(b *testing.B) {
 	_, s := NewFilledShardedMultiset()
 	b.Cleanup(s.Close)
 	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 256; i++ { // prime the recycling pipeline
+		k := MultisetKeys + rng.Intn(MultisetKeys)
+		s.Insert(k)
+		s.Delete(k)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

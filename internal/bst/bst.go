@@ -19,10 +19,15 @@
 //     parent and the removed leaf).
 //
 // Searches traverse child pointers with plain reads, justified by the
-// paper's Proposition 2; updates run on the internal/template engine, which
-// owns the retry loop, backoff and contention counters. The tree uses the
-// standard two-sentinel construction (keys ∞₁ < ∞₂ above every real key) so
-// that every real leaf has an internal parent and grandparent.
+// paper's Proposition 2, under an epoch guard (removed nodes are recycled
+// through internal/reclaim, not left to the garbage collector); updates run
+// on the internal/template engine, which owns the retry loop, backoff and
+// contention counters. Child links are raw de-boxed pointer words, and every
+// node — leaf or router — embeds its Data-record with the same two-pointer
+// layout, so one reclaim pool recycles all of them interchangeably. The
+// tree uses the standard two-sentinel construction (keys ∞₁ < ∞₂ above
+// every real key) so that every real leaf has an internal parent and
+// grandparent.
 //
 // Methods never take a *core.Process: plain calls acquire a pooled Handle
 // per operation, and hot paths bind one with Attach.
@@ -31,12 +36,14 @@ package bst
 import (
 	"cmp"
 	"fmt"
+	"unsafe"
 
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/reclaim"
 	"pragmaprim/internal/template"
 )
 
-// Mutable-field indices of an internal node's Data-record.
+// Mutable-field indices of a node's Data-record (pointer fields).
 const (
 	fieldLeft  = 0
 	fieldRight = 1
@@ -52,31 +59,20 @@ const (
 )
 
 // node is one tree node. All node fields except the record's child pointers
-// are immutable, as the template requires.
+// are immutable while published, as the template requires. Leaves and
+// routers share one layout (two pointer fields, unused by leaves) so the
+// reclaim pool can recycle any node as any other.
 type node[K cmp.Ordered, V any] struct {
-	rec  *core.Record
+	rec  core.Record
 	key  K
 	sent sentinel
 	leaf bool
 	val  V // meaningful only for real leaves
 }
 
-func newInternal[K cmp.Ordered, V any](key K, sent sentinel, left, right *node[K, V]) *node[K, V] {
-	n := &node[K, V]{key: key, sent: sent}
-	n.rec = core.NewRecord(2, []any{left, right}, n)
-	return n
-}
-
-func newLeaf[K cmp.Ordered, V any](key K, sent sentinel, val V) *node[K, V] {
-	n := &node[K, V]{key: key, sent: sent, leaf: true, val: val}
-	n.rec = core.NewRecord(0, nil, n)
-	return n
-}
-
 // child reads the dir child of internal node n with a plain read.
 func (n *node[K, V]) child(dir int) *node[K, V] {
-	c, _ := n.rec.Read(dir).(*node[K, V])
-	return c
+	return (*node[K, V])(n.rec.Ptr(dir))
 }
 
 // keyLess reports whether a search for key descends left at n, i.e.
@@ -97,6 +93,7 @@ func (n *node[K, V]) matches(key K) bool {
 // usable; create one with New. All methods are safe for concurrent use.
 type Tree[K cmp.Ordered, V any] struct {
 	root     *node[K, V]
+	pool     *reclaim.Pool[node[K, V]]
 	policy   template.Policy
 	putStats template.OpStats
 	delStats template.OpStats
@@ -106,11 +103,57 @@ type Tree[K cmp.Ordered, V any] struct {
 // the ∞₁ and ∞₂ sentinel leaves. The root is the sole entry point and is
 // never finalized.
 func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	t := &Tree[K, V]{pool: reclaim.NewPool[node[K, V]]()}
+	// Rewind records as nodes enter the freelists, releasing the
+	// descriptors their info fields would otherwise park (see reclaim).
+	t.pool.SetOnFree(func(n *node[K, V]) { n.rec.Recycle() })
 	var zeroK K
 	var zeroV V
-	l1 := newLeaf(zeroK, sentInf1, zeroV)
-	l2 := newLeaf(zeroK, sentInf2, zeroV)
-	return &Tree[K, V]{root: newInternal(zeroK, sentInf2, l1, l2)}
+	l1 := t.newLeaf(nil, zeroK, sentInf1, zeroV)
+	l2 := t.newLeaf(nil, zeroK, sentInf2, zeroV)
+	t.root = t.newInternal(nil, zeroK, sentInf2, l1, l2)
+	return t
+}
+
+// alloc recycles or allocates a blank node; every node has the same
+// two-pointer record layout.
+func (t *Tree[K, V]) alloc(l *reclaim.Local) *node[K, V] {
+	n := t.pool.Get(l)
+	if n == nil {
+		n = &node[K, V]{}
+		core.InitRecord(&n.rec, 0, 2)
+	} else {
+		n.rec.Recycle()
+	}
+	return n
+}
+
+// setInternal and setLeaf are the single places node state is set, shared
+// by the constructors and the retry paths that re-arm a node built by an
+// earlier attempt.
+func setInternal[K cmp.Ordered, V any](n *node[K, V], key K, sent sentinel, left, right *node[K, V]) {
+	var zeroV V
+	n.key, n.sent, n.leaf, n.val = key, sent, false, zeroV
+	n.rec.SetPtr(fieldLeft, unsafe.Pointer(left))
+	n.rec.SetPtr(fieldRight, unsafe.Pointer(right))
+}
+
+func setLeaf[K cmp.Ordered, V any](n *node[K, V], key K, sent sentinel, val V) {
+	n.key, n.sent, n.leaf, n.val = key, sent, true, val
+	n.rec.SetPtr(fieldLeft, nil)
+	n.rec.SetPtr(fieldRight, nil)
+}
+
+func (t *Tree[K, V]) newInternal(l *reclaim.Local, key K, sent sentinel, left, right *node[K, V]) *node[K, V] {
+	n := t.alloc(l)
+	setInternal(n, key, sent, left, right)
+	return n
+}
+
+func (t *Tree[K, V]) newLeaf(l *reclaim.Local, key K, sent sentinel, val V) *node[K, V] {
+	n := t.alloc(l)
+	setLeaf(n, key, sent, val)
+	return n
 }
 
 // SetPolicy installs the retry policy updates back off with; nil (the
@@ -149,7 +192,7 @@ func (s Session[K, V]) Handle() *core.Handle { return s.h }
 
 // search walks from the root to the leaf whose key range covers key,
 // returning the leaf l, its parent p and grandparent g (g is nil iff p is
-// the root). Plain reads only.
+// the root). Plain reads only; the caller must hold an epoch guard.
 func (t *Tree[K, V]) search(key K) (g, p, l *node[K, V]) {
 	l = t.root
 	for !l.leaf {
@@ -164,21 +207,19 @@ func (t *Tree[K, V]) search(key K) (g, p, l *node[K, V]) {
 	return g, p, l
 }
 
-// Get returns the value stored for key, if any. Searches are plain reads
-// (Proposition 2), so Get needs no Handle.
+// Get returns the value stored for key, if any, using a pooled Handle; see
+// Session.Get for the hot-path form.
 func (t *Tree[K, V]) Get(key K) (V, bool) {
-	_, _, l := t.search(key)
-	if l.matches(key) {
-		return l.val, true
-	}
-	var zero V
-	return zero, false
+	h := core.AcquireHandle()
+	v, ok := t.Attach(h).Get(key)
+	h.Release()
+	return v, ok
 }
 
 // Contains reports whether key is present.
 func (t *Tree[K, V]) Contains(key K) bool {
-	_, _, l := t.search(key)
-	return l.matches(key)
+	_, ok := t.Get(key)
+	return ok
 }
 
 // Put maps key to val using a pooled Handle; see Session.Put for the
@@ -200,18 +241,30 @@ func (t *Tree[K, V]) Delete(key K) (V, bool) {
 }
 
 // Get returns the value stored for key, if any.
-func (s Session[K, V]) Get(key K) (V, bool) { return s.t.Get(key) }
+func (s Session[K, V]) Get(key K) (V, bool) {
+	template.Enter(s.h)
+	defer template.Exit(s.h)
+	_, _, l := s.t.search(key)
+	if l.matches(key) {
+		return l.val, true
+	}
+	var zero V
+	return zero, false
+}
 
 // Contains reports whether key is present.
-func (s Session[K, V]) Contains(key K) bool { return s.t.Contains(key) }
+func (s Session[K, V]) Contains(key K) bool {
+	_, ok := s.Get(key)
+	return ok
+}
 
 // childDir returns the field index of p's child that snapshot snap shows as
 // c, or -1 if c is no longer a child of p in snap.
-func childDir[K cmp.Ordered, V any](snap core.Snapshot, c *node[K, V]) int {
-	if n, _ := snap[fieldLeft].(*node[K, V]); n == c {
+func childDir[K cmp.Ordered, V any](snap *core.Fields, c *node[K, V]) int {
+	if (*node[K, V])(snap.Ptr(fieldLeft)) == c {
 		return fieldLeft
 	}
-	if n, _ := snap[fieldRight].(*node[K, V]); n == c {
+	if (*node[K, V])(snap.Ptr(fieldRight)) == c {
 		return fieldRight
 	}
 	return -1
@@ -221,9 +274,10 @@ func childDir[K cmp.Ordered, V any](snap core.Snapshot, c *node[K, V]) int {
 // an existing mapping was replaced.
 func (s Session[K, V]) Put(key K, val V) bool {
 	t := s.t
+	var n1, n2 *node[K, V] // built at most once per operation; retries retarget
 	return template.Run(s.h, t.policy, &t.putStats, func(c *template.Ctx) (bool, template.Action) {
 		_, p, l := t.search(key)
-		localp, st := c.LLX(p.rec)
+		localp, st := c.LLXF(&p.rec)
 		if st != core.LLXOK {
 			return false, template.Retry
 		}
@@ -231,31 +285,43 @@ func (s Session[K, V]) Put(key K, val V) bool {
 		if dir == -1 {
 			return false, template.Retry // tree moved under us; re-search
 		}
+		// Every Put path publishes a fresh leaf; build (or re-arm the
+		// recycled) n1 once for this attempt.
+		if n1 == nil {
+			n1 = t.newLeaf(c.Reclaim(), key, sentReal, val)
+		} else {
+			setLeaf(n1, key, sentReal, val)
+		}
 		if l.matches(key) {
 			// Replace the existing leaf, finalizing it.
-			if _, st := c.LLX(l.rec); st != core.LLXOK {
+			if _, st := c.LLXF(&l.rec); st != core.LLXOK {
 				return false, template.Retry
 			}
-			repl := newLeaf(key, sentReal, val)
-			if c.SCX([]*core.Record{p.rec, l.rec}, []*core.Record{l.rec},
-				p.rec.Field(dir), repl) {
+			if c.SCXPtr([]*core.Record{&p.rec, &l.rec}, []*core.Record{&l.rec},
+				p.rec.PtrField(dir), unsafe.Pointer(n1)) {
+				if n2 != nil {
+					t.pool.Release(c.Reclaim(), n2)
+				}
+				t.pool.Retire(c.Reclaim(), l)
 				return false, template.Done
 			}
 			return false, template.Retry
 		}
 		// Splice an internal node carrying the new leaf and the old leaf.
-		nl := newLeaf(key, sentReal, val)
-		var inner *node[K, V]
+		if n2 == nil {
+			n2 = t.alloc(c.Reclaim())
+		}
 		switch {
 		case l.sent != sentReal:
 			// key < l: the router inherits l's sentinel key.
-			inner = newInternal(l.key, l.sent, nl, l)
+			setInternal(n2, l.key, l.sent, n1, l)
 		case key < l.key:
-			inner = newInternal(l.key, sentReal, nl, l)
+			setInternal(n2, l.key, sentReal, n1, l)
 		default:
-			inner = newInternal(key, sentReal, l, nl)
+			setInternal(n2, key, sentReal, l, n1)
 		}
-		if c.SCX([]*core.Record{p.rec}, nil, p.rec.Field(dir), inner) {
+		if c.SCXPtr([]*core.Record{&p.rec}, nil, p.rec.PtrField(dir),
+			unsafe.Pointer(n2)) {
 			return true, template.Done
 		}
 		return false, template.Retry
@@ -279,7 +345,7 @@ func (s Session[K, V]) Delete(key K) (V, bool) {
 		}
 		// A real leaf always has an internal parent and grandparent thanks
 		// to the sentinel construction.
-		localg, st := c.LLX(g.rec)
+		localg, st := c.LLXF(&g.rec)
 		if st != core.LLXOK {
 			return delResult[V]{}, template.Retry
 		}
@@ -287,7 +353,7 @@ func (s Session[K, V]) Delete(key K) (V, bool) {
 		if pdir == -1 {
 			return delResult[V]{}, template.Retry
 		}
-		localp, st := c.LLX(p.rec)
+		localp, st := c.LLXF(&p.rec)
 		if st != core.LLXOK {
 			return delResult[V]{}, template.Retry
 		}
@@ -295,14 +361,14 @@ func (s Session[K, V]) Delete(key K) (V, bool) {
 		if ldir == -1 {
 			return delResult[V]{}, template.Retry
 		}
-		sib, _ := localp[1-ldir].(*node[K, V]) // sibling, per the snapshot
+		sib := (*node[K, V])(localp.Ptr(1 - ldir)) // sibling, per the snapshot
 		if sib == nil {
 			return delResult[V]{}, template.Retry
 		}
-		if _, st := c.LLX(l.rec); st != core.LLXOK {
+		if _, st := c.LLXF(&l.rec); st != core.LLXOK {
 			return delResult[V]{}, template.Retry
 		}
-		if _, st := c.LLX(sib.rec); st != core.LLXOK {
+		if _, st := c.LLXF(&sib.rec); st != core.LLXOK {
 			return delResult[V]{}, template.Retry
 		}
 		// V lists g, p, then p's children in left-right order — an order
@@ -310,12 +376,16 @@ func (s Session[K, V]) Delete(key K) (V, bool) {
 		// total-order constraint.
 		var v []*core.Record
 		if ldir == fieldLeft {
-			v = []*core.Record{g.rec, p.rec, l.rec, sib.rec}
+			v = []*core.Record{&g.rec, &p.rec, &l.rec, &sib.rec}
 		} else {
-			v = []*core.Record{g.rec, p.rec, sib.rec, l.rec}
+			v = []*core.Record{&g.rec, &p.rec, &sib.rec, &l.rec}
 		}
-		if c.SCX(v, []*core.Record{p.rec, l.rec}, g.rec.Field(pdir), sib) {
-			return delResult[V]{val: l.val, ok: true}, template.Done
+		if c.SCXPtr(v, []*core.Record{&p.rec, &l.rec}, g.rec.PtrField(pdir),
+			unsafe.Pointer(sib)) {
+			val := l.val
+			t.pool.Retire(c.Reclaim(), p)
+			t.pool.Retire(c.Reclaim(), l)
+			return delResult[V]{val: val, ok: true}, template.Done
 		}
 		return delResult[V]{}, template.Retry
 	})
@@ -327,7 +397,7 @@ func (s Session[K, V]) Delete(key K) (V, bool) {
 // count (each counted leaf was present at some point, Proposition 2).
 func (t *Tree[K, V]) Len() int {
 	n := 0
-	t.walk(t.root, func(l *node[K, V]) { n++ })
+	template.Guarded(func() { t.walk(t.root, func(l *node[K, V]) { n++ }) })
 	return n
 }
 
@@ -335,7 +405,7 @@ func (t *Tree[K, V]) Len() int {
 // caveat as Len.
 func (t *Tree[K, V]) Keys() []K {
 	var keys []K
-	t.walk(t.root, func(l *node[K, V]) { keys = append(keys, l.key) })
+	template.Guarded(func() { t.walk(t.root, func(l *node[K, V]) { keys = append(keys, l.key) }) })
 	return keys
 }
 
@@ -343,7 +413,7 @@ func (t *Tree[K, V]) Keys() []K {
 // as Len.
 func (t *Tree[K, V]) Items() map[K]V {
 	items := make(map[K]V)
-	t.walk(t.root, func(l *node[K, V]) { items[l.key] = l.val })
+	template.Guarded(func() { t.walk(t.root, func(l *node[K, V]) { items[l.key] = l.val }) })
 	return items
 }
 
@@ -367,7 +437,9 @@ func (t *Tree[K, V]) walk(n *node[K, V], visit func(l *node[K, V])) {
 // sentinels outermost, and no reachable node is finalized. It returns an
 // error describing the first violation. Intended for tests.
 func (t *Tree[K, V]) CheckInvariants() error {
-	return t.check(t.root, nil, nil)
+	var err error
+	template.Guarded(func() { err = t.check(t.root, nil, nil) })
+	return err
 }
 
 // check validates the subtree at n against the half-open key interval

@@ -1,0 +1,59 @@
+package container_test
+
+import (
+	"testing"
+
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/queue"
+	"pragmaprim/internal/stack"
+)
+
+// Allocation pins for the container adapters. With de-boxed records and
+// epoch recycling, a warm produce/consume roundtrip through the queue and
+// stack adapters — and the multiset's bump/get — touches the heap not at
+// all: nodes come from the freelists, descriptors are recycled, sessions
+// hold pooled handles.
+
+func warmPin(t *testing.T, name string, warm, op func(), want float64) {
+	t.Helper()
+	for i := 0; i < 256; i++ {
+		warm()
+	}
+	if allocs := testing.AllocsPerRun(1000, op); allocs > want {
+		t.Errorf("%s: %v allocs/op warm, want <= %v", name, allocs, want)
+	}
+}
+
+func TestQueueAdapterAllocFree(t *testing.T) {
+	c := container.Queue(queue.New[int]())
+	s := c.NewSession()
+	defer s.Close()
+	roundtrip := func() {
+		s.Insert(7)
+		s.Delete(0)
+	}
+	warmPin(t, "queue insert+delete", roundtrip, roundtrip, 0)
+	warmPin(t, "queue peek", func() { s.Insert(1) }, func() { s.Get(0) }, 0)
+}
+
+func TestStackAdapterAllocFree(t *testing.T) {
+	c := container.Stack(stack.New[int]())
+	s := c.NewSession()
+	defer s.Close()
+	roundtrip := func() {
+		s.Insert(7)
+		s.Delete(0)
+	}
+	warmPin(t, "stack push+pop", roundtrip, roundtrip, 0)
+	warmPin(t, "stack peek", func() { s.Insert(1) }, func() { s.Get(0) }, 0)
+}
+
+func TestMultisetAdapterAllocFree(t *testing.T) {
+	c := container.Multiset(multiset.New[int]())
+	s := c.NewSession()
+	defer s.Close()
+	s.Insert(1)
+	warmPin(t, "multiset bump", func() { s.Insert(1) }, func() { s.Insert(1) }, 0)
+	warmPin(t, "multiset get", func() { s.Insert(1) }, func() { s.Get(1) }, 0)
+}

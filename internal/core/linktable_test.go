@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"testing"
+	"unsafe"
 )
 
 // White-box tests for the open-addressed link table: linear probing,
@@ -22,7 +23,8 @@ func TestLinkTablePutGetDel(t *testing.T) {
 	for i, r := range recs {
 		e := tab.put(r)
 		e.info = dummySCXRecord
-		e.boxes[0] = &box{val: i}
+		e.f.np = 1
+		e.f.ptrs[0] = unsafe.Pointer(&box{val: i})
 	}
 	if tab.links() != linkTableMax {
 		t.Fatalf("links = %d, want %d", tab.links(), linkTableMax)
@@ -35,8 +37,8 @@ func TestLinkTablePutGetDel(t *testing.T) {
 		if e == nil {
 			t.Fatalf("get(%d) = nil", i)
 		}
-		if e.boxes[0].val != i {
-			t.Errorf("get(%d) box = %v, want %d", i, e.boxes[0].val, i)
+		if (*box)(e.f.ptrs[0]).val != i {
+			t.Errorf("get(%d) box = %v, want %d", i, (*box)(e.f.ptrs[0]).val, i)
 		}
 	}
 	// Delete in a scrambled order, checking the survivors after each step:
@@ -65,16 +67,17 @@ func TestLinkTableOverwrite(t *testing.T) {
 	var tab linkTable
 	r := NewRecord(1, []any{0})
 	e := tab.put(r)
-	e.boxes[0] = &box{val: "first"}
+	e.f.np = 1
+	e.f.ptrs[0] = unsafe.Pointer(&box{val: "first"})
 	e = tab.put(r)
-	if e.boxes[0] == nil || e.boxes[0].val != "first" {
+	if e.f.ptrs[0] == nil || (*box)(e.f.ptrs[0]).val != "first" {
 		// put on an existing key returns the same slot; the caller
 		// overwrites it, so the old contents are still visible here.
 		t.Fatalf("put did not return the existing slot")
 	}
-	e.boxes[0] = &box{val: "second"}
-	if got := tab.get(r); got.boxes[0].val != "second" {
-		t.Errorf("entry = %v, want second", got.boxes[0].val)
+	e.f.ptrs[0] = unsafe.Pointer(&box{val: "second"})
+	if got := tab.get(r); (*box)(got.f.ptrs[0]).val != "second" {
+		t.Errorf("entry = %v, want second", (*box)(got.f.ptrs[0]).val)
 	}
 	if tab.links() != 1 {
 		t.Errorf("links = %d, want 1", tab.links())

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"unsafe"
+
+	"pragmaprim/internal/reclaim"
 )
 
 // LLXStatus is the outcome of an LLX.
@@ -33,31 +35,18 @@ func (s LLXStatus) String() string {
 	}
 }
 
-// Snapshot is an atomic snapshot of a Record's mutable fields, indexed like
-// Record.Read. The caller owns the slice.
+// Snapshot is the legacy boxed snapshot of a Record's mutable fields,
+// indexed like Record.Read. The caller owns the slice. Typed records
+// snapshot into Fields instead.
 type Snapshot []any
 
-// maxInlineFields is the number of field boxes an llxEntry holds without a
-// heap spill. Every record in this repository's data structures has at most
-// two mutable fields; four leaves headroom.
-const maxInlineFields = 4
-
 // llxEntry is one row of the paper's per-process table of LLX results: the
-// info pointer and raw field boxes read by the process's last LLX on a
-// record. Boxes are stored inline up to maxInlineFields; wider records spill
-// to a heap slice (allocated once per LLX on such a record).
+// info pointer and the raw field words read by the process's last LLX on a
+// record. For legacy records the captured pointers are the *box values,
+// preserving the box-identity update CAS.
 type llxEntry struct {
-	info     *SCXRecord
-	boxes    [maxInlineFields]*box
-	boxSpill []*box // non-nil iff the record has > maxInlineFields fields
-}
-
-// boxAt returns the box read for mutable field i.
-func (e *llxEntry) boxAt(i int) *box {
-	if e.boxSpill != nil {
-		return e.boxSpill[i]
-	}
-	return e.boxes[i]
+	info *SCXRecord
+	f    Fields
 }
 
 // Link-table geometry. The paper's V-sequences have k <= 4 for every
@@ -219,11 +208,23 @@ func (t *linkTable) links() int { return t.n + len(t.spill) }
 type Process struct {
 	table   linkTable
 	Metrics Metrics
+	recl    *reclaim.Local
 }
 
 // NewProcess returns a fresh Process with an empty LLX table.
 func NewProcess() *Process {
 	return &Process{}
+}
+
+// Reclaimer returns the process's epoch-reclamation state, creating it on
+// first use. The template engine announces every operation through it,
+// which is what arms descriptor recycling on this process; raw Processes
+// that never announce keep the classic allocate-and-abandon behavior.
+func (p *Process) Reclaimer() *reclaim.Local {
+	if p.recl == nil {
+		p.recl = reclaim.NewLocal(nil)
+	}
+	return p.recl
 }
 
 // LLX performs a load-link-extended on r (paper Figure 4, lines 1-16).
@@ -236,22 +237,60 @@ func NewProcess() *Process {
 // performs another LLX(r), an SCX whose V contains r, or an unsuccessful VLX
 // whose V contains r.
 //
-// LLX allocates a fresh Snapshot per call; hot loops should prefer LLXInto.
+// LLX allocates a fresh Snapshot per call; hot loops should prefer LLXInto
+// (legacy records) or LLXFields (typed records).
 func (p *Process) LLX(r *Record) (Snapshot, LLXStatus) {
 	return p.LLXInto(r, nil)
 }
 
-// LLXInto is LLX with snapshot reuse: on LLXOK the snapshot is written into
-// buf when cap(buf) suffices (a fresh slice is allocated only when it does
-// not; nil buf allocates whenever the record has mutable fields). The
-// returned Snapshot aliases buf, so the
-// previous contents of buf are invalidated. With an adequate caller-owned
-// buffer, an uncontended LLXInto on a record with at most maxInlineFields
-// mutable fields performs zero heap allocations.
+// LLXInto is the legacy boxed LLX with snapshot reuse: on LLXOK the
+// snapshot is written into buf when cap(buf) suffices (a fresh slice is
+// allocated only when it does not; nil buf allocates whenever the record has
+// mutable fields). The returned Snapshot aliases buf, so the previous
+// contents of buf are invalidated. With an adequate caller-owned buffer, an
+// uncontended LLXInto on a record with at most maxInlineWidth mutable fields
+// performs zero heap allocations. Panics on typed records, which snapshot
+// through LLXFields.
 func (p *Process) LLXInto(r *Record, buf Snapshot) (Snapshot, LLXStatus) {
 	if r == nil {
 		panic("core: LLX of nil Record")
 	}
+	if !r.legacy {
+		panic("core: boxed LLX on a typed record; use LLXFields")
+	}
+	var stage Fields
+	st := p.llx(r, &stage)
+	if st != LLXOK {
+		return nil, st
+	}
+	// Unbox the captured boxes into the caller's buffer.
+	nf := int(r.np)
+	if cap(buf) < nf {
+		buf = make(Snapshot, nf)
+	}
+	vals := buf[:nf]
+	for i := 0; i < nf; i++ {
+		vals[i] = (*box)(stage.Ptr(i)).val
+	}
+	return vals, LLXOK
+}
+
+// LLXFields performs a load-link-extended on a typed record, capturing the
+// snapshot into the caller-owned f. It is the allocation-free fast path:
+// for records up to maxInlineWidth fields per kind it touches the heap only
+// via the link table's spill map in pathological link patterns.
+func (p *Process) LLXFields(r *Record, f *Fields) LLXStatus {
+	if r == nil {
+		panic("core: LLX of nil Record")
+	}
+	if r.legacy {
+		panic("core: LLXFields on a legacy record; use LLXInto")
+	}
+	return p.llx(r, f)
+}
+
+// llx is the shared body of Figure 4, lines 1-16, capturing into f.
+func (p *Process) llx(r *Record, f *Fields) LLXStatus {
 	p.Metrics.LLXOps++
 
 	marked1 := r.marked.Load() // line 3: order of lines 3-6 matters
@@ -261,37 +300,18 @@ func (p *Process) LLXInto(r *Record, buf Snapshot) (Snapshot, LLXStatus) {
 
 	// Line 7: r was not frozen at line 5.
 	if state == StateAborted || (state == StateCommitted && !marked2) {
-		// Line 8: read the mutable fields. Boxes are staged on the stack (or
-		// in a spill slice for wide records) and published to the link table
-		// only after the line-9 validation.
-		nf := len(r.mutable)
-		var boxes [maxInlineFields]*box
-		var boxSpill []*box
-		if nf > maxInlineFields {
-			boxSpill = make([]*box, nf)
-		}
-		if cap(buf) < nf {
-			buf = make(Snapshot, nf)
-		}
-		vals := buf[:nf]
-		for i := range r.mutable {
-			b := r.mutable[i].Load()
-			if boxSpill != nil {
-				boxSpill[i] = b
-			} else {
-				boxes[i] = b
-			}
-			vals[i] = b.val
-		}
+		// Line 8: read the mutable fields into the caller's staging area;
+		// they are published to the link table only after the line-9
+		// validation.
+		r.captureInto(f)
 		// Line 9: r.info still points to the same SCX-record, so r was
 		// unfrozen throughout and the values form a snapshot.
 		if r.info.Load() == rinfo {
 			e := p.table.put(r) // line 10
 			e.info = rinfo
-			e.boxes = boxes
-			e.boxSpill = boxSpill
+			e.f.copyFrom(f)
 			p.Metrics.LLXSnapshots++
-			return vals, LLXOK // line 11
+			return LLXOK // line 11
 		}
 	}
 
@@ -301,7 +321,7 @@ func (p *Process) LLXInto(r *Record, buf Snapshot) (Snapshot, LLXStatus) {
 		(state == StateInProgress && p.help(rinfo))
 	if finalized && marked1 {
 		p.Metrics.LLXFinalized++
-		return nil, LLXFinalized // line 13
+		return LLXFinalized // line 13
 	}
 
 	// Line 15: help whatever SCX currently has r frozen, then fail.
@@ -309,29 +329,69 @@ func (p *Process) LLXInto(r *Record, buf Snapshot) (Snapshot, LLXStatus) {
 		p.help(inf)
 	}
 	p.Metrics.LLXFails++
-	return nil, LLXFail // line 16
+	return LLXFail // line 16
 }
 
 // SCX performs a store-conditional-extended (paper Figure 4, lines 17-21):
-// atomically store newVal into the mutable field fld of one record in v and
-// finalize every record in rset, provided no record in v has changed since
-// this process's linked LLX on it. rset must be a subset of v, and fld.Rec
-// must be in v. SCX reports whether it succeeded; on failure the caller must
-// re-perform the LLXs before retrying.
+// atomically store newVal into the legacy mutable field fld of one record in
+// v and finalize every record in rset, provided no record in v has changed
+// since this process's linked LLX on it. rset must be a subset of v, and
+// fld.Rec must be in v. SCX reports whether it succeeded; on failure the
+// caller must re-perform the LLXs before retrying.
 //
 // Preconditions (checked, panic on violation, as these are programming
 // errors): the process has a linked LLX for every record in v, rset ⊆ v, and
-// fld names a mutable field of a record in v. The paper's remaining
+// fld names a legacy mutable field of a record in v. The paper's remaining
 // precondition — newVal must differ from every value fld has held — is
 // satisfied by construction because SCX boxes newVal freshly.
 //
-// SCX performs exactly one heap allocation on the fast path (len(v) and
-// len(rset) at most maxInlineV): the operation descriptor, which must be
-// fresh per SCX for ABA-safety. Neither v nor rset is retained, so callers
-// may reuse (or stack-allocate) the slices.
+// SCX performs at most one heap allocation (the operation descriptor), and
+// zero once the process runs under an announced reclamation epoch (the
+// template engine's default), where descriptors are recycled through
+// internal/reclaim after their grace periods. Neither v nor rset is
+// retained, so callers may reuse (or stack-allocate) the slices.
 func (p *Process) SCX(v []*Record, rset []*Record, fld FieldRef, newVal any) bool {
+	if fld.kind != fieldBoxed {
+		panic("core: boxed SCX with a typed FieldRef; use SCXWord or SCXPtr")
+	}
+	u := p.buildSCXRecord(v, rset, fld)
+	u.newBoxStore.val = newVal
+	u.newPtr = unsafe.Pointer(&u.newBoxStore)
+	return p.runSCX(u, v)
+}
+
+// SCXWord is SCX for a uint64 word field of a typed record. The caller must
+// uphold the paper's Section 4.1 constraint directly: newWord must differ
+// from every value the field has held during the record's current lifetime
+// (all word fields in this repository are monotonically increasing counts,
+// which satisfies it trivially).
+func (p *Process) SCXWord(v []*Record, rset []*Record, fld FieldRef, newWord uint64) bool {
+	if fld.kind != fieldWord {
+		panic("core: SCXWord with a non-word FieldRef")
+	}
+	u := p.buildSCXRecord(v, rset, fld)
+	u.newWord = newWord
+	return p.runSCX(u, v)
+}
+
+// SCXPtr is SCX for a pointer field of a typed record. The Section 4.1
+// constraint holds when newPtr is either freshly allocated or recycled via
+// internal/reclaim (a recycled address cannot still be the expected old
+// value of any in-flight helper, because the helper's announcement would
+// have blocked the grace period; see DESIGN.md).
+func (p *Process) SCXPtr(v []*Record, rset []*Record, fld FieldRef, newPtr unsafe.Pointer) bool {
+	if fld.kind != fieldPtr {
+		panic("core: SCXPtr with a non-pointer FieldRef")
+	}
+	u := p.buildSCXRecord(v, rset, fld)
+	u.newPtr = newPtr
+	return p.runSCX(u, v)
+}
+
+// runSCX consumes the links for v, executes the SCX body and retires the
+// descriptor for recycling when the process runs under an announced epoch.
+func (p *Process) runSCX(u *SCXRecord, v []*Record) bool {
 	p.Metrics.SCXOps++
-	u := p.buildSCXRecord(v, rset, fld, newVal)
 	// Performing the SCX un-links the LLXs it consumed (Definition 7).
 	for _, r := range v {
 		p.table.del(r)
@@ -340,21 +400,63 @@ func (p *Process) SCX(v []*Record, rset []*Record, fld FieldRef, newVal any) boo
 	if ok {
 		p.Metrics.SCXSuccesses++
 	}
+	if p.recl != nil && p.recl.Active() {
+		// The descriptor stays reachable through the info fields of the
+		// records it froze (and, for boxed SCXs, through its embedded box
+		// installed in the target field); descReady gates its reuse on both,
+		// and the limbo re-stamp rule adds a fresh grace period after the
+		// last reference is displaced.
+		descPool.Retire(p.recl, u)
+	}
 	return ok
 }
 
+// descPool recycles SCX descriptors. A descriptor is recyclable only after
+// (a) its grace period, (b) no record in its V-sequence still designates it
+// as info, and (c) its embedded legacy box, if installed by the update CAS,
+// has been displaced from the target field.
+var descPool = reclaim.NewPoolReady[SCXRecord](descReady)
+
+func descReady(u *SCXRecord) bool {
+	for _, r := range u.vSeq() {
+		if r.info.Load() == u {
+			return false
+		}
+	}
+	if u.fldPtr != nil && u.newPtr == unsafe.Pointer(&u.newBoxStore) &&
+		u.fldPtr.Load() == u.newPtr {
+		return false
+	}
+	return true
+}
+
+// newSCXRecord returns a descriptor: recycled from the process's freelist
+// when the process runs announced, freshly allocated otherwise. A fresh (or
+// fully reclaimed) descriptor address is what preserves the info-field ABA
+// argument of Lemma 12; see DESIGN.md for why the grace periods make reuse
+// equivalent to freshness.
+func (p *Process) newSCXRecord() *SCXRecord {
+	if p.recl != nil && p.recl.Active() {
+		if u := descPool.Get(p.recl); u != nil {
+			u.resetForReuse()
+			return u
+		}
+	}
+	return &SCXRecord{}
+}
+
 // buildSCXRecord validates the SCX preconditions against the per-process LLX
-// table and materializes the operation descriptor (paper lines 19-21) in a
-// single allocation: the V/R/info sequences land in the descriptor's inline
-// arrays (heap slices only beyond maxInlineV) and the fresh box for newVal is
-// embedded in the descriptor itself.
-func (p *Process) buildSCXRecord(v []*Record, rset []*Record, fld FieldRef, newVal any) *SCXRecord {
+// table and materializes the operation descriptor (paper lines 19-21): the
+// V/R/info sequences land in the descriptor's inline arrays (heap slices
+// only beyond maxInlineV) and the old value of the target field is taken
+// from the linked LLX's captured snapshot (line 20). The caller fills in the
+// kind-specific new value before running the SCX.
+func (p *Process) buildSCXRecord(v []*Record, rset []*Record, fld FieldRef) *SCXRecord {
 	if len(v) == 0 {
 		panic("core: SCX with empty V sequence")
 	}
-	u := &SCXRecord{nv: len(v), nr: len(rset)}
-	u.newBoxStore.val = newVal
-	u.newBox = &u.newBoxStore
+	u := p.newSCXRecord()
+	u.nv, u.nr = len(v), len(rset)
 	var infos []*SCXRecord
 	if len(v) > maxInlineV {
 		// Copy, do not alias: v must not escape to the descriptor.
@@ -389,10 +491,6 @@ func (p *Process) buildSCXRecord(v []*Record, rset []*Record, fld FieldRef, newV
 	if !fldInV {
 		panic("core: SCX fld does not name a record in V")
 	}
-	if fld.Field < 0 || fld.Field >= len(fld.Rec.mutable) {
-		panic(fmt.Sprintf("core: SCX fld index %d out of range [0,%d)",
-			fld.Field, len(fld.Rec.mutable)))
-	}
 	for _, r := range rset {
 		inV := false
 		for _, rv := range v {
@@ -405,8 +503,24 @@ func (p *Process) buildSCXRecord(v []*Record, rset []*Record, fld FieldRef, newV
 			panic("core: SCX with a record in R that is not in V")
 		}
 	}
-	u.fld = &fld.Rec.mutable[fld.Field]
-	u.oldBox = p.table.get(fld.Rec).boxAt(fld.Field) // line 20
+	// Line 20: the old value comes from the linked LLX's snapshot.
+	e := p.table.get(fld.Rec)
+	switch fld.kind {
+	case fieldWord:
+		if fld.Field < 0 || fld.Field >= fld.Rec.NumWords() {
+			panic(fmt.Sprintf("core: SCX word field index %d out of range [0,%d)",
+				fld.Field, fld.Rec.NumWords()))
+		}
+		u.fldWord = fld.Rec.wslot(fld.Field)
+		u.oldWord = e.f.Word(fld.Field)
+	default: // fieldPtr and fieldBoxed share pointer storage
+		if fld.Field < 0 || fld.Field >= fld.Rec.NumPtrs() {
+			panic(fmt.Sprintf("core: SCX fld index %d out of range [0,%d)",
+				fld.Field, fld.Rec.NumPtrs()))
+		}
+		u.fldPtr = fld.Rec.pslot(fld.Field)
+		u.oldPtr = e.f.Ptr(fld.Field)
+	}
 	return u
 }
 
@@ -480,7 +594,17 @@ func (p *Process) help(u *SCXRecord) bool {
 
 	callHook(StepUpdateCAS, u, nil)
 	p.Metrics.UpdateCASAttempts++
-	if u.fld.CompareAndSwap(u.oldBox, u.newBox) { // line 39: update CAS
+	// Line 39: update CAS on the target word. Word and pointer fields CAS
+	// their raw values; the distinct-value precondition (boxed: fresh box
+	// identity; word: monotone values; pointer: fresh or grace-period-
+	// recycled addresses) is what makes a late helper's CAS fail benignly.
+	var updated bool
+	if u.fldWord != nil {
+		updated = u.fldWord.CompareAndSwap(u.oldWord, u.newWord)
+	} else {
+		updated = u.fldPtr.CompareAndSwap(u.oldPtr, u.newPtr)
+	}
+	if updated {
 		p.Metrics.UpdateCASSuccesses++
 	}
 

@@ -3,36 +3,87 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"unsafe"
 )
 
-// box wraps a single mutable-field value. Mutable fields store *box rather
-// than the value itself so that CAS operates on pointer identity: each SCX
-// allocates a fresh box, so a field can never be CASed back to a previous
-// value and the ABA constraint of Section 4.1 is satisfied by construction.
+// box wraps a single boxed-interface mutable-field value, the storage used
+// by the LEGACY record API (NewRecord/Read/Field/SCX with any values). A
+// legacy mutable field stores *box rather than the value itself so that the
+// update CAS operates on pointer identity: each SCX boxes its new value
+// freshly (inside its descriptor), so a field can never be CASed back to a
+// previous value and the ABA constraint of Section 4.1 is satisfied by
+// construction.
+//
+// The TYPED record API (NewTypedRecord, Word/Ptr fields) stores 64-bit
+// words and raw pointers directly — no boxing, no type assertions — and
+// discharges the Section 4.1 constraint differently: pointer fields only
+// ever receive nodes that are fresh or recycled under internal/reclaim's
+// grace periods (so an address cannot recur while any helper that saw the
+// old value is still inside an operation), and in-place word fields must be
+// given values that do not recur within a record's lifetime (every word
+// field in this repository is a monotonically increasing count). See
+// DESIGN.md, "De-boxed word storage".
 type box struct {
 	val any
 }
 
+// maxInlineWidth is the number of word and pointer slots a Record (and a
+// Fields snapshot) holds inline. Every record in this repository's data
+// structures has at most two mutable fields; wider records (tests) spill to
+// heap slices allocated once at creation.
+const maxInlineWidth = 4
+
+// atomicPtr is an atomic unsafe.Pointer cell (the stdlib's atomic.Pointer
+// is typed; record pointer fields are deliberately untyped words).
+type atomicPtr struct{ p unsafe.Pointer }
+
+func (a *atomicPtr) Load() unsafe.Pointer   { return atomic.LoadPointer(&a.p) }
+func (a *atomicPtr) Store(v unsafe.Pointer) { atomic.StorePointer(&a.p, v) }
+func (a *atomicPtr) CompareAndSwap(old, new unsafe.Pointer) bool {
+	return atomic.CompareAndSwapPointer(&a.p, old, new)
+}
+
 // Record is a Data-record: the unit on which LLX, SCX and VLX operate. A
-// Record has a fixed number of single-word mutable fields (read with Read,
-// snapshot with Process.LLX, written only by Process.SCX) and a fixed number
-// of immutable fields (read with Immutable; set once at creation).
+// Record has a fixed number of single-word mutable fields (read with
+// Word/Ptr — or Read for legacy boxed records — snapshot with LLX, written
+// only by SCX) and, for legacy records, a fixed number of immutable fields.
+//
+// Mutable storage is typed and unboxed: a record has nw uint64 word fields
+// and np pointer fields, each an atomic machine word, held inline up to
+// maxInlineWidth per kind and spilled to slices beyond that. Legacy records
+// created with NewRecord represent each `any` field as a pointer field
+// holding a *box.
 //
 // In addition to its user fields, a Record carries the bookkeeping fields of
 // the paper's Figure 1: an info pointer to the SCX-record of the last SCX
 // that froze it, and a marked bit used to finalize it.
+//
+// Records may be embedded by value inside structure nodes (see InitRecord),
+// which makes node+record a single allocation and lets internal/reclaim
+// recycle both together. A Record must not be copied after first use.
 type Record struct {
-	info    atomic.Pointer[SCXRecord]
-	marked  atomic.Bool
-	mutable []atomic.Pointer[box]
-	immut   []any
+	info   atomic.Pointer[SCXRecord]
+	marked atomic.Bool
+	legacy bool // created by NewRecord: pointer fields hold *box
+	nw, np uint8
+
+	wordsInline [maxInlineWidth]atomic.Uint64
+	ptrsInline  [maxInlineWidth]atomicPtr
+	wordSpill   []atomic.Uint64
+	ptrSpill    []atomicPtr
+
+	immut []any
 }
 
-// NewRecord creates a Record with numMutable mutable fields, initialized to
-// the corresponding entries of initial (missing entries default to nil), and
-// with the given immutable fields. The record's info pointer starts at the
-// dummy SCX-record (state Aborted) and its marked bit is false, as required
-// by the algorithm.
+// NewRecord creates a LEGACY boxed record with numMutable mutable fields,
+// initialized to the corresponding entries of initial (missing entries
+// default to nil), and with the given immutable fields. Each mutable field
+// is a pointer word holding a freshly boxed value. The record's info pointer
+// starts at the dummy SCX-record (state Aborted) and its marked bit is
+// false, as required by the algorithm.
+//
+// New code should prefer NewTypedRecord/InitRecord, which store words and
+// pointers without boxing.
 func NewRecord(numMutable int, initial []any, immutable ...any) *Record {
 	if numMutable < 0 {
 		panic("core: NewRecord with negative field count")
@@ -41,32 +92,126 @@ func NewRecord(numMutable int, initial []any, immutable ...any) *Record {
 		panic(fmt.Sprintf("core: NewRecord given %d initial values for %d mutable fields",
 			len(initial), numMutable))
 	}
-	r := &Record{
-		mutable: make([]atomic.Pointer[box], numMutable),
-		immut:   immutable,
-	}
-	for i := range r.mutable {
+	r := &Record{}
+	initRecord(r, 0, numMutable)
+	r.legacy = true
+	r.immut = immutable
+	for i := 0; i < numMutable; i++ {
 		b := &box{}
 		if i < len(initial) {
 			b.val = initial[i]
 		}
-		r.mutable[i].Store(b)
+		r.pslot(i).Store(unsafe.Pointer(b))
 	}
-	r.info.Store(dummySCXRecord)
 	return r
 }
 
-// NumMutable returns the number of mutable fields of r.
-func (r *Record) NumMutable() int { return len(r.mutable) }
+// NewTypedRecord creates a record with words uint64 fields and ptrs pointer
+// fields, all zero. Set initial values with SetWord/SetPtr before the
+// record is published.
+func NewTypedRecord(words, ptrs int) *Record {
+	r := &Record{}
+	initRecord(r, words, ptrs)
+	return r
+}
+
+// InitRecord initializes an embedded (zero-valued) Record in place with the
+// given field widths: the constructor for records living inside structure
+// nodes. It must be called exactly once before the record is published.
+func InitRecord(r *Record, words, ptrs int) {
+	initRecord(r, words, ptrs)
+}
+
+func initRecord(r *Record, words, ptrs int) {
+	if words < 0 || ptrs < 0 || words > 255 || ptrs > 255 {
+		panic(fmt.Sprintf("core: record field widths %d/%d out of range", words, ptrs))
+	}
+	r.nw, r.np = uint8(words), uint8(ptrs)
+	if words > maxInlineWidth {
+		r.wordSpill = make([]atomic.Uint64, words)
+	}
+	if ptrs > maxInlineWidth {
+		r.ptrSpill = make([]atomicPtr, ptrs)
+	}
+	r.info.Store(dummySCXRecord)
+}
+
+// Recycle re-arms a record that internal/reclaim handed back for reuse:
+// the marked bit is cleared and the info pointer rewound to the dummy
+// SCX-record. The caller must reinitialize the field values with
+// SetWord/SetPtr before republishing; field widths are retained. Recycle
+// must only be called on records no other process can reach (i.e. after a
+// full grace period).
+func (r *Record) Recycle() {
+	r.marked.Store(false)
+	r.info.Store(dummySCXRecord)
+}
+
+// wslot returns word slot i.
+func (r *Record) wslot(i int) *atomic.Uint64 {
+	if r.wordSpill != nil {
+		return &r.wordSpill[i]
+	}
+	return &r.wordsInline[i]
+}
+
+// pslot returns pointer slot i.
+func (r *Record) pslot(i int) *atomicPtr {
+	if r.ptrSpill != nil {
+		return &r.ptrSpill[i]
+	}
+	return &r.ptrsInline[i]
+}
+
+// NumWords returns the number of uint64 word fields of r.
+func (r *Record) NumWords() int { return int(r.nw) }
+
+// NumPtrs returns the number of pointer fields of r.
+func (r *Record) NumPtrs() int { return int(r.np) }
+
+// NumMutable returns the number of mutable fields of r (for legacy records,
+// the NewRecord field count; for typed records, words plus pointers).
+func (r *Record) NumMutable() int { return int(r.nw) + int(r.np) }
 
 // NumImmutable returns the number of immutable fields of r.
 func (r *Record) NumImmutable() int { return len(r.immut) }
 
-// Read atomically reads mutable field i of r. Reads are permitted alongside
-// LLX: the paper linearizes plain reads, and Proposition 2 lets searches
+// Word atomically reads word field i of r. Plain reads are permitted
+// alongside LLX: the paper linearizes them, and Proposition 2 lets searches
 // traverse a structure with reads instead of LLXs.
+func (r *Record) Word(i int) uint64 {
+	r.checkWord(i)
+	return r.wslot(i).Load()
+}
+
+// Ptr atomically reads pointer field i of r.
+func (r *Record) Ptr(i int) unsafe.Pointer {
+	r.checkPtr(i)
+	return r.pslot(i).Load()
+}
+
+// SetWord initializes word field i. It is an initialization write: legal
+// only while the record is unpublished (freshly created or recycled and not
+// yet linked into a structure). Published fields change only through SCX.
+func (r *Record) SetWord(i int, v uint64) {
+	r.checkWord(i)
+	r.wslot(i).Store(v)
+}
+
+// SetPtr initializes pointer field i; same publication rule as SetWord.
+func (r *Record) SetPtr(i int, p unsafe.Pointer) {
+	r.checkPtr(i)
+	r.pslot(i).Store(p)
+}
+
+// Read atomically reads legacy mutable field i of r (unboxing the value a
+// NewRecord-created field holds). Panics on typed records.
 func (r *Record) Read(i int) any {
-	return r.mutable[i].Load().val
+	if !r.legacy {
+		panic("core: Read on a typed record; use Word or Ptr")
+	}
+	r.checkPtr(i)
+	return (*box)(r.pslot(i).Load()).val
 }
 
 // Immutable returns immutable field i of r. Immutable fields never change
@@ -102,17 +247,60 @@ func (r *Record) Frozen() bool {
 	}
 }
 
+func (r *Record) checkWord(i int) {
+	if i < 0 || i >= int(r.nw) {
+		panic(fmt.Sprintf("core: word field index %d out of range [0,%d)", i, r.nw))
+	}
+}
+
+func (r *Record) checkPtr(i int) {
+	if i < 0 || i >= int(r.np) {
+		panic(fmt.Sprintf("core: pointer field index %d out of range [0,%d)", i, r.np))
+	}
+}
+
+// fieldKind says which storage a FieldRef names.
+type fieldKind uint8
+
+const (
+	fieldBoxed fieldKind = iota // legacy pointer field holding a *box
+	fieldWord
+	fieldPtr
+)
+
 // FieldRef names one mutable field of one Record; it is the fld argument of
-// Process.SCX.
+// Process.SCX/SCXWord/SCXPtr. The zero kind is the legacy boxed field, so
+// FieldRef{Rec: r, Field: i} literals built by older code keep working.
 type FieldRef struct {
 	Rec   *Record
 	Field int
+	kind  fieldKind
 }
 
-// Field returns a FieldRef for mutable field i of r.
+// Field returns a FieldRef for legacy mutable field i of r, for use with
+// the boxed SCX. Panics on typed records.
 func (r *Record) Field(i int) FieldRef {
-	if i < 0 || i >= len(r.mutable) {
-		panic(fmt.Sprintf("core: field index %d out of range [0,%d)", i, len(r.mutable)))
+	if !r.legacy {
+		panic("core: Field on a typed record; use WordField or PtrField")
 	}
-	return FieldRef{Rec: r, Field: i}
+	r.checkPtr(i)
+	return FieldRef{Rec: r, Field: i, kind: fieldBoxed}
+}
+
+// WordField returns a FieldRef for word field i of r, for use with SCXWord.
+func (r *Record) WordField(i int) FieldRef {
+	if r.legacy {
+		panic("core: WordField on a legacy record; use Field")
+	}
+	r.checkWord(i)
+	return FieldRef{Rec: r, Field: i, kind: fieldWord}
+}
+
+// PtrField returns a FieldRef for pointer field i of r, for use with SCXPtr.
+func (r *Record) PtrField(i int) FieldRef {
+	if r.legacy {
+		panic("core: PtrField on a legacy record; use Field")
+	}
+	r.checkPtr(i)
+	return FieldRef{Rec: r, Field: i, kind: fieldPtr}
 }

@@ -1,6 +1,9 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+)
 
 // State is the lifecycle state of an SCX-record (paper Figure 2/7). A newly
 // created SCX-record is InProgress; it transitions exactly once, to Committed
@@ -40,27 +43,58 @@ const maxInlineV = 4
 // SCXRecord, freezing them: a frozen record may be changed only on behalf of
 // that SCX. SCXRecords are exposed read-only, for tests and instrumentation.
 //
-// The descriptor is a single allocation on the fast path: the V and R
-// sequences and the per-record info snapshot live in fixed inline arrays
-// (slices are used only when a sequence exceeds maxInlineV), and the fresh
-// box for the new field value is embedded in the descriptor (newBoxStore).
-// Because a descriptor is freshly allocated per SCX and never reused, the
-// embedded box's address is fresh too, preserving the ABA argument; see
-// DESIGN.md for why descriptor reuse would be unsound.
+// The descriptor is a single allocation: the V and R sequences and the
+// per-record info snapshot live in fixed inline arrays (slices are used only
+// when a sequence exceeds maxInlineV). The target field is stored de-boxed
+// as either a word slot with old/new uint64 values or a pointer slot with
+// old/new raw pointers; a legacy boxed SCX embeds its fresh box in the
+// descriptor itself (newBoxStore) and runs as a pointer CAS on the box
+// address.
+//
+// Descriptor identity is what the info-field CASes compare (Lemma 12), so a
+// descriptor address may be reused only when no process can still compare
+// against its previous life: processes running under internal/reclaim's
+// announced epochs recycle descriptors after a grace period gated on every
+// such reference being displaced (see descReady and DESIGN.md); processes
+// outside announced epochs allocate freshly and leave reclamation to the GC.
 type SCXRecord struct {
-	nv, nr      int
-	vInline     [maxInlineV]*Record
-	rInline     [maxInlineV]*Record
-	infoInline  [maxInlineV]*SCXRecord
-	vSpill      []*Record
-	rSpill      []*Record
-	infoSpill   []*SCXRecord
-	fld         *atomic.Pointer[box]
-	newBox      *box
-	oldBox      *box
-	newBoxStore box
-	state       atomic.Int32
-	allFrozen   atomic.Bool
+	nv, nr     int
+	vInline    [maxInlineV]*Record
+	rInline    [maxInlineV]*Record
+	infoInline [maxInlineV]*SCXRecord
+	vSpill     []*Record
+	rSpill     []*Record
+	infoSpill  []*SCXRecord
+
+	// The target field: exactly one of fldWord/fldPtr is non-nil.
+	fldWord *atomic.Uint64
+	fldPtr  *atomicPtr
+	oldWord uint64
+	newWord uint64
+	oldPtr  unsafe.Pointer
+	newPtr  unsafe.Pointer
+
+	newBoxStore box // legacy boxed SCX: the freshly boxed new value
+
+	state     atomic.Int32
+	allFrozen atomic.Bool
+}
+
+// resetForReuse clears a recycled descriptor back to a blank slate. It runs
+// only on descriptors handed back by internal/reclaim, i.e. after the grace
+// periods proved no process can still observe the previous life.
+func (u *SCXRecord) resetForReuse() {
+	u.nv, u.nr = 0, 0
+	u.vInline = [maxInlineV]*Record{}
+	u.rInline = [maxInlineV]*Record{}
+	u.infoInline = [maxInlineV]*SCXRecord{}
+	u.vSpill, u.rSpill, u.infoSpill = nil, nil, nil
+	u.fldWord, u.fldPtr = nil, nil
+	u.oldWord, u.newWord = 0, 0
+	u.oldPtr, u.newPtr = nil, nil
+	u.newBoxStore.val = nil
+	u.allFrozen.Store(false)
+	u.state.Store(0)
 }
 
 // vSeq returns the V sequence without allocating (the inline case slices the

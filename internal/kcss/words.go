@@ -1,0 +1,135 @@
+package kcss
+
+import "sync/atomic"
+
+// The de-boxed KCSS variant: instead of the GC-based identity snapshots of
+// llsc (one heap cell per store), a WordLoc packs a 32-bit version number
+// and a 32-bit value into one atomic uint64 — exactly the version-numbered
+// construction of the original Luchangco-Moir-Shavit paper. Loads, collects
+// and the SC are all raw word operations: a KCSS over word locations
+// performs zero heap allocations for k up to maxInlineK.
+//
+// The version wraps after 2^32 writes to one location; a wrapped version
+// colliding with a parked operation's snapshot is the classic bounded-tag
+// ABA caveat of every version-number scheme and is out of scope here (the
+// GC-based llsc variant exists precisely to avoid it).
+
+// maxInlineK is the largest k the collect phase handles without heap
+// allocation; the paper's comparisons use k <= 4.
+const maxInlineK = 8
+
+// WordLoc is a single de-boxed location supporting versioned LL/SC: the
+// upper 32 bits count writes, the lower 32 bits hold the value. Create with
+// NewWordLoc; share freely.
+type WordLoc struct {
+	w atomic.Uint64
+}
+
+// NewWordLoc returns a location holding initial.
+func NewWordLoc(initial uint32) *WordLoc {
+	l := &WordLoc{}
+	l.w.Store(uint64(initial))
+	return l
+}
+
+// Load returns the current value of l.
+func (l *WordLoc) Load() uint32 { return uint32(l.w.Load()) }
+
+// TakeWordSnapshot returns l's packed version+value word: two equal
+// snapshots mean no write happened in between, even if the values were
+// equal — the de-boxed analogue of llsc's identity-based Snapshot.
+func TakeWordSnapshot(l *WordLoc) uint64 { return l.w.Load() }
+
+func pack(ver uint32, val uint32) uint64 { return uint64(ver)<<32 | uint64(val) }
+
+// WordHandle is the per-process context for word-based KCSS operations. One
+// per goroutine; not safe for concurrent use.
+type WordHandle struct {
+	// Attempts counts internal retries of the collect phase, for the
+	// experiment harness.
+	Attempts int64
+
+	// Collect scratch: handle-owned so a KCSS performs no heap allocation
+	// for k <= maxInlineK.
+	s1, s2 [maxInlineK]uint64
+}
+
+// NewWordHandle returns a fresh per-process handle.
+func NewWordHandle() *WordHandle {
+	return &WordHandle{}
+}
+
+// Read returns the current value of a location.
+func (h *WordHandle) Read(l *WordLoc) uint32 { return l.Load() }
+
+// KCSS atomically checks that locs[i] holds expected[i] for every i and, if
+// so, stores newVal into locs[0] and returns true. If some location holds an
+// unexpected value it returns false. Under contention the operation retries
+// internally (obstruction freedom): it terminates whenever it runs in
+// isolation for long enough.
+//
+// locs must be non-empty and duplicate-free; expected must have the same
+// length as locs. For k <= maxInlineK the operation is allocation-free.
+func (h *WordHandle) KCSS(locs []*WordLoc, expected []uint32, newVal uint32) bool {
+	if len(locs) == 0 {
+		panic("kcss: KCSS with no locations")
+	}
+	if len(expected) != len(locs) {
+		panic("kcss: expected-values length does not match locations")
+	}
+	snap1, snap2 := h.s1[:0], h.s2[:0]
+	if len(locs)-1 > maxInlineK {
+		snap1 = make([]uint64, 0, len(locs)-1)
+		snap2 = make([]uint64, 0, len(locs)-1)
+	}
+	for {
+		h.Attempts++
+		// Step 1: LL the swap target and test its expected value.
+		link := locs[0].w.Load()
+		if uint32(link) != expected[0] {
+			return false
+		}
+		// Step 2: first collect of the remaining locations. The packed
+		// version+value word is the snapshot witness: two equal words mean
+		// no write happened in between, even if the values were equal.
+		snap1, snap2 = snap1[:0], snap2[:0]
+		if !collectWords(locs[1:], expected[1:], &snap1) {
+			return false
+		}
+		// Step 3: second collect; both collects must witness the very same
+		// writes, which (with the versioned link on locs[0]) pins an instant
+		// at which all k locations simultaneously held the expected values.
+		if !collectWords(locs[1:], expected[1:], &snap2) {
+			return false
+		}
+		same := true
+		for i := range snap1 {
+			if snap1[i] != snap2[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue // interference between collects; retry
+		}
+		// Step 4: SC the new value, bumping the version. Failure means
+		// locs[0] was written after our LL; retry from scratch.
+		if locs[0].w.CompareAndSwap(link, pack(uint32(link>>32)+1, newVal)) {
+			return true
+		}
+	}
+}
+
+// collectWords snapshots each location's packed word into *out and compares
+// the value half against the expected values. It returns false on a value
+// mismatch.
+func collectWords(locs []*WordLoc, expected []uint32, out *[]uint64) bool {
+	for i, l := range locs {
+		w := l.w.Load()
+		if uint32(w) != expected[i] {
+			return false
+		}
+		*out = append(*out, w)
+	}
+	return true
+}

@@ -1,0 +1,99 @@
+package kcss_test
+
+import (
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/kcss"
+)
+
+func TestWordKCSSBasic(t *testing.T) {
+	h := kcss.NewWordHandle()
+	locs := []*kcss.WordLoc{kcss.NewWordLoc(1), kcss.NewWordLoc(2), kcss.NewWordLoc(3)}
+
+	if !h.KCSS(locs, []uint32{1, 2, 3}, 10) {
+		t.Fatal("KCSS with matching expectations failed")
+	}
+	if got := locs[0].Load(); got != 10 {
+		t.Fatalf("locs[0] = %d, want 10", got)
+	}
+	if locs[1].Load() != 2 || locs[2].Load() != 3 {
+		t.Fatal("KCSS wrote a non-target location")
+	}
+	if h.KCSS(locs, []uint32{1, 2, 3}, 11) {
+		t.Fatal("KCSS succeeded against a stale expectation")
+	}
+	if h.KCSS(locs, []uint32{10, 2, 99}, 11) {
+		t.Fatal("KCSS succeeded with a mismatched non-target location")
+	}
+	if !h.KCSS(locs, []uint32{10, 2, 3}, 11) {
+		t.Fatal("KCSS with refreshed expectations failed")
+	}
+}
+
+// TestWordKCSSVersionDistinguishesSameValue pins the reason the packed
+// version exists: a write that restores the previous value between the two
+// collects must still be detected (the double collect compares packed
+// words, not values).
+func TestWordKCSSVersionDistinguishesSameValue(t *testing.T) {
+	l := kcss.NewWordLoc(5)
+	before := kcss.TakeWordSnapshot(l)
+	w := kcss.NewWordHandle()
+	if !w.KCSS([]*kcss.WordLoc{l}, []uint32{5}, 6) {
+		t.Fatal("setup write failed")
+	}
+	if !w.KCSS([]*kcss.WordLoc{l}, []uint32{6}, 5) {
+		t.Fatal("restore write failed")
+	}
+	after := kcss.TakeWordSnapshot(l)
+	if l.Load() != 5 {
+		t.Fatal("value not restored")
+	}
+	if before == after {
+		t.Fatal("packed snapshots equal across an ABA write pair; version lost")
+	}
+}
+
+func TestWordKCSSAllocFree(t *testing.T) {
+	h := kcss.NewWordHandle()
+	locs := []*kcss.WordLoc{kcss.NewWordLoc(0), kcss.NewWordLoc(0)}
+	expected := []uint32{0, 0}
+	i := uint32(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		expected[0] = i
+		if !h.KCSS(locs, expected, i+1) {
+			t.Fatal("KCSS failed")
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("word KCSS: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestWordKCSSConcurrentCounter(t *testing.T) {
+	l0 := kcss.NewWordLoc(0)
+	guard := kcss.NewWordLoc(7)
+	const goroutines = 4
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := kcss.NewWordHandle()
+			for i := 0; i < perG; i++ {
+				for {
+					cur := l0.Load()
+					if h.KCSS([]*kcss.WordLoc{l0, guard}, []uint32{cur, 7}, cur+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l0.Load(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}

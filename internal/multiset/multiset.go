@@ -11,6 +11,14 @@
 // the nodes the update removes (Lemma 4), which is what makes the structure
 // linearizable and non-blocking (Theorem 6).
 //
+// Storage is fully de-boxed: a node embeds its Data-record, whose mutable
+// fields are one uint64 word (the count) and one raw pointer (the next
+// link), so neither reads nor updates box values or assert types. Nodes
+// removed by Delete are recycled through internal/reclaim after an epoch
+// grace period instead of being abandoned to the garbage collector, which
+// is why every read path — including the handle-free convenience methods —
+// announces an epoch before touching the list.
+//
 // Methods never take a *core.Process: plain calls acquire a pooled Handle
 // per operation, and hot paths bind one with Attach:
 //
@@ -23,15 +31,17 @@ package multiset
 import (
 	"cmp"
 	"fmt"
+	"unsafe"
 
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/reclaim"
 	"pragmaprim/internal/template"
 )
 
 // Mutable-field indices of a node's Data-record.
 const (
-	fieldCount = 0 // int: occurrences of key
-	fieldNext  = 1 // *node[K]: successor in the sorted list
+	fieldCount = 0 // word 0: occurrences of key
+	fieldNext  = 0 // ptr 0: successor in the sorted list
 )
 
 // nodeKind distinguishes the two sentinel nodes from interior nodes; the
@@ -45,29 +55,24 @@ const (
 	kindTail // key +inf
 )
 
-// node is one list node. key and kind are immutable; count and next live in
-// the node's Data-record as mutable fields.
+// node is one list node. key and kind are immutable while the node is
+// published; count and next live in the node's embedded Data-record as
+// mutable fields (one word, one pointer — node plus record are a single
+// allocation, recycled together).
 type node[K cmp.Ordered] struct {
-	rec  *core.Record
+	rec  core.Record
 	key  K
 	kind nodeKind
 }
 
-func newNode[K cmp.Ordered](kind nodeKind, key K, count int, next *node[K]) *node[K] {
-	n := &node[K]{key: key, kind: kind}
-	n.rec = core.NewRecord(2, []any{count, next}, n)
-	return n
-}
-
 // next reads n's next pointer with a plain atomic read.
 func (n *node[K]) next() *node[K] {
-	nxt, _ := n.rec.Read(fieldNext).(*node[K])
-	return nxt
+	return (*node[K])(n.rec.Ptr(fieldNext))
 }
 
 // count reads n's count with a plain atomic read.
 func (n *node[K]) count() int {
-	return n.rec.Read(fieldCount).(int)
+	return int(n.rec.Word(fieldCount))
 }
 
 // before reports whether n's key is strictly less than key, i.e. the search
@@ -93,6 +98,7 @@ func (n *node[K]) matches(key K) bool {
 // not usable; create one with New. All methods are safe for concurrent use.
 type Multiset[K cmp.Ordered] struct {
 	head     *node[K]
+	pool     *reclaim.Pool[node[K]]
 	policy   template.Policy
 	insStats template.OpStats
 	delStats template.OpStats
@@ -102,10 +108,38 @@ type Multiset[K cmp.Ordered] struct {
 // a head sentinel (key -inf) pointing at a tail sentinel (key +inf); the head
 // is the sole entry point and is never finalized.
 func New[K cmp.Ordered]() *Multiset[K] {
+	m := &Multiset[K]{pool: reclaim.NewPool[node[K]]()}
+	// Rewind a node's record the moment it enters a freelist (it is
+	// unreachable there), so the descriptor that finalized it stops being
+	// designated by its info field and can itself recycle.
+	m.pool.SetOnFree(func(n *node[K]) { n.rec.Recycle() })
 	var zero K
-	tail := newNode[K](kindTail, zero, 0, nil)
-	head := newNode[K](kindHead, zero, 0, tail)
-	return &Multiset[K]{head: head}
+	tail := m.newNode(nil, kindTail, zero, 0, nil)
+	m.head = m.newNode(nil, kindHead, zero, 0, tail)
+	return m
+}
+
+// newNode builds (or recycles, when l is an announced reclaim state with a
+// primed freelist) a fully initialized, unpublished node.
+func (m *Multiset[K]) newNode(l *reclaim.Local, kind nodeKind, key K, count int, next *node[K]) *node[K] {
+	n := m.pool.Get(l)
+	if n == nil {
+		n = &node[K]{}
+		core.InitRecord(&n.rec, 1, 1)
+	} else {
+		n.rec.Recycle()
+	}
+	initNode(n, kind, key, count, next)
+	return n
+}
+
+// initNode (re)initializes an unpublished node — the single place node
+// state is set, shared by the constructor and the retry paths that re-arm
+// a node built by an earlier attempt.
+func initNode[K cmp.Ordered](n *node[K], kind nodeKind, key K, count int, next *node[K]) {
+	n.kind, n.key = kind, key
+	n.rec.SetWord(fieldCount, uint64(count))
+	n.rec.SetPtr(fieldNext, unsafe.Pointer(next))
 }
 
 // SetPolicy installs the retry policy updates back off with; nil (the
@@ -147,6 +181,7 @@ func (s Session[K]) Handle() *core.Handle { return s.h }
 // search traverses the list from head by plain reads, returning the first
 // node r with key <= r.key and its predecessor p (Figure 6, lines 6-13).
 // Postcondition: p.key < key <= r.key (with sentinels ordered as -inf/+inf).
+// The caller must hold an epoch guard (template.Enter or a Run attempt).
 func (m *Multiset[K]) search(key K) (r, p *node[K]) {
 	p = m.head
 	r = p.next()
@@ -157,14 +192,13 @@ func (m *Multiset[K]) search(key K) (r, p *node[K]) {
 	return r, p
 }
 
-// Get returns the number of occurrences of key (Figure 6, lines 1-5).
-// Searches are plain reads (Proposition 2), so Get needs no Handle.
+// Get returns the number of occurrences of key (Figure 6, lines 1-5) using
+// a pooled Handle; see Session.Get for the hot-path form.
 func (m *Multiset[K]) Get(key K) int {
-	r, _ := m.search(key)
-	if r.matches(key) {
-		return r.count()
-	}
-	return 0
+	h := core.AcquireHandle()
+	n := m.Attach(h).Get(key)
+	h.Release()
+	return n
 }
 
 // Contains reports whether key occurs at least once.
@@ -189,11 +223,22 @@ func (m *Multiset[K]) Delete(key K, count int) bool {
 	return ok
 }
 
-// Get returns the number of occurrences of key.
-func (s Session[K]) Get(key K) int { return s.m.Get(key) }
+// Get returns the number of occurrences of key. The search is plain reads
+// (Proposition 2) under an epoch guard, which is what keeps it safe while
+// deleted nodes are being recycled.
+func (s Session[K]) Get(key K) int {
+	template.Enter(s.h)
+	r, _ := s.m.search(key)
+	res := 0
+	if r.matches(key) {
+		res = r.count()
+	}
+	template.Exit(s.h)
+	return res
+}
 
 // Contains reports whether key occurs at least once.
-func (s Session[K]) Contains(key K) bool { return s.m.Contains(key) }
+func (s Session[K]) Contains(key K) bool { return s.Get(key) > 0 }
 
 // Insert adds count occurrences of key (Figure 6, lines 14-24). count must
 // be positive.
@@ -202,30 +247,42 @@ func (s Session[K]) Insert(key K, count int) {
 		panic(fmt.Sprintf("multiset: Insert with non-positive count %d", count))
 	}
 	m := s.m
+	var fresh *node[K] // built at most once per operation; reused across attempts
 	template.Run(s.h, m.policy, &m.insStats, func(c *template.Ctx) (struct{}, template.Action) {
 		r, p := m.search(key)
 		if r.matches(key) {
-			// Key present: bump r.count in place (Figure 5(b)).
-			localr, st := c.LLX(r.rec)
+			// Key present: bump r.count in place (Figure 5(b)). The in-place
+			// word CAS is ABA-safe: a stale helper can only reach the update
+			// CAS while the record's info chain still designates its
+			// descriptor (see DESIGN.md).
+			localr, st := c.LLXF(&r.rec)
 			if st != core.LLXOK {
 				return struct{}{}, template.Retry
 			}
-			if c.SCX([]*core.Record{r.rec}, nil,
-				r.rec.Field(fieldCount), localr[fieldCount].(int)+count) {
+			if c.SCXWord([]*core.Record{&r.rec}, nil,
+				r.rec.WordField(fieldCount), localr.Word(fieldCount)+uint64(count)) {
+				if fresh != nil {
+					m.pool.Release(c.Reclaim(), fresh) // never published
+				}
 				return struct{}{}, template.Done
 			}
 			return struct{}{}, template.Retry
 		}
 		// Key absent: splice a new node between p and r (Figure 5(a)).
-		localp, st := c.LLX(p.rec)
+		localp, st := c.LLXF(&p.rec)
 		if st != core.LLXOK {
 			return struct{}{}, template.Retry
 		}
-		if nxt, _ := localp[fieldNext].(*node[K]); nxt != r {
+		if (*node[K])(localp.Ptr(fieldNext)) != r {
 			return struct{}{}, template.Retry
 		}
-		n := newNode(kindInterior, key, count, r)
-		if c.SCX([]*core.Record{p.rec}, nil, p.rec.Field(fieldNext), n) {
+		if fresh == nil {
+			fresh = m.newNode(c.Reclaim(), kindInterior, key, count, r)
+		} else {
+			initNode(fresh, kindInterior, key, count, r) // retarget for this attempt
+		}
+		if c.SCXPtr([]*core.Record{&p.rec}, nil, p.rec.PtrField(fieldNext),
+			unsafe.Pointer(fresh)) {
 			return struct{}{}, template.Done
 		}
 		return struct{}{}, template.Retry
@@ -240,29 +297,42 @@ func (s Session[K]) Delete(key K, count int) bool {
 		panic(fmt.Sprintf("multiset: Delete with non-positive count %d", count))
 	}
 	m := s.m
+	var fresh *node[K] // replacement/copy node, reused across attempts
 	return template.Run(s.h, m.policy, &m.delStats, func(c *template.Ctx) (bool, template.Action) {
+		release := func() {
+			if fresh != nil {
+				m.pool.Release(c.Reclaim(), fresh)
+			}
+		}
 		r, p := m.search(key)
-		localp, stp := c.LLX(p.rec)
+		localp, stp := c.LLXF(&p.rec)
 		if stp != core.LLXOK {
 			return false, template.Retry
 		}
-		localr, str := c.LLX(r.rec)
+		localr, str := c.LLXF(&r.rec)
 		if str != core.LLXOK {
 			return false, template.Retry
 		}
-		if nxt, _ := localp[fieldNext].(*node[K]); nxt != r {
+		if (*node[K])(localp.Ptr(fieldNext)) != r {
 			return false, template.Retry
 		}
-		if !r.matches(key) || localr[fieldCount].(int) < count {
+		if !r.matches(key) || localr.Word(fieldCount) < uint64(count) {
+			release()
 			return false, template.Done
 		}
-		if localr[fieldCount].(int) > count {
+		if localr.Word(fieldCount) > uint64(count) {
 			// Replace r with a reduced-count copy, finalizing r
 			// (Figure 5(d)).
-			rnext, _ := localr[fieldNext].(*node[K])
-			repl := newNode(kindInterior, r.key, localr[fieldCount].(int)-count, rnext)
-			if c.SCX([]*core.Record{p.rec, r.rec}, []*core.Record{r.rec},
-				p.rec.Field(fieldNext), repl) {
+			rnext := (*node[K])(localr.Ptr(fieldNext))
+			reduced := int(localr.Word(fieldCount)) - count
+			if fresh == nil {
+				fresh = m.newNode(c.Reclaim(), kindInterior, r.key, reduced, rnext)
+			} else {
+				initNode(fresh, kindInterior, r.key, reduced, rnext)
+			}
+			if c.SCXPtr([]*core.Record{&p.rec, &r.rec}, []*core.Record{&r.rec},
+				p.rec.PtrField(fieldNext), unsafe.Pointer(fresh)) {
+				m.pool.Retire(c.Reclaim(), r)
 				return true, template.Done
 			}
 			return false, template.Retry
@@ -270,26 +340,37 @@ func (s Session[K]) Delete(key K, count int) bool {
 		// Exact count: unlink r entirely. To avoid the ABA problem on p.next,
 		// r's successor is replaced by a fresh copy and both r and the old
 		// successor are finalized (Figure 5(c)).
-		rnext := localr[fieldNext].(*node[K]) // non-nil: r is interior
-		localrn, st := c.LLX(rnext.rec)
+		rnext := (*node[K])(localr.Ptr(fieldNext)) // non-nil: r is interior
+		localrn, st := c.LLXF(&rnext.rec)
 		if st != core.LLXOK {
 			return false, template.Retry
 		}
-		cp := m.copyNode(rnext, localrn)
-		if c.SCX([]*core.Record{p.rec, r.rec, rnext.rec},
-			[]*core.Record{r.rec, rnext.rec},
-			p.rec.Field(fieldNext), cp) {
+		if fresh == nil {
+			fresh = m.newNode(c.Reclaim(), rnext.kind, rnext.key,
+				int(localrn.Word(fieldCount)), (*node[K])(localrn.Ptr(fieldNext)))
+		} else {
+			initNode(fresh, rnext.kind, rnext.key,
+				int(localrn.Word(fieldCount)), (*node[K])(localrn.Ptr(fieldNext)))
+		}
+		if c.SCXPtr([]*core.Record{&p.rec, &r.rec, &rnext.rec},
+			[]*core.Record{&r.rec, &rnext.rec},
+			p.rec.PtrField(fieldNext), unsafe.Pointer(fresh)) {
+			m.pool.Retire(c.Reclaim(), r)
+			m.pool.Retire(c.Reclaim(), rnext)
 			return true, template.Done
 		}
 		return false, template.Retry
 	})
 }
 
-// copyNode builds a fresh node with the same key/kind as n and the mutable
-// values captured by snapshot snap.
-func (m *Multiset[K]) copyNode(n *node[K], snap core.Snapshot) *node[K] {
-	nxt, _ := snap[fieldNext].(*node[K])
-	return newNode(n.kind, n.key, snap[fieldCount].(int), nxt)
+// guardedWalk runs visit over every interior node observed by one traversal
+// with plain reads, under a pooled handle's epoch guard.
+func (m *Multiset[K]) guardedWalk(visit func(n *node[K])) {
+	template.Guarded(func() {
+		for n := m.head.next(); n != nil && n.kind != kindTail; n = n.next() {
+			visit(n)
+		}
+	})
 }
 
 // Items returns the key -> count contents of the multiset as observed by a
@@ -299,9 +380,7 @@ func (m *Multiset[K]) copyNode(n *node[K], snap core.Snapshot) *node[K] {
 // multiset it is exact.
 func (m *Multiset[K]) Items() map[K]int {
 	items := make(map[K]int)
-	for n := m.head.next(); n != nil && n.kind != kindTail; n = n.next() {
-		items[n.key] = n.count()
-	}
+	m.guardedWalk(func(n *node[K]) { items[n.key] = n.count() })
 	return items
 }
 
@@ -309,9 +388,7 @@ func (m *Multiset[K]) Items() map[K]int {
 // with the same consistency caveat as Items.
 func (m *Multiset[K]) Len() int {
 	n := 0
-	for cur := m.head.next(); cur != nil && cur.kind != kindTail; cur = cur.next() {
-		n++
-	}
+	m.guardedWalk(func(*node[K]) { n++ })
 	return n
 }
 
@@ -319,9 +396,7 @@ func (m *Multiset[K]) Len() int {
 // with the same consistency caveat as Items.
 func (m *Multiset[K]) TotalCount() int {
 	total := 0
-	for cur := m.head.next(); cur != nil && cur.kind != kindTail; cur = cur.next() {
-		total += cur.count()
-	}
+	m.guardedWalk(func(n *node[K]) { total += n.count() })
 	return total
 }
 
@@ -329,17 +404,27 @@ func (m *Multiset[K]) TotalCount() int {
 // consistency caveat as Items.
 func (m *Multiset[K]) Keys() []K {
 	var keys []K
-	for cur := m.head.next(); cur != nil && cur.kind != kindTail; cur = cur.next() {
-		keys = append(keys, cur.key)
-	}
+	m.guardedWalk(func(n *node[K]) { keys = append(keys, n.key) })
 	return keys
+}
+
+// ReclaimStats returns the session handle's reclamation counters: how many
+// retired nodes/descriptors it has recycled and reused. Intended for tests
+// and instrumentation.
+func (s Session[K]) ReclaimStats() reclaim.Stats {
+	return s.h.Process().Reclaimer().Stats()
 }
 
 // CheckInvariants verifies the paper's Invariant 3 on a quiescent multiset:
 // the list is strictly sorted, terminates at the tail sentinel, interior
 // counts are positive, and no reachable node is finalized. It returns an
 // error describing the first violation found. Intended for tests.
-func (m *Multiset[K]) CheckInvariants() error {
+func (m *Multiset[K]) CheckInvariants() (err error) {
+	template.Guarded(func() { err = m.checkInvariants() })
+	return err
+}
+
+func (m *Multiset[K]) checkInvariants() error {
 	if m.head.rec.Finalized() {
 		return fmt.Errorf("head sentinel is finalized")
 	}

@@ -1,0 +1,28 @@
+package mwcas_test
+
+import (
+	"testing"
+
+	"pragmaprim/internal/mwcas"
+)
+
+// TestMWCASSingleAllocation pins the de-boxed descriptor layout: an
+// uncontended k-CAS (k <= 4) is exactly one heap allocation — the
+// descriptor, which embeds its claim and pre-built release nodes.
+func TestMWCASSingleAllocation(t *testing.T) {
+	cells := []*mwcas.Cell[uint64]{mwcas.NewCell[uint64](0), mwcas.NewCell[uint64](0)}
+	old := []uint64{0, 0}
+	newv := []uint64{0, 0}
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		old[0], old[1] = i, i
+		newv[0], newv[1] = i+1, i+1
+		if !mwcas.MWCAS(cells, old, newv, nil) {
+			t.Fatal("MWCAS failed")
+		}
+		i++
+	})
+	if allocs > 1 {
+		t.Errorf("MWCAS k=2: %v allocs/op, want <= 1 (the descriptor)", allocs)
+	}
+}

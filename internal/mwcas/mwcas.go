@@ -49,13 +49,35 @@ func NewCell[T comparable](initial T) *Cell[T] {
 	return c
 }
 
+// maxInlineK is the number of claim/release content nodes a descriptor
+// embeds; the paper's comparisons use k <= 4. Wider operations spill to
+// per-node heap allocations.
+const maxInlineK = 4
+
 // descriptor records one k-CAS operation completely enough for any process
-// to finish it.
+// to finish it. The claim and release content nodes live INSIDE the
+// descriptor (up to maxInlineK), so one k-CAS is one allocation: the
+// node-freshness argument that keeps the cells ABA-free only needs the
+// addresses to be new, and a freshly allocated descriptor makes its
+// embedded nodes' addresses new by construction. Release nodes come
+// pre-built in two flavors (success installs newv, failure restores old),
+// both filled in before the descriptor is published, so racing helpers
+// share them read-only; a cell leaves claims[i] exactly once, and a late
+// helper's CAS on the departed claim fails benignly.
 type descriptor[T comparable] struct {
-	cells  []*Cell[T]
-	old    []T
-	newv   []T
-	claims []*content[T] // claims[i] is the unique claim node for cells[i]
+	cells []*Cell[T]
+	old   []T
+	newv  []T
+
+	claims  []*content[T] // claims[i] is the unique claim node for cells[i]
+	success []*content[T] // installed by phase 3 when the operation succeeded
+	failure []*content[T] // installed by phase 3 when it failed
+
+	claimStore   [maxInlineK]content[T]
+	successStore [maxInlineK]content[T]
+	failureStore [maxInlineK]content[T]
+	ptrStore     [3 * maxInlineK]*content[T]
+
 	status atomic.Int32
 	stats  *Stats
 }
@@ -114,16 +136,35 @@ func MWCAS[T comparable](cells []*Cell[T], old, newv []T, stats *Stats) bool {
 		panic("mwcas: old/new value lengths do not match cells")
 	}
 	d := &descriptor[T]{
-		cells:  cells,
-		old:    old,
-		newv:   newv,
-		claims: make([]*content[T], len(cells)),
-		stats:  stats,
+		cells: cells,
+		old:   old,
+		newv:  newv,
+		stats: stats,
+	}
+	k := len(cells)
+	var claimNodes, successNodes, failureNodes []content[T]
+	if k <= maxInlineK {
+		claimNodes = d.claimStore[:k]
+		successNodes = d.successStore[:k]
+		failureNodes = d.failureStore[:k]
+		d.claims = d.ptrStore[0:k:k]
+		d.success = d.ptrStore[maxInlineK : maxInlineK+k : maxInlineK+k]
+		d.failure = d.ptrStore[2*maxInlineK : 2*maxInlineK+k : 2*maxInlineK+k]
+	} else {
+		spill := make([]content[T], 3*k)
+		claimNodes, successNodes, failureNodes = spill[:k], spill[k:2*k], spill[2*k:]
+		ptrs := make([]*content[T], 3*k)
+		d.claims, d.success, d.failure = ptrs[:k], ptrs[k:2*k], ptrs[2*k:]
+	}
+	for i := 0; i < k; i++ {
+		claimNodes[i] = content[T]{val: old[i], desc: d}
+		successNodes[i] = content[T]{val: newv[i]}
+		failureNodes[i] = content[T]{val: old[i]}
+		d.claims[i] = &claimNodes[i]
+		d.success[i] = &successNodes[i]
+		d.failure[i] = &failureNodes[i]
 	}
 	d.status.Store(statusUndecided)
-	for i := range cells {
-		d.claims[i] = &content[T]{val: old[i], desc: d}
-	}
 	return help(d)
 }
 
@@ -169,16 +210,15 @@ func help[T comparable](d *descriptor[T]) bool {
 	succeeded := d.status.Load() == statusSucceeded
 
 	// Phase 3: release every claimed cell, installing the new value on
-	// success or restoring the old value on failure. Fresh content nodes
-	// keep the cells ABA-free.
+	// success or restoring the old value on failure. The pre-built release
+	// nodes are fresh addresses (embedded in the fresh descriptor), which
+	// keeps the cells ABA-free without a per-release allocation.
+	repls := d.success
+	if !succeeded {
+		repls = d.failure
+	}
 	for i, c := range d.cells {
-		var repl *content[T]
-		if succeeded {
-			repl = &content[T]{val: d.newv[i]}
-		} else {
-			repl = &content[T]{val: d.old[i]}
-		}
-		ok := c.p.CompareAndSwap(d.claims[i], repl)
+		ok := c.p.CompareAndSwap(d.claims[i], repls[i])
 		d.stats.cas(ok)
 	}
 	return succeeded

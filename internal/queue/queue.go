@@ -7,43 +7,50 @@
 // update loops run on the internal/template engine; the dequeue's empty
 // case shows the engine's VLX path (a validated read-only observation).
 //
+// Storage is de-boxed (entry and node links are raw pointer words) and
+// dequeued nodes are recycled through internal/reclaim. Recycling imposes
+// the classic Michael-Scott discipline on the tail hint: a node may be
+// retired only once the hint provably no longer designates it, and the hint
+// may only ever be swung to a node that is un-finalized at the moment the
+// swing commits (the hint-advance SCX includes the target node in its
+// V-sequence to get exactly that guarantee). See DESIGN.md.
+//
 // Methods never take a *core.Process: plain calls acquire a pooled Handle
 // per operation, and hot paths bind one with Attach.
 package queue
 
 import (
+	"unsafe"
+
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/reclaim"
 	"pragmaprim/internal/template"
 )
 
-// Mutable-field indices.
+// Mutable-field indices (all pointer fields).
 const (
-	entryHead = 0 // *node[T]: current dummy node
-	entryTail = 1 // *node[T]: tail hint (may lag; never ahead)
-	nodeNext  = 0 // *node[T]: successor
+	entryHead = 0 // ptr 0 of the entry record: current dummy node
+	entryTail = 1 // ptr 1 of the entry record: tail hint (may lag; never retired)
+	nodeNext  = 0 // ptr 0 of a node record: successor
 )
 
-// node is one queue cell; val is immutable, next is the only mutable field.
+// node is one queue cell; val is immutable while published, next is the
+// only mutable field. The Data-record is embedded: node plus record are one
+// allocation, recycled together.
 type node[T any] struct {
-	rec *core.Record
+	rec core.Record
 	val T
 }
 
-func newNode[T any](val T) *node[T] {
-	n := &node[T]{val: val}
-	n.rec = core.NewRecord(1, []any{nil}, n)
-	return n
-}
-
 func (n *node[T]) next() *node[T] {
-	nxt, _ := n.rec.Read(nodeNext).(*node[T])
-	return nxt
+	return (*node[T])(n.rec.Ptr(nodeNext))
 }
 
 // Queue is a non-blocking FIFO queue. The zero value is not usable; create
 // one with New. All methods are safe for concurrent use.
 type Queue[T any] struct {
 	entry    *core.Record // the sole entry point; never finalized
+	pool     *reclaim.Pool[node[T]]
 	policy   template.Policy
 	enqStats template.OpStats
 	deqStats template.OpStats
@@ -51,9 +58,31 @@ type Queue[T any] struct {
 
 // New creates an empty queue holding only the initial dummy node.
 func New[T any]() *Queue[T] {
+	q := &Queue[T]{pool: reclaim.NewPool[node[T]]()}
+	// Rewind records as nodes enter the freelists, releasing the
+	// descriptors their info fields would otherwise park (see reclaim).
+	q.pool.SetOnFree(func(n *node[T]) { n.rec.Recycle() })
 	var zero T
-	dummy := newNode(zero)
-	return &Queue[T]{entry: core.NewRecord(2, []any{dummy, dummy})}
+	dummy := q.newNode(nil, zero, nil)
+	entry := core.NewTypedRecord(0, 2)
+	entry.SetPtr(entryHead, unsafe.Pointer(dummy))
+	entry.SetPtr(entryTail, unsafe.Pointer(dummy))
+	q.entry = entry
+	return q
+}
+
+// newNode builds (or recycles) a fully initialized, unpublished node.
+func (q *Queue[T]) newNode(l *reclaim.Local, val T, next *node[T]) *node[T] {
+	n := q.pool.Get(l)
+	if n == nil {
+		n = &node[T]{}
+		core.InitRecord(&n.rec, 0, 1)
+	} else {
+		n.rec.Recycle()
+	}
+	n.val = val
+	n.rec.SetPtr(nodeNext, unsafe.Pointer(next))
+	return n
 }
 
 // SetPolicy installs the retry policy updates back off with; nil (the
@@ -91,13 +120,11 @@ func (q *Queue[T]) Attach(h *core.Handle) Session[T] {
 func (s Session[T]) Handle() *core.Handle { return s.h }
 
 func (q *Queue[T]) head() *node[T] {
-	h, _ := q.entry.Read(entryHead).(*node[T])
-	return h
+	return (*node[T])(q.entry.Ptr(entryHead))
 }
 
 func (q *Queue[T]) tailHint() *node[T] {
-	t, _ := q.entry.Read(entryTail).(*node[T])
-	return t
+	return (*node[T])(q.entry.Ptr(entryTail))
 }
 
 // Enqueue appends val using a pooled Handle; see Session.Enqueue for the
@@ -120,8 +147,11 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 // Enqueue appends val at the tail.
 func (s Session[T]) Enqueue(val T) {
 	q := s.q
-	n := newNode(val) // allocated once; retries reuse it
+	var n *node[T] // built at most once per operation; retries reuse it
 	template.Run(s.h, q.policy, &q.enqStats, func(c *template.Ctx) (struct{}, template.Action) {
+		if n == nil {
+			n = q.newNode(c.Reclaim(), val, nil)
+		}
 		// Find the last node, starting from the (possibly lagging) hint.
 		last := q.tailHint()
 		if last == nil {
@@ -134,14 +164,15 @@ func (s Session[T]) Enqueue(val T) {
 			}
 			last = nxt
 		}
-		localLast, st := c.LLX(last.rec)
+		localLast, st := c.LLXF(&last.rec)
 		if st != core.LLXOK {
 			return struct{}{}, template.Retry // finalized (dequeued past) or contended; re-find
 		}
-		if localLast[nodeNext] != any(nil) {
+		if localLast.Ptr(nodeNext) != nil {
 			return struct{}{}, template.Retry // someone appended after our walk
 		}
-		if c.SCX([]*core.Record{last.rec}, nil, last.rec.Field(nodeNext), n) {
+		if c.SCXPtr([]*core.Record{&last.rec}, nil, last.rec.PtrField(nodeNext),
+			unsafe.Pointer(n)) {
 			q.advanceTail(c, n)
 			return struct{}{}, template.Done
 		}
@@ -153,13 +184,48 @@ func (s Session[T]) Enqueue(val T) {
 // the hint lagging, which only costs later enqueues a longer walk. It uses
 // the raw primitives rather than the Ctx so its expected-and-harmless
 // failures never count as operation contention in the engine stats.
+//
+// n is part of the SCX's V-sequence: the swing commits only if n is still
+// un-finalized at that instant, which preserves the invariant that the tail
+// hint never designates a retired node — the property node recycling
+// depends on (a dangling hint would let an enqueue walk off a node whose
+// storage has been reused).
 func (q *Queue[T]) advanceTail(c *template.Ctx, n *node[T]) {
 	p := c.Process()
-	var entryBuf [2]any
-	if _, st := p.LLXInto(q.entry, entryBuf[:]); st != core.LLXOK {
+	var entryBuf, nodeBuf core.Fields
+	if st := p.LLXFields(q.entry, &entryBuf); st != core.LLXOK {
 		return
 	}
-	p.SCX([]*core.Record{q.entry}, nil, q.entry.Field(entryTail), n)
+	if st := p.LLXFields(&n.rec, &nodeBuf); st != core.LLXOK {
+		return // n already dequeued and finalized: it must not become the hint
+	}
+	p.SCXPtr([]*core.Record{q.entry, &n.rec}, nil,
+		q.entry.PtrField(entryTail), unsafe.Pointer(n))
+}
+
+// clearTailHint moves the tail hint off d (the dummy a successful dequeue
+// just finalized) so that d can be retired. The replacement target is the
+// snapshot's current head: if that node were concurrently finalized, the
+// entry record would have changed and the SCX would fail, so the hint can
+// never be swung onto a retired node. The loop ends as soon as the hint no
+// longer designates d (usually immediately: the hint only equals the dummy
+// around the empty state).
+func (q *Queue[T]) clearTailHint(c *template.Ctx, d *node[T]) {
+	p := c.Process()
+	var entryBuf core.Fields
+	for q.tailHint() == d {
+		if st := p.LLXFields(q.entry, &entryBuf); st != core.LLXOK {
+			continue
+		}
+		if (*node[T])(entryBuf.Ptr(entryTail)) != d {
+			return
+		}
+		target := entryBuf.Ptr(entryHead)
+		if p.SCXPtr([]*core.Record{q.entry}, nil,
+			q.entry.PtrField(entryTail), target) {
+			return
+		}
+	}
 }
 
 // deqResult carries Dequeue's two return values through the engine.
@@ -173,30 +239,35 @@ type deqResult[T any] struct {
 func (s Session[T]) Dequeue() (T, bool) {
 	q := s.q
 	res := template.Run(s.h, q.policy, &q.deqStats, func(c *template.Ctx) (deqResult[T], template.Action) {
-		localEntry, st := c.LLX(q.entry)
+		localEntry, st := c.LLXF(q.entry)
 		if st != core.LLXOK {
 			return deqResult[T]{}, template.Retry
 		}
-		d, _ := localEntry[entryHead].(*node[T])
-		locald, st := c.LLX(d.rec)
+		d := (*node[T])(localEntry.Ptr(entryHead))
+		locald, st := c.LLXF(&d.rec)
 		if st != core.LLXOK {
 			return deqResult[T]{}, template.Retry
 		}
-		f, _ := locald[nodeNext].(*node[T])
+		f := (*node[T])(locald.Ptr(nodeNext))
 		if f == nil {
 			// The dummy has no successor: empty. The two LLX snapshots are
 			// individually linked; validate them together so the emptiness
 			// observation is atomic.
-			if c.VLX([]*core.Record{q.entry, d.rec}) {
+			if c.VLX([]*core.Record{q.entry, &d.rec}) {
 				return deqResult[T]{}, template.Done
 			}
 			return deqResult[T]{}, template.Retry
 		}
 		// Swing head to f (which becomes the new dummy) and finalize the
 		// old dummy; f's value is the dequeued element.
-		if c.SCX([]*core.Record{q.entry, d.rec}, []*core.Record{d.rec},
-			q.entry.Field(entryHead), f) {
-			return deqResult[T]{val: f.val, ok: true}, template.Done
+		if c.SCXPtr([]*core.Record{q.entry, &d.rec}, []*core.Record{&d.rec},
+			q.entry.PtrField(entryHead), unsafe.Pointer(f)) {
+			val := f.val
+			// Retire the old dummy only after the tail hint provably no
+			// longer designates it.
+			q.clearTailHint(c, d)
+			q.pool.Retire(c.Reclaim(), d)
+			return deqResult[T]{val: val, ok: true}, template.Done
 		}
 		return deqResult[T]{}, template.Retry
 	})
@@ -205,22 +276,25 @@ func (s Session[T]) Dequeue() (T, bool) {
 
 // Peek returns the oldest element without removing it; ok is false when the
 // queue is (momentarily) empty. It is a plain read of the dummy's successor
-// (Proposition 2): O(1), no Handle, weakly consistent under concurrency.
-func (q *Queue[T]) Peek() (T, bool) {
-	if f := q.head().next(); f != nil {
-		return f.val, true
-	}
-	var zero T
-	return zero, false
+// (Proposition 2) under a pooled handle's epoch guard: O(1), weakly
+// consistent under concurrency.
+func (q *Queue[T]) Peek() (val T, ok bool) {
+	template.Guarded(func() {
+		if f := q.head().next(); f != nil {
+			val, ok = f.val, true
+		}
+	})
+	return val, ok
 }
 
 // Len counts the elements seen by one traversal: exact when quiescent,
 // weakly consistent under concurrency.
-func (q *Queue[T]) Len() int {
-	n := 0
-	for cur := q.head().next(); cur != nil; cur = cur.next() {
-		n++
-	}
+func (q *Queue[T]) Len() (n int) {
+	template.Guarded(func() {
+		for cur := q.head().next(); cur != nil; cur = cur.next() {
+			n++
+		}
+	})
 	return n
 }
 

@@ -1,0 +1,524 @@
+// Package reclaim is the DEBRA-style epoch-based memory-reclamation layer
+// that makes the repository's update paths GC-free in steady state: retired
+// nodes and SCX descriptors are recycled through typed freelists instead of
+// being abandoned to the garbage collector.
+//
+// The scheme is the classic three-epoch one, adapted to Go's memory model:
+//
+//   - A Domain holds a global epoch counter and a fixed array of padded
+//     announcement slots. Each Local (one per core.Handle/Process) owns a
+//     slot; Enter announces the current global epoch there, Exit clears it.
+//   - Retire appends an object to the Local's limbo list, stamped with a
+//     FRESH read of the global epoch (never a cached one: the stamp must be
+//     taken after the object became unreachable, which is what bounds the
+//     announcements of any process still holding a reference).
+//   - The global epoch advances from E to E+1 only when every active
+//     announcement equals E, so while a process with announcement a stays
+//     inside an operation the epoch can never exceed a+1.
+//   - A limbo entry stamped e is recycled once the global epoch reaches
+//     e+2: any process that obtained a reference before the retire had
+//     announced at most e, so it must have exited (and thereby dropped the
+//     reference) before the epoch could reach e+2.
+//
+// Entries may carry a ready predicate (SCX descriptors use one: "no record's
+// info field points at this descriptor any more, and the descriptor's
+// embedded legacy box is not installed in any field"). Such entries get a
+// SECOND full grace period measured from the moment the predicate is first
+// observed true. The re-stamp is load-bearing: a descriptor is typically
+// retired long before it is displaced from the info fields of the records it
+// froze, so its retire stamp says nothing about helpers that learned of it
+// afterwards; the post-ready stamp does, because every such helper has been
+// continuously announced since before the displacement was observed (see
+// DESIGN.md, "Why recycling cannot resurrect a descriptor").
+//
+// Because Go is garbage-collected, every overflow path is safe by
+// construction: when a limbo list or freelist hits its cap, or a ready
+// predicate never passes, entries are simply dropped — the GC keeps them
+// alive as long as anything references them and collects them afterwards.
+// Reclamation here is a performance mechanism; it is never required for
+// safety, so a stalled (parked) process bounds throughput of recycling, not
+// correctness.
+package reclaim
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// MaxSlots is the number of announcement slots in a Domain. Locals beyond
+// this many fall back to a shared overflow counter that blocks epoch
+// advancement while any of them is inside an operation: reclamation slows
+// down, but stays safe.
+const MaxSlots = 1024
+
+const (
+	// limboCap bounds a Local's limbo list; the oldest entries beyond it
+	// are dropped to the garbage collector.
+	limboCap = 4096
+	// freeCap bounds each per-pool freelist; surplus recycled objects are
+	// dropped to the garbage collector rather than hoarded.
+	freeCap = 1024
+	// advanceEvery is the Exit cadence of opportunistic epoch-advance
+	// attempts. Pool.Get also attempts an advance on-demand when its
+	// freelist runs dry, which is what keeps steady-state allocation at
+	// zero for balanced retire/allocate workloads.
+	advanceEvery = 8
+	// parkedCap bounds the parked list (ready-gated entries whose
+	// predicate has not passed yet, e.g. descriptors still installed in a
+	// rarely-written record's info field); overflow drops to the GC.
+	parkedCap = 4096
+	// parkScanBatch bounds how many parked entries one drain re-examines,
+	// so a large parked population cannot make Exit expensive.
+	parkScanBatch = 32
+)
+
+// slot is one padded announcement word: 0 when inactive, epoch<<1|1 while
+// its Local is inside an operation.
+type slot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Domain is one reclamation scope: a global epoch and the announcement
+// slots of every Local attached to it. The package-level Default domain is
+// shared by all of core's processes; separate Domains exist for tests.
+type Domain struct {
+	epoch    atomic.Uint64
+	assigned atomic.Uint32 // number of slots handed out
+	overflow atomic.Int64  // active Locals without a slot
+	advances atomic.Uint64 // successful epoch advances, for tests/stats
+	slots    [MaxSlots]slot
+}
+
+// NewDomain returns a fresh domain. The epoch starts at 1 so that stamp
+// arithmetic never sees zero.
+func NewDomain() *Domain {
+	d := &Domain{}
+	d.epoch.Store(1)
+	return d
+}
+
+// Default is the domain shared by every core.Process in the program.
+var Default = NewDomain()
+
+// Epoch returns the current global epoch; for tests and diagnostics.
+func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
+
+// Advances returns the number of successful epoch advances; for tests.
+func (d *Domain) Advances() uint64 { return d.advances.Load() }
+
+// tryAdvance advances the global epoch by one if every active announcement
+// equals the current epoch and no overflow Local is active. It reports
+// whether the epoch moved. Failure is always benign: some process is still
+// inside an operation announced under the current (or an older) epoch.
+func (d *Domain) tryAdvance() bool {
+	e := d.epoch.Load()
+	if d.overflow.Load() != 0 {
+		return false
+	}
+	n := int(d.assigned.Load())
+	if n > MaxSlots {
+		n = MaxSlots
+	}
+	for i := 0; i < n; i++ {
+		v := d.slots[i].v.Load()
+		if v&1 == 1 && v>>1 != e {
+			return false
+		}
+	}
+	if d.epoch.CompareAndSwap(e, e+1) {
+		d.advances.Add(1)
+		return true
+	}
+	return false
+}
+
+// entry is one retired object awaiting its grace period.
+type entry struct {
+	p      unsafe.Pointer
+	epoch  uint64 // global epoch at retire (or at ready-observation, once re-stamped)
+	id     uint32 // destination pool
+	ready  func(unsafe.Pointer) bool
+	onFree func(unsafe.Pointer)
+}
+
+// flist is one per-pool freelist of fully reclaimed objects.
+type flist struct {
+	items []unsafe.Pointer
+}
+
+// Stats are a Local's reclamation counters (single-owner; read them from the
+// owning goroutine or quiescently).
+type Stats struct {
+	Retired  uint64 // objects handed to Retire
+	Recycled uint64 // objects that reached a freelist
+	Reused   uint64 // freelist pops that satisfied an allocation
+	Dropped  uint64 // objects abandoned to the GC (caps, stuck ready checks)
+}
+
+// Local is the per-process reclamation state: announcement slot, limbo list
+// and freelists. A Local is confined to its owning Process/Handle and must
+// not be used concurrently.
+type Local struct {
+	dom   *Domain
+	slot  *slot
+	depth int32
+	noted bool // slot assignment attempted
+	ops   uint64
+
+	// limbo holds freshly retired entries in FIFO stamp order. Ready-gated
+	// entries whose predicate has not passed when their grace elapses move
+	// to parked; entries whose predicate has passed move to pending for a
+	// second grace period measured from the observation (see drain).
+	limbo    []entry
+	head     int
+	pending  []entry
+	phead    int
+	parked   []entry
+	parkScan int
+
+	free  map[uint32]*flist
+	stats Stats
+}
+
+// NewLocal returns a Local attached to d (nil means the Default domain).
+// The announcement slot is claimed lazily on first Enter.
+func NewLocal(d *Domain) *Local {
+	if d == nil {
+		d = Default
+	}
+	return &Local{dom: d}
+}
+
+// Domain returns the domain the Local announces in.
+func (l *Local) Domain() *Domain { return l.dom }
+
+// Stats returns the Local's reclamation counters.
+func (l *Local) Stats() Stats { return l.stats }
+
+// Active reports whether the Local is currently inside an Enter/Exit pair.
+func (l *Local) Active() bool { return l.depth > 0 }
+
+// LimboLen returns the number of objects currently awaiting reclamation
+// (fresh limbo, post-ready pending, and parked); for tests.
+func (l *Local) LimboLen() int {
+	return (len(l.limbo) - l.head) + (len(l.pending) - l.phead) + len(l.parked)
+}
+
+// Enter announces the current global epoch, marking the start of an
+// operation that may hold references into shared structures. Enter/Exit
+// pairs nest; only the outermost pair touches the slot.
+func (l *Local) Enter() {
+	l.depth++
+	if l.depth > 1 {
+		return
+	}
+	if l.slot == nil && !l.noted {
+		l.noted = true
+		if i := l.dom.assigned.Add(1); i <= MaxSlots {
+			l.slot = &l.dom.slots[i-1]
+		}
+	}
+	if l.slot == nil {
+		// The overflow counter is an atomic RMW: it is globally visible the
+		// moment it completes, and it blocks every advance, so it needs no
+		// epoch revalidation.
+		l.dom.overflow.Add(1)
+		return
+	}
+	// Publish the announcement and re-read the epoch until they agree. A
+	// plain load-then-store would leave a window in which this Local is
+	// still invisible while the epoch advances past the loaded value —
+	// grace periods could then elapse "around" a stale announcement and the
+	// reuse-safety proofs (which assume an announcement at a caps the
+	// global epoch at a+1 from the moment Enter returns) would not hold.
+	// After this loop, the store of the final value e precedes (in the
+	// seq-cst order) a load observing the epoch still equal to e, so any
+	// advance to e+2 must first scan and see this slot active at e.
+	e := l.dom.epoch.Load()
+	for {
+		l.slot.v.Store(e<<1 | 1)
+		e2 := l.dom.epoch.Load()
+		if e2 == e {
+			return
+		}
+		e = e2
+	}
+}
+
+// Exit clears the announcement and opportunistically advances the epoch and
+// drains the limbo list. Every reference obtained since the matching Enter
+// must be dead before Exit is called.
+func (l *Local) Exit() {
+	l.depth--
+	if l.depth > 0 {
+		return
+	}
+	if l.depth < 0 {
+		panic("reclaim: Exit without matching Enter")
+	}
+	if l.slot != nil {
+		l.slot.v.Store(0)
+	} else {
+		l.dom.overflow.Add(-1)
+	}
+	l.ops++
+	if l.ops%advanceEvery == 0 {
+		l.dom.tryAdvance()
+	}
+	if l.head < len(l.limbo) || l.phead < len(l.pending) || len(l.parked) > 0 {
+		l.drain()
+	}
+}
+
+// retire places p in limbo, destined for pool id, stamped with a fresh read
+// of the global epoch. ready, if non-nil, gates recycling: the entry gets a
+// fresh grace period measured from the first drain that observes ready true.
+func (l *Local) retire(p unsafe.Pointer, id uint32, ready func(unsafe.Pointer) bool, onFree func(unsafe.Pointer)) {
+	l.stats.Retired++
+	l.limbo = append(l.limbo, entry{
+		p: p, epoch: l.dom.epoch.Load(), id: id, ready: ready, onFree: onFree,
+	})
+	if len(l.limbo)-l.head > limboCap {
+		// A stalled announcement elsewhere is blocking the epoch; bound our
+		// memory by abandoning the oldest entry to the garbage collector,
+		// which is always safe.
+		l.head++
+		l.stats.Dropped++
+		l.compact()
+	}
+}
+
+// drain advances retired entries through their grace periods.
+//
+// Plain entries free once the global epoch passes their retire stamp by 2.
+// Ready-gated entries (descriptors) take the long way: grace after retire,
+// then the predicate must pass — an entry whose predicate fails parks until
+// a later drain sees it pass — and then a SECOND grace period, measured
+// from the observation and padded by one extra epoch. The pad matters: a
+// helper can learn a descriptor's address as an expected info value out of
+// another descriptor built just before the displacement was observed, and
+// such a helper may have announced one epoch after the observation; the
+// +1 stamp keeps the reuse strictly outside every such helper's window
+// (see DESIGN.md, "Why recycling cannot resurrect a descriptor").
+func (l *Local) drain() {
+	e := l.dom.epoch.Load()
+	for l.head < len(l.limbo) {
+		ent := l.limbo[l.head]
+		if ent.epoch+2 > e {
+			break // too young; everything behind it is younger still
+		}
+		l.head++
+		if ent.ready != nil {
+			if ent.ready(ent.p) {
+				// Stamp from a FRESH epoch read taken after the observation
+				// (the epoch may have advanced since this drain began; a
+				// stale read would erase the pad and allow reuse one epoch
+				// early — inside the window of a helper that learned the
+				// address just before the displacement).
+				ent.epoch = l.dom.epoch.Load() + 1
+				ent.ready = nil
+				l.pending = append(l.pending, ent)
+			} else {
+				l.park(ent)
+			}
+			continue
+		}
+		l.toFree(ent)
+	}
+	for l.phead < len(l.pending) {
+		ent := l.pending[l.phead]
+		if ent.epoch+2 > e {
+			break
+		}
+		l.phead++
+		l.toFree(ent)
+	}
+	l.scanParked()
+	l.compact()
+}
+
+// park holds a ready-gated entry whose predicate has not passed yet (for a
+// descriptor: it is still installed in some record's info field, which can
+// last until that record is next written). Overflow drops to the GC.
+func (l *Local) park(ent entry) {
+	if len(l.parked) >= parkedCap {
+		l.stats.Dropped++
+		return
+	}
+	l.parked = append(l.parked, ent)
+}
+
+// scanParked re-examines up to parkScanBatch parked entries, moving those
+// whose predicate now passes into pending with a fresh padded stamp.
+func (l *Local) scanParked() {
+	n := len(l.parked)
+	if n == 0 {
+		return
+	}
+	batch := parkScanBatch
+	if batch > n {
+		batch = n
+	}
+	for i := 0; i < batch; i++ {
+		if l.parkScan >= len(l.parked) {
+			l.parkScan = 0
+		}
+		ent := l.parked[l.parkScan]
+		if ent.ready(ent.p) {
+			// Fresh epoch read after the observation; see drain.
+			ent.epoch = l.dom.epoch.Load() + 1
+			ent.ready = nil
+			l.pending = append(l.pending, ent)
+			last := len(l.parked) - 1
+			l.parked[l.parkScan] = l.parked[last]
+			l.parked = l.parked[:last]
+		} else {
+			l.parkScan++
+		}
+	}
+}
+
+// toFree pushes an entry that survived its grace period onto its pool's
+// freelist, counting it as recycled. The pool's onFree hook runs first —
+// the object is provably unreachable here, which is exactly when a node's
+// record may rewind its info pointer (releasing the descriptor it would
+// otherwise pin in parked; see Pool.SetOnFree).
+func (l *Local) toFree(ent entry) {
+	if ent.onFree != nil {
+		ent.onFree(ent.p)
+	}
+	if l.pushFree(ent.id, ent.p) {
+		l.stats.Recycled++
+	} else {
+		l.stats.Dropped++
+	}
+}
+
+// pushFree appends p to pool id's freelist, reporting false when the cap
+// drops it instead. It does not touch the stats: Recycled means "survived
+// a grace period", which Pool.Release's never-published objects did not.
+func (l *Local) pushFree(id uint32, p unsafe.Pointer) bool {
+	if l.free == nil {
+		l.free = make(map[uint32]*flist)
+	}
+	fl := l.free[id]
+	if fl == nil {
+		fl = &flist{}
+		l.free[id] = fl
+	}
+	if len(fl.items) >= freeCap {
+		return false
+	}
+	fl.items = append(fl.items, p)
+	return true
+}
+
+// compact reclaims the drained prefixes of the limbo slices once they
+// dominate.
+func (l *Local) compact() {
+	if l.head > 64 && l.head*2 >= len(l.limbo) {
+		n := copy(l.limbo, l.limbo[l.head:])
+		clear(l.limbo[n:])
+		l.limbo = l.limbo[:n]
+		l.head = 0
+	}
+	if l.phead > 64 && l.phead*2 >= len(l.pending) {
+		n := copy(l.pending, l.pending[l.phead:])
+		clear(l.pending[n:])
+		l.pending = l.pending[:n]
+		l.phead = 0
+	}
+}
+
+// get pops a reclaimed object destined for pool id, or nil. When the
+// freelist is dry it makes one on-demand advance-and-drain attempt: in a
+// balanced steady state (every operation retires about as much as it
+// allocates) this keeps the freelist primed and the path allocation-free.
+func (l *Local) get(id uint32) unsafe.Pointer {
+	for attempt := 0; ; attempt++ {
+		if fl := l.free[id]; fl != nil && len(fl.items) > 0 {
+			p := fl.items[len(fl.items)-1]
+			fl.items = fl.items[:len(fl.items)-1]
+			l.stats.Reused++
+			return p
+		}
+		if attempt > 0 ||
+			(l.head >= len(l.limbo) && l.phead >= len(l.pending) && len(l.parked) == 0) {
+			return nil
+		}
+		l.dom.tryAdvance()
+		l.drain()
+	}
+}
+
+// Pool hands out and takes back objects of one type, backed by the
+// per-Local freelists. Create one Pool per object kind (typically one per
+// structure instance) and share it freely: the Pool itself is stateless
+// apart from its identity.
+type Pool[T any] struct {
+	id     uint32
+	ready  func(unsafe.Pointer) bool
+	onFree func(unsafe.Pointer)
+}
+
+// nextPoolID allocates pool identities; 0 is never used.
+var nextPoolID atomic.Uint32
+
+// NewPool returns a pool for T with no ready predicate (plain grace-period
+// recycling, the right default for structure nodes).
+func NewPool[T any]() *Pool[T] {
+	return &Pool[T]{id: nextPoolID.Add(1)}
+}
+
+// NewPoolReady returns a pool whose retired objects must additionally pass
+// ready (observed under the re-stamp rule) before recycling; used by SCX
+// descriptors.
+func NewPoolReady[T any](ready func(*T) bool) *Pool[T] {
+	p := &Pool[T]{id: nextPoolID.Add(1)}
+	p.ready = func(q unsafe.Pointer) bool { return ready((*T)(q)) }
+	return p
+}
+
+// SetOnFree installs a hook run on each retired object at the moment it
+// enters a freelist — after its grace period, so the object is provably
+// unreachable. Structures use it to rewind a finalized node's record
+// (info pointer, marked bit) without waiting for the node's next reuse:
+// a finalized record's info field otherwise designates the finalizing SCX
+// descriptor indefinitely, parking that descriptor's own recycling. Call
+// once, before the pool is shared.
+func (p *Pool[T]) SetOnFree(fn func(*T)) {
+	p.onFree = func(q unsafe.Pointer) { fn((*T)(q)) }
+}
+
+// Get returns a recycled *T, or nil when none is available (the caller
+// allocates). The object's contents are whatever its previous life left
+// there; the caller must fully reinitialize it before publication.
+func (p *Pool[T]) Get(l *Local) *T {
+	if l == nil {
+		return nil
+	}
+	return (*T)(l.get(p.id))
+}
+
+// Retire hands x over for recycling after its grace period. x must already
+// be unreachable from the shared structure (unlinked before Retire), and the
+// call must happen while l is Entered, or at least after the unlink has
+// globally happened.
+func (p *Pool[T]) Retire(l *Local, x *T) {
+	if l == nil || x == nil {
+		return
+	}
+	l.retire(unsafe.Pointer(x), p.id, p.ready, p.onFree)
+}
+
+// Release returns a never-published object (for example a node built by an
+// update attempt that ended up not needing it) straight to the freelist: no
+// grace period is required because no other process ever saw it, and it is
+// not counted as Recycled (that counter means "survived a grace period").
+func (p *Pool[T]) Release(l *Local, x *T) {
+	if l == nil || x == nil {
+		return
+	}
+	l.pushFree(p.id, unsafe.Pointer(x))
+}

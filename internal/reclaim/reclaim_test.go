@@ -1,0 +1,291 @@
+package reclaim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type thing struct{ v int }
+
+// cycle runs one empty Enter/Exit pair, the unit of quiescence.
+func cycle(l *Local) {
+	l.Enter()
+	l.Exit()
+}
+
+func TestRetireRecycleRoundtrip(t *testing.T) {
+	d := NewDomain()
+	l := NewLocal(d)
+	pool := NewPool[thing]()
+
+	x := &thing{v: 42}
+	l.Enter()
+	pool.Retire(l, x)
+	l.Exit()
+
+	// Two quiescent cycles advance the epoch past the grace period.
+	var got *thing
+	for i := 0; i < 4*advanceEvery && got == nil; i++ {
+		cycle(l)
+		got = pool.Get(l)
+	}
+	if got != x {
+		t.Fatalf("recycled object = %p, want the retired one %p", got, x)
+	}
+	st := l.Stats()
+	if st.Retired != 1 || st.Recycled != 1 || st.Reused != 1 {
+		t.Errorf("stats = %+v, want Retired=Recycled=Reused=1", st)
+	}
+}
+
+func TestOnDemandAdvanceKeepsFreelistPrimed(t *testing.T) {
+	d := NewDomain()
+	l := NewLocal(d)
+	pool := NewPool[thing]()
+
+	// Balanced workload: each op retires one and allocates one. After a
+	// short pipeline-fill, every Get must be satisfied by recycling.
+	misses := 0
+	const ops = 200
+	for i := 0; i < ops; i++ {
+		l.Enter()
+		x := pool.Get(l)
+		if x == nil {
+			misses++
+			x = &thing{}
+		}
+		x.v = i
+		pool.Retire(l, x)
+		l.Exit()
+	}
+	if misses >= ops/2 {
+		t.Fatalf("on-demand advance never primed the freelist: %d misses in %d ops", misses, ops)
+	}
+	if l.Stats().Reused == 0 {
+		t.Fatal("no freelist reuse in a balanced retire/allocate loop")
+	}
+}
+
+func TestGraceRespectsActiveReader(t *testing.T) {
+	d := NewDomain()
+	writer := NewLocal(d)
+	reader := NewLocal(d)
+	pool := NewPool[thing]()
+
+	reader.Enter() // reader parks inside an operation
+	x := &thing{}
+	writer.Enter()
+	pool.Retire(writer, x)
+	writer.Exit()
+
+	for i := 0; i < 8*advanceEvery; i++ {
+		cycle(writer)
+	}
+	if got := pool.Get(writer); got != nil {
+		t.Fatal("object recycled while a reader was still announced")
+	}
+	reader.Exit()
+	var got *thing
+	for i := 0; i < 8*advanceEvery && got == nil; i++ {
+		cycle(writer)
+		got = pool.Get(writer)
+	}
+	if got != x {
+		t.Fatal("object not recycled after the reader exited")
+	}
+}
+
+func TestParkedReaderBoundsLimbo(t *testing.T) {
+	d := NewDomain()
+	parked := NewLocal(d)
+	w := NewLocal(d)
+	pool := NewPool[thing]()
+
+	parked.Enter()
+	defer parked.Exit()
+
+	const n = 3 * limboCap
+	for i := 0; i < n; i++ {
+		w.Enter()
+		pool.Retire(w, &thing{v: i})
+		w.Exit()
+	}
+	if got := w.LimboLen(); got > limboCap+1 {
+		t.Fatalf("limbo grew to %d entries despite the cap %d", got, limboCap)
+	}
+	st := w.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("overflowing limbo must drop entries to the GC")
+	}
+	if st.Recycled != 0 {
+		t.Fatalf("recycled %d objects while a reader was parked", st.Recycled)
+	}
+}
+
+func TestReadyPredicateGetsFreshGrace(t *testing.T) {
+	d := NewDomain()
+	l := NewLocal(d)
+	ready := false
+	pool := NewPoolReady[thing](func(*thing) bool { return ready })
+
+	x := &thing{}
+	l.Enter()
+	pool.Retire(l, x)
+	l.Exit()
+
+	for i := 0; i < 8*advanceEvery; i++ {
+		cycle(l)
+	}
+	if pool.Get(l) != nil {
+		t.Fatal("recycled while the ready predicate was false")
+	}
+
+	ready = true
+	// The first post-ready drain must re-stamp, not free: the object may not
+	// appear before a fresh grace period elapses.
+	epochAtReady := d.Epoch()
+	var got *thing
+	for i := 0; i < 16*advanceEvery && got == nil; i++ {
+		cycle(l)
+		got = pool.Get(l)
+	}
+	if got != x {
+		t.Fatal("object never recycled after the ready predicate passed")
+	}
+	if d.Epoch() < epochAtReady+2 {
+		t.Errorf("object freed at epoch %d, want >= %d (fresh grace after ready)",
+			d.Epoch(), epochAtReady+2)
+	}
+}
+
+func TestStuckReadyEntriesParkBoundedly(t *testing.T) {
+	d := NewDomain()
+	l := NewLocal(d)
+	stuck := NewPoolReady[thing](func(*thing) bool { return false })
+	plain := NewPool[thing]()
+
+	// Retire more permanently-stuck entries than the parked list holds,
+	// interleaved with plain entries that must keep recycling normally.
+	const n = parkedCap + 500
+	for i := 0; i < n; i++ {
+		l.Enter()
+		stuck.Retire(l, &thing{v: i})
+		plain.Retire(l, &thing{v: -i})
+		l.Exit()
+		plain.Get(l) // keep the plain freelist bounded
+	}
+	if got := l.LimboLen(); got > parkedCap+limboCap {
+		t.Fatalf("stuck entries grew the lists to %d; want bounded by caps", got)
+	}
+	if l.Stats().Dropped == 0 {
+		t.Fatal("overflowing the parked list must drop entries to the GC")
+	}
+	if stuck.Get(l) != nil {
+		t.Fatal("a stuck entry was recycled despite its predicate never passing")
+	}
+	if l.Stats().Reused == 0 {
+		t.Fatal("plain entries must keep recycling while stuck ones park")
+	}
+}
+
+func TestReleaseSkipsGrace(t *testing.T) {
+	d := NewDomain()
+	l := NewLocal(d)
+	other := NewLocal(d)
+	other.Enter() // would block any grace period
+	defer other.Exit()
+	pool := NewPool[thing]()
+
+	x := &thing{}
+	pool.Release(l, x)
+	if got := pool.Get(l); got != x {
+		t.Fatal("released (never-published) object must be immediately reusable")
+	}
+}
+
+func TestPoolsDoNotMix(t *testing.T) {
+	d := NewDomain()
+	l := NewLocal(d)
+	pa := NewPool[thing]()
+	pb := NewPool[thing]()
+
+	x := &thing{}
+	pa.Release(l, x)
+	if pb.Get(l) != nil {
+		t.Fatal("pool B handed out pool A's object")
+	}
+	if pa.Get(l) != x {
+		t.Fatal("pool A lost its object")
+	}
+}
+
+func TestNestedEnterExit(t *testing.T) {
+	d := NewDomain()
+	l := NewLocal(d)
+	l.Enter()
+	l.Enter()
+	if !l.Active() {
+		t.Fatal("not active inside nested Enter")
+	}
+	l.Exit()
+	if !l.Active() {
+		t.Fatal("inner Exit ended the outer operation")
+	}
+	before := d.Epoch()
+	for i := 0; i < 4*advanceEvery; i++ {
+		cycle(NewLocal(d))
+	}
+	if d.Epoch() != before {
+		t.Fatal("epoch advanced past an active nested operation")
+	}
+	l.Exit()
+	if l.Active() {
+		t.Fatal("still active after balanced Exits")
+	}
+}
+
+// TestConcurrentEpochAgreement hammers Enter/Exit/Retire/Get from many
+// goroutines (run under -race in CI): the property checked is that an
+// object is never handed out by Get while any goroutine that could hold it
+// is still inside its operation — the race detector does the real work via
+// the happens-before edges the epoch protocol must establish.
+func TestConcurrentEpochAgreement(t *testing.T) {
+	d := NewDomain()
+	const goroutines = 8
+	const ops = 2000
+
+	// One shared published pointer; writers swap it, retire the old value
+	// through their Local, and recycle. Readers dereference under Enter.
+	var shared atomic.Pointer[thing]
+	shared.Store(&thing{v: 0})
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			l := NewLocal(d)
+			pool := NewPool[thing]()
+			for i := 0; i < ops; i++ {
+				l.Enter()
+				if g%2 == 0 {
+					// Reader: dereference the shared thing; the race detector
+					// flags any recycle-write overlapping this read.
+					p := shared.Load()
+					_ = p.v
+				} else {
+					nu := pool.Get(l)
+					if nu == nil {
+						nu = &thing{}
+					}
+					nu.v = i
+					old := shared.Swap(nu)
+					pool.Retire(l, old)
+				}
+				l.Exit()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,40 +1,46 @@
 // Package stack implements a non-blocking LIFO stack on the LLX/SCX
 // primitives — the Treiber stack restated in the paper's template. The
 // entry point's top pointer is the only mutable word; cells are fully
-// immutable, and each pop finalizes exactly the cell it unlinks. Because
-// SCX boxes new values freshly, the classic Treiber ABA hazard (top
-// returning to a previously seen cell) is ruled out by construction. Push
-// and Pop run on the internal/template engine like every other structure.
+// immutable, and each pop finalizes exactly the cell it unlinks. Push and
+// Pop run on the internal/template engine like every other structure.
+//
+// Storage is de-boxed (the top pointer is a raw pointer word) and popped
+// cells are recycled through internal/reclaim. The classic Treiber ABA
+// hazard — top returning to a previously seen cell address — is excluded
+// the paper's way for the protocol (a stale helper can act only while the
+// entry's info chain still designates its descriptor) and by the epoch
+// grace periods for storage reuse (a cell's address cannot be re-pushed
+// while any process that could still expect its old identity is inside an
+// operation).
 //
 // Methods never take a *core.Process: plain calls acquire a pooled Handle
 // per operation, and hot paths bind one with Attach.
 package stack
 
 import (
+	"unsafe"
+
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/reclaim"
 	"pragmaprim/internal/template"
 )
 
-const entryTop = 0 // *cell[T]: top of stack
+const entryTop = 0 // ptr 0 of the entry record: top of stack
 
-// cell is one stack cell; both fields are immutable, so cells are
-// Data-records with zero mutable fields.
+// cell is one stack cell; both fields are immutable while published, so
+// cells are Data-records with zero mutable fields. The record is embedded:
+// cell plus record are one allocation, recycled together.
 type cell[T any] struct {
-	rec  *core.Record
+	rec  core.Record
 	val  T
 	next *cell[T]
-}
-
-func newCell[T any](val T, next *cell[T]) *cell[T] {
-	c := &cell[T]{val: val, next: next}
-	c.rec = core.NewRecord(0, nil, c)
-	return c
 }
 
 // Stack is a non-blocking LIFO stack. The zero value is not usable; create
 // one with New. All methods are safe for concurrent use.
 type Stack[T any] struct {
 	entry     *core.Record // the sole entry point; never finalized
+	pool      *reclaim.Pool[cell[T]]
 	policy    template.Policy
 	pushStats template.OpStats
 	popStats  template.OpStats
@@ -42,7 +48,27 @@ type Stack[T any] struct {
 
 // New creates an empty stack.
 func New[T any]() *Stack[T] {
-	return &Stack[T]{entry: core.NewRecord(1, []any{nil})}
+	s := &Stack[T]{
+		entry: core.NewTypedRecord(0, 1),
+		pool:  reclaim.NewPool[cell[T]](),
+	}
+	// Rewind records as cells enter the freelists, releasing the
+	// descriptors their info fields would otherwise park (see reclaim).
+	s.pool.SetOnFree(func(c *cell[T]) { c.rec.Recycle() })
+	return s
+}
+
+// newCell builds (or recycles) a fully initialized, unpublished cell.
+func (s *Stack[T]) newCell(l *reclaim.Local, val T, next *cell[T]) *cell[T] {
+	c := s.pool.Get(l)
+	if c == nil {
+		c = &cell[T]{}
+		core.InitRecord(&c.rec, 0, 0)
+	} else {
+		c.rec.Recycle()
+	}
+	c.val, c.next = val, next
+	return c
 }
 
 // SetPolicy installs the retry policy updates back off with; nil (the
@@ -80,8 +106,7 @@ func (s *Stack[T]) Attach(h *core.Handle) Session[T] {
 func (v Session[T]) Handle() *core.Handle { return v.h }
 
 func (s *Stack[T]) top() *cell[T] {
-	t, _ := s.entry.Read(entryTop).(*cell[T])
-	return t
+	return (*cell[T])(s.entry.Ptr(entryTop))
 }
 
 // Push adds val on top using a pooled Handle; see Session.Push for the
@@ -104,14 +129,20 @@ func (s *Stack[T]) Pop() (T, bool) {
 // Push adds val on top.
 func (v Session[T]) Push(val T) {
 	s := v.s
+	var fresh *cell[T] // built at most once per operation; retries retarget it
 	template.Run(v.h, s.policy, &s.pushStats, func(c *template.Ctx) (struct{}, template.Action) {
-		localEntry, st := c.LLX(s.entry)
+		localEntry, st := c.LLXF(s.entry)
 		if st != core.LLXOK {
 			return struct{}{}, template.Retry
 		}
-		topCell, _ := localEntry[entryTop].(*cell[T])
-		if c.SCX([]*core.Record{s.entry}, nil, s.entry.Field(entryTop),
-			newCell(val, topCell)) {
+		topCell := (*cell[T])(localEntry.Ptr(entryTop))
+		if fresh == nil {
+			fresh = s.newCell(c.Reclaim(), val, topCell)
+		} else {
+			fresh.next = topCell
+		}
+		if c.SCXPtr([]*core.Record{s.entry}, nil, s.entry.PtrField(entryTop),
+			unsafe.Pointer(fresh)) {
 			return struct{}{}, template.Done
 		}
 		return struct{}{}, template.Retry
@@ -129,23 +160,25 @@ type popResult[T any] struct {
 func (v Session[T]) Pop() (T, bool) {
 	s := v.s
 	res := template.Run(v.h, s.policy, &s.popStats, func(c *template.Ctx) (popResult[T], template.Action) {
-		localEntry, st := c.LLX(s.entry)
+		localEntry, st := c.LLXF(s.entry)
 		if st != core.LLXOK {
 			return popResult[T]{}, template.Retry
 		}
-		topCell, _ := localEntry[entryTop].(*cell[T])
+		topCell := (*cell[T])(localEntry.Ptr(entryTop))
 		if topCell == nil {
 			// The LLX snapshot itself is the atomic emptiness witness.
 			return popResult[T]{}, template.Done
 		}
-		// Cells have no mutable fields: their LLX links without a buffer.
-		if _, st := c.LLX(topCell.rec); st != core.LLXOK {
+		// Cells have no mutable fields: their LLX links without copying.
+		if _, st := c.LLXF(&topCell.rec); st != core.LLXOK {
 			return popResult[T]{}, template.Retry
 		}
-		if c.SCX([]*core.Record{s.entry, topCell.rec},
-			[]*core.Record{topCell.rec},
-			s.entry.Field(entryTop), topCell.next) {
-			return popResult[T]{val: topCell.val, ok: true}, template.Done
+		if c.SCXPtr([]*core.Record{s.entry, &topCell.rec},
+			[]*core.Record{&topCell.rec},
+			s.entry.PtrField(entryTop), unsafe.Pointer(topCell.next)) {
+			val := topCell.val
+			s.pool.Retire(c.Reclaim(), topCell)
+			return popResult[T]{val: val, ok: true}, template.Done
 		}
 		return popResult[T]{}, template.Retry
 	})
@@ -154,22 +187,25 @@ func (v Session[T]) Pop() (T, bool) {
 
 // Peek returns the top element without removing it; ok is false when the
 // stack is (momentarily) empty. It is a plain read of the entry point's top
-// pointer: O(1), no Handle, weakly consistent under concurrency.
-func (s *Stack[T]) Peek() (T, bool) {
-	if t := s.top(); t != nil {
-		return t.val, true
-	}
-	var zero T
-	return zero, false
+// pointer under a pooled handle's epoch guard: O(1), weakly consistent
+// under concurrency.
+func (s *Stack[T]) Peek() (val T, ok bool) {
+	template.Guarded(func() {
+		if t := s.top(); t != nil {
+			val, ok = t.val, true
+		}
+	})
+	return val, ok
 }
 
 // Len counts the cells seen by one traversal: exact when quiescent, weakly
 // consistent under concurrency.
-func (s *Stack[T]) Len() int {
-	n := 0
-	for c := s.top(); c != nil; c = c.next {
-		n++
-	}
+func (s *Stack[T]) Len() (n int) {
+	template.Guarded(func() {
+		for c := s.top(); c != nil; c = c.next {
+			n++
+		}
+	})
 	return n
 }
 

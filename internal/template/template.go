@@ -19,8 +19,10 @@ package template
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/reclaim"
 )
 
 // Action is an attempt body's verdict on one try of an operation.
@@ -49,13 +51,17 @@ const (
 // the attempt body it was passed to.
 type Ctx struct {
 	proc *core.Process
+	recl *reclaim.Local
 
 	// Snapshot buffers, one per LLX of the current attempt. They are reused
 	// across attempts and operations (the engine caches the Ctx on the
 	// Handle), which is safe because an attempt that fails abandons its
-	// snapshots and a Done attempt consumes them before Run returns.
-	bufs [maxLinks][maxWidth]any
-	nbuf int
+	// snapshots and a Done attempt consumes them before Run returns. Legacy
+	// boxed links use bufs; typed links use fbufs.
+	bufs  [maxLinks][maxWidth]any
+	nbuf  int
+	fbufs [maxLinks]core.Fields
+	nfbuf int
 
 	// Read set of the current and previous attempt, for the finalized-spin
 	// guard (see Run).
@@ -78,6 +84,13 @@ var nextStripe atomic.Uint32
 // Process exposes the underlying Process for primitives the Ctx does not
 // wrap (SnapshotAll, metrics).
 func (c *Ctx) Process() *core.Process { return c.proc }
+
+// Reclaim exposes the operation's epoch-reclamation state: attempt bodies
+// allocate nodes from their structure's reclaim.Pool through it and retire
+// the nodes their committed SCX unlinked. It is valid inside the attempt
+// (the engine has announced the epoch) and immediately after Run returns on
+// the same goroutine.
+func (c *Ctx) Reclaim() *reclaim.Local { return c.recl }
 
 // LLX load-link-extends r through an engine-owned snapshot buffer, so the
 // link allocates nothing for records up to maxWidth mutable fields. The
@@ -102,12 +115,57 @@ func (c *Ctx) LLX(r *core.Record) (core.Snapshot, core.LLXStatus) {
 	return snap, st
 }
 
+// LLXF load-link-extends a typed record through an engine-owned Fields
+// buffer: the de-boxed, allocation-free counterpart of LLX. The returned
+// snapshot is valid until the attempt returns.
+func (c *Ctx) LLXF(r *core.Record) (*core.Fields, core.LLXStatus) {
+	var f *core.Fields
+	if c.nfbuf < maxLinks {
+		f = &c.fbufs[c.nfbuf]
+		c.nfbuf++
+	} else {
+		f = new(core.Fields) // attempts never link this wide; stay safe if one does
+	}
+	st := c.proc.LLXFields(r, f)
+	if c.nlinked < maxLinks {
+		c.linked[c.nlinked] = r
+		c.nlinked++
+	}
+	switch st {
+	case core.LLXFinalized:
+		c.finalized = true
+	case core.LLXFail:
+		c.llxFails++
+	}
+	return f, st
+}
+
 // SCX commits the attempt's update: one atomic store into fld plus
 // finalization of rset, conditional on every record in v being unchanged
 // since this attempt's LLX on it. Neither v nor rset is retained, so slice
 // literals at the call site stay on the caller's stack.
 func (c *Ctx) SCX(v []*core.Record, rset []*core.Record, fld core.FieldRef, newVal any) bool {
 	ok := c.proc.SCX(v, rset, fld, newVal)
+	if !ok {
+		c.scxFails++
+	}
+	return ok
+}
+
+// SCXWord commits an update to a uint64 word field of a typed record; see
+// Process.SCXWord for the value-freshness obligation.
+func (c *Ctx) SCXWord(v []*core.Record, rset []*core.Record, fld core.FieldRef, newWord uint64) bool {
+	ok := c.proc.SCXWord(v, rset, fld, newWord)
+	if !ok {
+		c.scxFails++
+	}
+	return ok
+}
+
+// SCXPtr commits an update to a pointer field of a typed record; newPtr
+// must be fresh or recycled through internal/reclaim (see Process.SCXPtr).
+func (c *Ctx) SCXPtr(v []*core.Record, rset []*core.Record, fld core.FieldRef, newPtr unsafe.Pointer) bool {
+	ok := c.proc.SCXPtr(v, rset, fld, newPtr)
 	if !ok {
 		c.scxFails++
 	}
@@ -127,6 +185,7 @@ func (c *Ctx) beginAttempt() {
 	copy(c.prev[:c.nprev], c.linked[:c.nlinked])
 	c.nlinked = 0
 	c.nbuf = 0
+	c.nfbuf = 0
 	c.finalized = false
 }
 
@@ -154,8 +213,35 @@ func ctxOf(h *core.Handle) *Ctx {
 		return c
 	}
 	c := &Ctx{proc: h.Process(), stripe: nextStripe.Add(1)}
+	c.recl = c.proc.Reclaimer()
 	h.SetScratch(c)
 	return c
+}
+
+// Enter announces a reclamation epoch for a read-only excursion into a
+// structure on h: while announced, no node the reader can still reach will
+// be recycled out from under it. Update operations need no explicit guard —
+// Run announces for them — but plain-read paths (searches, traversals,
+// peeks) must wrap themselves in Enter/Exit now that retired nodes are
+// recycled rather than left to the garbage collector. Enter/Exit pairs
+// nest.
+func Enter(h *core.Handle) { ctxOf(h).recl.Enter() }
+
+// Exit ends the read guard opened by the matching Enter. No reference
+// obtained since the Enter may be used afterwards.
+func Exit(h *core.Handle) { ctxOf(h).recl.Exit() }
+
+// Guarded runs fn under a pooled handle's epoch guard: the one-liner for
+// handle-free plain-read paths (traversals, peeks, invariant checks).
+// Centralizing the acquire+announce boilerplate keeps the invariant the
+// recycling scheme depends on — every read path is guarded — in one place.
+// fn must not retain references to structure nodes beyond its return.
+func Guarded(fn func()) {
+	h := core.AcquireHandle()
+	defer h.Release()
+	Enter(h)
+	defer Exit(h)
+	fn()
 }
 
 // Run executes one non-blocking update: it calls attempt until the attempt
@@ -182,6 +268,22 @@ func Run[T any](h *core.Handle, pol Policy, st *OpStats, attempt func(*Ctx) (T, 
 	c := ctxOf(h)
 	c.nlinked, c.nprev = 0, 0
 	c.llxFails, c.scxFails = 0, 0
+	// Announce the reclamation epoch for the whole operation: every node
+	// reference the attempts obtain is protected until Run returns, and the
+	// descriptors this operation's SCXs create become recyclable. The
+	// deferred Exit also advances the global epoch and drains this
+	// process's limbo list opportunistically.
+	//
+	// The announcement deliberately spans retry backoffs too. Exiting
+	// around a backoff would let epochs advance during contention, but it
+	// would also let the previous attempt's read-set records be recycled,
+	// and the finalized-spin guard below compares those records by
+	// identity — an address reused for a fresh record could then alias a
+	// pinned read set and panic spuriously. Backoffs are bounded (see
+	// Policy), and a stalled epoch only degrades recycling to the GC
+	// overflow path, never safety.
+	c.recl.Enter()
+	defer c.recl.Exit()
 	tries := int64(0)
 	for {
 		c.beginAttempt()

@@ -2,10 +2,10 @@
 // LLX/SCX primitives. The paper's related work (Section 2) points to
 // non-blocking Patricia tries as a product of the same cooperative
 // technique; this implementation shows the LLX/SCX template carrying over
-// unchanged: searches are plain reads (Proposition 2), every update is one
-// SCX that swings a single child pointer and finalizes exactly the removed
-// nodes, and the retry loop itself lives in internal/template like every
-// other structure here.
+// unchanged: searches are plain reads (Proposition 2) under an epoch guard,
+// every update is one SCX that swings a single child pointer and finalizes
+// exactly the removed nodes, and the retry loop itself lives in
+// internal/template like every other structure here.
 //
 // Keys are uint64, compared most-significant-bit first. Internal nodes are
 // pure routers labelled with the bit index where their subtrees diverge
@@ -14,6 +14,10 @@
 // key set, so no rebalancing is ever needed — which is exactly why it is a
 // popular companion structure to the paper's BSTs.
 //
+// Child links are raw de-boxed pointer words; removed nodes are recycled
+// through internal/reclaim (leaves and routers share one two-pointer record
+// layout, so one pool serves both).
+//
 // Methods never take a *core.Process: plain calls acquire a pooled Handle
 // per operation, and hot paths bind one with Attach.
 package trie
@@ -21,44 +25,35 @@ package trie
 import (
 	"fmt"
 	"math/bits"
+	"unsafe"
 
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/reclaim"
 	"pragmaprim/internal/template"
 )
 
-// Mutable-field indices. The root record has a single child field; internal
-// nodes have two.
+// Mutable-field indices (pointer fields). The root record has a single
+// child field; internal nodes have two.
 const (
 	fieldChild0 = 0 // bit == 0 side (also the root's only child field)
 	fieldChild1 = 1
 )
 
 // node is one trie node. All fields except the record's child pointers are
-// immutable.
+// immutable while published. The record is embedded; leaves and routers
+// share the two-pointer layout so the reclaim pool recycles them
+// interchangeably.
 type node[V any] struct {
-	rec  *core.Record
+	rec  core.Record
 	leaf bool
 	bit  int    // internal: diverging bit index, 0 (MSB) .. 63
 	key  uint64 // leaf: the key
 	val  V      // leaf: the value
 }
 
-func newInternal[V any](bit int, child0, child1 *node[V]) *node[V] {
-	n := &node[V]{bit: bit}
-	n.rec = core.NewRecord(2, []any{child0, child1}, n)
-	return n
-}
-
-func newLeaf[V any](key uint64, val V) *node[V] {
-	n := &node[V]{leaf: true, key: key, val: val}
-	n.rec = core.NewRecord(0, nil, n)
-	return n
-}
-
 // child reads child dir of internal node n with a plain read.
 func (n *node[V]) child(dir int) *node[V] {
-	c, _ := n.rec.Read(dir).(*node[V])
-	return c
+	return (*node[V])(n.rec.Ptr(dir))
 }
 
 // bitOf extracts bit i of key, MSB first.
@@ -76,6 +71,7 @@ func diffBit(a, b uint64) int {
 // usable; create one with New. All methods are safe for concurrent use.
 type Trie[V any] struct {
 	root     *core.Record // entry point: one mutable field, the trie's root node
+	pool     *reclaim.Pool[node[V]]
 	policy   template.Policy
 	putStats template.OpStats
 	delStats template.OpStats
@@ -83,7 +79,54 @@ type Trie[V any] struct {
 
 // New creates an empty trie. The entry-point record is never finalized.
 func New[V any]() *Trie[V] {
-	return &Trie[V]{root: core.NewRecord(1, []any{nil})}
+	t := &Trie[V]{
+		root: core.NewTypedRecord(0, 1),
+		pool: reclaim.NewPool[node[V]](),
+	}
+	// Rewind records as nodes enter the freelists, releasing the
+	// descriptors their info fields would otherwise park (see reclaim).
+	t.pool.SetOnFree(func(n *node[V]) { n.rec.Recycle() })
+	return t
+}
+
+// alloc recycles or allocates a blank node.
+func (t *Trie[V]) alloc(l *reclaim.Local) *node[V] {
+	n := t.pool.Get(l)
+	if n == nil {
+		n = &node[V]{}
+		core.InitRecord(&n.rec, 0, 2)
+	} else {
+		n.rec.Recycle()
+	}
+	return n
+}
+
+// setInternal and setLeaf are the single places node state is set, shared
+// by the constructors and the retry paths that re-arm a node built by an
+// earlier attempt.
+func setInternal[V any](n *node[V], bit int, child0, child1 *node[V]) {
+	var zeroV V
+	n.leaf, n.bit, n.key, n.val = false, bit, 0, zeroV
+	n.rec.SetPtr(fieldChild0, unsafe.Pointer(child0))
+	n.rec.SetPtr(fieldChild1, unsafe.Pointer(child1))
+}
+
+func setLeaf[V any](n *node[V], key uint64, val V) {
+	n.leaf, n.bit, n.key, n.val = true, 0, key, val
+	n.rec.SetPtr(fieldChild0, nil)
+	n.rec.SetPtr(fieldChild1, nil)
+}
+
+func (t *Trie[V]) newInternal(l *reclaim.Local, bit int, child0, child1 *node[V]) *node[V] {
+	n := t.alloc(l)
+	setInternal(n, bit, child0, child1)
+	return n
+}
+
+func (t *Trie[V]) newLeaf(l *reclaim.Local, key uint64, val V) *node[V] {
+	n := t.alloc(l)
+	setLeaf(n, key, val)
+	return n
 }
 
 // SetPolicy installs the retry policy updates back off with; nil (the
@@ -122,22 +165,16 @@ func (s Session[V]) Handle() *core.Handle { return s.h }
 
 // top reads the trie's root node (nil when empty).
 func (t *Trie[V]) top() *node[V] {
-	n, _ := t.root.Read(fieldChild0).(*node[V])
-	return n
+	return (*node[V])(t.root.Ptr(fieldChild0))
 }
 
-// Get returns the value stored for key, if any. Searches are plain reads
-// (Proposition 2), so Get needs no Handle.
+// Get returns the value stored for key, if any, using a pooled Handle; see
+// Session.Get for the hot-path form.
 func (t *Trie[V]) Get(key uint64) (V, bool) {
-	var zero V
-	n := t.top()
-	for n != nil && !n.leaf {
-		n = n.child(bitOf(key, n.bit))
-	}
-	if n != nil && n.key == key {
-		return n.val, true
-	}
-	return zero, false
+	h := core.AcquireHandle()
+	v, ok := t.Attach(h).Get(key)
+	h.Release()
+	return v, ok
 }
 
 // Contains reports whether key is present.
@@ -165,10 +202,26 @@ func (t *Trie[V]) Delete(key uint64) (V, bool) {
 }
 
 // Get returns the value stored for key, if any.
-func (s Session[V]) Get(key uint64) (V, bool) { return s.t.Get(key) }
+func (s Session[V]) Get(key uint64) (V, bool) {
+	template.Enter(s.h)
+	defer template.Exit(s.h)
+	t := s.t
+	var zero V
+	n := t.top()
+	for n != nil && !n.leaf {
+		n = n.child(bitOf(key, n.bit))
+	}
+	if n != nil && n.key == key {
+		return n.val, true
+	}
+	return zero, false
+}
 
 // Contains reports whether key is present.
-func (s Session[V]) Contains(key uint64) bool { return s.t.Contains(key) }
+func (s Session[V]) Contains(key uint64) bool {
+	_, ok := s.Get(key)
+	return ok
+}
 
 // walkToLeaf follows key's bits from n to a leaf.
 func walkToLeaf[V any](n *node[V], key uint64) *node[V] {
@@ -182,20 +235,30 @@ func walkToLeaf[V any](n *node[V], key uint64) *node[V] {
 // if an existing mapping was replaced.
 func (s Session[V]) Put(key uint64, val V) bool {
 	t := s.t
+	var nl, inner *node[V] // built at most once per operation; retries retarget
+	leaf := func(c *template.Ctx) *node[V] {
+		if nl == nil {
+			nl = t.newLeaf(c.Reclaim(), key, val)
+		}
+		return nl
+	}
 	return template.Run(s.h, t.policy, &t.putStats, func(c *template.Ctx) (bool, template.Action) {
 		// Phase 1: probe for a leaf sharing key's routed prefix.
 		top := t.top()
 		if top == nil {
 			// Empty trie: install the first leaf at the entry point.
-			localr, st := c.LLX(t.root)
+			localr, st := c.LLXF(t.root)
 			if st != core.LLXOK {
 				return false, template.Retry
 			}
-			if localr[fieldChild0] != any(nil) {
+			if localr.Ptr(fieldChild0) != nil {
 				return false, template.Retry // no longer empty; re-run
 			}
-			if c.SCX([]*core.Record{t.root}, nil, t.root.Field(fieldChild0),
-				newLeaf(key, val)) {
+			if c.SCXPtr([]*core.Record{t.root}, nil, t.root.PtrField(fieldChild0),
+				unsafe.Pointer(leaf(c))) {
+				if inner != nil {
+					t.pool.Release(c.Reclaim(), inner)
+				}
 				return true, template.Done
 			}
 			return false, template.Retry
@@ -203,7 +266,10 @@ func (s Session[V]) Put(key uint64, val V) bool {
 		probe := walkToLeaf(top, key)
 		if probe.key == key {
 			// Replace the existing leaf in place, finalizing it.
-			if t.replaceLeaf(c, key, val) {
+			if t.replaceLeaf(c, key, leaf(c)) {
+				if inner != nil {
+					t.pool.Release(c.Reclaim(), inner)
+				}
 				return false, template.Done
 			}
 			return false, template.Retry
@@ -215,11 +281,11 @@ func (s Session[V]) Put(key uint64, val V) bool {
 		if cur == nil {
 			return false, template.Retry // structure moved; re-run
 		}
-		localp, st := c.LLX(parentRec)
+		localp, st := c.LLXF(parentRec)
 		if st != core.LLXOK {
 			return false, template.Retry
 		}
-		if ch, _ := localp[parentDir].(*node[V]); ch != cur {
+		if (*node[V])(localp.Ptr(parentDir)) != cur {
 			return false, template.Retry
 		}
 		// Revalidate b against the live structure: every key ever placed
@@ -233,25 +299,21 @@ func (s Session[V]) Put(key uint64, val V) bool {
 		if !cur.leaf && cur.bit <= b {
 			return false, template.Retry
 		}
-		nl := newLeaf(key, val)
-		var inner *node[V]
-		if bitOf(key, b) == 0 {
-			inner = newInternal(b, nl, cur)
-		} else {
-			inner = newInternal(b, cur, nl)
+		n := leaf(c)
+		if inner == nil {
+			inner = t.alloc(c.Reclaim())
 		}
-		if c.SCX([]*core.Record{parentRec}, nil,
-			recField(parentRec, parentDir), inner) {
+		if bitOf(key, b) == 0 {
+			setInternal(inner, b, n, cur)
+		} else {
+			setInternal(inner, b, cur, n)
+		}
+		if c.SCXPtr([]*core.Record{parentRec}, nil,
+			parentRec.PtrField(parentDir), unsafe.Pointer(inner)) {
 			return true, template.Done
 		}
 		return false, template.Retry
 	})
-}
-
-// recField builds a FieldRef for a raw record (the entry point has one
-// field; internal nodes have two).
-func recField(rec *core.Record, dir int) core.FieldRef {
-	return rec.Field(dir)
 }
 
 // descendTo walks toward key and returns the edge (parent record, field
@@ -262,39 +324,43 @@ func (t *Trie[V]) descendTo(key uint64, b int) (*core.Record, int, *node[V]) {
 	parentDir := fieldChild0
 	cur := t.top()
 	for cur != nil && !cur.leaf && cur.bit < b {
-		parentRec = cur.rec
+		parentRec = &cur.rec
 		parentDir = bitOf(key, cur.bit)
 		cur = cur.child(parentDir)
 	}
 	return parentRec, parentDir, cur
 }
 
-// replaceLeaf swaps the leaf holding key for a fresh leaf with val,
-// finalizing the old one. Returns false if the structure moved.
-func (t *Trie[V]) replaceLeaf(c *template.Ctx, key uint64, val V) bool {
+// replaceLeaf swaps the leaf holding key for repl, finalizing and retiring
+// the old one. Returns false if the structure moved.
+func (t *Trie[V]) replaceLeaf(c *template.Ctx, key uint64, repl *node[V]) bool {
 	parentRec := t.root
 	parentDir := fieldChild0
 	cur := t.top()
 	for cur != nil && !cur.leaf {
-		parentRec = cur.rec
+		parentRec = &cur.rec
 		parentDir = bitOf(key, cur.bit)
 		cur = cur.child(parentDir)
 	}
 	if cur == nil || cur.key != key {
 		return false
 	}
-	localp, st := c.LLX(parentRec)
+	localp, st := c.LLXF(parentRec)
 	if st != core.LLXOK {
 		return false
 	}
-	if ch, _ := localp[parentDir].(*node[V]); ch != cur {
+	if (*node[V])(localp.Ptr(parentDir)) != cur {
 		return false
 	}
-	if _, st := c.LLX(cur.rec); st != core.LLXOK {
+	if _, st := c.LLXF(&cur.rec); st != core.LLXOK {
 		return false
 	}
-	return c.SCX([]*core.Record{parentRec, cur.rec}, []*core.Record{cur.rec},
-		recField(parentRec, parentDir), newLeaf(key, val))
+	if c.SCXPtr([]*core.Record{parentRec, &cur.rec}, []*core.Record{&cur.rec},
+		parentRec.PtrField(parentDir), unsafe.Pointer(repl)) {
+		t.pool.Retire(c.Reclaim(), cur)
+		return true
+	}
+	return false
 }
 
 // delResult carries Delete's two return values through the engine.
@@ -315,7 +381,7 @@ func (s Session[V]) Delete(key uint64) (V, bool) {
 		l := t.top()
 		for l != nil && !l.leaf {
 			if p != nil {
-				gRec = p.rec
+				gRec = &p.rec
 				gDir = bitOf(key, p.bit)
 			}
 			p = l
@@ -326,58 +392,64 @@ func (s Session[V]) Delete(key uint64) (V, bool) {
 		}
 		if p == nil {
 			// The leaf is the entire trie: unlink it from the entry point.
-			localr, st := c.LLX(t.root)
+			localr, st := c.LLXF(t.root)
 			if st != core.LLXOK {
 				return delResult[V]{}, template.Retry
 			}
-			if ch, _ := localr[fieldChild0].(*node[V]); ch != l {
+			if (*node[V])(localr.Ptr(fieldChild0)) != l {
 				return delResult[V]{}, template.Retry
 			}
-			if _, st := c.LLX(l.rec); st != core.LLXOK {
+			if _, st := c.LLXF(&l.rec); st != core.LLXOK {
 				return delResult[V]{}, template.Retry
 			}
-			if c.SCX([]*core.Record{t.root, l.rec}, []*core.Record{l.rec},
-				t.root.Field(fieldChild0), nil) {
-				return delResult[V]{val: l.val, ok: true}, template.Done
+			if c.SCXPtr([]*core.Record{t.root, &l.rec}, []*core.Record{&l.rec},
+				t.root.PtrField(fieldChild0), nil) {
+				val := l.val
+				t.pool.Retire(c.Reclaim(), l)
+				return delResult[V]{val: val, ok: true}, template.Done
 			}
 			return delResult[V]{}, template.Retry
 		}
 		// Replace p with l's sibling, finalizing p and l.
-		localg, st := c.LLX(gRec)
+		localg, st := c.LLXF(gRec)
 		if st != core.LLXOK {
 			return delResult[V]{}, template.Retry
 		}
-		if ch, _ := localg[gDir].(*node[V]); ch != p {
+		if (*node[V])(localg.Ptr(gDir)) != p {
 			return delResult[V]{}, template.Retry
 		}
-		localp, st := c.LLX(p.rec)
+		localp, st := c.LLXF(&p.rec)
 		if st != core.LLXOK {
 			return delResult[V]{}, template.Retry
 		}
 		ldir := bitOf(key, p.bit)
-		if ch, _ := localp[ldir].(*node[V]); ch != l {
+		if (*node[V])(localp.Ptr(ldir)) != l {
 			return delResult[V]{}, template.Retry
 		}
-		sib, _ := localp[1-ldir].(*node[V])
+		sib := (*node[V])(localp.Ptr(1 - ldir))
 		if sib == nil {
 			return delResult[V]{}, template.Retry
 		}
-		if _, st := c.LLX(l.rec); st != core.LLXOK {
+		if _, st := c.LLXF(&l.rec); st != core.LLXOK {
 			return delResult[V]{}, template.Retry
 		}
-		if _, st := c.LLX(sib.rec); st != core.LLXOK {
+		if _, st := c.LLXF(&sib.rec); st != core.LLXOK {
 			return delResult[V]{}, template.Retry
 		}
 		// V in preorder-consistent order: grandparent edge owner, p, then
 		// p's children in child order.
 		var v []*core.Record
 		if ldir == 0 {
-			v = []*core.Record{gRec, p.rec, l.rec, sib.rec}
+			v = []*core.Record{gRec, &p.rec, &l.rec, &sib.rec}
 		} else {
-			v = []*core.Record{gRec, p.rec, sib.rec, l.rec}
+			v = []*core.Record{gRec, &p.rec, &sib.rec, &l.rec}
 		}
-		if c.SCX(v, []*core.Record{p.rec, l.rec}, recField(gRec, gDir), sib) {
-			return delResult[V]{val: l.val, ok: true}, template.Done
+		if c.SCXPtr(v, []*core.Record{&p.rec, &l.rec}, gRec.PtrField(gDir),
+			unsafe.Pointer(sib)) {
+			val := l.val
+			t.pool.Retire(c.Reclaim(), p)
+			t.pool.Retire(c.Reclaim(), l)
+			return delResult[V]{val: val, ok: true}, template.Done
 		}
 		return delResult[V]{}, template.Retry
 	})
@@ -388,7 +460,7 @@ func (s Session[V]) Delete(key uint64) (V, bool) {
 // quiescent, weakly consistent under concurrency per Proposition 2).
 func (t *Trie[V]) Len() int {
 	n := 0
-	t.walk(t.top(), func(*node[V]) { n++ })
+	template.Guarded(func() { t.walk(t.top(), func(*node[V]) { n++ }) })
 	return n
 }
 
@@ -396,14 +468,14 @@ func (t *Trie[V]) Len() int {
 // order), with the same consistency caveat as Len.
 func (t *Trie[V]) Keys() []uint64 {
 	var keys []uint64
-	t.walk(t.top(), func(l *node[V]) { keys = append(keys, l.key) })
+	template.Guarded(func() { t.walk(t.top(), func(l *node[V]) { keys = append(keys, l.key) }) })
 	return keys
 }
 
 // Items returns the key -> value contents, same caveat as Len.
 func (t *Trie[V]) Items() map[uint64]V {
 	items := make(map[uint64]V)
-	t.walk(t.top(), func(l *node[V]) { items[l.key] = l.val })
+	template.Guarded(func() { t.walk(t.top(), func(l *node[V]) { items[l.key] = l.val }) })
 	return items
 }
 
@@ -427,7 +499,9 @@ func (t *Trie[V]) CheckInvariants() error {
 	if t.root.Finalized() {
 		return fmt.Errorf("entry point finalized")
 	}
-	return t.check(t.top(), -1, 0, 0)
+	var err error
+	template.Guarded(func() { err = t.check(t.top(), -1, 0, 0) })
+	return err
 }
 
 // check validates subtree n: parentBit is the bit index of n's parent (-1
