@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all vet lint build test race benchsmoke benchdiff check bench-core clean
+.PHONY: all vet lint build test race benchsmoke benchdiff server-smoke fuzz-smoke check bench-core bench-server clean
 
 all: check
 
@@ -40,7 +40,8 @@ test:
 race:
 	$(GO) test -race ./internal/core ./internal/template ./internal/multiset \
 		./internal/container ./internal/shard ./internal/reclaim \
-		./internal/queue ./internal/stack ./internal/bst ./internal/trie
+		./internal/queue ./internal/stack ./internal/bst ./internal/trie \
+		./internal/proto ./internal/server ./internal/client
 
 # Compile and execute every benchmark once so benchmark code cannot rot
 # without failing CI (-benchtime=1x keeps it to seconds), and smoke the
@@ -57,11 +58,28 @@ benchsmoke:
 benchdiff:
 	$(GO) run ./cmd/bench -compare BENCH_core.json -maxallocregress
 
-check: lint build test race benchsmoke benchdiff
+# End-to-end smoke of the serving stack: start cmd/server, drive it with
+# the load generator for a second, scrape -metrics, SIGTERM, and assert a
+# clean drain (see scripts/server_smoke.sh).
+server-smoke:
+	sh ./scripts/server_smoke.sh
+
+# Short native-fuzz pass over the wire-protocol parser: malformed frames
+# must error, never panic or over-read.
+fuzz-smoke:
+	$(GO) test ./internal/proto -run '^$$' -fuzz '^FuzzParseFrame$$' -fuzztime 10s
+
+check: lint build test race benchsmoke benchdiff server-smoke fuzz-smoke
 
 # Regenerate the checked-in core fast-path microbenchmark dump.
 bench-core:
 	$(GO) run ./cmd/bench -corejson BENCH_core.json
+
+# Regenerate the checked-in server throughput/latency dump (closed loop,
+# pipeline depths 1/16/128 over the sharded multiset).
+bench-server:
+	$(GO) run ./cmd/bench -loadgen -lgdur 2s -lgdepth 1,16,128 -lgconns 4 \
+		-serverout BENCH_server.json
 
 clean:
 	$(GO) clean ./...

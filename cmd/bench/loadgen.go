@@ -1,0 +1,500 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pragmaprim/internal/client"
+	"pragmaprim/internal/harness"
+	"pragmaprim/internal/proto"
+	"pragmaprim/internal/server"
+	"pragmaprim/internal/shard"
+	"pragmaprim/internal/stats"
+	"pragmaprim/internal/template"
+	"pragmaprim/internal/workload"
+)
+
+// The load generator measures the serving stack across a real socket: it
+// drives a server (an external one via -addr, or a self-hosted in-process
+// one) with N pipelining connections and reports throughput plus latency
+// quantiles from per-worker log-linear histograms (stats.Histogram). Two
+// loop disciplines are supported:
+//
+//   - closed: each connection keeps exactly `depth` requests in flight —
+//     send a pipelined batch, collect its replies, repeat. Throughput is
+//     whatever the server sustains; latency is reply time minus the
+//     batch's flush time.
+//   - open: each connection issues requests on a fixed schedule derived
+//     from -lgrate regardless of replies (bounded by `depth` in-flight, so
+//     a stalled server applies backpressure instead of unbounded memory).
+//     Latency is measured from the *scheduled* send time, so queueing
+//     delay is charged to the server, not hidden — the
+//     coordinated-omission-aware discipline.
+//
+// One JSON row per (mode, depth) cell is written to -serverout; the
+// checked-in BENCH_server.json is this dump for closed-loop depths
+// 1/16/128 over the sharded multiset.
+
+// loadgenOpts collects the -lg* flags.
+type loadgenOpts struct {
+	addr      string
+	structure string
+	shards    int
+	policy    string
+	mode      string
+	conns     int
+	depths    string
+	rate      int
+	dist      string
+	keys      int
+	mix       string
+	dur       time.Duration
+	out       string
+	metrics   string
+}
+
+// serverBenchResult is one cell of the BENCH_server.json dump.
+type serverBenchResult struct {
+	Mode      string  `json:"mode"`
+	Structure string  `json:"structure"`
+	Shards    int     `json:"shards"`
+	Conns     int     `json:"conns"`
+	Depth     int     `json:"depth"`
+	RateTgt   int     `json:"rate_target,omitempty"`
+	Dist      string  `json:"dist"`
+	Keys      int     `json:"keys"`
+	Mix       string  `json:"mix"`
+	Ops       int64   `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50us     float64 `json:"p50_us"`
+	P95us     float64 `json:"p95_us"`
+	P99us     float64 `json:"p99_us"`
+	MaxUs     float64 `json:"max_us"`
+	AckedIns  int64   `json:"acked_inserts"`
+	AckedDel  int64   `json:"acked_deletes"`
+}
+
+type serverBenchDump struct {
+	GoVersion  string              `json:"go_version"`
+	GOARCH     string              `json:"goarch"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Results    []serverBenchResult `json:"results"`
+}
+
+func runLoadgen(o loadgenOpts) error {
+	mix, err := parseMix(o.mix)
+	if err != nil {
+		return err
+	}
+	var dist workload.Distribution
+	switch o.dist {
+	case "uniform":
+		dist = workload.Uniform
+	case "zipf":
+		dist = workload.Zipf
+	default:
+		return fmt.Errorf("loadgen: unknown -lgdist %q (want uniform or zipf)", o.dist)
+	}
+	cfg := workload.Config{KeyRange: o.keys, Dist: dist, Mix: mix}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	depths, err := parseInts(o.depths)
+	if err != nil {
+		return fmt.Errorf("loadgen: invalid -lgdepth: %w", err)
+	}
+	if o.mode != "closed" && o.mode != "open" {
+		return fmt.Errorf("loadgen: unknown -lgmode %q (want closed or open)", o.mode)
+	}
+	if o.mode == "open" && o.rate <= 0 {
+		return fmt.Errorf("loadgen: open loop needs -lgrate > 0")
+	}
+
+	// Self-host when no address is given: build the container from the same
+	// flags cmd/server uses and serve it in-process on a random port.
+	addr := o.addr
+	var srv *server.Server
+	if addr == "" {
+		if o.shards > 1 {
+			// BuildContainer rounds internally; round here too so the table
+			// header and the JSON rows record the topology actually built.
+			o.shards = shard.NextPow2(o.shards)
+		}
+		pol, err := template.PolicyByName(o.policy)
+		if err != nil {
+			return err
+		}
+		cont, err := harness.BuildContainer(o.structure, o.shards, pol)
+		if err != nil {
+			return err
+		}
+		srv, err = server.Start(cont, server.Config{})
+		if err != nil {
+			return err
+		}
+		addr = srv.Addr().String()
+		fmt.Printf("loadgen: self-hosted %s (%d shard(s)) on %s\n", o.structure, o.shards, addr)
+	}
+
+	// Prefill half the key range so GETs hit about half the time, the same
+	// methodology as the harness throughput runs, pipelined in batches so a
+	// large key range costs batches of round trips, not one per key; retry
+	// the first dial briefly so `make server-smoke` can race the server's
+	// startup.
+	pre, err := dialRetry(addr, time.Second)
+	if err != nil {
+		return err
+	}
+	if err := prefill(pre, o.keys); err != nil {
+		pre.Close()
+		return fmt.Errorf("loadgen: prefill: %w", err)
+	}
+	pre.Close()
+
+	dump := serverBenchDump{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	tb := stats.NewTable(fmt.Sprintf("loadgen: %s loop, %d conns, %s keys=%d mix=%s",
+		o.mode, o.conns, o.dist, o.keys, mix),
+		"depth", "ops", "ops/sec", "p50 µs", "p95 µs", "p99 µs", "max µs")
+	for _, depth := range depths {
+		if depth < 1 || depth > maxDepth {
+			return fmt.Errorf("loadgen: depth %d out of range [1, %d] (beyond it a closed-loop batch deadlocks against TCP flow control: the whole batch is written before any reply is read)", depth, maxDepth)
+		}
+		res, err := runCell(addr, cfg, o, depth)
+		if err != nil {
+			return err
+		}
+		res.Structure, res.Shards = o.structure, o.shards
+		if o.addr != "" {
+			res.Structure, res.Shards = "external", 0
+		}
+		dump.Results = append(dump.Results, res)
+		tb.AddRow(depth, res.Ops, res.OpsPerSec, res.P50us, res.P95us, res.P99us, res.MaxUs)
+	}
+	tb.WriteTo(os.Stdout)
+
+	if o.metrics != "" {
+		if err := scrapeMetrics(o.metrics); err != nil {
+			return err
+		}
+	}
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("loadgen: server shutdown: %w", err)
+		}
+		fmt.Printf("loadgen: server drained cleanly, final size %d\n", srv.Size())
+	}
+	if o.out != "" {
+		out, err := json.MarshalIndent(dump, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(o.out, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: wrote %s\n", o.out)
+	}
+	return nil
+}
+
+// runCell measures one (mode, depth) configuration.
+func runCell(addr string, cfg workload.Config, o loadgenOpts, depth int) (serverBenchResult, error) {
+	res := serverBenchResult{
+		Mode: o.mode, Conns: o.conns, Depth: depth,
+		Dist: string(cfg.Dist), Keys: cfg.KeyRange, Mix: cfg.Mix.String(),
+	}
+	if o.mode == "open" {
+		res.RateTgt = o.rate
+	}
+
+	type workerOut struct {
+		ops, ins, del int64
+		hist          stats.Histogram
+		err           error
+	}
+	outs := make([]workerOut, o.conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(o.dur)
+	for w := 0; w < o.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := &outs[w]
+			cl, err := client.Dial(addr)
+			if err != nil {
+				out.err = err
+				return
+			}
+			defer cl.Close()
+			cl.Conn().SetReadDeadline(deadline.Add(30 * time.Second))
+			count := func(op proto.Op, applied bool) {
+				out.ops++
+				if !applied {
+					return
+				}
+				switch op {
+				case proto.OpSet:
+					out.ins++
+				case proto.OpDel:
+					out.del++
+				}
+			}
+			if o.mode == "closed" {
+				out.err = closedLoop(cl, cfg, depth, int64(w), deadline, count, &out.hist)
+			} else {
+				perConn := float64(o.rate) / float64(o.conns)
+				out.err = openLoop(cl, cfg, depth, int64(w), perConn, deadline, count, &out.hist)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var hist stats.Histogram
+	for i := range outs {
+		if outs[i].err != nil {
+			return res, fmt.Errorf("loadgen: conn %d: %w", i, outs[i].err)
+		}
+		res.Ops += outs[i].ops
+		res.AckedIns += outs[i].ins
+		res.AckedDel += outs[i].del
+		hist.Merge(&outs[i].hist)
+	}
+	res.Seconds = elapsed.Seconds()
+	res.OpsPerSec = stats.Throughput(res.Ops, res.Seconds)
+	res.P50us = float64(hist.Quantile(50)) / 1e3
+	res.P95us = float64(hist.Quantile(95)) / 1e3
+	res.P99us = float64(hist.Quantile(99)) / 1e3
+	res.MaxUs = float64(hist.Max()) / 1e3
+	return res, nil
+}
+
+// closedLoop keeps exactly depth requests in flight: send a batch, flush,
+// collect its replies, repeat until the deadline.
+func closedLoop(cl *client.Client, cfg workload.Config, depth int, seed int64,
+	deadline time.Time, count func(proto.Op, bool), hist *stats.Histogram) error {
+	keys := cfg.NewKeyGen(seed*2 + 1)
+	ops := cfg.NewOpGen(seed*2 + 2)
+	kinds := make([]proto.Op, depth)
+	for time.Now().Before(deadline) {
+		for i := 0; i < depth; i++ {
+			op := opFor(ops.Next())
+			if err := cl.Send(proto.Request{Op: op, Key: int64(keys.Next())}); err != nil {
+				return err
+			}
+			kinds[i] = op
+		}
+		if err := cl.Flush(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for i := 0; i < depth; i++ {
+			rep, err := cl.Recv()
+			if err != nil {
+				return err
+			}
+			hist.Record(time.Since(t0).Nanoseconds())
+			count(kinds[i], rep.Status == proto.StatusTrue)
+		}
+	}
+	return nil
+}
+
+// openLoop issues requests on a fixed schedule of ratePerConn ops/sec,
+// regardless of replies, with at most maxInflight outstanding. Latency is
+// charged from the scheduled send time.
+func openLoop(cl *client.Client, cfg workload.Config, maxInflight int, seed int64,
+	ratePerConn float64, deadline time.Time, count func(proto.Op, bool), hist *stats.Histogram) error {
+	if ratePerConn <= 0 {
+		return fmt.Errorf("non-positive per-connection rate")
+	}
+	interval := time.Duration(float64(time.Second) / ratePerConn)
+	keys := cfg.NewKeyGen(seed*2 + 1)
+	ops := cfg.NewOpGen(seed*2 + 2)
+
+	type slot struct {
+		sched time.Time
+		op    proto.Op
+	}
+	inflight := make([]slot, 0, maxInflight)
+	pop := func(rep proto.Reply) {
+		s := inflight[0]
+		inflight = inflight[:copy(inflight, inflight[1:])]
+		hist.Record(time.Since(s.sched).Nanoseconds())
+		count(s.op, rep.Status == proto.StatusTrue)
+	}
+	farDeadline := deadline.Add(30 * time.Second)
+	next := time.Now()
+	for {
+		if !time.Now().Before(deadline) {
+			break
+		}
+		// Spend the idle window until the next scheduled send draining
+		// replies (a read deadline at `next` turns "wait for a reply" into
+		// "wait at most until the schedule calls"), so reply latency is
+		// measured when the reply arrives, not when the window fills.
+		for len(inflight) > 0 && time.Now().Before(next) {
+			cl.Conn().SetReadDeadline(next)
+			rep, err := cl.Recv()
+			if err != nil {
+				if isTimeout(err) {
+					break
+				}
+				return err
+			}
+			pop(rep)
+		}
+		cl.Conn().SetReadDeadline(farDeadline)
+		if now := time.Now(); now.Before(next) {
+			time.Sleep(next.Sub(now))
+		}
+		// In-flight cap: the open loop's backpressure. Block for one reply
+		// before sending the next request when the window is full.
+		if len(inflight) == maxInflight {
+			rep, err := cl.Recv()
+			if err != nil {
+				return err
+			}
+			pop(rep)
+		}
+		op := opFor(ops.Next())
+		if err := cl.Send(proto.Request{Op: op, Key: int64(keys.Next())}); err != nil {
+			return err
+		}
+		if err := cl.Flush(); err != nil {
+			return err
+		}
+		inflight = append(inflight, slot{sched: next, op: op})
+		next = next.Add(interval)
+	}
+	for len(inflight) > 0 {
+		rep, err := cl.Recv()
+		if err != nil {
+			return err
+		}
+		pop(rep)
+	}
+	return nil
+}
+
+// isTimeout reports whether err is a read-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func opFor(k workload.OpKind) proto.Op {
+	switch k {
+	case workload.OpGet:
+		return proto.OpGet
+	case workload.OpInsert:
+		return proto.OpSet
+	default:
+		return proto.OpDel
+	}
+}
+
+// maxDepth caps a pipeline depth / in-flight window. The closed loop
+// writes a whole batch before reading any reply, so batch bytes must stay
+// well under the socket-buffer capacity both directions; 1<<15 requests is
+// ~416KB out and ~160KB back, far below it, while still deep enough to
+// saturate any server.
+const maxDepth = 1 << 15
+
+// prefill inserts half the key range in pipelined batches.
+func prefill(cl *client.Client, keys int) error {
+	const batch = 512
+	pending := 0
+	drain := func() error {
+		if err := cl.Flush(); err != nil {
+			return err
+		}
+		for ; pending > 0; pending-- {
+			if _, err := cl.Recv(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for k := 0; k < keys; k += 2 {
+		if err := cl.Send(proto.Request{Op: proto.OpSet, Key: int64(k)}); err != nil {
+			return err
+		}
+		if pending++; pending == batch {
+			if err := drain(); err != nil {
+				return err
+			}
+		}
+	}
+	return drain()
+}
+
+// dialRetry dials with retries over the given budget, for racing a server
+// that is still binding its listener.
+func dialRetry(addr string, budget time.Duration) (*client.Client, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		cl, err := client.Dial(addr)
+		if err == nil {
+			return cl, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("loadgen: dial %s: %w", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// scrapeMetrics fetches and prints the server's HTTP metrics dump.
+func scrapeMetrics(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("loadgen: scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("loadgen: scrape %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	fmt.Printf("loadgen: metrics from %s:\n%s", url, body)
+	return nil
+}
+
+func parseMix(s string) (workload.Mix, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return workload.Mix{}, fmt.Errorf("loadgen: mix %q: want GET/INSERT/DELETE percentages like 50/25/25", s)
+	}
+	var pct [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return workload.Mix{}, fmt.Errorf("loadgen: mix %q: %w", s, err)
+		}
+		pct[i] = n
+	}
+	m := workload.Mix{GetPct: pct[0], InsertPct: pct[1], DeletePct: pct[2]}
+	return m, m.Validate()
+}

@@ -8,11 +8,22 @@
 //	bench [-exp e1,e2,...|all] [-threads 1,2,4,8] [-shards 1,2,4,8] [-dur 500ms] [-rounds 50]
 //	bench -corejson BENCH_core.json
 //	bench -compare old.json [-corejson new.json] [-maxallocregress]
+//	bench -loadgen [-addr host:port] [-lgmode closed|open] [-lgdepth 1,16,128]
+//	      [-lgconns 4] [-lgdist uniform|zipf] [-lgkeys 1024] [-lgmix 50/25/25]
+//	      [-lgdur 2s] [-lgrate 50000] [-lgstructure llx-multiset] [-lgshards 4]
+//	      [-lgpolicy ...] [-lgmetrics http://host:port/metrics] [-serverout BENCH_server.json]
 //
 // -compare re-runs the core suite and prints a benchstat-style delta table
 // against a prior -corejson dump; with -maxallocregress the command exits
 // non-zero if any shared row's allocs/op regressed (the CI gate: timings
 // are noisy on shared runners, allocation counts are not).
+//
+// -loadgen drives a KV server (internal/server) across a real socket: an
+// external one at -addr, or — when -addr is empty — a self-hosted
+// in-process server built from -lgstructure/-lgshards/-lgpolicy. One
+// throughput+latency row per pipeline depth is printed and, with
+// -serverout, dumped as JSON (BENCH_server.json is the checked-in
+// trajectory); see cmd/bench/loadgen.go for the loop disciplines.
 package main
 
 import (
@@ -42,8 +53,33 @@ func run() int {
 		corejson = flag.String("corejson", "", "run the core fast-path microbenchmarks and write JSON results to this path (e.g. BENCH_core.json), then exit")
 		compare  = flag.String("compare", "", "run the core microbenchmarks and print a before/after delta table against this prior -corejson file, then exit")
 		maxAR    = flag.Bool("maxallocregress", false, "with -compare: exit non-zero when any shared row's allocs/op regressed")
+
+		loadgen = flag.Bool("loadgen", false, "run the server load generator instead of the experiments, then exit")
+		lg      loadgenOpts
 	)
+	flag.StringVar(&lg.addr, "addr", "", "loadgen: server address; empty self-hosts an in-process server")
+	flag.StringVar(&lg.structure, "lgstructure", "llx-multiset", "loadgen: structure for the self-hosted server")
+	flag.IntVar(&lg.shards, "lgshards", 4, "loadgen: shard count for the self-hosted server")
+	flag.StringVar(&lg.policy, "lgpolicy", "", "loadgen: retry policy for the self-hosted server (see cmd/server -policy)")
+	flag.StringVar(&lg.mode, "lgmode", "closed", "loadgen: loop discipline, closed or open")
+	flag.IntVar(&lg.conns, "lgconns", 4, "loadgen: client connections")
+	flag.StringVar(&lg.depths, "lgdepth", "1,16,128", "loadgen: pipeline depths (closed) / in-flight caps (open), comma-separated")
+	flag.IntVar(&lg.rate, "lgrate", 50000, "loadgen: open-loop target rate, total ops/sec across connections")
+	flag.StringVar(&lg.dist, "lgdist", "uniform", "loadgen: key distribution, uniform or zipf")
+	flag.IntVar(&lg.keys, "lgkeys", 1024, "loadgen: key range")
+	flag.StringVar(&lg.mix, "lgmix", "50/25/25", "loadgen: GET/INSERT/DELETE percentages")
+	flag.DurationVar(&lg.dur, "lgdur", 2*time.Second, "loadgen: measurement duration per depth cell")
+	flag.StringVar(&lg.out, "serverout", "", "loadgen: write the JSON dump to this path (e.g. BENCH_server.json)")
+	flag.StringVar(&lg.metrics, "lgmetrics", "", "loadgen: scrape and print this HTTP metrics URL after the run")
 	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadgen(lg); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	if *compare != "" {
 		if err := runCompareBench(*compare, *corejson, *maxAR); err != nil {

@@ -1,0 +1,120 @@
+// Command server serves any of the repository's seven structures over TCP
+// with the internal/proto KV protocol — the end of the stack the paper's
+// primitives were built for: LLX/SCX (PR 1) under the template engine
+// (PR 2) behind the container/shard layers (PR 3) with GC-free recycling
+// (PR 4), now taking traffic from a socket.
+//
+// Usage:
+//
+//	server [-addr 127.0.0.1:7700] [-structure llx-multiset] [-shards 1]
+//	       [-policy immediate|backoff[:BASE:MAX]|spinyield[:SPINS]]
+//	       [-maxconns 1024] [-idletimeout 0] [-metrics host:port]
+//
+// -metrics serves the plain-text metrics dump over HTTP at /metrics (the
+// same text the STATS command returns in-band). On SIGINT/SIGTERM the
+// server shuts down gracefully — drains in-flight operations, flushes
+// their acknowledgements, closes sessions — and reports the final Size,
+// which by the conservation invariant equals the sum of every client's
+// acknowledged inserts minus acknowledged deletes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pragmaprim/internal/harness"
+	"pragmaprim/internal/server"
+	"pragmaprim/internal/shard"
+	"pragmaprim/internal/template"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7700", "TCP listen address (use :0 for a random port)")
+		structure = flag.String("structure", "llx-multiset", "structure to serve: "+strings.Join(harness.StructureNames(), ", "))
+		shards    = flag.Int("shards", 1, "hash-partition the structure across this many shards (rounds up to a power of two)")
+		policy    = flag.String("policy", "", "retry policy: immediate, backoff[:BASE:MAX] or spinyield[:SPINS] (default: the structure's own)")
+		maxConns  = flag.Int("maxconns", server.DefaultMaxConns, "refuse connections beyond this many (<0 for unlimited)")
+		idle      = flag.Duration("idletimeout", 0, "close connections idle for this long (0 disables)")
+		metrics   = flag.String("metrics", "", "serve the text metrics dump over HTTP at this address under /metrics (empty disables)")
+		drainWait = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget before connections are force-closed")
+	)
+	flag.Parse()
+
+	pol, err := template.PolicyByName(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		return 2
+	}
+	if *shards > 1 {
+		// BuildContainer rounds internally; round here too so every report
+		// shows the topology actually built.
+		*shards = shard.NextPow2(*shards)
+	}
+	cont, err := harness.BuildContainer(*structure, *shards, pol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		return 2
+	}
+
+	srv, err := server.Start(cont, server.Config{
+		Addr:        *addr,
+		MaxConns:    *maxConns,
+		IdleTimeout: *idle,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		return 1
+	}
+	fmt.Printf("server: serving %s", *structure)
+	if *shards > 1 {
+		fmt.Printf(" over %d shards", *shards)
+	}
+	fmt.Printf(" on %s\n", srv.Addr())
+
+	var msrv *http.Server
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			srv.WriteMetrics(w)
+		})
+		msrv = &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "server: metrics endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("server: metrics on http://%s/metrics\n", *metrics)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("server: signal %v, draining\n", <-sig)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	shutdownErr := srv.Shutdown(ctx)
+	if msrv != nil {
+		msrv.Shutdown(ctx)
+	}
+	m := srv.Metrics()
+	fmt.Printf("server: drained: %d ops served over %d connections, final size %d\n",
+		m.ServedTotal, m.AcceptedConns, srv.Size())
+	if shutdownErr != nil {
+		fmt.Fprintf(os.Stderr, "server: shutdown forced after %v: %v\n", *drainWait, shutdownErr)
+		return 1
+	}
+	return 0
+}

@@ -6,6 +6,11 @@
 // Attach API, and the final report includes the template engine's
 // contention counters.
 //
+// Any invariant violation — a checkpoint mismatch, or a panic raised inside
+// a worker by an engine or structure guard — is reported as a diagnostic on
+// stderr with a non-zero exit, never as a mid-goroutine crash, so CI lanes
+// that run stress fail cleanly.
+//
 // With -shards > 1 the multiset runs behind the internal/shard
 // hash-partitioned container wrapper: the workload routes through the
 // sharded session, checkpoints verify per-key conservation against the
@@ -22,6 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -126,7 +132,9 @@ func stressShardedMultiset(dur time.Duration, threads, keys, checks, shardCount 
 			}
 		})
 		time.Sleep(interval)
-		stopPhase()
+		if err := stopPhase(); err != nil {
+			return fmt.Errorf("checkpoint %d: %w", c, err)
+		}
 
 		// Quiescent checkpoint over the union of the shards.
 		items := make(map[int]int)
@@ -167,20 +175,42 @@ func printShardReport(sh *shard.Sharded) {
 	tb.WriteTo(os.Stdout)
 }
 
-// phase runs workers until stop flips, then joins them.
-func phase(threads int, body func(w int, stop *atomic.Bool)) func() {
+// phase runs workers until stop flips, then joins them. A panic inside a
+// worker — an engine invariant guard, a structure assertion — is recovered
+// and surfaced as the join's error with the panicking goroutine's stack,
+// so an invariant violation fails the run with a diagnostic and a non-zero
+// exit instead of crashing the process mid-goroutine; the first panic also
+// flips stop so the remaining workers wind down instead of hammering a
+// structure known to be corrupt.
+func phase(threads int, body func(w int, stop *atomic.Bool)) func() error {
 	var stop atomic.Bool
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					stack := debug.Stack()
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("invariant violation: worker %d panicked: %v\n%s", w, r, stack)
+					}
+					mu.Unlock()
+					stop.Store(true)
+				}
+			}()
 			body(w, &stop)
 		}(w)
 	}
-	return func() {
+	return func() error {
 		stop.Store(true)
 		wg.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr
 	}
 }
 
@@ -220,7 +250,9 @@ func stressMultiset(dur time.Duration, threads, keys, checks int) error {
 			}
 		})
 		time.Sleep(interval)
-		stopPhase()
+		if err := stopPhase(); err != nil {
+			return fmt.Errorf("checkpoint %d: %w", c, err)
+		}
 
 		// Quiescent checkpoint.
 		if err := m.CheckInvariants(); err != nil {
@@ -277,7 +309,9 @@ func stressBST(dur time.Duration, threads, keys, checks int) error {
 			}
 		})
 		time.Sleep(interval)
-		stopPhase()
+		if err := stopPhase(); err != nil {
+			return fmt.Errorf("checkpoint %d: %w", c, err)
+		}
 
 		if err := t.CheckInvariants(); err != nil {
 			return fmt.Errorf("checkpoint %d: %w", c, err)

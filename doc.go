@@ -19,7 +19,14 @@
 // structures, internal/container gives all of them (plus the lock
 // baselines) one typed result-returning interface, and internal/shard
 // hash-partitions any container across independent instances — the scale
-// lever the shard-scaling experiments (E9/E10) measure.
+// lever the shard-scaling experiments (E9/E10) measure. On top of the
+// containers sits the network service layer: internal/proto (a RESP-style
+// KV wire protocol in length-prefixed frames), internal/server (a TCP
+// server pinning one container Session per connection, with pipelined
+// reply batching and conservation-preserving graceful shutdown) and
+// internal/client (a pipelining client) — served by cmd/server and
+// measured across a real socket by cmd/bench -loadgen (BENCH_server.json
+// is the checked-in trajectory).
 //
 // The implementation lives under internal/:
 //
@@ -43,6 +50,11 @@
 //	                         structure is driven through (ops return results)
 //	internal/shard           hash-partitioned Sharded wrapper over any
 //	                         container: Fibonacci routing, per-shard counters
+//	internal/proto           the KV wire protocol: zero-copy streaming
+//	                         frame parser and batching writer
+//	internal/server          the TCP serving layer: pinned per-connection
+//	                         sessions, reply batching, graceful shutdown
+//	internal/client          pipelining client (sync + async-batch APIs)
 //	internal/linearizability Wing-Gong checker used by the tests
 //	internal/history         concurrent history recorder
 //	internal/workload        key distributions and operation mixes

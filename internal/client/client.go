@@ -1,0 +1,187 @@
+// Package client is the Go client of the KV service layer (internal/server
+// over internal/proto): a pipelining connection with a synchronous
+// request/reply API for simple callers and an asynchronous Send/Flush/Recv
+// API for pipelined ones — the load generator and the soak tests drive the
+// latter at configurable depth.
+//
+// A Client owns one connection and mirrors the server's per-connection
+// economics: one reusable read buffer, one reusable write buffer, no
+// allocation per operation in steady state. It is NOT safe for concurrent
+// use — like a container.Session, give each goroutine its own Client.
+//
+// The pipelined API is strictly ordered: replies arrive in the order
+// requests were sent, so the caller matches them positionally. Recv returns
+// acknowledgements only for requests the server actually applied; after a
+// connection breaks (server shutdown, network failure), the replies
+// received before the error are exactly the operations the server applied
+// and acknowledged — the property the conservation soak test leans on.
+package client
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"pragmaprim/internal/proto"
+)
+
+// Options tunes a Client.
+type Options struct {
+	// DialTimeout bounds the TCP dial; 0 means no timeout.
+	DialTimeout time.Duration
+	// ReadBuf and WriteBuf size the proto buffers; 0 means
+	// proto.DefaultBufSize.
+	ReadBuf, WriteBuf int
+}
+
+// Client is one pipelining connection to a server. Not safe for concurrent
+// use.
+type Client struct {
+	conn    net.Conn
+	r       *proto.Reader
+	w       *proto.Writer
+	pending int
+}
+
+// Dial connects with default options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects to a server.
+func DialOptions(addr string, o Options) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		r:    proto.NewReader(conn, o.ReadBuf),
+		w:    proto.NewWriter(conn, o.WriteBuf),
+	}, nil
+}
+
+// Close closes the connection. Pending replies are lost.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Conn exposes the underlying connection (deadlines in tests).
+func (c *Client) Conn() net.Conn { return c.conn }
+
+// --- pipelined API ----------------------------------------------------------
+
+// Send buffers one request. Nothing reaches the server until Flush (or the
+// write buffer fills). Every successful Send owes exactly one Recv.
+func (c *Client) Send(req proto.Request) error {
+	if err := c.w.WriteRequest(req); err != nil {
+		return err
+	}
+	c.pending++
+	return nil
+}
+
+// Flush writes all buffered requests to the server in one batch.
+func (c *Client) Flush() error { return c.w.Flush() }
+
+// Recv reads the next reply, in send order. The reply's Bulk field aliases
+// the client's read buffer and is valid only until the next Recv. An error
+// (e.g. EOF after a server shutdown) means no further replies will arrive;
+// replies already returned remain valid acknowledgements.
+func (c *Client) Recv() (proto.Reply, error) {
+	rep, err := c.r.ReadReply()
+	if err != nil {
+		return rep, err
+	}
+	if c.pending > 0 {
+		c.pending--
+	}
+	return rep, nil
+}
+
+// Pending returns the number of requests sent (buffered or flushed) whose
+// replies have not been received yet.
+func (c *Client) Pending() int { return c.pending }
+
+// --- synchronous API --------------------------------------------------------
+
+// call performs one synchronous round trip. To keep reply matching
+// unambiguous it refuses to run while pipelined replies are outstanding.
+func (c *Client) call(req proto.Request) (proto.Reply, error) {
+	if c.pending != 0 {
+		return proto.Reply{}, fmt.Errorf("client: %d pipelined replies outstanding; Recv them before synchronous calls", c.pending)
+	}
+	if err := c.Send(req); err != nil {
+		return proto.Reply{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return proto.Reply{}, err
+	}
+	return c.Recv()
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	rep, err := c.call(proto.Request{Op: proto.OpPing})
+	if err != nil {
+		return err
+	}
+	if rep.Status != proto.StatusPong {
+		if err := rep.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("client: unexpected PING reply %v", rep.Status)
+	}
+	return nil
+}
+
+// Get reports whether key is present (keyed structures) or whether the
+// structure is non-empty (produce/consume structures; see
+// container.Session).
+func (c *Client) Get(key int) (bool, error) {
+	rep, err := c.call(proto.Request{Op: proto.OpGet, Key: int64(key)})
+	if err != nil {
+		return false, err
+	}
+	return rep.Bool()
+}
+
+// Set inserts key and reports whether the container grew.
+func (c *Client) Set(key int) (bool, error) {
+	rep, err := c.call(proto.Request{Op: proto.OpSet, Key: int64(key)})
+	if err != nil {
+		return false, err
+	}
+	return rep.Bool()
+}
+
+// Del deletes key (or consumes an element) and reports whether the
+// container shrank.
+func (c *Client) Del(key int) (bool, error) {
+	rep, err := c.call(proto.Request{Op: proto.OpDel, Key: int64(key)})
+	if err != nil {
+		return false, err
+	}
+	return rep.Bool()
+}
+
+// Size returns the container's cardinality.
+func (c *Client) Size() (int, error) {
+	rep, err := c.call(proto.Request{Op: proto.OpSize})
+	if err != nil {
+		return 0, err
+	}
+	v, err := rep.Int64()
+	return int(v), err
+}
+
+// Stats returns the server's text metrics dump.
+func (c *Client) Stats() (string, error) {
+	rep, err := c.call(proto.Request{Op: proto.OpStats})
+	if err != nil {
+		return "", err
+	}
+	if err := rep.Err(); err != nil {
+		return "", err
+	}
+	if rep.Status != proto.StatusBulk {
+		return "", fmt.Errorf("client: unexpected STATS reply %v", rep.Status)
+	}
+	return string(rep.Bulk), nil
+}

@@ -1,0 +1,116 @@
+package client_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"pragmaprim/internal/client"
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/proto"
+	"pragmaprim/internal/server"
+)
+
+func start(t *testing.T) *server.Server {
+	t.Helper()
+	s, err := server.Start(container.Multiset(multiset.New[int]()), server.Config{})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// TestSyncRefusedWhilePending pins the reply-matching guard: a synchronous
+// call with pipelined replies outstanding would consume the wrong reply, so
+// it must refuse instead.
+func TestSyncRefusedWhilePending(t *testing.T) {
+	s := start(t)
+	cl, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	if err := cl.Send(proto.Request{Op: proto.OpSet, Key: 1}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if cl.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", cl.Pending())
+	}
+	if _, err := cl.Get(1); err == nil || !strings.Contains(err.Error(), "outstanding") {
+		t.Fatalf("sync call while pending: err = %v, want outstanding-replies refusal", err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if _, err := cl.Recv(); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	// Drained: synchronous calls work again.
+	if got, err := cl.Get(1); err != nil || !got {
+		t.Fatalf("get after drain: %v, %v", got, err)
+	}
+}
+
+// TestRecvAfterServerClose pins the acknowledgement semantics the soak test
+// depends on: replies flushed by a draining server are still readable, and
+// the first Recv past them reports an error rather than inventing acks.
+func TestRecvAfterServerClose(t *testing.T) {
+	s := start(t)
+	cl, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+	cl.Conn().SetReadDeadline(time.Now().Add(10 * time.Second))
+
+	const n = 16
+	for i := 0; i < n; i++ {
+		if err := cl.Send(proto.Request{Op: proto.OpSet, Key: int64(i)}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	// Receiving the first reply proves the server consumed the batch (it
+	// parses the whole pipelined batch before its single flush), so the
+	// shutdown below cannot race ahead of the data.
+	rep, err := cl.Recv()
+	if err != nil {
+		t.Fatalf("recv first: %v", err)
+	}
+	if applied, err := rep.Bool(); err != nil || !applied {
+		t.Fatalf("first reply: applied=%v err=%v", applied, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The server flushed the rest of the batch's acks before closing.
+	got := 1
+	for {
+		rep, err := cl.Recv()
+		if err != nil {
+			break
+		}
+		if applied, err := rep.Bool(); err != nil || !applied {
+			t.Fatalf("reply %d: applied=%v err=%v", got, applied, err)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("received %d acks, want %d", got, n)
+	}
+	if s.Size() != n {
+		t.Fatalf("final size %d, want %d", s.Size(), n)
+	}
+}

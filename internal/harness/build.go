@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/shard"
+	"pragmaprim/internal/template"
+)
+
+// BuildContainer constructs the named structure as a container, optionally
+// hash-partitioned and with a retry policy installed — the one entry point
+// cmd/server and the load generator share for turning command-line flags
+// into a serving container. Structure names come from the same factory
+// registry the experiments use (Factories), so the two cannot drift;
+// shards > 1 wraps the structure in internal/shard (rounded up to a power
+// of two, one independent instance per shard, the policy applied to each).
+// A nil policy keeps each structure's default. The lock baselines accept
+// no policy — they have no retry loop to back off.
+func BuildContainer(structure string, shards int, policy template.Policy) (container.Container, error) {
+	f, ok := FactoryByName(structure)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown structure %q (want %s)",
+			structure, strings.Join(StructureNames(), ", "))
+	}
+	build := f.New
+	if policy != nil {
+		if f.NewWithPolicy == nil {
+			return nil, fmt.Errorf("harness: %s has no retry loop; -policy applies to the llx-* structures only", structure)
+		}
+		build = func() container.Container { return f.NewWithPolicy(policy) }
+	}
+	if shards <= 1 {
+		return build(), nil
+	}
+	return shard.New(shard.NextPow2(shards), func(int) container.Container { return build() }), nil
+}
+
+// StructureNames lists every structure BuildContainer (and Factories)
+// knows, for flag usage strings.
+func StructureNames() []string {
+	fs := Factories()
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return names
+}

@@ -14,6 +14,7 @@ import (
 	"pragmaprim/internal/queue"
 	"pragmaprim/internal/shard"
 	"pragmaprim/internal/stack"
+	"pragmaprim/internal/template"
 	"pragmaprim/internal/trie"
 )
 
@@ -24,6 +25,10 @@ type Factory struct {
 	Name string
 	// New creates one shared structure behind the container interface.
 	New func() container.Container
+	// NewWithPolicy creates an instance with the given retry policy
+	// installed (nil keeps the structure's default). It is nil for
+	// structures without an engine retry loop — the lock baselines.
+	NewWithPolicy func(template.Policy) container.Container
 }
 
 // Factories returns every structure the throughput experiments compare: all
@@ -52,46 +57,72 @@ func FactoryByName(name string) (Factory, bool) {
 	return Factory{}, false
 }
 
+// llxFactory builds a Factory whose New/NewWithPolicy share one
+// constructor, so the policy-aware path (cmd/server, the load generator)
+// and the experiment path cannot drift.
+func llxFactory(name string, build func(template.Policy) container.Container) Factory {
+	return Factory{
+		Name:          name,
+		New:           func() container.Container { return build(nil) },
+		NewWithPolicy: build,
+	}
+}
+
 // LLXMultisetFactory wraps the paper's Section 5 multiset.
 func LLXMultisetFactory() Factory {
-	return Factory{
-		Name: "llx-multiset",
-		New:  func() container.Container { return container.Multiset(multiset.New[int]()) },
-	}
+	return llxFactory("llx-multiset", func(p template.Policy) container.Container {
+		m := multiset.New[int]()
+		if p != nil {
+			m.SetPolicy(p)
+		}
+		return container.Multiset(m)
+	})
 }
 
 // LLXBSTFactory wraps the LLX/SCX external BST with map semantics.
 func LLXBSTFactory() Factory {
-	return Factory{
-		Name: "llx-bst",
-		New:  func() container.Container { return container.BST(bst.New[int, int]()) },
-	}
+	return llxFactory("llx-bst", func(p template.Policy) container.Container {
+		t := bst.New[int, int]()
+		if p != nil {
+			t.SetPolicy(p)
+		}
+		return container.BST(t)
+	})
 }
 
 // LLXTrieFactory wraps the LLX/SCX Patricia trie with map semantics.
 func LLXTrieFactory() Factory {
-	return Factory{
-		Name: "llx-trie",
-		New:  func() container.Container { return container.Trie(trie.New[int]()) },
-	}
+	return llxFactory("llx-trie", func(p template.Policy) container.Container {
+		t := trie.New[int]()
+		if p != nil {
+			t.SetPolicy(p)
+		}
+		return container.Trie(t)
+	})
 }
 
 // LLXQueueFactory wraps the LLX/SCX FIFO queue under the produce/consume
 // adapter (Insert enqueues, Delete dequeues, Get peeks).
 func LLXQueueFactory() Factory {
-	return Factory{
-		Name: "llx-queue",
-		New:  func() container.Container { return container.Queue(queue.New[int]()) },
-	}
+	return llxFactory("llx-queue", func(p template.Policy) container.Container {
+		q := queue.New[int]()
+		if p != nil {
+			q.SetPolicy(p)
+		}
+		return container.Queue(q)
+	})
 }
 
 // LLXStackFactory wraps the LLX/SCX Treiber stack under the produce/consume
 // adapter (Insert pushes, Delete pops, Get peeks).
 func LLXStackFactory() Factory {
-	return Factory{
-		Name: "llx-stack",
-		New:  func() container.Container { return container.Stack(stack.New[int]()) },
-	}
+	return llxFactory("llx-stack", func(p template.Policy) container.Container {
+		s := stack.New[int]()
+		if p != nil {
+			s.SetPolicy(p)
+		}
+		return container.Stack(s)
+	})
 }
 
 // CoarseLockFactory wraps the single-mutex list baseline.

@@ -1,0 +1,83 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// boundedReader counts what the parser consumes, so the fuzzer can assert
+// the parser never claims to have read more than the input held.
+type boundedReader struct {
+	r *bytes.Reader
+	n int
+}
+
+func (b *boundedReader) Read(p []byte) (int, error) {
+	m, err := b.r.Read(p)
+	b.n += m
+	return m, err
+}
+
+// FuzzParseFrame streams arbitrary bytes through both frame parsers.
+// Whatever the input, the parser must either produce frames or return an
+// error — never panic, never spin, and never over-read past the input.
+func FuzzParseFrame(f *testing.F) {
+	// Valid frames of every shape, truncations, and hostile lengths.
+	seed := func(encode func(w *Writer)) {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 0)
+		encode(w)
+		w.Flush()
+		f.Add(buf.Bytes())
+	}
+	seed(func(w *Writer) { w.WriteRequest(Request{Op: OpPing}) })
+	seed(func(w *Writer) { w.WriteRequest(Request{Op: OpSet, Key: 42}) })
+	seed(func(w *Writer) {
+		w.WriteRequest(Request{Op: OpGet, Key: -1})
+		w.WriteRequest(Request{Op: OpDel, Key: 1 << 50})
+		w.WriteRequest(Request{Op: OpSize})
+		w.WriteRequest(Request{Op: OpStats})
+	})
+	seed(func(w *Writer) {
+		w.WriteBool(true)
+		w.WriteBool(false)
+		w.WritePong()
+		w.WriteInt(-99)
+		w.WriteBulk([]byte("bulk payload"))
+		w.WriteErr("boom")
+	})
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})                                    // zero length
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})                        // absurd length
+	f.Add(binary.BigEndian.AppendUint32(nil, MaxFrame+1))        // just over the cap
+	f.Add(append(binary.BigEndian.AppendUint32(nil, 9), 0xEE))   // truncated unknown op
+	f.Add([]byte{0, 0, 0, 2, byte(OpPing), 0})                   // bare op with trailing byte
+	f.Add([]byte{0, 0})                                          // truncated header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, parse := range []func(rd *Reader) error{
+			func(rd *Reader) error { _, err := rd.ReadRequest(); return err },
+			func(rd *Reader) error { _, err := rd.ReadReply(); return err },
+		} {
+			src := &boundedReader{r: bytes.NewReader(data)}
+			rd := NewReader(src, 64)
+			// The stream holds at most len(data) frames (each is >= 5
+			// bytes); parsing must terminate well within that budget.
+			for i := 0; i <= len(data); i++ {
+				if err := parse(rd); err != nil {
+					if err == io.EOF && src.n != len(data) && rd.Buffered() == 0 {
+						// A clean EOF must only be reported once the source
+						// is exhausted.
+						t.Fatalf("clean EOF after %d of %d bytes", src.n, len(data))
+					}
+					break
+				}
+			}
+			if src.n > len(data) {
+				t.Fatalf("parser over-read: consumed %d of %d bytes", src.n, len(data))
+			}
+		}
+	})
+}

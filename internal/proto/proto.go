@@ -1,0 +1,474 @@
+// Package proto is the wire protocol of the KV service layer: a minimal
+// RESP-flavoured command set (PING, GET, SET, DEL, SIZE, STATS) carried in
+// length-prefixed binary frames. It exists so internal/server and
+// internal/client agree on bytes without either knowing about sockets: the
+// package speaks io.Reader/io.Writer only.
+//
+// Every frame is a 4-byte big-endian payload length followed by the
+// payload. A request payload is one opcode byte plus, for the keyed
+// commands, an 8-byte big-endian key. A reply payload is one status byte
+// plus, depending on the status, an 8-byte integer or a raw byte string.
+// Fixed-width fields rather than RESP's decimal text keep the parser
+// branch-light and allocation-free: the hot request shapes are exactly 1 or
+// 9 bytes.
+//
+// Reader is a streaming parser that owns one reusable buffer per
+// connection: frames are decoded in place and bulk payloads are returned as
+// views into that buffer, valid until the next Read* call — the zero-copy
+// contract callers must respect. Writer symmetrically batches encoded
+// frames into one reusable buffer and hands them to the underlying writer
+// only on Flush (or when the buffer fills), which is what makes server-side
+// reply batching and client-side pipelining one-syscall-per-batch.
+//
+// Malformed input is always a recoverable error, never a panic and never an
+// over-read beyond the declared frame length; FuzzParseFrame pins that.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op is a request opcode.
+type Op byte
+
+// The command set. SET and DEL follow the container.Session contract
+// (internal/container): SET inserts one occurrence of the key (or produces
+// an element), DEL removes one (or consumes), GET reports presence. SIZE
+// returns the container's cardinality and STATS a human-readable metrics
+// dump; PING is the liveness no-op.
+const (
+	OpPing Op = iota + 1
+	OpGet
+	OpSet
+	OpDel
+	OpSize
+	OpStats
+	opMax = OpStats
+)
+
+// String names the opcode for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "PING"
+	case OpGet:
+		return "GET"
+	case OpSet:
+		return "SET"
+	case OpDel:
+		return "DEL"
+	case OpSize:
+		return "SIZE"
+	case OpStats:
+		return "STATS"
+	}
+	return fmt.Sprintf("Op(%d)", byte(o))
+}
+
+// Keyed reports whether the opcode carries a key argument.
+func (o Op) Keyed() bool { return o == OpGet || o == OpSet || o == OpDel }
+
+// Status is the first byte of a reply payload.
+type Status byte
+
+// Reply statuses. True/False answer the keyed commands (found / applied),
+// Int carries SIZE's answer, Bulk carries STATS' text, Err carries a
+// message for a request the server could not serve, Pong answers PING.
+const (
+	StatusTrue Status = iota + 1
+	StatusFalse
+	StatusInt
+	StatusBulk
+	StatusErr
+	StatusPong
+)
+
+// String names the status for diagnostics.
+func (s Status) String() string {
+	switch s {
+	case StatusTrue:
+		return "TRUE"
+	case StatusFalse:
+		return "FALSE"
+	case StatusInt:
+		return "INT"
+	case StatusBulk:
+		return "BULK"
+	case StatusErr:
+		return "ERR"
+	case StatusPong:
+		return "PONG"
+	}
+	return fmt.Sprintf("Status(%d)", byte(s))
+}
+
+// Frame geometry.
+const (
+	headerSize = 4 // big-endian payload length
+	// MaxFrame bounds a payload. A parser that trusted the length prefix
+	// unconditionally could be made to allocate without bound by four bytes
+	// of input; anything above this limit is rejected before the payload is
+	// read.
+	MaxFrame = 1 << 20
+	// bareLen and keyedLen are the two request payload shapes.
+	bareLen  = 1
+	keyedLen = 1 + 8
+)
+
+// ErrMalformed is wrapped by every parse failure that indicates a broken or
+// hostile peer (as opposed to a clean EOF or an I/O error). A server drops
+// the connection on it; the stream cannot be resynchronized.
+var ErrMalformed = errors.New("malformed frame")
+
+func malformedf(format string, args ...any) error {
+	return fmt.Errorf("proto: %w: "+format, append([]any{ErrMalformed}, args...)...)
+}
+
+// Request is one decoded command. Key is meaningful only when Op.Keyed().
+type Request struct {
+	Op  Op
+	Key int64
+}
+
+// Reply is one decoded reply. Int is meaningful for StatusInt; Bulk for
+// StatusBulk and StatusErr, and it aliases the Reader's internal buffer —
+// copy it if it must outlive the next Read* call.
+type Reply struct {
+	Status Status
+	Int    int64
+	Bulk   []byte
+}
+
+// Bool interprets a True/False reply; any other status is an error.
+func (r Reply) Bool() (bool, error) {
+	switch r.Status {
+	case StatusTrue:
+		return true, nil
+	case StatusFalse:
+		return false, nil
+	}
+	return false, r.unexpected("TRUE or FALSE")
+}
+
+// Int64 interprets an Int reply; any other status is an error.
+func (r Reply) Int64() (int64, error) {
+	if r.Status == StatusInt {
+		return r.Int, nil
+	}
+	return 0, r.unexpected("INT")
+}
+
+// Err returns the server-reported error of an Err reply, nil otherwise.
+func (r Reply) Err() error {
+	if r.Status == StatusErr {
+		return fmt.Errorf("proto: server error: %s", r.Bulk)
+	}
+	return nil
+}
+
+func (r Reply) unexpected(want string) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("proto: unexpected reply status %v, want %s", r.Status, want)
+}
+
+// parseRequest decodes one request payload.
+func parseRequest(p []byte) (Request, error) {
+	op := Op(p[0])
+	switch {
+	case op.Keyed():
+		if len(p) != keyedLen {
+			return Request{}, malformedf("%v request payload is %d bytes, want %d", op, len(p), keyedLen)
+		}
+		return Request{Op: op, Key: int64(binary.BigEndian.Uint64(p[1:]))}, nil
+	case op >= OpPing && op <= opMax:
+		if len(p) != bareLen {
+			return Request{}, malformedf("%v request payload is %d bytes, want %d", op, len(p), bareLen)
+		}
+		return Request{Op: op}, nil
+	}
+	return Request{}, malformedf("unknown opcode %d", p[0])
+}
+
+// parseReply decodes one reply payload.
+func parseReply(p []byte) (Reply, error) {
+	st := Status(p[0])
+	switch st {
+	case StatusTrue, StatusFalse, StatusPong:
+		if len(p) != 1 {
+			return Reply{}, malformedf("%v reply payload is %d bytes, want 1", st, len(p))
+		}
+		return Reply{Status: st}, nil
+	case StatusInt:
+		if len(p) != 9 {
+			return Reply{}, malformedf("INT reply payload is %d bytes, want 9", len(p))
+		}
+		return Reply{Status: st, Int: int64(binary.BigEndian.Uint64(p[1:]))}, nil
+	case StatusBulk, StatusErr:
+		return Reply{Status: st, Bulk: p[1:]}, nil
+	}
+	return Reply{}, malformedf("unknown status %d", p[0])
+}
+
+// Reader is a streaming frame parser over one reusable buffer. It is not
+// safe for concurrent use; each connection end owns exactly one.
+//
+// A Reader consumes bytes from its source only as frames demand them: it
+// never reads past the end of the last frame it returned plus whatever the
+// source handed over in one Read call, and it never allocates on frames
+// that fit its buffer (the buffer grows, once, only for a payload larger
+// than its current size — in practice only STATS replies).
+type Reader struct {
+	src  io.Reader
+	buf  []byte
+	r, w int // unread window is buf[r:w]
+}
+
+// DefaultBufSize is the Reader/Writer buffer size when none is given: large
+// enough that a deep pipelined batch of keyed requests (13 bytes each on
+// the wire) fits in one buffer.
+const DefaultBufSize = 16 << 10
+
+// NewReader wraps src with a parse buffer of the given size (minimum 64,
+// default DefaultBufSize when size <= 0).
+func NewReader(src io.Reader, size int) *Reader {
+	if size <= 0 {
+		size = DefaultBufSize
+	}
+	if size < 64 {
+		size = 64
+	}
+	return &Reader{src: src, buf: make([]byte, size)}
+}
+
+// Buffered returns the number of decoded-but-unparsed bytes sitting in the
+// Reader's buffer. The server's reply-batching rule is built on it: while
+// Buffered is non-zero another request may be parsed without touching the
+// socket, so replies keep accumulating; when it hits zero the batch is
+// flushed before the next blocking read.
+func (rd *Reader) Buffered() int { return rd.w - rd.r }
+
+// ensure makes n contiguous unread bytes available at buf[r:], compacting
+// or (for jumbo frames) growing the buffer and reading from the source as
+// needed. On EOF with fewer than n bytes available it returns io.EOF; the
+// caller decides whether that is clean (frame boundary) or unexpected.
+func (rd *Reader) ensure(n int) error {
+	if rd.w-rd.r >= n {
+		return nil
+	}
+	if n > len(rd.buf) {
+		size := len(rd.buf)
+		for size < n {
+			size *= 2
+		}
+		nb := make([]byte, size)
+		rd.w = copy(nb, rd.buf[rd.r:rd.w])
+		rd.r = 0
+		rd.buf = nb
+	} else if rd.r+n > len(rd.buf) {
+		rd.w = copy(rd.buf, rd.buf[rd.r:rd.w])
+		rd.r = 0
+	}
+	for rd.w-rd.r < n {
+		m, err := rd.src.Read(rd.buf[rd.w:])
+		if m < 0 || m > len(rd.buf)-rd.w {
+			return fmt.Errorf("proto: source returned invalid read count %d", m)
+		}
+		rd.w += m
+		if err != nil {
+			if rd.w-rd.r >= n {
+				return nil
+			}
+			return err
+		}
+		if m == 0 {
+			return io.ErrNoProgress
+		}
+	}
+	return nil
+}
+
+// frame returns the next payload as a view into the buffer, valid until the
+// next frame call. io.EOF is returned only at a clean frame boundary;
+// inside a frame it becomes io.ErrUnexpectedEOF. A timeout error from the
+// source leaves the partial frame buffered, so a caller that re-arms its
+// deadline may retry.
+func (rd *Reader) frame() ([]byte, error) {
+	if err := rd.ensure(headerSize); err != nil {
+		if err == io.EOF && rd.Buffered() > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(rd.buf[rd.r:]))
+	if n == 0 {
+		return nil, malformedf("zero-length payload")
+	}
+	if n > MaxFrame {
+		return nil, malformedf("payload length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if err := rd.ensure(headerSize + n); err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	p := rd.buf[rd.r+headerSize : rd.r+headerSize+n]
+	rd.r += headerSize + n
+	return p, nil
+}
+
+// ReadRequest parses the next request frame. io.EOF means the peer closed
+// cleanly between frames.
+func (rd *Reader) ReadRequest() (Request, error) {
+	p, err := rd.frame()
+	if err != nil {
+		return Request{}, err
+	}
+	return parseRequest(p)
+}
+
+// ReadReply parses the next reply frame. The Reply's Bulk field aliases the
+// Reader's buffer; see Reply.
+func (rd *Reader) ReadReply() (Reply, error) {
+	p, err := rd.frame()
+	if err != nil {
+		return Reply{}, err
+	}
+	return parseReply(p)
+}
+
+// Writer encodes frames into one reusable buffer and writes them out only
+// on Flush or when the buffer fills. It is not safe for concurrent use.
+type Writer struct {
+	dst io.Writer
+	buf []byte
+}
+
+// NewWriter wraps dst with an encode buffer of the given size (minimum 64,
+// default DefaultBufSize when size <= 0).
+func NewWriter(dst io.Writer, size int) *Writer {
+	if size <= 0 {
+		size = DefaultBufSize
+	}
+	if size < 64 {
+		size = 64
+	}
+	return &Writer{dst: dst, buf: make([]byte, 0, size)}
+}
+
+// Buffered returns the number of encoded bytes awaiting Flush.
+func (w *Writer) Buffered() int { return len(w.buf) }
+
+// room flushes if appending n more bytes would overflow the buffer, so a
+// frame is never split across two underlying writes unless it is larger
+// than the whole buffer.
+func (w *Writer) room(n int) error {
+	if len(w.buf)+n <= cap(w.buf) {
+		return nil
+	}
+	return w.Flush()
+}
+
+// WriteRequest encodes one request frame.
+func (w *Writer) WriteRequest(q Request) error {
+	if q.Op.Keyed() {
+		if err := w.room(headerSize + keyedLen); err != nil {
+			return err
+		}
+		w.buf = binary.BigEndian.AppendUint32(w.buf, keyedLen)
+		w.buf = append(w.buf, byte(q.Op))
+		w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(q.Key))
+		return nil
+	}
+	if q.Op < OpPing || q.Op > opMax {
+		return fmt.Errorf("proto: cannot encode unknown opcode %d", byte(q.Op))
+	}
+	if err := w.room(headerSize + bareLen); err != nil {
+		return err
+	}
+	w.buf = binary.BigEndian.AppendUint32(w.buf, bareLen)
+	w.buf = append(w.buf, byte(q.Op))
+	return nil
+}
+
+// WriteBool encodes a True or False reply.
+func (w *Writer) WriteBool(v bool) error {
+	st := StatusFalse
+	if v {
+		st = StatusTrue
+	}
+	return w.writeStatus(st)
+}
+
+// WritePong encodes a Pong reply.
+func (w *Writer) WritePong() error { return w.writeStatus(StatusPong) }
+
+func (w *Writer) writeStatus(st Status) error {
+	if err := w.room(headerSize + 1); err != nil {
+		return err
+	}
+	w.buf = binary.BigEndian.AppendUint32(w.buf, 1)
+	w.buf = append(w.buf, byte(st))
+	return nil
+}
+
+// WriteInt encodes an Int reply.
+func (w *Writer) WriteInt(v int64) error {
+	if err := w.room(headerSize + 9); err != nil {
+		return err
+	}
+	w.buf = binary.BigEndian.AppendUint32(w.buf, 9)
+	w.buf = append(w.buf, byte(StatusInt))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(v))
+	return nil
+}
+
+// WriteBulk encodes a Bulk reply carrying p.
+func (w *Writer) WriteBulk(p []byte) error { return w.writeBytes(StatusBulk, p) }
+
+// WriteErr encodes an Err reply carrying msg.
+func (w *Writer) WriteErr(msg string) error { return w.writeBytes(StatusErr, []byte(msg)) }
+
+func (w *Writer) writeBytes(st Status, p []byte) error {
+	n := 1 + len(p)
+	if n > MaxFrame {
+		return fmt.Errorf("proto: %v payload of %d bytes exceeds MaxFrame %d", st, n, MaxFrame)
+	}
+	if err := w.room(headerSize + n); err != nil {
+		return err
+	}
+	if headerSize+n > cap(w.buf) {
+		// Jumbo payload: frame header + status through the buffer, body
+		// straight to the destination (STATS dumps only; never on the
+		// keyed-reply hot path).
+		w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(n))
+		w.buf = append(w.buf, byte(st))
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		_, err := w.dst.Write(p)
+		return err
+	}
+	w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(n))
+	w.buf = append(w.buf, byte(st))
+	w.buf = append(w.buf, p...)
+	return nil
+}
+
+// Flush writes the buffered frames to the destination. The buffer is reset
+// even on error: a short write leaves the stream unframed, so the
+// connection is dead either way and retaining half-written bytes would only
+// corrupt it further.
+func (w *Writer) Flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.dst.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}

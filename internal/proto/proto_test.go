@@ -1,0 +1,321 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// roundTrip encodes frames with a Writer and hands the bytes to a Reader.
+func roundTrip(t *testing.T, bufSize int, encode func(w *Writer)) *Reader {
+	t.Helper()
+	var out bytes.Buffer
+	w := NewWriter(&out, bufSize)
+	encode(w)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return NewReader(bytes.NewReader(out.Bytes()), bufSize)
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpPing},
+		{Op: OpGet, Key: 0},
+		{Op: OpSet, Key: 1},
+		{Op: OpDel, Key: -7},
+		{Op: OpSize},
+		{Op: OpStats},
+		{Op: OpGet, Key: 1<<62 + 12345},
+	}
+	r := roundTrip(t, 0, func(w *Writer) {
+		for _, q := range reqs {
+			if err := w.WriteRequest(q); err != nil {
+				t.Fatalf("write %v: %v", q, err)
+			}
+		}
+	})
+	for i, want := range reqs {
+		got, err := r.ReadRequest()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("request %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.ReadRequest(); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	r := roundTrip(t, 0, func(w *Writer) {
+		w.WriteBool(true)
+		w.WriteBool(false)
+		w.WritePong()
+		w.WriteInt(-42)
+		w.WriteBulk([]byte("stats dump"))
+		w.WriteErr("no such op")
+	})
+
+	for i, want := range []bool{true, false} {
+		rep, err := r.ReadReply()
+		if err != nil {
+			t.Fatalf("bool reply %d: %v", i, err)
+		}
+		got, err := rep.Bool()
+		if err != nil || got != want {
+			t.Fatalf("bool reply %d: got %v/%v, want %v", i, got, err, want)
+		}
+	}
+	rep, err := r.ReadReply()
+	if err != nil || rep.Status != StatusPong {
+		t.Fatalf("pong: %+v, %v", rep, err)
+	}
+	rep, err = r.ReadReply()
+	if err != nil {
+		t.Fatalf("int: %v", err)
+	}
+	if v, err := rep.Int64(); err != nil || v != -42 {
+		t.Fatalf("int: got %d/%v, want -42", v, err)
+	}
+	rep, err = r.ReadReply()
+	if err != nil || string(rep.Bulk) != "stats dump" {
+		t.Fatalf("bulk: %+v, %v", rep, err)
+	}
+	rep, err = r.ReadReply()
+	if err != nil {
+		t.Fatalf("err reply: %v", err)
+	}
+	if rep.Err() == nil || !strings.Contains(rep.Err().Error(), "no such op") {
+		t.Fatalf("err reply: %v", rep.Err())
+	}
+	// Interpreting an Err reply as a bool surfaces the server error.
+	if _, err := rep.Bool(); err == nil || !strings.Contains(err.Error(), "no such op") {
+		t.Fatalf("Bool on Err reply: %v", err)
+	}
+}
+
+// TestPipelinedBatchOneWrite pins the batching contract: a pipelined batch
+// of requests reaches the destination in a single underlying write.
+func TestPipelinedBatchOneWrite(t *testing.T) {
+	var dst countingWriter
+	w := NewWriter(&dst, 4096)
+	for i := 0; i < 100; i++ {
+		if err := w.WriteRequest(Request{Op: OpSet, Key: int64(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if dst.writes != 0 {
+		t.Fatalf("writer hit the destination %d times before Flush", dst.writes)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if dst.writes != 1 {
+		t.Fatalf("batch took %d writes, want 1", dst.writes)
+	}
+}
+
+type countingWriter struct {
+	writes int
+	n      int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.writes++
+	c.n += len(p)
+	return len(p), nil
+}
+
+// TestWriterAutoFlush pins that a full buffer flushes itself and no frame is
+// split across writes when it fits the buffer.
+func TestWriterAutoFlush(t *testing.T) {
+	var dst countingWriter
+	w := NewWriter(&dst, 64)
+	for i := 0; i < 32; i++ {
+		if err := w.WriteRequest(Request{Op: OpSet, Key: int64(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if dst.n != 32*(4+9) {
+		t.Fatalf("wrote %d bytes, want %d", dst.n, 32*(4+9))
+	}
+	if dst.writes < 2 {
+		t.Fatalf("expected auto-flushes with a 64-byte buffer, got %d writes", dst.writes)
+	}
+}
+
+// TestJumboBulkGrowsReader pins that a bulk payload larger than the read
+// buffer is still delivered (the buffer grows) and a payload above MaxFrame
+// is rejected by the writer.
+func TestJumboBulkGrowsReader(t *testing.T) {
+	big := bytes.Repeat([]byte("x"), 10_000)
+	r := roundTrip(t, 128, func(w *Writer) {
+		if err := w.WriteBulk(big); err != nil {
+			t.Fatalf("write bulk: %v", err)
+		}
+		w.WritePong()
+	})
+	rep, err := r.ReadReply()
+	if err != nil {
+		t.Fatalf("read bulk: %v", err)
+	}
+	if !bytes.Equal(rep.Bulk, big) {
+		t.Fatalf("bulk mangled: got %d bytes", len(rep.Bulk))
+	}
+	if rep, err = r.ReadReply(); err != nil || rep.Status != StatusPong {
+		t.Fatalf("frame after jumbo: %+v, %v", rep, err)
+	}
+
+	w := NewWriter(io.Discard, 64)
+	if err := w.WriteBulk(make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("WriteBulk above MaxFrame succeeded")
+	}
+}
+
+func TestMalformedFrames(t *testing.T) {
+	frame := func(payload ...byte) []byte {
+		out := binary.BigEndian.AppendUint32(nil, uint32(len(payload)))
+		return append(out, payload...)
+	}
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"zero length", frame()},
+		{"unknown opcode", frame(0xEE)},
+		{"ping with key", frame(byte(OpPing), 0, 0, 0, 0, 0, 0, 0, 1)},
+		{"get without key", frame(byte(OpGet))},
+		{"get short key", frame(byte(OpGet), 1, 2, 3)},
+		{"oversized length", binary.BigEndian.AppendUint32(nil, MaxFrame+1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(bytes.NewReader(tc.in), 0)
+			_, err := r.ReadRequest()
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("err = %v, want ErrMalformed", err)
+			}
+		})
+	}
+}
+
+func TestTruncatedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	w.WriteRequest(Request{Op: OpSet, Key: 99})
+	w.Flush()
+	full := buf.Bytes()
+	// Every strict prefix that is not empty must yield ErrUnexpectedEOF;
+	// the empty prefix is a clean EOF.
+	for cut := 1; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]), 0)
+		if _, err := r.ReadRequest(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("prefix %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+	r := NewReader(bytes.NewReader(nil), 0)
+	if _, err := r.ReadRequest(); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestDribbleReads feeds the parser one byte per Read call: frames spanning
+// arbitrarily many short reads must decode identically.
+func TestDribbleReads(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	reqs := []Request{{Op: OpSet, Key: 7}, {Op: OpPing}, {Op: OpDel, Key: 1 << 40}}
+	for _, q := range reqs {
+		w.WriteRequest(q)
+	}
+	w.Flush()
+	r := NewReader(iotest(buf.Bytes()), 0)
+	for i, want := range reqs {
+		got, err := r.ReadRequest()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("request %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.ReadRequest(); err != io.EOF {
+		t.Fatalf("tail: err = %v, want io.EOF", err)
+	}
+}
+
+// iotest returns a reader delivering one byte per call.
+func iotest(p []byte) io.Reader { return &oneByteReader{p: p} }
+
+type oneByteReader struct{ p []byte }
+
+func (r *oneByteReader) Read(dst []byte) (int, error) {
+	if len(r.p) == 0 {
+		return 0, io.EOF
+	}
+	dst[0] = r.p[0]
+	r.p = r.p[1:]
+	return 1, nil
+}
+
+// TestBuffered pins the reply-batching primitive: after a read that pulled
+// several frames into the buffer, Buffered stays non-zero until the last
+// one is parsed.
+func TestBuffered(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	const n = 5
+	for i := 0; i < n; i++ {
+		w.WriteRequest(Request{Op: OpGet, Key: int64(i)})
+	}
+	w.Flush()
+	r := NewReader(bytes.NewReader(buf.Bytes()), 4096)
+	for i := 0; i < n; i++ {
+		if _, err := r.ReadRequest(); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if got, want := r.Buffered() > 0, i < n-1; got != want {
+			t.Fatalf("after request %d: Buffered()>0 = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestReaderSteadyStateAllocFree pins the zero-copy contract: parsing keyed
+// requests from a warm Reader/Writer pair allocates nothing.
+func TestReaderSteadyStateAllocFree(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 4096)
+	const batch = 64
+	fill := func() {
+		buf.Reset()
+		for i := 0; i < batch; i++ {
+			w.WriteRequest(Request{Op: OpSet, Key: int64(i)})
+		}
+		w.Flush()
+	}
+	fill()
+	payload := append([]byte(nil), buf.Bytes()...)
+	src := bytes.NewReader(payload)
+	r := NewReader(src, 4096)
+	round := func() {
+		src.Reset(payload)
+		for i := 0; i < batch; i++ {
+			if _, err := r.ReadRequest(); err != nil {
+				t.Fatalf("read: %v", err)
+			}
+		}
+	}
+	round() // warm
+	if allocs := testing.AllocsPerRun(100, round); allocs > 0 {
+		t.Fatalf("steady-state parse allocated %.1f allocs per %d-request batch, want 0", allocs, batch)
+	}
+}

@@ -1,0 +1,110 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pragmaprim/internal/client"
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/proto"
+	"pragmaprim/internal/server"
+)
+
+// pipelinedRound sends one batch of alternating SET/GET over a small key
+// set and drains the replies. The client side is allocation-free by
+// construction (reused Client buffers, no per-op values escape), so
+// AllocsPerRun over this round measures the server's request→apply→reply
+// path plus nothing else.
+func pipelinedRound(tb testing.TB, cl *client.Client, depth int) {
+	tb.Helper()
+	for i := 0; i < depth/2; i++ {
+		key := int64(i & 7)
+		if err := cl.Send(proto.Request{Op: proto.OpSet, Key: key}); err != nil {
+			tb.Fatalf("send set: %v", err)
+		}
+		if err := cl.Send(proto.Request{Op: proto.OpGet, Key: key}); err != nil {
+			tb.Fatalf("send get: %v", err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		tb.Fatalf("flush: %v", err)
+	}
+	for i := 0; i < depth; i++ {
+		if _, err := cl.Recv(); err != nil {
+			tb.Fatalf("recv: %v", err)
+		}
+	}
+}
+
+// TestServerHotPathAllocFree is the acceptance pin for the serving stack:
+// in steady state, a pipelined SET/GET batch allocates at most 1 alloc/op
+// across the whole process — client, wire, server loop, and the container
+// underneath (whose update path is 0 allocs warm since PR 4). Everything
+// outside the connections' reusable read/write buffers is accounted here;
+// only socket syscalls are outside the measurement.
+func TestServerHotPathAllocFree(t *testing.T) {
+	s, err := server.Start(container.Multiset(multiset.New[int]()), server.Config{})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer shutdownNow(t, s)
+
+	cl, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	const depth = 128
+	// Warm up: populate the keys (so SET takes the count-bump path and GET
+	// hits), fill the handle pools, freelists and epoch slots, and let the
+	// runtime's network poller settle.
+	for i := 0; i < 20; i++ {
+		pipelinedRound(t, cl, depth)
+	}
+	allocs := testing.AllocsPerRun(50, func() { pipelinedRound(t, cl, depth) })
+	perOp := allocs / depth
+	t.Logf("pipelined SET/GET: %.3f allocs per %d-op batch = %.4f allocs/op", allocs, depth, perOp)
+	if perOp > 1 {
+		t.Errorf("server hot path allocates %.4f allocs/op, want <= 1", perOp)
+	}
+}
+
+func testContext() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 5*time.Second)
+}
+
+func shutdownNow(tb testing.TB, s *server.Server) {
+	tb.Helper()
+	ctx, cancel := testContext()
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		tb.Errorf("shutdown: %v", err)
+	}
+}
+
+// BenchmarkServerPipelinedSetGet measures end-to-end pipelined throughput
+// over a real loopback socket at depth 128; ns/op is per operation, not per
+// batch.
+func BenchmarkServerPipelinedSetGet(b *testing.B) {
+	s, err := server.Start(container.Multiset(multiset.New[int]()), server.Config{})
+	if err != nil {
+		b.Fatalf("start: %v", err)
+	}
+	defer shutdownNow(b, s)
+	cl, err := client.Dial(s.Addr().String())
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	const depth = 128
+	pipelinedRound(b, cl, depth) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += depth {
+		pipelinedRound(b, cl, depth)
+	}
+}

@@ -1,0 +1,420 @@
+// Package server is the TCP serving layer over the container stack: it
+// exposes any container.Container — one of the seven structures, sharded or
+// not — over the internal/proto wire protocol.
+//
+// The design puts the per-connection cost where PRs 1-4 put the
+// per-operation cost: at zero in steady state. Each accepted connection is
+// owned by exactly one goroutine that binds a container.Session once, so
+// the pooled-Handle/epoch fast path is paid at accept time, not per
+// operation; the proto Reader and Writer give the connection two reusable
+// buffers, so the request→apply→reply loop allocates nothing after warmup.
+// Pipelined clients get batched reply flushes for free: replies accumulate
+// in the write buffer while further requests are already sitting in the
+// read buffer, and the writer hits the socket only when the read buffer
+// runs dry (one flush per pipelined batch).
+//
+// Backpressure is structural rather than queued: there is no request queue
+// to grow without bound. A connection's requests are processed strictly in
+// order by its one goroutine (TCP's own flow control throttles a client
+// that outruns it), connections beyond MaxConns are refused with an error
+// frame, and IdleTimeout reclaims connections that stop talking.
+//
+// Graceful shutdown preserves the conservation invariant across the wire:
+// an operation is acknowledged only after it was applied, and a draining
+// connection always flushes the acknowledgements of everything it applied
+// before closing. Shutdown therefore loses requests (unread ones are never
+// applied, so the client never sees an ack for them) but never
+// acknowledged operations — the server's final Size equals the sum of every
+// client's acknowledged inserts minus acknowledged deletes, which the soak
+// test checks literally. See DESIGN.md, "The network service layer".
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/proto"
+	"pragmaprim/internal/shard"
+	"pragmaprim/internal/stats"
+)
+
+// Config tunes a Server. The zero value serves on a random loopback port
+// with library defaults.
+type Config struct {
+	// Addr is the TCP listen address; empty means "127.0.0.1:0" (a random
+	// loopback port, reported by Server.Addr).
+	Addr string
+	// MaxConns caps concurrently served connections; beyond it new
+	// connections are refused with an error frame. 0 means DefaultMaxConns;
+	// negative means unlimited.
+	MaxConns int
+	// IdleTimeout closes a connection that sends nothing for this long.
+	// 0 disables idle collection (shutdown still interrupts blocked reads
+	// via deadlines).
+	IdleTimeout time.Duration
+	// ReadBuf and WriteBuf are the per-connection proto buffer sizes;
+	// 0 means proto.DefaultBufSize.
+	ReadBuf, WriteBuf int
+}
+
+// DefaultMaxConns is the connection cap when Config.MaxConns is 0.
+const DefaultMaxConns = 1024
+
+// flushTimeout bounds the final acknowledgement flush of a closing
+// connection, so a dead peer cannot hold shutdown hostage.
+const flushTimeout = 5 * time.Second
+
+// Server serves one container over TCP. Start it with Start; stop it with
+// Shutdown. All methods are safe for concurrent use.
+type Server struct {
+	cont container.Container
+	cfg  Config
+	ln   net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining atomic.Bool
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+
+	active   atomic.Int64
+	accepted atomic.Int64
+	rejected atomic.Int64
+	// Per-opcode served counters, indexed by proto.Op.
+	served    [proto.OpStats + 1]atomic.Int64
+	flushes   atomic.Int64
+	protoErrs atomic.Int64
+}
+
+// Start binds the listener and begins accepting connections onto cont. The
+// returned Server is already serving; Addr reports the bound address.
+func Start(cont container.Container, cfg Config) (*Server, error) {
+	if cont == nil {
+		return nil, errors.New("server: nil container")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cont:  cont,
+		cfg:   cfg,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Size returns the served container's Size — exact once Shutdown has
+// returned, weakly consistent while serving.
+func (s *Server) Size() int { return s.cont.Size() }
+
+// Container returns the served container, for metrics endpoints and tests.
+func (s *Server) Container() container.Container { return s.cont }
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	// Transient accept failures (EMFILE under an fd squeeze, ECONNABORTED)
+	// must not kill the listener forever: back off and retry, resetting on
+	// success. Only a closed listener (shutdown) ends the loop.
+	backoff := 5 * time.Millisecond
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) || s.draining.Load() {
+				return
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		backoff = 5 * time.Millisecond
+		if n := s.active.Add(1); s.cfg.MaxConns > 0 && n > int64(s.cfg.MaxConns) {
+			s.rejected.Add(1)
+			if !s.register(c) {
+				s.active.Add(-1)
+				c.Close()
+				continue
+			}
+			go s.rejectConn(c)
+			continue
+		}
+		if !s.register(c) {
+			s.active.Add(-1)
+			c.Close()
+			continue
+		}
+		s.accepted.Add(1)
+		go s.serve(c)
+	}
+}
+
+// rejectConn tells an over-limit client why it is being dropped. Best
+// effort, bounded by a write deadline; registered like any connection so
+// Shutdown waits for (or force-closes) it.
+func (s *Server) rejectConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer s.active.Add(-1)
+	defer s.untrack(c)
+	defer c.Close()
+	c.SetWriteDeadline(time.Now().Add(flushTimeout))
+	w := proto.NewWriter(c, 64)
+	w.WriteErr("server: connection limit reached")
+	w.Flush()
+}
+
+// register atomically checks draining and enrolls the connection in the
+// tracked set and the drain WaitGroup. The mutex makes registration and
+// Shutdown's drain mutually exclusive: a connection registered before
+// Shutdown takes the lock is both kicked and awaited; one that loses the
+// race is refused here — so connWG.Add can never race connWG.Wait and no
+// serve goroutine outlives Shutdown.
+func (s *Server) register(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.connWG.Add(1)
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// pastDeadline unblocks a pending read immediately and permanently: Go
+// deadlines are absolute, so once set, every future socket read fails while
+// already-buffered frames remain parseable.
+var pastDeadline = time.Unix(1, 0)
+
+// serve owns one connection for its whole life: one goroutine, one pinned
+// Session, one Reader, one Writer. The loop is the hot path of the whole
+// serving stack; in steady state it allocates nothing.
+func (s *Server) serve(c net.Conn) {
+	defer s.connWG.Done()
+	sess := s.cont.NewSession()
+	r := proto.NewReader(c, s.cfg.ReadBuf)
+	w := proto.NewWriter(c, s.cfg.WriteBuf)
+
+	for {
+		if s.cfg.IdleTimeout > 0 && r.Buffered() == 0 {
+			c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+			if s.draining.Load() {
+				// Close the arm/kick race: if Shutdown's kick landed between
+				// the draining check and our re-arm, re-kick ourselves.
+				c.SetReadDeadline(pastDeadline)
+			}
+		}
+		req, err := r.ReadRequest()
+		if err != nil {
+			if errors.Is(err, proto.ErrMalformed) {
+				// The stream cannot be resynchronized; tell the peer why
+				// before hanging up. Replies already buffered still go out
+				// below.
+				s.protoErrs.Add(1)
+				w.WriteErr(err.Error())
+			}
+			break
+		}
+		if err := s.handle(req, sess, w); err != nil {
+			break
+		}
+		// Reply-batching rule: flush only when the read buffer runs dry —
+		// every request of a pipelined batch lands its reply in the write
+		// buffer first, then one flush answers the whole batch. While
+		// draining, frames already buffered are still served (they were
+		// received before the drain), and the connection closes once the
+		// buffer empties.
+		if r.Buffered() == 0 {
+			s.flushes.Add(1)
+			if err := w.Flush(); err != nil {
+				break
+			}
+			if s.draining.Load() {
+				break
+			}
+		}
+	}
+
+	// Exit path, in conservation order: flush acknowledgements of every
+	// applied operation, then close the socket, then release the Session
+	// (returning its pooled Handle and letting the reclamation epoch
+	// advance past this goroutine).
+	c.SetWriteDeadline(time.Now().Add(flushTimeout))
+	s.flushes.Add(1)
+	w.Flush()
+	c.Close()
+	sess.Close()
+	s.untrack(c)
+	s.active.Add(-1)
+}
+
+// handle applies one request to the session and buffers its reply. The
+// reply is buffered before handle returns, so an applied operation can
+// never miss its acknowledgement.
+func (s *Server) handle(req proto.Request, sess container.Session, w *proto.Writer) error {
+	s.served[req.Op].Add(1)
+	switch req.Op {
+	case proto.OpPing:
+		return w.WritePong()
+	case proto.OpGet:
+		return w.WriteBool(sess.Get(int(req.Key)))
+	case proto.OpSet:
+		return w.WriteBool(sess.Insert(int(req.Key)))
+	case proto.OpDel:
+		return w.WriteBool(sess.Delete(int(req.Key)))
+	case proto.OpSize:
+		return w.WriteInt(int64(s.cont.Size()))
+	case proto.OpStats:
+		var b strings.Builder
+		s.WriteMetrics(&b)
+		return w.WriteBulk([]byte(b.String()))
+	}
+	// Unreachable: the parser rejects unknown opcodes.
+	return w.WriteErr("server: unhandled op")
+}
+
+// Shutdown stops the server gracefully: it stops accepting, interrupts
+// every connection's pending read, lets each connection finish serving the
+// requests it has already received (acknowledgements flushed), then closes
+// sockets and sessions. It returns nil once every connection has drained,
+// or ctx.Err() after force-closing the stragglers when the context
+// expires. After Shutdown returns, Size is exact and stable.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(pastDeadline)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.acceptWG.Wait()
+	return err
+}
+
+// Metrics is a point-in-time snapshot of the server's own counters (the
+// container's engine counters are reported separately; see WriteMetrics).
+type Metrics struct {
+	ActiveConns   int64
+	AcceptedConns int64
+	RejectedConns int64
+	ServedByOp    map[string]int64
+	ServedTotal   int64
+	Flushes       int64
+	ProtoErrors   int64
+}
+
+// Metrics snapshots the server counters.
+func (s *Server) Metrics() Metrics {
+	m := Metrics{
+		ActiveConns:   s.active.Load(),
+		AcceptedConns: s.accepted.Load(),
+		RejectedConns: s.rejected.Load(),
+		Flushes:       s.flushes.Load(),
+		ProtoErrors:   s.protoErrs.Load(),
+		ServedByOp:    make(map[string]int64),
+	}
+	for op := proto.OpPing; op <= proto.OpStats; op++ {
+		if n := s.served[op].Load(); n > 0 {
+			m.ServedByOp[op.String()] = n
+		}
+		m.ServedTotal += s.served[op].Load()
+	}
+	return m
+}
+
+// WriteMetrics renders the full text metrics dump: server connection and
+// op counters, the container's size and template-engine counters, the
+// per-operation breakdown, and — when the container is sharded — the
+// per-shard table. This is what the STATS command and cmd/server's
+// -metrics endpoint serve.
+func (s *Server) WriteMetrics(w io.Writer) {
+	m := s.Metrics()
+	fmt.Fprintf(w, "server: conns active=%d accepted=%d rejected=%d\n",
+		m.ActiveConns, m.AcceptedConns, m.RejectedConns)
+	fmt.Fprintf(w, "server: ops served=%d flushes=%d proto_errors=%d\n",
+		m.ServedTotal, m.Flushes, m.ProtoErrors)
+	ops := make([]string, 0, len(m.ServedByOp))
+	for op := range m.ServedByOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Fprintf(w, "server: op %-5s %d\n", op, m.ServedByOp[op])
+	}
+	fmt.Fprintf(w, "container: size=%d\n", s.cont.Size())
+	eng := s.cont.EngineStats()
+	fmt.Fprintf(w, "engine: ops=%d attempts=%d retries=%d llx_fails=%d scx_fails=%d\n",
+		eng.Ops, eng.Attempts, eng.Retries(), eng.LLXFails, eng.SCXFails)
+
+	if byOp := s.cont.StatsByOp(); len(byOp) > 0 {
+		tb := stats.NewTable("engine contention by operation",
+			"op", "ops", "attempts", "retries/op", "llx-fail%", "scx-fail%")
+		names := make([]string, 0, len(byOp))
+		for name := range byOp {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := byOp[name]
+			tb.AddRow(append([]any{name},
+				stats.ContentionRow(c.Ops, c.Attempts, c.LLXFails, c.SCXFails)...)...)
+		}
+		tb.WriteTo(w)
+	}
+
+	if sh, ok := s.cont.(*shard.Sharded); ok {
+		tb := stats.NewTable("contention by shard",
+			"shard", "size", "ops", "attempts", "retries/op", "llx-fail%", "scx-fail%")
+		sh.ForEachShard(func(i int, c container.Container) {
+			cnt := c.EngineStats()
+			tb.AddRow(append([]any{i, c.Size()},
+				stats.ContentionRow(cnt.Ops, cnt.Attempts, cnt.LLXFails, cnt.SCXFails)...)...)
+		})
+		tb.WriteTo(w)
+	}
+}

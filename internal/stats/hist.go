@@ -1,0 +1,103 @@
+package stats
+
+import "math/bits"
+
+// Histogram is a log-linear histogram for latency-scale values: each
+// power-of-two range is split into 16 linear sub-buckets, giving a
+// worst-case quantile error of ~6% at any magnitude — the HdrHistogram
+// shape, sized for nanosecond latencies up to hours. Recording is two
+// shifts and an increment with no allocation, so the load generator can
+// call it on every reply; a Histogram is not safe for concurrent use —
+// give each worker its own and Merge them.
+type Histogram struct {
+	counts [histBuckets]int64
+	n      int64
+	max    int64
+}
+
+const (
+	histSub     = 16 // linear sub-buckets per power of two
+	histBuckets = 64 * histSub
+)
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	// Shift v down until it fits [16, 32); the shift count and the residue
+	// select the bucket.
+	shift := bits.Len64(uint64(v)) - 5
+	return (shift+1)*histSub + int(v>>uint(shift)) - histSub
+}
+
+// bucketValue returns the representative (midpoint) value of a bucket.
+func bucketValue(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	shift := idx/histSub - 1
+	lower := int64(histSub+idx%histSub) << uint(shift)
+	return lower + (int64(1)<<uint(shift))/2
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	idx := bucketOf(v)
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.counts[idx]++
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Max returns the largest recorded observation, 0 when empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Quantile returns the value at percentile p (0-100) as the representative
+// value of the bucket holding that rank, 0 when empty. The exact maximum is
+// returned for p at or above the last observation's rank.
+func (h *Histogram) Quantile(p float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := int64(p / 100 * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			v := bucketValue(i)
+			if v > h.max {
+				return h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < histSub; v++ {
+		h.Record(v)
+	}
+	if h.Count() != histSub {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Below histSub the buckets are exact.
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %d, want 0", got)
+	}
+	if got := h.Quantile(100); got != histSub-1 {
+		t.Fatalf("q100 = %d, want %d", got, histSub-1)
+	}
+}
+
+func TestHistogramBucketsMonotonic(t *testing.T) {
+	lastIdx, lastVal := -1, int64(-1)
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, 1<<40 + 12345} {
+		idx := bucketOf(v)
+		if idx < lastIdx {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", v, idx, lastIdx)
+		}
+		bv := bucketValue(idx)
+		if bv < lastVal {
+			t.Fatalf("bucketValue(%d) = %d < previous %d", idx, bv, lastVal)
+		}
+		lastIdx, lastVal = idx, bv
+	}
+}
+
+// TestHistogramQuantileAccuracy pins the log-linear error bound: quantiles
+// of a recorded sample must land within ~7% of the exact order statistic.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	const n = 20000
+	xs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		// Latency-shaped: lognormal-ish spread over ~3 decades.
+		v := int64(100 * (1 + rng.ExpFloat64()*50))
+		h.Record(v)
+		xs = append(xs, float64(v))
+	}
+	sort.Float64s(xs)
+	for _, p := range []float64{50, 90, 95, 99, 99.9} {
+		got := float64(h.Quantile(p))
+		want := Percentile(xs, p)
+		if rel := (got - want) / want; rel < -0.08 || rel > 0.08 {
+			t.Errorf("q%v = %.0f, exact %.0f (rel err %.3f)", p, got, want, rel)
+		}
+	}
+	if h.Quantile(100) != h.Max() {
+		t.Errorf("q100 = %d, want max %d", h.Quantile(100), h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1 << 20))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Max() != all.Max() {
+		t.Fatalf("merge: count %d/%d max %d/%d", a.Count(), all.Count(), a.Max(), all.Max())
+	}
+	for _, p := range []float64{50, 95, 99} {
+		if a.Quantile(p) != all.Quantile(p) {
+			t.Errorf("q%v: merged %d, direct %d", p, a.Quantile(p), all.Quantile(p))
+		}
+	}
+}
+
+func TestHistogramRecordAllocFree(t *testing.T) {
+	var h Histogram
+	if allocs := testing.AllocsPerRun(100, func() {
+		for v := int64(1); v < 1<<20; v <<= 1 {
+			h.Record(v)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Record allocated %.1f times", allocs)
+	}
+}

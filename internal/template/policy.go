@@ -1,7 +1,10 @@
 package template
 
 import (
+	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 )
 
 // Policy decides how an operation waits between failed attempts. backoff is
@@ -69,6 +72,53 @@ func (p spinYield) backoff(int) int {
 	n := spin(p.spins)
 	runtime.Gosched()
 	return n
+}
+
+// PolicyByName parses the retry-policy specs the command-line tools accept:
+//
+//	""                     nil (keep the structure's default, Immediate)
+//	"immediate"            Immediate()
+//	"backoff"              CappedBackoff(16, 4096)
+//	"backoff:BASE:MAX"     CappedBackoff(BASE, MAX)
+//	"spinyield"            SpinThenYield(64)
+//	"spinyield:SPINS"      SpinThenYield(SPINS)
+func PolicyByName(spec string) (Policy, error) {
+	name, args, _ := strings.Cut(spec, ":")
+	switch name {
+	case "":
+		return nil, nil
+	case "immediate":
+		if args != "" {
+			return nil, fmt.Errorf("template: policy %q takes no arguments", name)
+		}
+		return Immediate(), nil
+	case "backoff":
+		base, max := 16, 4096
+		if args != "" {
+			bs, ms, ok := strings.Cut(args, ":")
+			if !ok {
+				return nil, fmt.Errorf("template: policy spec %q: want backoff:BASE:MAX", spec)
+			}
+			var err error
+			if base, err = strconv.Atoi(bs); err != nil {
+				return nil, fmt.Errorf("template: policy spec %q: bad base: %w", spec, err)
+			}
+			if max, err = strconv.Atoi(ms); err != nil {
+				return nil, fmt.Errorf("template: policy spec %q: bad max: %w", spec, err)
+			}
+		}
+		return CappedBackoff(base, max), nil
+	case "spinyield":
+		spins := 64
+		if args != "" {
+			var err error
+			if spins, err = strconv.Atoi(args); err != nil {
+				return nil, fmt.Errorf("template: policy spec %q: bad spins: %w", spec, err)
+			}
+		}
+		return SpinThenYield(spins), nil
+	}
+	return nil, fmt.Errorf("template: unknown policy %q (want immediate, backoff[:BASE:MAX] or spinyield[:SPINS])", name)
 }
 
 // spin burns n iterations of work the compiler cannot remove (the result is

@@ -1,0 +1,48 @@
+#!/bin/sh
+# server_smoke.sh — end-to-end smoke of the serving stack, the CI lane
+# behind `make server-smoke`: build and start cmd/server, drive it with the
+# load generator for one second, scrape the -metrics HTTP endpoint, send
+# SIGTERM, and assert the server drains and exits cleanly (status 0).
+set -eu
+
+PORT=$((17000 + $$ % 1000))
+MPORT=$((PORT + 1))
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "server-smoke: building"
+go build -o "$TMP/server" ./cmd/server
+go build -o "$TMP/bench" ./cmd/bench
+
+echo "server-smoke: starting server on 127.0.0.1:$PORT (metrics :$MPORT)"
+"$TMP/server" -addr "127.0.0.1:$PORT" -metrics "127.0.0.1:$MPORT" \
+    -structure llx-multiset -shards 4 >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+echo "server-smoke: running loadgen for 1s and scraping metrics"
+"$TMP/bench" -loadgen -addr "127.0.0.1:$PORT" \
+    -lgdur 1s -lgdepth 16 -lgconns 2 \
+    -lgmetrics "http://127.0.0.1:$MPORT/metrics"
+
+echo "server-smoke: SIGTERM, expecting clean drain"
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then
+    SERVER_PID=""
+else
+    status=$?
+    SERVER_PID=""
+    echo "server-smoke: FAILED: server exited with status $status" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+fi
+grep -q "drained:" "$TMP/server.log" || {
+    echo "server-smoke: FAILED: no drain report in server log" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+}
+echo "server-smoke: OK"
