@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all vet lint build test race benchsmoke benchdiff server-smoke fuzz-smoke check bench-core bench-server clean
+.PHONY: all vet lint build test race benchsmoke benchdiff server-smoke crash-smoke fuzz-smoke check bench-core bench-server clean
 
 all: check
 
@@ -41,7 +41,8 @@ race:
 	$(GO) test -race ./internal/core ./internal/template ./internal/multiset \
 		./internal/container ./internal/shard ./internal/reclaim \
 		./internal/queue ./internal/stack ./internal/bst ./internal/trie \
-		./internal/proto ./internal/server ./internal/client
+		./internal/proto ./internal/server ./internal/client \
+		./internal/wal ./internal/snapshot
 
 # Compile and execute every benchmark once so benchmark code cannot rot
 # without failing CI (-benchtime=1x keeps it to seconds), and smoke the
@@ -64,12 +65,20 @@ benchdiff:
 server-smoke:
 	sh ./scripts/server_smoke.sh
 
-# Short native-fuzz pass over the wire-protocol parser: malformed frames
-# must error, never panic or over-read.
+# Durability smoke: kill -9 a loaded durable server mid-run, restart it over
+# the same WAL directory, and verify per-key interval conservation over the
+# wire (see scripts/crash_smoke.sh).
+crash-smoke:
+	sh ./scripts/crash_smoke.sh
+
+# Short native-fuzz passes over the two wire-format parsers: the protocol
+# frame reader and the WAL record scanner. Malformed input must error (or,
+# for a torn WAL tail, truncate), never panic or over-read.
 fuzz-smoke:
 	$(GO) test ./internal/proto -run '^$$' -fuzz '^FuzzParseFrame$$' -fuzztime 10s
+	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime 10s
 
-check: lint build test race benchsmoke benchdiff server-smoke fuzz-smoke
+check: lint build test race benchsmoke benchdiff server-smoke crash-smoke fuzz-smoke
 
 # Regenerate the checked-in core fast-path microbenchmark dump.
 bench-core:

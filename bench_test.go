@@ -394,3 +394,10 @@ func BenchmarkBSTOps(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkWAL mirrors the wal_append / wal_group_commit rows of
+// cmd/bench -corejson: the durable write path's append cost in isolation,
+// and the full append+group-commit cycle at the server's pipeline shape
+// (one fsync per 128-record group).
+func BenchmarkWALAppend(b *testing.B)      { benchcore.WALAppend(b) }
+func BenchmarkWALGroupCommit(b *testing.B) { benchcore.WALGroupCommit(b) }

@@ -74,6 +74,10 @@ func coreBenchmarks() []coreBench {
 		coreBench{"sharded_multiset_insert_existing", false, benchcore.ShardedMultisetInsertExisting},
 		coreBench{"sharded_multiset_insert_delete_new", false, benchcore.ShardedMultisetInsertDeleteNew},
 	)
+	benches = append(benches,
+		coreBench{"wal_append", false, benchcore.WALAppend},
+		coreBench{"wal_group_commit", false, benchcore.WALGroupCommit},
+	)
 	return benches
 }
 

@@ -76,6 +76,7 @@ type serverBenchResult struct {
 	Keys      int     `json:"keys"`
 	Mix       string  `json:"mix"`
 	Ops       int64   `json:"ops"`
+	Reconns   int64   `json:"reconnects,omitempty"`
 	Seconds   float64 `json:"seconds"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	P50us     float64 `json:"p50_us"`
@@ -226,9 +227,9 @@ func runCell(addr string, cfg workload.Config, o loadgenOpts, depth int) (server
 	}
 
 	type workerOut struct {
-		ops, ins, del int64
-		hist          stats.Histogram
-		err           error
+		ops, ins, del, reconns int64
+		hist                   stats.Histogram
+		err                    error
 	}
 	outs := make([]workerOut, o.conns)
 	var wg sync.WaitGroup
@@ -239,13 +240,18 @@ func runCell(addr string, cfg workload.Config, o loadgenOpts, depth int) (server
 		go func(w int) {
 			defer wg.Done()
 			out := &outs[w]
-			cl, err := client.Dial(addr)
+			// Workers outlive the connection: a broken one (server restart,
+			// drain) is redialed with backoff and the loop resumes, so the
+			// load generator can drive a server through a crash/recovery
+			// cycle. Replies lost with the connection are simply not counted
+			// — ops/ins/del stay exact counts of acknowledgements.
+			rd := client.Redialer{Addr: addr, Opts: client.Options{DialTimeout: 2 * time.Second}}
+			cl, err := rd.Dial()
 			if err != nil {
 				out.err = err
 				return
 			}
-			defer cl.Close()
-			cl.Conn().SetReadDeadline(deadline.Add(30 * time.Second))
+			defer func() { cl.Close() }()
 			count := func(op proto.Op, applied bool) {
 				out.ops++
 				if !applied {
@@ -258,11 +264,24 @@ func runCell(addr string, cfg workload.Config, o loadgenOpts, depth int) (server
 					out.del++
 				}
 			}
-			if o.mode == "closed" {
-				out.err = closedLoop(cl, cfg, depth, int64(w), deadline, count, &out.hist)
-			} else {
-				perConn := float64(o.rate) / float64(o.conns)
-				out.err = openLoop(cl, cfg, depth, int64(w), perConn, deadline, count, &out.hist)
+			for {
+				cl.Conn().SetReadDeadline(deadline.Add(30 * time.Second))
+				if o.mode == "closed" {
+					err = closedLoop(cl, cfg, depth, int64(w), deadline, count, &out.hist)
+				} else {
+					perConn := float64(o.rate) / float64(o.conns)
+					err = openLoop(cl, cfg, depth, int64(w), perConn, deadline, count, &out.hist)
+				}
+				if err == nil || !time.Now().Before(deadline) {
+					out.err = err
+					return
+				}
+				cl.Close()
+				if cl, err = rd.Dial(); err != nil {
+					out.err = err
+					return
+				}
+				out.reconns++
 			}
 		}(w)
 	}
@@ -277,7 +296,11 @@ func runCell(addr string, cfg workload.Config, o loadgenOpts, depth int) (server
 		res.Ops += outs[i].ops
 		res.AckedIns += outs[i].ins
 		res.AckedDel += outs[i].del
+		res.Reconns += outs[i].reconns
 		hist.Merge(&outs[i].hist)
+	}
+	if res.Reconns > 0 {
+		fmt.Printf("loadgen: depth %d: rode through %d reconnects\n", depth, res.Reconns)
 	}
 	res.Seconds = elapsed.Seconds()
 	res.OpsPerSec = stats.Throughput(res.Ops, res.Seconds)

@@ -9,6 +9,8 @@
 //	server [-addr 127.0.0.1:7700] [-structure llx-multiset] [-shards 1]
 //	       [-policy immediate|backoff[:BASE:MAX]|spinyield[:SPINS]]
 //	       [-maxconns 1024] [-idletimeout 0] [-metrics host:port]
+//	       [-wal-dir DIR] [-fsync-interval 0] [-segment-bytes 16MiB]
+//	       [-snapshot-every 0]
 //
 // -metrics serves the plain-text metrics dump over HTTP at /metrics (the
 // same text the STATS command returns in-band). On SIGINT/SIGTERM the
@@ -16,6 +18,16 @@
 // their acknowledgements, closes sessions — and reports the final Size,
 // which by the conservation invariant equals the sum of every client's
 // acknowledged inserts minus acknowledged deletes.
+//
+// -wal-dir turns on the durability layer (PR 6): the server recovers its
+// state from DIR (newest snapshot plus write-ahead-log tail) before taking
+// its first connection, and from then on acknowledges an operation only
+// after its log record is fsynced — group-committed, so a pipelined batch
+// costs one fsync. -fsync-interval widens the commit window at a latency
+// cost; -snapshot-every takes periodic snapshots and truncates the log
+// behind them. If the disk fails mid-run (fsync error), the server stops
+// acknowledging, drains, reports the fault, and exits non-zero: restart it
+// on the same -wal-dir to recover everything it ever acked.
 package main
 
 import (
@@ -32,7 +44,9 @@ import (
 	"pragmaprim/internal/harness"
 	"pragmaprim/internal/server"
 	"pragmaprim/internal/shard"
+	"pragmaprim/internal/snapshot"
 	"pragmaprim/internal/template"
+	"pragmaprim/internal/wal"
 )
 
 func main() {
@@ -49,6 +63,10 @@ func run() int {
 		idle      = flag.Duration("idletimeout", 0, "close connections idle for this long (0 disables)")
 		metrics   = flag.String("metrics", "", "serve the text metrics dump over HTTP at this address under /metrics (empty disables)")
 		drainWait = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget before connections are force-closed")
+		walDir    = flag.String("wal-dir", "", "directory for the write-ahead log and snapshots; enables durability (empty disables)")
+		fsyncIvl  = flag.Duration("fsync-interval", 0, "group-commit window: wait this long before each fsync so more records share it (0: fsync as soon as a commit is demanded)")
+		segBytes  = flag.Int64("segment-bytes", 0, "rotate WAL segments at this size (0: the library default, 16 MiB)")
+		snapEvery = flag.Duration("snapshot-every", 0, "take a snapshot and truncate the WAL behind it at this interval (0 disables; requires -wal-dir)")
 	)
 	flag.Parse()
 
@@ -68,10 +86,48 @@ func run() int {
 		return 2
 	}
 
+	// Durability: recover state from the WAL directory BEFORE the listener
+	// exists — no connection is ever served from a partially rebuilt store.
+	var (
+		dur     *server.Durability
+		log     *wal.Log
+		barrier *snapshot.Barrier
+	)
+	if *walDir != "" {
+		width := 1
+		if *shards > 1 {
+			width = *shards
+		}
+		barrier = snapshot.NewBarrier(width)
+		t0 := time.Now()
+		l, rstats, err := snapshot.Recover(cont, *walDir, wal.Options{
+			SegmentBytes:  *segBytes,
+			FsyncInterval: *fsyncIvl,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "server: recovery: %v\n", err)
+			return 1
+		}
+		log = l
+		defer log.Close()
+		snapNote := "no snapshot"
+		if rstats.SnapshotFile != "" {
+			snapNote = fmt.Sprintf("snapshot %s (%d keys)", rstats.SnapshotFile, rstats.SnapshotKeys)
+		}
+		fmt.Printf("server: recovered %s in %v: %s, %d records replayed (%d covered), %d occurrences installed, log at LSN %d\n",
+			*walDir, time.Since(t0).Round(time.Millisecond), snapNote,
+			rstats.Replayed, rstats.Skipped, rstats.Installed, rstats.LastLSN)
+		dur = &server.Durability{Log: log, Barrier: barrier}
+	} else if *snapEvery > 0 {
+		fmt.Fprintln(os.Stderr, "server: -snapshot-every requires -wal-dir")
+		return 2
+	}
+
 	srv, err := server.Start(cont, server.Config{
 		Addr:        *addr,
 		MaxConns:    *maxConns,
 		IdleTimeout: *idle,
+		Durable:     dur,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "server: %v\n", err)
@@ -81,7 +137,18 @@ func run() int {
 	if *shards > 1 {
 		fmt.Printf(" over %d shards", *shards)
 	}
+	if dur != nil {
+		fmt.Printf(" durably (wal %s)", *walDir)
+	}
 	fmt.Printf(" on %s\n", srv.Addr())
+
+	var mgr *snapshot.Manager
+	if dur != nil && *snapEvery > 0 {
+		mgr = snapshot.StartManager(cont, barrier, log, wal.OS, *walDir, *snapEvery, func(err error) {
+			fmt.Fprintf(os.Stderr, "server: snapshot: %v\n", err)
+		})
+		fmt.Printf("server: snapshotting every %v\n", *snapEvery)
+	}
 
 	var msrv *http.Server
 	if *metrics != "" {
@@ -101,7 +168,12 @@ func run() int {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	fmt.Printf("server: signal %v, draining\n", <-sig)
+	select {
+	case s := <-sig:
+		fmt.Printf("server: signal %v, draining\n", s)
+	case <-srv.FaultC():
+		fmt.Fprintf(os.Stderr, "server: durability fault: %v; draining\n", srv.Fault())
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
@@ -109,11 +181,28 @@ func run() int {
 	if msrv != nil {
 		msrv.Shutdown(ctx)
 	}
+	if mgr != nil {
+		mgr.Close()
+	}
+	if dur != nil && srv.Fault() == nil {
+		// Clean shutdown: one final snapshot bounds the next restart's
+		// replay. Best effort — the log alone already carries everything.
+		if mgr != nil {
+			mgr.Snapshot()
+		}
+		lm := log.Metrics()
+		fmt.Printf("server: wal at LSN %d (%d appends, %d fsyncs, %d segments)\n",
+			lm.LastLSN, lm.Appends, lm.Fsyncs, lm.Segments)
+	}
 	m := srv.Metrics()
 	fmt.Printf("server: drained: %d ops served over %d connections, final size %d\n",
 		m.ServedTotal, m.AcceptedConns, srv.Size())
 	if shutdownErr != nil {
 		fmt.Fprintf(os.Stderr, "server: shutdown forced after %v: %v\n", *drainWait, shutdownErr)
+		return 1
+	}
+	if err := srv.Fault(); err != nil {
+		fmt.Fprintf(os.Stderr, "server: exiting on durability fault: %v (restart on the same -wal-dir to recover)\n", err)
 		return 1
 	}
 	return 0

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pragmaprim/internal/client"
+	"pragmaprim/internal/proto"
+)
+
+// crashStress is the network-side half of the crash harness: it loads a
+// DURABLE server (cmd/server -wal-dir) with pipelined mixed SET/DEL traffic,
+// rides through server restarts by redialing with backoff, and verifies
+// interval conservation at the end over the wire.
+//
+// The accounting is the conservation ledger under uncertainty. Every reply a
+// worker receives is a durable acknowledgement: the server fsynced the
+// record before the reply reached the wire, so acked operations MUST survive
+// any crash. Every operation sent whose reply never arrived (connection
+// died: crash, drain, timeout) is a "maybe": the server may or may not have
+// applied and committed it before dying. So for each key,
+//
+//	ackedNet - maybeDel  <=  recovered count  <=  ackedNet + maybeIns
+//
+// and any count outside that interval is a durability bug: below means an
+// acknowledged write was lost (ack-then-lose), above means an operation the
+// server never acked — or never received — materialized. The driver script
+// (scripts/crash_smoke.sh) kill -9s the server mid-run and restarts it on
+// the same WAL directory; this process's exit code is the verdict.
+func crashStress(addr string, dur time.Duration, threads, keys int) error {
+	const depth = 32
+
+	if dur <= 0 {
+		// Liveness probe: connect and PING, write nothing. The smoke script
+		// uses this to wait for the server without perturbing the ledger.
+		rd := client.Redialer{Addr: addr, Opts: client.Options{
+			DialTimeout: time.Second, ReadTimeout: time.Second,
+		}, MaxAttempts: 1}
+		cl, err := rd.Dial()
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		return cl.Ping()
+	}
+
+	acked := make([]atomic.Int64, keys)    // net acked inserts - deletes
+	maybeIns := make([]atomic.Int64, keys) // sent inserts, reply unknown
+	maybeDel := make([]atomic.Int64, keys) // sent deletes, reply unknown
+	var ackedOps, redials, breaks atomic.Int64
+
+	fmt.Printf("stress: crash mode against %s: %d workers, %d keys, %v\n", addr, threads, keys, dur)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rd := client.Redialer{Addr: addr, Opts: client.Options{
+				DialTimeout: 2 * time.Second,
+				ReadTimeout: 2 * time.Second,
+			}}
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			var cl *client.Client
+			defer func() {
+				if cl != nil {
+					cl.Close()
+				}
+			}()
+			for time.Now().Before(deadline) {
+				if cl == nil {
+					c, err := rd.Dial()
+					if err != nil {
+						// Server still down; try again until time runs out.
+						time.Sleep(100 * time.Millisecond)
+						continue
+					}
+					cl = c
+				}
+				type sentOp struct {
+					key int
+					del bool
+				}
+				sent := make([]sentOp, 0, depth)
+				abort := func(from int) {
+					for _, op := range sent[from:] {
+						if op.del {
+							maybeDel[op.key].Add(1)
+						} else {
+							maybeIns[op.key].Add(1)
+						}
+					}
+					breaks.Add(1)
+					cl.Close()
+					cl = nil
+					redials.Store(int64(rd.Redials()))
+				}
+				broke := false
+				for i := 0; i < depth; i++ {
+					op := sentOp{key: rng.Intn(keys), del: rng.Intn(3) == 0}
+					code := proto.OpSet
+					if op.del {
+						code = proto.OpDel
+					}
+					sent = append(sent, op)
+					if err := cl.Send(proto.Request{Op: code, Key: int64(op.key)}); err != nil {
+						abort(0)
+						broke = true
+						break
+					}
+				}
+				if broke {
+					continue
+				}
+				if err := cl.Flush(); err != nil {
+					abort(0)
+					continue
+				}
+				for got := 0; got < len(sent); got++ {
+					rep, err := cl.Recv()
+					if err != nil {
+						abort(got)
+						break
+					}
+					if ok, err := rep.Bool(); err == nil && ok {
+						if sent[got].del {
+							acked[sent[got].key].Add(-1)
+						} else {
+							acked[sent[got].key].Add(1)
+						}
+						ackedOps.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Final audit over the wire: the server now running on addr (possibly a
+	// restarted incarnation recovered from the WAL) must hold every key
+	// inside its conservation interval.
+	rd := client.Redialer{Addr: addr, Opts: client.Options{
+		DialTimeout: 2 * time.Second, ReadTimeout: 2 * time.Second,
+	}}
+	cl, err := rd.Dial()
+	if err != nil {
+		return fmt.Errorf("crash audit: cannot reach server: %w", err)
+	}
+	defer cl.Close()
+
+	violations := 0
+	var total int64
+	for k := 0; k < keys; k++ {
+		n, err := cl.Count(k)
+		if err != nil {
+			return fmt.Errorf("crash audit: COUNT %d: %w", k, err)
+		}
+		total += n
+		lo := acked[k].Load() - maybeDel[k].Load()
+		hi := acked[k].Load() + maybeIns[k].Load()
+		if n < lo || n > hi || n < 0 {
+			violations++
+			fmt.Fprintf(os.Stderr, "stress: key %d: recovered count %d outside [%d, %d] (acked %d, maybeIns %d, maybeDel %d)\n",
+				k, n, lo, hi, acked[k].Load(), maybeIns[k].Load(), maybeDel[k].Load())
+		}
+	}
+	size, err := cl.Size()
+	if err != nil {
+		return fmt.Errorf("crash audit: SIZE: %w", err)
+	}
+	if int64(size) != total {
+		violations++
+		fmt.Fprintf(os.Stderr, "stress: SIZE %d != sum of per-key counts %d\n", size, total)
+	}
+	fmt.Printf("stress: crash audit: %d ops acked, %d connection breaks, %d redial storms, final size %d\n",
+		ackedOps.Load(), breaks.Load(), redials.Load(), size)
+	if violations > 0 {
+		return fmt.Errorf("crash audit: %d conservation violations — an acked write was lost or phantom state appeared", violations)
+	}
+	return nil
+}

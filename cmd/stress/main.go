@@ -17,9 +17,18 @@
 // union of all shards plus every shard's structural invariants, and the
 // final report adds a per-shard contention table.
 //
+// With -crash the workload moves onto the network: stress becomes the
+// client half of the crash harness, driving a DURABLE server (cmd/server
+// -wal-dir) at -addr with pipelined mixed traffic, riding through server
+// restarts by redialing, and auditing per-key interval conservation over
+// the wire at the end — every acknowledged operation must have survived,
+// no matter how many times the server was kill -9ed mid-run. See
+// scripts/crash_smoke.sh for the full choreography.
+//
 // Usage:
 //
 //	stress [-dur 10s] [-threads 8] [-keys 256] [-struct multiset|bst] [-shards 1] [-checks 10]
+//	stress -crash [-addr 127.0.0.1:7700] [-dur 10s] [-threads 8] [-keys 256]
 package main
 
 import (
@@ -54,12 +63,23 @@ func run() int {
 		structur = flag.String("struct", "multiset", "structure to stress: multiset or bst")
 		shards   = flag.Int("shards", 1, "hash-partition the multiset across this many shards (rounds up to a power of two)")
 		checks   = flag.Int("checks", 10, "number of invariant checkpoints")
+		crash    = flag.Bool("crash", false, "crash-harness mode: drive a durable server at -addr and audit conservation over the wire")
+		addr     = flag.String("addr", "127.0.0.1:7700", "server address for -crash mode")
 	)
 	flag.Parse()
 
 	if *threads < 1 || *keys < 1 || *checks < 1 {
 		fmt.Fprintln(os.Stderr, "stress: -threads, -keys and -checks must be >= 1")
 		return 2
+	}
+
+	if *crash {
+		if err := crashStress(*addr, *dur, *threads, *keys); err != nil {
+			fmt.Fprintf(os.Stderr, "stress: FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Println("stress: OK")
+		return 0
 	}
 
 	var stressFn func(dur time.Duration, threads, keys, checks int) error

@@ -26,7 +26,12 @@
 // reply batching and conservation-preserving graceful shutdown) and
 // internal/client (a pipelining client) — served by cmd/server and
 // measured across a real socket by cmd/bench -loadgen (BENCH_server.json
-// is the checked-in trajectory).
+// is the checked-in trajectory). The durability layer (internal/wal +
+// internal/snapshot, wired in with cmd/server -wal-dir) upgrades the
+// server's conservation contract to acked-means-durable: group-committed
+// write-ahead logging (one fsync per pipelined batch, 0 allocs/op),
+// epoch-consistent snapshots bounding replay, and kill -9 crash recovery
+// audited end to end by cmd/stress -crash and scripts/crash_smoke.sh.
 //
 // The implementation lives under internal/:
 //
@@ -54,7 +59,14 @@
 //	                         frame parser and batching writer
 //	internal/server          the TCP serving layer: pinned per-connection
 //	                         sessions, reply batching, graceful shutdown
-//	internal/client          pipelining client (sync + async-batch APIs)
+//	internal/client          pipelining client (sync + async-batch APIs),
+//	                         read timeouts and reconnect-with-backoff
+//	internal/wal             group-committed write-ahead log: CRC-framed
+//	                         records, segment rotation, torn-tail replay,
+//	                         injectable file system (MemFS crash model,
+//	                         FaultFS failpoints)
+//	internal/snapshot        epoch-consistent snapshots of a live sharded
+//	                         container, WAL truncation, crash recovery
 //	internal/linearizability Wing-Gong checker used by the tests
 //	internal/history         concurrent history recorder
 //	internal/workload        key distributions and operation mixes

@@ -29,6 +29,10 @@ import (
 type Options struct {
 	// DialTimeout bounds the TCP dial; 0 means no timeout.
 	DialTimeout time.Duration
+	// ReadTimeout bounds each Recv: the read deadline is re-armed before
+	// every reply read, so a server that stops answering (wedged, mid-crash)
+	// surfaces as a timeout error instead of a hang. 0 disables deadlines.
+	ReadTimeout time.Duration
 	// ReadBuf and WriteBuf size the proto buffers; 0 means
 	// proto.DefaultBufSize.
 	ReadBuf, WriteBuf int
@@ -41,6 +45,7 @@ type Client struct {
 	r       *proto.Reader
 	w       *proto.Writer
 	pending int
+	rto     time.Duration
 }
 
 // Dial connects with default options.
@@ -56,6 +61,7 @@ func DialOptions(addr string, o Options) (*Client, error) {
 		conn: conn,
 		r:    proto.NewReader(conn, o.ReadBuf),
 		w:    proto.NewWriter(conn, o.WriteBuf),
+		rto:  o.ReadTimeout,
 	}, nil
 }
 
@@ -85,6 +91,9 @@ func (c *Client) Flush() error { return c.w.Flush() }
 // (e.g. EOF after a server shutdown) means no further replies will arrive;
 // replies already returned remain valid acknowledgements.
 func (c *Client) Recv() (proto.Reply, error) {
+	if c.rto > 0 && c.r.Buffered() == 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.rto))
+	}
 	rep, err := c.r.ReadReply()
 	if err != nil {
 		return rep, err
@@ -159,6 +168,17 @@ func (c *Client) Del(key int) (bool, error) {
 		return false, err
 	}
 	return rep.Bool()
+}
+
+// Count returns key's multiplicity (keyed structures). Produce/consume
+// structures cannot count one key; the server answers with an error reply,
+// surfaced here as a non-nil error.
+func (c *Client) Count(key int) (int64, error) {
+	rep, err := c.call(proto.Request{Op: proto.OpCount, Key: int64(key)})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Int64()
 }
 
 // Size returns the container's cardinality.

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"fmt"
+	"time"
+)
+
+// Redialer reconnects to one address with bounded exponential backoff. It
+// exists for clients that must outlive a server restart — the crash harness
+// and the load generator — where a broken connection is an expected event,
+// not an error to propagate. It is not safe for concurrent use; like Client,
+// give each goroutine its own.
+type Redialer struct {
+	// Addr is the server address to (re)dial.
+	Addr string
+	// Opts configures each dialed Client. Set DialTimeout and ReadTimeout
+	// here: a redialing caller almost always wants both bounded.
+	Opts Options
+	// MaxAttempts caps consecutive failed dials per Dial call; 0 means
+	// DefaultRedialAttempts.
+	MaxAttempts int
+	// MaxElapsed caps the total time one Dial call spends retrying; 0 means
+	// DefaultRedialElapsed.
+	MaxElapsed time.Duration
+	// Backoff is the first retry delay, doubled per failure up to
+	// BackoffCap; zeros mean DefaultRedialBackoff / DefaultRedialBackoffCap.
+	Backoff, BackoffCap time.Duration
+
+	redials int
+}
+
+// Redial retry defaults: ~10 attempts over at most 15 seconds, starting at
+// 10ms and capping at 1s between attempts — wide enough to ride out a server
+// restart, bounded enough that a dead server fails the caller promptly.
+const (
+	DefaultRedialAttempts   = 10
+	DefaultRedialElapsed    = 15 * time.Second
+	DefaultRedialBackoff    = 10 * time.Millisecond
+	DefaultRedialBackoffCap = time.Second
+)
+
+// Dial returns a fresh connection, retrying with exponential backoff until a
+// dial succeeds or the attempt/elapsed bounds run out (last error wrapped).
+// A caller that sees a connection error closes its Client and calls Dial
+// again; Redials counts how many calls needed more than one attempt.
+func (r *Redialer) Dial() (*Client, error) {
+	attempts := r.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultRedialAttempts
+	}
+	elapsed := r.MaxElapsed
+	if elapsed <= 0 {
+		elapsed = DefaultRedialElapsed
+	}
+	backoff := r.Backoff
+	if backoff <= 0 {
+		backoff = DefaultRedialBackoff
+	}
+	bcap := r.BackoffCap
+	if bcap <= 0 {
+		bcap = DefaultRedialBackoffCap
+	}
+	deadline := time.Now().Add(elapsed)
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		cl, err := DialOptions(r.Addr, r.Opts)
+		if err == nil {
+			if i > 0 {
+				r.redials++
+			}
+			return cl, nil
+		}
+		lastErr = err
+		if i == attempts-1 || !time.Now().Add(backoff).Before(deadline) {
+			break
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > bcap {
+			backoff = bcap
+		}
+	}
+	return nil, fmt.Errorf("client: redial %s gave up after %d attempts: %w", r.Addr, attempts, lastErr)
+}
+
+// Redials returns how many Dial calls succeeded only after at least one
+// failed attempt — i.e. how many reconnect storms this Redialer rode out.
+func (r *Redialer) Redials() int { return r.redials }

@@ -34,11 +34,20 @@ func (c msContainer) EngineStats() template.Counters          { return c.m.Engin
 func (c msContainer) StatsByOp() map[string]template.Counters { return c.m.StatsByOp() }
 func (c msContainer) Size() int                               { return c.m.TotalCount() }
 
+func (c msContainer) Range(fn func(key, count int) bool) {
+	for k, n := range c.m.Items() {
+		if !fn(k, n) {
+			return
+		}
+	}
+}
+
 type msSession struct{ s multiset.Session[int] }
 
 func (s *msSession) Get(key int) bool    { return s.s.Get(key) > 0 }
 func (s *msSession) Insert(key int) bool { s.s.Insert(key, 1); return true }
 func (s *msSession) Delete(key int) bool { return s.s.Delete(key, 1) }
+func (s *msSession) Count(key int) int   { return s.s.Get(key) }
 func (s *msSession) Close()              { s.s.Handle().Release() }
 
 // --- LLX/SCX external BST ---------------------------------------------------
@@ -56,11 +65,25 @@ func (c bstContainer) EngineStats() template.Counters          { return c.t.Engi
 func (c bstContainer) StatsByOp() map[string]template.Counters { return c.t.StatsByOp() }
 func (c bstContainer) Size() int                               { return c.t.Len() }
 
+func (c bstContainer) Range(fn func(key, count int) bool) {
+	for _, k := range c.t.Keys() {
+		if !fn(k, 1) {
+			return
+		}
+	}
+}
+
 type bstSession struct{ s bst.Session[int, int] }
 
 func (s *bstSession) Get(key int) bool    { return s.s.Contains(key) }
 func (s *bstSession) Insert(key int) bool { return s.s.Put(key, key) }
 func (s *bstSession) Delete(key int) bool { _, ok := s.s.Delete(key); return ok }
+func (s *bstSession) Count(key int) int {
+	if s.s.Contains(key) {
+		return 1
+	}
+	return 0
+}
 func (s *bstSession) Close()              { s.s.Handle().Release() }
 
 // --- LLX/SCX Patricia trie --------------------------------------------------
@@ -78,11 +101,25 @@ func (c trieContainer) EngineStats() template.Counters          { return c.t.Eng
 func (c trieContainer) StatsByOp() map[string]template.Counters { return c.t.StatsByOp() }
 func (c trieContainer) Size() int                               { return c.t.Len() }
 
+func (c trieContainer) Range(fn func(key, count int) bool) {
+	for _, k := range c.t.Keys() {
+		if !fn(int(k), 1) {
+			return
+		}
+	}
+}
+
 type trieSession struct{ s trie.Session[int] }
 
 func (s *trieSession) Get(key int) bool    { return s.s.Contains(uint64(key)) }
 func (s *trieSession) Insert(key int) bool { return s.s.Put(uint64(key), key) }
 func (s *trieSession) Delete(key int) bool { _, ok := s.s.Delete(uint64(key)); return ok }
+func (s *trieSession) Count(key int) int {
+	if s.s.Contains(uint64(key)) {
+		return 1
+	}
+	return 0
+}
 func (s *trieSession) Close()              { s.s.Handle().Release() }
 
 // --- LLX/SCX queue (produce/consume) ----------------------------------------
@@ -101,6 +138,10 @@ func (c queueContainer) EngineStats() template.Counters          { return c.q.En
 func (c queueContainer) StatsByOp() map[string]template.Counters { return c.q.StatsByOp() }
 func (c queueContainer) Size() int                               { return c.q.Len() }
 
+func (c queueContainer) Range(fn func(key, count int) bool) {
+	rangeOccurrences(c.q.Items(), fn)
+}
+
 type queueSession struct {
 	q *queue.Queue[int]
 	s queue.Session[int]
@@ -109,6 +150,7 @@ type queueSession struct {
 func (s *queueSession) Get(int) bool        { _, ok := s.q.Peek(); return ok }
 func (s *queueSession) Insert(key int) bool { s.s.Enqueue(key); return true }
 func (s *queueSession) Delete(int) bool     { _, ok := s.s.Dequeue(); return ok }
+func (s *queueSession) Count(int) int       { return -1 }
 func (s *queueSession) Close()              { s.s.Handle().Release() }
 
 // --- LLX/SCX stack (produce/consume) ----------------------------------------
@@ -126,6 +168,10 @@ func (c stackContainer) EngineStats() template.Counters          { return c.st.E
 func (c stackContainer) StatsByOp() map[string]template.Counters { return c.st.StatsByOp() }
 func (c stackContainer) Size() int                               { return c.st.Len() }
 
+func (c stackContainer) Range(fn func(key, count int) bool) {
+	rangeOccurrences(c.st.Items(), fn)
+}
+
 type stackSession struct {
 	st *stack.Stack[int]
 	s  stack.Session[int]
@@ -134,6 +180,7 @@ type stackSession struct {
 func (s *stackSession) Get(int) bool        { _, ok := s.st.Peek(); return ok }
 func (s *stackSession) Insert(key int) bool { s.s.Push(key); return true }
 func (s *stackSession) Delete(int) bool     { _, ok := s.s.Pop(); return ok }
+func (s *stackSession) Count(int) int       { return -1 }
 func (s *stackSession) Close()              { s.s.Handle().Release() }
 
 // --- lock baselines ---------------------------------------------------------
@@ -148,11 +195,20 @@ func (c coarseContainer) EngineStats() template.Counters          { return noSta
 func (c coarseContainer) StatsByOp() map[string]template.Counters { return nil }
 func (c coarseContainer) Size() int                               { return c.m.TotalCount() }
 
+func (c coarseContainer) Range(fn func(key, count int) bool) {
+	for k, n := range c.m.Items() {
+		if !fn(k, n) {
+			return
+		}
+	}
+}
+
 type coarseSession struct{ m *lockds.CoarseMultiset }
 
 func (s coarseSession) Get(key int) bool    { return s.m.Get(key) > 0 }
 func (s coarseSession) Insert(key int) bool { s.m.Insert(key, 1); return true }
 func (s coarseSession) Delete(key int) bool { return s.m.Delete(key, 1) }
+func (s coarseSession) Count(key int) int   { return s.m.Get(key) }
 func (s coarseSession) Close()              {}
 
 // FineLock adapts the hand-over-hand lock-coupling multiset baseline.
@@ -165,9 +221,32 @@ func (c fineContainer) EngineStats() template.Counters          { return noStats
 func (c fineContainer) StatsByOp() map[string]template.Counters { return nil }
 func (c fineContainer) Size() int                               { return c.m.TotalCount() }
 
+func (c fineContainer) Range(fn func(key, count int) bool) {
+	for k, n := range c.m.Items() {
+		if !fn(k, n) {
+			return
+		}
+	}
+}
+
 type fineSession struct{ m *lockds.FineMultiset }
 
 func (s fineSession) Get(key int) bool    { return s.m.Get(key) > 0 }
 func (s fineSession) Insert(key int) bool { s.m.Insert(key, 1); return true }
 func (s fineSession) Delete(key int) bool { return s.m.Delete(key, 1) }
+func (s fineSession) Count(key int) int   { return s.m.Get(key) }
 func (s fineSession) Close()              {}
+
+// rangeOccurrences aggregates a produce/consume element walk into the
+// (key, count) shape Range promises.
+func rangeOccurrences(items []int, fn func(key, count int) bool) {
+	counts := make(map[int]int, len(items))
+	for _, v := range items {
+		counts[v]++
+	}
+	for k, n := range counts {
+		if !fn(k, n) {
+			return
+		}
+	}
+}

@@ -45,6 +45,12 @@ type Session interface {
 	// Delete removes key (keyed) or consumes one element (produce/consume)
 	// and reports whether the container shrank.
 	Delete(key int) bool
+	// Count returns the number of occurrences of key under the adapter's
+	// accounting — the multiset count, 0 or 1 for the map adapters — or -1
+	// when the adapter cannot count one key (the produce/consume adapters,
+	// whose Delete consumes an arbitrary element). The durability layer's
+	// crash harness audits per-key conservation through this.
+	Count(key int) int
 	// Close releases per-session resources (the pooled Handle of an
 	// LLX/SCX session). The Session must not be used afterwards.
 	Close()
@@ -70,4 +76,10 @@ type Container interface {
 	// Insert and -1 for every applied Delete — the invariant the harness
 	// cross-checks after every throughput run.
 	Size() int
+	// Range calls fn with every (key, count) pair in the container until fn
+	// returns false. Like Size it is exact when quiescent and weakly
+	// consistent under concurrency; the LLX/SCX structures iterate under the
+	// epoch protocol's read guard. The snapshot layer builds its consistent
+	// point-in-time scans on Range plus an external write barrier.
+	Range(fn func(key, count int) bool)
 }

@@ -85,6 +85,17 @@ func (m *CoarseMultiset) TotalCount() int {
 	return total
 }
 
+// Items returns the key→count table; exact when quiescent.
+func (m *CoarseMultiset) Items() map[int]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]int)
+	for n := m.head.next; n.key != math.MaxInt; n = n.next {
+		out[n.key] = n.count
+	}
+	return out
+}
+
 // search returns the first node r with key <= r.key and its predecessor.
 // Caller holds the lock.
 func (m *CoarseMultiset) search(key int) (r, p *coarseNode) {
@@ -191,6 +202,25 @@ func (m *FineMultiset) TotalCount() int {
 			return total
 		}
 		total += r.count
+		p = r
+	}
+}
+
+// Items returns the key→count table, locking hand-over-hand down the list.
+// Exact when quiescent.
+func (m *FineMultiset) Items() map[int]int {
+	out := make(map[int]int)
+	p := m.head
+	p.mu.Lock()
+	for {
+		r := p.next
+		r.mu.Lock()
+		p.mu.Unlock()
+		if r.key == math.MaxInt {
+			r.mu.Unlock()
+			return out
+		}
+		out[r.key] = r.count
 		p = r
 	}
 }

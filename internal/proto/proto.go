@@ -46,7 +46,12 @@ const (
 	OpDel
 	OpSize
 	OpStats
-	opMax = OpStats
+	// OpCount asks for the occurrence count of one key (the multiset count,
+	// 0/1 for maps) as an Int reply — the durability crash harness audits
+	// per-key conservation with it. Adapters that cannot count one key (the
+	// produce/consume containers) yield an Err reply.
+	OpCount
+	opMax = OpCount
 )
 
 // String names the opcode for diagnostics.
@@ -64,12 +69,14 @@ func (o Op) String() string {
 		return "SIZE"
 	case OpStats:
 		return "STATS"
+	case OpCount:
+		return "COUNT"
 	}
 	return fmt.Sprintf("Op(%d)", byte(o))
 }
 
 // Keyed reports whether the opcode carries a key argument.
-func (o Op) Keyed() bool { return o == OpGet || o == OpSet || o == OpDel }
+func (o Op) Keyed() bool { return o == OpGet || o == OpSet || o == OpDel || o == OpCount }
 
 // Status is the first byte of a reply payload.
 type Status byte
@@ -347,6 +354,7 @@ func (rd *Reader) ReadReply() (Reply, error) {
 type Writer struct {
 	dst io.Writer
 	buf []byte
+	err error // sticky: first destination failure
 }
 
 // NewWriter wraps dst with an encode buffer of the given size (minimum 64,
@@ -364,10 +372,25 @@ func NewWriter(dst io.Writer, size int) *Writer {
 // Buffered returns the number of encoded bytes awaiting Flush.
 func (w *Writer) Buffered() int { return len(w.buf) }
 
+// Cap returns the buffer capacity: a Write* whose frame would push Buffered
+// past Cap triggers an implicit Flush. Callers that must order work before
+// any bytes reach the wire (the server commits log records before acks) use
+// Buffered/Cap to predict and preempt that flush.
+func (w *Writer) Cap() int { return cap(w.buf) }
+
+// Err returns the Writer's sticky error: the first failure any Flush hit.
+// Once set, every Write*/Flush returns it immediately. The server checks it
+// before applying a mutation — a connection that can no longer carry acks
+// must not keep changing state it cannot acknowledge.
+func (w *Writer) Err() error { return w.err }
+
 // room flushes if appending n more bytes would overflow the buffer, so a
 // frame is never split across two underlying writes unless it is larger
 // than the whole buffer.
 func (w *Writer) room(n int) error {
+	if w.err != nil {
+		return w.err
+	}
 	if len(w.buf)+n <= cap(w.buf) {
 		return nil
 	}
@@ -451,8 +474,11 @@ func (w *Writer) writeBytes(st Status, p []byte) error {
 		if err := w.Flush(); err != nil {
 			return err
 		}
-		_, err := w.dst.Write(p)
-		return err
+		if _, err := w.dst.Write(p); err != nil {
+			w.err = err
+			return err
+		}
+		return nil
 	}
 	w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(n))
 	w.buf = append(w.buf, byte(st))
@@ -465,10 +491,16 @@ func (w *Writer) writeBytes(st Status, p []byte) error {
 // connection is dead either way and retaining half-written bytes would only
 // corrupt it further.
 func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
 	if len(w.buf) == 0 {
 		return nil
 	}
 	_, err := w.dst.Write(w.buf)
 	w.buf = w.buf[:0]
+	if err != nil {
+		w.err = err
+	}
 	return err
 }

@@ -298,6 +298,19 @@ func (q *Queue[T]) Len() (n int) {
 	return n
 }
 
+// Items returns the values seen by one traversal in FIFO order: exact when
+// quiescent, weakly consistent under concurrency. Like Len it walks under a
+// single epoch guard, so no node is reclaimed mid-scan.
+func (q *Queue[T]) Items() []T {
+	var out []T
+	template.Guarded(func() {
+		for cur := q.head().next(); cur != nil; cur = cur.next() {
+			out = append(out, cur.val)
+		}
+	})
+	return out
+}
+
 // Drain dequeues everything currently observable, returning the values in
 // FIFO order. Intended for quiescent use in tests.
 func (q *Queue[T]) Drain() []T {

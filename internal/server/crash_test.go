@@ -1,0 +1,255 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"pragmaprim/internal/client"
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/proto"
+	"pragmaprim/internal/server"
+	"pragmaprim/internal/shard"
+	"pragmaprim/internal/snapshot"
+	"pragmaprim/internal/wal"
+)
+
+// The crash test needs a real process to kill -9: TestMain re-execs the test
+// binary as a durable server child when the marker env var is set.
+const (
+	crashChildEnv = "PRAGMAPRIM_CRASH_CHILD"
+	crashDirEnv   = "PRAGMAPRIM_CRASH_DIR"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(crashChildEnv) == "1" {
+		crashChildMain(os.Getenv(crashDirEnv))
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// crashChildMain is the child process: a sharded durable server with a fast
+// snapshot manager, recovered from dir, address published atomically as
+// dir/addr. It exits 0 on SIGTERM after a clean drain, and exits on its own
+// if the durability layer faults.
+func crashChildMain(dir string) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "crash child: %v\n", err)
+		os.Exit(1)
+	}
+	const shards = 4
+	c := shard.New(shards, func(int) container.Container {
+		return container.Multiset(multiset.New[int]())
+	})
+	b := snapshot.NewBarrier(shards)
+	// Tiny segments and a fast snapshot cadence so a short run still
+	// exercises rotation, snapshot save, and truncation under load.
+	l, _, err := snapshot.Recover(c, dir, wal.Options{SegmentBytes: 1 << 16})
+	if err != nil {
+		fail(err)
+	}
+	s, err := server.Start(c, server.Config{
+		Durable: &server.Durability{Log: l, Barrier: b},
+	})
+	if err != nil {
+		fail(err)
+	}
+	mgr := snapshot.StartManager(c, b, l, wal.OS, dir, 50*time.Millisecond, nil)
+
+	tmp := filepath.Join(dir, "addr.tmp")
+	if err := os.WriteFile(tmp, []byte(s.Addr().String()), 0o644); err != nil {
+		fail(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "addr")); err != nil {
+		fail(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case <-s.FaultC():
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fail(err)
+	}
+	mgr.Close()
+	l.Close()
+	if err := s.Fault(); err != nil {
+		fail(err)
+	}
+	os.Exit(0)
+}
+
+// startCrashChild launches a fresh server incarnation over dir and waits for
+// it to publish its address.
+func startCrashChild(t *testing.T, dir string) (*exec.Cmd, string) {
+	t.Helper()
+	os.Remove(filepath.Join(dir, "addr"))
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), crashChildEnv+"=1", crashDirEnv+"="+dir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(filepath.Join(dir, "addr")); err == nil && len(b) > 0 {
+			return cmd, string(b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatal("child never published its address")
+	return nil, ""
+}
+
+// TestServerCrashRecoveryConservation is the kill -9 acceptance test: load a
+// durable server hard, SIGKILL the process mid-run, restart it over the same
+// directory, and check per-key interval conservation — every key's recovered
+// count lies in [acked - maybeDeleted, acked + maybeInserted], where the
+// "maybe" windows are exactly the operations whose acknowledgements the
+// crash swallowed. Anything outside that interval means an acked write was
+// lost or a never-sent write materialized.
+func TestServerCrashRecoveryConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kill -9s child processes")
+	}
+	dir := t.TempDir()
+	cmd, addr := startCrashChild(t, dir)
+
+	const (
+		workers = 4
+		keys    = 16
+		depth   = 32
+	)
+	var (
+		acked    [keys]int64 // net acked inserts-deletes: must survive
+		maybeIns [keys]int64 // unacked sent inserts: may survive
+		maybeDel [keys]int64 // unacked sent deletes: may have applied
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rd := client.Redialer{Addr: addr, Opts: client.Options{
+				DialTimeout: 2 * time.Second, ReadTimeout: 2 * time.Second,
+			}}
+			cl, err := rd.Dial()
+			if err != nil {
+				t.Errorf("worker %d dial: %v", w, err)
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for !stop.Load() {
+				type sentOp struct {
+					key int64
+					del bool
+				}
+				sent := make([]sentOp, 0, depth)
+				abort := func(from int) {
+					for _, op := range sent[from:] {
+						if op.del {
+							atomic.AddInt64(&maybeDel[op.key], 1)
+						} else {
+							atomic.AddInt64(&maybeIns[op.key], 1)
+						}
+					}
+				}
+				for i := 0; i < depth; i++ {
+					op := sentOp{key: int64(rng.Intn(keys)), del: rng.Intn(3) == 0}
+					code := proto.OpSet
+					if op.del {
+						code = proto.OpDel
+					}
+					sent = append(sent, op)
+					if err := cl.Send(proto.Request{Op: code, Key: op.key}); err != nil {
+						abort(0)
+						return
+					}
+				}
+				if err := cl.Flush(); err != nil {
+					abort(0)
+					return
+				}
+				for got := 0; got < len(sent); got++ {
+					rep, err := cl.Recv()
+					if err != nil {
+						abort(got)
+						return
+					}
+					if ok, err := rep.Bool(); err == nil && ok {
+						if sent[got].del {
+							atomic.AddInt64(&acked[sent[got].key], -1)
+						} else {
+							atomic.AddInt64(&acked[sent[got].key], 1)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(700 * time.Millisecond) // let load, snapshots and rotation run
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		t.Fatalf("kill -9: %v", err)
+	}
+	cmd.Wait()
+	stop.Store(true)
+	wg.Wait()
+
+	// Restart over the same directory and audit the recovered state.
+	cmd2, addr2 := startCrashChild(t, dir)
+	cl, err := client.DialOptions(addr2, client.Options{
+		DialTimeout: 2 * time.Second, ReadTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("dial recovered server: %v", err)
+	}
+	var total int64
+	for k := 0; k < keys; k++ {
+		n, err := cl.Count(k)
+		if err != nil {
+			t.Fatalf("count key %d: %v", k, err)
+		}
+		total += n
+		lo, hi := acked[k]-maybeDel[k], acked[k]+maybeIns[k]
+		if n < lo || n > hi {
+			t.Errorf("key %d: recovered count %d outside conservation interval [%d, %d] (acked %d, maybeIns %d, maybeDel %d)",
+				k, n, lo, hi, acked[k], maybeIns[k], maybeDel[k])
+		}
+	}
+	size, err := cl.Size()
+	if err != nil {
+		t.Fatalf("size: %v", err)
+	}
+	if int64(size) != total {
+		t.Errorf("recovered Size %d != sum of per-key counts %d", size, total)
+	}
+	t.Logf("recovered %d occurrences across %d keys after kill -9", size, keys)
+	cl.Close()
+
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("sigterm: %v", err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Errorf("recovered server did not drain cleanly: %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"pragmaprim/internal/snapshot"
+	"pragmaprim/internal/wal"
+)
+
+// Durability extends the server's conservation contract from acked ⇔
+// applied to acked ⇔ durable. With it configured, every SET/DEL is applied
+// and its log record appended atomically under the snapshot barrier's read
+// lock, and the acknowledgement reaches the socket only after a commit
+// group covering the record has been fsynced. Group commit does the
+// amortizing: a pipelined batch costs one fsync at its flush boundary, and
+// concurrent connections share commit groups, so the hot path stays
+// allocation-free and fsync-bounded per batch.
+//
+// On a log fault (fsync error, short write) the server degrades exactly as
+// the contract demands: the faulting connection never flushes acks that are
+// not durable, every connection stops applying once its writer or the log
+// is dead, and the server self-drains — stop accepting, kick reads, report
+// via Fault/FaultC. It never acks-then-loses.
+type Durability struct {
+	// Log is the open write-ahead log, positioned after recovery.
+	Log *wal.Log
+	// Barrier is the snapshot write barrier; its width must match the
+	// served container's sharding (snapshot.NewBarrier).
+	Barrier *snapshot.Barrier
+}
+
+// Fault returns the durability error that moved the server into drain, or
+// nil. Meaningful once FaultC is closed.
+func (s *Server) Fault() error {
+	if s.dur == nil {
+		return nil
+	}
+	select {
+	case <-s.faultC:
+		return s.faultErr
+	default:
+		return nil
+	}
+}
+
+// FaultC returns a channel closed when the durability layer fails; the
+// server is then draining itself and the process should Shutdown and exit.
+// Nil-safe on a server without durability (never closed).
+func (s *Server) FaultC() <-chan struct{} { return s.faultC }
+
+// durFault records the first durability fault and starts a self-drain:
+// stop accepting, interrupt pending reads, let every connection finish what
+// it can still honestly ack. Shutdown remains the caller's job (and is
+// idempotent with the drain started here).
+func (s *Server) durFault(err error) {
+	s.faultOnce.Do(func() {
+		s.faultErr = err
+		close(s.faultC)
+		go func() {
+			s.draining.Store(true)
+			s.ln.Close()
+			s.mu.Lock()
+			for c := range s.conns {
+				c.SetReadDeadline(pastDeadline)
+			}
+			s.mu.Unlock()
+		}()
+	})
+}
+
+// commitPend makes the connection's appended records durable. On failure
+// the connection is marked dead — its buffered replies must never be
+// flushed, because they would acknowledge writes that were just lost — and
+// the server-wide fault drain starts.
+func (s *Server) commitPend(st *connState) error {
+	if st.pend == 0 {
+		return nil
+	}
+	if err := s.dur.Log.Commit(st.pend); err != nil {
+		st.dead = true
+		s.durFault(err)
+		return err
+	}
+	st.pend = 0
+	return nil
+}
+
+// applyDurable is the durable mutation path: apply and append atomically
+// under the key's barrier read lock (so a snapshot either sees both the
+// applied state and a covered LSN, or neither), ack later, after commit.
+func (s *Server) applyDurable(st *connState, op wal.Op, key int64) error {
+	d := s.dur
+	d.Barrier.RLockKey(key)
+	var applied bool
+	if op == wal.OpInsert {
+		applied = st.sess.Insert(int(key))
+	} else {
+		applied = st.sess.Delete(int(key))
+	}
+	if applied {
+		lsn, err := d.Log.Append(op, key)
+		if err != nil {
+			d.Barrier.RUnlockKey(key)
+			// Applied but unlogged: the op must not be acked. Kill the
+			// connection before its reply is written; the in-memory effect
+			// is unacknowledged and will not survive the restart that
+			// follows the fault drain.
+			st.dead = true
+			s.durFault(err)
+			return err
+		}
+		st.pend = lsn
+		d.Barrier.RUnlockKey(key)
+	} else {
+		d.Barrier.RUnlockKey(key)
+	}
+	return st.w.WriteBool(applied)
+}

@@ -1,0 +1,274 @@
+package server_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pragmaprim/internal/client"
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/proto"
+	"pragmaprim/internal/server"
+	"pragmaprim/internal/snapshot"
+	"pragmaprim/internal/wal"
+)
+
+// startDurable recovers a multiset from dir on fs and starts a durable
+// server over it. The caller shuts down the server, then closes the log.
+func startDurable(tb testing.TB, fs wal.FS, dir string) (*server.Server, *wal.Log) {
+	tb.Helper()
+	c := container.Multiset(multiset.New[int]())
+	l, _, err := snapshot.Recover(c, dir, wal.Options{FS: fs})
+	if err != nil {
+		tb.Fatalf("recover: %v", err)
+	}
+	s, err := server.Start(c, server.Config{
+		Durable: &server.Durability{Log: l, Barrier: snapshot.NewBarrier(1)},
+	})
+	if err != nil {
+		l.Close()
+		tb.Fatalf("start: %v", err)
+	}
+	return s, l
+}
+
+// pipelinedSetRound sends one batch of SETs over a small key set and drains
+// the replies — the pure durable write path, no reads mixed in.
+func pipelinedSetRound(tb testing.TB, cl *client.Client, depth int) {
+	tb.Helper()
+	for i := 0; i < depth; i++ {
+		if err := cl.Send(proto.Request{Op: proto.OpSet, Key: int64(i & 7)}); err != nil {
+			tb.Fatalf("send: %v", err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		tb.Fatalf("flush: %v", err)
+	}
+	for i := 0; i < depth; i++ {
+		if _, err := cl.Recv(); err != nil {
+			tb.Fatalf("recv: %v", err)
+		}
+	}
+}
+
+// TestServerWALPipelinedAllocFree extends the PR 5 alloc pin to the durable
+// write path: a pipelined SET batch through apply+append+group-commit stays
+// at <= 1 alloc/op in steady state, on the real file system. The WAL's
+// in-place frame encoding and the double-buffered group commit are what keep
+// the log out of the allocation budget.
+func TestServerWALPipelinedAllocFree(t *testing.T) {
+	s, l := startDurable(t, wal.OS, filepath.Join(t.TempDir(), "wal"))
+	defer l.Close()
+	defer shutdownNow(t, s)
+
+	cl, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	const depth = 128
+	for i := 0; i < 20; i++ {
+		pipelinedSetRound(t, cl, depth)
+	}
+	allocs := testing.AllocsPerRun(50, func() { pipelinedSetRound(t, cl, depth) })
+	perOp := allocs / depth
+	t.Logf("pipelined durable SET: %.3f allocs per %d-op batch = %.4f allocs/op", allocs, depth, perOp)
+	if perOp > 1 {
+		t.Errorf("durable hot path allocates %.4f allocs/op, want <= 1", perOp)
+	}
+}
+
+// TestServerWALGroupCommitPerBatchFsync is the failpoint-counting test for
+// the amortization claim: one fsync covers an entire pipelined batch, not
+// one per operation. FaultFS counts the actual Sync calls under the server.
+func TestServerWALGroupCommitPerBatchFsync(t *testing.T) {
+	ffs := wal.NewFaultFS(wal.NewMemFS())
+	s, l := startDurable(t, ffs, "wal")
+	defer l.Close()
+	defer shutdownNow(t, s)
+
+	cl, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	const depth, rounds = 128, 10
+	for i := 0; i < 5; i++ {
+		pipelinedSetRound(t, cl, depth)
+	}
+	start := ffs.Syncs()
+	for i := 0; i < rounds; i++ {
+		pipelinedSetRound(t, cl, depth)
+	}
+	syncs := ffs.Syncs() - start
+	t.Logf("%d fsyncs for %d batches (%d ops)", syncs, rounds, rounds*depth)
+	if syncs < rounds {
+		t.Errorf("%d fsyncs for %d batches: a batch was acked without its own commit", syncs, rounds)
+	}
+	// One fsync per batch is the steady state; loopback framing can split a
+	// batch across reads occasionally, so allow slack — but nothing close to
+	// per-op syncing (which would be depth*rounds).
+	if syncs > 3*rounds {
+		t.Errorf("%d fsyncs for %d batches of %d ops: group commit is not amortizing", syncs, rounds, depth)
+	}
+}
+
+// runWALFaultScenario drives a durable server into an injected disk fault
+// mid-load and checks the whole degradation contract: the server reports the
+// fault (FaultC), drains cleanly (Shutdown returns nil), and — after a
+// simulated crash and recovery — every acknowledged insert is present and
+// nothing beyond the acked+in-flight window survived. "Never ack a lost
+// write", checked literally against the recovered state.
+func runWALFaultScenario(t *testing.T, arm func(*wal.FaultFS)) {
+	mem := wal.NewMemFS()
+	ffs := wal.NewFaultFS(mem)
+	s, l := startDurable(t, ffs, "wal")
+
+	cl, err := client.DialOptions(s.Addr().String(), client.Options{ReadTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	const keys, depth = 8, 64
+	acked := make([]int, keys) // replies received: definitely durable
+	maybe := make([]int, keys) // sent, no reply: may or may not have landed
+
+	batch := func() (failed bool) {
+		sent := make([]int, 0, depth)
+		for i := 0; i < depth; i++ {
+			k := i % keys
+			if err := cl.Send(proto.Request{Op: proto.OpSet, Key: int64(k)}); err != nil {
+				for _, m := range append(sent, k) {
+					maybe[m]++
+				}
+				return true
+			}
+			sent = append(sent, k)
+		}
+		if err := cl.Flush(); err != nil {
+			for _, m := range sent {
+				maybe[m]++
+			}
+			return true
+		}
+		for got := 0; got < len(sent); got++ {
+			rep, err := cl.Recv()
+			if err != nil {
+				for _, m := range sent[got:] {
+					maybe[m]++
+				}
+				return true
+			}
+			if ok, err := rep.Bool(); err == nil && ok {
+				acked[sent[got]]++
+			}
+		}
+		return false
+	}
+
+	for i := 0; i < 3; i++ { // healthy warmup
+		if batch() {
+			t.Fatal("connection failed before the fault was armed")
+		}
+	}
+	arm(ffs)
+	deadline := time.Now().Add(10 * time.Second)
+	failed := false
+	for !failed && time.Now().Before(deadline) {
+		failed = batch()
+	}
+	if !failed {
+		t.Fatal("injected fault never surfaced to the client")
+	}
+
+	select {
+	case <-s.FaultC():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not report the durability fault")
+	}
+	if s.Fault() == nil {
+		t.Error("FaultC closed but Fault() is nil")
+	}
+	shutdownNow(t, s) // a faulted server must still drain cleanly
+	l.Close()
+
+	// Crash: everything not fsynced is gone. Recover on the raw MemFS (the
+	// injector stays armed and would fail the recovery's own syncs).
+	mem.Crash()
+	c2 := container.Multiset(multiset.New[int]())
+	l2, _, err := snapshot.Recover(c2, "wal", wal.Options{FS: mem})
+	if err != nil {
+		t.Fatalf("recover after fault: %v", err)
+	}
+	defer l2.Close()
+
+	got := make([]int, keys)
+	c2.Range(func(k, n int) bool {
+		if k < 0 || k >= keys {
+			t.Errorf("recovered unexpected key %d", k)
+			return true
+		}
+		got[k] = n
+		return true
+	})
+	for k := 0; k < keys; k++ {
+		if got[k] < acked[k] {
+			t.Errorf("key %d: %d inserts acked but only %d recovered — an acked write was lost", k, acked[k], got[k])
+		}
+		if got[k] > acked[k]+maybe[k] {
+			t.Errorf("key %d: recovered %d, exceeds acked %d + in-flight %d", k, got[k], acked[k], maybe[k])
+		}
+	}
+}
+
+func TestServerWALFsyncErrorNeverAcksLost(t *testing.T) {
+	runWALFaultScenario(t, func(f *wal.FaultFS) { f.SetSyncErrAfter(0) })
+}
+
+func TestServerWALShortWriteNeverAcksLost(t *testing.T) {
+	runWALFaultScenario(t, func(f *wal.FaultFS) { f.SetShortWriteAt(1) })
+}
+
+// TestServerWALRestartConservation is the in-process restart loop: durable
+// writes, clean shutdown, recovery into a fresh server, and the recovered
+// server keeps serving with counts exactly equal to what was acked. (The
+// kill -9 variant lives in crash_test.go; this one pins the clean path.)
+func TestServerWALRestartConservation(t *testing.T) {
+	mem := wal.NewMemFS()
+	want := make(map[int]int)
+	for round := 0; round < 3; round++ {
+		s, l := startDurable(t, mem, "wal")
+		cl, err := client.Dial(s.Addr().String())
+		if err != nil {
+			t.Fatalf("round %d dial: %v", round, err)
+		}
+		for k := 0; k < 8; k++ {
+			if n, err := cl.Count(k); err != nil {
+				t.Fatalf("round %d count: %v", round, err)
+			} else if int(n) != want[k] {
+				t.Fatalf("round %d: key %d recovered count %d, want %d", round, k, n, want[k])
+			}
+		}
+		for i := 0; i < 50; i++ {
+			k := (round*7 + i) % 8
+			if ok, err := cl.Set(k); err != nil {
+				t.Fatalf("round %d set: %v", round, err)
+			} else if ok {
+				want[k]++
+			}
+		}
+		if ok, err := cl.Del(round); err != nil {
+			t.Fatalf("round %d del: %v", round, err)
+		} else if ok {
+			want[round]--
+		}
+		cl.Close()
+		shutdownNow(t, s)
+		l.Close()
+		mem.Crash() // a clean shutdown must have made everything acked durable
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"pragmaprim/internal/proto"
 	"pragmaprim/internal/shard"
 	"pragmaprim/internal/stats"
+	"pragmaprim/internal/wal"
 )
 
 // Config tunes a Server. The zero value serves on a random loopback port
@@ -64,6 +65,9 @@ type Config struct {
 	// ReadBuf and WriteBuf are the per-connection proto buffer sizes;
 	// 0 means proto.DefaultBufSize.
 	ReadBuf, WriteBuf int
+	// Durable, when non-nil, turns on the write-ahead logging path: acked ⇔
+	// durable instead of acked ⇔ applied. See Durability.
+	Durable *Durability
 }
 
 // DefaultMaxConns is the connection cap when Config.MaxConns is 0.
@@ -90,9 +94,15 @@ type Server struct {
 	accepted atomic.Int64
 	rejected atomic.Int64
 	// Per-opcode served counters, indexed by proto.Op.
-	served    [proto.OpStats + 1]atomic.Int64
+	served    [proto.OpCount + 1]atomic.Int64
 	flushes   atomic.Int64
 	protoErrs atomic.Int64
+
+	// Durability state; dur is nil on a purely in-memory server.
+	dur       *Durability
+	faultC    chan struct{}
+	faultOnce sync.Once
+	faultErr  error // written once before faultC closes
 }
 
 // Start binds the listener and begins accepting connections onto cont. The
@@ -112,10 +122,12 @@ func Start(cont container.Container, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{
-		cont:  cont,
-		cfg:   cfg,
-		ln:    ln,
-		conns: make(map[net.Conn]struct{}),
+		cont:   cont,
+		cfg:    cfg,
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+		dur:    cfg.Durable,
+		faultC: make(chan struct{}),
 	}
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
@@ -213,17 +225,32 @@ func (s *Server) untrack(c net.Conn) {
 // already-buffered frames remain parseable.
 var pastDeadline = time.Unix(1, 0)
 
+// connState is one connection's loop state: its pinned session, its two
+// reusable buffers, and the durability bookkeeping — the highest log
+// sequence number this connection appended but has not yet committed, and
+// whether the connection went dead (its buffered replies must never reach
+// the socket, because they would acknowledge writes that are not durable).
+type connState struct {
+	sess container.Session
+	r    *proto.Reader
+	w    *proto.Writer
+	pend uint64
+	dead bool
+}
+
 // serve owns one connection for its whole life: one goroutine, one pinned
 // Session, one Reader, one Writer. The loop is the hot path of the whole
 // serving stack; in steady state it allocates nothing.
 func (s *Server) serve(c net.Conn) {
 	defer s.connWG.Done()
-	sess := s.cont.NewSession()
-	r := proto.NewReader(c, s.cfg.ReadBuf)
-	w := proto.NewWriter(c, s.cfg.WriteBuf)
+	st := &connState{
+		sess: s.cont.NewSession(),
+		r:    proto.NewReader(c, s.cfg.ReadBuf),
+		w:    proto.NewWriter(c, s.cfg.WriteBuf),
+	}
 
 	for {
-		if s.cfg.IdleTimeout > 0 && r.Buffered() == 0 {
+		if s.cfg.IdleTimeout > 0 && st.r.Buffered() == 0 {
 			c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 			if s.draining.Load() {
 				// Close the arm/kick race: if Shutdown's kick landed between
@@ -231,29 +258,36 @@ func (s *Server) serve(c net.Conn) {
 				c.SetReadDeadline(pastDeadline)
 			}
 		}
-		req, err := r.ReadRequest()
+		req, err := st.r.ReadRequest()
 		if err != nil {
 			if errors.Is(err, proto.ErrMalformed) {
 				// The stream cannot be resynchronized; tell the peer why
 				// before hanging up. Replies already buffered still go out
-				// below.
+				// below — after their records are committed, if durable.
 				s.protoErrs.Add(1)
-				w.WriteErr(err.Error())
+				if s.dur == nil || s.commitPend(st) == nil {
+					st.w.WriteErr(err.Error())
+				}
 			}
 			break
 		}
-		if err := s.handle(req, sess, w); err != nil {
+		if err := s.handle(req, st); err != nil {
 			break
 		}
 		// Reply-batching rule: flush only when the read buffer runs dry —
 		// every request of a pipelined batch lands its reply in the write
-		// buffer first, then one flush answers the whole batch. While
+		// buffer first, then one flush answers the whole batch. With
+		// durability on, the batch's records are group-committed first:
+		// one fsync, then one flush, covers the whole batch. While
 		// draining, frames already buffered are still served (they were
 		// received before the drain), and the connection closes once the
 		// buffer empties.
-		if r.Buffered() == 0 {
+		if st.r.Buffered() == 0 {
+			if s.dur != nil && s.commitPend(st) != nil {
+				break
+			}
 			s.flushes.Add(1)
-			if err := w.Flush(); err != nil {
+			if err := st.w.Flush(); err != nil {
 				break
 			}
 			if s.draining.Load() {
@@ -262,42 +296,84 @@ func (s *Server) serve(c net.Conn) {
 		}
 	}
 
-	// Exit path, in conservation order: flush acknowledgements of every
-	// applied operation, then close the socket, then release the Session
-	// (returning its pooled Handle and letting the reclamation epoch
-	// advance past this goroutine).
-	c.SetWriteDeadline(time.Now().Add(flushTimeout))
-	s.flushes.Add(1)
-	w.Flush()
+	// Exit path, in conservation order: commit any records still pending,
+	// flush acknowledgements of every applied (and now durable) operation,
+	// then close the socket, then release the Session (returning its pooled
+	// Handle and letting the reclamation epoch advance past this goroutine).
+	// A dead connection skips the flush: its buffered replies would
+	// acknowledge writes the log could not make durable.
+	if s.dur != nil && !st.dead {
+		s.commitPend(st)
+	}
+	if !st.dead {
+		c.SetWriteDeadline(time.Now().Add(flushTimeout))
+		s.flushes.Add(1)
+		st.w.Flush()
+	}
 	c.Close()
-	sess.Close()
+	st.sess.Close()
 	s.untrack(c)
 	s.active.Add(-1)
 }
 
+// replyHeadroom is the largest non-bulk reply frame (13 bytes) with margin;
+// see the pre-commit guard in handle.
+const replyHeadroom = 32
+
 // handle applies one request to the session and buffers its reply. The
 // reply is buffered before handle returns, so an applied operation can
-// never miss its acknowledgement.
-func (s *Server) handle(req proto.Request, sess container.Session, w *proto.Writer) error {
+// never miss its acknowledgement — and with durability on, a reply never
+// reaches the socket before its record's commit group is fsynced.
+func (s *Server) handle(req proto.Request, st *connState) error {
+	if err := st.w.Err(); err != nil {
+		// The ack path is broken (a flush failed): applying more operations
+		// would change state this connection can never acknowledge. Stop
+		// immediately; everything acked so far was applied, everything
+		// applied was flushed before the writer died or dies with the
+		// conservation accounting intact.
+		return err
+	}
+	if s.dur != nil && st.pend > 0 {
+		// A full write buffer auto-flushes inside the reply write, which
+		// would put acks on the wire before their records are durable.
+		// Commit first when this reply might not fit (bulk STATS always
+		// forces it; the keyed replies are covered by replyHeadroom).
+		if req.Op == proto.OpStats || st.w.Buffered()+replyHeadroom > st.w.Cap() {
+			if err := s.commitPend(st); err != nil {
+				return err
+			}
+		}
+	}
 	s.served[req.Op].Add(1)
 	switch req.Op {
 	case proto.OpPing:
-		return w.WritePong()
+		return st.w.WritePong()
 	case proto.OpGet:
-		return w.WriteBool(sess.Get(int(req.Key)))
+		return st.w.WriteBool(st.sess.Get(int(req.Key)))
 	case proto.OpSet:
-		return w.WriteBool(sess.Insert(int(req.Key)))
+		if s.dur != nil {
+			return s.applyDurable(st, wal.OpInsert, req.Key)
+		}
+		return st.w.WriteBool(st.sess.Insert(int(req.Key)))
 	case proto.OpDel:
-		return w.WriteBool(sess.Delete(int(req.Key)))
+		if s.dur != nil {
+			return s.applyDurable(st, wal.OpDelete, req.Key)
+		}
+		return st.w.WriteBool(st.sess.Delete(int(req.Key)))
+	case proto.OpCount:
+		if n := st.sess.Count(int(req.Key)); n >= 0 {
+			return st.w.WriteInt(int64(n))
+		}
+		return st.w.WriteErr("server: container cannot count a single key")
 	case proto.OpSize:
-		return w.WriteInt(int64(s.cont.Size()))
+		return st.w.WriteInt(int64(s.cont.Size()))
 	case proto.OpStats:
 		var b strings.Builder
 		s.WriteMetrics(&b)
-		return w.WriteBulk([]byte(b.String()))
+		return st.w.WriteBulk([]byte(b.String()))
 	}
 	// Unreachable: the parser rejects unknown opcodes.
-	return w.WriteErr("server: unhandled op")
+	return st.w.WriteErr("server: unhandled op")
 }
 
 // Shutdown stops the server gracefully: it stops accepting, interrupts
@@ -358,7 +434,7 @@ func (s *Server) Metrics() Metrics {
 		ProtoErrors:   s.protoErrs.Load(),
 		ServedByOp:    make(map[string]int64),
 	}
-	for op := proto.OpPing; op <= proto.OpStats; op++ {
+	for op := proto.OpPing; op <= proto.OpCount; op++ {
 		if n := s.served[op].Load(); n > 0 {
 			m.ServedByOp[op.String()] = n
 		}
@@ -385,6 +461,14 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	sort.Strings(ops)
 	for _, op := range ops {
 		fmt.Fprintf(w, "server: op %-5s %d\n", op, m.ServedByOp[op])
+	}
+	if s.dur != nil {
+		lm := s.dur.Log.Metrics()
+		fmt.Fprintf(w, "wal: appends=%d commits=%d fsyncs=%d rotations=%d segments=%d last_lsn=%d durable_lsn=%d\n",
+			lm.Appends, lm.Commits, lm.Fsyncs, lm.Rotations, lm.Segments, lm.LastLSN, lm.Durable)
+		if err := s.Fault(); err != nil {
+			fmt.Fprintf(w, "wal: FAULT %v\n", err)
+		}
 	}
 	fmt.Fprintf(w, "container: size=%d\n", s.cont.Size())
 	eng := s.cont.EngineStats()

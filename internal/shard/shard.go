@@ -80,6 +80,18 @@ func (s *Sharded) ShardOf(key int) int {
 	return int((uint64(key) * fibMult) >> s.shift)
 }
 
+// Index is the routing function in pure form: the shard owning key under an
+// n-shard (power-of-two) partitioning. Recovery code uses it to re-route
+// keys recorded under a previous configuration — snapshot boundary LSNs are
+// per shard, so replay must route each logged key with the shard count the
+// snapshot was taken under, whatever the server runs with now.
+func Index(key int64, n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("shard: count %d is not a positive power of two", n))
+	}
+	return int((uint64(key) * fibMult) >> uint(64-bits.TrailingZeros(uint(n))))
+}
+
 // Shard returns shard i, for diagnostics and tests.
 func (s *Sharded) Shard(i int) container.Container { return s.shards[i] }
 
@@ -133,6 +145,26 @@ func (s *Sharded) Size() int {
 	return total
 }
 
+// Range walks every shard in index order. Key sets are disjoint across
+// shards by construction, so each key appears at most once per shard's own
+// consistency; cross-shard consistency needs an external barrier (see
+// internal/snapshot).
+func (s *Sharded) Range(fn func(key, count int) bool) {
+	stop := false
+	for _, c := range s.shards {
+		if stop {
+			return
+		}
+		c.Range(func(k, n int) bool {
+			if !fn(k, n) {
+				stop = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
 // session routes one worker's operations to its per-shard sessions.
 type session struct {
 	s    *Sharded
@@ -142,6 +174,7 @@ type session struct {
 func (w *session) Get(key int) bool    { return w.subs[w.s.ShardOf(key)].Get(key) }
 func (w *session) Insert(key int) bool { return w.subs[w.s.ShardOf(key)].Insert(key) }
 func (w *session) Delete(key int) bool { return w.subs[w.s.ShardOf(key)].Delete(key) }
+func (w *session) Count(key int) int   { return w.subs[w.s.ShardOf(key)].Count(key) }
 
 func (w *session) Close() {
 	for _, sub := range w.subs {

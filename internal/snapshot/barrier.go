@@ -1,0 +1,82 @@
+package snapshot
+
+import (
+	"fmt"
+	"sync"
+
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/shard"
+	"pragmaprim/internal/wal"
+)
+
+// Barrier coordinates writers with the snapshotter at shard granularity.
+// Every durable write holds its key's read lock across the apply+append
+// pair, making the pair atomic with respect to Take, which locks one shard
+// at a time. Writers to different shards never contend with each other
+// (separate RWMutexes), and while Take scans shard i, writes to every other
+// shard proceed — the stall is one shard wide and scan-long.
+type Barrier struct {
+	mus []sync.RWMutex
+}
+
+// NewBarrier returns a barrier over n partitions; n must be the container's
+// shard count (a power of two), or 1 for an unsharded container.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("snapshot: barrier over %d partitions, want a positive power of two", n))
+	}
+	return &Barrier{mus: make([]sync.RWMutex, n)}
+}
+
+// Shards returns the partition count.
+func (b *Barrier) Shards() int { return len(b.mus) }
+
+// RLockKey enters the write-side critical section for key: the caller may
+// apply the mutation and append its log record, then must RUnlockKey.
+func (b *Barrier) RLockKey(key int64) {
+	b.mus[shard.Index(key, len(b.mus))].RLock()
+}
+
+// RUnlockKey leaves the write-side critical section for key.
+func (b *Barrier) RUnlockKey(key int64) {
+	b.mus[shard.Index(key, len(b.mus))].RUnlock()
+}
+
+// Take captures a consistent snapshot of c against log. For a *shard.Sharded
+// whose count matches the barrier it locks, bounds and scans shard by
+// shard; otherwise the barrier must be 1-wide and the whole container is
+// scanned under the single lock.
+func Take(c container.Container, b *Barrier, log *wal.Log) (*Snapshot, error) {
+	n := b.Shards()
+	s := &Snapshot{
+		ShardCount: n,
+		Boundaries: make([]uint64, n),
+		Counts:     make(map[int64]int64),
+	}
+	if sh, ok := c.(*shard.Sharded); ok && sh.ShardCount() == n {
+		for i := 0; i < n; i++ {
+			b.mus[i].Lock()
+			// Every record for this shard is appended under RLockKey, so
+			// with the write lock held the shard has no in-flight appends:
+			// LastLSN cleanly separates scanned state from future records.
+			s.Boundaries[i] = log.LastLSN()
+			sh.Shard(i).Range(func(k, cnt int) bool {
+				s.Counts[int64(k)] = int64(cnt)
+				return true
+			})
+			b.mus[i].Unlock()
+		}
+		return s, nil
+	}
+	if n != 1 {
+		return nil, fmt.Errorf("snapshot: %d-wide barrier over a container with a different partitioning", n)
+	}
+	b.mus[0].Lock()
+	s.Boundaries[0] = log.LastLSN()
+	c.Range(func(k, cnt int) bool {
+		s.Counts[int64(k)] = int64(cnt)
+		return true
+	})
+	b.mus[0].Unlock()
+	return s, nil
+}

@@ -1,0 +1,95 @@
+package snapshot
+
+import (
+	"sync"
+	"time"
+
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/wal"
+)
+
+// Manager takes periodic snapshots and truncates the WAL behind them. A
+// snapshot failure is reported but not fatal — the log alone still carries
+// full durability; the only cost of a missed snapshot is replay length. The
+// manager goes quiet once the log reports a fault (the server is draining;
+// scanning a container that can no longer ack writes has no value).
+type Manager struct {
+	fs    wal.FS
+	dir   string
+	c     container.Container
+	b     *Barrier
+	log   *wal.Log
+	every time.Duration
+	onErr func(error)
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu    sync.Mutex
+	taken int
+	last  string
+}
+
+// StartManager begins snapshotting c into dir every interval. onErr, if
+// non-nil, receives snapshot failures. Close stops the loop.
+func StartManager(c container.Container, b *Barrier, log *wal.Log, fs wal.FS, dir string, every time.Duration, onErr func(error)) *Manager {
+	if fs == nil {
+		fs = wal.OS
+	}
+	m := &Manager{
+		fs: fs, dir: dir, c: c, b: b, log: log, every: every, onErr: onErr,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go m.loop()
+	return m
+}
+
+func (m *Manager) loop() {
+	defer close(m.done)
+	t := time.NewTicker(m.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			if m.log.Err() != nil {
+				return
+			}
+			m.Snapshot()
+		}
+	}
+}
+
+// Snapshot takes one snapshot now: capture, save, truncate the log behind
+// it. Safe to call concurrently with the periodic loop.
+func (m *Manager) Snapshot() {
+	s, err := Take(m.c, m.b, m.log)
+	if err == nil {
+		var name string
+		name, err = Save(m.fs, m.dir, s)
+		if err == nil {
+			m.mu.Lock()
+			m.taken++
+			m.last = name
+			m.mu.Unlock()
+			_, err = m.log.TruncateThrough(s.TruncLSN())
+		}
+	}
+	if err != nil && m.onErr != nil {
+		m.onErr(err)
+	}
+}
+
+// Stats returns how many snapshots were taken and the newest file name.
+func (m *Manager) Stats() (taken int, last string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.taken, m.last
+}
+
+// Close stops the periodic loop and waits for any in-flight snapshot.
+func (m *Manager) Close() {
+	close(m.stop)
+	<-m.done
+}

@@ -1,0 +1,84 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/shard"
+	"pragmaprim/internal/wal"
+)
+
+// RecoverStats reports what a recovery did, for the startup banner.
+type RecoverStats struct {
+	SnapshotFile string // "" when recovery started from an empty container
+	SnapshotKeys int    // keys loaded from the snapshot
+	Replayed     int    // log records applied past the snapshot boundaries
+	Skipped      int    // log records the snapshot already covered
+	Installed    int    // occurrences inserted into the container
+	LastLSN      uint64 // log position after recovery
+}
+
+// Recover rebuilds c from dir — newest valid snapshot first, then the WAL
+// records past each shard's boundary — and returns the opened log
+// positioned to append. c must be empty. Only applied mutations were ever
+// logged, so recovery accumulates commutative per-key deltas and installs
+// net counts; inter-key ordering, which per-shard appends do not preserve,
+// is irrelevant to the result. A negative final count means the snapshot
+// and log disagree — corruption, not a state to serve from.
+func Recover(c container.Container, dir string, opt wal.Options) (*wal.Log, RecoverStats, error) {
+	fs := opt.FS
+	if fs == nil {
+		fs = wal.OS
+	}
+	var stats RecoverStats
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, stats, fmt.Errorf("snapshot: mkdir: %w", err)
+	}
+
+	counts := make(map[int64]int64)
+	snap, name, err := LoadLatest(fs, dir)
+	switch {
+	case err == nil:
+		stats.SnapshotFile = name
+		stats.SnapshotKeys = len(snap.Counts)
+		for k, n := range snap.Counts {
+			counts[k] = n
+		}
+	case err == ErrNoSnapshot:
+		snap = nil
+	default:
+		return nil, stats, err
+	}
+
+	log, err := wal.Open(dir, opt, func(lsn uint64, op wal.Op, key int64) error {
+		if snap != nil && lsn <= snap.Boundaries[shard.Index(key, snap.ShardCount)] {
+			stats.Skipped++
+			return nil
+		}
+		stats.Replayed++
+		if op == wal.OpInsert {
+			counts[key]++
+		} else {
+			counts[key]--
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.LastLSN = log.LastLSN()
+
+	sess := c.NewSession()
+	defer sess.Close()
+	for k, n := range counts {
+		if n < 0 {
+			log.Close()
+			return nil, stats, fmt.Errorf("snapshot: recovery computed count %d for key %d: snapshot and log disagree", n, k)
+		}
+		for i := int64(0); i < n; i++ {
+			sess.Insert(int(k))
+			stats.Installed++
+		}
+	}
+	return log, stats, nil
+}

@@ -1,0 +1,205 @@
+// Package snapshot gives the durability layer its second half: consistent
+// point-in-time captures of a (possibly sharded) container that bound WAL
+// replay length and let old log segments be deleted.
+//
+// Consistency comes from composing two mechanisms. A Barrier of per-shard
+// RWMutexes makes each write's apply+append pair atomic with respect to the
+// scan: writers hold the shard's read lock for the pair, the snapshotter
+// takes the write lock shard by shard, records the log's last LSN as that
+// shard's boundary, and scans the quiescent shard. The scan itself runs
+// through Container.Range, which on the LLX/SCX structures walks under the
+// epoch protocol from internal/reclaim — so while shard i is being scanned,
+// every other shard keeps running full speed and may reclaim nodes, and the
+// scanner's guard keeps its traversal safe.
+//
+// Because a shard's boundary is the last LSN assigned before its scan, a
+// logged record is covered by the snapshot iff lsn <= boundary[shard(key)].
+// Replay filters per key with the shard count recorded in the snapshot
+// (shard.Index), so recovery is correct even if the server restarts with a
+// different shard count. Records are only ever applied mutations, so replay
+// is a commutative count accumulation — idempotence and ordering across
+// shards are non-issues by construction.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"pragmaprim/internal/wal"
+)
+
+const (
+	magic      = "PPSNAP1\x00"
+	filePrefix = "snap-"
+	fileSuffix = ".snap"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNoSnapshot is returned by LoadLatest when dir holds no valid snapshot.
+var ErrNoSnapshot = errors.New("snapshot: none found")
+
+// Snapshot is one point-in-time capture: per-key counts plus the per-shard
+// boundary LSNs that position it against the log.
+type Snapshot struct {
+	// ShardCount is the partitioning the boundaries were recorded under.
+	ShardCount int
+	// Boundaries[i] is the last LSN assigned before shard i was scanned:
+	// records with lsn <= Boundaries[shard.Index(key, ShardCount)] are
+	// reflected in Counts, later records are not.
+	Boundaries []uint64
+	// Counts maps each present key to its occurrence count.
+	Counts map[int64]int64
+}
+
+// TruncLSN returns the LSN through which the log is redundant given this
+// snapshot: the minimum boundary. Segments containing only records at or
+// below it can be deleted.
+func (s *Snapshot) TruncLSN() uint64 {
+	min := s.Boundaries[0]
+	for _, b := range s.Boundaries[1:] {
+		if b < min {
+			min = b
+		}
+	}
+	return min
+}
+
+func fileName(lsn uint64) string {
+	return fmt.Sprintf("%s%020d%s", filePrefix, lsn, fileSuffix)
+}
+
+func parseFileName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(filePrefix):len(name)-len(fileSuffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// encode renders the snapshot: magic, shard count, boundaries, entry count,
+// (key, count) pairs, and a trailing CRC32C over everything after the magic.
+func (s *Snapshot) encode() []byte {
+	size := len(magic) + 4 + 8*len(s.Boundaries) + 8 + 16*len(s.Counts) + 4
+	buf := make([]byte, 0, size)
+	buf = append(buf, magic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.ShardCount))
+	for _, b := range s.Boundaries {
+		buf = binary.BigEndian.AppendUint64(buf, b)
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(s.Counts)))
+	for k, n := range s.Counts {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(k))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(n))
+	}
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf[len(magic):], crcTable))
+}
+
+func decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic)+4+4 || string(data[:len(magic)]) != magic {
+		return nil, errors.New("snapshot: bad header")
+	}
+	body, tail := data[len(magic):len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(tail) {
+		return nil, errors.New("snapshot: checksum mismatch")
+	}
+	s := &Snapshot{ShardCount: int(binary.BigEndian.Uint32(body[:4]))}
+	if s.ShardCount <= 0 || s.ShardCount&(s.ShardCount-1) != 0 || len(body) < 4+8*s.ShardCount+8 {
+		return nil, errors.New("snapshot: bad shard count")
+	}
+	off := 4
+	s.Boundaries = make([]uint64, s.ShardCount)
+	for i := range s.Boundaries {
+		s.Boundaries[i] = binary.BigEndian.Uint64(body[off:])
+		off += 8
+	}
+	n := binary.BigEndian.Uint64(body[off:])
+	off += 8
+	if uint64(len(body)-off) != 16*n {
+		return nil, errors.New("snapshot: bad entry count")
+	}
+	s.Counts = make(map[int64]int64, n)
+	for i := uint64(0); i < n; i++ {
+		k := int64(binary.BigEndian.Uint64(body[off:]))
+		c := int64(binary.BigEndian.Uint64(body[off+8:]))
+		s.Counts[k] = c
+		off += 16
+	}
+	return s, nil
+}
+
+// Save writes the snapshot durably into dir: temp file, fsync, atomic
+// rename, directory sync. A crash at any point leaves either the previous
+// snapshot set or the previous set plus this complete one — never a partial
+// file under the final name.
+func Save(fs wal.FS, dir string, s *Snapshot) (string, error) {
+	name := fileName(s.TruncLSN())
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: create: %w", err)
+	}
+	data := s.encode()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return "", fmt.Errorf("snapshot: write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", fmt.Errorf("snapshot: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("snapshot: close: %w", err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return "", fmt.Errorf("snapshot: rename: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return "", fmt.Errorf("snapshot: sync dir: %w", err)
+	}
+	return name, nil
+}
+
+// LoadLatest returns the newest valid snapshot in dir, skipping over any
+// that fail validation (a torn rename target, a bitrotted file) in favor of
+// older ones. ErrNoSnapshot means recovery starts from an empty container.
+func LoadLatest(fs wal.FS, dir string) (*Snapshot, string, error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, "", fmt.Errorf("snapshot: list: %w", err)
+	}
+	var candidates []string
+	for _, name := range names {
+		if _, ok := parseFileName(name); ok {
+			candidates = append(candidates, name)
+		}
+	}
+	// fs.List sorts, and zero-padded LSN names sort chronologically.
+	for i := len(candidates) - 1; i >= 0; i-- {
+		name := candidates[i]
+		f, err := fs.Open(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		data, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		s, err := decode(data)
+		if err != nil {
+			continue // corrupt: fall back to the previous snapshot
+		}
+		return s, name, nil
+	}
+	return nil, "", ErrNoSnapshot
+}

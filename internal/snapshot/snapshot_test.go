@@ -1,0 +1,274 @@
+package snapshot
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/shard"
+	"pragmaprim/internal/wal"
+)
+
+func newSharded(n int) *shard.Sharded {
+	return shard.New(n, func(int) container.Container {
+		return container.Multiset(multiset.New[int]())
+	})
+}
+
+// durableOp mirrors the server's write path: apply and append atomically
+// under the key's barrier read lock, then commit outside it.
+func durableOp(t testing.TB, sess container.Session, b *Barrier, l *wal.Log, op wal.Op, key int64) uint64 {
+	t.Helper()
+	b.RLockKey(key)
+	var applied bool
+	if op == wal.OpInsert {
+		applied = sess.Insert(int(key))
+	} else {
+		applied = sess.Delete(int(key))
+	}
+	var lsn uint64
+	if applied {
+		var err error
+		lsn, err = l.Append(op, key)
+		if err != nil {
+			b.RUnlockKey(key)
+			t.Fatalf("append: %v", err)
+		}
+	}
+	b.RUnlockKey(key)
+	return lsn
+}
+
+func TestSnapshotFileRoundtrip(t *testing.T) {
+	fs := wal.NewMemFS()
+	want := &Snapshot{
+		ShardCount: 4,
+		Boundaries: []uint64{9, 12, 7, 11},
+		Counts:     map[int64]int64{1: 3, -5: 1, 1 << 40: 2},
+	}
+	name, err := Save(fs, "dir", want)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, gotName, err := LoadLatest(fs, "dir")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if gotName != name {
+		t.Fatalf("loaded %q, want %q", gotName, name)
+	}
+	if got.ShardCount != want.ShardCount || len(got.Counts) != len(want.Counts) {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	for i, b := range want.Boundaries {
+		if got.Boundaries[i] != b {
+			t.Fatalf("boundary %d = %d, want %d", i, got.Boundaries[i], b)
+		}
+	}
+	for k, n := range want.Counts {
+		if got.Counts[k] != n {
+			t.Fatalf("count[%d] = %d, want %d", k, got.Counts[k], n)
+		}
+	}
+	if got.TruncLSN() != 7 {
+		t.Fatalf("TruncLSN = %d, want 7", got.TruncLSN())
+	}
+}
+
+// TestSnapshotCorruptFallback pins that a damaged newest snapshot is skipped
+// in favor of an older valid one, and that no snapshot at all is a clean
+// ErrNoSnapshot.
+func TestSnapshotCorruptFallback(t *testing.T) {
+	fs := wal.NewMemFS()
+	if _, _, err := LoadLatest(fs, "dir"); err != ErrNoSnapshot {
+		t.Fatalf("empty dir: %v, want ErrNoSnapshot", err)
+	}
+	old := &Snapshot{ShardCount: 1, Boundaries: []uint64{5}, Counts: map[int64]int64{1: 1}}
+	if _, err := Save(fs, "dir", old); err != nil {
+		t.Fatalf("save old: %v", err)
+	}
+	newer := &Snapshot{ShardCount: 1, Boundaries: []uint64{9}, Counts: map[int64]int64{2: 2}}
+	newName, err := Save(fs, "dir", newer)
+	if err != nil {
+		t.Fatalf("save new: %v", err)
+	}
+	// Flip one byte in the newer file.
+	f, err := fs.Open(filepath.Join("dir", newName))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f.Seek(10, 0)
+	f.Write([]byte{0xff})
+	f.Close()
+
+	got, name, err := LoadLatest(fs, "dir")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if name == newName || got.Boundaries[0] != 5 {
+		t.Fatalf("loaded %q (boundary %d), want fallback to the older snapshot", name, got.Boundaries[0])
+	}
+}
+
+// TestRecoverSnapshotPlusTail is the full recovery composition on the MemFS
+// crash model: committed ops, a snapshot, more committed ops, uncommitted
+// ops, crash. Recovery must equal exactly the committed history, using the
+// snapshot for the prefix and the log for the tail — including when the
+// snapshot allowed segments to be truncated, and when the restart uses a
+// different shard count than the crashed process.
+func TestRecoverSnapshotPlusTail(t *testing.T) {
+	fs := wal.NewMemFS()
+	opt := wal.Options{FS: fs, SegmentBytes: 256}
+	c := newSharded(4)
+	b := NewBarrier(4)
+	l, err := wal.Open("dir", opt, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	sess := c.NewSession()
+
+	// Phase 1: committed and covered by the snapshot.
+	for k := int64(0); k < 20; k++ {
+		durableOp(t, sess, b, l, wal.OpInsert, k%10) // keys 0..9 get 2 each
+	}
+	durableOp(t, sess, b, l, wal.OpDelete, 3) // key 3: 1
+	if err := l.Commit(l.LastLSN()); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	snap, err := Take(c, b, l)
+	if err != nil {
+		t.Fatalf("take: %v", err)
+	}
+	if _, err := Save(fs, "dir", snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := l.TruncateThrough(snap.TruncLSN()); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	// Phase 2: committed tail past the snapshot.
+	durableOp(t, sess, b, l, wal.OpInsert, 100)
+	durableOp(t, sess, b, l, wal.OpDelete, 5) // key 5: 1
+	if err := l.Commit(l.LastLSN()); err != nil {
+		t.Fatalf("commit tail: %v", err)
+	}
+
+	// Phase 3: appended but never committed — never ackable, must vanish.
+	durableOp(t, sess, b, l, wal.OpInsert, 200)
+	durableOp(t, sess, b, l, wal.OpDelete, 0)
+
+	fs.Crash()
+	sess.Close()
+
+	// Restart with a DIFFERENT shard count: boundary filtering must use the
+	// recorded partitioning, not the new one.
+	c2 := newSharded(8)
+	l2, stats, err := Recover(c2, "dir", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer l2.Close()
+	if stats.SnapshotFile == "" {
+		t.Fatal("recovery did not use the snapshot")
+	}
+	want := map[int]int{100: 1, 3: 1, 5: 1}
+	for k := 0; k < 10; k++ {
+		if _, ok := want[k]; !ok {
+			want[k] = 2
+		}
+	}
+	got := map[int]int{}
+	c2.Range(func(k, n int) bool { got[k] = n; return true })
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("key %d recovered count %d, want %d", k, got[k], n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("recovered %d keys (%v), want %d", len(got), got, len(want))
+	}
+	if got, ok := got[200]; ok {
+		t.Errorf("uncommitted insert of key 200 survived with count %d", got)
+	}
+}
+
+// TestSnapshotUnderChurn is the consistency test for the barrier protocol:
+// snapshots race full-speed concurrent writers, and recovery from
+// snapshot+log must still land exactly on the writers' final applied state.
+// A torn scan — a snapshot observing an apply whose log record it then
+// double-counts, or missing one it assumed — would show up as a count skew.
+func TestSnapshotUnderChurn(t *testing.T) {
+	fs := wal.NewMemFS()
+	c := newSharded(4)
+	b := NewBarrier(4)
+	l, err := wal.Open("dir", wal.Options{FS: fs}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	const (
+		workers = 4
+		ops     = 400
+		keys    = 32
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := c.NewSession()
+			defer sess.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < ops; i++ {
+				key := int64(rng.Intn(keys))
+				op := wal.OpInsert
+				if rng.Intn(2) == 0 {
+					op = wal.OpDelete
+				}
+				durableOp(t, sess, b, l, op, key)
+			}
+		}(w)
+	}
+	// Snapshot continuously while the writers churn.
+	snapsDone := make(chan struct{})
+	go func() {
+		defer close(snapsDone)
+		for i := 0; i < 20; i++ {
+			s, err := Take(c, b, l)
+			if err != nil {
+				t.Errorf("take: %v", err)
+				return
+			}
+			if _, err := Save(fs, "dir", s); err != nil {
+				t.Errorf("save: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-snapsDone
+	if err := l.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	l.Close()
+
+	want := map[int]int{}
+	c.Range(func(k, n int) bool { want[k] = n; return true })
+
+	c2 := newSharded(4)
+	l2, _, err := Recover(c2, "dir", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer l2.Close()
+	got := map[int]int{}
+	c2.Range(func(k, n int) bool { got[k] = n; return true })
+	for k := 0; k < keys; k++ {
+		if got[k] != want[k] {
+			t.Errorf("key %d: recovered %d, live state had %d", k, got[k], want[k])
+		}
+	}
+}

@@ -209,6 +209,19 @@ func (s *Stack[T]) Len() (n int) {
 	return n
 }
 
+// Items returns the values seen by one traversal in LIFO order (top first):
+// exact when quiescent, weakly consistent under concurrency. Like Len it
+// walks under a single epoch guard, so no cell is reclaimed mid-scan.
+func (s *Stack[T]) Items() []T {
+	var out []T
+	template.Guarded(func() {
+		for c := s.top(); c != nil; c = c.next {
+			out = append(out, c.val)
+		}
+	})
+	return out
+}
+
 // Drain pops everything currently observable, returning values in LIFO
 // order. Intended for quiescent use in tests.
 func (s *Stack[T]) Drain() []T {

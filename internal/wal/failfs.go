@@ -1,0 +1,138 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrInjectedSync is the error FaultFS returns from Sync once armed.
+var ErrInjectedSync = errors.New("wal: injected fsync failure")
+
+// FaultFS wraps another FS and injects disk failures at chosen points:
+// fsync errors, short writes, and write latency. It also counts syncs and
+// writes so tests can assert amortization properties (one fsync per commit
+// group) rather than just survival. The zero configuration is transparent
+// pass-through; all knobs are safe to flip concurrently with I/O.
+type FaultFS struct {
+	inner FS
+
+	mu            sync.Mutex
+	syncs         int64 // file Syncs observed (successful or failed)
+	writes        int64 // Write calls observed
+	syncErrAfter  int64 // >0: that many Syncs succeed, then all fail
+	syncErrArmed  bool
+	shortWriteAt  int64 // >0: the Nth write from now is cut short and errors
+	shortArmed    bool
+	writeDelay    time.Duration
+}
+
+// NewFaultFS wraps inner with a transparent fault injector.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// SetSyncErrAfter arms the fsync failpoint: the next n Syncs succeed, and
+// every Sync after that returns ErrInjectedSync. n = 0 fails immediately.
+func (f *FaultFS) SetSyncErrAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErrArmed = true
+	f.syncErrAfter = n
+}
+
+// SetShortWriteAt arms the short-write failpoint: the nth Write call from
+// now (1-based) writes only half its payload and returns an error, modeling
+// a disk-full or I/O error mid-record.
+func (f *FaultFS) SetShortWriteAt(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortArmed = true
+	f.shortWriteAt = f.writes + n
+}
+
+// SetWriteDelay makes every Write sleep for d first — a latency spike.
+func (f *FaultFS) SetWriteDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeDelay = d
+}
+
+// Syncs returns the number of file Syncs observed so far.
+func (f *FaultFS) Syncs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// Writes returns the number of Write calls observed so far.
+func (f *FaultFS) Writes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) List(dir string) ([]string, error)       { return f.inner.List(dir) }
+func (f *FaultFS) Remove(name string) error                { return f.inner.Remove(name) }
+func (f *FaultFS) Rename(oldname, newname string) error    { return f.inner.Rename(oldname, newname) }
+func (f *FaultFS) MkdirAll(dir string) error               { return f.inner.MkdirAll(dir) }
+func (f *FaultFS) SyncDir(dir string) error                { return f.inner.SyncDir(dir) }
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error)          { return ff.inner.Read(p) }
+func (ff *faultFile) Seek(o int64, w int) (int64, error)  { return ff.inner.Seek(o, w) }
+func (ff *faultFile) Truncate(size int64) error           { return ff.inner.Truncate(size) }
+func (ff *faultFile) Close() error                        { return ff.inner.Close() }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	f.writes++
+	short := f.shortArmed && f.writes == f.shortWriteAt
+	delay := f.writeDelay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if short {
+		n, err := ff.inner.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, errors.New("wal: injected short write")
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	f.syncs++
+	fail := f.syncErrArmed && f.syncErrAfter <= 0
+	if f.syncErrArmed && f.syncErrAfter > 0 {
+		f.syncErrAfter--
+	}
+	f.mu.Unlock()
+	if fail {
+		return ErrInjectedSync
+	}
+	return ff.inner.Sync()
+}

@@ -1,0 +1,270 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FS is the file-system surface the durability layer runs on. Production
+// code uses the OS implementation (the package-level OS variable); tests use
+// MemFS for deterministic crash simulation and FaultFS to inject short
+// writes, fsync errors and latency. Keeping the surface this small is what
+// makes every failure mode injectable: the WAL and the snapshot writer touch
+// disk through nothing else.
+type FS interface {
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading and writing (the WAL reopens
+	// its tail segment read-write so replay can truncate a torn tail in
+	// place and keep appending after it).
+	Open(name string) (File, error)
+	// List returns the names (not paths) of the entries of dir, sorted.
+	List(dir string) ([]string, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// SyncDir makes directory-level operations (create, rename, remove)
+	// durable where the platform requires it.
+	SyncDir(dir string) error
+}
+
+// File is one open file. The WAL uses sequential reads, appending writes,
+// Truncate for torn tails, and Sync as the durability point.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file's data to stable storage. Everything written
+	// before a successful Sync survives a crash; bytes written after the
+	// last Sync may be lost or torn.
+	Sync() error
+	// Truncate cuts the file to size bytes. It does not move the offset.
+	Truncate(size int64) error
+}
+
+// OS is the real file system.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Open(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR, 0o644)
+}
+
+func (osFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Remove(name string) error            { return os.Remove(name) }
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) MkdirAll(dir string) error           { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// MemFS is an in-memory FS with explicit durability semantics: each file
+// tracks how much of its content has been Synced, and Crash drops every
+// unsynced suffix — the exact torn-tail behavior a kill -9 exposes on a real
+// disk. Tests build a log over a MemFS, Crash it mid-run, and replay what a
+// real recovery would see, deterministically and without touching disk.
+//
+// MemFS is safe for concurrent use. Directory-level operations (Create,
+// Rename, Remove) are treated as immediately durable; the OS implementation
+// pairs them with SyncDir instead.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	mu      sync.Mutex
+	data    []byte
+	durable int // bytes guaranteed to survive Crash
+}
+
+// NewMemFS returns an empty in-memory file system.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+// Crash simulates a machine crash: every file loses the bytes written since
+// its last Sync. Open handles keep working (the process "restarted").
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.mu.Lock()
+		f.data = f.data[:f.durable]
+		f.mu.Unlock()
+	}
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[filepath.Clean(name)] = f
+	return &memHandle{f: f}, nil
+}
+
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[filepath.Clean(name)]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return &memHandle{f: f}, nil
+}
+
+func (m *MemFS) List(dir string) ([]string, error) {
+	dir = filepath.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for path := range m.files {
+		if filepath.Dir(path) == dir {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldname, newname = filepath.Clean(oldname), filepath.Clean(newname)
+	f, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+func (m *MemFS) MkdirAll(string) error  { return nil }
+func (m *MemFS) SyncDir(string) error   { return nil }
+
+// memHandle is one open handle onto a memFile, with its own offset.
+type memHandle struct {
+	f      *memFile
+	pos    int64
+	closed bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	if h.pos >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	h.pos += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	if h.closed {
+		return 0, fmt.Errorf("memfs: write on closed file")
+	}
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	end := h.pos + int64(len(p))
+	if end > int64(len(h.f.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	copy(h.f.data[h.pos:end], p)
+	h.pos = end
+	return len(p), nil
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		h.pos = offset
+	case io.SeekCurrent:
+		h.pos += offset
+	case io.SeekEnd:
+		h.pos = int64(len(h.f.data)) + offset
+	default:
+		return 0, fmt.Errorf("memfs: bad whence %d", whence)
+	}
+	if h.pos < 0 {
+		return 0, fmt.Errorf("memfs: negative offset")
+	}
+	return h.pos, nil
+}
+
+func (h *memHandle) Sync() error {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	h.f.durable = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	if size < 0 || size > int64(len(h.f.data)) {
+		if size < 0 {
+			return fmt.Errorf("memfs: negative truncate size")
+		}
+		return nil // growing truncate not needed by the WAL
+	}
+	h.f.data = h.f.data[:size]
+	if h.f.durable > int(size) {
+		h.f.durable = int(size)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// frame builds one well-formed record frame for seeds and oracles.
+func frame(op Op, key int64) []byte {
+	var b [frameSize]byte
+	binary.BigEndian.PutUint32(b[:4], payloadLen)
+	b[8] = byte(op)
+	binary.BigEndian.PutUint64(b[9:], uint64(key))
+	binary.BigEndian.PutUint32(b[4:8], crc32.Checksum(b[8:], crcTable))
+	return b[:]
+}
+
+// FuzzReplay throws arbitrary bytes at the record scanner — the exact code
+// path recovery runs over a crashed segment's content — and checks it never
+// panics, never over-consumes, and only reports frames that byte-for-byte
+// re-encode to the input. Seeds cover the interesting shapes: a valid log,
+// a truncated header, a corrupted CRC, a torn tail and an over-length
+// record. The checked-in corpus lives in testdata/fuzz/FuzzReplay.
+func FuzzReplay(f *testing.F) {
+	valid := append(frame(OpInsert, 7), frame(OpDelete, -1)...)
+	f.Add(valid)                                  // clean two-record log
+	f.Add(valid[:5])                              // truncated header
+	f.Add(append(frame(OpInsert, 0), 0, 0, 0)) // torn tail after a good frame
+	badCRC := frame(OpInsert, 9)
+	badCRC[5] ^= 0xff
+	f.Add(badCRC)
+	over := frame(OpInsert, 1)
+	binary.BigEndian.PutUint32(over[:4], 1<<30) // over-length record
+	f.Add(over)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var recs []rec
+		lastLSN := uint64(0)
+		consumed, err := scanRecords(data, 1, func(lsn uint64, op Op, key int64) error {
+			recs = append(recs, rec{lsn, op, key})
+			lastLSN = lsn
+			return nil
+		})
+		if consumed < 0 || consumed > int64(len(data)) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		if consumed%frameSize != 0 {
+			t.Fatalf("consumed %d bytes, not a frame multiple", consumed)
+		}
+		if int64(len(recs))*frameSize != consumed {
+			t.Fatalf("%d records from %d consumed bytes", len(recs), consumed)
+		}
+		if err == nil && consumed != int64(len(data)) {
+			t.Fatalf("clean scan stopped at %d of %d bytes", consumed, len(data))
+		}
+		if len(recs) > 0 && lastLSN != uint64(len(recs)) {
+			t.Fatalf("last LSN %d for %d records from base 1", lastLSN, len(recs))
+		}
+		// Every accepted record must re-encode to exactly the bytes scanned:
+		// the parser accepts nothing a writer could not have produced.
+		for i, r := range recs {
+			start := i * frameSize
+			got := frame(r.op, r.key)
+			for j := range got {
+				if got[j] != data[start+j] {
+					t.Fatalf("record %d re-encodes differently at byte %d", i, j)
+				}
+			}
+		}
+	})
+}

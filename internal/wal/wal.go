@@ -1,0 +1,528 @@
+// Package wal is the write-ahead log behind the KV server's durability
+// contract: a mutation is acknowledged only after its record is part of a
+// committed (fsynced) group. Records are fixed-size, length-prefixed and
+// CRC32C-framed; segments rotate at a size threshold and are named by the
+// LSN of their first record so snapshot-bounded truncation is a directory
+// scan. Group commit amortizes one fsync over every record appended during
+// the commit window, which is what keeps the pipelined SET hot path
+// allocation-free and fsync-bounded per batch rather than per op.
+//
+// Replay is torn-tail tolerant: a crash can leave a partial frame after the
+// last fsync, and Open truncates the tail segment at the first bad frame
+// and continues appending there. A bad frame in any earlier segment is hard
+// corruption (those bytes were covered by an fsync) and fails recovery.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op is the kind of logged mutation. Only applied mutations are logged, so
+// replay is a pure count accumulation: order between keys is irrelevant and
+// records for one key commute into a net count.
+type Op uint8
+
+const (
+	OpInsert Op = 1
+	OpDelete Op = 2
+)
+
+// Frame layout: 4-byte big-endian payload length, 4-byte CRC32C of the
+// payload, then the payload itself (1-byte op + 8-byte big-endian key).
+const (
+	frameHeader = 8                        // length + crc
+	payloadLen  = 9                        // op + key
+	frameSize   = frameHeader + payloadLen // 17 bytes per record
+)
+
+// Segment file layout: a 16-byte header (magic + big-endian first LSN),
+// then frames. Files are named wal-<firstLSN, zero-padded>.seg.
+const (
+	segMagic      = "PPWAL01\x00"
+	segHeaderSize = 16
+	segPrefix     = "wal-"
+	segSuffix     = ".seg"
+)
+
+var (
+	// ErrClosed is returned by Append/Commit after Close.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrCorrupt reports a bad frame in a non-tail position — bytes that a
+	// previous fsync claimed durable. Recovery must not guess past it.
+	ErrCorrupt = errors.New("wal: corrupt record before log tail")
+
+	crcTable = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// Options configures Open. The zero value uses the real file system, a
+// 16 MiB segment threshold and no commit window (every Commit leader syncs
+// immediately; grouping still happens across appends that raced in).
+type Options struct {
+	// FS is the file system to run on; nil means the OS.
+	FS FS
+	// SegmentBytes is the size at which the active segment is sealed and a
+	// new one started, checked at commit boundaries. 0 means 16 MiB.
+	SegmentBytes int64
+	// FsyncInterval is the group-commit window: the commit leader waits
+	// this long (releasing the log to appenders) before syncing, so
+	// concurrent connections share one fsync. 0 syncs immediately.
+	FsyncInterval time.Duration
+}
+
+// Metrics is a point-in-time snapshot of the log's counters.
+type Metrics struct {
+	Appends   int64  // records appended
+	Commits   int64  // commit groups (equals fsync batches on the data path)
+	Fsyncs    int64  // data fsyncs issued by commit leaders
+	Rotations int64  // segments sealed
+	Truncated int64  // segments deleted by TruncateThrough
+	LastLSN   uint64 // highest assigned LSN
+	Durable   uint64 // highest LSN covered by a successful fsync
+	Segments  int    // live segment files
+}
+
+type segInfo struct {
+	name  string
+	first uint64
+}
+
+// Log is the write-ahead log. Append and Commit are safe for concurrent use
+// by any number of connections; one commit leader performs I/O at a time
+// while appenders keep filling the next buffer (double buffering).
+type Log struct {
+	fs   FS
+	dir  string
+	opt  Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	err     error  // sticky: first I/O failure or ErrClosed
+	buf     []byte // frames appended but not yet handed to a leader
+	spare   []byte // recycled batch buffer
+	nextLSN uint64 // next LSN to assign
+	durable uint64 // all LSNs <= durable are fsynced
+	syncing bool   // a commit leader is in its I/O section
+
+	active     File
+	activeSize int64
+	segs       []segInfo // includes the active segment (last entry)
+
+	appends, commits, fsyncs, rotations, truncated int64
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, first, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Open replays the log under dir (creating it if needed) and returns a Log
+// positioned to append after the last valid record. fn, if non-nil, is
+// called once per recovered record in LSN order. A torn tail — a bad frame
+// at the end of the newest segment — is truncated and replay succeeds; a
+// bad frame anywhere else fails with ErrCorrupt.
+func Open(dir string, opt Options, fn func(lsn uint64, op Op, key int64) error) (*Log, error) {
+	if opt.FS == nil {
+		opt.FS = OS
+	}
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = 16 << 20
+	}
+	l := &Log{fs: opt.FS, dir: dir, opt: opt, nextLSN: 1}
+	l.cond = sync.NewCond(&l.mu)
+
+	if err := l.fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	names, err := l.fs.List(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	for _, name := range names {
+		if first, ok := parseSegName(name); ok {
+			l.segs = append(l.segs, segInfo{name: name, first: first})
+		}
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].first < l.segs[j].first })
+
+	if len(l.segs) == 0 {
+		if err := l.createSegment(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	// Snapshot-bounded truncation deletes leading segments, so the log may
+	// start past LSN 1; records before that are covered by a snapshot.
+	l.nextLSN = l.segs[0].first
+	for i, seg := range l.segs {
+		last := i == len(l.segs)-1
+		if err := l.replaySegment(seg, last, fn); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// replaySegment scans one segment, feeding records to fn. For the tail
+// segment it truncates at the first bad frame and leaves the file open for
+// appending; for earlier segments any bad frame is ErrCorrupt.
+func (l *Log) replaySegment(seg segInfo, tail bool, fn func(uint64, Op, int64) error) error {
+	path := filepath.Join(l.dir, seg.name)
+	f, err := l.fs.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: open %s: %w", seg.name, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: read %s: %w", seg.name, err)
+	}
+	if len(data) < segHeaderSize || string(data[:len(segMagic)]) != segMagic {
+		f.Close()
+		return fmt.Errorf("wal: %s: bad segment header", seg.name)
+	}
+	if first := binary.BigEndian.Uint64(data[len(segMagic):segHeaderSize]); first != seg.first {
+		f.Close()
+		return fmt.Errorf("wal: %s: header LSN %d does not match name", seg.name, first)
+	}
+	if seg.first != l.nextLSN {
+		f.Close()
+		return fmt.Errorf("wal: %s starts at LSN %d, want %d (gap or overlap)", seg.name, seg.first, l.nextLSN)
+	}
+	consumed, scanErr := scanRecords(data[segHeaderSize:], seg.first, func(lsn uint64, op Op, key int64) error {
+		l.nextLSN = lsn + 1
+		if fn != nil {
+			return fn(lsn, op, key)
+		}
+		return nil
+	})
+	if scanErr != nil && !errors.Is(scanErr, errTorn) {
+		f.Close()
+		return scanErr // replay callback error
+	}
+	if scanErr != nil && !tail {
+		f.Close()
+		return fmt.Errorf("wal: %s offset %d: %w", seg.name, segHeaderSize+consumed, ErrCorrupt)
+	}
+	if !tail {
+		f.Close()
+		return nil
+	}
+	// Tail segment: drop any torn suffix and keep appending here.
+	end := segHeaderSize + consumed
+	if end < int64(len(data)) {
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: truncate torn tail of %s: %w", seg.name, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: sync truncated %s: %w", seg.name, err)
+		}
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: seek %s: %w", seg.name, err)
+	}
+	l.active = f
+	l.activeSize = end
+	l.durable = l.nextLSN - 1
+	return nil
+}
+
+// errTorn marks a frame that does not parse — truncated, corrupt, or
+// nonsensical. At the log tail it means "crash mid-write"; earlier it means
+// corruption.
+var errTorn = errors.New("wal: torn or corrupt frame")
+
+// scanRecords walks the frames in data (segment content past the header),
+// calling fn with ascending LSNs starting at firstLSN. It returns the
+// number of bytes consumed by valid frames and errTorn if the remainder is
+// not a clean end-of-data, or fn's error, propagated immediately.
+func scanRecords(data []byte, firstLSN uint64, fn func(lsn uint64, op Op, key int64) error) (int64, error) {
+	var off int64
+	lsn := firstLSN
+	for int64(len(data))-off >= frameHeader {
+		rest := data[off:]
+		plen := binary.BigEndian.Uint32(rest[:4])
+		if plen != payloadLen { // over-length, zero, or garbage
+			return off, errTorn
+		}
+		if int64(len(rest)) < frameHeader+int64(plen) {
+			return off, errTorn // truncated payload
+		}
+		payload := rest[frameHeader : frameHeader+plen]
+		if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(rest[4:8]) {
+			return off, errTorn
+		}
+		op := Op(payload[0])
+		if op != OpInsert && op != OpDelete {
+			return off, errTorn
+		}
+		key := int64(binary.BigEndian.Uint64(payload[1:9]))
+		if fn != nil {
+			if err := fn(lsn, op, key); err != nil {
+				return off, err
+			}
+		}
+		off += frameSize
+		lsn++
+	}
+	if off != int64(len(data)) {
+		return off, errTorn // trailing partial header
+	}
+	return off, nil
+}
+
+// createSegment starts a new active segment whose first record will be
+// first. Called with l.mu held (or before the log is shared).
+func (l *Log) createSegment(first uint64) error {
+	name := segName(first)
+	f, err := l.fs.Create(filepath.Join(l.dir, name))
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", name, err)
+	}
+	var hdr [segHeaderSize]byte
+	copy(hdr[:], segMagic)
+	binary.BigEndian.PutUint64(hdr[len(segMagic):], first)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write %s header: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync %s: %w", name, err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	if l.active != nil {
+		l.active.Close()
+	}
+	l.active = f
+	l.activeSize = segHeaderSize
+	l.segs = append(l.segs, segInfo{name: name, first: first})
+	return nil
+}
+
+// Append buffers one record and returns its LSN. The record is NOT durable
+// until a Commit covering the LSN returns nil. Append is allocation-free in
+// steady state: the frame is encoded into a reused batch buffer.
+func (l *Log) Append(op Op, key int64) (uint64, error) {
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return 0, err
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	// Encode in place: extending with append(make(...)) compiles to a
+	// zeroing grow with no temporary, so warm batches never allocate.
+	n := len(l.buf)
+	l.buf = append(l.buf, make([]byte, frameSize)...)
+	b := l.buf[n : n+frameSize]
+	binary.BigEndian.PutUint32(b[:4], payloadLen)
+	b[8] = byte(op)
+	binary.BigEndian.PutUint64(b[9:], uint64(key))
+	binary.BigEndian.PutUint32(b[4:8], crc32.Checksum(b[8:], crcTable))
+	l.appends++
+	l.mu.Unlock()
+	return lsn, nil
+}
+
+// Commit blocks until every record up to and including lsn is fsynced, or
+// the log has failed. One caller becomes the group leader and performs the
+// write+fsync for everything buffered (optionally after the FsyncInterval
+// window, during which further appends join the group); the rest wait on
+// the result. A nil return is the durability guarantee behind every ack.
+func (l *Log) Commit(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.err == nil && l.durable < lsn {
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.leaderSync()
+	}
+	if l.err != nil && l.durable >= lsn {
+		// The record made it to disk before the log failed; the ack is
+		// still sound even though the log is now dead.
+		return nil
+	}
+	return l.err
+}
+
+// leaderSync runs one commit group. Called with l.mu held; returns with
+// l.mu held. The I/O section runs unlocked so appenders make progress.
+func (l *Log) leaderSync() {
+	l.syncing = true
+	if w := l.opt.FsyncInterval; w > 0 {
+		// The grouping window: let concurrent connections pile appends into
+		// this group so the fsync below covers them all.
+		l.mu.Unlock()
+		time.Sleep(w)
+		l.mu.Lock()
+	}
+	batch := l.buf
+	upTo := l.nextLSN - 1
+	l.buf = l.spare[:0]
+	active := l.active
+	l.mu.Unlock()
+
+	var ioErr error
+	synced := false
+	if len(batch) > 0 {
+		if _, err := active.Write(batch); err != nil {
+			ioErr = err
+		}
+	}
+	if ioErr == nil {
+		synced = true
+		if err := active.Sync(); err != nil {
+			ioErr = err
+		}
+	}
+
+	l.mu.Lock()
+	l.spare = batch[:0]
+	if synced {
+		l.fsyncs++
+	}
+	l.commits++
+	if ioErr != nil {
+		if l.err == nil {
+			l.err = fmt.Errorf("wal: commit: %w", ioErr)
+		}
+	} else {
+		l.durable = upTo
+		l.activeSize += int64(len(batch))
+		if l.activeSize >= l.opt.SegmentBytes {
+			if err := l.createSegment(l.durable + 1); err != nil {
+				if l.err == nil {
+					l.err = err
+				}
+			} else {
+				l.rotations++
+			}
+		}
+	}
+	l.syncing = false
+	l.cond.Broadcast()
+}
+
+// Sync forces everything appended so far to disk — a full-log Commit.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	lsn := l.nextLSN - 1
+	l.mu.Unlock()
+	return l.Commit(lsn)
+}
+
+// TruncateThrough deletes sealed segments that only contain records with
+// LSN <= lsn — safe once a snapshot at lsn is durable. The active segment
+// is never deleted. Returns the number of segments removed.
+func (l *Log) TruncateThrough(lsn uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	for len(l.segs) > 1 && l.segs[1].first <= lsn+1 {
+		seg := l.segs[0]
+		if err := l.fs.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+			return removed, fmt.Errorf("wal: truncate %s: %w", seg.name, err)
+		}
+		l.segs = l.segs[1:]
+		removed++
+		l.truncated++
+	}
+	if removed > 0 {
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return removed, fmt.Errorf("wal: sync dir: %w", err)
+		}
+	}
+	return removed, nil
+}
+
+// LastLSN returns the highest LSN assigned so far (0 if none).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// DurableLSN returns the highest LSN covered by a successful fsync.
+func (l *Log) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// Err returns the sticky error, if the log has failed (nil otherwise).
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if errors.Is(l.err, ErrClosed) {
+		return nil
+	}
+	return l.err
+}
+
+// Metrics returns a snapshot of the log's counters.
+func (l *Log) Metrics() Metrics {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Metrics{
+		Appends:   l.appends,
+		Commits:   l.commits,
+		Fsyncs:    l.fsyncs,
+		Rotations: l.rotations,
+		Truncated: l.truncated,
+		LastLSN:   l.nextLSN - 1,
+		Durable:   l.durable,
+		Segments:  len(l.segs),
+	}
+}
+
+// Close flushes and fsyncs any buffered records, then closes the log.
+// Append/Commit after Close return ErrClosed.
+func (l *Log) Close() error {
+	syncErr := l.Sync()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.err == nil {
+		l.err = ErrClosed
+	}
+	var closeErr error
+	if l.active != nil {
+		closeErr = l.active.Close()
+		l.active = nil
+	}
+	if syncErr != nil && !errors.Is(syncErr, ErrClosed) {
+		return syncErr
+	}
+	return closeErr
+}

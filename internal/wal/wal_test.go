@@ -1,0 +1,397 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+type rec struct {
+	lsn uint64
+	op  Op
+	key int64
+}
+
+// replayAll opens dir and returns every recovered record.
+func replayAll(t *testing.T, dir string, opt Options) (*Log, []rec) {
+	t.Helper()
+	var got []rec
+	l, err := Open(dir, opt, func(lsn uint64, op Op, key int64) error {
+		got = append(got, rec{lsn, op, key})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return l, got
+}
+
+func TestLogRoundtrip(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("wal", Options{FS: fs}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	want := []rec{
+		{1, OpInsert, 7},
+		{2, OpInsert, -3},
+		{3, OpDelete, 7},
+	}
+	for _, r := range want {
+		lsn, err := l.Append(r.op, r.key)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if lsn != r.lsn {
+			t.Fatalf("append lsn = %d, want %d", lsn, r.lsn)
+		}
+	}
+	if err := l.Commit(3); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if got := l.DurableLSN(); got != 3 {
+		t.Fatalf("durable = %d, want 3", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l2, got := replayAll(t, "wal", Options{FS: fs})
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got := l2.LastLSN(); got != 3 {
+		t.Fatalf("LastLSN after replay = %d, want 3", got)
+	}
+}
+
+// TestLogCrashDropsUncommitted pins the core durability contract on the
+// MemFS crash model: records committed before the crash survive; records
+// merely appended do not — and they were never ackable, because Commit
+// never returned nil for them.
+func TestLogCrashDropsUncommitted(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("wal", Options{FS: fs}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for k := int64(0); k < 5; k++ {
+		l.Append(OpInsert, k)
+	}
+	if err := l.Commit(5); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	for k := int64(5); k < 9; k++ {
+		l.Append(OpInsert, k)
+	}
+	// Kill -9: the four uncommitted records are lost with the page cache.
+	fs.Crash()
+
+	l2, got := replayAll(t, "wal", Options{FS: fs})
+	if len(got) != 5 {
+		t.Fatalf("replayed %d records, want the 5 committed ones: %v", len(got), got)
+	}
+	// The log keeps appending after the lost tail; LSNs continue from the
+	// durable prefix.
+	lsn, err := l2.Append(OpDelete, 0)
+	if err != nil {
+		t.Fatalf("append after crash: %v", err)
+	}
+	if lsn != 6 {
+		t.Fatalf("post-crash lsn = %d, want 6", lsn)
+	}
+	if err := l2.Commit(lsn); err != nil {
+		t.Fatalf("commit after crash: %v", err)
+	}
+	l2.Close()
+
+	_, got = replayAll(t, "wal", Options{FS: fs})
+	if len(got) != 6 || got[5] != (rec{6, OpDelete, 0}) {
+		t.Fatalf("second recovery = %v, want 6 records ending in delete", got)
+	}
+}
+
+// TestLogTornTailTruncated writes durable garbage after the last valid
+// frame — the shape a torn in-flight write leaves — and checks replay
+// truncates at the first bad frame and the segment stays appendable.
+func TestLogTornTailTruncated(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("wal", Options{FS: fs}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	l.Append(OpInsert, 1)
+	l.Append(OpInsert, 2)
+	if err := l.Commit(2); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	l.Close()
+
+	// Tear the tail: a partial frame of plausible-looking bytes.
+	f, err := fs.Open(filepath.Join("wal", segName(1)))
+	if err != nil {
+		t.Fatalf("open segment: %v", err)
+	}
+	f.Seek(0, 2)
+	f.Write([]byte{0, 0, 0, 9, 0xde, 0xad})
+	f.Sync()
+	f.Close()
+
+	l2, got := replayAll(t, "wal", Options{FS: fs})
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2: %v", len(got), got)
+	}
+	// The torn bytes are physically gone; a fresh append lands cleanly.
+	if lsn, err := l2.Append(OpInsert, 3); err != nil || lsn != 3 {
+		t.Fatalf("append after torn tail: lsn=%d err=%v", lsn, err)
+	}
+	if err := l2.Commit(3); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	l2.Close()
+	_, got = replayAll(t, "wal", Options{FS: fs})
+	if len(got) != 3 {
+		t.Fatalf("recovery after repair = %v, want 3 records", got)
+	}
+}
+
+// TestLogCorruptMiddleFails pins that a bad frame before the tail — bytes a
+// past fsync claimed durable — is hard corruption, not a silent truncation
+// that would drop acked records after it.
+func TestLogCorruptMiddleFails(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("wal", Options{FS: fs, SegmentBytes: segHeaderSize + 2*frameSize}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for k := int64(1); k <= 6; k++ {
+		l.Append(OpInsert, k)
+		if err := l.Commit(uint64(k)); err != nil {
+			t.Fatalf("commit %d: %v", k, err)
+		}
+	}
+	if l.Metrics().Segments < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", l.Metrics().Segments)
+	}
+	l.Close()
+
+	// Flip a byte inside the FIRST segment's first record payload.
+	f, err := fs.Open(filepath.Join("wal", segName(1)))
+	if err != nil {
+		t.Fatalf("open segment: %v", err)
+	}
+	f.Seek(segHeaderSize+frameHeader, 0)
+	f.Write([]byte{0xff})
+	f.Sync()
+	f.Close()
+
+	_, err = Open("wal", Options{FS: fs}, nil)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over corrupt middle = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLogRotationAndTruncate(t *testing.T) {
+	fs := NewMemFS()
+	// Two records per segment.
+	opt := Options{FS: fs, SegmentBytes: segHeaderSize + 2*frameSize}
+	l, err := Open("wal", opt, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for k := int64(1); k <= 10; k++ {
+		l.Append(OpInsert, k)
+		if err := l.Commit(uint64(k)); err != nil {
+			t.Fatalf("commit %d: %v", k, err)
+		}
+	}
+	m := l.Metrics()
+	// Five full segments plus the empty active one opened at rotation.
+	if m.Segments != 6 {
+		t.Fatalf("segments = %d, want 6", m.Segments)
+	}
+	// A snapshot at LSN 5 makes records 1..5 redundant: segments [1,2] and
+	// [3,4] are fully covered and deletable; [5,6] still holds LSN 6.
+	n, err := l.TruncateThrough(5)
+	if err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("truncated %d segments, want 2", n)
+	}
+	l.Close()
+
+	l2, got := replayAll(t, "wal", opt)
+	defer l2.Close()
+	if len(got) != 6 || got[0].lsn != 5 {
+		t.Fatalf("replay after truncation = %v, want LSNs 5..10", got)
+	}
+}
+
+// TestLogGroupCommitOneFsync is the fsync-amortization pin: a pipelined
+// batch of appends followed by one Commit costs exactly one data fsync,
+// regardless of batch size.
+func TestLogGroupCommitOneFsync(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	l, err := Open("wal", Options{FS: ffs}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+
+	const batch = 128
+	base := ffs.Syncs()
+	var last uint64
+	for k := int64(0); k < batch; k++ {
+		last, err = l.Append(OpInsert, k)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := l.Commit(last); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if got := ffs.Syncs() - base; got != 1 {
+		t.Fatalf("%d-record commit group cost %d fsyncs, want exactly 1", batch, got)
+	}
+}
+
+// TestLogGroupCommitConcurrent drives many committing goroutines and checks
+// the leader/follower protocol amortizes: far fewer fsyncs than commits,
+// and every commit that returned nil is durable on replay.
+func TestLogGroupCommitConcurrent(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	l, err := Open("wal", Options{FS: ffs, FsyncInterval: time.Millisecond}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	const (
+		workers = 8
+		perW    = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				lsn, err := l.Append(OpInsert, int64(w*perW+i))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if err := l.Commit(lsn); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m := l.Metrics()
+	if m.Fsyncs >= workers*perW/2 {
+		t.Errorf("fsyncs = %d for %d committed appends; group commit is not amortizing", m.Fsyncs, workers*perW)
+	}
+	l.Close()
+
+	_, got := replayAll(t, "wal", Options{FS: ffs})
+	if len(got) != workers*perW {
+		t.Fatalf("replayed %d records, want %d", len(got), workers*perW)
+	}
+}
+
+// TestLogFsyncErrorSticky pins graceful degradation: once an fsync fails,
+// the commit errors, no later append is accepted, and Err reports the
+// fault — the server's cue to stop acking and drain.
+func TestLogFsyncErrorSticky(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	l, err := Open("wal", Options{FS: ffs}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	lsn, _ := l.Append(OpInsert, 1)
+	if err := l.Commit(lsn); err != nil {
+		t.Fatalf("healthy commit: %v", err)
+	}
+
+	ffs.SetSyncErrAfter(0)
+	lsn, err = l.Append(OpInsert, 2)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Commit(lsn); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("commit under fsync failure = %v, want injected error", err)
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() = nil after fsync failure")
+	}
+	if _, err := l.Append(OpInsert, 3); err == nil {
+		t.Fatal("append accepted after log failure")
+	}
+	// A commit for an already-durable LSN is still a valid ack.
+	if err := l.Commit(1); err != nil {
+		t.Fatalf("commit of durable prefix after failure = %v, want nil", err)
+	}
+}
+
+// TestLogShortWriteSticky pins the same degradation for a write error
+// mid-record: the group fails, nothing past the durable prefix is ackable.
+func TestLogShortWriteSticky(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	l, err := Open("wal", Options{FS: ffs}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	ffs.SetShortWriteAt(1)
+	lsn, _ := l.Append(OpInsert, 42)
+	if err := l.Commit(lsn); err == nil {
+		t.Fatal("commit succeeded across a short write")
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() = nil after short write")
+	}
+	// Recovery over the half-written file sees a torn tail and zero records.
+	_, got := replayAll(t, "wal", Options{FS: mem})
+	if len(got) != 0 {
+		t.Fatalf("replayed %v from a short write, want nothing", got)
+	}
+}
+
+// TestAppendAllocFree pins the hot half of the logging path: encoding a
+// record into the group buffer allocates nothing in steady state.
+func TestAppendAllocFree(t *testing.T) {
+	// Real files: OS writes and fsyncs allocate nothing in userspace, so
+	// the measurement isolates the log's own encode-and-commit path.
+	l, err := Open(t.TempDir(), Options{}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	// Warm: grow the batch buffer to steady-state capacity.
+	for k := int64(0); k < 256; k++ {
+		l.Append(OpInsert, k)
+	}
+	l.Sync()
+	var k int64
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 128; i++ {
+			l.Append(OpInsert, k)
+			k++
+		}
+		l.Sync()
+	})
+	if perOp := allocs / 128; perOp > 0.01 {
+		t.Errorf("Append+group commit allocates %.4f allocs/op, want 0", perOp)
+	}
+}

@@ -1,0 +1,102 @@
+#!/bin/sh
+# crash_smoke.sh — the kill -9 durability smoke, the CI lane behind
+# `make crash-smoke`: start cmd/server with a WAL directory and periodic
+# snapshots, load it with `stress -crash` (which tracks every acknowledged
+# operation), SIGKILL the server mid-run, restart it over the same WAL
+# directory, and let stress audit per-key interval conservation over the
+# wire. stress exits non-zero if any acknowledged write was lost or any
+# phantom state appeared; the restarted server must then drain cleanly on
+# SIGTERM.
+set -eu
+
+PORT=$((18000 + $$ % 1000))
+ADDR="127.0.0.1:$PORT"
+TMP=$(mktemp -d)
+WAL="$TMP/wal"
+SERVER_PID=""
+STRESS_PID=""
+cleanup() {
+    [ -n "$STRESS_PID" ] && kill "$STRESS_PID" 2>/dev/null || true
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "crash-smoke: building"
+go build -o "$TMP/server" ./cmd/server
+go build -o "$TMP/stress" ./cmd/stress
+
+start_server() {
+    "$TMP/server" -addr "$ADDR" -structure llx-multiset -shards 4 \
+        -wal-dir "$WAL" -snapshot-every 200ms -segment-bytes 262144 \
+        >>"$TMP/server.log" 2>&1 &
+    SERVER_PID=$!
+}
+
+wait_listening() {
+    i=0
+    while ! "$TMP/stress" -crash -addr "$ADDR" -dur 0 >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 20 ]; then
+            echo "crash-smoke: FAILED: server never started listening" >&2
+            cat "$TMP/server.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "crash-smoke: starting durable server on $ADDR (wal: $WAL)"
+start_server
+wait_listening
+
+echo "crash-smoke: starting crash workload (6s)"
+"$TMP/stress" -crash -addr "$ADDR" -dur 6s -threads 4 -keys 64 \
+    >"$TMP/stress.log" 2>&1 &
+STRESS_PID=$!
+
+echo "crash-smoke: kill -9 mid-run"
+sleep 2
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "crash-smoke: restarting over the same WAL directory"
+sleep 1
+start_server
+
+echo "crash-smoke: waiting for the conservation audit"
+if wait "$STRESS_PID"; then
+    STRESS_PID=""
+else
+    status=$?
+    STRESS_PID=""
+    echo "crash-smoke: FAILED: conservation audit failed (status $status)" >&2
+    cat "$TMP/stress.log" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+fi
+grep -q "recovered" "$TMP/server.log" || {
+    echo "crash-smoke: FAILED: restarted server logged no recovery report" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+}
+grep "crash audit" "$TMP/stress.log" || true
+
+echo "crash-smoke: SIGTERM, expecting clean drain of the recovered server"
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then
+    SERVER_PID=""
+else
+    status=$?
+    SERVER_PID=""
+    echo "crash-smoke: FAILED: recovered server exited with status $status" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+fi
+grep -q "drained:" "$TMP/server.log" || {
+    echo "crash-smoke: FAILED: no drain report in server log" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+}
+echo "crash-smoke: OK"
