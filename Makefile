@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all vet lint build test race benchsmoke benchdiff server-smoke crash-smoke fuzz-smoke check bench-core bench-server clean
+.PHONY: all vet lint build test race benchsmoke benchdiff server-smoke crash-smoke fuzz-smoke check bench-core bench-parallel bench-server clean
 
 all: check
 
@@ -41,6 +41,7 @@ race:
 	$(GO) test -race ./internal/core ./internal/template ./internal/multiset \
 		./internal/container ./internal/shard ./internal/reclaim \
 		./internal/queue ./internal/stack ./internal/bst ./internal/trie \
+		./internal/hashmap ./internal/hashutil \
 		./internal/proto ./internal/server ./internal/client \
 		./internal/wal ./internal/snapshot
 
@@ -51,6 +52,8 @@ race:
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/stress -dur 1s -threads 4 -keys 128 -shards 4 -checks 2
+	$(GO) run ./cmd/stress -struct hashmap -dur 1s -threads 4 -keys 128 -checks 2
+	$(GO) run ./cmd/stress -struct hashmap -resizehammer -dur 1s -threads 4 -checks 2
 
 # Re-run the core fast-path suite and diff against the checked-in
 # trajectory, failing if any row's allocs/op regressed. Timings are noisy
@@ -83,6 +86,12 @@ check: lint build test race benchsmoke benchdiff server-smoke crash-smoke fuzz-s
 # Regenerate the checked-in core fast-path microbenchmark dump.
 bench-core:
 	$(GO) run ./cmd/bench -corejson BENCH_core.json
+
+# Regenerate the checked-in multi-core parallel comparison dump (the hash
+# map vs sync.Map vs an RWMutex map vs the sharded multiset, at GOMAXPROCS
+# 1, 2 and 4; see cmd/bench -parallel).
+bench-parallel:
+	$(GO) run ./cmd/bench -parallel -parallelcpus 1,2,4 -paralleljson BENCH_parallel.json
 
 # Regenerate the checked-in server throughput/latency dump (closed loop,
 # pipeline depths 1/16/128 over the sharded multiset).

@@ -401,3 +401,59 @@ func BenchmarkBSTOps(b *testing.B) {
 // (one fsync per 128-record group).
 func BenchmarkWALAppend(b *testing.B)      { benchcore.WALAppend(b) }
 func BenchmarkWALGroupCommit(b *testing.B) { benchcore.WALGroupCommit(b) }
+
+// --- Hash map ----------------------------------------------------------------
+
+// BenchmarkHashmapOps times the hash map's operations in isolation on a
+// prefilled map (bodies shared with cmd/bench via internal/benchcore):
+// O(1) Get, the no-op insert of a present key, and the warm
+// insert/delete pair that exercises node recycling.
+func BenchmarkHashmapOps(b *testing.B) {
+	b.Run("Get", benchcore.HashmapGet)
+	b.Run("InsertExisting", benchcore.HashmapInsertExisting)
+	b.Run("InsertDeleteNew", benchcore.HashmapInsertDeleteNew)
+}
+
+// BenchmarkHashmapGetKeyspace sweeps the prefill size across three decades.
+// The rows falsify (or confirm) the O(1) claim directly: multiset_get grows
+// with the keyspace, these must stay flat up to cache effects — and
+// BenchmarkBuiltinMapGetKeyspace is the control that quantifies those: Go's
+// own open-addressed map pays the same DRAM-latency growth once the table
+// outgrows the LLC, so "flat" means "tracks the built-in map's ratio", not
+// "ignores the memory hierarchy".
+func BenchmarkHashmapGetKeyspace(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchcore.HashmapGetKeyspace(b, n)
+		})
+	}
+}
+
+func BenchmarkBuiltinMapGetKeyspace(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchcore.BuiltinMapGetKeyspace(b, n)
+		})
+	}
+}
+
+// --- Parallel lane (-cpu 1,2,4) ----------------------------------------------
+
+// The BenchmarkParallel* set is the multi-core comparison lane: the same
+// mixed workload shape against the lock-free hash map, sync.Map, an
+// RWMutex-guarded map, and the sharded LLX/SCX multiset, at 90% and 50%
+// read mixes. Run with `go test -bench BenchmarkParallel -cpu 1,2,4`;
+// cmd/bench -parallel runs the same bodies and records BENCH_parallel.json
+// keyed by GOMAXPROCS.
+
+func BenchmarkParallelHashmapRead90(b *testing.B) { benchcore.ParallelHashmap(b, 90) }
+func BenchmarkParallelHashmapRead50(b *testing.B) { benchcore.ParallelHashmap(b, 50) }
+
+func BenchmarkParallelSyncMapRead90(b *testing.B) { benchcore.ParallelSyncMap(b, 90) }
+func BenchmarkParallelSyncMapRead50(b *testing.B) { benchcore.ParallelSyncMap(b, 50) }
+
+func BenchmarkParallelMutexMapRead90(b *testing.B) { benchcore.ParallelMutexMap(b, 90) }
+func BenchmarkParallelMutexMapRead50(b *testing.B) { benchcore.ParallelMutexMap(b, 50) }
+
+func BenchmarkParallelShardedMultisetRead90(b *testing.B) { benchcore.ParallelShardedMultiset(b, 90) }
+func BenchmarkParallelShardedMultisetRead50(b *testing.B) { benchcore.ParallelShardedMultiset(b, 50) }

@@ -75,6 +75,18 @@ func coreBenchmarks() []coreBench {
 		coreBench{"sharded_multiset_insert_delete_new", false, benchcore.ShardedMultisetInsertDeleteNew},
 	)
 	benches = append(benches,
+		coreBench{"hashmap_get", false, benchcore.HashmapGet},
+		coreBench{"hashmap_insert_existing", false, benchcore.HashmapInsertExisting},
+		coreBench{"hashmap_put", false, benchcore.HashmapInsertDeleteNew},
+		coreBench{"hashmap_get_1e6", false,
+			func(b *testing.B) { benchcore.HashmapGetKeyspace(b, 1_000_000) }},
+		// The built-in-map control at the same keyspace: the cache-hierarchy
+		// floor any O(1) map pays at 1e6 random keys on this host. Read
+		// hashmap_get_1e6 against this row, not against hashmap_get.
+		coreBench{"builtin_map_get_1e6", false,
+			func(b *testing.B) { benchcore.BuiltinMapGetKeyspace(b, 1_000_000) }},
+	)
+	benches = append(benches,
 		coreBench{"wal_append", false, benchcore.WALAppend},
 		coreBench{"wal_group_commit", false, benchcore.WALGroupCommit},
 	)

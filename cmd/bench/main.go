@@ -8,6 +8,8 @@
 //	bench [-exp e1,e2,...|all] [-threads 1,2,4,8] [-shards 1,2,4,8] [-dur 500ms] [-rounds 50]
 //	bench -corejson BENCH_core.json
 //	bench -compare old.json [-corejson new.json] [-maxallocregress]
+//	bench -parallel [-paralleljson BENCH_parallel.json] [-parallelcpus 1,2,4]
+//	bench -compareparallel old.json [-parallelcpus 1,2,4] [-paralleljson new.json]
 //	bench -loadgen [-addr host:port] [-lgmode closed|open] [-lgdepth 1,16,128]
 //	      [-lgconns 4] [-lgdist uniform|zipf] [-lgkeys 1024] [-lgmix 50/25/25]
 //	      [-lgdur 2s] [-lgrate 50000] [-lgstructure llx-multiset] [-lgshards 4]
@@ -17,6 +19,12 @@
 // against a prior -corejson dump; with -maxallocregress the command exits
 // non-zero if any shared row's allocs/op regressed (the CI gate: timings
 // are noisy on shared runners, allocation counts are not).
+//
+// -parallel runs the multi-core comparison lane (the hash map versus
+// sync.Map, an RWMutex map and the sharded multiset) once per -parallelcpus
+// GOMAXPROCS value; BENCH_parallel.json is the checked-in trajectory.
+// -compareparallel prints a delta table against a prior dump (no CI gate —
+// parallel timings are host-dependent).
 //
 // -loadgen drives a KV server (internal/server) across a real socket: an
 // external one at -addr, or — when -addr is empty — a self-hosted
@@ -54,6 +62,11 @@ func run() int {
 		compare  = flag.String("compare", "", "run the core microbenchmarks and print a before/after delta table against this prior -corejson file, then exit")
 		maxAR    = flag.Bool("maxallocregress", false, "with -compare: exit non-zero when any shared row's allocs/op regressed")
 
+		parallel   = flag.Bool("parallel", false, "run the multi-core parallel comparison lane, then exit")
+		parJSON    = flag.String("paralleljson", "", "with -parallel/-compareparallel: write the JSON dump to this path (e.g. BENCH_parallel.json)")
+		parCPUs    = flag.String("parallelcpus", "1,2,4", "GOMAXPROCS values for the parallel lane, comma-separated")
+		parCompare = flag.String("compareparallel", "", "run the parallel lane and print a delta table against this prior -paralleljson file, then exit")
+
 		loadgen = flag.Bool("loadgen", false, "run the server load generator instead of the experiments, then exit")
 		lg      loadgenOpts
 	)
@@ -75,6 +88,24 @@ func run() int {
 
 	if *loadgen {
 		if err := runLoadgen(lg); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *parallel || *parCompare != "" {
+		cpus, err := parseInts(*parCPUs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: invalid -parallelcpus: %v\n", err)
+			return 2
+		}
+		if *parCompare != "" {
+			err = runCompareParallel(*parCompare, cpus, *parJSON)
+		} else {
+			err = runParallelBench(cpus, *parJSON)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			return 1
 		}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pragmaprim/internal/benchcore"
+)
+
+// The parallel suite is the multi-core comparison lane: the hash map against
+// sync.Map, an RWMutex map and the sharded multiset under the mixed
+// read-probability workload of internal/benchcore's BenchmarkParallel*
+// bodies, measured at several GOMAXPROCS settings in one process.
+// BENCH_parallel.json at the repository root is the checked-in trajectory;
+// each row is keyed by (benchmark, gomaxprocs), the same grid
+// `go test -bench BenchmarkParallel -cpu 1,2,4` produces.
+
+// parallelBenchResult is one (benchmark, gomaxprocs) cell.
+type parallelBenchResult struct {
+	Name        string  `json:"name"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// parallelBenchDump is the whole JSON document.
+type parallelBenchDump struct {
+	GoVersion string                `json:"go_version"`
+	GOARCH    string                `json:"goarch"`
+	NumCPU    int                   `json:"num_cpu"`
+	Results   []parallelBenchResult `json:"results"`
+}
+
+type parallelBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func parallelBenchmarks() []parallelBench {
+	targets := []struct {
+		name string
+		fn   func(*testing.B, int)
+	}{
+		{"hashmap", benchcore.ParallelHashmap},
+		{"sync_map", benchcore.ParallelSyncMap},
+		{"mutex_map", benchcore.ParallelMutexMap},
+		{"sharded_multiset", benchcore.ParallelShardedMultiset},
+	}
+	var out []parallelBench
+	for _, readPct := range []int{90, 50} {
+		for _, t := range targets {
+			t, readPct := t, readPct
+			out = append(out, parallelBench{
+				name: fmt.Sprintf("parallel_%s_read%d", t.name, readPct),
+				fn:   func(b *testing.B) { t.fn(b, readPct) },
+			})
+		}
+	}
+	return out
+}
+
+// collectParallelBench runs the suite once per requested GOMAXPROCS value,
+// restoring the process's setting afterwards. Values above runtime.NumCPU
+// still run (oversubscribed goroutines measure scheduling pressure rather
+// than parallel speedup) — the dump records NumCPU so readers can tell which
+// cells were genuinely parallel.
+func collectParallelBench(cpus []int) (parallelBenchDump, error) {
+	dump := parallelBenchDump{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	fmt.Printf("%-36s %5s %12s %12s %10s\n", "benchmark", "procs", "ns/op", "allocs/op", "B/op")
+	for _, c := range cpus {
+		runtime.GOMAXPROCS(c)
+		for _, pb := range parallelBenchmarks() {
+			r := testing.Benchmark(pb.fn)
+			if r.N == 0 {
+				return dump, fmt.Errorf("benchmark %s (GOMAXPROCS=%d) failed", pb.name, c)
+			}
+			res := parallelBenchResult{
+				Name:        pb.name,
+				GOMAXPROCS:  c,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			dump.Results = append(dump.Results, res)
+			fmt.Printf("%-36s %5d %12.1f %12d %10d\n",
+				res.Name, res.GOMAXPROCS, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		}
+	}
+	return dump, nil
+}
+
+// runParallelBench runs the suite and, when path is non-empty, writes the
+// JSON dump there.
+func runParallelBench(cpus []int, path string) error {
+	dump, err := collectParallelBench(cpus)
+	if err != nil {
+		return err
+	}
+	if path == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}
+
+// runCompareParallel re-runs the suite and prints a delta table against a
+// prior dump. Unlike the core lane there is no failure gate: parallel
+// timings depend on the host's core count and load, so the table is for
+// eyeballs and the checked-in trajectory, not CI enforcement.
+func runCompareParallel(baselinePath string, cpus []int, outPath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base parallelBenchDump
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	key := func(r parallelBenchResult) string {
+		return fmt.Sprintf("%s@%d", r.Name, r.GOMAXPROCS)
+	}
+	baseRows := make(map[string]parallelBenchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseRows[key(r)] = r
+	}
+	dump, err := collectParallelBench(cpus)
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		out, err := json.MarshalIndent(dump, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\ncompare vs %s (base NumCPU=%d, now %d)\n", baselinePath, base.NumCPU, dump.NumCPU)
+	fmt.Printf("%-36s %5s %12s %12s %8s\n", "benchmark", "procs", "old ns/op", "new ns/op", "delta")
+	for _, r := range dump.Results {
+		old, ok := baseRows[key(r)]
+		if !ok {
+			fmt.Printf("%-36s %5d %12s %12.1f %8s\n", r.Name, r.GOMAXPROCS, "-", r.NsPerOp, "new")
+			continue
+		}
+		delta := "~"
+		if old.NsPerOp > 0 {
+			pct := (r.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+			if pct <= -2 || pct >= 2 {
+				delta = fmt.Sprintf("%+.1f%%", pct)
+			}
+		}
+		fmt.Printf("%-36s %5d %12.1f %12.1f %8s\n", r.Name, r.GOMAXPROCS, old.NsPerOp, r.NsPerOp, delta)
+	}
+	return nil
+}

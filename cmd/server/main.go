@@ -1,11 +1,15 @@
-// Command server serves any of the repository's seven structures over TCP
+// Command server serves any structure in the harness registry over TCP
 // with the internal/proto KV protocol — the end of the stack the paper's
 // primitives were built for: LLX/SCX (PR 1) under the template engine
 // (PR 2) behind the container/shard layers (PR 3) with GC-free recycling
-// (PR 4), now taking traffic from a socket.
+// (PR 4), now taking traffic from a socket. `server -list` prints the
+// servable structure names (the same registry Factories() gives the
+// experiments, so a structure added there is servable with no server
+// change — the hash map arrived that way).
 //
 // Usage:
 //
+//	server -list
 //	server [-addr 127.0.0.1:7700] [-structure llx-multiset] [-shards 1]
 //	       [-policy immediate|backoff[:BASE:MAX]|spinyield[:SPINS]]
 //	       [-maxconns 1024] [-idletimeout 0] [-metrics host:port]
@@ -67,8 +71,16 @@ func run() int {
 		fsyncIvl  = flag.Duration("fsync-interval", 0, "group-commit window: wait this long before each fsync so more records share it (0: fsync as soon as a commit is demanded)")
 		segBytes  = flag.Int64("segment-bytes", 0, "rotate WAL segments at this size (0: the library default, 16 MiB)")
 		snapEvery = flag.Duration("snapshot-every", 0, "take a snapshot and truncate the WAL behind it at this interval (0 disables; requires -wal-dir)")
+		list      = flag.Bool("list", false, "print the servable structure names, one per line, and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, name := range harness.StructureNames() {
+			fmt.Println(name)
+		}
+		return 0
+	}
 
 	pol, err := template.PolicyByName(*policy)
 	if err != nil {

@@ -25,9 +25,18 @@
 // no matter how many times the server was kill -9ed mid-run. See
 // scripts/crash_smoke.sh for the full choreography.
 //
+// With -struct hashmap the churn runs against the lock-free resizable hash
+// map; checkpoints audit per-key conservation (net applied inserts per key
+// must equal its presence) plus the map's structural invariants. Adding
+// -resizehammer switches to a monotonically growing keyspace that forces
+// doubling after doubling while readers traverse mid-migration — the
+// adversarial workload for the primed-pointer resize protocol. Each
+// checkpoint starts a fresh map so memory stays bounded over long runs.
+//
 // Usage:
 //
-//	stress [-dur 10s] [-threads 8] [-keys 256] [-struct multiset|bst] [-shards 1] [-checks 10]
+//	stress [-dur 10s] [-threads 8] [-keys 256] [-struct multiset|bst|hashmap] [-shards 1] [-checks 10]
+//	stress -struct hashmap -resizehammer [-dur 10s] [-threads 8] [-checks 10]
 //	stress -crash [-addr 127.0.0.1:7700] [-dur 10s] [-threads 8] [-keys 256]
 package main
 
@@ -45,6 +54,7 @@ import (
 	"pragmaprim/internal/bst"
 	"pragmaprim/internal/container"
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/hashmap"
 	"pragmaprim/internal/multiset"
 	"pragmaprim/internal/shard"
 	"pragmaprim/internal/stats"
@@ -60,9 +70,10 @@ func run() int {
 		dur      = flag.Duration("dur", 10*time.Second, "total stress duration")
 		threads  = flag.Int("threads", 8, "worker goroutines")
 		keys     = flag.Int("keys", 256, "key range")
-		structur = flag.String("struct", "multiset", "structure to stress: multiset or bst")
+		structur = flag.String("struct", "multiset", "structure to stress: multiset, bst or hashmap")
 		shards   = flag.Int("shards", 1, "hash-partition the multiset across this many shards (rounds up to a power of two)")
 		checks   = flag.Int("checks", 10, "number of invariant checkpoints")
+		hammer   = flag.Bool("resizehammer", false, "with -struct hashmap: monotonically growing keyspace forcing continuous doublings")
 		crash    = flag.Bool("crash", false, "crash-harness mode: drive a durable server at -addr and audit conservation over the wire")
 		addr     = flag.String("addr", "127.0.0.1:7700", "server address for -crash mode")
 	)
@@ -82,6 +93,11 @@ func run() int {
 		return 0
 	}
 
+	if *hammer && *structur != "hashmap" {
+		fmt.Fprintln(os.Stderr, "stress: -resizehammer requires -struct hashmap")
+		return 2
+	}
+
 	var stressFn func(dur time.Duration, threads, keys, checks int) error
 	switch {
 	case *structur == "multiset" && *shards > 1:
@@ -91,11 +107,15 @@ func run() int {
 		}
 	case *structur == "multiset":
 		stressFn = stressMultiset
-	case *structur == "bst" && *shards > 1:
+	case *structur == "bst" && *shards > 1, *structur == "hashmap" && *shards > 1:
 		fmt.Fprintln(os.Stderr, "stress: -shards supports -struct multiset only")
 		return 2
 	case *structur == "bst":
 		stressFn = stressBST
+	case *structur == "hashmap" && *hammer:
+		stressFn = stressHashmapResizeHammer
+	case *structur == "hashmap":
+		stressFn = stressHashmap
 	default:
 		fmt.Fprintf(os.Stderr, "stress: unknown -struct %q\n", *structur)
 		return 2
@@ -351,6 +371,161 @@ func stressBST(dur time.Duration, threads, keys, checks int) error {
 		fmt.Printf("  checkpoint %d ok: %d ops so far, %d keys live\n", c+1, ops.Load(), len(live))
 	}
 	printEngineReport(t.EngineStats(), t.StatsByOp())
+	return nil
+}
+
+// stressHashmap churns the lock-free resizable hash map over a fixed key
+// range. Each checkpoint quiesces the workload, verifies the map's
+// structural invariants (bucket residency, no duplicates, sentinel
+// positions, the conserved striped size counter), and audits per-key
+// conservation: summing every worker's applied inserts minus applied
+// deletes per key must yield exactly that key's presence — across however
+// many table migrations the churn triggered.
+func stressHashmap(dur time.Duration, threads, keys, checks int) error {
+	m := hashmap.New()
+	nets := make([][]atomic.Int64, threads)
+	for w := range nets {
+		nets[w] = make([]atomic.Int64, keys)
+	}
+	var ops atomic.Int64
+
+	interval := dur / time.Duration(checks)
+	fmt.Printf("stress: hashmap, %d threads, %d keys, %d checkpoints every %v\n",
+		threads, keys, checks, interval)
+	for c := 0; c < checks; c++ {
+		stopPhase := phase(threads, func(w int, stop *atomic.Bool) {
+			rng := rand.New(rand.NewSource(int64(c*threads + w)))
+			h := core.AcquireHandle()
+			defer h.Release()
+			s := m.Attach(h)
+			for !stop.Load() {
+				key := rng.Intn(keys)
+				switch rng.Intn(3) {
+				case 0:
+					if s.Insert(key) {
+						nets[w][key].Add(1)
+					}
+				case 1:
+					if s.Delete(key) {
+						nets[w][key].Add(-1)
+					}
+				default:
+					s.Get(key)
+				}
+				ops.Add(1)
+			}
+		})
+		time.Sleep(interval)
+		if err := stopPhase(); err != nil {
+			return fmt.Errorf("checkpoint %d: %w", c, err)
+		}
+
+		// Quiescent checkpoint.
+		if err := m.CheckInvariants(); err != nil {
+			return fmt.Errorf("checkpoint %d: %w", c, err)
+		}
+		live := 0
+		for k := 0; k < keys; k++ {
+			var net int64
+			for w := 0; w < threads; w++ {
+				net += nets[w][k].Load()
+			}
+			if net != 0 && net != 1 {
+				return fmt.Errorf("checkpoint %d: key %d net applied inserts %d, want 0 or 1", c, k, net)
+			}
+			if present := m.Get(k); present != (net == 1) {
+				return fmt.Errorf("checkpoint %d: key %d present=%v, ledger says %d", c, k, present, net)
+			}
+			if net == 1 {
+				live++
+			}
+		}
+		if got := m.Size(); got != live {
+			return fmt.Errorf("checkpoint %d: Size() %d, ledger says %d", c, got, live)
+		}
+		migrated, resizes := m.MigrationStats()
+		fmt.Printf("  checkpoint %d ok: %d ops so far, %d keys live, %d buckets (%d migrated, %d resizes)\n",
+			c+1, ops.Load(), live, m.Buckets(), migrated, resizes)
+	}
+	printEngineReport(m.EngineStats(), m.StatsByOp())
+	return nil
+}
+
+// stressHashmapResizeHammer is the migration-protocol workout: writers
+// insert a monotonically growing keyspace (forcing doubling after doubling)
+// and delete a fraction behind themselves, while the remaining workers read
+// and traverse mid-migration. Each checkpoint verifies the full contents
+// against the deterministic expectation and then starts a fresh map, so
+// memory stays bounded however long the run is. The -keys flag is unused
+// here — the keyspace is the point.
+func stressHashmapResizeHammer(dur time.Duration, threads, _, checks int) error {
+	writers := (threads + 1) / 2
+	interval := dur / time.Duration(checks)
+	fmt.Printf("stress: hashmap resize hammer, %d writers + %d readers, %d checkpoints every %v\n",
+		writers, threads-writers, checks, interval)
+	var ops atomic.Int64
+	for c := 0; c < checks; c++ {
+		m := hashmap.New()
+		var next atomic.Int64
+		stopPhase := phase(threads, func(w int, stop *atomic.Bool) {
+			h := core.AcquireHandle()
+			defer h.Release()
+			s := m.Attach(h)
+			if w < writers {
+				for !stop.Load() {
+					k := int(next.Add(1))
+					if !s.Insert(k) {
+						panic(fmt.Sprintf("fresh key %d already present", k))
+					}
+					if !s.Get(k) {
+						panic(fmt.Sprintf("key %d invisible right after insert", k))
+					}
+					if k%5 == 0 && !s.Delete(k) {
+						panic(fmt.Sprintf("key %d vanished before delete", k))
+					}
+					ops.Add(1)
+				}
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(c*threads + w)))
+			for i := 0; !stop.Load(); i++ {
+				hi := int(next.Load())
+				if hi < 1 {
+					continue
+				}
+				s.Get(1 + rng.Intn(hi))
+				if i%1024 == 0 {
+					m.Range(func(int) bool { return true })
+				}
+				ops.Add(1)
+			}
+		})
+		time.Sleep(interval)
+		if err := stopPhase(); err != nil {
+			return fmt.Errorf("checkpoint %d: %w", c, err)
+		}
+
+		if err := m.CheckInvariants(); err != nil {
+			return fmt.Errorf("checkpoint %d: %w", c, err)
+		}
+		hi := int(next.Load())
+		want := 0
+		for k := 1; k <= hi; k++ {
+			expect := k%5 != 0
+			if got := m.Get(k); got != expect {
+				return fmt.Errorf("checkpoint %d: key %d present=%v, want %v", c, k, got, expect)
+			}
+			if expect {
+				want++
+			}
+		}
+		if got := m.Size(); got != want {
+			return fmt.Errorf("checkpoint %d: Size() %d, want %d", c, got, want)
+		}
+		migrated, resizes := m.MigrationStats()
+		fmt.Printf("  checkpoint %d ok: %d ops so far, %d keys grown, %d buckets (%d migrated, %d resizes)\n",
+			c+1, ops.Load(), hi, m.Buckets(), migrated, resizes)
+	}
 	return nil
 }
 

@@ -15,9 +15,15 @@
 // every structure's retry loop runs on, and the five data structures are
 // thin attempt bodies over that engine. Public structure APIs take no
 // Process: plain calls acquire a pooled Handle per operation, hot paths
-// bind one once via each structure's Attach/Session API. Above the
-// structures, internal/container gives all of them (plus the lock
-// baselines) one typed result-returning interface, and internal/shard
+// bind one once via each structure's Attach/Session API. The eighth
+// structure, internal/hashmap, is the degenerate case of the template: a
+// lock-free resizable hash map whose updates are one-record SCXs (plain
+// CASes on bucket heads over immutable chains), giving O(1) Get where the
+// keyed structures walk lists and trees; its incremental resize migrates
+// buckets through primed/forwarded sentinels with old tables retired
+// through the epoch domain. Above the structures, internal/container gives
+// all of them (plus the lock baselines) one typed result-returning
+// interface, and internal/shard
 // hash-partitions any container across independent instances — the scale
 // lever the shard-scaling experiments (E9/E10) measure. On top of the
 // containers sits the network service layer: internal/proto (a RESP-style
@@ -44,6 +50,11 @@
 //	internal/trie            non-blocking binary Patricia trie
 //	internal/queue           Michael-Scott-shaped FIFO queue
 //	internal/stack           Treiber-shaped LIFO stack
+//	internal/hashmap         lock-free resizable hash map: O(1) Get,
+//	                         plain-CAS bucket updates, incremental
+//	                         primed-pointer resize (DESIGN.md "The hash map")
+//	internal/hashutil        the shared integer hashes: Fibonacci routing
+//	                         (shard) and the splitmix64 finalizer (hashmap)
 //	internal/reclaim         DEBRA-style epoch reclamation: announcement
 //	                         slots, limbo lists, typed freelists — the
 //	                         GC-free steady state for nodes and descriptors

@@ -1,0 +1,156 @@
+package benchcore
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pragmaprim/internal/container"
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/hashmap"
+	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/shard"
+)
+
+// The parallel benchmark lane compares the lock-free hash map against the
+// standard-library alternatives (sync.Map, a RWMutex map) and this
+// repository's own sharded multiset under a read-probability sweep, run with
+// b.RunParallel so `go test -cpu 1,2,4` and cmd/bench -parallel measure the
+// same bodies at several GOMAXPROCS values. Each body follows the same
+// harness shape: prefill half the keyspace so reads hit ~50%, then each
+// worker draws from its own seeded PRNG (no shared RNG contention polluting
+// the measurement) and performs a read with probability readPct/100, else
+// alternately inserts or deletes.
+
+// ParallelKeys is the keyspace of the parallel lane: big enough that the
+// hash map runs at thousands of buckets, small enough to stay cache-warm.
+const ParallelKeys = 1 << 16
+
+// parallelSeeds hands each RunParallel worker a distinct deterministic seed.
+var parallelSeeds atomic.Int64
+
+// parallelBody runs the shared workload shape against one target described
+// by its three operations.
+func parallelBody(b *testing.B, readPct int, get func(int) bool, insert, del func(int)) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(parallelSeeds.Add(1)))
+		writeToggle := false
+		for pb.Next() {
+			k := rng.Intn(ParallelKeys)
+			if rng.Intn(100) < readPct {
+				get(k)
+			} else if writeToggle = !writeToggle; writeToggle {
+				insert(k)
+			} else {
+				del(k)
+			}
+		}
+	})
+}
+
+// ParallelHashmap runs the sweep body against the lock-free hash map. Each
+// worker binds its own Session (pooled Handle), the same way a server
+// connection would.
+func ParallelHashmap(b *testing.B, readPct int) {
+	m := hashmap.New()
+	for k := 0; k < ParallelKeys; k += 2 {
+		m.Insert(k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		h := core.AcquireHandle()
+		defer h.Release()
+		s := m.Attach(h)
+		rng := rand.New(rand.NewSource(parallelSeeds.Add(1)))
+		writeToggle := false
+		for pb.Next() {
+			k := rng.Intn(ParallelKeys)
+			if rng.Intn(100) < readPct {
+				s.Get(k)
+			} else if writeToggle = !writeToggle; writeToggle {
+				s.Insert(k)
+			} else {
+				s.Delete(k)
+			}
+		}
+	})
+}
+
+// ParallelSyncMap runs the sweep body against sync.Map, the standard
+// library's concurrent map (per-entry indirection, amortized lock-free
+// reads, dirty-map promotion on writes).
+func ParallelSyncMap(b *testing.B, readPct int) {
+	var m sync.Map
+	for k := 0; k < ParallelKeys; k += 2 {
+		m.Store(k, struct{}{})
+	}
+	parallelBody(b, readPct,
+		func(k int) bool { _, ok := m.Load(k); return ok },
+		func(k int) { m.Store(k, struct{}{}) },
+		func(k int) { m.Delete(k) })
+}
+
+// ParallelMutexMap runs the sweep body against a plain map guarded by one
+// RWMutex — the baseline every Go service reaches for first.
+func ParallelMutexMap(b *testing.B, readPct int) {
+	m := make(map[int]struct{}, ParallelKeys)
+	var mu sync.RWMutex
+	for k := 0; k < ParallelKeys; k += 2 {
+		m[k] = struct{}{}
+	}
+	parallelBody(b, readPct,
+		func(k int) bool {
+			mu.RLock()
+			_, ok := m[k]
+			mu.RUnlock()
+			return ok
+		},
+		func(k int) {
+			mu.Lock()
+			m[k] = struct{}{}
+			mu.Unlock()
+		},
+		func(k int) {
+			mu.Lock()
+			delete(m, k)
+			mu.Unlock()
+		})
+}
+
+// ParallelShardedMultiset runs the sweep body against this repository's
+// previous best answer for a concurrent keyed store: the LLX/SCX multiset
+// hash-partitioned over ShardedShards shards. Its per-shard sorted lists
+// make reads O(keys/shards); the hash map's flat buckets are the point of
+// comparison.
+func ParallelShardedMultiset(b *testing.B, readPct int) {
+	sh := shard.New(ShardedShards, func(int) container.Container {
+		return container.Multiset(multiset.New[int]())
+	})
+	seed := sh.NewSession()
+	for k := 0; k < ParallelKeys; k += 2 {
+		seed.Insert(k)
+	}
+	seed.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		s := sh.NewSession()
+		defer s.Close()
+		rng := rand.New(rand.NewSource(parallelSeeds.Add(1)))
+		writeToggle := false
+		for pb.Next() {
+			k := rng.Intn(ParallelKeys)
+			if rng.Intn(100) < readPct {
+				s.Get(k)
+			} else if writeToggle = !writeToggle; writeToggle {
+				s.Insert(k)
+			} else {
+				s.Delete(k)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package container
 import (
 	"pragmaprim/internal/bst"
 	"pragmaprim/internal/core"
+	"pragmaprim/internal/hashmap"
 	"pragmaprim/internal/lockds"
 	"pragmaprim/internal/multiset"
 	"pragmaprim/internal/queue"
@@ -121,6 +122,40 @@ func (s *trieSession) Count(key int) int {
 	return 0
 }
 func (s *trieSession) Close()              { s.s.Handle().Release() }
+
+// --- lock-free resizable hash map -------------------------------------------
+
+// HashMap adapts the resizable hash map with set semantics: key presence is
+// the currency (Count reports 0 or 1), Insert applies only when the key was
+// absent, and Size is the conserved key count — the same +1/-1 ledger as
+// the keyed structures, preserved across table migrations.
+func HashMap(m *hashmap.Map) Container { return hmContainer{m} }
+
+type hmContainer struct{ m *hashmap.Map }
+
+func (c hmContainer) NewSession() Session {
+	return &hmSession{s: c.m.Attach(core.AcquireHandle())}
+}
+func (c hmContainer) EngineStats() template.Counters          { return c.m.EngineStats() }
+func (c hmContainer) StatsByOp() map[string]template.Counters { return c.m.StatsByOp() }
+func (c hmContainer) Size() int                               { return c.m.Size() }
+
+func (c hmContainer) Range(fn func(key, count int) bool) {
+	c.m.Range(func(k int) bool { return fn(k, 1) })
+}
+
+type hmSession struct{ s *hashmap.Session }
+
+func (s *hmSession) Get(key int) bool    { return s.s.Get(key) }
+func (s *hmSession) Insert(key int) bool { return s.s.Insert(key) }
+func (s *hmSession) Delete(key int) bool { return s.s.Delete(key) }
+func (s *hmSession) Count(key int) int {
+	if s.s.Get(key) {
+		return 1
+	}
+	return 0
+}
+func (s *hmSession) Close() { s.s.Handle().Release() }
 
 // --- LLX/SCX queue (produce/consume) ----------------------------------------
 

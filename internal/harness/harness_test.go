@@ -82,9 +82,9 @@ func TestE7LinearizabilityAllRoundsPass(t *testing.T) {
 func TestE8ThroughputProducesAllCells(t *testing.T) {
 	tb := harness.E8Throughput([]int{1, 2}, 20*time.Millisecond)
 	rows := tb.Rows()
-	// 7 structures x 2 mixes x 2 thread counts.
-	if len(rows) != 28 {
-		t.Fatalf("rows = %d, want 28", len(rows))
+	// 8 structures x 2 mixes x 2 thread counts.
+	if len(rows) != 32 {
+		t.Fatalf("rows = %d, want 32", len(rows))
 	}
 	for _, row := range rows {
 		if row[5] == "0" || strings.HasPrefix(row[5], "-") {

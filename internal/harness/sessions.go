@@ -9,6 +9,7 @@ import (
 
 	"pragmaprim/internal/bst"
 	"pragmaprim/internal/container"
+	"pragmaprim/internal/hashmap"
 	"pragmaprim/internal/lockds"
 	"pragmaprim/internal/multiset"
 	"pragmaprim/internal/queue"
@@ -31,10 +32,11 @@ type Factory struct {
 	NewWithPolicy func(template.Policy) container.Container
 }
 
-// Factories returns every structure the throughput experiments compare: all
+// Factories returns every structure the throughput experiments compare: the
 // five LLX/SCX structures — the paper's multiset, the external BST, the
 // Patricia trie, and the queue and stack under their produce/consume
-// adapters — plus the two lock-based baselines.
+// adapters — the lock-free resizable hash map (the O(1)-lookup point in the
+// design space), plus the two lock-based baselines.
 func Factories() []Factory {
 	return []Factory{
 		LLXMultisetFactory(),
@@ -42,6 +44,7 @@ func Factories() []Factory {
 		LLXTrieFactory(),
 		LLXQueueFactory(),
 		LLXStackFactory(),
+		HashmapFactory(),
 		CoarseLockFactory(),
 		FineLockFactory(),
 	}
@@ -122,6 +125,20 @@ func LLXStackFactory() Factory {
 			s.SetPolicy(p)
 		}
 		return container.Stack(s)
+	})
+}
+
+// HashmapFactory wraps the lock-free resizable hash map (set semantics:
+// Count is 0/1). Its updates are degenerate one-record SCXs — plain CASes
+// on bucket heads run through the template engine — so it takes the same
+// retry policies as the descriptor-based structures.
+func HashmapFactory() Factory {
+	return llxFactory("hashmap", func(p template.Policy) container.Container {
+		m := hashmap.New()
+		if p != nil {
+			m.SetPolicy(p)
+		}
+		return container.HashMap(m)
 	})
 }
 

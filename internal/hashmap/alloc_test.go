@@ -1,0 +1,58 @@
+package hashmap_test
+
+import (
+	"testing"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/hashmap"
+)
+
+// TestGetZeroAllocs pins the map's headline property alongside its O(1)
+// latency: a steady-state Get allocates nothing. The read path is a hash,
+// a bucket load and an immutable-chain walk under the session's epoch
+// guard — there is nothing to allocate, and this test keeps it that way.
+func TestGetZeroAllocs(t *testing.T) {
+	m := hashmap.New()
+	h := core.NewHandle()
+	s := m.Attach(h)
+	for k := 0; k < 1024; k++ {
+		s.Insert(k)
+	}
+	k := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		s.Get(k)
+		k = (k + 1) % 1024
+	}); avg != 0 {
+		t.Fatalf("Get allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestUpdateAllocsWarm pins the update path's allocation budget once the
+// freelists are warm: an insert needs at most its one chain node (recycled
+// from the pool, so amortized zero) and a delete of a chain head needs
+// none. The gate is <= 1 allocation per insert+delete PAIR, the same
+// budget the other structures' BENCH_core rows are pinned to.
+func TestUpdateAllocsWarm(t *testing.T) {
+	m := hashmap.New()
+	h := core.NewHandle()
+	s := m.Attach(h)
+	for k := 0; k < 256; k++ {
+		s.Insert(k)
+	}
+	// Warm the freelists: balanced pairs push retired nodes through a
+	// grace period and back out.
+	for i := 0; i < 2000; i++ {
+		k := 10000 + i%8
+		s.Insert(k)
+		s.Delete(k)
+	}
+	k := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		key := 10000 + k%8
+		s.Insert(key)
+		s.Delete(key)
+		k++
+	}); avg > 1 {
+		t.Fatalf("warm insert+delete pair allocates %.2f objects, want <= 1", avg)
+	}
+}

@@ -1,0 +1,730 @@
+// Package hashmap implements the repository's eighth structure: a
+// lock-free, incrementally resizable hash map of int keys with O(1) Get.
+// Every other keyed structure here walks a sorted list or tree, so lookup
+// latency scales with the keyspace; the map's bucket array makes it flat.
+//
+// The design is the degenerate case of the paper's template: every update
+// is a one-record SCX — a single-word CAS on one bucket head — so no
+// descriptor, helping, or finalization is needed. What makes that sound is
+// the same discipline the LLX/SCX structures rely on (DESIGN.md, "The hash
+// map"):
+//
+//   - Bucket chains are immutable. A node's key and next pointer never
+//     change while the node is published, so a bucket head value determines
+//     the bucket's entire contents. Deletes copy the prefix in front of the
+//     removed node instead of mutating links (the multiset's Figure 5(c)
+//     move, without the finalization).
+//   - Nodes are recycled through internal/reclaim. An operation announces
+//     an epoch for its whole duration (template.Run does this for updates,
+//     template.Enter/Exit for reads), so no node address it has read can be
+//     recycled and republished under it — the CAS-ABA discharge.
+//
+// Resize is incremental, in the style of rescrv's lockfree hash map's
+// primed bucket pointers: doubling is announced by installing next-table
+// pointers, each source bucket is frozen with a primed marker, its frozen
+// chain is copied into the two target buckets with a single CAS-from-nil
+// per target (exactly-once by construction), and the source is replaced by
+// a forwarded sentinel. Readers never block — they read frozen chains
+// through markers and follow forwarded sentinels — and writers migrate the
+// one bucket in their way before operating. Migration cost is amortized:
+// every update also migrates a couple of cursor buckets, and retired tables
+// and chains go through the epoch domain like every other unlink.
+//
+// Methods never take a *core.Process: plain calls acquire a pooled Handle
+// per operation, and hot paths bind a Session with Attach, exactly like the
+// other structures.
+package hashmap
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/hashutil"
+	"pragmaprim/internal/reclaim"
+	"pragmaprim/internal/template"
+)
+
+// kind discriminates chain nodes from the three migration sentinels.
+type kind uint8
+
+const (
+	// kindEntry is a live key in a bucket chain.
+	kindEntry kind = iota
+	// kindBoundary terminates a chain that was installed by migration. Its
+	// job is to keep an initialized target bucket's head non-nil forever:
+	// migration installs a target's contents with a single CAS-from-nil,
+	// and that is exactly-once only because no later delete can return the
+	// head to nil (the boundary is never removed).
+	kindBoundary
+	// kindPrimed marks a source bucket frozen for migration; next is the
+	// frozen chain. Only ever a head value.
+	kindPrimed
+	// kindForwarded marks a fully migrated source bucket; readers and
+	// writers continue in the next table. Terminal, and only a head value.
+	kindForwarded
+)
+
+// node is one chain link. All fields are immutable while the node is
+// published (publication happens-before every read via the bucket-head
+// CAS), which is what lets searches run on plain reads and lets a CAS on
+// the head stand in for an SCX over the whole chain.
+type node struct {
+	key  int
+	kind kind
+	next *node
+}
+
+// table is one bucket array generation. Buckets are selected by the top
+// log2(len(buckets)) bits of hashutil.Mix64(key), so doubling splits bucket
+// i of this table exactly into buckets 2i and 2i+1 of the next.
+type table struct {
+	buckets []atomic.Pointer[node]
+	shift   uint // 64 - log2(len(buckets))
+	// next points at the table being migrated into; non-nil once a resize
+	// of this table has begun. Set once by CAS, never cleared.
+	next atomic.Pointer[table]
+	// fwd is this table's shared forwarded sentinel. Each head stores it at
+	// most once (forwarding is terminal), so the shared value never
+	// reappears in any location's history.
+	fwd *node
+	// cursor hands out source buckets to migrating operations; it runs to
+	// 2*len(buckets) so every bucket is visited by two amortizing passes
+	// even if some visitors stall mid-migration.
+	cursor atomic.Int64
+	// forwarded counts forwarded source buckets; the op that forwards the
+	// last one flips Map.state.
+	forwarded atomic.Int64
+}
+
+// sizeStripes spreads the size counter over cache-padded cells; sessions
+// pick a stripe round-robin. Power of two.
+const sizeStripes = 64
+
+type sizeCell struct {
+	n atomic.Int64
+	_ [7]int64 // pad to a cache line
+}
+
+const (
+	// initialBuckets is the bucket count of a fresh map.
+	initialBuckets = 16
+	// maxLoad is the growth trigger: double when size > maxLoad * buckets,
+	// so steady-state mean chain length stays between maxLoad/2 and
+	// maxLoad. 2 keeps the hit-path walk at ~1.5 dependent loads: once the
+	// table outgrows the LLC each chain node is a DRAM miss, so trading
+	// bucket-array bytes (8/bucket) for shorter chains is what keeps the
+	// large-keyspace GET rows of BenchmarkHashmapGetKeyspace near-flat.
+	maxLoad = 2
+	// growCheckMask gates the striped-counter sum behind every 32nd applied
+	// insert per session (the sum is 64 atomic loads).
+	growCheckMask = 31
+	// migrateQuota is how many cursor buckets each update migrates while a
+	// resize is in flight.
+	migrateQuota = 2
+)
+
+// Map is a non-blocking hash set of int keys with map-shaped operations
+// (the container layer's currency is key presence; see internal/container).
+// The zero value is not usable; create one with New. All methods are safe
+// for concurrent use.
+type Map struct {
+	state     atomic.Pointer[table]
+	pool      *reclaim.Pool[node]
+	tablePool *reclaim.Pool[table]
+	policy    template.Policy
+	insStats  template.OpStats
+	delStats  template.OpStats
+	size      [sizeStripes]sizeCell
+	stripeCtr atomic.Uint32
+	// migrated counts forwarded source buckets across all resizes;
+	// resizes counts completed table flips. Diagnostics for stress and the
+	// resize tests.
+	migrated atomic.Int64
+	resizes  atomic.Int64
+}
+
+// New creates an empty map with a small initial table; it doubles itself as
+// it grows.
+func New() *Map {
+	m := &Map{
+		pool:      reclaim.NewPool[node](),
+		tablePool: reclaim.NewPool[table](),
+	}
+	// A node entering a freelist is unreachable: drop its chain reference
+	// so a recycled node cannot pin an arbitrarily long dead chain for the
+	// garbage collector.
+	m.pool.SetOnFree(func(n *node) { n.next = nil })
+	// Likewise a freed table drops its bucket array (only the struct is
+	// worth reusing; a future resize needs a different-size array anyway).
+	m.tablePool.SetOnFree(func(t *table) {
+		t.buckets = nil
+		t.fwd = nil
+		t.next.Store(nil)
+	})
+	m.state.Store(m.newTable(nil, initialBuckets))
+	return m
+}
+
+// newNode builds (or recycles, under an announced reclaim state) an
+// unpublished node.
+func (m *Map) newNode(l *reclaim.Local, k kind, key int, next *node) *node {
+	n := m.pool.Get(l)
+	if n == nil {
+		n = &node{}
+	}
+	n.key, n.kind, n.next = key, k, next
+	return n
+}
+
+// newTable builds (or recycles the struct of) a table with n buckets, n a
+// power of two.
+func (m *Map) newTable(l *reclaim.Local, n int) *table {
+	t := m.tablePool.Get(l)
+	if t == nil {
+		t = &table{}
+	}
+	t.buckets = make([]atomic.Pointer[node], n)
+	t.shift = 64 - uint(log2(n))
+	t.fwd = m.newNode(l, kindForwarded, 0, nil)
+	t.cursor.Store(0)
+	t.forwarded.Store(0)
+	return t
+}
+
+func log2(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// bucketOf returns the index of key's bucket in t.
+func (t *table) bucketOf(hash uint64) int { return int(hash >> t.shift) }
+
+func hashOf(key int) uint64 { return hashutil.Mix64(uint64(key)) }
+
+// SetPolicy installs the retry policy updates back off with; nil (the
+// default) retries immediately. Call before sharing the map.
+func (m *Map) SetPolicy(p template.Policy) { m.policy = p }
+
+// EngineStats returns the engine's aggregate attempt/failure counters
+// across all update operations. CAS failures are reported as SCX failures —
+// the map's commit is the degenerate one-record SCX.
+func (m *Map) EngineStats() template.Counters {
+	return m.insStats.Snapshot().Add(m.delStats.Snapshot())
+}
+
+// StatsByOp returns the engine counters broken out per operation.
+func (m *Map) StatsByOp() map[string]template.Counters {
+	return map[string]template.Counters{
+		"insert": m.insStats.Snapshot(),
+		"delete": m.delStats.Snapshot(),
+	}
+}
+
+// MigrationStats reports how many source buckets have been migrated and how
+// many table doublings have completed, for stress reports and tests.
+func (m *Map) MigrationStats() (buckets, resizes int64) {
+	return m.migrated.Load(), m.resizes.Load()
+}
+
+// Buckets returns the current table's bucket count (tests and diagnostics).
+func (m *Map) Buckets() int { return len(m.state.Load().buckets) }
+
+// Size returns the number of keys: the sum of the striped counters, exact
+// on a quiescent map and weakly consistent under concurrency. It is
+// conserved by construction — +1 per applied Insert, -1 per applied Delete;
+// migration moves keys between tables without touching it.
+func (m *Map) Size() int {
+	var total int64
+	for i := range m.size {
+		total += m.size[i].n.Load()
+	}
+	return int(total)
+}
+
+// Len is Size, under the name the other keyed structures use.
+func (m *Map) Len() int { return m.Size() }
+
+// Session is a Handle-bound view of a Map: the hot-path API for a goroutine
+// performing many operations. Not safe for concurrent use (the Handle is
+// exclusive); any number of Sessions may operate on the shared Map.
+type Session struct {
+	m      *Map
+	h      *core.Handle
+	stripe uint32
+	// applied counts this session's applied inserts, gating the growth
+	// check; sessions are single-goroutine so a plain int suffices.
+	applied int
+}
+
+// Attach binds a Session to h. The caller keeps ownership of h and releases
+// it when done.
+func (m *Map) Attach(h *core.Handle) *Session {
+	return &Session{m: m, h: h, stripe: m.stripeCtr.Add(1) & (sizeStripes - 1)}
+}
+
+// Handle returns the Session's Handle.
+func (s *Session) Handle() *core.Handle { return s.h }
+
+// Get reports whether key is present using a pooled Handle; see Session.Get
+// for the hot-path form.
+func (m *Map) Get(key int) bool {
+	h := core.AcquireHandle()
+	ok := m.Attach(h).Get(key)
+	h.Release()
+	return ok
+}
+
+// Insert adds key using a pooled Handle; see Session.Insert.
+func (m *Map) Insert(key int) bool {
+	h := core.AcquireHandle()
+	ok := m.Attach(h).Insert(key)
+	h.Release()
+	return ok
+}
+
+// Delete removes key using a pooled Handle; see Session.Delete.
+func (m *Map) Delete(key int) bool {
+	h := core.AcquireHandle()
+	ok := m.Attach(h).Delete(key)
+	h.Release()
+	return ok
+}
+
+// Contains is Get under the name the other structures use.
+func (m *Map) Contains(key int) bool { return m.Get(key) }
+
+// Get reports whether key is present: one hash, one bucket load, and a walk
+// of a constant-expected-length immutable chain, entirely on plain reads
+// under the session's epoch guard — 0 allocations, O(1) latency independent
+// of the keyspace. During a resize it reads frozen chains through primed
+// markers (still authoritative until the bucket forwards) and follows
+// forwarded sentinels into the next table.
+func (s *Session) Get(key int) bool {
+	template.Enter(s.h)
+	found := s.m.lookup(key)
+	template.Exit(s.h)
+	return found
+}
+
+// lookup is Get's body; the caller must hold an epoch guard.
+func (m *Map) lookup(key int) bool {
+	hash := hashOf(key)
+	t := m.state.Load()
+	for {
+		n := t.buckets[t.bucketOf(hash)].Load()
+		if n != nil {
+			if n.kind == kindForwarded {
+				t = t.next.Load()
+				continue
+			}
+			if n.kind == kindPrimed {
+				n = n.next
+			}
+		}
+		for ; n != nil && n.kind == kindEntry; n = n.next {
+			if n.key == key {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Insert adds key and reports whether the map grew (false: already
+// present). The commit is a single CAS swinging the bucket head to a fresh
+// node, run as an attempt body on the template engine (which owns the epoch
+// announcement, retry policy and contention counters).
+func (s *Session) Insert(key int) bool {
+	m := s.m
+	var fresh *node // built at most once per operation; reused across attempts
+	hash := hashOf(key)
+	return template.Run(s.h, m.policy, &m.insStats, func(c *template.Ctx) (bool, template.Action) {
+		l := c.Reclaim()
+		t, idx, head := m.find(l, hash)
+		for n := head; n != nil && n.kind == kindEntry; n = n.next {
+			if n.key == key {
+				if fresh != nil {
+					m.pool.Release(l, fresh) // never published
+				}
+				return false, template.Done
+			}
+		}
+		if fresh == nil {
+			fresh = m.newNode(l, kindEntry, key, head)
+		} else {
+			fresh.next = head // retarget for this attempt
+		}
+		if !t.buckets[idx].CompareAndSwap(head, fresh) {
+			c.CASFailed()
+			return false, template.Retry
+		}
+		m.size[s.stripe].n.Add(1)
+		s.applied++
+		if s.applied&growCheckMask == 0 || len(t.buckets) <= initialBuckets {
+			m.maybeGrow(l, t)
+		}
+		m.migrateSome(l)
+		return true, template.Done
+	})
+}
+
+// Delete removes key and reports whether the map shrank (false: absent).
+// The removed node's chain prefix is copied in front of its suffix — links
+// are immutable — and the old prefix plus the removed node retire through
+// the epoch domain. When the removed node is the head itself the suffix
+// pointer is stored directly: with immutable chains a head value uniquely
+// determines bucket contents, so value recurrence is harmless to chain CASes
+// (the one place it is not — migration's CAS-from-nil — is protected by the
+// boundary sentinel, which keeps migrated buckets non-nil forever).
+func (s *Session) Delete(key int) bool {
+	m := s.m
+	hash := hashOf(key)
+	return template.Run(s.h, m.policy, &m.delStats, func(c *template.Ctx) (bool, template.Action) {
+		l := c.Reclaim()
+		t, idx, head := m.find(l, hash)
+		var r *node // the node holding key
+		for n := head; n != nil && n.kind == kindEntry; n = n.next {
+			if n.key == key {
+				r = n
+				break
+			}
+		}
+		if r == nil {
+			return false, template.Done
+		}
+		// Rebuild the prefix in front of r as fresh copies sharing r's
+		// suffix, then swing the head past r in one CAS.
+		newHead := r.next
+		var copies *node
+		for n := head; n != r; n = n.next {
+			cp := m.newNode(l, kindEntry, n.key, nil)
+			cp.next = copies
+			copies = cp
+		}
+		// copies is the prefix reversed; re-reverse it onto newHead so the
+		// copied chain preserves the original order.
+		for cp := copies; cp != nil; {
+			next := cp.next
+			cp.next = newHead
+			newHead = cp
+			cp = next
+		}
+		if !t.buckets[idx].CompareAndSwap(head, newHead) {
+			// The copies were never published; they run from newHead down to
+			// (not including) r's suffix.
+			m.releaseChain(l, newHead, r.next)
+			c.CASFailed()
+			return false, template.Retry
+		}
+		// Retire r and the replaced originals; their addresses stay
+		// unreusable until every announced operation has moved on.
+		for n := head; n != r; {
+			next := n.next
+			m.pool.Retire(l, n)
+			n = next
+		}
+		m.pool.Retire(l, r)
+		m.size[s.stripe].n.Add(-1)
+		m.migrateSome(l)
+		return true, template.Done
+	})
+}
+
+// releaseChain returns the never-published nodes from head down to (not
+// including) stop to the pool.
+func (m *Map) releaseChain(l *reclaim.Local, head, stop *node) {
+	for n := head; n != stop; {
+		next := n.next
+		m.pool.Release(l, n)
+		n = next
+	}
+}
+
+// find locates the live bucket for hash: the deepest table whose bucket is
+// operable (nil, or a chain of entries/boundary). A primed or forwarded
+// bucket on the way is migrated to completion first — this is how writers
+// "help": they finish the one bucket in their way and move on, never
+// blocking. The caller must hold an epoch guard (a Run attempt does).
+func (m *Map) find(l *reclaim.Local, hash uint64) (t *table, idx int, head *node) {
+	t = m.state.Load()
+	for {
+		idx = t.bucketOf(hash)
+		head = t.buckets[idx].Load()
+		if head != nil && (head.kind == kindPrimed || head.kind == kindForwarded) {
+			nt := t.next.Load()
+			m.migrateBucket(l, t, nt, idx)
+			t = nt
+			continue
+		}
+		return t, idx, head
+	}
+}
+
+// maybeGrow checks the load factor and, when exceeded, installs the next
+// (doubled) table. Installation only announces the resize: buckets migrate
+// incrementally afterwards.
+func (m *Map) maybeGrow(l *reclaim.Local, t *table) {
+	if t.next.Load() != nil {
+		return
+	}
+	if m.Size() <= maxLoad*len(t.buckets) {
+		return
+	}
+	nt := m.newTable(l, 2*len(t.buckets))
+	if !t.next.CompareAndSwap(nil, nt) {
+		// Lost the race; nt was never published.
+		m.pool.Release(l, nt.fwd)
+		nt.fwd = nil
+		nt.buckets = nil
+		m.tablePool.Release(l, nt)
+	}
+}
+
+// migrateSome advances the in-flight resize (if any) by up to migrateQuota
+// cursor buckets of the state table. The cursor runs two passes over the
+// table so buckets whose first visitor stalled are still reached; after
+// that, migration finishes via the operations that land on the remaining
+// buckets.
+func (m *Map) migrateSome(l *reclaim.Local) {
+	t := m.state.Load()
+	nt := t.next.Load()
+	if nt == nil {
+		return
+	}
+	n := int64(len(t.buckets))
+	for q := 0; q < migrateQuota; q++ {
+		i := t.cursor.Add(1) - 1
+		if i >= 2*n {
+			return
+		}
+		m.migrateBucket(l, t, nt, int(i%n))
+	}
+}
+
+// migrateBucket moves source bucket i of t into buckets 2i and 2i+1 of nt
+// and forwards it. Safe to call from any number of operations concurrently;
+// returns once the bucket is forwarded (by this call or another).
+//
+// Protocol per source bucket:
+//  1. Freeze: CAS the head to a fresh primed marker whose next is the
+//     current chain. From here the chain cannot change (writers that lose
+//     the race see the marker and help), so its contents are a fixed set.
+//  2. Copy out: split the frozen entries by the next table's bucket bits
+//     and install each non-empty half into its target with a single
+//     CAS(nil -> copies+boundary). Exactly-once: the only transition out of
+//     nil a target bucket ever makes is this one (writers cannot reach the
+//     target until the source forwards, and the boundary keeps the head
+//     non-nil forever after), so a stale helper's CAS-from-nil can never
+//     resurrect keys that were deleted from the new table meanwhile.
+//  3. Forward: CAS the marker to the table's forwarded sentinel and retire
+//     the marker and the frozen originals through the epoch domain.
+func (m *Map) migrateBucket(l *reclaim.Local, t, nt *table, i int) {
+	for {
+		h := t.buckets[i].Load()
+		switch {
+		case h == nil:
+			// Empty source: forward directly; the targets stay nil (which
+			// reads as empty) until a post-forward writer initializes them.
+			if t.buckets[i].CompareAndSwap(nil, t.fwd) {
+				m.finishBucket(l, t)
+				return
+			}
+		case h.kind == kindForwarded:
+			return
+		case h.kind == kindPrimed:
+			m.copyOut(l, nt, h.next)
+			if t.buckets[i].CompareAndSwap(h, t.fwd) {
+				// Winner retires the marker and the frozen chain; stalled
+				// readers still traversing them are protected by their
+				// announced epochs.
+				m.pool.Retire(l, h)
+				for n := h.next; n != nil; {
+					next := n.next
+					m.pool.Retire(l, n)
+					n = next
+				}
+				m.finishBucket(l, t)
+			}
+			return
+		default:
+			// Live chain: freeze it. Losing the CAS means a writer got in;
+			// reload and try again.
+			marker := m.newNode(l, kindPrimed, 0, h)
+			if !t.buckets[i].CompareAndSwap(h, marker) {
+				m.pool.Release(l, marker)
+				continue
+			}
+		}
+	}
+}
+
+// copyOut installs the frozen chain's entries into their target buckets in
+// nt. frozen may contain a boundary terminator from an earlier migration
+// into t; only entries are copied.
+func (m *Map) copyOut(l *reclaim.Local, nt *table, frozen *node) {
+	// Two targets; collect each half's copies in original chain order.
+	for half := 0; half < 2; half++ {
+		var first, last *node
+		for n := frozen; n != nil && n.kind == kindEntry; n = n.next {
+			j := nt.bucketOf(hashOf(n.key))
+			if j&1 != half {
+				continue
+			}
+			cp := m.newNode(l, kindEntry, n.key, nil)
+			if first == nil {
+				first = cp
+			} else {
+				last.next = cp
+			}
+			last = cp
+		}
+		if first == nil {
+			continue // nothing for this target; it stays nil (empty)
+		}
+		j := nt.bucketOf(hashOf(first.key))
+		last.next = m.newNode(l, kindBoundary, 0, nil)
+		if !nt.buckets[j].CompareAndSwap(nil, first) {
+			// Another migrator already installed this target's contents.
+			m.releaseChain(l, first, nil)
+		}
+	}
+}
+
+// finishBucket accounts one forwarded source bucket and, on the last one,
+// flips Map.state to the next table and retires the old one.
+func (m *Map) finishBucket(l *reclaim.Local, t *table) {
+	m.migrated.Add(1)
+	if t.forwarded.Add(1) != int64(len(t.buckets)) {
+		return
+	}
+	nt := t.next.Load()
+	if m.state.CompareAndSwap(t, nt) {
+		m.resizes.Add(1)
+		// Readers that loaded the old state before the flip are announced;
+		// the epoch domain keeps the table struct and its forwarded
+		// sentinel alive until they exit.
+		m.pool.Retire(l, t.fwd)
+		m.tablePool.Retire(l, t)
+	}
+}
+
+// Range calls fn with every key observed by one traversal with plain reads
+// under an epoch guard, stopping early if fn returns false. Like the other
+// structures' walks it is weakly consistent under concurrency and exact on
+// a quiescent map: frozen source chains are walked through their markers
+// (they stay authoritative until forwarded), forwarded buckets are walked
+// in the next table, and un-forwarded targets are never visited directly —
+// so a key mid-migration, present in both an old frozen chain and a new
+// target, is reported exactly once.
+func (m *Map) Range(fn func(key int) bool) {
+	template.Guarded(func() {
+		t := m.state.Load()
+		for i := range t.buckets {
+			if !m.walkBucket(t, i, fn) {
+				return
+			}
+		}
+	})
+}
+
+// walkBucket visits source bucket i of t, descending into the next table's
+// two halves when the bucket has forwarded.
+func (m *Map) walkBucket(t *table, i int, fn func(key int) bool) bool {
+	n := t.buckets[i].Load()
+	if n != nil {
+		if n.kind == kindForwarded {
+			nt := t.next.Load()
+			return m.walkBucket(nt, 2*i, fn) && m.walkBucket(nt, 2*i+1, fn)
+		}
+		if n.kind == kindPrimed {
+			n = n.next
+		}
+	}
+	for ; n != nil && n.kind == kindEntry; n = n.next {
+		if !fn(n.key) {
+			return false
+		}
+	}
+	return true
+}
+
+// Items returns the keys observed by one traversal (Range's caveats apply).
+func (m *Map) Items() []int {
+	var keys []int
+	m.Range(func(k int) bool { keys = append(keys, k); return true })
+	return keys
+}
+
+// ReclaimStats returns the session handle's reclamation counters.
+func (s *Session) ReclaimStats() reclaim.Stats {
+	return s.h.Process().Reclaimer().Stats()
+}
+
+// CheckInvariants verifies the map's structural invariants on a quiescent
+// map: every entry hashes to the bucket chain holding it, no chain holds a
+// key twice, sentinels appear only in their legal positions, each key is
+// observed exactly once across the table generations, and the striped size
+// counter agrees with the walk. Intended for tests and stress checkpoints.
+func (m *Map) CheckInvariants() (err error) {
+	template.Guarded(func() { err = m.checkInvariants() })
+	return err
+}
+
+func (m *Map) checkInvariants() error {
+	t := m.state.Load()
+	seen := make(map[int]bool)
+	var check func(t *table, srcIdx int) error
+	check = func(t *table, i int) error {
+		n := t.buckets[i].Load()
+		if n != nil && n.kind == kindForwarded {
+			nt := t.next.Load()
+			if nt == nil {
+				return fmt.Errorf("bucket %d forwarded but table has no next", i)
+			}
+			if err := check(nt, 2*i); err != nil {
+				return err
+			}
+			return check(nt, 2*i+1)
+		}
+		if n != nil && n.kind == kindPrimed {
+			n = n.next
+		}
+		inChain := make(map[int]bool)
+		for ; n != nil; n = n.next {
+			switch n.kind {
+			case kindBoundary:
+				if n.next != nil {
+					return fmt.Errorf("bucket %d: boundary node has a successor", i)
+				}
+				return nil
+			case kindPrimed, kindForwarded:
+				return fmt.Errorf("bucket %d: migration sentinel inside a chain", i)
+			}
+			if got := t.bucketOf(hashOf(n.key)); got != i {
+				return fmt.Errorf("key %d hashed to bucket %d but found in bucket %d", n.key, got, i)
+			}
+			if inChain[n.key] {
+				return fmt.Errorf("key %d appears twice in bucket %d", n.key, i)
+			}
+			inChain[n.key] = true
+			if seen[n.key] {
+				return fmt.Errorf("key %d observed in two live locations", n.key)
+			}
+			seen[n.key] = true
+		}
+		return nil
+	}
+	for i := range t.buckets {
+		if err := check(t, i); err != nil {
+			return err
+		}
+	}
+	if got, want := m.Size(), len(seen); got != want {
+		return fmt.Errorf("size counter %d, walk found %d keys", got, want)
+	}
+	return nil
+}

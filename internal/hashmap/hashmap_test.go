@@ -1,0 +1,327 @@
+package hashmap_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/hashmap"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := hashmap.New()
+	if m.Get(7) {
+		t.Fatal("Get on empty map returned true")
+	}
+	if !m.Insert(7) {
+		t.Fatal("first Insert(7) not applied")
+	}
+	if m.Insert(7) {
+		t.Fatal("second Insert(7) applied")
+	}
+	if !m.Get(7) || !m.Contains(7) {
+		t.Fatal("Get(7) false after insert")
+	}
+	if m.Size() != 1 || m.Len() != 1 {
+		t.Fatalf("Size = %d, want 1", m.Size())
+	}
+	if m.Delete(8) {
+		t.Fatal("Delete of absent key applied")
+	}
+	if !m.Delete(7) {
+		t.Fatal("Delete(7) not applied")
+	}
+	if m.Delete(7) {
+		t.Fatal("second Delete(7) applied")
+	}
+	if m.Get(7) || m.Size() != 0 {
+		t.Fatalf("key 7 still visible after delete (size %d)", m.Size())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestGrowthThroughDoublings pushes the map through many table doublings
+// from a single session and verifies every key survives every migration,
+// the bucket array actually grew, and the structural invariants (including
+// the conserved size counter) hold at the end.
+func TestGrowthThroughDoublings(t *testing.T) {
+	m := hashmap.New()
+	h := core.NewHandle()
+	s := m.Attach(h)
+	const n = 20000
+	for k := 0; k < n; k++ {
+		if !s.Insert(k) {
+			t.Fatalf("Insert(%d) not applied", k)
+		}
+	}
+	if got := m.Buckets(); got < n/8 {
+		t.Fatalf("map never doubled: %d buckets for %d keys", got, n)
+	}
+	_, resizes := m.MigrationStats()
+	if resizes == 0 {
+		t.Fatal("no completed resize recorded")
+	}
+	for k := 0; k < n; k++ {
+		if !s.Get(k) {
+			t.Fatalf("key %d lost across migrations", k)
+		}
+	}
+	if m.Size() != n {
+		t.Fatalf("Size = %d, want %d", m.Size(), n)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after growth: %v", err)
+	}
+
+	// Drain it back down and verify emptiness — deletes run against the
+	// boundary-terminated chains migration installed.
+	for k := 0; k < n; k++ {
+		if !s.Delete(k) {
+			t.Fatalf("Delete(%d) not applied", k)
+		}
+	}
+	if m.Size() != 0 {
+		t.Fatalf("Size = %d after draining, want 0", m.Size())
+	}
+	if got := len(m.Items()); got != 0 {
+		t.Fatalf("Items returned %d keys after draining", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after drain: %v", err)
+	}
+}
+
+// TestRangeAndItems checks traversal exactness on a quiescent map that has
+// been through at least one resize.
+func TestRangeAndItems(t *testing.T) {
+	m := hashmap.New()
+	want := map[int]bool{}
+	for k := 0; k < 500; k += 3 {
+		m.Insert(k)
+		want[k] = true
+	}
+	got := map[int]bool{}
+	for _, k := range m.Items() {
+		if got[k] {
+			t.Fatalf("Items reported key %d twice", k)
+		}
+		got[k] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Items found %d keys, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("Items missed key %d", k)
+		}
+	}
+	// Early stop is honored.
+	n := 0
+	m.Range(func(int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("Range visited %d keys after requesting stop at 10", n)
+	}
+}
+
+// TestConcurrentChurnConservation runs mixed workers over a shared keyspace
+// and checks the applied-operation deltas against the final contents: each
+// worker tracks its own net insertions per key, and the quiescent map must
+// hold exactly the keys with positive net — the conservation law the
+// container layer's Size contract depends on, here exercised across
+// concurrent resizes.
+func TestConcurrentChurnConservation(t *testing.T) {
+	m := hashmap.New()
+	const (
+		workers = 4
+		keys    = 512
+		ops     = 8000
+	)
+	nets := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		nets[w] = make([]int64, keys)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := core.AcquireHandle()
+			defer h.Release()
+			s := m.Attach(h)
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < ops; i++ {
+				k := rng.Intn(keys)
+				switch rng.Intn(3) {
+				case 0:
+					if s.Insert(k) {
+						nets[w][k]++
+					}
+				case 1:
+					if s.Delete(k) {
+						nets[w][k]--
+					}
+				default:
+					s.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for k := 0; k < keys; k++ {
+		var net int64
+		for w := 0; w < workers; w++ {
+			net += nets[w][k]
+		}
+		if net != 0 && net != 1 {
+			t.Fatalf("key %d: net applied insertions = %d, want 0 or 1", k, net)
+		}
+		if present := m.Get(k); present != (net == 1) {
+			t.Fatalf("key %d: present=%v but net applied insertions=%d", k, present, net)
+		}
+	}
+	var total int64
+	for k := 0; k < keys; k++ {
+		for w := 0; w < workers; w++ {
+			total += nets[w][k]
+		}
+	}
+	if int64(m.Size()) != total {
+		t.Fatalf("Size = %d, applied-op ledger says %d", m.Size(), total)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+}
+
+// TestResizeHammer is the race-lane workout for the migration protocol:
+// writers insert a monotonically growing keyspace to force doubling after
+// doubling while readers traverse buckets and run full Range walks
+// mid-migration. Under -race, a frozen chain mutated in place, a target
+// bucket double-installed, or a table retired under a live reader shows up
+// as a data race or a lost key.
+func TestResizeHammer(t *testing.T) {
+	m := hashmap.New()
+	const (
+		writers = 3
+		readers = 2
+		perW    = 6000
+	)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := core.AcquireHandle()
+			defer h.Release()
+			s := m.Attach(h)
+			for i := 0; i < perW; i++ {
+				k := int(next.Add(1))
+				if !s.Insert(k) {
+					t.Errorf("Insert(%d) of a never-used key not applied", k)
+					return
+				}
+				if !s.Get(k) {
+					t.Errorf("key %d invisible immediately after insert", k)
+					return
+				}
+				// Delete a fraction so migration sees chains shrink too.
+				if k%5 == 0 {
+					if !s.Delete(k) {
+						t.Errorf("Delete(%d) not applied", k)
+						return
+					}
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h := core.AcquireHandle()
+			defer h.Release()
+			s := m.Attach(h)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Get(i % (1 + int(next.Load())))
+				if i%512 == 0 {
+					m.Range(func(int) bool { return true })
+				}
+			}
+		}(r)
+	}
+	// Writers finish first; then release the readers.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if next.Load() >= writers*perW {
+				close(stop)
+				return
+			}
+		}
+	}()
+	<-done
+
+	migrated, resizes := m.MigrationStats()
+	if resizes < 5 {
+		t.Fatalf("hammer completed only %d resizes (migrated %d buckets); wanted several doublings", resizes, migrated)
+	}
+	want := 0
+	for k := 1; k <= writers*perW; k++ {
+		if k%5 != 0 {
+			want++
+		}
+	}
+	if m.Size() != want {
+		t.Fatalf("Size = %d after hammer, want %d", m.Size(), want)
+	}
+	for k := 1; k <= writers*perW; k++ {
+		if got := m.Get(k); got != (k%5 != 0) {
+			t.Fatalf("key %d: present=%v, want %v", k, got, k%5 != 0)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after hammer: %v", err)
+	}
+}
+
+// TestEngineStatsCount verifies updates run through the template engine's
+// counters and CAS failures surface as SCX failures.
+func TestEngineStatsCount(t *testing.T) {
+	m := hashmap.New()
+	for k := 0; k < 100; k++ {
+		m.Insert(k)
+	}
+	for k := 0; k < 50; k++ {
+		m.Delete(k)
+	}
+	st := m.StatsByOp()
+	if st["insert"].Attempts < 100 {
+		t.Fatalf("insert attempts = %d, want >= 100", st["insert"].Attempts)
+	}
+	if st["delete"].Attempts < 50 {
+		t.Fatalf("delete attempts = %d, want >= 50", st["delete"].Attempts)
+	}
+	total := m.EngineStats()
+	if total.Attempts < 150 {
+		t.Fatalf("total attempts = %d, want >= 150", total.Attempts)
+	}
+}

@@ -1,0 +1,57 @@
+package hashmap_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pragmaprim/internal/hashmap"
+	"pragmaprim/internal/history"
+	"pragmaprim/internal/linearizability"
+)
+
+// TestLinearizableHistories records many small concurrent runs against the
+// real map and verifies each against the sequential set specification with
+// the Wing-Gong checker — the same harness the other structures use, here
+// with a tiny initial-table pressure so some histories span a resize.
+func TestLinearizableHistories(t *testing.T) {
+	const rounds = 60
+	const procs = 3
+	const opsPerProc = 5
+	const keyRange = 3
+
+	for round := 0; round < rounds; round++ {
+		m := hashmap.New()
+		rec := history.NewRecorder(procs)
+
+		var wg sync.WaitGroup
+		for g := 0; g < procs; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*procs + g)))
+				pr := rec.Proc(g)
+				for i := 0; i < opsPerProc; i++ {
+					key := rng.Intn(keyRange)
+					switch rng.Intn(3) {
+					case 0:
+						pr.Invoke(linearizability.SetInput{Op: "insert", Key: key},
+							func() any { return m.Insert(key) })
+					case 1:
+						pr.Invoke(linearizability.SetInput{Op: "delete", Key: key},
+							func() any { return m.Delete(key) })
+					default:
+						pr.Invoke(linearizability.SetInput{Op: "get", Key: key},
+							func() any { return m.Get(key) })
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		ops := rec.Ops()
+		if !linearizability.Check(linearizability.SetModel(), ops) {
+			t.Fatalf("round %d: history not linearizable:\n%+v", round, ops)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package hashmap_test
+
+import (
+	"testing"
+
+	"pragmaprim/internal/core"
+	"pragmaprim/internal/hashmap"
+	"pragmaprim/internal/template"
+)
+
+// TestEpochStallBoundsMigrationGarbage parks one handle inside an epoch
+// guard — a reader that never finishes — and then forces resize after
+// resize. Migration retires every frozen chain, every primed marker, every
+// forwarded sentinel and every old table through the epoch domain, so a
+// parked reader is its worst case: nothing can be recycled while the epoch
+// is pinned. The guarantees under test: the working session stays correct,
+// its limbo stays bounded (overflow drops to the GC rather than growing
+// without bound — a liveness degradation, never a safety one), and
+// recycling resumes once the parked reader exits.
+func TestEpochStallBoundsMigrationGarbage(t *testing.T) {
+	m := hashmap.New()
+	parked := core.NewHandle()
+	template.Enter(parked) // park: announce an epoch and never exit
+
+	h := core.NewHandle()
+	s := m.Attach(h)
+	// Monotonic inserts force doublings (each one retiring a table's worth
+	// of frozen chains), and balanced churn on a side range generates
+	// steady delete garbage, all while the epoch is pinned.
+	const grow = 12000
+	for k := 0; k < grow; k++ {
+		s.Insert(k)
+		if k%2 == 1 {
+			s.Delete(k - 1)
+		}
+	}
+	st := s.ReclaimStats()
+	if st.Recycled != 0 {
+		t.Errorf("recycled %d nodes while an epoch was parked", st.Recycled)
+	}
+	if st.Retired == 0 {
+		t.Fatal("churn under resize retired nothing")
+	}
+	if st.Dropped == 0 {
+		t.Error("a parked epoch must force limbo overflow to drop to the GC")
+	}
+	if limbo := h.Process().Reclaimer().LimboLen(); limbo > 12000 {
+		t.Errorf("limbo grew to %d entries under a parked epoch; want bounded by the caps", limbo)
+	}
+
+	// Correctness is unaffected by the stall: resizes completed and every
+	// surviving key is visible.
+	if _, resizes := m.MigrationStats(); resizes == 0 {
+		t.Fatal("no resize completed under the parked epoch")
+	}
+	for k := 1; k < grow; k += 2 {
+		if !s.Get(k) {
+			t.Fatalf("key %d lost during stalled-epoch resizes", k)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants under stall: %v", err)
+	}
+
+	// Release the parked reader; reclamation resumes.
+	template.Exit(parked)
+	for i := 0; i < 500; i++ {
+		k := 1_000_000 + i%8
+		s.Insert(k)
+		s.Delete(k)
+	}
+	if got := s.ReclaimStats().Recycled; got == 0 {
+		t.Error("reclamation did not resume after the parked handle exited")
+	}
+}

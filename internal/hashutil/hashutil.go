@@ -1,0 +1,43 @@
+// Package hashutil holds the integer hash functions the partitioning layers
+// share: Fibonacci multiply-shift routing (internal/shard) and the stronger
+// splitmix64 finalizer the resizable hash map (internal/hashmap) buckets
+// with.
+//
+// The two layers deliberately use DIFFERENT functions. Shard routing takes
+// the top log2(shards) bits of key*FibMult, so every key inside one shard
+// shares those top bits; if the hash map inside a shard bucketed by the same
+// function, a 2^s-shard deployment would populate only 1/2^s of every map's
+// buckets. Mix64's full-avalanche finalizer is independent of the Fibonacci
+// multiply, so shard routing and bucket selection compose without
+// correlation.
+package hashutil
+
+import "math/bits"
+
+// FibMult is 2^64 divided by the golden ratio, the classic Fibonacci-hashing
+// multiplier (odd, so multiplication is a bijection on uint64).
+const FibMult = 0x9E3779B97F4A7C15
+
+// Fib is the Fibonacci multiply: callers shift its result right to keep the
+// top bits, which is where the multiplier's avalanche concentrates.
+func Fib(key uint64) uint64 { return key * FibMult }
+
+// FibIndex routes key into one of n slots, n a positive power of two, by
+// taking the top log2(n) bits of the Fibonacci multiply — the shard layer's
+// routing function in pure form. FibIndex(key, 1) is 0 for every key.
+func FibIndex(key uint64, n int) int {
+	return int(Fib(key) >> uint(64-bits.TrailingZeros(uint(n))))
+}
+
+// Mix64 is the splitmix64 finalizer: a full-avalanche bijection on uint64
+// (every input bit affects every output bit with probability ~1/2). The hash
+// map uses its top bits for bucket selection so that doubling a table splits
+// every bucket i exactly into buckets 2i and 2i+1.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,88 @@
+package hashutil_test
+
+import (
+	"math/bits"
+	"testing"
+
+	"pragmaprim/internal/hashutil"
+)
+
+// TestFibIndexMatchesLegacyShardFormula pins the extracted routing function
+// to the exact arithmetic internal/shard used before the extraction:
+// int((uint64(key) * 0x9E3779B97F4A7C15) >> (64 - log2(n))). Shard routing
+// decides which shard owns which key in recovery replay (snapshot boundary
+// LSNs are per shard), so it must stay byte-for-byte stable across
+// refactors.
+func TestFibIndexMatchesLegacyShardFormula(t *testing.T) {
+	const legacyMult = 0x9E3779B97F4A7C15
+	keys := []int{0, 1, 2, 3, 41, 1023, 1 << 20, -1, -7, 1<<62 + 12345}
+	for i := 0; i < 10000; i++ {
+		keys = append(keys, i*2654435761+i)
+	}
+	for _, n := range []int{1, 2, 4, 8, 64, 1024} {
+		shift := uint(64 - bits.TrailingZeros(uint(n)))
+		for _, k := range keys {
+			want := int((uint64(k) * legacyMult) >> shift)
+			if got := hashutil.FibIndex(uint64(k), n); got != want {
+				t.Fatalf("FibIndex(%d, %d) = %d, want %d (legacy formula)", k, n, got, want)
+			}
+		}
+	}
+}
+
+// TestFibIndexGoldenVector pins a handful of concrete (key, n) -> shard
+// routings as literal values, so even a simultaneous change to this package
+// and the legacy formula above cannot silently move keys between shards.
+func TestFibIndexGoldenVector(t *testing.T) {
+	cases := []struct {
+		key  int
+		n    int
+		want int
+	}{
+		{0, 4, 0},
+		{1, 4, 2},
+		{2, 4, 0},
+		{3, 4, 3},
+		{4, 4, 1},
+		{100, 8, 6},
+		{1023, 8, 1},
+		{-1, 4, 1},
+	}
+	for _, c := range cases {
+		if got := hashutil.FibIndex(uint64(c.key), c.n); got != c.want {
+			t.Errorf("FibIndex(%d, %d) = %d, want %d", c.key, c.n, got, c.want)
+		}
+	}
+}
+
+// TestMix64Avalanche sanity-checks the bucket-selection hash: flipping one
+// input bit should flip roughly half the output bits (full avalanche), which
+// is what makes top-bits bucket extraction safe for dense sequential keys.
+func TestMix64Avalanche(t *testing.T) {
+	total, samples := 0, 0
+	for x := uint64(0); x < 512; x++ {
+		h := hashutil.Mix64(x)
+		for bit := 0; bit < 64; bit += 7 {
+			d := bits.OnesCount64(h ^ hashutil.Mix64(x^(1<<bit)))
+			total += d
+			samples++
+		}
+	}
+	avg := float64(total) / float64(samples)
+	if avg < 24 || avg > 40 {
+		t.Fatalf("average flipped output bits per input-bit flip = %.1f, want ~32", avg)
+	}
+}
+
+// TestMix64Bijective spot-checks injectivity over a dense range (a bijection
+// cannot collide), guarding against a typo in the finalizer constants.
+func TestMix64Bijective(t *testing.T) {
+	seen := make(map[uint64]uint64, 1<<16)
+	for x := uint64(0); x < 1<<16; x++ {
+		h := hashutil.Mix64(x)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d) == %#x", x, prev, h)
+		}
+		seen[h] = x
+	}
+}

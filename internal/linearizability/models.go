@@ -154,6 +154,67 @@ func seqModel(fifo bool) Model {
 	}
 }
 
+// SetInput describes one operation for SetModel (used to check the hash
+// map, whose container currency is key presence).
+type SetInput struct {
+	Op  string // "get", "insert", or "delete"
+	Key int
+}
+
+// SetModel is the sequential specification of a set of ints: Get reports
+// presence, Insert returns true iff the key was absent, Delete returns true
+// iff the key was present.
+func SetModel() Model {
+	return Model{
+		Init: func() any { return map[int]bool{} },
+		Step: func(state, input any) (any, any) {
+			s := state.(map[int]bool)
+			in := input.(SetInput)
+			switch in.Op {
+			case "get":
+				return s, s[in.Key]
+			case "insert":
+				if s[in.Key] {
+					return s, false
+				}
+				next := make(map[int]bool, len(s)+1)
+				for k := range s {
+					next[k] = true
+				}
+				next[in.Key] = true
+				return next, true
+			case "delete":
+				if !s[in.Key] {
+					return s, false
+				}
+				next := make(map[int]bool, len(s))
+				for k := range s {
+					if k != in.Key {
+						next[k] = true
+					}
+				}
+				return next, true
+			default:
+				panic("linearizability: unknown set op " + in.Op)
+			}
+		},
+		Hash: func(state any) string {
+			s := state.(map[int]bool)
+			keys := make([]int, 0, len(s))
+			for k := range s {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			var b strings.Builder
+			for _, k := range keys {
+				b.WriteString(strconv.Itoa(k))
+				b.WriteByte(',')
+			}
+			return b.String()
+		},
+	}
+}
+
 // MapInput describes one ordered-map operation for MapModel (used to check
 // the BST).
 type MapInput struct {

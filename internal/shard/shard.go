@@ -7,8 +7,8 @@
 // retry policy and engine counters, and the wrapper only ever aggregates —
 // it never synchronizes.
 //
-// Routing uses Fibonacci hashing: the key is multiplied by 2^64/φ and the
-// top log2(shards) bits select the shard. The multiplier's bit avalanche
+// Routing uses Fibonacci hashing (internal/hashutil): the key is multiplied
+// by 2^64/φ and the top log2(shards) bits select the shard. The multiplier's bit avalanche
 // spreads both sequential and clustered key patterns evenly (a plain
 // key%shards would map the workload generators' dense [0,n) ranges onto
 // shards in stripes that correlate with access order), and the top-bits
@@ -26,12 +26,9 @@ import (
 	"math/bits"
 
 	"pragmaprim/internal/container"
+	"pragmaprim/internal/hashutil"
 	"pragmaprim/internal/template"
 )
-
-// fibMult is 2^64 divided by the golden ratio, the classic Fibonacci-hashing
-// multiplier (odd, so multiplication is a bijection on uint64).
-const fibMult = 0x9E3779B97F4A7C15
 
 // Sharded partitions one logical container across independent shards. It
 // implements container.Container itself, so every layer that drives a
@@ -77,7 +74,7 @@ func (s *Sharded) ShardCount() int { return len(s.shards) }
 
 // ShardOf returns the index of the shard that owns key.
 func (s *Sharded) ShardOf(key int) int {
-	return int((uint64(key) * fibMult) >> s.shift)
+	return int(hashutil.Fib(uint64(key)) >> s.shift)
 }
 
 // Index is the routing function in pure form: the shard owning key under an
@@ -89,7 +86,7 @@ func Index(key int64, n int) int {
 	if n <= 0 || n&(n-1) != 0 {
 		panic(fmt.Sprintf("shard: count %d is not a positive power of two", n))
 	}
-	return int((uint64(key) * fibMult) >> uint(64-bits.TrailingZeros(uint(n))))
+	return hashutil.FibIndex(uint64(key), n)
 }
 
 // Shard returns shard i, for diagnostics and tests.

@@ -172,6 +172,13 @@ func (c *Ctx) SCXPtr(v []*core.Record, rset []*core.Record, fld core.FieldRef, n
 	return ok
 }
 
+// CASFailed records a failed single-word commit for a structure whose
+// update is a degenerate one-record SCX — a plain CAS on one location (the
+// hash map's bucket heads). Routing the failure through the Ctx keeps such
+// structures' retries visible in the same SCXFails counters the
+// descriptor-based structures report.
+func (c *Ctx) CASFailed() { c.scxFails++ }
+
 // VLX validates that every record in v is unchanged since this attempt's
 // LLX on it — the read-only commit used where an operation's result is an
 // observation (e.g. queue emptiness) rather than a write.

@@ -1,8 +1,11 @@
 #!/bin/sh
 # server_smoke.sh — end-to-end smoke of the serving stack, the CI lane
-# behind `make server-smoke`: build and start cmd/server, drive it with the
-# load generator for one second, scrape the -metrics HTTP endpoint, send
-# SIGTERM, and assert the server drains and exits cleanly (status 0).
+# behind `make server-smoke`: build cmd/server, enumerate the servable
+# structures from the server's own registry (server -list), then for a
+# keyed structure from each family — the LLX/SCX multiset and the lock-free
+# hash map — start the server, drive it with the load generator for one
+# second, scrape the -metrics HTTP endpoint, send SIGTERM, and assert the
+# server drains and exits cleanly (status 0).
 set -eu
 
 PORT=$((17000 + $$ % 1000))
@@ -19,30 +22,42 @@ echo "server-smoke: building"
 go build -o "$TMP/server" ./cmd/server
 go build -o "$TMP/bench" ./cmd/bench
 
-echo "server-smoke: starting server on 127.0.0.1:$PORT (metrics :$MPORT)"
-"$TMP/server" -addr "127.0.0.1:$PORT" -metrics "127.0.0.1:$MPORT" \
-    -structure llx-multiset -shards 4 >"$TMP/server.log" 2>&1 &
-SERVER_PID=$!
+echo "server-smoke: enumerating structures from the registry"
+"$TMP/server" -list >"$TMP/structures"
+cat "$TMP/structures"
+for want in llx-multiset hashmap; do
+    grep -qx "$want" "$TMP/structures" || {
+        echo "server-smoke: FAILED: registry does not list $want" >&2
+        exit 1
+    }
+done
 
-echo "server-smoke: running loadgen for 1s and scraping metrics"
-"$TMP/bench" -loadgen -addr "127.0.0.1:$PORT" \
-    -lgdur 1s -lgdepth 16 -lgconns 2 \
-    -lgmetrics "http://127.0.0.1:$MPORT/metrics"
+for STRUCT in llx-multiset hashmap; do
+    echo "server-smoke: starting $STRUCT server on 127.0.0.1:$PORT (metrics :$MPORT)"
+    "$TMP/server" -addr "127.0.0.1:$PORT" -metrics "127.0.0.1:$MPORT" \
+        -structure "$STRUCT" -shards 4 >"$TMP/server.log" 2>&1 &
+    SERVER_PID=$!
 
-echo "server-smoke: SIGTERM, expecting clean drain"
-kill -TERM "$SERVER_PID"
-if wait "$SERVER_PID"; then
-    SERVER_PID=""
-else
-    status=$?
-    SERVER_PID=""
-    echo "server-smoke: FAILED: server exited with status $status" >&2
-    cat "$TMP/server.log" >&2
-    exit 1
-fi
-grep -q "drained:" "$TMP/server.log" || {
-    echo "server-smoke: FAILED: no drain report in server log" >&2
-    cat "$TMP/server.log" >&2
-    exit 1
-}
+    echo "server-smoke: running loadgen for 1s and scraping metrics"
+    "$TMP/bench" -loadgen -addr "127.0.0.1:$PORT" \
+        -lgdur 1s -lgdepth 16 -lgconns 2 \
+        -lgmetrics "http://127.0.0.1:$MPORT/metrics"
+
+    echo "server-smoke: SIGTERM, expecting clean drain"
+    kill -TERM "$SERVER_PID"
+    if wait "$SERVER_PID"; then
+        SERVER_PID=""
+    else
+        status=$?
+        SERVER_PID=""
+        echo "server-smoke: FAILED: $STRUCT server exited with status $status" >&2
+        cat "$TMP/server.log" >&2
+        exit 1
+    fi
+    grep -q "drained:" "$TMP/server.log" || {
+        echo "server-smoke: FAILED: no drain report in $STRUCT server log" >&2
+        cat "$TMP/server.log" >&2
+        exit 1
+    }
+done
 echo "server-smoke: OK"
