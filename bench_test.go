@@ -441,19 +441,30 @@ func BenchmarkBuiltinMapGetKeyspace(b *testing.B) {
 
 // The BenchmarkParallel* set is the multi-core comparison lane: the same
 // mixed workload shape against the lock-free hash map, sync.Map, an
-// RWMutex-guarded map, and the sharded LLX/SCX multiset, at 90% and 50%
-// read mixes. Run with `go test -bench BenchmarkParallel -cpu 1,2,4`;
+// RWMutex-guarded map, and the sharded LLX/SCX multiset, at 100% (pure
+// read), 90% and 50% read mixes, plus a Zipf-skewed 90%-read lane (hot-key
+// contention). Run with `go test -bench BenchmarkParallel -cpu 1,2,4`;
 // cmd/bench -parallel runs the same bodies and records BENCH_parallel.json
 // keyed by GOMAXPROCS.
 
-func BenchmarkParallelHashmapRead90(b *testing.B) { benchcore.ParallelHashmap(b, 90) }
-func BenchmarkParallelHashmapRead50(b *testing.B) { benchcore.ParallelHashmap(b, 50) }
+func BenchmarkParallelHashmapRead100(b *testing.B)    { benchcore.ParallelHashmap(b, 100) }
+func BenchmarkParallelHashmapRead90(b *testing.B)     { benchcore.ParallelHashmap(b, 90) }
+func BenchmarkParallelHashmapRead50(b *testing.B)     { benchcore.ParallelHashmap(b, 50) }
+func BenchmarkParallelHashmapRead90Zipf(b *testing.B) { benchcore.ParallelHashmapZipf(b, 90) }
 
-func BenchmarkParallelSyncMapRead90(b *testing.B) { benchcore.ParallelSyncMap(b, 90) }
-func BenchmarkParallelSyncMapRead50(b *testing.B) { benchcore.ParallelSyncMap(b, 50) }
+func BenchmarkParallelSyncMapRead100(b *testing.B)    { benchcore.ParallelSyncMap(b, 100) }
+func BenchmarkParallelSyncMapRead90(b *testing.B)     { benchcore.ParallelSyncMap(b, 90) }
+func BenchmarkParallelSyncMapRead50(b *testing.B)     { benchcore.ParallelSyncMap(b, 50) }
+func BenchmarkParallelSyncMapRead90Zipf(b *testing.B) { benchcore.ParallelSyncMapZipf(b, 90) }
 
-func BenchmarkParallelMutexMapRead90(b *testing.B) { benchcore.ParallelMutexMap(b, 90) }
-func BenchmarkParallelMutexMapRead50(b *testing.B) { benchcore.ParallelMutexMap(b, 50) }
+func BenchmarkParallelMutexMapRead100(b *testing.B)    { benchcore.ParallelMutexMap(b, 100) }
+func BenchmarkParallelMutexMapRead90(b *testing.B)     { benchcore.ParallelMutexMap(b, 90) }
+func BenchmarkParallelMutexMapRead50(b *testing.B)     { benchcore.ParallelMutexMap(b, 50) }
+func BenchmarkParallelMutexMapRead90Zipf(b *testing.B) { benchcore.ParallelMutexMapZipf(b, 90) }
 
-func BenchmarkParallelShardedMultisetRead90(b *testing.B) { benchcore.ParallelShardedMultiset(b, 90) }
-func BenchmarkParallelShardedMultisetRead50(b *testing.B) { benchcore.ParallelShardedMultiset(b, 50) }
+func BenchmarkParallelShardedMultisetRead100(b *testing.B) { benchcore.ParallelShardedMultiset(b, 100) }
+func BenchmarkParallelShardedMultisetRead90(b *testing.B)  { benchcore.ParallelShardedMultiset(b, 90) }
+func BenchmarkParallelShardedMultisetRead50(b *testing.B)  { benchcore.ParallelShardedMultiset(b, 50) }
+func BenchmarkParallelShardedMultisetRead90Zipf(b *testing.B) {
+	benchcore.ParallelShardedMultisetZipf(b, 90)
+}

@@ -9,7 +9,7 @@
 //	bench -corejson BENCH_core.json
 //	bench -compare old.json [-corejson new.json] [-maxallocregress]
 //	bench -parallel [-paralleljson BENCH_parallel.json] [-parallelcpus 1,2,4]
-//	bench -compareparallel old.json [-parallelcpus 1,2,4] [-paralleljson new.json]
+//	bench -compareparallel old.json [-parallelcpus 1,2,4] [-paralleljson new.json] [-maxscale 1.3]
 //	bench -loadgen [-addr host:port] [-lgmode closed|open] [-lgdepth 1,16,128]
 //	      [-lgconns 4] [-lgdist uniform|zipf] [-lgkeys 1024] [-lgmix 50/25/25]
 //	      [-lgdur 2s] [-lgrate 50000] [-lgstructure llx-multiset] [-lgshards 4]
@@ -21,10 +21,18 @@
 // are noisy on shared runners, allocation counts are not).
 //
 // -parallel runs the multi-core comparison lane (the hash map versus
-// sync.Map, an RWMutex map and the sharded multiset) once per -parallelcpus
-// GOMAXPROCS value; BENCH_parallel.json is the checked-in trajectory.
-// -compareparallel prints a delta table against a prior dump (no CI gate —
-// parallel timings are host-dependent).
+// sync.Map, an RWMutex map and the sharded multiset, at pure-read/90/50
+// read mixes plus a Zipf-skewed lane) once per -parallelcpus GOMAXPROCS
+// value; BENCH_parallel.json is the checked-in trajectory. -compareparallel
+// prints a per-cell delta table against a prior dump and exits non-zero
+// when allocs/op regresses on any shared cell or a parallel_hashmap_* row
+// scales worse than -maxscale from GOMAXPROCS=1 to 2 — the two checks that
+// stay meaningful on arbitrary hosts, where absolute ns/op does not.
+//
+// -cpuprofile/-memprofile/-mutexprofile/-blockprofile write pprof profiles
+// of whatever lane the invocation runs, e.g.
+// `bench -parallel -parallelcpus 2 -cpuprofile cpu.out` profiles the
+// parallel suite; `go tool pprof cpu.out` reads the result.
 //
 // -loadgen drives a KV server (internal/server) across a real socket: an
 // external one at -addr, or — when -addr is empty — a self-hosted
@@ -65,7 +73,13 @@ func run() int {
 		parallel   = flag.Bool("parallel", false, "run the multi-core parallel comparison lane, then exit")
 		parJSON    = flag.String("paralleljson", "", "with -parallel/-compareparallel: write the JSON dump to this path (e.g. BENCH_parallel.json)")
 		parCPUs    = flag.String("parallelcpus", "1,2,4", "GOMAXPROCS values for the parallel lane, comma-separated")
-		parCompare = flag.String("compareparallel", "", "run the parallel lane and print a delta table against this prior -paralleljson file, then exit")
+		parCompare = flag.String("compareparallel", "", "run the parallel lane, print a delta table against this prior -paralleljson file and enforce the alloc+scaling gates, then exit")
+		maxScale   = flag.Float64("maxscale", 1.3, "with -compareparallel: fail when a parallel_hashmap_* row's ns/op at GOMAXPROCS=2 exceeds this multiple of its GOMAXPROCS=1 value (<=0 disables)")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the selected lane to this path")
+		memProfile   = flag.String("memprofile", "", "write a heap profile (after runtime.GC) to this path on exit")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this path on exit (sets mutex profiling fraction to 1)")
+		blockProfile = flag.String("blockprofile", "", "write a blocking profile to this path on exit (sets block profiling rate to 1)")
 
 		loadgen = flag.Bool("loadgen", false, "run the server load generator instead of the experiments, then exit")
 		lg      loadgenOpts
@@ -86,6 +100,15 @@ func run() int {
 	flag.StringVar(&lg.metrics, "lgmetrics", "", "loadgen: scrape and print this HTTP metrics URL after the run")
 	flag.Parse()
 
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *mutexProfile, *blockProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	// run() is the real main (main wraps it in os.Exit, which would skip
+	// deferred writes), so the profile flush is deferred here.
+	defer stopProfiles()
+
 	if *loadgen {
 		if err := runLoadgen(lg); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -101,7 +124,7 @@ func run() int {
 			return 2
 		}
 		if *parCompare != "" {
-			err = runCompareParallel(*parCompare, cpus, *parJSON)
+			err = runCompareParallel(*parCompare, cpus, *parJSON, *maxScale)
 		} else {
 			err = runParallelBench(cpus, *parJSON)
 		}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles enables the requested pprof profiles and returns a function
+// that flushes them to disk. CPU profiling streams for the whole run; the
+// heap, mutex and block profiles are snapshots taken at stop time, after the
+// measured work — the shape that makes `bench -parallel -cpuprofile ...`
+// directly answer "where do the parallel lanes spend their time" and
+// `-mutexprofile`/`-blockprofile` answer "on what do they wait".
+//
+// Each empty path disables that profile. Mutex and block profiling are
+// sampled at full rate while enabled: the bench process exists to be
+// measured, so fidelity beats the sampling overhead.
+func startProfiles(cpu, mem, mutex, block string) (stop func(), err error) {
+	var stops []func()
+	fail := func(err error) (func(), error) {
+		for _, s := range stops {
+			s()
+		}
+		return nil, err
+	}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+		stops = append(stops, writeProfileOnStop("mutex", mutex))
+	}
+	if block != "" {
+		runtime.SetBlockProfileRate(1)
+		stops = append(stops, writeProfileOnStop("block", block))
+	}
+	if mem != "" {
+		stops = append(stops, func() {
+			runtime.GC() // material still in limbo or caches stays; dead garbage does not
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: memprofile: %v\n", err)
+			}
+		})
+	}
+	return func() {
+		// In registration order: the CPU profile stops first, so the cost of
+		// writing the snapshot profiles never pollutes it.
+		for _, s := range stops {
+			s()
+		}
+	}, nil
+}
+
+// writeProfileOnStop returns a stop hook that dumps the named runtime
+// profile (with symbolized stacks) to path.
+func writeProfileOnStop(name, path string) func() {
+	return func() {
+		p := pprof.Lookup(name)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "bench: unknown profile %q\n", name)
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %sprofile: %v\n", name, err)
+			return
+		}
+		defer f.Close()
+		if err := p.WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %sprofile: %v\n", name, err)
+		}
+	}
+}

@@ -124,6 +124,7 @@ func SCXCycle(b *testing.B, k int) {
 func SCXCycleRecycled(b *testing.B) {
 	p := core.NewProcess()
 	l := p.Reclaimer()
+	b.Cleanup(l.Release) // unpublish: a stale announcement would pin later cells' epochs
 	r := core.NewTypedRecord(1, 0)
 	var f core.Fields
 	cycle := func(i int) {
@@ -152,6 +153,7 @@ func SCXCycleRecycled(b *testing.B) {
 // announces the epoch, so after warmup the cycle is allocation-free.
 func TemplateSCXCycle(b *testing.B) {
 	h := core.NewHandle()
+	b.Cleanup(h.Release) // unpublish: a stale announcement would pin later cells' epochs
 	r := core.NewTypedRecord(1, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -281,6 +283,7 @@ func NewFilledMultiset() (*multiset.Multiset[int], multiset.Session[int]) {
 // (plain-read search under the session's epoch guard).
 func MultisetGet(b *testing.B) {
 	_, s := NewFilledMultiset()
+	b.Cleanup(s.Handle().Release)
 	rng := rand.New(rand.NewSource(1))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -294,6 +297,7 @@ func MultisetGet(b *testing.B) {
 // allocs/op after warmup) through a bound Session.
 func MultisetInsertExisting(b *testing.B) {
 	_, s := NewFilledMultiset()
+	b.Cleanup(s.Handle().Release)
 	rng := rand.New(rand.NewSource(2))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -308,6 +312,7 @@ func MultisetInsertExisting(b *testing.B) {
 // earlier deletes retired.
 func MultisetInsertDeleteNew(b *testing.B) {
 	_, s := NewFilledMultiset()
+	b.Cleanup(s.Handle().Release)
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 256; i++ { // prime the recycling pipeline
 		k := MultisetKeys + rng.Intn(MultisetKeys)

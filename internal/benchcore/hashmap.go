@@ -33,6 +33,7 @@ func HashmapGet(b *testing.B) {
 // load factor, and so the expected chain length, is independent of n).
 func HashmapGetKeyspace(b *testing.B, n int) {
 	_, s := NewFilledHashmap(n)
+	b.Cleanup(s.Handle().Release) // unpublish: a stale announcement would pin later cells' epochs
 	rng := rand.New(rand.NewSource(1))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -73,6 +74,7 @@ func BuiltinMapGetKeyspace(b *testing.B, n int) {
 // allocates at most one object per pair (the gate BENCH_core pins).
 func HashmapInsertDeleteNew(b *testing.B) {
 	_, s := NewFilledHashmap(MultisetKeys)
+	b.Cleanup(s.Handle().Release)
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 256; i++ { // prime the recycling pipeline
 		k := MultisetKeys + rng.Intn(MultisetKeys)
@@ -92,6 +94,7 @@ func HashmapInsertDeleteNew(b *testing.B) {
 // check that finds the key on an O(1) chain and commits nothing).
 func HashmapInsertExisting(b *testing.B) {
 	_, s := NewFilledHashmap(MultisetKeys)
+	b.Cleanup(s.Handle().Release)
 	rng := rand.New(rand.NewSource(2))
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -21,25 +21,49 @@ import (
 // harness shape: prefill half the keyspace so reads hit ~50%, then each
 // worker draws from its own seeded PRNG (no shared RNG contention polluting
 // the measurement) and performs a read with probability readPct/100, else
-// alternately inserts or deletes.
+// alternately inserts or deletes. Three axes: the read mix (read100 is the
+// pure-read scaling lane, read90 the common-case mix, read50 write-heavy),
+// the key distribution (uniform, or Zipf-skewed via the *Zipf variants), and
+// GOMAXPROCS.
 
 // ParallelKeys is the keyspace of the parallel lane: big enough that the
 // hash map runs at thousands of buckets, small enough to stay cache-warm.
 const ParallelKeys = 1 << 16
 
+// zipfSkew is the exponent of the Zipf-skewed lanes: s=1.1 concentrates a
+// large share of the draws on a small hot set (the classic "popular keys"
+// shape), which is the adversarial case for anything that serializes on a
+// per-key basis — hot-chain SCX retries in the hash map, hot-entry dirty
+// promotion in sync.Map, and plain lock convoys in the mutex map.
+const zipfSkew = 1.1
+
 // parallelSeeds hands each RunParallel worker a distinct deterministic seed.
 var parallelSeeds atomic.Int64
 
+// keySource returns a per-worker key generator: uniform over ParallelKeys,
+// or Zipf-skewed with exponent zipfSkew. Each worker owns its generator, so
+// the draw itself never contends.
+func keySource(rng *rand.Rand, skewed bool) func() int {
+	if !skewed {
+		return func() int { return rng.Intn(ParallelKeys) }
+	}
+	z := rand.NewZipf(rng, zipfSkew, 1, ParallelKeys-1)
+	return func() int { return int(z.Uint64()) }
+}
+
 // parallelBody runs the shared workload shape against one target described
-// by its three operations.
-func parallelBody(b *testing.B, readPct int, get func(int) bool, insert, del func(int)) {
+// by its three operations. readPct=100 is the pure-read lane: every draw is
+// a Get, the cleanest measure of read-path scaling (no write ever dirties a
+// cache line, so any slowdown at higher GOMAXPROCS is protocol overhead).
+func parallelBody(b *testing.B, readPct int, skewed bool, get func(int) bool, insert, del func(int)) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		rng := rand.New(rand.NewSource(parallelSeeds.Add(1)))
+		key := keySource(rng, skewed)
 		writeToggle := false
 		for pb.Next() {
-			k := rng.Intn(ParallelKeys)
+			k := key()
 			if rng.Intn(100) < readPct {
 				get(k)
 			} else if writeToggle = !writeToggle; writeToggle {
@@ -54,7 +78,14 @@ func parallelBody(b *testing.B, readPct int, get func(int) bool, insert, del fun
 // ParallelHashmap runs the sweep body against the lock-free hash map. Each
 // worker binds its own Session (pooled Handle), the same way a server
 // connection would.
-func ParallelHashmap(b *testing.B, readPct int) {
+func ParallelHashmap(b *testing.B, readPct int) { parallelHashmap(b, readPct, false) }
+
+// ParallelHashmapZipf is ParallelHashmap under the Zipf-skewed key
+// distribution: reads and writes concentrate on a hot set, so write lanes
+// measure hot-chain SCX contention rather than disjoint-access parallelism.
+func ParallelHashmapZipf(b *testing.B, readPct int) { parallelHashmap(b, readPct, true) }
+
+func parallelHashmap(b *testing.B, readPct int, skewed bool) {
 	m := hashmap.New()
 	for k := 0; k < ParallelKeys; k += 2 {
 		m.Insert(k)
@@ -66,9 +97,10 @@ func ParallelHashmap(b *testing.B, readPct int) {
 		defer h.Release()
 		s := m.Attach(h)
 		rng := rand.New(rand.NewSource(parallelSeeds.Add(1)))
+		key := keySource(rng, skewed)
 		writeToggle := false
 		for pb.Next() {
-			k := rng.Intn(ParallelKeys)
+			k := key()
 			if rng.Intn(100) < readPct {
 				s.Get(k)
 			} else if writeToggle = !writeToggle; writeToggle {
@@ -83,12 +115,18 @@ func ParallelHashmap(b *testing.B, readPct int) {
 // ParallelSyncMap runs the sweep body against sync.Map, the standard
 // library's concurrent map (per-entry indirection, amortized lock-free
 // reads, dirty-map promotion on writes).
-func ParallelSyncMap(b *testing.B, readPct int) {
+func ParallelSyncMap(b *testing.B, readPct int) { parallelSyncMap(b, readPct, false) }
+
+// ParallelSyncMapZipf is ParallelSyncMap under the Zipf-skewed key
+// distribution.
+func ParallelSyncMapZipf(b *testing.B, readPct int) { parallelSyncMap(b, readPct, true) }
+
+func parallelSyncMap(b *testing.B, readPct int, skewed bool) {
 	var m sync.Map
 	for k := 0; k < ParallelKeys; k += 2 {
 		m.Store(k, struct{}{})
 	}
-	parallelBody(b, readPct,
+	parallelBody(b, readPct, skewed,
 		func(k int) bool { _, ok := m.Load(k); return ok },
 		func(k int) { m.Store(k, struct{}{}) },
 		func(k int) { m.Delete(k) })
@@ -96,13 +134,19 @@ func ParallelSyncMap(b *testing.B, readPct int) {
 
 // ParallelMutexMap runs the sweep body against a plain map guarded by one
 // RWMutex — the baseline every Go service reaches for first.
-func ParallelMutexMap(b *testing.B, readPct int) {
+func ParallelMutexMap(b *testing.B, readPct int) { parallelMutexMap(b, readPct, false) }
+
+// ParallelMutexMapZipf is ParallelMutexMap under the Zipf-skewed key
+// distribution.
+func ParallelMutexMapZipf(b *testing.B, readPct int) { parallelMutexMap(b, readPct, true) }
+
+func parallelMutexMap(b *testing.B, readPct int, skewed bool) {
 	m := make(map[int]struct{}, ParallelKeys)
 	var mu sync.RWMutex
 	for k := 0; k < ParallelKeys; k += 2 {
 		m[k] = struct{}{}
 	}
-	parallelBody(b, readPct,
+	parallelBody(b, readPct, skewed,
 		func(k int) bool {
 			mu.RLock()
 			_, ok := m[k]
@@ -127,6 +171,17 @@ func ParallelMutexMap(b *testing.B, readPct int) {
 // make reads O(keys/shards); the hash map's flat buckets are the point of
 // comparison.
 func ParallelShardedMultiset(b *testing.B, readPct int) {
+	parallelShardedMultiset(b, readPct, false)
+}
+
+// ParallelShardedMultisetZipf is ParallelShardedMultiset under the
+// Zipf-skewed key distribution — the worst case for partitioning, since the
+// hot set concentrates on few shards.
+func ParallelShardedMultisetZipf(b *testing.B, readPct int) {
+	parallelShardedMultiset(b, readPct, true)
+}
+
+func parallelShardedMultiset(b *testing.B, readPct int, skewed bool) {
 	sh := shard.New(ShardedShards, func(int) container.Container {
 		return container.Multiset(multiset.New[int]())
 	})
@@ -141,9 +196,10 @@ func ParallelShardedMultiset(b *testing.B, readPct int) {
 		s := sh.NewSession()
 		defer s.Close()
 		rng := rand.New(rand.NewSource(parallelSeeds.Add(1)))
+		key := keySource(rng, skewed)
 		writeToggle := false
 		for pb.Next() {
-			k := rng.Intn(ParallelKeys)
+			k := key()
 			if rng.Intn(100) < readPct {
 				s.Get(k)
 			} else if writeToggle = !writeToggle; writeToggle {

@@ -49,6 +49,7 @@ func (s *msSession) Get(key int) bool    { return s.s.Get(key) > 0 }
 func (s *msSession) Insert(key int) bool { s.s.Insert(key, 1); return true }
 func (s *msSession) Delete(key int) bool { return s.s.Delete(key, 1) }
 func (s *msSession) Count(key int) int   { return s.s.Get(key) }
+func (s *msSession) Quiesce()            { template.Quiesce(s.s.Handle()) }
 func (s *msSession) Close()              { s.s.Handle().Release() }
 
 // --- LLX/SCX external BST ---------------------------------------------------
@@ -85,7 +86,8 @@ func (s *bstSession) Count(key int) int {
 	}
 	return 0
 }
-func (s *bstSession) Close()              { s.s.Handle().Release() }
+func (s *bstSession) Quiesce() { template.Quiesce(s.s.Handle()) }
+func (s *bstSession) Close()   { s.s.Handle().Release() }
 
 // --- LLX/SCX Patricia trie --------------------------------------------------
 
@@ -121,7 +123,8 @@ func (s *trieSession) Count(key int) int {
 	}
 	return 0
 }
-func (s *trieSession) Close()              { s.s.Handle().Release() }
+func (s *trieSession) Quiesce() { template.Quiesce(s.s.Handle()) }
+func (s *trieSession) Close()   { s.s.Handle().Release() }
 
 // --- lock-free resizable hash map -------------------------------------------
 
@@ -155,7 +158,8 @@ func (s *hmSession) Count(key int) int {
 	}
 	return 0
 }
-func (s *hmSession) Close() { s.s.Handle().Release() }
+func (s *hmSession) Quiesce() { template.Quiesce(s.s.Handle()) }
+func (s *hmSession) Close()   { s.s.Handle().Release() }
 
 // --- LLX/SCX queue (produce/consume) ----------------------------------------
 
@@ -186,6 +190,7 @@ func (s *queueSession) Get(int) bool        { _, ok := s.q.Peek(); return ok }
 func (s *queueSession) Insert(key int) bool { s.s.Enqueue(key); return true }
 func (s *queueSession) Delete(int) bool     { _, ok := s.s.Dequeue(); return ok }
 func (s *queueSession) Count(int) int       { return -1 }
+func (s *queueSession) Quiesce()            { template.Quiesce(s.s.Handle()) }
 func (s *queueSession) Close()              { s.s.Handle().Release() }
 
 // --- LLX/SCX stack (produce/consume) ----------------------------------------
@@ -216,6 +221,7 @@ func (s *stackSession) Get(int) bool        { _, ok := s.st.Peek(); return ok }
 func (s *stackSession) Insert(key int) bool { s.s.Push(key); return true }
 func (s *stackSession) Delete(int) bool     { _, ok := s.s.Pop(); return ok }
 func (s *stackSession) Count(int) int       { return -1 }
+func (s *stackSession) Quiesce()            { template.Quiesce(s.s.Handle()) }
 func (s *stackSession) Close()              { s.s.Handle().Release() }
 
 // --- lock baselines ---------------------------------------------------------
@@ -244,6 +250,7 @@ func (s coarseSession) Get(key int) bool    { return s.m.Get(key) > 0 }
 func (s coarseSession) Insert(key int) bool { s.m.Insert(key, 1); return true }
 func (s coarseSession) Delete(key int) bool { return s.m.Delete(key, 1) }
 func (s coarseSession) Count(key int) int   { return s.m.Get(key) }
+func (s coarseSession) Quiesce()            {}
 func (s coarseSession) Close()              {}
 
 // FineLock adapts the hand-over-hand lock-coupling multiset baseline.
@@ -270,6 +277,7 @@ func (s fineSession) Get(key int) bool    { return s.m.Get(key) > 0 }
 func (s fineSession) Insert(key int) bool { s.m.Insert(key, 1); return true }
 func (s fineSession) Delete(key int) bool { return s.m.Delete(key, 1) }
 func (s fineSession) Count(key int) int   { return s.m.Get(key) }
+func (s fineSession) Quiesce()            {}
 func (s fineSession) Close()              {}
 
 // rangeOccurrences aggregates a produce/consume element walk into the

@@ -51,6 +51,14 @@ type Session interface {
 	// whose Delete consumes an arbitrary element). The durability layer's
 	// crash harness audits per-key conservation through this.
 	Count(key int) int
+	// Quiesce declares that the session's owner holds no references into
+	// the container and may go idle for a while (a connection blocking on
+	// its socket, a worker parking on a channel). LLX/SCX sessions
+	// unpublish their epoch announcement — left published and stale, it
+	// would delay memory reclamation for every structure in the domain —
+	// and the lock baselines no-op. Call it between operations only; the
+	// session remains fully usable afterwards.
+	Quiesce()
 	// Close releases per-session resources (the pooled Handle of an
 	// LLX/SCX session). The Session must not be used afterwards.
 	Close()

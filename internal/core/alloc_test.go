@@ -2,11 +2,25 @@ package core_test
 
 import (
 	"testing"
+	"time"
 
 	"pragmaprim/internal/core"
 	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/reclaim"
 	"pragmaprim/internal/template"
 )
+
+// awaitMobileEpoch blocks until the shared reclamation domain's epoch can
+// advance again. Announcements stay published between operations now, so a
+// handle abandoned by an earlier test in this binary pins the epoch — and a
+// pinned epoch starves the descriptor freelist these tests measure — until
+// the GC scavenger collects it. AwaitMobile forces that collection.
+func awaitMobileEpoch(t *testing.T) {
+	t.Helper()
+	if !reclaim.Default.AwaitMobile(10 * time.Second) {
+		t.Fatal("reclamation epoch is pinned by a stale announcement from an earlier test")
+	}
+}
 
 // allocMultiset is the end-to-end fixture for TestSessionUpdateAllocCeiling:
 // a real multiset with one resident key, driven through a bound Session.
@@ -90,6 +104,7 @@ func TestSCXCycleAllocCeiling(t *testing.T) {
 // after the warm-up call nothing engine-side touches the heap.
 func TestTemplateRunAllocFree(t *testing.T) {
 	h := core.NewHandle()
+	defer h.Release()
 	r := core.NewRecord(1, []any{0})
 	newVal := any("fresh") // pre-boxed: the cycle's only allocation is the descriptor
 	var st template.OpStats
@@ -132,7 +147,9 @@ func TestHandleAcquireReleaseAllocFree(t *testing.T) {
 // existing key is one LLX + one word SCX: the count is a raw uint64 (no
 // boxing) and the descriptor comes from the reclamation freelist.
 func TestSessionUpdateAllocCeiling(t *testing.T) {
+	awaitMobileEpoch(t)
 	m := newAllocMultiset()
+	defer m.s.Handle().Release()
 	for i := 0; i < 64; i++ {
 		m.bump() // prime the descriptor-recycling pipeline
 	}
@@ -149,8 +166,10 @@ func TestSessionUpdateAllocCeiling(t *testing.T) {
 // its descriptor, so the warm path performs zero heap allocations — the
 // tightened form of TestSCXCycleAllocCeiling's one-descriptor ceiling.
 func TestSCXCycleRecycledAllocFree(t *testing.T) {
+	awaitMobileEpoch(t)
 	p := core.NewProcess()
 	l := p.Reclaimer()
+	defer l.Release()
 	r := core.NewTypedRecord(1, 0)
 	var f core.Fields
 	i := uint64(0)
@@ -179,7 +198,9 @@ func TestSCXCycleRecycledAllocFree(t *testing.T) {
 // transaction through the engine allocates nothing once the descriptor
 // pipeline is primed.
 func TestTemplateRunRecycledAllocFree(t *testing.T) {
+	awaitMobileEpoch(t)
 	h := core.NewHandle()
+	defer h.Release()
 	r := core.NewTypedRecord(1, 0)
 	i := uint64(0)
 	attempt := func(c *template.Ctx) (struct{}, template.Action) {

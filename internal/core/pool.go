@@ -29,11 +29,26 @@ func (h *Handle) Process() *Process {
 }
 
 // Release returns the Handle to the pool it was acquired from. The caller
-// must not use the Handle afterwards. Releasing a pool-less Handle is a
-// no-op.
+// must not use the Handle afterwards. Releasing a pool-less Handle only
+// parks its reclamation state (see below); the Handle itself stays usable
+// by callers that manage lifetime themselves.
+//
+// Release also parks the Process's reclamation announcement: under the
+// amortized epoch scheme the announcement stays published across
+// operations, and a Handle sitting in a pool (or dropped) would otherwise
+// pin the global epoch with a stale value. A Handle the pool cannot take
+// back is gone for good, so its announcement slot is returned to the
+// reclamation domain deterministically instead of waiting for the GC
+// finalizer to scavenge it.
 func (h *Handle) Release() {
-	if h.pool != nil {
-		h.pool.put(h)
+	r := h.proc.recl
+	if r != nil && !r.Active() {
+		r.Park()
+	}
+	if h.pool != nil && !h.pool.put(h) {
+		if r != nil && !r.Active() {
+			r.Release()
+		}
 	}
 }
 
@@ -68,10 +83,18 @@ const poolSlots = 64
 // Double-Release is a caller bug with undefined behaviour (the same Handle
 // would be handed to two goroutines).
 type ProcessPool struct {
-	slots [poolSlots]atomic.Pointer[Handle]
+	slots [poolSlots]poolSlot
 	// rot spreads acquire/release probes over the slot array so independent
 	// goroutines do not all hammer slot 0.
 	rot atomic.Uint32
+}
+
+// poolSlot pads each pool entry to its own cache line: neighboring slots
+// are CASed by unrelated goroutines, and unpadded they would false-share
+// eight to a line.
+type poolSlot struct {
+	h atomic.Pointer[Handle]
+	_ [56]byte
 }
 
 // NewProcessPool returns an empty pool. The zero value is also ready to use.
@@ -84,7 +107,7 @@ func NewProcessPool() *ProcessPool {
 func (pp *ProcessPool) Acquire() *Handle {
 	start := int(pp.rot.Add(1) % poolSlots) // modulo before int: stays in range on 32-bit
 	for i := 0; i < poolSlots; i++ {
-		slot := &pp.slots[(start+i)%poolSlots]
+		slot := &pp.slots[(start+i)%poolSlots].h
 		if h := slot.Load(); h != nil && slot.CompareAndSwap(h, nil) {
 			return h
 		}
@@ -92,23 +115,25 @@ func (pp *ProcessPool) Acquire() *Handle {
 	return &Handle{pool: pp}
 }
 
-// put offers h back to the pool; if every slot is taken the Handle is
-// dropped for the garbage collector.
-func (pp *ProcessPool) put(h *Handle) {
+// put offers h back to the pool, reporting whether a slot took it; when
+// every slot is taken the Handle is dropped for the garbage collector and
+// put returns false (Release uses that to retire reclamation state).
+func (pp *ProcessPool) put(h *Handle) bool {
 	start := int(pp.rot.Add(1) % poolSlots)
 	for i := 0; i < poolSlots; i++ {
-		slot := &pp.slots[(start+i)%poolSlots]
+		slot := &pp.slots[(start+i)%poolSlots].h
 		if slot.Load() == nil && slot.CompareAndSwap(nil, h) {
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // pooled counts the Handles currently parked in the pool; for tests.
 func (pp *ProcessPool) pooled() int {
 	n := 0
 	for i := range pp.slots {
-		if pp.slots[i].Load() != nil {
+		if pp.slots[i].h.Load() != nil {
 			n++
 		}
 	}

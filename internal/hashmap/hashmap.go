@@ -116,8 +116,9 @@ const (
 	// bucket-array bytes (8/bucket) for shorter chains is what keeps the
 	// large-keyspace GET rows of BenchmarkHashmapGetKeyspace near-flat.
 	maxLoad = 2
-	// growCheckMask gates the striped-counter sum behind every 32nd applied
-	// insert per session (the sum is 64 atomic loads).
+	// growCheckMask gates the striped-counter sum behind the first applied
+	// insert of each session and every 32nd after (the sum is 64 atomic
+	// loads).
 	growCheckMask = 31
 	// migrateQuota is how many cursor buckets each update migrates while a
 	// resize is in flight.
@@ -364,7 +365,13 @@ func (s *Session) Insert(key int) bool {
 		}
 		m.size[s.stripe].n.Add(1)
 		s.applied++
-		if s.applied&growCheckMask == 0 || len(t.buckets) <= initialBuckets {
+		// Check on the FIRST applied insert of a session (and every 32nd
+		// after): the convenience Map.Insert path binds a fresh session per
+		// call, so a gate that only fired at applied%32==0 would never run
+		// for it and a map filled through it would keep its tiny table —
+		// growth would then depend on some later long-lived session writing
+		// 32 times.
+		if s.applied&growCheckMask == 1 || len(t.buckets) <= initialBuckets {
 			m.maybeGrow(l, t)
 		}
 		m.migrateSome(l)

@@ -95,6 +95,35 @@ func TestGrowthThroughDoublings(t *testing.T) {
 	}
 }
 
+// TestGrowthThroughConvenienceInserts fills the map exclusively through the
+// session-per-call Map.Insert path and verifies the table still doubles.
+// Each convenience call binds a fresh Session whose applied-insert counter
+// starts at zero, so a growth gate keyed only to "every 32nd applied insert
+// of this session" never fires for it: the map would stay near its initial
+// bucket count with thousand-entry chains, turning the O(1) Get claim into
+// an O(n) walk for any map populated this way (the pure-read parallel lane
+// measures exactly this shape).
+func TestGrowthThroughConvenienceInserts(t *testing.T) {
+	m := hashmap.New()
+	const n = 20000
+	for k := 0; k < n; k++ {
+		if !m.Insert(k) {
+			t.Fatalf("Insert(%d) not applied", k)
+		}
+	}
+	if got := m.Buckets(); got < n/8 {
+		t.Fatalf("map never doubled under convenience inserts: %d buckets for %d keys", got, n)
+	}
+	for k := 0; k < n; k += 97 {
+		if !m.Get(k) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
 // TestRangeAndItems checks traversal exactness on a quiescent map that has
 // been through at least one resize.
 func TestRangeAndItems(t *testing.T) {

@@ -2,9 +2,11 @@ package hashmap_test
 
 import (
 	"testing"
+	"time"
 
 	"pragmaprim/internal/core"
 	"pragmaprim/internal/hashmap"
+	"pragmaprim/internal/reclaim"
 	"pragmaprim/internal/template"
 )
 
@@ -16,8 +18,16 @@ import (
 // is pinned. The guarantees under test: the working session stays correct,
 // its limbo stays bounded (overflow drops to the GC rather than growing
 // without bound — a liveness degradation, never a safety one), and
-// recycling resumes once the parked reader exits.
+// recycling resumes once the parked reader quiesces — merely exiting the
+// operation leaves a stale announcement published, which still pins the
+// epoch under the amortized scheme.
 func TestEpochStallBoundsMigrationGarbage(t *testing.T) {
+	// Announcements persist across operations now, so a handle leaked by an
+	// earlier test in this binary would pin the epoch and mask the resume
+	// this test asserts. Wait for the GC scavenger to clear any leftovers.
+	if !reclaim.Default.AwaitMobile(10 * time.Second) {
+		t.Fatal("reclamation epoch is pinned by a stale announcement from an earlier test")
+	}
 	m := hashmap.New()
 	parked := core.NewHandle()
 	template.Enter(parked) // park: announce an epoch and never exit
@@ -44,7 +54,11 @@ func TestEpochStallBoundsMigrationGarbage(t *testing.T) {
 	if st.Dropped == 0 {
 		t.Error("a parked epoch must force limbo overflow to drop to the GC")
 	}
-	if limbo := h.Process().Reclaimer().LimboLen(); limbo > 12000 {
+	// The cap is 16384 entries (reclaim.limboCap, sized to ride out a
+	// descheduled peer's timeslice); the churn above retires well over
+	// twice that, so an unbounded limbo would blow straight past the
+	// threshold.
+	if limbo := h.Process().Reclaimer().LimboLen(); limbo > 17000 {
 		t.Errorf("limbo grew to %d entries under a parked epoch; want bounded by the caps", limbo)
 	}
 
@@ -62,14 +76,32 @@ func TestEpochStallBoundsMigrationGarbage(t *testing.T) {
 		t.Fatalf("invariants under stall: %v", err)
 	}
 
-	// Release the parked reader; reclamation resumes.
+	// Exiting the operation is NOT enough under the amortized scheme: the
+	// announcement stays published between operations, so the exited reader
+	// still pins the epoch with a stale announcement.
 	template.Exit(parked)
 	for i := 0; i < 500; i++ {
 		k := 1_000_000 + i%8
 		s.Insert(k)
 		s.Delete(k)
 	}
-	if got := s.ReclaimStats().Recycled; got == 0 {
-		t.Error("reclamation did not resume after the parked handle exited")
+	if got := s.ReclaimStats().Recycled; got != 0 {
+		t.Errorf("recycled %d nodes under a stale (exited but unquiesced) announcement", got)
 	}
+
+	// Quiesce unpublishes the stale announcement; reclamation resumes.
+	template.Quiesce(parked)
+	for i := 0; i < 500; i++ {
+		k := 1_000_000 + i%8
+		s.Insert(k)
+		s.Delete(k)
+	}
+	if got := s.ReclaimStats().Recycled; got == 0 {
+		t.Error("reclamation did not resume after the parked handle quiesced")
+	}
+
+	// Unpublish this test's own announcements so later tests in the binary
+	// see a mobile epoch.
+	h.Release()
+	parked.Release()
 }

@@ -1,17 +1,28 @@
 package reclaim
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+	"unsafe"
 )
 
 type thing struct{ v int }
 
-// cycle runs one empty Enter/Exit pair, the unit of quiescence.
+// cycle runs one empty Enter/Exit pair.
 func cycle(l *Local) {
 	l.Enter()
 	l.Exit()
+}
+
+// quiesceCycle runs one Enter/Exit pair followed by an explicit quiescent
+// point — the unit of guaranteed epoch progress under the amortized scheme
+// (a bare Exit leaves the announcement published and stale by design).
+func quiesceCycle(l *Local) {
+	cycle(l)
+	l.Quiesce()
 }
 
 func TestRetireRecycleRoundtrip(t *testing.T) {
@@ -24,9 +35,10 @@ func TestRetireRecycleRoundtrip(t *testing.T) {
 	pool.Retire(l, x)
 	l.Exit()
 
-	// Two quiescent cycles advance the epoch past the grace period.
+	// Get at an operation boundary runs a quiescent refresh, which walks the
+	// epoch past the grace period within a few attempts.
 	var got *thing
-	for i := 0; i < 4*advanceEvery && got == nil; i++ {
+	for i := 0; i < 8 && got == nil; i++ {
 		cycle(l)
 		got = pool.Get(l)
 	}
@@ -67,6 +79,41 @@ func TestOnDemandAdvanceKeepsFreelistPrimed(t *testing.T) {
 	}
 }
 
+// TestSteadyStateEnterExitIsStoreFree pins the tentpole property of the
+// amortized scheme: between refresh points, Enter/Exit performs no shared
+// store — the announcement word does not move and no advance is attempted.
+func TestSteadyStateEnterExitIsStoreFree(t *testing.T) {
+	d := NewDomain()
+	l := NewLocal(d)
+	cycle(l) // first op claims the slot and publishes
+
+	if l.slot == nil {
+		t.Fatal("first operation did not claim an announcement slot")
+	}
+	v0 := l.slot.v.Load()
+	if v0 == 0 {
+		t.Fatal("announcement unpublished after Exit; it must stay published across operations")
+	}
+	adv0, scan0 := d.Advances(), d.lastScan.Load()
+	for i := 0; i < quiesceEvery/2; i++ {
+		cycle(l)
+	}
+	if v := l.slot.v.Load(); v != v0 {
+		t.Fatalf("announcement moved from %#x to %#x between refresh points", v0, v)
+	}
+	if d.Advances() != adv0 || d.lastScan.Load() != scan0 {
+		t.Fatal("advance machinery ran between refresh points")
+	}
+
+	// Crossing the cadence must refresh and make progress again.
+	for i := 0; i < 2*quiesceEvery; i++ {
+		cycle(l)
+	}
+	if d.Advances() == adv0 {
+		t.Fatal("no epoch advance across two full refresh cadences")
+	}
+}
+
 func TestGraceRespectsActiveReader(t *testing.T) {
 	d := NewDomain()
 	writer := NewLocal(d)
@@ -79,20 +126,28 @@ func TestGraceRespectsActiveReader(t *testing.T) {
 	pool.Retire(writer, x)
 	writer.Exit()
 
-	for i := 0; i < 8*advanceEvery; i++ {
-		cycle(writer)
+	for i := 0; i < 32; i++ {
+		quiesceCycle(writer)
 	}
 	if got := pool.Get(writer); got != nil {
 		t.Fatal("object recycled while a reader was still announced")
 	}
+
+	// Exit alone is no longer a quiescent point: the reader's announcement
+	// stays published (stale), which keeps delaying reclamation...
 	reader.Exit()
+	if got := pool.Get(writer); got != nil {
+		t.Fatal("object recycled while the reader's stale announcement was still published")
+	}
+	// ...until the reader quiesces.
+	reader.Quiesce()
 	var got *thing
-	for i := 0; i < 8*advanceEvery && got == nil; i++ {
-		cycle(writer)
+	for i := 0; i < 32 && got == nil; i++ {
+		quiesceCycle(writer)
 		got = pool.Get(writer)
 	}
 	if got != x {
-		t.Fatal("object not recycled after the reader exited")
+		t.Fatal("object not recycled after the reader quiesced")
 	}
 }
 
@@ -123,6 +178,49 @@ func TestParkedReaderBoundsLimbo(t *testing.T) {
 	}
 }
 
+// TestStaleAnnouncementBoundsLimbo is the epoch-staleness bound: a Local
+// that operated once and then stopped — without ever calling Quiesce —
+// leaves a stale announcement published, which delays reclamation
+// domain-wide but never blocks anyone: other Locals' limbo stays capped
+// (overflow drops to the GC) and their operations keep completing.
+func TestStaleAnnouncementBoundsLimbo(t *testing.T) {
+	d := NewDomain()
+	idle := NewLocal(d)
+	w := NewLocal(d)
+	pool := NewPool[thing]()
+
+	cycle(idle) // one op, then silence: announcement published and going stale
+
+	const n = 3 * limboCap
+	for i := 0; i < n; i++ {
+		w.Enter()
+		pool.Retire(w, &thing{v: i})
+		w.Exit()
+	}
+	if got := w.LimboLen(); got > limboCap+1 {
+		t.Fatalf("limbo grew to %d entries despite the cap %d", got, limboCap)
+	}
+	st := w.Stats()
+	if st.Retired != n {
+		t.Fatalf("worker completed %d retires, want %d: a stale announcement must never block", st.Retired, n)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("overflowing limbo must drop entries to the GC")
+	}
+	if st.Recycled != 0 {
+		t.Fatalf("recycled %d objects while a stale announcement was published", st.Recycled)
+	}
+
+	// The idle Local quiesces: reclamation resumes for everyone.
+	idle.Quiesce()
+	for i := 0; i < 8; i++ {
+		quiesceCycle(w)
+	}
+	if w.Stats().Recycled == 0 {
+		t.Fatal("recycling did not resume after the stale Local quiesced")
+	}
+}
+
 func TestReadyPredicateGetsFreshGrace(t *testing.T) {
 	d := NewDomain()
 	l := NewLocal(d)
@@ -134,8 +232,8 @@ func TestReadyPredicateGetsFreshGrace(t *testing.T) {
 	pool.Retire(l, x)
 	l.Exit()
 
-	for i := 0; i < 8*advanceEvery; i++ {
-		cycle(l)
+	for i := 0; i < 32; i++ {
+		quiesceCycle(l)
 	}
 	if pool.Get(l) != nil {
 		t.Fatal("recycled while the ready predicate was false")
@@ -146,8 +244,8 @@ func TestReadyPredicateGetsFreshGrace(t *testing.T) {
 	// appear before a fresh grace period elapses.
 	epochAtReady := d.Epoch()
 	var got *thing
-	for i := 0; i < 16*advanceEvery && got == nil; i++ {
-		cycle(l)
+	for i := 0; i < 64 && got == nil; i++ {
+		quiesceCycle(l)
 		got = pool.Get(l)
 	}
 	if got != x {
@@ -223,6 +321,7 @@ func TestPoolsDoNotMix(t *testing.T) {
 func TestNestedEnterExit(t *testing.T) {
 	d := NewDomain()
 	l := NewLocal(d)
+	other := NewLocal(d)
 	l.Enter()
 	l.Enter()
 	if !l.Active() {
@@ -232,16 +331,190 @@ func TestNestedEnterExit(t *testing.T) {
 	if !l.Active() {
 		t.Fatal("inner Exit ended the outer operation")
 	}
-	before := d.Epoch()
-	for i := 0; i < 4*advanceEvery; i++ {
-		cycle(NewLocal(d))
+	// An announcement at a caps the epoch at a+1: one advance may slip past
+	// an active operation, a second never can.
+	announced := l.published
+	for i := 0; i < 8; i++ {
+		quiesceCycle(other)
 	}
-	if d.Epoch() != before {
-		t.Fatal("epoch advanced past an active nested operation")
+	if d.Epoch() > announced+1 {
+		t.Fatalf("epoch reached %d past an active nested operation announced at %d", d.Epoch(), announced)
 	}
 	l.Exit()
 	if l.Active() {
 		t.Fatal("still active after balanced Exits")
+	}
+}
+
+func TestQuiesceInsideOperationPanics(t *testing.T) {
+	l := NewLocal(NewDomain())
+	l.Enter()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quiesce inside an operation must panic")
+		}
+		l.Exit()
+	}()
+	l.Quiesce()
+}
+
+func TestReleaseInsideOperationPanics(t *testing.T) {
+	l := NewLocal(NewDomain())
+	l.Enter()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release inside an operation must panic")
+		}
+		l.Exit()
+	}()
+	l.Release()
+}
+
+// TestSlotRecycling checks the slot-recycling ownership rule end to end:
+// released Locals return their slots to the domain free list, later Locals
+// claim those same slots back, and the assigned high-water mark tracks peak
+// concurrency instead of the total number of Locals ever created.
+func TestSlotRecycling(t *testing.T) {
+	d := NewDomain()
+	const locals = 10
+
+	batch := make([]*Local, locals)
+	for i := range batch {
+		batch[i] = NewLocal(d)
+		cycle(batch[i])
+	}
+	if got := d.assigned.Load(); got != locals {
+		t.Fatalf("assigned = %d after %d concurrent Locals, want %d", got, locals, locals)
+	}
+	for _, l := range batch {
+		l.Release()
+	}
+
+	// A second generation must reuse the released slots, not extend the
+	// high-water mark.
+	for i := 0; i < 3*locals; i++ {
+		l := NewLocal(d)
+		cycle(l)
+		l.Release()
+	}
+	if got := d.assigned.Load(); got != locals {
+		t.Fatalf("assigned grew to %d after release/reclaim cycles, want it pinned at %d", got, locals)
+	}
+
+	// Released slots are unpublished, so the epoch advances freely.
+	probe := NewLocal(d)
+	before := d.Epoch()
+	quiesceCycle(probe)
+	quiesceCycle(probe)
+	if d.Epoch() <= before {
+		t.Fatal("epoch stuck after all Locals released their slots")
+	}
+}
+
+// TestScavengerReclaimsDroppedLocal: a Local dropped without Release (the
+// leak the old scheme tolerated because Exit unpublished per-op) leaves a
+// stale published announcement; the GC finalizer must scavenge the slot so
+// the domain's epoch is not pinned forever.
+func TestScavengerReclaimsDroppedLocal(t *testing.T) {
+	d := NewDomain()
+	func() {
+		l := NewLocal(d)
+		cycle(l) // published, then dropped without Release/Quiesce
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Scavenged() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("GC finalizer never scavenged the dropped Local's slot")
+		}
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+
+	// With the leaked announcement gone, the epoch advances again.
+	probe := NewLocal(d)
+	before := d.Epoch()
+	quiesceCycle(probe)
+	quiesceCycle(probe)
+	if d.Epoch() <= before {
+		t.Fatal("epoch still pinned after the scavenger ran")
+	}
+}
+
+// TestLayoutPadding is the false-sharing audit in executable form: the
+// advance CAS targets (epoch, lastScan), the bookkeeping counters, and each
+// announcement slot must live on distinct cache lines.
+func TestLayoutPadding(t *testing.T) {
+	if s := unsafe.Sizeof(slot{}); s != 64 {
+		t.Errorf("sizeof(slot) = %d, want one cache line (64)", s)
+	}
+	var d Domain
+	off := func(p unsafe.Pointer) uintptr { return uintptr(p) - uintptr(unsafe.Pointer(&d)) }
+	epochOff := off(unsafe.Pointer(&d.epoch))
+	scanOff := off(unsafe.Pointer(&d.lastScan))
+	assignedOff := off(unsafe.Pointer(&d.assigned))
+	slotsOff := off(unsafe.Pointer(&d.slots))
+	if scanOff-epochOff < 64 {
+		t.Errorf("lastScan only %d bytes past epoch; want a full line", scanOff-epochOff)
+	}
+	if assignedOff-scanOff < 64 {
+		t.Errorf("assigned only %d bytes past lastScan; want a full line", assignedOff-scanOff)
+	}
+	if slotsOff%64 != 0 {
+		t.Errorf("slots start at offset %d; want 64-byte aligned so slots never share a line with the header", slotsOff)
+	}
+}
+
+// TestSlotRecyclingHammer drives claim/publish/retire/release cycles from
+// many goroutines at once (run under -race in CI): the property checked is
+// that slot handoff through the versioned free list never lets two Locals
+// own one slot, which the race detector observes as conflicting
+// announcement stores.
+func TestSlotRecyclingHammer(t *testing.T) {
+	d := NewDomain()
+	const goroutines = 8
+	const rounds = 400
+
+	var shared atomic.Pointer[thing]
+	shared.Store(&thing{})
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pool := NewPool[thing]()
+			for i := 0; i < rounds; i++ {
+				l := NewLocal(d)
+				for j := 0; j < 4; j++ {
+					l.Enter()
+					if g%2 == 0 {
+						p := shared.Load()
+						_ = p.v
+					} else {
+						nu := pool.Get(l)
+						if nu == nil {
+							nu = &thing{}
+						}
+						nu.v = i
+						pool.Retire(l, shared.Swap(nu))
+					}
+					l.Exit()
+				}
+				if i%2 == 0 {
+					l.Quiesce()
+				}
+				l.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Each goroutine holds at most one slot, but a slot mid-release is
+	// transiently invisible to claimers, so the high-water can exceed the
+	// goroutine count by at most one per goroutine.
+	if got := d.assigned.Load(); got > 2*goroutines {
+		t.Errorf("assigned high-water = %d with %d concurrent Locals; slots are not being recycled", got, goroutines)
 	}
 }
 
@@ -285,6 +558,7 @@ func TestConcurrentEpochAgreement(t *testing.T) {
 				}
 				l.Exit()
 			}
+			l.Release()
 		}(g)
 	}
 	wg.Wait()

@@ -293,6 +293,12 @@ func (s *Server) serve(c net.Conn) {
 			if s.draining.Load() {
 				break
 			}
+			// The batch is answered and the connection is about to block on
+			// the socket for an unbounded time. Quiesce the session so its
+			// (amortized, still-published) epoch announcement does not go
+			// stale while we sleep — an idle connection would otherwise
+			// delay memory reclamation for every structure in the process.
+			st.sess.Quiesce()
 		}
 	}
 

@@ -173,6 +173,16 @@ func (w *session) Insert(key int) bool { return w.subs[w.s.ShardOf(key)].Insert(
 func (w *session) Delete(key int) bool { return w.subs[w.s.ShardOf(key)].Delete(key) }
 func (w *session) Count(key int) int   { return w.subs[w.s.ShardOf(key)].Count(key) }
 
+// Quiesce forwards to every per-shard session: a worker going idle holds
+// stale announcements on ALL shards it ever touched (the per-shard sessions
+// stay published across operations), and any one of them left behind would
+// delay reclamation domain-wide.
+func (w *session) Quiesce() {
+	for _, sub := range w.subs {
+		sub.Quiesce()
+	}
+}
+
 func (w *session) Close() {
 	for _, sub := range w.subs {
 		sub.Close()

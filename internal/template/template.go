@@ -236,7 +236,23 @@ func Enter(h *core.Handle) { ctxOf(h).recl.Enter() }
 
 // Exit ends the read guard opened by the matching Enter. No reference
 // obtained since the Enter may be used afterwards.
+//
+// Under the amortized epoch scheme Exit does NOT unpublish the
+// announcement: it stays in the slot, going stale, until the refresh
+// cadence or an explicit Quiesce renews it. A handle that goes idle between
+// operations should Quiesce (or Release) so its stale announcement does not
+// delay reclamation domain-wide.
 func Exit(h *core.Handle) { ctxOf(h).recl.Exit() }
+
+// Quiesce declares an explicit quiescent point for h: the caller holds no
+// references into any shared structure and may not operate again for a
+// while (a server connection about to block on its socket, a worker about
+// to park on a channel). The reclamation announcement is unpublished — an
+// idle stale announcement blocks epoch advancement for every structure in
+// the domain — and the epoch gets one advance-and-drain push. The next
+// operation republishes automatically. Must be called outside any
+// Enter/Exit pair or Run.
+func Quiesce(h *core.Handle) { ctxOf(h).recl.Quiesce() }
 
 // Guarded runs fn under a pooled handle's epoch guard: the one-liner for
 // handle-free plain-read paths (traversals, peeks, invariant checks).
@@ -277,9 +293,11 @@ func Run[T any](h *core.Handle, pol Policy, st *OpStats, attempt func(*Ctx) (T, 
 	c.llxFails, c.scxFails = 0, 0
 	// Announce the reclamation epoch for the whole operation: every node
 	// reference the attempts obtain is protected until Run returns, and the
-	// descriptors this operation's SCXs create become recyclable. The
-	// deferred Exit also advances the global epoch and drains this
-	// process's limbo list opportunistically.
+	// descriptors this operation's SCXs create become recyclable. Under the
+	// amortized scheme the announcement usually costs nothing — it is still
+	// published from a previous operation — and the deferred Exit refreshes
+	// it (advancing the epoch and draining limbo) only at the quiescence
+	// cadence or when an allocation ran dry.
 	//
 	// The announcement deliberately spans retry backoffs too. Exiting
 	// around a backoff would let epochs advance during contention, but it
