@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all vet lint build test race benchsmoke benchdiff benchdiff-parallel server-smoke crash-smoke fuzz-smoke check bench-core bench-parallel bench-server clean
+.PHONY: all vet lint build test race benchsmoke benchdiff benchdiff-parallel benchdiff-server server-smoke crash-smoke fuzz-smoke check bench-core bench-parallel bench-server bench-server-parallel clean
 
 all: check
 
@@ -77,9 +77,20 @@ benchdiff:
 benchdiff-parallel:
 	$(GO) run ./cmd/bench -compareparallel BENCH_parallel.json -parallelcpus 1,2
 
-# End-to-end smoke of the serving stack: start cmd/server, drive it with
-# the load generator for a second, scrape -metrics, SIGTERM, and assert a
-# clean drain (see scripts/server_smoke.sh).
+# Re-run the parallel server suite and diff against the checked-in
+# trajectory. Gates: process-wide allocs/op must stay under the 0.5 ceiling
+# on every cell (the batched hot path is allocation-free; a path that starts
+# allocating blows past it immediately), and the read-heavy hashmap cell's
+# ops/sec must not collapse going from GOMAXPROCS=1 to 2 (within-run ratio,
+# re-measured max-of-N before failing). Like benchdiff-parallel, not part of
+# `check` — absolute throughput is host-dependent; run it when touching the
+# server, proto or WAL hot paths.
+benchdiff-server:
+	$(GO) run ./cmd/bench -compareserver BENCH_server.json -servercpus 1,2 -lgdur 1s
+
+# End-to-end smoke of the serving stack: start cmd/server at GOMAXPROCS=2,
+# drive it with the load generator for a second, scrape -metrics, SIGTERM,
+# and assert a clean drain (see scripts/server_smoke.sh).
 server-smoke:
 	sh ./scripts/server_smoke.sh
 
@@ -108,11 +119,18 @@ bench-core:
 bench-parallel:
 	$(GO) run ./cmd/bench -parallel -parallelcpus 1,2,4 -paralleljson BENCH_parallel.json
 
-# Regenerate the checked-in server throughput/latency dump (closed loop,
-# pipeline depths 1/16/128 over the sharded multiset).
+# Regenerate the checked-in server throughput/latency dump: the canonical
+# self-hosted suite (read-heavy/mixed/Zipf over the hashmap and the sharded
+# multiset) at GOMAXPROCS 1, 2 and 4, one row per (cell, procs).
 bench-server:
-	$(GO) run ./cmd/bench -loadgen -lgdur 2s -lgdepth 1,16,128 -lgconns 4 \
+	$(GO) run ./cmd/bench -serverbench -servercpus 1,2,4 -lgdur 2s \
 		-serverout BENCH_server.json
+
+# One-off parallel server measurement without rewriting the checked-in dump:
+# the same suite at GOMAXPROCS 1 and 2 with a short window, for quick
+# before/after looks while working on the server fast path.
+bench-server-parallel:
+	$(GO) run ./cmd/bench -serverbench -servercpus 1,2 -lgdur 1s
 
 clean:
 	$(GO) clean ./...

@@ -395,12 +395,14 @@ func BenchmarkBSTOps(b *testing.B) {
 	})
 }
 
-// BenchmarkWAL mirrors the wal_append / wal_group_commit rows of
-// cmd/bench -corejson: the durable write path's append cost in isolation,
-// and the full append+group-commit cycle at the server's pipeline shape
-// (one fsync per 128-record group).
+// BenchmarkWAL mirrors the wal_append / wal_group_commit / wal_append_batch
+// rows of cmd/bench -corejson: the durable write path's append cost in
+// isolation, the full append+group-commit cycle at the server's pipeline
+// shape (one fsync per 128-record group), and the batched append the
+// server's batch path uses (one mutex round per 128-record batch).
 func BenchmarkWALAppend(b *testing.B)      { benchcore.WALAppend(b) }
 func BenchmarkWALGroupCommit(b *testing.B) { benchcore.WALGroupCommit(b) }
+func BenchmarkWALAppendBatch(b *testing.B) { benchcore.WALAppendBatch(b) }
 
 // --- Hash map ----------------------------------------------------------------
 

@@ -89,6 +89,7 @@ func coreBenchmarks() []coreBench {
 	benches = append(benches,
 		coreBench{"wal_append", false, benchcore.WALAppend},
 		coreBench{"wal_group_commit", false, benchcore.WALGroupCommit},
+		coreBench{"wal_append_batch", false, benchcore.WALAppendBatch},
 	)
 	return benches
 }

@@ -55,6 +55,7 @@ type loadgenOpts struct {
 	mode      string
 	conns     int
 	depths    string
+	cpus      string
 	rate      int
 	dist      string
 	keys      int
@@ -62,42 +63,60 @@ type loadgenOpts struct {
 	dur       time.Duration
 	out       string
 	metrics   string
+	quiet     bool // suppress per-pass chatter (the suite runner sets it)
 }
 
-// serverBenchResult is one cell of the BENCH_server.json dump.
+// serverBenchResult is one cell of the BENCH_server.json dump. GOMAXPROCS
+// is recorded per row — the parallel server lane sweeps it, so a cell is
+// keyed by its workload shape AND the proc count it ran under. AllocsPerOp
+// is the process-wide allocation count over the measurement window divided
+// by acknowledged ops (client and server side together, a small constant of
+// warmup allocations amortized in); the -compareserver gate holds it under
+// a ceiling.
 type serverBenchResult struct {
-	Mode      string  `json:"mode"`
-	Structure string  `json:"structure"`
-	Shards    int     `json:"shards"`
-	Conns     int     `json:"conns"`
-	Depth     int     `json:"depth"`
-	RateTgt   int     `json:"rate_target,omitempty"`
-	Dist      string  `json:"dist"`
-	Keys      int     `json:"keys"`
-	Mix       string  `json:"mix"`
-	Ops       int64   `json:"ops"`
-	Reconns   int64   `json:"reconnects,omitempty"`
-	Seconds   float64 `json:"seconds"`
-	OpsPerSec float64 `json:"ops_per_sec"`
-	P50us     float64 `json:"p50_us"`
-	P95us     float64 `json:"p95_us"`
-	P99us     float64 `json:"p99_us"`
-	MaxUs     float64 `json:"max_us"`
-	AckedIns  int64   `json:"acked_inserts"`
-	AckedDel  int64   `json:"acked_deletes"`
+	Mode       string  `json:"mode"`
+	Structure  string  `json:"structure"`
+	Shards     int     `json:"shards"`
+	Conns      int     `json:"conns"`
+	Depth      int     `json:"depth"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	RateTgt    int     `json:"rate_target,omitempty"`
+	Dist       string  `json:"dist"`
+	Keys       int     `json:"keys"`
+	Mix        string  `json:"mix"`
+	Ops        int64   `json:"ops"`
+	Reconns    int64   `json:"reconnects,omitempty"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+	P50us      float64 `json:"p50_us"`
+	P95us      float64 `json:"p95_us"`
+	P99us      float64 `json:"p99_us"`
+	MaxUs      float64 `json:"max_us"`
+	AckedIns   int64   `json:"acked_inserts"`
+	AckedDel   int64   `json:"acked_deletes"`
 }
 
 type serverBenchDump struct {
-	GoVersion  string              `json:"go_version"`
-	GOARCH     string              `json:"goarch"`
-	GOMAXPROCS int                 `json:"gomaxprocs"`
-	Results    []serverBenchResult `json:"results"`
+	GoVersion string              `json:"go_version"`
+	GOARCH    string              `json:"goarch"`
+	NumCPU    int                 `json:"num_cpu"`
+	Results   []serverBenchResult `json:"results"`
 }
 
-func runLoadgen(o loadgenOpts) error {
+func newServerBenchDump() serverBenchDump {
+	return serverBenchDump{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// buildWorkload validates the workload-shaped options into a config.
+func buildWorkload(o loadgenOpts) (workload.Config, error) {
 	mix, err := parseMix(o.mix)
 	if err != nil {
-		return err
+		return workload.Config{}, err
 	}
 	var dist workload.Distribution
 	switch o.dist {
@@ -106,10 +125,37 @@ func runLoadgen(o loadgenOpts) error {
 	case "zipf":
 		dist = workload.Zipf
 	default:
-		return fmt.Errorf("loadgen: unknown -lgdist %q (want uniform or zipf)", o.dist)
+		return workload.Config{}, fmt.Errorf("loadgen: unknown -lgdist %q (want uniform or zipf)", o.dist)
 	}
 	cfg := workload.Config{KeyRange: o.keys, Dist: dist, Mix: mix}
-	if err := cfg.Validate(); err != nil {
+	return cfg, cfg.Validate()
+}
+
+// selfHostServer builds the container from the same flags cmd/server uses
+// and serves it in-process on a random loopback port. o.shards is rounded
+// in place so the table header and JSON rows record the topology built.
+func selfHostServer(o *loadgenOpts) (*server.Server, string, error) {
+	if o.shards > 1 {
+		o.shards = shard.NextPow2(o.shards)
+	}
+	pol, err := template.PolicyByName(o.policy)
+	if err != nil {
+		return nil, "", err
+	}
+	cont, err := harness.BuildContainer(o.structure, o.shards, pol)
+	if err != nil {
+		return nil, "", err
+	}
+	srv, err := server.Start(cont, server.Config{})
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, srv.Addr().String(), nil
+}
+
+func runLoadgen(o loadgenOpts) error {
+	cfg, err := buildWorkload(o)
+	if err != nil {
 		return err
 	}
 	depths, err := parseInts(o.depths)
@@ -122,70 +168,33 @@ func runLoadgen(o loadgenOpts) error {
 	if o.mode == "open" && o.rate <= 0 {
 		return fmt.Errorf("loadgen: open loop needs -lgrate > 0")
 	}
-
-	// Self-host when no address is given: build the container from the same
-	// flags cmd/server uses and serve it in-process on a random port.
-	addr := o.addr
-	var srv *server.Server
-	if addr == "" {
-		if o.shards > 1 {
-			// BuildContainer rounds internally; round here too so the table
-			// header and the JSON rows record the topology actually built.
-			o.shards = shard.NextPow2(o.shards)
+	// The GOMAXPROCS sweep: 0 means "leave the setting alone", the single-
+	// pass default. Sweeping only makes sense self-hosted — server and
+	// clients share the process, so one setting governs the whole stack.
+	cpus := []int{0}
+	if o.cpus != "" {
+		if cpus, err = parseInts(o.cpus); err != nil {
+			return fmt.Errorf("loadgen: invalid -lgcpus: %w", err)
 		}
-		pol, err := template.PolicyByName(o.policy)
-		if err != nil {
-			return err
-		}
-		cont, err := harness.BuildContainer(o.structure, o.shards, pol)
-		if err != nil {
-			return err
-		}
-		srv, err = server.Start(cont, server.Config{})
-		if err != nil {
-			return err
-		}
-		addr = srv.Addr().String()
-		fmt.Printf("loadgen: self-hosted %s (%d shard(s)) on %s\n", o.structure, o.shards, addr)
-	}
-
-	// Prefill half the key range so GETs hit about half the time, the same
-	// methodology as the harness throughput runs, pipelined in batches so a
-	// large key range costs batches of round trips, not one per key; retry
-	// the first dial briefly so `make server-smoke` can race the server's
-	// startup.
-	pre, err := dialRetry(addr, time.Second)
-	if err != nil {
-		return err
-	}
-	if err := prefill(pre, o.keys); err != nil {
-		pre.Close()
-		return fmt.Errorf("loadgen: prefill: %w", err)
-	}
-	pre.Close()
-
-	dump := serverBenchDump{
-		GoVersion:  runtime.Version(),
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-	}
-	tb := stats.NewTable(fmt.Sprintf("loadgen: %s loop, %d conns, %s keys=%d mix=%s",
-		o.mode, o.conns, o.dist, o.keys, mix),
-		"depth", "ops", "ops/sec", "p50 µs", "p95 µs", "p99 µs", "max µs")
-	for _, depth := range depths {
-		if depth < 1 || depth > maxDepth {
-			return fmt.Errorf("loadgen: depth %d out of range [1, %d] (beyond it a closed-loop batch deadlocks against TCP flow control: the whole batch is written before any reply is read)", depth, maxDepth)
-		}
-		res, err := runCell(addr, cfg, o, depth)
-		if err != nil {
-			return err
-		}
-		res.Structure, res.Shards = o.structure, o.shards
 		if o.addr != "" {
-			res.Structure, res.Shards = "external", 0
+			return fmt.Errorf("loadgen: -lgcpus sweeps GOMAXPROCS of a self-hosted server; drop -addr")
 		}
-		dump.Results = append(dump.Results, res)
-		tb.AddRow(depth, res.Ops, res.OpsPerSec, res.P50us, res.P95us, res.P99us, res.MaxUs)
+	}
+
+	dump := newServerBenchDump()
+	tb := stats.NewTable(fmt.Sprintf("loadgen: %s loop, %d conns, %s keys=%d mix=%s",
+		o.mode, o.conns, o.dist, o.keys, cfg.Mix),
+		"procs", "depth", "ops", "ops/sec", "allocs/op", "p50 µs", "p95 µs", "p99 µs", "max µs")
+	for _, procs := range cpus {
+		results, err := runLoadgenPass(o, cfg, depths, procs)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			dump.Results = append(dump.Results, res)
+			tb.AddRow(res.GOMAXPROCS, res.Depth, res.Ops, res.OpsPerSec,
+				fmt.Sprintf("%.3f", res.AllocsOp), res.P50us, res.P95us, res.P99us, res.MaxUs)
+		}
 	}
 	tb.WriteTo(os.Stdout)
 
@@ -193,14 +202,6 @@ func runLoadgen(o loadgenOpts) error {
 		if err := scrapeMetrics(o.metrics); err != nil {
 			return err
 		}
-	}
-	if srv != nil {
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			return fmt.Errorf("loadgen: server shutdown: %w", err)
-		}
-		fmt.Printf("loadgen: server drained cleanly, final size %d\n", srv.Size())
 	}
 	if o.out != "" {
 		out, err := json.MarshalIndent(dump, "", "  ")
@@ -216,11 +217,74 @@ func runLoadgen(o loadgenOpts) error {
 	return nil
 }
 
+// runLoadgenPass measures every depth cell once at the given GOMAXPROCS
+// value (0 leaves the setting alone; the previous value is restored before
+// returning). Self-hosted mode starts a fresh server for the pass — each
+// proc count measures a server whose goroutines were born under it — and
+// prefills half the key range so GETs hit about half the time, the same
+// methodology as the harness throughput runs. The first dial is retried
+// briefly so `make server-smoke` can race the server's startup.
+func runLoadgenPass(o loadgenOpts, cfg workload.Config, depths []int, procs int) ([]serverBenchResult, error) {
+	if procs > 0 {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	addr := o.addr
+	var srv *server.Server
+	if addr == "" {
+		var err error
+		if srv, addr, err = selfHostServer(&o); err != nil {
+			return nil, err
+		}
+		if !o.quiet {
+			fmt.Printf("loadgen: self-hosted %s (%d shard(s)) on %s at GOMAXPROCS=%d\n",
+				o.structure, o.shards, addr, runtime.GOMAXPROCS(0))
+		}
+	}
+	pre, err := dialRetry(addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if err := prefill(pre, o.keys); err != nil {
+		pre.Close()
+		return nil, fmt.Errorf("loadgen: prefill: %w", err)
+	}
+	pre.Close()
+
+	var results []serverBenchResult
+	for _, depth := range depths {
+		if depth < 1 || depth > maxDepth {
+			return nil, fmt.Errorf("loadgen: depth %d out of range [1, %d] (beyond it a closed-loop batch deadlocks against TCP flow control: the whole batch is written before any reply is read)", depth, maxDepth)
+		}
+		res, err := runCell(addr, cfg, o, depth)
+		if err != nil {
+			return nil, err
+		}
+		res.Structure, res.Shards = o.structure, o.shards
+		if o.addr != "" {
+			res.Structure, res.Shards = "external", 0
+		}
+		results = append(results, res)
+	}
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return nil, fmt.Errorf("loadgen: server shutdown: %w", err)
+		}
+		if !o.quiet {
+			fmt.Printf("loadgen: server drained cleanly, final size %d\n", srv.Size())
+		}
+	}
+	return results, nil
+}
+
 // runCell measures one (mode, depth) configuration.
 func runCell(addr string, cfg workload.Config, o loadgenOpts, depth int) (serverBenchResult, error) {
 	res := serverBenchResult{
 		Mode: o.mode, Conns: o.conns, Depth: depth,
-		Dist: string(cfg.Dist), Keys: cfg.KeyRange, Mix: cfg.Mix.String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dist:       string(cfg.Dist), Keys: cfg.KeyRange, Mix: cfg.Mix.String(),
 	}
 	if o.mode == "open" {
 		res.RateTgt = o.rate
@@ -233,6 +297,15 @@ func runCell(addr string, cfg workload.Config, o loadgenOpts, depth int) (server
 	}
 	outs := make([]workerOut, o.conns)
 	var wg sync.WaitGroup
+	// Process-wide allocation accounting around the measurement window: for
+	// a self-hosted run this covers the whole serving stack (client encode,
+	// server decode→apply→reply, WAL batching). Worker startup allocates a
+	// bounded constant (goroutines, connections, histograms), so the per-op
+	// quotient converges to the steady-state rate over any realistic window
+	// and the -compareserver ceiling catches a hot path that starts
+	// allocating.
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	deadline := start.Add(o.dur)
 	for w := 0; w < o.conns; w++ {
@@ -287,6 +360,8 @@ func runCell(addr string, cfg workload.Config, o loadgenOpts, depth int) (server
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 
 	var hist stats.Histogram
 	for i := range outs {
@@ -304,6 +379,9 @@ func runCell(addr string, cfg workload.Config, o loadgenOpts, depth int) (server
 	}
 	res.Seconds = elapsed.Seconds()
 	res.OpsPerSec = stats.Throughput(res.Ops, res.Seconds)
+	if res.Ops > 0 {
+		res.AllocsOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Ops)
+	}
 	res.P50us = float64(hist.Quantile(50)) / 1e3
 	res.P95us = float64(hist.Quantile(95)) / 1e3
 	res.P99us = float64(hist.Quantile(99)) / 1e3

@@ -11,9 +11,13 @@
 //	bench -parallel [-paralleljson BENCH_parallel.json] [-parallelcpus 1,2,4]
 //	bench -compareparallel old.json [-parallelcpus 1,2,4] [-paralleljson new.json] [-maxscale 1.3]
 //	bench -loadgen [-addr host:port] [-lgmode closed|open] [-lgdepth 1,16,128]
-//	      [-lgconns 4] [-lgdist uniform|zipf] [-lgkeys 1024] [-lgmix 50/25/25]
-//	      [-lgdur 2s] [-lgrate 50000] [-lgstructure llx-multiset] [-lgshards 4]
-//	      [-lgpolicy ...] [-lgmetrics http://host:port/metrics] [-serverout BENCH_server.json]
+//	      [-lgconns 4] [-lgcpus 1,2,4] [-lgdist uniform|zipf] [-lgkeys 1024]
+//	      [-lgmix 50/25/25] [-lgdur 2s] [-lgrate 50000] [-lgstructure llx-multiset]
+//	      [-lgshards 4] [-lgpolicy ...] [-lgmetrics http://host:port/metrics]
+//	      [-serverout BENCH_server.json]
+//	bench -serverbench [-servercpus 1,2,4] [-lgdur 2s] [-serverout BENCH_server.json]
+//	bench -compareserver old.json [-servercpus 1,2] [-lgdur 2s]
+//	      [-minserverscale 0.77] [-serverallocmax 0.5]
 //
 // -compare re-runs the core suite and prints a benchstat-style delta table
 // against a prior -corejson dump; with -maxallocregress the command exits
@@ -32,14 +36,28 @@
 // -cpuprofile/-memprofile/-mutexprofile/-blockprofile write pprof profiles
 // of whatever lane the invocation runs, e.g.
 // `bench -parallel -parallelcpus 2 -cpuprofile cpu.out` profiles the
-// parallel suite; `go tool pprof cpu.out` reads the result.
+// parallel suite, and `bench -loadgen -lgcpus 2 -cpuprofile cpu.out`
+// profiles the whole self-hosted serving stack — server goroutines and load
+// generator together, since they share the process; `go tool pprof cpu.out`
+// reads the result.
 //
 // -loadgen drives a KV server (internal/server) across a real socket: an
 // external one at -addr, or — when -addr is empty — a self-hosted
-// in-process server built from -lgstructure/-lgshards/-lgpolicy. One
-// throughput+latency row per pipeline depth is printed and, with
-// -serverout, dumped as JSON (BENCH_server.json is the checked-in
-// trajectory); see cmd/bench/loadgen.go for the loop disciplines.
+// in-process server built from -lgstructure/-lgshards/-lgpolicy, optionally
+// swept over -lgcpus GOMAXPROCS values (fresh server per value). One
+// throughput+latency row per (GOMAXPROCS, depth) cell is printed and, with
+// -serverout, dumped as JSON; see cmd/bench/loadgen.go for the loop
+// disciplines.
+//
+// -serverbench runs the canonical self-hosted suite (read-heavy, mixed and
+// Zipf workloads over the hashmap and the sharded multiset) once per
+// -servercpus GOMAXPROCS value; BENCH_server.json is the checked-in
+// trajectory. -compareserver prints a per-cell delta table against a prior
+// dump and exits non-zero when any cell's process-wide allocs/op exceeds
+// -serverallocmax or the read-heavy hashmap cell's ops/sec scales worse
+// than -minserverscale from GOMAXPROCS=1 to 2 (within-run ratio, re-measured
+// max-of-N before failing) — the two checks that stay meaningful on
+// arbitrary hosts, where absolute throughput does not.
 package main
 
 import (
@@ -76,6 +94,12 @@ func run() int {
 		parCompare = flag.String("compareparallel", "", "run the parallel lane, print a delta table against this prior -paralleljson file and enforce the alloc+scaling gates, then exit")
 		maxScale   = flag.Float64("maxscale", 1.3, "with -compareparallel: fail when a parallel_hashmap_* row's ns/op at GOMAXPROCS=2 exceeds this multiple of its GOMAXPROCS=1 value (<=0 disables)")
 
+		srvBench   = flag.Bool("serverbench", false, "run the canonical self-hosted server suite across -servercpus, then exit")
+		srvCompare = flag.String("compareserver", "", "run the server suite, print a delta table against this prior -serverout file and enforce the alloc+scaling gates, then exit")
+		srvCPUs    = flag.String("servercpus", "1,2,4", "GOMAXPROCS values for -serverbench/-compareserver, comma-separated")
+		minSrvScl  = flag.Float64("minserverscale", 0.77, "with -compareserver: fail when the hashmap read-heavy d128 cell's ops/sec at GOMAXPROCS=2 falls below this multiple of its GOMAXPROCS=1 value (<=0 disables)")
+		srvAlloc   = flag.Float64("serverallocmax", 0.5, "with -compareserver: fail when any cell's process-wide allocs/op exceeds this ceiling (<0 disables)")
+
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the selected lane to this path")
 		memProfile   = flag.String("memprofile", "", "write a heap profile (after runtime.GC) to this path on exit")
 		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this path on exit (sets mutex profiling fraction to 1)")
@@ -95,6 +119,7 @@ func run() int {
 	flag.StringVar(&lg.dist, "lgdist", "uniform", "loadgen: key distribution, uniform or zipf")
 	flag.IntVar(&lg.keys, "lgkeys", 1024, "loadgen: key range")
 	flag.StringVar(&lg.mix, "lgmix", "50/25/25", "loadgen: GET/INSERT/DELETE percentages")
+	flag.StringVar(&lg.cpus, "lgcpus", "", "loadgen: sweep these GOMAXPROCS values (self-hosted only; empty leaves the setting alone)")
 	flag.DurationVar(&lg.dur, "lgdur", 2*time.Second, "loadgen: measurement duration per depth cell")
 	flag.StringVar(&lg.out, "serverout", "", "loadgen: write the JSON dump to this path (e.g. BENCH_server.json)")
 	flag.StringVar(&lg.metrics, "lgmetrics", "", "loadgen: scrape and print this HTTP metrics URL after the run")
@@ -111,6 +136,24 @@ func run() int {
 
 	if *loadgen {
 		if err := runLoadgen(lg); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *srvBench || *srvCompare != "" {
+		cpus, err := parseInts(*srvCPUs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: invalid -servercpus: %v\n", err)
+			return 2
+		}
+		if *srvCompare != "" {
+			err = runCompareServer(*srvCompare, cpus, lg.out, *minSrvScl, *srvAlloc, lg.dur)
+		} else {
+			err = runServerBench(cpus, lg.dur, lg.out)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			return 1
 		}

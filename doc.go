@@ -27,12 +27,16 @@
 // hash-partitions any container across independent instances — the scale
 // lever the shard-scaling experiments (E9/E10) measure. On top of the
 // containers sits the network service layer: internal/proto (a RESP-style
-// KV wire protocol in length-prefixed frames), internal/server (a TCP
-// server pinning one container Session per connection, with pipelined
-// reply batching and conservation-preserving graceful shutdown) and
-// internal/client (a pipelining client) — served by cmd/server and
-// measured across a real socket by cmd/bench -loadgen (BENCH_server.json
-// is the checked-in trajectory). The durability layer (internal/wal +
+// KV wire protocol in length-prefixed frames, batched decode and vectored
+// jumbo replies), internal/server (a TCP server pinning one container
+// Session per connection; the serve loop works in batches — decode
+// everything one socket read delivered, apply it under one epoch guard,
+// answer with one write — with conservation-preserving graceful shutdown)
+// and internal/client (a pipelining client) — served by cmd/server and
+// measured across a real socket by cmd/bench -loadgen and the
+// -serverbench/-compareserver parallel server lane (BENCH_server.json is
+// the checked-in trajectory, one row per workload cell per GOMAXPROCS).
+// The durability layer (internal/wal +
 // internal/snapshot, wired in with cmd/server -wal-dir) upgrades the
 // server's conservation contract to acked-means-durable: group-committed
 // write-ahead logging (one fsync per pipelined batch, 0 allocs/op),
@@ -67,9 +71,11 @@
 //	internal/shard           hash-partitioned Sharded wrapper over any
 //	                         container: Fibonacci routing, per-shard counters
 //	internal/proto           the KV wire protocol: zero-copy streaming
-//	                         frame parser and batching writer
+//	                         frame parser (batch drain of buffered frames)
+//	                         and batching writer (vectored jumbo replies)
 //	internal/server          the TCP serving layer: pinned per-connection
-//	                         sessions, reply batching, graceful shutdown
+//	                         sessions, batched decode→apply→reply under one
+//	                         epoch guard per batch, graceful shutdown
 //	internal/client          pipelining client (sync + async-batch APIs),
 //	                         read timeouts and reconnect-with-backoff
 //	internal/wal             group-committed write-ahead log: CRC-framed

@@ -49,6 +49,8 @@ func (s *msSession) Get(key int) bool    { return s.s.Get(key) > 0 }
 func (s *msSession) Insert(key int) bool { s.s.Insert(key, 1); return true }
 func (s *msSession) Delete(key int) bool { return s.s.Delete(key, 1) }
 func (s *msSession) Count(key int) int   { return s.s.Get(key) }
+func (s *msSession) BatchStart()         { template.Enter(s.s.Handle()) }
+func (s *msSession) BatchEnd()           { template.Exit(s.s.Handle()) }
 func (s *msSession) Quiesce()            { template.Quiesce(s.s.Handle()) }
 func (s *msSession) Close()              { s.s.Handle().Release() }
 
@@ -86,8 +88,10 @@ func (s *bstSession) Count(key int) int {
 	}
 	return 0
 }
-func (s *bstSession) Quiesce() { template.Quiesce(s.s.Handle()) }
-func (s *bstSession) Close()   { s.s.Handle().Release() }
+func (s *bstSession) BatchStart() { template.Enter(s.s.Handle()) }
+func (s *bstSession) BatchEnd()   { template.Exit(s.s.Handle()) }
+func (s *bstSession) Quiesce()    { template.Quiesce(s.s.Handle()) }
+func (s *bstSession) Close()      { s.s.Handle().Release() }
 
 // --- LLX/SCX Patricia trie --------------------------------------------------
 
@@ -123,8 +127,10 @@ func (s *trieSession) Count(key int) int {
 	}
 	return 0
 }
-func (s *trieSession) Quiesce() { template.Quiesce(s.s.Handle()) }
-func (s *trieSession) Close()   { s.s.Handle().Release() }
+func (s *trieSession) BatchStart() { template.Enter(s.s.Handle()) }
+func (s *trieSession) BatchEnd()   { template.Exit(s.s.Handle()) }
+func (s *trieSession) Quiesce()    { template.Quiesce(s.s.Handle()) }
+func (s *trieSession) Close()      { s.s.Handle().Release() }
 
 // --- lock-free resizable hash map -------------------------------------------
 
@@ -158,8 +164,10 @@ func (s *hmSession) Count(key int) int {
 	}
 	return 0
 }
-func (s *hmSession) Quiesce() { template.Quiesce(s.s.Handle()) }
-func (s *hmSession) Close()   { s.s.Handle().Release() }
+func (s *hmSession) BatchStart() { template.Enter(s.s.Handle()) }
+func (s *hmSession) BatchEnd()   { template.Exit(s.s.Handle()) }
+func (s *hmSession) Quiesce()    { template.Quiesce(s.s.Handle()) }
+func (s *hmSession) Close()      { s.s.Handle().Release() }
 
 // --- LLX/SCX queue (produce/consume) ----------------------------------------
 
@@ -190,6 +198,8 @@ func (s *queueSession) Get(int) bool        { _, ok := s.q.Peek(); return ok }
 func (s *queueSession) Insert(key int) bool { s.s.Enqueue(key); return true }
 func (s *queueSession) Delete(int) bool     { _, ok := s.s.Dequeue(); return ok }
 func (s *queueSession) Count(int) int       { return -1 }
+func (s *queueSession) BatchStart()         { template.Enter(s.s.Handle()) }
+func (s *queueSession) BatchEnd()           { template.Exit(s.s.Handle()) }
 func (s *queueSession) Quiesce()            { template.Quiesce(s.s.Handle()) }
 func (s *queueSession) Close()              { s.s.Handle().Release() }
 
@@ -221,6 +231,8 @@ func (s *stackSession) Get(int) bool        { _, ok := s.st.Peek(); return ok }
 func (s *stackSession) Insert(key int) bool { s.s.Push(key); return true }
 func (s *stackSession) Delete(int) bool     { _, ok := s.s.Pop(); return ok }
 func (s *stackSession) Count(int) int       { return -1 }
+func (s *stackSession) BatchStart()         { template.Enter(s.s.Handle()) }
+func (s *stackSession) BatchEnd()           { template.Exit(s.s.Handle()) }
 func (s *stackSession) Quiesce()            { template.Quiesce(s.s.Handle()) }
 func (s *stackSession) Close()              { s.s.Handle().Release() }
 
@@ -250,6 +262,8 @@ func (s coarseSession) Get(key int) bool    { return s.m.Get(key) > 0 }
 func (s coarseSession) Insert(key int) bool { s.m.Insert(key, 1); return true }
 func (s coarseSession) Delete(key int) bool { return s.m.Delete(key, 1) }
 func (s coarseSession) Count(key int) int   { return s.m.Get(key) }
+func (s coarseSession) BatchStart()         {}
+func (s coarseSession) BatchEnd()           {}
 func (s coarseSession) Quiesce()            {}
 func (s coarseSession) Close()              {}
 
@@ -277,6 +291,8 @@ func (s fineSession) Get(key int) bool    { return s.m.Get(key) > 0 }
 func (s fineSession) Insert(key int) bool { s.m.Insert(key, 1); return true }
 func (s fineSession) Delete(key int) bool { return s.m.Delete(key, 1) }
 func (s fineSession) Count(key int) int   { return s.m.Get(key) }
+func (s fineSession) BatchStart()         {}
+func (s fineSession) BatchEnd()           {}
 func (s fineSession) Quiesce()            {}
 func (s fineSession) Close()              {}
 

@@ -51,13 +51,25 @@ type Session interface {
 	// whose Delete consumes an arbitrary element). The durability layer's
 	// crash harness audits per-key conservation through this.
 	Count(key int) int
+	// BatchStart opens one epoch read guard covering a run of consecutive
+	// operations, so the per-operation guards inside them collapse into
+	// counter bumps (reclaim.Local.Enter/Exit nest). The serving layer
+	// wraps each decoded request batch in BatchStart/BatchEnd: one guard
+	// per batch instead of one per op. The guard must not be held across
+	// blocking I/O — it pins the reclamation epoch for as long as it is
+	// open — and BatchEnd must be called before Quiesce. Lock-based
+	// sessions no-op.
+	BatchStart()
+	// BatchEnd closes the guard opened by the matching BatchStart.
+	BatchEnd()
 	// Quiesce declares that the session's owner holds no references into
 	// the container and may go idle for a while (a connection blocking on
 	// its socket, a worker parking on a channel). LLX/SCX sessions
 	// unpublish their epoch announcement — left published and stale, it
 	// would delay memory reclamation for every structure in the domain —
-	// and the lock baselines no-op. Call it between operations only; the
-	// session remains fully usable afterwards.
+	// and the lock baselines no-op. Call it between operations only (never
+	// inside an open BatchStart); the session remains fully usable
+	// afterwards.
 	Quiesce()
 	// Close releases per-session resources (the pooled Handle of an
 	// LLX/SCX session). The Session must not be used afterwards.

@@ -49,12 +49,12 @@ func FuzzParseFrame(f *testing.F) {
 		w.WriteErr("boom")
 	})
 	f.Add([]byte{})
-	f.Add([]byte{0, 0, 0, 0})                                    // zero length
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})                        // absurd length
-	f.Add(binary.BigEndian.AppendUint32(nil, MaxFrame+1))        // just over the cap
-	f.Add(append(binary.BigEndian.AppendUint32(nil, 9), 0xEE))   // truncated unknown op
-	f.Add([]byte{0, 0, 0, 2, byte(OpPing), 0})                   // bare op with trailing byte
-	f.Add([]byte{0, 0})                                          // truncated header
+	f.Add([]byte{0, 0, 0, 0})                                  // zero length
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})                      // absurd length
+	f.Add(binary.BigEndian.AppendUint32(nil, MaxFrame+1))      // just over the cap
+	f.Add(append(binary.BigEndian.AppendUint32(nil, 9), 0xEE)) // truncated unknown op
+	f.Add([]byte{0, 0, 0, 2, byte(OpPing), 0})                 // bare op with trailing byte
+	f.Add([]byte{0, 0})                                        // truncated header
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, parse := range []func(rd *Reader) error{

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Op is a request opcode.
@@ -339,6 +340,51 @@ func (rd *Reader) ReadRequest() (Request, error) {
 	return parseRequest(p)
 }
 
+// ReadRequestBatch drains a run of requests in one call: it blocks for the
+// first frame exactly like ReadRequest, then keeps parsing requests from
+// bytes the source already handed over — never touching the source again —
+// until the buffer holds no complete frame or max requests are decoded.
+// Parsed requests are appended to dst (pass dst[:0] to reuse its backing
+// array across calls; steady state allocates nothing).
+//
+// The returned error belongs to the frame after the ones successfully
+// appended: the caller should serve the returned requests first and handle
+// the error after, which preserves frame-at-a-time semantics — requests
+// received before a malformed frame are still served.
+func (rd *Reader) ReadRequestBatch(dst []Request, max int) ([]Request, error) {
+	for len(dst) < max {
+		p, err := rd.frame()
+		if err != nil {
+			return dst, err
+		}
+		q, err := parseRequest(p)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, q)
+		if !rd.frameBuffered() {
+			break
+		}
+	}
+	return dst, nil
+}
+
+// frameBuffered reports whether frame can return without reading from the
+// source: either a complete frame sits in the buffer, or the buffered header
+// already proves the stream malformed (frame surfaces that error without
+// blocking). Buffered() > 0 alone is not enough — a partial frame may be
+// buffered, and completing it requires the source.
+func (rd *Reader) frameBuffered() bool {
+	if rd.w-rd.r < headerSize {
+		return false
+	}
+	n := int(binary.BigEndian.Uint32(rd.buf[rd.r:]))
+	if n == 0 || n > MaxFrame {
+		return true
+	}
+	return rd.w-rd.r >= headerSize+n
+}
+
 // ReadReply parses the next reply frame. The Reply's Bulk field aliases the
 // Reader's buffer; see Reply.
 func (rd *Reader) ReadReply() (Reply, error) {
@@ -354,7 +400,8 @@ func (rd *Reader) ReadReply() (Reply, error) {
 type Writer struct {
 	dst io.Writer
 	buf []byte
-	err error // sticky: first destination failure
+	vec [2][]byte // reusable iovec backing for jumbo vectored writes
+	err error     // sticky: first destination failure
 }
 
 // NewWriter wraps dst with an encode buffer of the given size (minimum 64,
@@ -466,19 +513,23 @@ func (w *Writer) writeBytes(st Status, p []byte) error {
 		return err
 	}
 	if headerSize+n > cap(w.buf) {
-		// Jumbo payload: frame header + status through the buffer, body
-		// straight to the destination (STATS dumps only; never on the
-		// keyed-reply hot path).
+		// Jumbo payload (STATS dumps only; never on the keyed-reply hot
+		// path): rather than copying the body into the buffer or paying two
+		// writes (header flush, then body), hand header and body to the
+		// destination as one vectored write. net.Buffers uses writev on a
+		// *net.TCPConn — one syscall, zero copies — and degrades to
+		// sequential writes on any other io.Writer.
 		w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(n))
 		w.buf = append(w.buf, byte(st))
-		if err := w.Flush(); err != nil {
-			return err
-		}
-		if _, err := w.dst.Write(p); err != nil {
+		w.vec[0], w.vec[1] = w.buf, p
+		vec := net.Buffers(w.vec[:])
+		_, err := vec.WriteTo(w.dst)
+		w.vec[0], w.vec[1] = nil, nil
+		w.buf = w.buf[:0]
+		if err != nil {
 			w.err = err
-			return err
 		}
-		return nil
+		return err
 	}
 	w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(n))
 	w.buf = append(w.buf, byte(st))

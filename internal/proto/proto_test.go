@@ -319,3 +319,87 @@ func TestReaderSteadyStateAllocFree(t *testing.T) {
 		t.Fatalf("steady-state parse allocated %.1f allocs per %d-request batch, want 0", allocs, batch)
 	}
 }
+
+// TestReadRequestBatch pins the batched decode contract: one call drains
+// exactly the complete frames already buffered (never blocking for more),
+// stops at max, and hands back any malformed frame's error *after* the good
+// requests that preceded it.
+func TestReadRequestBatch(t *testing.T) {
+	reqs := []Request{
+		{Op: OpSet, Key: 1}, {Op: OpGet, Key: 2}, {Op: OpDel, Key: 3},
+		{Op: OpSet, Key: 4}, {Op: OpGet, Key: 5},
+	}
+	r := roundTrip(t, 4096, func(w *Writer) {
+		for _, q := range reqs {
+			if err := w.WriteRequest(q); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+		}
+	})
+	// All five frames arrive in the first fill; max caps the batch.
+	batch, err := r.ReadRequestBatch(nil, 3)
+	if err != nil {
+		t.Fatalf("batch 1: %v", err)
+	}
+	if len(batch) != 3 || batch[0] != reqs[0] || batch[2] != reqs[2] {
+		t.Fatalf("batch 1: got %+v", batch)
+	}
+	// The rest is still buffered; reusing the slice must not reallocate it.
+	batch, err = r.ReadRequestBatch(batch[:0], 64)
+	if err != nil {
+		t.Fatalf("batch 2: %v", err)
+	}
+	if len(batch) != 2 || batch[0] != reqs[3] || batch[1] != reqs[4] {
+		t.Fatalf("batch 2: got %+v", batch)
+	}
+	// Stream exhausted: the error surfaces with no requests in front of it.
+	if batch, err = r.ReadRequestBatch(batch[:0], 64); err != io.EOF || len(batch) != 0 {
+		t.Fatalf("batch 3: got %d reqs, err %v; want 0, io.EOF", len(batch), err)
+	}
+}
+
+// TestReadRequestBatchMalformedAfterGood pins the error-position contract: a
+// zero-length frame behind two good requests yields those two requests and
+// ErrMalformed, so a server can serve the batch before killing the
+// connection.
+func TestReadRequestBatchMalformedAfterGood(t *testing.T) {
+	var out bytes.Buffer
+	w := NewWriter(&out, 0)
+	w.WriteRequest(Request{Op: OpSet, Key: 10})
+	w.WriteRequest(Request{Op: OpGet, Key: 11})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	out.Write([]byte{0, 0, 0, 0}) // zero-length frame: malformed
+	r := NewReader(bytes.NewReader(out.Bytes()), 4096)
+	batch, err := r.ReadRequestBatch(nil, 64)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+	if len(batch) != 2 || batch[0].Key != 10 || batch[1].Key != 11 {
+		t.Fatalf("batch before malformed frame: %+v", batch)
+	}
+}
+
+// TestReadRequestBatchStopsAtPartialFrame pins the no-blocking contract: a
+// complete frame followed by a truncated one returns the complete request
+// immediately — the batch boundary is what the buffer holds, never a stall
+// waiting for a frame's tail.
+func TestReadRequestBatchStopsAtPartialFrame(t *testing.T) {
+	var out bytes.Buffer
+	w := NewWriter(&out, 0)
+	w.WriteRequest(Request{Op: OpSet, Key: 42})
+	w.WriteRequest(Request{Op: OpSet, Key: 43})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	full := out.Bytes()
+	r := NewReader(bytes.NewReader(full[:len(full)-3]), 4096)
+	batch, err := r.ReadRequestBatch(nil, 64)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(batch) != 1 || batch[0].Key != 42 {
+		t.Fatalf("batch: got %+v, want just key 42", batch)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"pragmaprim/internal/multiset"
 	"pragmaprim/internal/proto"
 	"pragmaprim/internal/server"
+	"pragmaprim/internal/wal"
 )
 
 // pipelinedRound sends one batch of alternating SET/GET over a small key
@@ -69,6 +70,66 @@ func TestServerHotPathAllocFree(t *testing.T) {
 	t.Logf("pipelined SET/GET: %.3f allocs per %d-op batch = %.4f allocs/op", allocs, depth, perOp)
 	if perOp > 1 {
 		t.Errorf("server hot path allocates %.4f allocs/op, want <= 1", perOp)
+	}
+}
+
+// TestServerHotPathAllocFreeDurableMultiConn extends the pin to the batched
+// durable path under connection concurrency: two pipelined connections, each
+// running the depth-128 SET/GET round with a WAL underneath, still amortize
+// to zero steady-state allocations per op. This is the whole-stack pin for
+// the batch machinery — per-connection batch slices, the record accumulator,
+// barrier partition tracking and the group-commit rendezvous are all reused,
+// so adding a second connection must add no per-op garbage.
+func TestServerHotPathAllocFreeDurableMultiConn(t *testing.T) {
+	s, l := startDurable(t, wal.NewMemFS(), "wal")
+	defer l.Close()
+	defer shutdownNow(t, s)
+
+	const conns, depth = 2, 128
+	cls := make([]*client.Client, conns)
+	for i := range cls {
+		cl, err := client.Dial(s.Addr().String())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		defer cl.Close()
+		cls[i] = cl
+	}
+	// Flush every connection's batch before draining any replies, so the
+	// server really serves the connections concurrently (their batches are
+	// in flight together and share commit groups) while the measuring
+	// goroutine stays single — AllocsPerRun needs that.
+	round := func() {
+		for _, cl := range cls {
+			for i := 0; i < depth/2; i++ {
+				key := int64(i & 7)
+				if err := cl.Send(proto.Request{Op: proto.OpSet, Key: key}); err != nil {
+					t.Fatalf("send set: %v", err)
+				}
+				if err := cl.Send(proto.Request{Op: proto.OpGet, Key: key}); err != nil {
+					t.Fatalf("send get: %v", err)
+				}
+			}
+			if err := cl.Flush(); err != nil {
+				t.Fatalf("flush: %v", err)
+			}
+		}
+		for _, cl := range cls {
+			for i := 0; i < depth; i++ {
+				if _, err := cl.Recv(); err != nil {
+					t.Fatalf("recv: %v", err)
+				}
+			}
+		}
+	}
+	for i := 0; i < 20; i++ {
+		round()
+	}
+	allocs := testing.AllocsPerRun(50, round)
+	perOp := allocs / (conns * depth)
+	t.Logf("durable 2-conn SET/GET: %.3f allocs per %d-op round = %.4f allocs/op", allocs, conns*depth, perOp)
+	if perOp > 1 {
+		t.Errorf("durable multi-conn hot path allocates %.4f allocs/op, want <= 1", perOp)
 	}
 }
 

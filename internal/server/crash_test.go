@@ -8,6 +8,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -48,6 +49,9 @@ func crashChildMain(dir string) {
 		fmt.Fprintf(os.Stderr, "crash child: %v\n", err)
 		os.Exit(1)
 	}
+	// The child serves at GOMAXPROCS=4 so the kill -9 audit exercises the
+	// batched path under real (or oversubscribed) multi-core scheduling.
+	runtime.GOMAXPROCS(4)
 	const shards = 4
 	c := shard.New(shards, func(int) container.Container {
 		return container.Multiset(multiset.New[int]())
@@ -207,7 +211,7 @@ func TestServerCrashRecoveryConservation(t *testing.T) {
 		}(w)
 	}
 
-	time.Sleep(700 * time.Millisecond) // let load, snapshots and rotation run
+	time.Sleep(700 * time.Millisecond)         // let load, snapshots and rotation run
 	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
 		t.Fatalf("kill -9: %v", err)
 	}

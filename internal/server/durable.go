@@ -7,12 +7,15 @@ import (
 
 // Durability extends the server's conservation contract from acked ⇔
 // applied to acked ⇔ durable. With it configured, every SET/DEL is applied
-// and its log record appended atomically under the snapshot barrier's read
-// lock, and the acknowledgement reaches the socket only after a commit
-// group covering the record has been fsynced. Group commit does the
-// amortizing: a pipelined batch costs one fsync at its flush boundary, and
-// concurrent connections share commit groups, so the hot path stays
-// allocation-free and fsync-bounded per batch.
+// under the snapshot barrier's read lock and its log record appended — as
+// part of the batch's single WAL append — before that lock is released, so
+// a snapshot sees apply and append together or not at all; the
+// acknowledgement reaches the socket only after a commit group covering the
+// record has been fsynced. Batching and group commit do the amortizing: a
+// pipelined batch costs one barrier-lock round per touched partition, one
+// WAL append and one fsync at its flush boundary, and concurrent
+// connections share commit groups, so the hot path stays allocation-free
+// and fsync-bounded per batch.
 //
 // On a log fault (fsync error, short write) the server degrades exactly as
 // the contract demands: the faulting connection never flushes acks that are
@@ -83,12 +86,28 @@ func (s *Server) commitPend(st *connState) error {
 	return nil
 }
 
-// applyDurable is the durable mutation path: apply and append atomically
-// under the key's barrier read lock (so a snapshot either sees both the
-// applied state and a covered LSN, or neither), ack later, after commit.
+// applyDurable is the durable mutation path, batched: the write is applied
+// under its key's barrier partition read lock, but its log record is only
+// accumulated — sealBatch appends the whole batch's records as one WAL
+// batch before any partition lock is released. The apply+append pair stays
+// atomic with respect to snapshot Take because the partition lock is held
+// from the first apply touching it until after the batch append; Take locks
+// one partition at a time, so holding several read locks across a batch
+// cannot deadlock it (see Barrier.Partition).
+//
+// The reply is buffered here, before the record is appended; that is safe
+// because no reply can reach the socket before sealBatch + Commit run —
+// the flush boundary and the pre-commit guard in serveBatch both seal and
+// commit first, and an append failure in sealBatch marks the connection
+// dead before anything is flushed.
 func (s *Server) applyDurable(st *connState, op wal.Op, key int64) error {
 	d := s.dur
-	d.Barrier.RLockKey(key)
+	p := d.Barrier.Partition(key)
+	if !st.held[p] {
+		d.Barrier.RLockPart(p)
+		st.held[p] = true
+		st.parts = append(st.parts, p)
+	}
 	var applied bool
 	if op == wal.OpInsert {
 		applied = st.sess.Insert(int(key))
@@ -96,21 +115,37 @@ func (s *Server) applyDurable(st *connState, op wal.Op, key int64) error {
 		applied = st.sess.Delete(int(key))
 	}
 	if applied {
-		lsn, err := d.Log.Append(op, key)
-		if err != nil {
-			d.Barrier.RUnlockKey(key)
-			// Applied but unlogged: the op must not be acked. Kill the
-			// connection before its reply is written; the in-memory effect
-			// is unacknowledged and will not survive the restart that
-			// follows the fault drain.
-			st.dead = true
-			s.durFault(err)
-			return err
-		}
-		st.pend = lsn
-		d.Barrier.RUnlockKey(key)
-	} else {
-		d.Barrier.RUnlockKey(key)
+		st.recs = append(st.recs, wal.Record{Op: op, Key: key})
 	}
 	return st.w.WriteBool(applied)
+}
+
+// sealBatch ends a batch's durable phase: append every record the batch
+// applied as one WAL batch (one mutex round, consecutive LSNs), remember
+// the last LSN as the connection's commit obligation, then release the
+// barrier partitions. On append failure the batch is applied but unlogged:
+// the connection is marked dead before any of its buffered acks can reach
+// the wire, and the server-wide fault drain starts — the in-memory effects
+// are unacknowledged and will not survive the restart that follows.
+// Partition locks are released on every path; sealBatch is called on every
+// exit from serveBatch.
+func (s *Server) sealBatch(st *connState) error {
+	var err error
+	if len(st.recs) > 0 {
+		var lsn uint64
+		lsn, err = s.dur.Log.AppendBatch(st.recs)
+		st.recs = st.recs[:0]
+		if err != nil {
+			st.dead = true
+			s.durFault(err)
+		} else {
+			st.pend = lsn
+		}
+	}
+	for _, p := range st.parts {
+		st.held[p] = false
+		s.dur.Barrier.RUnlockPart(p)
+	}
+	st.parts = st.parts[:0]
+	return err
 }

@@ -233,6 +233,88 @@ func TestServerWALShortWriteNeverAcksLost(t *testing.T) {
 	runWALFaultScenario(t, func(f *wal.FaultFS) { f.SetShortWriteAt(1) })
 }
 
+// TestServerBatchCommitAcrossRotation pins the batch-boundary ordering
+// contract where it is easiest to get wrong: when one pipelined batch's
+// records span a WAL segment rotation. With a tiny segment threshold every
+// few batches straddle a seal+create, and the server must still hold every
+// ack until Commit(lsn) covers the batch's *last* record — in the new
+// segment. A simulated crash (MemFS drops unsynced bytes, no shutdown
+// flushing) then recovery must find exactly the acked counts: fewer means an
+// ack escaped before its commit; more means an unacked write leaked, since
+// the client drained every reply before the crash.
+func TestServerBatchCommitAcrossRotation(t *testing.T) {
+	mem := wal.NewMemFS()
+	c := container.Multiset(multiset.New[int]())
+	l, _, err := snapshot.Recover(c, "wal", wal.Options{FS: mem, SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	s, err := server.Start(c, server.Config{
+		Durable: &server.Durability{Log: l, Barrier: snapshot.NewBarrier(1)},
+	})
+	if err != nil {
+		l.Close()
+		t.Fatalf("start: %v", err)
+	}
+
+	cl, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	const keys, depth, rounds = 8, 128, 20
+	acked := make([]int, keys)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < depth; i++ {
+			if err := cl.Send(proto.Request{Op: proto.OpSet, Key: int64(i % keys)}); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		for i := 0; i < depth; i++ {
+			rep, err := cl.Recv()
+			if err != nil {
+				t.Fatalf("recv: %v", err)
+			}
+			if ok, err := rep.Bool(); err == nil && ok {
+				acked[i%keys]++
+			}
+		}
+	}
+	cl.Close()
+	if rot := l.Metrics().Rotations; rot == 0 {
+		t.Fatalf("no segment rotation in %d batches of %d records — shrink SegmentBytes", rounds, depth)
+	} else {
+		t.Logf("%d rotations across %d batches", rot, rounds)
+	}
+
+	// Crash first — freezing durable state at the moment the last ack was
+	// read — then tear the old server down (it has nothing left to write).
+	mem.Crash()
+	shutdownNow(t, s)
+	l.Close()
+
+	c2 := container.Multiset(multiset.New[int]())
+	l2, _, err := snapshot.Recover(c2, "wal", wal.Options{FS: mem})
+	if err != nil {
+		t.Fatalf("recover after crash: %v", err)
+	}
+	defer l2.Close()
+	got := make([]int, keys)
+	c2.Range(func(k, n int) bool {
+		if k >= 0 && k < keys {
+			got[k] = n
+		}
+		return true
+	})
+	for k := 0; k < keys; k++ {
+		if got[k] != acked[k] {
+			t.Errorf("key %d: recovered count %d, acked %d — batch commit leaked across a rotation", k, got[k], acked[k])
+		}
+	}
+}
+
 // TestServerWALRestartConservation is the in-process restart loop: durable
 // writes, clean shutdown, recovery into a fresh server, and the recovered
 // server keeps serving with counts exactly equal to what was acked. (The

@@ -8,10 +8,17 @@
 // the pooled-Handle/epoch fast path is paid at accept time, not per
 // operation; the proto Reader and Writer give the connection two reusable
 // buffers, so the request→apply→reply loop allocates nothing after warmup.
-// Pipelined clients get batched reply flushes for free: replies accumulate
-// in the write buffer while further requests are already sitting in the
-// read buffer, and the writer hits the socket only when the read buffer
-// runs dry (one flush per pipelined batch).
+//
+// The loop's unit of work is a batch, not a frame: every complete frame the
+// socket already delivered is decoded into a reusable request batch, the
+// batch is applied through the pinned Session inside one epoch guard (the
+// per-op guards nest into depth-counter bumps), its log records — with
+// durability on — are appended as one WAL batch, every reply lands in the
+// write buffer through a flat per-opcode dispatch table, and the writer
+// hits the socket only when the read buffer runs dry (one flush per
+// pipelined batch). Syscalls, epoch transitions, WAL mutex rounds, shared
+// counter updates and fsyncs are all amortized over the batch; the
+// /metrics batch-size distribution makes the amortization observable.
 //
 // Backpressure is structural rather than queued: there is no request queue
 // to grow without bound. A connection's requests are processed strictly in
@@ -34,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"net"
 	"sort"
 	"strings"
@@ -73,6 +81,22 @@ type Config struct {
 // DefaultMaxConns is the connection cap when Config.MaxConns is 0.
 const DefaultMaxConns = 1024
 
+// maxBatch caps how many requests one decoded batch may hold, bounding the
+// reusable request slice however large the read buffer is configured.
+const maxBatch = 8192
+
+// batchHistBuckets covers batch sizes up to 2^15, comfortably past maxBatch.
+const batchHistBuckets = 16
+
+// padCounter is an atomic counter padded out to its own 64-byte cache line.
+// The hot server counters are written by every serving goroutine; without
+// padding they would share lines and turn per-batch folds into cross-core
+// coherence traffic (false sharing).
+type padCounter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
 // flushTimeout bounds the final acknowledgement flush of a closing
 // connection, so a dead peer cannot hold shutdown hostage.
 const flushTimeout = 5 * time.Second
@@ -93,9 +117,17 @@ type Server struct {
 	active   atomic.Int64
 	accepted atomic.Int64
 	rejected atomic.Int64
-	// Per-opcode served counters, indexed by proto.Op.
-	served    [proto.OpCount + 1]atomic.Int64
-	flushes   atomic.Int64
+	// Hot shared counters, each alone on its cache line (padCounter).
+	// Connections count ops locally and fold into these once per batch, so
+	// at multi-core connection counts the counters cost one atomic add per
+	// batch per opcode touched — not one per op — and never false-share.
+	served   [proto.OpCount + 1]padCounter
+	flushes  padCounter
+	batches  padCounter
+	batchOps padCounter
+	// batchHist[i] counts batches whose size lies in (2^(i-1), 2^i]; the
+	// /metrics batch-size distribution comes from it. One add per batch.
+	batchHist [batchHistBuckets]atomic.Int64
 	protoErrs atomic.Int64
 
 	// Durability state; dur is nil on a purely in-memory server.
@@ -226,27 +258,53 @@ func (s *Server) untrack(c net.Conn) {
 var pastDeadline = time.Unix(1, 0)
 
 // connState is one connection's loop state: its pinned session, its two
-// reusable buffers, and the durability bookkeeping — the highest log
-// sequence number this connection appended but has not yet committed, and
-// whether the connection went dead (its buffered replies must never reach
-// the socket, because they would acknowledge writes that are not durable).
+// reusable buffers, the reusable decoded-request batch, and the durability
+// bookkeeping — the highest log sequence number this connection appended
+// but has not yet committed, whether the connection went dead (its buffered
+// replies must never reach the socket, because they would acknowledge
+// writes that are not durable), and the current batch's applied-but-
+// unappended records plus the barrier partitions held for them.
 type connState struct {
-	sess container.Session
-	r    *proto.Reader
-	w    *proto.Writer
-	pend uint64
-	dead bool
+	sess  container.Session
+	r     *proto.Reader
+	w     *proto.Writer
+	batch []proto.Request
+	// served counts ops locally; foldCounters merges it into the shared
+	// padded counters once per flush boundary instead of once per op.
+	served [proto.OpCount + 1]int64
+	pend   uint64
+	dead   bool
+	// Durable batch state (nil/empty on an in-memory server): records
+	// applied this batch awaiting the batch append, and the barrier
+	// partitions read-locked since the batch's first write. held is the
+	// dedupe index over parts.
+	recs  []wal.Record
+	held  []bool
+	parts []int
 }
 
 // serve owns one connection for its whole life: one goroutine, one pinned
 // Session, one Reader, one Writer. The loop is the hot path of the whole
 // serving stack; in steady state it allocates nothing.
+//
+// The loop's unit of work is a batch, not a frame: ReadRequestBatch blocks
+// for the first request and then drains every complete frame the socket
+// already delivered, serveBatch applies them all inside one epoch guard and
+// one WAL append, and the write buffer answers them with one flush when the
+// read buffer runs dry.
 func (s *Server) serve(c net.Conn) {
 	defer s.connWG.Done()
 	st := &connState{
-		sess: s.cont.NewSession(),
-		r:    proto.NewReader(c, s.cfg.ReadBuf),
-		w:    proto.NewWriter(c, s.cfg.WriteBuf),
+		sess:  s.cont.NewSession(),
+		r:     proto.NewReader(c, s.cfg.ReadBuf),
+		w:     proto.NewWriter(c, s.cfg.WriteBuf),
+		batch: make([]proto.Request, 0, 64),
+	}
+	if s.dur != nil {
+		n := s.dur.Barrier.Shards()
+		st.recs = make([]wal.Record, 0, 64)
+		st.held = make([]bool, n)
+		st.parts = make([]int, 0, n)
 	}
 
 	for {
@@ -258,20 +316,28 @@ func (s *Server) serve(c net.Conn) {
 				c.SetReadDeadline(pastDeadline)
 			}
 		}
-		req, err := st.r.ReadRequest()
+		var err error
+		st.batch, err = st.r.ReadRequestBatch(st.batch[:0], maxBatch)
+		if n := len(st.batch); n > 0 {
+			s.batches.n.Add(1)
+			s.batchOps.n.Add(int64(n))
+			s.batchHist[bits.Len(uint(n-1))].Add(1)
+			if herr := s.serveBatch(st); herr != nil {
+				break
+			}
+		}
 		if err != nil {
 			if errors.Is(err, proto.ErrMalformed) {
 				// The stream cannot be resynchronized; tell the peer why
-				// before hanging up. Replies already buffered still go out
-				// below — after their records are committed, if durable.
+				// before hanging up. Requests decoded before the bad frame
+				// were served above, and their buffered replies still go
+				// out below — after their records are committed, if
+				// durable.
 				s.protoErrs.Add(1)
 				if s.dur == nil || s.commitPend(st) == nil {
 					st.w.WriteErr(err.Error())
 				}
 			}
-			break
-		}
-		if err := s.handle(req, st); err != nil {
 			break
 		}
 		// Reply-batching rule: flush only when the read buffer runs dry —
@@ -286,7 +352,8 @@ func (s *Server) serve(c net.Conn) {
 			if s.dur != nil && s.commitPend(st) != nil {
 				break
 			}
-			s.flushes.Add(1)
+			s.foldCounters(st)
+			s.flushes.n.Add(1)
 			if err := st.w.Flush(); err != nil {
 				break
 			}
@@ -298,6 +365,8 @@ func (s *Server) serve(c net.Conn) {
 			// (amortized, still-published) epoch announcement does not go
 			// stale while we sleep — an idle connection would otherwise
 			// delay memory reclamation for every structure in the process.
+			// The batch guard is closed here by construction (serveBatch
+			// brackets it), which Quiesce requires.
 			st.sess.Quiesce()
 		}
 	}
@@ -307,13 +376,15 @@ func (s *Server) serve(c net.Conn) {
 	// then close the socket, then release the Session (returning its pooled
 	// Handle and letting the reclamation epoch advance past this goroutine).
 	// A dead connection skips the flush: its buffered replies would
-	// acknowledge writes the log could not make durable.
+	// acknowledge writes the log could not make durable. serveBatch seals
+	// every batch before returning, so no barrier partition is held here.
+	s.foldCounters(st)
 	if s.dur != nil && !st.dead {
 		s.commitPend(st)
 	}
 	if !st.dead {
 		c.SetWriteDeadline(time.Now().Add(flushTimeout))
-		s.flushes.Add(1)
+		s.flushes.n.Add(1)
 		st.w.Flush()
 	}
 	c.Close()
@@ -323,14 +394,77 @@ func (s *Server) serve(c net.Conn) {
 }
 
 // replyHeadroom is the largest non-bulk reply frame (13 bytes) with margin;
-// see the pre-commit guard in handle.
+// see the pre-commit guard in serveBatch.
 const replyHeadroom = 32
 
-// handle applies one request to the session and buffers its reply. The
-// reply is buffered before handle returns, so an applied operation can
-// never miss its acknowledgement — and with durability on, a reply never
-// reaches the socket before its record's commit group is fsynced.
-func (s *Server) handle(req proto.Request, st *connState) error {
+// opFunc is one entry of the flat dispatch table: apply one request to the
+// connection and buffer its reply.
+type opFunc func(s *Server, st *connState, key int64) error
+
+// opTable dispatches by opcode with one indexed load instead of a switch.
+// Indexing by req.Op without a bounds check beyond the array's own is safe
+// because the parser rejects opcodes outside [OpPing, OpCount].
+var opTable = [proto.OpCount + 1]opFunc{
+	proto.OpPing:  (*Server).opPing,
+	proto.OpGet:   (*Server).opGet,
+	proto.OpSet:   (*Server).opSet,
+	proto.OpDel:   (*Server).opDel,
+	proto.OpSize:  (*Server).opSize,
+	proto.OpStats: (*Server).opStats,
+	proto.OpCount: (*Server).opCount,
+}
+
+func (s *Server) opPing(st *connState, _ int64) error {
+	return st.w.WritePong()
+}
+
+func (s *Server) opGet(st *connState, key int64) error {
+	return st.w.WriteBool(st.sess.Get(int(key)))
+}
+
+func (s *Server) opSet(st *connState, key int64) error {
+	if s.dur != nil {
+		return s.applyDurable(st, wal.OpInsert, key)
+	}
+	return st.w.WriteBool(st.sess.Insert(int(key)))
+}
+
+func (s *Server) opDel(st *connState, key int64) error {
+	if s.dur != nil {
+		return s.applyDurable(st, wal.OpDelete, key)
+	}
+	return st.w.WriteBool(st.sess.Delete(int(key)))
+}
+
+func (s *Server) opSize(st *connState, _ int64) error {
+	return st.w.WriteInt(int64(s.cont.Size()))
+}
+
+func (s *Server) opStats(st *connState, _ int64) error {
+	s.foldCounters(st) // STATS should see this batch's ops
+	var b strings.Builder
+	s.WriteMetrics(&b)
+	return st.w.WriteBulk([]byte(b.String()))
+}
+
+func (s *Server) opCount(st *connState, key int64) error {
+	if n := st.sess.Count(int(key)); n >= 0 {
+		return st.w.WriteInt(int64(n))
+	}
+	return st.w.WriteErr("server: container cannot count a single key")
+}
+
+// serveBatch applies one decoded batch and buffers every reply. The whole
+// batch runs inside a single epoch guard: with the announcement already
+// published, the per-op guards inside the session collapse to depth-counter
+// bumps, so epoch protection costs one Enter/Exit per batch. Replies are
+// buffered before the batch returns, so an applied operation can never miss
+// its acknowledgement — and with durability on, a reply never reaches the
+// socket before its record's commit group is fsynced (the pre-commit guard
+// below seals and commits ahead of any reply write that could overflow the
+// buffer into an implicit flush). Every return path seals the batch first:
+// barrier partitions are never held past serveBatch.
+func (s *Server) serveBatch(st *connState) error {
 	if err := st.w.Err(); err != nil {
 		// The ack path is broken (a flush failed): applying more operations
 		// would change state this connection can never acknowledge. Stop
@@ -339,47 +473,55 @@ func (s *Server) handle(req proto.Request, st *connState) error {
 		// conservation accounting intact.
 		return err
 	}
-	if s.dur != nil && st.pend > 0 {
-		// A full write buffer auto-flushes inside the reply write, which
-		// would put acks on the wire before their records are durable.
-		// Commit first when this reply might not fit (bulk STATS always
-		// forces it; the keyed replies are covered by replyHeadroom).
-		if req.Op == proto.OpStats || st.w.Buffered()+replyHeadroom > st.w.Cap() {
-			if err := s.commitPend(st); err != nil {
-				return err
+	st.sess.BatchStart()
+	for i := range st.batch {
+		req := st.batch[i]
+		st.served[req.Op]++
+		if s.dur != nil && (st.pend > 0 || len(st.recs) > 0) {
+			// A full write buffer auto-flushes inside the reply write,
+			// which would put acks on the wire before their records are
+			// durable. Seal and commit first when this reply might not fit
+			// (bulk STATS always forces it; the keyed replies are covered
+			// by replyHeadroom). The epoch guard is dropped around the
+			// fsync so a slow disk never pins the reclamation epoch.
+			if req.Op == proto.OpStats || st.w.Buffered()+replyHeadroom > st.w.Cap() {
+				st.sess.BatchEnd()
+				err := s.sealBatch(st)
+				if err == nil {
+					err = s.commitPend(st)
+				}
+				if err != nil {
+					return err
+				}
+				st.sess.BatchStart()
 			}
 		}
+		if err := opTable[req.Op](s, st, req.Key); err != nil {
+			st.sess.BatchEnd()
+			if s.dur != nil {
+				s.sealBatch(st)
+			}
+			return err
+		}
 	}
-	s.served[req.Op].Add(1)
-	switch req.Op {
-	case proto.OpPing:
-		return st.w.WritePong()
-	case proto.OpGet:
-		return st.w.WriteBool(st.sess.Get(int(req.Key)))
-	case proto.OpSet:
-		if s.dur != nil {
-			return s.applyDurable(st, wal.OpInsert, req.Key)
-		}
-		return st.w.WriteBool(st.sess.Insert(int(req.Key)))
-	case proto.OpDel:
-		if s.dur != nil {
-			return s.applyDurable(st, wal.OpDelete, req.Key)
-		}
-		return st.w.WriteBool(st.sess.Delete(int(req.Key)))
-	case proto.OpCount:
-		if n := st.sess.Count(int(req.Key)); n >= 0 {
-			return st.w.WriteInt(int64(n))
-		}
-		return st.w.WriteErr("server: container cannot count a single key")
-	case proto.OpSize:
-		return st.w.WriteInt(int64(s.cont.Size()))
-	case proto.OpStats:
-		var b strings.Builder
-		s.WriteMetrics(&b)
-		return st.w.WriteBulk([]byte(b.String()))
+	st.sess.BatchEnd()
+	if s.dur != nil {
+		return s.sealBatch(st)
 	}
-	// Unreachable: the parser rejects unknown opcodes.
-	return st.w.WriteErr("server: unhandled op")
+	return nil
+}
+
+// foldCounters merges the connection's local per-op counts into the shared
+// padded counters. Called at flush boundaries, on STATS, and at connection
+// exit — so shared-counter traffic is per batch, not per op, and /metrics
+// lags a connection's in-flight batch by at most one flush.
+func (s *Server) foldCounters(st *connState) {
+	for op := range st.served {
+		if n := st.served[op]; n != 0 {
+			s.served[op].n.Add(n)
+			st.served[op] = 0
+		}
+	}
 }
 
 // Shutdown stops the server gracefully: it stops accepting, interrupts
@@ -428,6 +570,14 @@ type Metrics struct {
 	ServedTotal   int64
 	Flushes       int64
 	ProtoErrors   int64
+	// Batches counts decoded request batches; BatchedOps is the total of
+	// their sizes (avg batch size = BatchedOps/Batches, flushes per op =
+	// Flushes/ServedTotal — the two amortization ratios the batched hot
+	// path exists to improve). BatchHist[i] counts batches whose size lies
+	// in (2^(i-1), 2^i].
+	Batches    int64
+	BatchedOps int64
+	BatchHist  [batchHistBuckets]int64
 }
 
 // Metrics snapshots the server counters.
@@ -436,15 +586,20 @@ func (s *Server) Metrics() Metrics {
 		ActiveConns:   s.active.Load(),
 		AcceptedConns: s.accepted.Load(),
 		RejectedConns: s.rejected.Load(),
-		Flushes:       s.flushes.Load(),
+		Flushes:       s.flushes.n.Load(),
 		ProtoErrors:   s.protoErrs.Load(),
+		Batches:       s.batches.n.Load(),
+		BatchedOps:    s.batchOps.n.Load(),
 		ServedByOp:    make(map[string]int64),
 	}
 	for op := proto.OpPing; op <= proto.OpCount; op++ {
-		if n := s.served[op].Load(); n > 0 {
+		if n := s.served[op].n.Load(); n > 0 {
 			m.ServedByOp[op.String()] = n
 		}
-		m.ServedTotal += s.served[op].Load()
+		m.ServedTotal += s.served[op].n.Load()
+	}
+	for i := range s.batchHist {
+		m.BatchHist[i] = s.batchHist[i].Load()
 	}
 	return m
 }
@@ -460,6 +615,24 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		m.ActiveConns, m.AcceptedConns, m.RejectedConns)
 	fmt.Fprintf(w, "server: ops served=%d flushes=%d proto_errors=%d\n",
 		m.ServedTotal, m.Flushes, m.ProtoErrors)
+	if m.Batches > 0 {
+		avg := float64(m.BatchedOps) / float64(m.Batches)
+		fpo := 0.0
+		if m.ServedTotal > 0 {
+			fpo = float64(m.Flushes) / float64(m.ServedTotal)
+		}
+		fmt.Fprintf(w, "server: batches=%d batched_ops=%d avg_batch=%.2f flushes_per_op=%.4f\n",
+			m.Batches, m.BatchedOps, avg, fpo)
+		// Batch-size distribution, log2 buckets: "le<N>=<count>" counts
+		// batches of at most N requests (and more than the previous bucket).
+		fmt.Fprintf(w, "server: batch_size_hist")
+		for i, n := range m.BatchHist {
+			if n > 0 {
+				fmt.Fprintf(w, " le%d=%d", 1<<i, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
 	ops := make([]string, 0, len(m.ServedByOp))
 	for op := range m.ServedByOp {
 		ops = append(ops, op)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,7 +70,7 @@ func TestServerBasicOps(t *testing.T) {
 	if err != nil {
 		t.Fatalf("stats: %v", err)
 	}
-	for _, want := range []string{"server: conns", "container: size=", "engine: ops="} {
+	for _, want := range []string{"server: conns", "server: batches=", "server: batch_size_hist", "container: size=", "engine: ops="} {
 		if !strings.Contains(txt, want) {
 			t.Fatalf("stats dump missing %q:\n%s", want, txt)
 		}
@@ -198,6 +199,11 @@ func TestServerIdleTimeout(t *testing.T) {
 // unacknowledged one is never applied. The per-key union of the shards is
 // cross-checked too, plus each shard's structural invariants.
 func TestServerSoakConservationAcrossShutdown(t *testing.T) {
+	// Force real multi-core scheduling (oversubscribed on smaller hosts):
+	// the batched fast path folds per-connection counters and shares WAL
+	// commit groups across connections, and this soak — especially under
+	// -race — is where cross-connection interleavings would surface.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
 	const (
 		shards = 4
 		conns  = 6

@@ -173,6 +173,24 @@ func (w *session) Insert(key int) bool { return w.subs[w.s.ShardOf(key)].Insert(
 func (w *session) Delete(key int) bool { return w.subs[w.s.ShardOf(key)].Delete(key) }
 func (w *session) Count(key int) int   { return w.subs[w.s.ShardOf(key)].Count(key) }
 
+// BatchStart forwards to every per-shard session. Each sub-session's guard
+// is a depth-counter bump on an already-published announcement (amortized
+// epoch protection, PR 8), so opening the guard on all shards costs a few
+// nanoseconds per shard — far less than per-op guards over a batch — and
+// relieves the router from predicting which shards the batch will touch.
+func (w *session) BatchStart() {
+	for _, sub := range w.subs {
+		sub.BatchStart()
+	}
+}
+
+// BatchEnd closes the guard on every per-shard session.
+func (w *session) BatchEnd() {
+	for _, sub := range w.subs {
+		sub.BatchEnd()
+	}
+}
+
 // Quiesce forwards to every per-shard session: a worker going idle holds
 // stale announcements on ALL shards it ever touched (the per-shard sessions
 // stay published across operations), and any one of them left behind would

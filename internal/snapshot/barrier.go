@@ -42,6 +42,24 @@ func (b *Barrier) RUnlockKey(key int64) {
 	b.mus[shard.Index(key, len(b.mus))].RUnlock()
 }
 
+// Partition returns the barrier partition owning key, for callers that
+// batch writes: hash once, dedupe against partitions already held, and use
+// the partition-indexed lock methods below. The batched write path holds
+// every touched partition's read lock from the first apply to the batch's
+// single log append, which keeps the apply+append pair atomic with respect
+// to Take exactly as the per-key path does. Holding several read locks at
+// once cannot deadlock against Take: Take holds only one write lock at a
+// time, so at most one partition has a pending writer, read locks on every
+// other partition are granted immediately, and the read-side critical
+// sections never block on anything else.
+func (b *Barrier) Partition(key int64) int { return shard.Index(key, len(b.mus)) }
+
+// RLockPart enters the write-side critical section for one partition.
+func (b *Barrier) RLockPart(i int) { b.mus[i].RLock() }
+
+// RUnlockPart leaves the write-side critical section for one partition.
+func (b *Barrier) RUnlockPart(i int) { b.mus[i].RUnlock() }
+
 // Take captures a consistent snapshot of c against log. For a *shard.Sharded
 // whose count matches the barrier it locks, bounds and scans shard by
 // shard; otherwise the barrier must be 1-wide and the whole container is

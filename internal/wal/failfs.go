@@ -17,14 +17,14 @@ var ErrInjectedSync = errors.New("wal: injected fsync failure")
 type FaultFS struct {
 	inner FS
 
-	mu            sync.Mutex
-	syncs         int64 // file Syncs observed (successful or failed)
-	writes        int64 // Write calls observed
-	syncErrAfter  int64 // >0: that many Syncs succeed, then all fail
-	syncErrArmed  bool
-	shortWriteAt  int64 // >0: the Nth write from now is cut short and errors
-	shortArmed    bool
-	writeDelay    time.Duration
+	mu           sync.Mutex
+	syncs        int64 // file Syncs observed (successful or failed)
+	writes       int64 // Write calls observed
+	syncErrAfter int64 // >0: that many Syncs succeed, then all fail
+	syncErrArmed bool
+	shortWriteAt int64 // >0: the Nth write from now is cut short and errors
+	shortArmed   bool
+	writeDelay   time.Duration
 }
 
 // NewFaultFS wraps inner with a transparent fault injector.
@@ -86,21 +86,21 @@ func (f *FaultFS) Open(name string) (File, error) {
 	return &faultFile{fs: f, inner: file}, nil
 }
 
-func (f *FaultFS) List(dir string) ([]string, error)       { return f.inner.List(dir) }
-func (f *FaultFS) Remove(name string) error                { return f.inner.Remove(name) }
-func (f *FaultFS) Rename(oldname, newname string) error    { return f.inner.Rename(oldname, newname) }
-func (f *FaultFS) MkdirAll(dir string) error               { return f.inner.MkdirAll(dir) }
-func (f *FaultFS) SyncDir(dir string) error                { return f.inner.SyncDir(dir) }
+func (f *FaultFS) List(dir string) ([]string, error)    { return f.inner.List(dir) }
+func (f *FaultFS) Remove(name string) error             { return f.inner.Remove(name) }
+func (f *FaultFS) Rename(oldname, newname string) error { return f.inner.Rename(oldname, newname) }
+func (f *FaultFS) MkdirAll(dir string) error            { return f.inner.MkdirAll(dir) }
+func (f *FaultFS) SyncDir(dir string) error             { return f.inner.SyncDir(dir) }
 
 type faultFile struct {
 	fs    *FaultFS
 	inner File
 }
 
-func (ff *faultFile) Read(p []byte) (int, error)          { return ff.inner.Read(p) }
-func (ff *faultFile) Seek(o int64, w int) (int64, error)  { return ff.inner.Seek(o, w) }
-func (ff *faultFile) Truncate(size int64) error           { return ff.inner.Truncate(size) }
-func (ff *faultFile) Close() error                        { return ff.inner.Close() }
+func (ff *faultFile) Read(p []byte) (int, error)         { return ff.inner.Read(p) }
+func (ff *faultFile) Seek(o int64, w int) (int64, error) { return ff.inner.Seek(o, w) }
+func (ff *faultFile) Truncate(size int64) error          { return ff.inner.Truncate(size) }
+func (ff *faultFile) Close() error                       { return ff.inner.Close() }
 
 func (ff *faultFile) Write(p []byte) (int, error) {
 	f := ff.fs

@@ -78,9 +78,9 @@ func (osFS) List(dir string) ([]string, error) {
 	return names, nil
 }
 
-func (osFS) Remove(name string) error            { return os.Remove(name) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
 func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
-func (osFS) MkdirAll(dir string) error           { return os.MkdirAll(dir, 0o755) }
+func (osFS) MkdirAll(dir string) error            { return os.MkdirAll(dir, 0o755) }
 
 func (osFS) SyncDir(dir string) error {
 	d, err := os.Open(dir)
@@ -184,8 +184,8 @@ func (m *MemFS) Rename(oldname, newname string) error {
 	return nil
 }
 
-func (m *MemFS) MkdirAll(string) error  { return nil }
-func (m *MemFS) SyncDir(string) error   { return nil }
+func (m *MemFS) MkdirAll(string) error { return nil }
+func (m *MemFS) SyncDir(string) error  { return nil }
 
 // memHandle is one open handle onto a memFile, with its own offset.
 type memHandle struct {

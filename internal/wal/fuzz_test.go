@@ -24,8 +24,8 @@ func frame(op Op, key int64) []byte {
 // record. The checked-in corpus lives in testdata/fuzz/FuzzReplay.
 func FuzzReplay(f *testing.F) {
 	valid := append(frame(OpInsert, 7), frame(OpDelete, -1)...)
-	f.Add(valid)                                  // clean two-record log
-	f.Add(valid[:5])                              // truncated header
+	f.Add(valid)                               // clean two-record log
+	f.Add(valid[:5])                           // truncated header
 	f.Add(append(frame(OpInsert, 0), 0, 0, 0)) // torn tail after a good frame
 	badCRC := frame(OpInsert, 9)
 	badCRC[5] ^= 0xff

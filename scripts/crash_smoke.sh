@@ -27,7 +27,10 @@ go build -o "$TMP/server" ./cmd/server
 go build -o "$TMP/stress" ./cmd/stress
 
 start_server() {
-    "$TMP/server" -addr "$ADDR" -structure llx-multiset -shards 4 \
+    # GOMAXPROCS=4 (oversubscribed on small hosts): the crash audit must
+    # exercise batched apply+append and group commit under real connection
+    # concurrency, which is where an ack-before-commit bug would surface.
+    GOMAXPROCS=4 "$TMP/server" -addr "$ADDR" -structure llx-multiset -shards 4 \
         -wal-dir "$WAL" -snapshot-every 200ms -segment-bytes 262144 \
         >>"$TMP/server.log" 2>&1 &
     SERVER_PID=$!
@@ -51,7 +54,7 @@ start_server
 wait_listening
 
 echo "crash-smoke: starting crash workload (6s)"
-"$TMP/stress" -crash -addr "$ADDR" -dur 6s -threads 4 -keys 64 \
+GOMAXPROCS=4 "$TMP/stress" -crash -addr "$ADDR" -dur 6s -threads 4 -keys 64 \
     >"$TMP/stress.log" 2>&1 &
 STRESS_PID=$!
 

@@ -33,8 +33,10 @@ for want in llx-multiset hashmap; do
 done
 
 for STRUCT in llx-multiset hashmap; do
-    echo "server-smoke: starting $STRUCT server on 127.0.0.1:$PORT (metrics :$MPORT)"
-    "$TMP/server" -addr "127.0.0.1:$PORT" -metrics "127.0.0.1:$MPORT" \
+    echo "server-smoke: starting $STRUCT server on 127.0.0.1:$PORT (metrics :$MPORT, GOMAXPROCS=2)"
+    # GOMAXPROCS=2 so the smoke exercises the batched fast path under
+    # concurrent connection goroutines, not single-threaded scheduling.
+    GOMAXPROCS=2 "$TMP/server" -addr "127.0.0.1:$PORT" -metrics "127.0.0.1:$MPORT" \
         -structure "$STRUCT" -shards 4 >"$TMP/server.log" 2>&1 &
     SERVER_PID=$!
 
