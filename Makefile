@@ -38,13 +38,15 @@ test:
 # which races claim/release/scavenge against concurrent epoch advances), and
 # the queue/stack recycle hammers under the race detector: the epoch
 # protocol's happens-before edges are exactly what the detector validates.
+# internal/obs rides along for its concurrent record/scrape test — striped
+# histogram folds and trace-ring snapshots racing recorders must be clean.
 race:
 	$(GO) test -race ./internal/core ./internal/template ./internal/multiset \
 		./internal/container ./internal/shard ./internal/reclaim \
 		./internal/queue ./internal/stack ./internal/bst ./internal/trie \
 		./internal/hashmap ./internal/hashutil \
 		./internal/proto ./internal/server ./internal/client \
-		./internal/wal ./internal/snapshot
+		./internal/wal ./internal/snapshot ./internal/obs
 
 # Compile and execute every benchmark once so benchmark code cannot rot
 # without failing CI (-benchtime=1x keeps it to seconds), run the parallel

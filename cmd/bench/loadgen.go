@@ -17,6 +17,7 @@ import (
 
 	"pragmaprim/internal/client"
 	"pragmaprim/internal/harness"
+	"pragmaprim/internal/obs"
 	"pragmaprim/internal/proto"
 	"pragmaprim/internal/server"
 	"pragmaprim/internal/shard"
@@ -200,6 +201,13 @@ func runLoadgen(o loadgenOpts) error {
 
 	if o.metrics != "" {
 		if err := scrapeMetrics(o.metrics); err != nil {
+			return err
+		}
+		var last *serverBenchResult
+		if len(dump.Results) > 0 {
+			last = &dump.Results[len(dump.Results)-1]
+		}
+		if err := scrapePromMetrics(o.metrics, last); err != nil {
 			return err
 		}
 	}
@@ -563,6 +571,50 @@ func dialRetry(addr string, budget time.Duration) (*client.Client, error) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
+
+// scrapePromMetrics fetches the server's Prometheus exposition, parses it
+// with the in-repo parser, and prints the server-side op latency quantiles
+// next to the client-side ones from the last measured cell. The two views
+// bracket the stack: the server interval runs batch-decode → reply-flush,
+// the client interval adds the socket both ways, so client ≥ server at every
+// quantile and the gap is the wire.
+func scrapePromMetrics(url string, last *serverBenchResult) error {
+	promURL := url + "?format=prom"
+	resp, err := http.Get(promURL)
+	if err != nil {
+		return fmt.Errorf("loadgen: scrape %s: %w", promURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: scrape %s: HTTP %d", promURL, resp.StatusCode)
+	}
+	fams, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		return fmt.Errorf("loadgen: scrape %s: %w", promURL, err)
+	}
+	fmt.Printf("loadgen: prom scrape OK: %d families from %s\n", len(fams), promURL)
+
+	f := fams["kv_op_latency_ns"]
+	if f == nil {
+		return fmt.Errorf("loadgen: scrape %s: no kv_op_latency_ns family", promURL)
+	}
+	tb := stats.NewTable("server-side vs client-side latency (µs)",
+		"series", "count", "p50", "p99", "max")
+	for _, op := range []string{"GET", "SET", "DEL"} {
+		h, err := f.Hist(map[string]string{"op": op})
+		if err != nil || h.Count() == 0 {
+			continue
+		}
+		tb.AddRow("server "+op, h.Count(),
+			float64(h.Quantile(50))/1e3, float64(h.Quantile(99))/1e3, float64(h.Max())/1e3)
+	}
+	if last != nil {
+		tb.AddRow(fmt.Sprintf("client all (depth %d)", last.Depth), last.Ops,
+			last.P50us, last.P99us, last.MaxUs)
+	}
+	tb.WriteTo(os.Stdout)
+	return nil
 }
 
 // scrapeMetrics fetches and prints the server's HTTP metrics dump.

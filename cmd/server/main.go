@@ -13,11 +13,16 @@
 //	server [-addr 127.0.0.1:7700] [-structure llx-multiset] [-shards 1]
 //	       [-policy immediate|backoff[:BASE:MAX]|spinyield[:SPINS]]
 //	       [-maxconns 1024] [-idletimeout 0] [-metrics host:port]
+//	       [-pprof host:port] [-slowop 10ms]
 //	       [-wal-dir DIR] [-fsync-interval 0] [-segment-bytes 16MiB]
 //	       [-snapshot-every 0]
 //
-// -metrics serves the plain-text metrics dump over HTTP at /metrics (the
-// same text the STATS command returns in-band). On SIGINT/SIGTERM the
+// -metrics serves the observability plane over HTTP: /metrics is the
+// plain-text dump (the same text the STATS command returns in-band),
+// /metrics?format=prom is the Prometheus text exposition, and /trace is
+// the slow-op trace ring (flush intervals slower than -slowop, also
+// readable in-band via the TRACE command). -pprof serves the standard
+// net/http/pprof profiles on a separate address. On SIGINT/SIGTERM the
 // server shuts down gracefully — drains in-flight operations, flushes
 // their acknowledgements, closes sessions — and reports the final Size,
 // which by the conservation invariant equals the sum of every client's
@@ -39,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -65,7 +71,9 @@ func run() int {
 		policy    = flag.String("policy", "", "retry policy: immediate, backoff[:BASE:MAX] or spinyield[:SPINS] (default: the structure's own)")
 		maxConns  = flag.Int("maxconns", server.DefaultMaxConns, "refuse connections beyond this many (<0 for unlimited)")
 		idle      = flag.Duration("idletimeout", 0, "close connections idle for this long (0 disables)")
-		metrics   = flag.String("metrics", "", "serve the text metrics dump over HTTP at this address under /metrics (empty disables)")
+		metrics   = flag.String("metrics", "", "serve /metrics (text; ?format=prom for Prometheus exposition) and /trace over HTTP at this address (empty disables)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof profiles over HTTP at this address under /debug/pprof/ (empty disables)")
+		slowOp    = flag.Duration("slowop", 0, "flush intervals at least this slow enter the TRACE ring (0: the 10ms default; <0 disables)")
 		drainWait = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget before connections are force-closed")
 		walDir    = flag.String("wal-dir", "", "directory for the write-ahead log and snapshots; enables durability (empty disables)")
 		fsyncIvl  = flag.Duration("fsync-interval", 0, "group-commit window: wait this long before each fsync so more records share it (0: fsync as soon as a commit is demanded)")
@@ -136,10 +144,11 @@ func run() int {
 	}
 
 	srv, err := server.Start(cont, server.Config{
-		Addr:        *addr,
-		MaxConns:    *maxConns,
-		IdleTimeout: *idle,
-		Durable:     dur,
+		Addr:            *addr,
+		MaxConns:        *maxConns,
+		IdleTimeout:     *idle,
+		Durable:         dur,
+		SlowOpThreshold: *slowOp,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "server: %v\n", err)
@@ -164,18 +173,32 @@ func run() int {
 
 	var msrv *http.Server
 	if *metrics != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			srv.WriteMetrics(w)
-		})
-		msrv = &http.Server{Addr: *metrics, Handler: mux}
+		msrv = &http.Server{Addr: *metrics, Handler: srv.Handler()}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "server: metrics endpoint: %v\n", err)
 			}
 		}()
-		fmt.Printf("server: metrics on http://%s/metrics\n", *metrics)
+		fmt.Printf("server: metrics on http://%s/metrics (?format=prom), trace on /trace\n", *metrics)
+	}
+
+	// pprof rides its own listener and an explicit mux — never the default
+	// mux, so profiles are only exposed where the operator asked.
+	var psrv *http.Server
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv = &http.Server{Addr: *pprofAddr, Handler: mux}
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "server: pprof endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("server: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -192,6 +215,9 @@ func run() int {
 	shutdownErr := srv.Shutdown(ctx)
 	if msrv != nil {
 		msrv.Shutdown(ctx)
+	}
+	if psrv != nil {
+		psrv.Shutdown(ctx)
 	}
 	if mgr != nil {
 		mgr.Close()

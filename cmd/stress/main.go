@@ -56,6 +56,7 @@ import (
 	"pragmaprim/internal/core"
 	"pragmaprim/internal/hashmap"
 	"pragmaprim/internal/multiset"
+	"pragmaprim/internal/reclaim"
 	"pragmaprim/internal/shard"
 	"pragmaprim/internal/stats"
 	"pragmaprim/internal/template"
@@ -526,14 +527,27 @@ func stressHashmapResizeHammer(dur time.Duration, threads, _, checks int) error 
 		fmt.Printf("  checkpoint %d ok: %d ops so far, %d keys grown, %d buckets (%d migrated, %d resizes)\n",
 			c+1, ops.Load(), hi, m.Buckets(), migrated, resizes)
 	}
+	printReclaimReport()
 	return nil
 }
 
-// printEngineReport renders the template engine's contention counters: the
-// aggregate line plus a per-operation breakdown table.
+// printReclaimReport renders the Default reclamation domain's gauges: epoch
+// progress (a large lag or a stuck epoch means a reader is pinning garbage),
+// announcement occupancy, and the retired-node depths by stage.
+func printReclaimReport() {
+	g := reclaim.Default.Gauges()
+	fmt.Printf("stress: reclaim: epoch=%d lag=%d active=%d advances=%d/%d attempts scavenged=%d limbo=%d parked=%d free=%d\n",
+		g.Epoch, g.OldestLag, g.ActiveSlots, g.Advances, g.Attempts, g.Scavenged, g.Limbo, g.Parked, g.Free)
+}
+
+// printEngineReport renders the template engine's contention counters — the
+// aggregate line plus a per-operation breakdown table — and the process's
+// epoch-reclamation gauges, so every stress run's report shows whether the
+// epoch kept advancing and how much garbage sat in limbo at the end.
 func printEngineReport(total template.Counters, byOp map[string]template.Counters) {
 	fmt.Printf("stress: engine: %d update ops, %d retries, %d SCX failures\n",
 		total.Ops, total.Retries(), total.SCXFails)
+	printReclaimReport()
 	tb := stats.NewTable("engine contention by operation",
 		"op", "ops", "attempts", "retries/op", "llx-fail%", "scx-fail%")
 	names := make([]string, 0, len(byOp))

@@ -42,6 +42,14 @@
 // write-ahead logging (one fsync per pipelined batch, 0 allocs/op),
 // epoch-consistent snapshots bounding replay, and kill -9 crash recovery
 // audited end to end by cmd/stress -crash and scripts/crash_smoke.sh.
+// Threaded through all of it is the observability plane (internal/obs): an
+// allocation-free metrics registry of padded counters, pull gauges and
+// striped atomic histograms that every layer registers into — server per-op
+// latency, WAL fsync/commit/group-size, epoch-reclaim gauges — plus a
+// lock-free slow-op trace ring, exposed as text (STATS), Prometheus
+// exposition (/metrics?format=prom, round-tripped by the in-repo parser),
+// the TRACE command and /trace, and opt-in net/http/pprof (cmd/server
+// -pprof).
 //
 // The implementation lives under internal/:
 //
@@ -78,6 +86,10 @@
 //	                         epoch guard per batch, graceful shutdown
 //	internal/client          pipelining client (sync + async-batch APIs),
 //	                         read timeouts and reconnect-with-backoff
+//	internal/obs             the observability plane: lock-free registry
+//	                         (counters, pull gauges, striped histograms),
+//	                         slow-op trace ring, Prometheus exposition
+//	                         writer + parser
 //	internal/wal             group-committed write-ahead log: CRC-framed
 //	                         records, segment rotation, torn-tail replay,
 //	                         injectable file system (MemFS crash model,

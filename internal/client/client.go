@@ -205,3 +205,19 @@ func (c *Client) Stats() (string, error) {
 	}
 	return string(rep.Bulk), nil
 }
+
+// Trace returns the server's slow-op trace dump: the recent operations that
+// exceeded the server's latency threshold, newest first.
+func (c *Client) Trace() (string, error) {
+	rep, err := c.call(proto.Request{Op: proto.OpTrace})
+	if err != nil {
+		return "", err
+	}
+	if err := rep.Err(); err != nil {
+		return "", err
+	}
+	if rep.Status != proto.StatusBulk {
+		return "", fmt.Errorf("client: unexpected TRACE reply %v", rep.Status)
+	}
+	return string(rep.Bulk), nil
+}

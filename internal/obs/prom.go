@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pragmaprim/internal/stats"
+)
+
+// This file is the read half of the exposition format: a small parser for
+// the subset of the Prometheus text format WriteProm emits (TYPE lines,
+// label sets, integer/float/+Inf sample values). It exists so the repo can
+// validate its own scrape output without a Prometheus dependency — the
+// parser test, the server smoke script (through the loadgen), and the
+// loadgen's server-vs-client latency comparison all consume it.
+
+// Sample is one parsed sample line.
+type Sample struct {
+	Name   string // full sample name, including any _bucket/_sum/_count suffix
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is the samples sharing one metric name, with the TYPE the
+// exposition declared ("untyped" when none was).
+type Family struct {
+	Name    string
+	Type    string
+	Samples []Sample
+}
+
+// ParseProm parses a text exposition into families keyed by name.
+// Histogram series samples (name_bucket, name_sum, name_count) attach to
+// their declared histogram family. Lines that do not scan — bad label
+// syntax, unparsable values — are errors: the scrape output is part of the
+// repo's contract and a malformed line means a writer bug.
+func ParseProm(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			// "# TYPE <name> <type>"; other comment forms are ignored.
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				name, typ := fields[2], fields[3]
+				if f, ok := fams[name]; ok {
+					if f.Type != "untyped" && f.Type != typ {
+						return nil, fmt.Errorf("prom line %d: %s redeclared as %s (was %s)", lineNo, name, typ, f.Type)
+					}
+					f.Type = typ
+				} else {
+					fams[name] = &Family{Name: name, Type: typ}
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom line %d: %w", lineNo, err)
+		}
+		fam := fams[familyNameOf(s.Name, fams)]
+		if fam == nil {
+			fam = &Family{Name: s.Name, Type: "untyped"}
+			fams[s.Name] = fam
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// familyNameOf resolves a sample name to its family: itself, or — for the
+// histogram series suffixes — the declared histogram family it belongs to.
+func familyNameOf(name string, fams map[string]*Family) string {
+	if _, ok := fams[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if f, ok := fams[base]; ok && f.Type == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample scans one sample line: name[{labels}] value.
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("sample %q: no value", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("sample %q: empty name", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("sample %q: unterminated label set", line)
+		}
+		var err error
+		if s.Labels, err = parseLabels(rest[1:end]); err != nil {
+			return s, fmt.Errorf("sample %q: %w", line, err)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// Only the value remains (WriteProm never emits timestamps).
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels scans the inner label string: k="v",k2="v2" with \\ \" \n
+// escapes in values.
+func parseLabels(in string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for in != "" {
+		eq := strings.Index(in, "=")
+		if eq <= 0 {
+			return nil, fmt.Errorf("bad label at %q", in)
+		}
+		key := strings.TrimSpace(in[:eq])
+		in = in[eq+1:]
+		if !strings.HasPrefix(in, `"`) {
+			return nil, fmt.Errorf("label %s: unquoted value", key)
+		}
+		in = in[1:]
+		var val strings.Builder
+		for {
+			i := strings.IndexAny(in, `\"`)
+			if i < 0 {
+				return nil, fmt.Errorf("label %s: unterminated value", key)
+			}
+			val.WriteString(in[:i])
+			if in[i] == '"' {
+				in = in[i+1:]
+				break
+			}
+			// Escape: need one more byte.
+			if i+1 >= len(in) {
+				return nil, fmt.Errorf("label %s: dangling escape", key)
+			}
+			switch in[i+1] {
+			case 'n':
+				val.WriteByte('\n')
+			case '\\', '"':
+				val.WriteByte(in[i+1])
+			default:
+				return nil, fmt.Errorf("label %s: unknown escape \\%c", key, in[i+1])
+			}
+			in = in[i+2:]
+		}
+		labels[key] = val.String()
+		in = strings.TrimPrefix(strings.TrimSpace(in), ",")
+		in = strings.TrimSpace(in)
+	}
+	return labels, nil
+}
+
+// parseValue parses a sample value, accepting the +Inf/-Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Value returns the value of the family's sample whose labels equal match
+// exactly, and whether one exists. For counters/gauges match is usually nil
+// (no labels) or the registration labels.
+func (f *Family) Value(match map[string]string) (float64, bool) {
+	for _, s := range f.Samples {
+		if s.Name == f.Name && labelsEqual(s.Labels, match) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Hist reconstructs a stats.Histogram from the family's cumulative buckets
+// whose labels — ignoring le — equal match. It validates what a histogram
+// scrape must satisfy: cumulative counts non-decreasing, a +Inf bucket
+// present and consistent with the _count sample. The reconstruction is
+// exact when the exposition was written by WriteProm (shared bucket
+// geometry); foreign le bounds land in the bucket holding them.
+func (f *Family) Hist(match map[string]string) (*stats.Histogram, error) {
+	type bkt struct {
+		le  float64
+		cum int64
+	}
+	var bkts []bkt
+	var count int64
+	haveCount := false
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok || !labelsEqualIgnoring(s.Labels, match, "le") {
+				continue
+			}
+			lv, err := parseValue(le)
+			if err != nil {
+				return nil, fmt.Errorf("hist %s: bad le %q", f.Name, le)
+			}
+			bkts = append(bkts, bkt{le: lv, cum: int64(s.Value)})
+		case f.Name + "_count":
+			if labelsEqual(s.Labels, match) {
+				count, haveCount = int64(s.Value), true
+			}
+		}
+	}
+	if len(bkts) == 0 {
+		return nil, fmt.Errorf("hist %s: no buckets match %v", f.Name, match)
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	if !math.IsInf(bkts[len(bkts)-1].le, 1) {
+		return nil, fmt.Errorf("hist %s: missing +Inf bucket", f.Name)
+	}
+	if haveCount && bkts[len(bkts)-1].cum != count {
+		return nil, fmt.Errorf("hist %s: +Inf bucket %d != count %d", f.Name, bkts[len(bkts)-1].cum, count)
+	}
+	h := &stats.Histogram{}
+	var prev int64
+	lastIdx := -1
+	for _, b := range bkts {
+		if b.cum < prev {
+			return nil, fmt.Errorf("hist %s: cumulative count decreases at le=%v", f.Name, b.le)
+		}
+		c := b.cum - prev
+		prev = b.cum
+		if c == 0 {
+			continue
+		}
+		idx := stats.Buckets - 1
+		if !math.IsInf(b.le, 1) {
+			idx = stats.BucketIndex(int64(b.le))
+		}
+		h.AddBucket(idx, c)
+		if idx > lastIdx {
+			lastIdx = idx
+		}
+	}
+	if lastIdx >= 0 {
+		h.ObserveMax(stats.BucketUpper(lastIdx))
+	}
+	return h, nil
+}
+
+func labelsEqual(a, b map[string]string) bool {
+	return labelsEqualIgnoring(a, b, "")
+}
+
+// labelsEqualIgnoring compares label maps, treating nil and empty as equal
+// and skipping the ignored key on the a side.
+func labelsEqualIgnoring(a, b map[string]string, ignore string) bool {
+	na := 0
+	for k, v := range a {
+		if k == ignore {
+			continue
+		}
+		na++
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	nb := 0
+	for k := range b {
+		if k != ignore {
+			nb++
+		}
+	}
+	return na == nb
+}

@@ -1,0 +1,119 @@
+package obs
+
+import "sync/atomic"
+
+// TraceEntry is one captured slow operation. The fields are what you need
+// to tell *why* a batch was slow: how long it took end to end, how much of
+// that was waiting for the WAL commit group, and how many engine retries
+// (contention) the interval saw.
+type TraceEntry struct {
+	Seq        uint64 // monotonically increasing capture number
+	When       int64  // capture time, Unix nanoseconds
+	Op         int64  // protocol opcode (the server maps it to a name)
+	Key        int64
+	Dur        int64 // end-to-end batch duration, nanoseconds
+	Retries    int64 // engine retries observed over the interval
+	CommitWait int64 // time spent waiting on the WAL commit group, ns
+}
+
+// traceSlot is one ring slot. Every field is atomic so concurrent writers
+// and snapshot readers are race-free by construction; state carries the
+// writing/complete protocol (2*seq+1 while fields are being written,
+// 2*seq+2 once complete, 0 never written).
+type traceSlot struct {
+	state      atomic.Uint64
+	when       atomic.Int64
+	op         atomic.Int64
+	key        atomic.Int64
+	dur        atomic.Int64
+	retries    atomic.Int64
+	commitWait atomic.Int64
+}
+
+// TraceRing is a fixed-size lock-free ring of slow-op captures. Record
+// claims the next slot with one atomic add and overwrites the oldest entry
+// — the ring always holds the most recent captures and never blocks or
+// allocates, however bursty the slow ops are. Snapshot walks newest-first
+// and uses the per-slot state word to discard entries it raced with.
+//
+// Consistency is best-effort by design: if writers lap the ring faster
+// than a reader can copy a slot, that slot is dropped from the snapshot
+// (state mismatch), and two writers landing on the same slot during a lap
+// can blend their fields. Slow-op forensics want recency and zero overhead
+// on the serving path, not a total order.
+type TraceRing struct {
+	slots []traceSlot
+	mask  uint64
+	seq   atomic.Uint64
+}
+
+// DefaultTraceDepth is the ring capacity NewTraceRing(0) gives.
+const DefaultTraceDepth = 256
+
+// NewTraceRing returns a ring holding the most recent `size` captures,
+// rounded up to a power of two; size <= 0 means DefaultTraceDepth.
+func NewTraceRing(size int) *TraceRing {
+	if size <= 0 {
+		size = DefaultTraceDepth
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &TraceRing{slots: make([]traceSlot, n), mask: uint64(n - 1)}
+}
+
+// Record captures e (its Seq is assigned here), overwriting the oldest
+// entry when the ring is full. Lock- and allocation-free.
+func (t *TraceRing) Record(e TraceEntry) {
+	seq := t.seq.Add(1)
+	s := &t.slots[(seq-1)&t.mask]
+	s.state.Store(2*seq + 1)
+	s.when.Store(e.When)
+	s.op.Store(e.Op)
+	s.key.Store(e.Key)
+	s.dur.Store(e.Dur)
+	s.retries.Store(e.Retries)
+	s.commitWait.Store(e.CommitWait)
+	s.state.Store(2*seq + 2)
+}
+
+// Count returns the total number of captures ever recorded (not the number
+// currently held; the ring holds at most Cap of them).
+func (t *TraceRing) Count() uint64 { return t.seq.Load() }
+
+// Cap returns the ring capacity.
+func (t *TraceRing) Cap() int { return len(t.slots) }
+
+// Snapshot appends the currently held entries to dst, newest first, and
+// returns the extended slice. Entries being overwritten concurrently are
+// skipped rather than returned torn.
+func (t *TraceRing) Snapshot(dst []TraceEntry) []TraceEntry {
+	head := t.seq.Load()
+	n := uint64(len(t.slots))
+	if head < n {
+		n = head
+	}
+	for i := uint64(0); i < n; i++ {
+		seq := head - i
+		s := &t.slots[(seq-1)&t.mask]
+		want := 2*seq + 2
+		if s.state.Load() != want {
+			continue
+		}
+		e := TraceEntry{
+			Seq:        seq,
+			When:       s.when.Load(),
+			Op:         s.op.Load(),
+			Key:        s.key.Load(),
+			Dur:        s.dur.Load(),
+			Retries:    s.retries.Load(),
+			CommitWait: s.commitWait.Load(),
+		}
+		if s.state.Load() != want {
+			continue
+		}
+		dst = append(dst, e)
+	}
+	return dst
+}

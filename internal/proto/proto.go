@@ -52,7 +52,11 @@ const (
 	// per-key conservation with it. Adapters that cannot count one key (the
 	// produce/consume containers) yield an Err reply.
 	OpCount
-	opMax = OpCount
+	// OpTrace asks for the server's slow-op trace ring as a Bulk reply —
+	// the ops that exceeded the configured latency threshold, newest first,
+	// with their durations, commit waits and retry counts.
+	OpTrace
+	opMax = OpTrace
 )
 
 // String names the opcode for diagnostics.
@@ -72,6 +76,8 @@ func (o Op) String() string {
 		return "STATS"
 	case OpCount:
 		return "COUNT"
+	case OpTrace:
+		return "TRACE"
 	}
 	return fmt.Sprintf("Op(%d)", byte(o))
 }

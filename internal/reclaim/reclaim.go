@@ -138,10 +138,18 @@ type Domain struct {
 	assigned  atomic.Uint32 // high-water mark of slots handed out
 	overflow  atomic.Int64  // active Locals without a slot
 	advances  atomic.Uint64 // successful epoch advances, for tests/stats
+	attempts  atomic.Uint64 // advance scans started (successful or not)
 	scavenged atomic.Uint64 // slots reclaimed by the GC finalizer, for tests
 	freeHead  atomic.Uint64 // versioned head of the free-slot list: version<<32 | index+1
-	_         [24]byte      // round the header to a line boundary so slots[0] starts fresh
-	slots     [MaxSlots]slot
+	// Aggregate depth gauges, delta-folded from the Locals at their
+	// quiescent points (refresh/Quiesce/Park) and unreported at release —
+	// the observability plane reads domain-wide depths without touching any
+	// Local's single-owner state.
+	limboDepth  atomic.Int64
+	parkedDepth atomic.Int64
+	freeDepth   atomic.Int64
+	_           [56]byte // round the header to a line boundary so slots[0] starts fresh
+	slots       [MaxSlots]slot
 }
 
 // NewDomain returns a fresh domain. The epoch starts at 1 so that stamp
@@ -164,6 +172,65 @@ func (d *Domain) Advances() uint64 { return d.advances.Load() }
 // Scavenged returns the number of announcement slots reclaimed from
 // dropped Locals by the GC finalizer; for tests.
 func (d *Domain) Scavenged() uint64 { return d.scavenged.Load() }
+
+// Gauges is a point-in-time snapshot of the domain's progress surface: the
+// numbers that tell whether DEBRA's amortized-announcement machinery is
+// healthy (epoch moving, no announcement left behind) or stalling (lag
+// growing, limbo piling up). The observability plane and cmd/stress report
+// it.
+type Gauges struct {
+	Epoch       uint64 // current global epoch
+	OldestLag   uint64 // current epoch minus the oldest active announcement
+	ActiveSlots int    // announcement slots currently published
+	Overflow    int64  // active Locals past MaxSlots (block every advance)
+	Advances    uint64 // successful epoch advances
+	Attempts    uint64 // advance scans started (Advances/Attempts = hit rate)
+	Scavenged   uint64 // slots reclaimed from dropped Locals by the finalizer
+	Limbo       int64  // entries awaiting their grace period (incl. pending)
+	Parked      int64  // ready-gated entries whose predicate has not passed
+	Free        int64  // fully recycled objects sitting in freelists
+}
+
+// Gauges snapshots the domain. The depth gauges lag each Local's live state
+// by at most one quiescent point (they are delta-folded at refresh/Quiesce/
+// Park); the epoch fields are exact at their individual load instants.
+func (d *Domain) Gauges() Gauges {
+	g := Gauges{
+		Epoch:     d.epoch.Load(),
+		Overflow:  d.overflow.Load(),
+		Advances:  d.advances.Load(),
+		Attempts:  d.attempts.Load(),
+		Scavenged: d.scavenged.Load(),
+		Limbo:     d.limboDepth.Load(),
+		Parked:    d.parkedDepth.Load(),
+		Free:      d.freeDepth.Load(),
+	}
+	g.OldestLag, g.ActiveSlots = d.oldestLag(g.Epoch)
+	return g
+}
+
+// oldestLag scans the assigned announcement slots: how many are published,
+// and how far the oldest published epoch trails e. A lag that stays >= 1
+// across scrapes is the signature of a stale announcement pinning the
+// epoch (an un-quiesced idle Local, or a descheduled process).
+func (d *Domain) oldestLag(e uint64) (lag uint64, active int) {
+	n := int(d.assigned.Load())
+	if n > MaxSlots {
+		n = MaxSlots
+	}
+	oldest := e
+	for i := 0; i < n; i++ {
+		v := d.slots[i].v.Load()
+		if v&1 != 1 {
+			continue
+		}
+		active++
+		if ep := v >> 1; ep < oldest {
+			oldest = ep
+		}
+	}
+	return e - oldest, active
+}
 
 // AwaitMobile waits until the domain's epoch can advance again, running the
 // garbage collector so the finalizer can scavenge announcement slots of
@@ -221,6 +288,7 @@ func (d *Domain) tryAdvance(force bool) bool {
 	if last <= e && !d.lastScan.CompareAndSwap(last, e+1) {
 		return false // another advancer claimed the scan for this epoch
 	}
+	d.attempts.Add(1)
 	n := int(d.assigned.Load())
 	if n > MaxSlots {
 		n = MaxSlots
@@ -307,6 +375,7 @@ func (l *Local) scavenge() {
 	if l.depth != 0 || l.slot == nil {
 		return
 	}
+	l.unfoldDepths()
 	l.releaseSlot()
 	l.dom.scavenged.Add(1)
 }
@@ -369,6 +438,53 @@ type Local struct {
 
 	free  map[uint32]*flist
 	stats Stats
+	// freeLen tracks the total item count across the freelists, and the
+	// rep* fields remember what this Local last folded into the domain's
+	// aggregate depth gauges (foldDepths publishes only the deltas, so the
+	// hot quiescent points usually compare and skip).
+	freeLen   int
+	repLimbo  int
+	repParked int
+	repFree   int
+}
+
+// foldDepths publishes the Local's current limbo/parked/freelist depths
+// into the domain's aggregate gauges as deltas since the last fold. Called
+// at quiescent points only (single-owner state); when nothing changed it is
+// three compares and no shared store.
+func (l *Local) foldDepths() {
+	d := l.dom
+	if limbo := (len(l.limbo) - l.head) + (len(l.pending) - l.phead); limbo != l.repLimbo {
+		d.limboDepth.Add(int64(limbo - l.repLimbo))
+		l.repLimbo = limbo
+	}
+	if parked := len(l.parked); parked != l.repParked {
+		d.parkedDepth.Add(int64(parked - l.repParked))
+		l.repParked = parked
+	}
+	if l.freeLen != l.repFree {
+		d.freeDepth.Add(int64(l.freeLen - l.repFree))
+		l.repFree = l.freeLen
+	}
+}
+
+// unfoldDepths retracts this Local's contribution to the aggregate gauges;
+// the release/scavenge counterpart of foldDepths (whatever the Local still
+// holds is abandoned to the GC with it, so it must leave the gauges too).
+func (l *Local) unfoldDepths() {
+	d := l.dom
+	if l.repLimbo != 0 {
+		d.limboDepth.Add(-int64(l.repLimbo))
+		l.repLimbo = 0
+	}
+	if l.repParked != 0 {
+		d.parkedDepth.Add(-int64(l.repParked))
+		l.repParked = 0
+	}
+	if l.repFree != 0 {
+		d.freeDepth.Add(-int64(l.repFree))
+		l.repFree = 0
+	}
 }
 
 // NewLocal returns a Local attached to d (nil means the Default domain).
@@ -499,6 +615,7 @@ func (l *Local) refresh() {
 			break
 		}
 	}
+	l.foldDepths()
 }
 
 // Quiesce is an explicit quiescent point: the caller declares that it holds
@@ -523,6 +640,7 @@ func (l *Local) Quiesce() {
 	if l.head < len(l.limbo) || l.phead < len(l.pending) || len(l.parked) > 0 {
 		l.drain()
 	}
+	l.foldDepths()
 }
 
 // Park unpublishes the announcement without the advance attempt or drain:
@@ -538,6 +656,7 @@ func (l *Local) Park() {
 		l.published = 0
 	}
 	l.dom.tryAdvance(false)
+	l.foldDepths()
 }
 
 // Release ends this Local's participation in the domain: it quiesces and
@@ -553,6 +672,7 @@ func (l *Local) Release() {
 		panic("reclaim: Release inside an operation")
 	}
 	l.Quiesce()
+	l.unfoldDepths()
 	if l.slot != nil {
 		runtime.SetFinalizer(l, nil)
 		l.releaseSlot()
@@ -699,6 +819,7 @@ func (l *Local) pushFree(id uint32, p unsafe.Pointer) bool {
 		return false
 	}
 	fl.items = append(fl.items, p)
+	l.freeLen++
 	return true
 }
 
@@ -732,6 +853,7 @@ func (l *Local) get(id uint32) unsafe.Pointer {
 		if fl := l.free[id]; fl != nil && len(fl.items) > 0 {
 			p := fl.items[len(fl.items)-1]
 			fl.items = fl.items[:len(fl.items)-1]
+			l.freeLen--
 			l.stats.Reused++
 			return p
 		}

@@ -563,3 +563,73 @@ func TestConcurrentEpochAgreement(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestDomainGauges pins the observability snapshot: depth gauges follow a
+// Local's limbo/freelist through retire → grace → recycle → release, the
+// oldest-announcement lag exposes a stale reader, and advance attempts
+// dominate successes.
+func TestDomainGauges(t *testing.T) {
+	d := NewDomain()
+	l := NewLocal(d)
+	pool := NewPool[thing]()
+
+	const retired = 100
+	l.Enter()
+	for i := 0; i < retired; i++ {
+		pool.Retire(l, &thing{v: i})
+	}
+	l.Exit()
+	l.Quiesce() // folds depths; the fresh retirees are still in grace
+	g := d.Gauges()
+	if g.Limbo+g.Free != retired {
+		t.Fatalf("limbo %d + free %d != retired %d", g.Limbo, g.Free, retired)
+	}
+	if g.Epoch != d.Epoch() {
+		t.Fatalf("gauge epoch %d != domain epoch %d", g.Epoch, d.Epoch())
+	}
+
+	// Walk the epoch until everything recycles: limbo drains to the freelist.
+	for i := 0; i < 8 && d.Gauges().Limbo > 0; i++ {
+		quiesceCycle(l)
+	}
+	g = d.Gauges()
+	if g.Limbo != 0 || g.Free != retired {
+		t.Fatalf("after drain: limbo=%d free=%d, want 0/%d", g.Limbo, g.Free, retired)
+	}
+	if g.Attempts < g.Advances || g.Advances == 0 {
+		t.Fatalf("attempts=%d advances=%d, want attempts >= advances > 0", g.Attempts, g.Advances)
+	}
+
+	// A reader parked mid-operation pins the epoch: its announcement goes
+	// stale as the writer quiesces, and the lag gauge exposes it.
+	stale := NewLocal(d)
+	stale.Enter()
+	before := d.Epoch()
+	for i := 0; i < 3; i++ {
+		quiesceCycle(l)
+	}
+	if d.Epoch() != before+1 {
+		t.Fatalf("epoch moved %d -> %d; a published announcement caps it at +1", before, d.Epoch())
+	}
+	g = d.Gauges()
+	if g.OldestLag < 1 {
+		t.Fatalf("stale reader: lag=%d, want >= 1 (gauges: %+v)", g.OldestLag, g)
+	}
+	// The writer unpublished at its last Quiesce; only the stale reader
+	// remains announced.
+	if g.ActiveSlots != 1 {
+		t.Fatalf("active slots = %d, want 1", g.ActiveSlots)
+	}
+	stale.Exit()
+	stale.Release()
+
+	// Release retracts the freelist contribution along with the Local.
+	l.Release()
+	g = d.Gauges()
+	if g.Limbo != 0 || g.Parked != 0 || g.Free != 0 {
+		t.Fatalf("after release: %+v, want zero depths", g)
+	}
+	if g.ActiveSlots != 0 {
+		t.Fatalf("after release: %d active slots, want 0", g.ActiveSlots)
+	}
+}

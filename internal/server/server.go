@@ -50,7 +50,9 @@ import (
 	"time"
 
 	"pragmaprim/internal/container"
+	"pragmaprim/internal/obs"
 	"pragmaprim/internal/proto"
+	"pragmaprim/internal/reclaim"
 	"pragmaprim/internal/shard"
 	"pragmaprim/internal/stats"
 	"pragmaprim/internal/wal"
@@ -76,10 +78,39 @@ type Config struct {
 	// Durable, when non-nil, turns on the write-ahead logging path: acked ⇔
 	// durable instead of acked ⇔ applied. See Durability.
 	Durable *Durability
+	// Obs is the metrics registry the server registers its instruments into
+	// (op latency histograms, WAL histograms, reclaim gauges, counters);
+	// nil means a fresh private registry. The observability plane is always
+	// on — its record path is allocation-free and costs a handful of atomic
+	// adds per flush, so there is no off switch. One registry serves one
+	// server (registering two servers into one duplicates the sample names).
+	Obs *obs.Registry
+	// SlowOpThreshold is the flush-interval duration at or above which the
+	// interval's operations are captured in the slow-op trace ring
+	// (readable via the TRACE command and the /trace endpoint). 0 means
+	// DefaultSlowOp; negative disables capture.
+	SlowOpThreshold time.Duration
+	// TraceDepth is the slow-op ring capacity (rounded up to a power of
+	// two); 0 means obs.DefaultTraceDepth.
+	TraceDepth int
 }
 
 // DefaultMaxConns is the connection cap when Config.MaxConns is 0.
 const DefaultMaxConns = 1024
+
+// DefaultSlowOp is the slow-op capture threshold when Config.SlowOpThreshold
+// is 0: long enough that a healthy in-memory batch never trips it, short
+// enough to catch an fsync stall or an epoch-advance pile-up.
+const DefaultSlowOp = 10 * time.Millisecond
+
+// slowTracePerFlush caps how many of a slow flush interval's ops enter the
+// trace ring, so one giant slow batch cannot wipe the ring's history.
+const slowTracePerFlush = 8
+
+// latStripes is the stripe count of the per-op latency histograms;
+// connections spread over the stripes round-robin, so concurrent flushes
+// usually record on distinct cache lines.
+const latStripes = 8
 
 // maxBatch caps how many requests one decoded batch may hold, bounding the
 // reusable request slice however large the read buffer is configured.
@@ -121,7 +152,7 @@ type Server struct {
 	// Connections count ops locally and fold into these once per batch, so
 	// at multi-core connection counts the counters cost one atomic add per
 	// batch per opcode touched — not one per op — and never false-share.
-	served   [proto.OpCount + 1]padCounter
+	served   [proto.OpTrace + 1]padCounter
 	flushes  padCounter
 	batches  padCounter
 	batchOps padCounter
@@ -129,6 +160,17 @@ type Server struct {
 	// /metrics batch-size distribution comes from it. One add per batch.
 	batchHist [batchHistBuckets]atomic.Int64
 	protoErrs atomic.Int64
+
+	// The observability plane: the registry every instrument lives in, the
+	// per-op latency histograms (GET/SET/DEL; batch-grained — see
+	// observeFlush), the slow-op trace ring, and the capture threshold in
+	// nanoseconds (<= 0 disables capture). stripeSeq deals connections onto
+	// histogram stripes.
+	reg       *obs.Registry
+	opLat     [proto.OpTrace + 1]*obs.Histogram
+	trace     *obs.TraceRing
+	slowNs    int64
+	stripeSeq atomic.Int64
 
 	// Durability state; dur is nil on a purely in-memory server.
 	dur       *Durability
@@ -161,10 +203,90 @@ func Start(cont container.Container, cfg Config) (*Server, error) {
 		dur:    cfg.Durable,
 		faultC: make(chan struct{}),
 	}
+	s.initObs()
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
+
+// initObs builds the observability plane: the registry (the configured one
+// or a fresh private one), the per-op latency histograms, the slow-op trace
+// ring, the WAL recorders, and the pull-based counters and gauges over
+// state the server already maintains. Registration happens once here, at
+// start; the serving path only ever records.
+func (s *Server) initObs() {
+	reg := s.cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.reg = reg
+	s.trace = obs.NewTraceRing(s.cfg.TraceDepth)
+	switch {
+	case s.cfg.SlowOpThreshold == 0:
+		s.slowNs = int64(DefaultSlowOp)
+	case s.cfg.SlowOpThreshold > 0:
+		s.slowNs = int64(s.cfg.SlowOpThreshold)
+	}
+
+	for _, op := range hotOps {
+		s.opLat[op] = reg.Histogram("kv_op_latency_ns", latStripes, obs.Label{Key: "op", Value: op.String()})
+	}
+	reg.GaugeFunc("kv_server_conns_active", s.active.Load)
+	reg.CounterFunc("kv_server_conns_accepted_total", s.accepted.Load)
+	reg.CounterFunc("kv_server_conns_rejected_total", s.rejected.Load)
+	for op := proto.OpPing; op <= proto.OpTrace; op++ {
+		op := op
+		reg.CounterFunc("kv_server_ops_total",
+			func() int64 { return s.served[op].n.Load() },
+			obs.Label{Key: "op", Value: op.String()})
+	}
+	reg.CounterFunc("kv_server_flushes_total", s.flushes.n.Load)
+	reg.CounterFunc("kv_server_batches_total", s.batches.n.Load)
+	reg.CounterFunc("kv_server_batched_ops_total", s.batchOps.n.Load)
+	reg.CounterFunc("kv_server_proto_errors_total", s.protoErrs.Load)
+	reg.CounterFunc("kv_server_slow_ops_total", func() int64 { return int64(s.trace.Count()) })
+	reg.GaugeFunc("kv_container_size", func() int64 { return int64(s.cont.Size()) })
+	reg.CounterFunc("kv_engine_ops_total", func() int64 { return s.cont.EngineStats().Ops })
+	reg.CounterFunc("kv_engine_retries_total", func() int64 { return s.cont.EngineStats().Retries() })
+	reg.CounterFunc("kv_engine_llx_fails_total", func() int64 { return s.cont.EngineStats().LLXFails })
+	reg.CounterFunc("kv_engine_scx_fails_total", func() int64 { return s.cont.EngineStats().SCXFails })
+
+	// Epoch-reclamation gauges: every session in the process announces in
+	// the Default domain, so the progress story — epoch moving, no stale
+	// announcement, bounded limbo — is one scrape away.
+	d := reclaim.Default
+	reg.GaugeFunc("kv_reclaim_epoch", func() int64 { return int64(d.Epoch()) })
+	reg.GaugeFunc("kv_reclaim_epoch_lag", func() int64 { return int64(d.Gauges().OldestLag) })
+	reg.GaugeFunc("kv_reclaim_active_announcements", func() int64 { return int64(d.Gauges().ActiveSlots) })
+	reg.GaugeFunc("kv_reclaim_limbo", func() int64 { return d.Gauges().Limbo })
+	reg.GaugeFunc("kv_reclaim_parked", func() int64 { return d.Gauges().Parked })
+	reg.GaugeFunc("kv_reclaim_free", func() int64 { return d.Gauges().Free })
+	reg.CounterFunc("kv_reclaim_advances_total", func() int64 { return int64(d.Advances()) })
+	reg.CounterFunc("kv_reclaim_advance_attempts_total", func() int64 { return int64(d.Gauges().Attempts) })
+	reg.CounterFunc("kv_reclaim_scavenged_total", func() int64 { return int64(d.Scavenged()) })
+
+	if s.dur != nil {
+		s.dur.Log.SetHists(wal.Hists{
+			Fsync:  reg.Histogram("kv_wal_fsync_ns", 1).Recorder(0),
+			Commit: reg.Histogram("kv_wal_commit_ns", 1).Recorder(0),
+			Batch:  reg.Histogram("kv_wal_commit_records", 1).Recorder(0),
+		})
+		lm := s.dur.Log.Metrics
+		reg.CounterFunc("kv_wal_appends_total", func() int64 { return lm().Appends })
+		reg.CounterFunc("kv_wal_commits_total", func() int64 { return lm().Commits })
+		reg.CounterFunc("kv_wal_fsyncs_total", func() int64 { return lm().Fsyncs })
+		reg.CounterFunc("kv_wal_rotations_total", func() int64 { return lm().Rotations })
+		reg.GaugeFunc("kv_wal_durable_lsn", func() int64 { return int64(lm().Durable) })
+	}
+}
+
+// hotOps are the opcodes with per-op latency histograms: the data-path trio
+// whose latency a client actually feels.
+var hotOps = [...]proto.Op{proto.OpGet, proto.OpSet, proto.OpDel}
+
+// Registry returns the server's metrics registry (for HTTP handlers and
+// tests).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Addr returns the listener's bound address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
@@ -271,9 +393,21 @@ type connState struct {
 	batch []proto.Request
 	// served counts ops locally; foldCounters merges it into the shared
 	// padded counters once per flush boundary instead of once per op.
-	served [proto.OpCount + 1]int64
-	pend   uint64
-	dead   bool
+	served [proto.OpTrace + 1]int64
+	// Latency plane, all connection-local: lat holds this connection's
+	// stripe of each hot op's histogram (assigned once at accept), latPend
+	// counts ops awaiting the flush-boundary RecordN, t0/timed bracket the
+	// current flush interval (first batch decode → reply flush), commitWait
+	// is the interval's WAL group-commit wait, and lastRetries is the
+	// engine-retry watermark from the previous slow-op sample.
+	lat         [proto.OpTrace + 1]*obs.Recorder
+	latPend     [proto.OpTrace + 1]int64
+	t0          time.Time
+	timed       bool
+	commitWait  int64
+	lastRetries int64
+	pend        uint64
+	dead        bool
 	// Durable batch state (nil/empty on an in-memory server): records
 	// applied this batch awaiting the batch append, and the barrier
 	// partitions read-locked since the batch's first write. held is the
@@ -306,6 +440,14 @@ func (s *Server) serve(c net.Conn) {
 		st.held = make([]bool, n)
 		st.parts = make([]int, 0, n)
 	}
+	// Deal this connection onto one stripe of each hot op's latency
+	// histogram: concurrent flushes then usually record on distinct cache
+	// lines, and the scrape folds the stripes back together.
+	stripe := int(s.stripeSeq.Add(1))
+	for _, op := range hotOps {
+		st.lat[op] = s.opLat[op].Recorder(stripe)
+	}
+	st.lastRetries = s.cont.EngineStats().Retries()
 
 	for {
 		if s.cfg.IdleTimeout > 0 && st.r.Buffered() == 0 {
@@ -319,6 +461,12 @@ func (s *Server) serve(c net.Conn) {
 		var err error
 		st.batch, err = st.r.ReadRequestBatch(st.batch[:0], maxBatch)
 		if n := len(st.batch); n > 0 {
+			if !st.timed {
+				// Open the flush interval at the first decoded batch; it
+				// closes in observeFlush when the replies are flushed.
+				st.t0 = time.Now()
+				st.timed = true
+			}
 			s.batches.n.Add(1)
 			s.batchOps.n.Add(int64(n))
 			s.batchHist[bits.Len(uint(n-1))].Add(1)
@@ -349,10 +497,17 @@ func (s *Server) serve(c net.Conn) {
 		// received before the drain), and the connection closes once the
 		// buffer empties.
 		if st.r.Buffered() == 0 {
-			if s.dur != nil && s.commitPend(st) != nil {
-				break
+			if s.dur != nil {
+				cw := time.Now()
+				if s.commitPend(st) != nil {
+					break
+				}
+				st.commitWait += int64(time.Since(cw))
 			}
 			s.foldCounters(st)
+			// Record before the flush hits the socket: once the client has
+			// the replies, the scrape already has the samples.
+			s.observeFlush(st)
 			s.flushes.n.Add(1)
 			if err := st.w.Flush(); err != nil {
 				break
@@ -379,6 +534,7 @@ func (s *Server) serve(c net.Conn) {
 	// acknowledge writes the log could not make durable. serveBatch seals
 	// every batch before returning, so no barrier partition is held here.
 	s.foldCounters(st)
+	s.observeFlush(st)
 	if s.dur != nil && !st.dead {
 		s.commitPend(st)
 	}
@@ -403,8 +559,8 @@ type opFunc func(s *Server, st *connState, key int64) error
 
 // opTable dispatches by opcode with one indexed load instead of a switch.
 // Indexing by req.Op without a bounds check beyond the array's own is safe
-// because the parser rejects opcodes outside [OpPing, OpCount].
-var opTable = [proto.OpCount + 1]opFunc{
+// because the parser rejects opcodes outside [OpPing, OpTrace].
+var opTable = [proto.OpTrace + 1]opFunc{
 	proto.OpPing:  (*Server).opPing,
 	proto.OpGet:   (*Server).opGet,
 	proto.OpSet:   (*Server).opSet,
@@ -412,6 +568,7 @@ var opTable = [proto.OpCount + 1]opFunc{
 	proto.OpSize:  (*Server).opSize,
 	proto.OpStats: (*Server).opStats,
 	proto.OpCount: (*Server).opCount,
+	proto.OpTrace: (*Server).opTrace,
 }
 
 func (s *Server) opPing(st *connState, _ int64) error {
@@ -454,6 +611,12 @@ func (s *Server) opCount(st *connState, key int64) error {
 	return st.w.WriteErr("server: container cannot count a single key")
 }
 
+func (s *Server) opTrace(st *connState, _ int64) error {
+	var b strings.Builder
+	s.WriteTrace(&b)
+	return st.w.WriteBulk([]byte(b.String()))
+}
+
 // serveBatch applies one decoded batch and buffers every reply. The whole
 // batch runs inside a single epoch guard: with the announcement already
 // published, the per-op guards inside the session collapse to depth-counter
@@ -481,10 +644,11 @@ func (s *Server) serveBatch(st *connState) error {
 			// A full write buffer auto-flushes inside the reply write,
 			// which would put acks on the wire before their records are
 			// durable. Seal and commit first when this reply might not fit
-			// (bulk STATS always forces it; the keyed replies are covered
-			// by replyHeadroom). The epoch guard is dropped around the
-			// fsync so a slow disk never pins the reclamation epoch.
-			if req.Op == proto.OpStats || st.w.Buffered()+replyHeadroom > st.w.Cap() {
+			// (the bulk STATS and TRACE replies always force it; the keyed
+			// replies are covered by replyHeadroom). The epoch guard is
+			// dropped around the fsync so a slow disk never pins the
+			// reclamation epoch.
+			if req.Op == proto.OpStats || req.Op == proto.OpTrace || st.w.Buffered()+replyHeadroom > st.w.Cap() {
 				st.sess.BatchEnd()
 				err := s.sealBatch(st)
 				if err == nil {
@@ -519,8 +683,76 @@ func (s *Server) foldCounters(st *connState) {
 	for op := range st.served {
 		if n := st.served[op]; n != 0 {
 			s.served[op].n.Add(n)
+			st.latPend[op] += n
 			st.served[op] = 0
 		}
+	}
+}
+
+// observeFlush closes the connection's current flush interval: it records
+// the interval's duration into each hot op's latency histogram (batch-
+// grained — every op in the interval gets the same sample, which is exactly
+// the latency the pipelined client observed) and, when the interval crossed
+// the slow threshold, captures its ops in the trace ring. Runs at flush
+// boundaries only, after foldCounters; a mid-batch STATS fold accumulates
+// into latPend without recording, so each op is recorded exactly once.
+func (s *Server) observeFlush(st *connState) {
+	if !st.timed {
+		return
+	}
+	dt := int64(time.Since(st.t0))
+	for _, op := range hotOps {
+		if n := st.latPend[op]; n > 0 {
+			if r := st.lat[op]; r != nil {
+				r.RecordN(dt, n)
+			}
+		}
+	}
+	if s.slowNs > 0 && dt >= s.slowNs {
+		s.traceSlow(st, dt)
+	}
+	for op := range st.latPend {
+		st.latPend[op] = 0
+	}
+	st.commitWait = 0
+	st.timed = false
+}
+
+// traceSlow records up to slowTracePerFlush of the slow interval's keyed ops
+// into the trace ring. The engine-retry count is a per-container total, so
+// the retries attributed to this interval are the delta since this
+// connection's previous slow sample — an approximation (other connections
+// retry too) that is cheap and still points at contention storms.
+func (s *Server) traceSlow(st *connState, dt int64) {
+	retries := s.cont.EngineStats().Retries()
+	dRetries := retries - st.lastRetries
+	st.lastRetries = retries
+	now := time.Now().UnixNano()
+	n := 0
+	for i := range st.batch {
+		req := st.batch[i]
+		if !req.Op.Keyed() {
+			continue
+		}
+		s.trace.Record(obs.TraceEntry{
+			When:       now,
+			Op:         int64(req.Op),
+			Key:        req.Key,
+			Dur:        dt,
+			Retries:    dRetries,
+			CommitWait: st.commitWait,
+		})
+		if n++; n >= slowTracePerFlush {
+			break
+		}
+	}
+	if n == 0 {
+		// The slow interval had no keyed ops (PING/STATS/SIZE only); record
+		// one entry anyway so the stall itself is visible.
+		s.trace.Record(obs.TraceEntry{
+			When: now, Op: int64(proto.OpPing), Key: -1,
+			Dur: dt, Retries: dRetries, CommitWait: st.commitWait,
+		})
 	}
 }
 
@@ -592,7 +824,7 @@ func (s *Server) Metrics() Metrics {
 		BatchedOps:    s.batchOps.n.Load(),
 		ServedByOp:    make(map[string]int64),
 	}
-	for op := proto.OpPing; op <= proto.OpCount; op++ {
+	for op := proto.OpPing; op <= proto.OpTrace; op++ {
 		if n := s.served[op].n.Load(); n > 0 {
 			m.ServedByOp[op.String()] = n
 		}
@@ -653,6 +885,10 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	eng := s.cont.EngineStats()
 	fmt.Fprintf(w, "engine: ops=%d attempts=%d retries=%d llx_fails=%d scx_fails=%d\n",
 		eng.Ops, eng.Attempts, eng.Retries(), eng.LLXFails, eng.SCXFails)
+	g := reclaim.Default.Gauges()
+	fmt.Fprintf(w, "reclaim: epoch=%d lag=%d active=%d overflow=%d advances=%d attempts=%d scavenged=%d limbo=%d parked=%d free=%d\n",
+		g.Epoch, g.OldestLag, g.ActiveSlots, g.Overflow, g.Advances, g.Attempts, g.Scavenged, g.Limbo, g.Parked, g.Free)
+	s.reg.WriteHistText(w)
 
 	if byOp := s.cont.StatsByOp(); len(byOp) > 0 {
 		tb := stats.NewTable("engine contention by operation",
@@ -679,5 +915,22 @@ func (s *Server) WriteMetrics(w io.Writer) {
 				stats.ContentionRow(cnt.Ops, cnt.Attempts, cnt.LLXFails, cnt.SCXFails)...)...)
 		})
 		tb.WriteTo(w)
+	}
+}
+
+// WriteTrace renders the slow-op trace ring, newest first: one header line
+// (captures so far, threshold, ring capacity) and one line per surviving
+// entry. This is what the TRACE command and the /trace endpoint serve.
+func (s *Server) WriteTrace(w io.Writer) {
+	fmt.Fprintf(w, "trace: slow_ops=%d threshold=%s depth=%d\n",
+		s.trace.Count(), time.Duration(s.slowNs), s.trace.Cap())
+	entries := s.trace.Snapshot(make([]obs.TraceEntry, 0, s.trace.Cap()))
+	now := time.Now().UnixNano()
+	for _, e := range entries {
+		age := time.Duration(now - e.When).Round(time.Millisecond)
+		fmt.Fprintf(w, "trace: #%d age=%s op=%s key=%d dur=%s commit_wait=%s retries=%d\n",
+			e.Seq, age, proto.Op(e.Op), e.Key,
+			time.Duration(e.Dur).Round(time.Microsecond),
+			time.Duration(e.CommitWait).Round(time.Microsecond), e.Retries)
 	}
 }

@@ -1,6 +1,9 @@
 package stats
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Histogram is a log-linear histogram for latency-scale values: each
 // power-of-two range is split into 16 linear sub-buckets, giving a
@@ -19,6 +22,41 @@ const (
 	histSub     = 16 // linear sub-buckets per power of two
 	histBuckets = 64 * histSub
 )
+
+// Buckets is the number of buckets in a Histogram. The bucket geometry is
+// exported (BucketIndex, BucketUpper, BucketCount, AddBucket) so concurrent
+// recorders elsewhere — internal/obs keeps atomic per-stripe bucket arrays —
+// can share it and fold into a plain Histogram at scrape time.
+const Buckets = histBuckets
+
+// BucketIndex maps a value to its bucket index in [0, Buckets). Negative
+// values clamp to bucket 0; values past the last bucket clamp to Buckets-1.
+func BucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	idx := bucketOf(v)
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// BucketUpper returns the inclusive upper bound of a bucket: the largest
+// value v with BucketIndex(v) == idx. This is what a Prometheus `le` label
+// for the bucket must carry. Buckets past the last one an int64 can reach
+// (bucket 959 ends exactly at MaxInt64) saturate to MaxInt64.
+func BucketUpper(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	shift := idx/histSub - 1
+	if shift >= 59 {
+		return math.MaxInt64
+	}
+	lower := int64(histSub+idx%histSub) << uint(shift)
+	return lower + int64(1)<<uint(shift) - 1
+}
 
 // bucketOf maps a non-negative value to its bucket index.
 func bucketOf(v int64) int {
@@ -57,11 +95,55 @@ func (h *Histogram) Record(v int64) {
 	}
 }
 
+// AddBucket adds c observations directly into bucket idx (clamped to the
+// valid range) without touching the recorded maximum — it is the fold
+// primitive for external recorders that kept per-bucket counts themselves.
+// Callers that know the true maximum should follow up with ObserveMax;
+// otherwise ObserveMax(BucketUpper(idx)) of the highest non-empty bucket
+// bounds it.
+func (h *Histogram) AddBucket(idx int, c int64) {
+	if c <= 0 {
+		return
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.counts[idx] += c
+	h.n += c
+}
+
+// ObserveMax raises the recorded maximum to v if larger, without recording
+// an observation. Companion to AddBucket when folding external counts.
+func (h *Histogram) ObserveMax(v int64) {
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Reset zeroes the histogram for reuse (between experiment phases, or as a
+// scrape-time fold target).
+func (h *Histogram) Reset() {
+	h.counts = [histBuckets]int64{}
+	h.n = 0
+	h.max = 0
+}
+
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() int64 { return h.n }
 
 // Max returns the largest recorded observation, 0 when empty.
 func (h *Histogram) Max() int64 { return h.max }
+
+// BucketCount returns the observation count of bucket idx, 0 out of range.
+func (h *Histogram) BucketCount(idx int) int64 {
+	if idx < 0 || idx >= histBuckets {
+		return 0
+	}
+	return h.counts[idx]
+}
 
 // Merge folds o into h.
 func (h *Histogram) Merge(o *Histogram) {
@@ -76,13 +158,17 @@ func (h *Histogram) Merge(o *Histogram) {
 
 // Quantile returns the value at percentile p (0-100) as the representative
 // value of the bucket holding that rank, 0 when empty. The exact maximum is
-// returned for p at or above the last observation's rank.
+// returned for p at or above the last observation's rank; p outside [0,100]
+// clamps (negative p behaves as p=0, p past 100 as p=100).
 func (h *Histogram) Quantile(p float64) int64 {
 	if h.n == 0 {
 		return 0
 	}
 	if p >= 100 {
 		return h.max
+	}
+	if p < 0 {
+		p = 0
 	}
 	rank := int64(p / 100 * float64(h.n))
 	if rank >= h.n {

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -95,5 +96,120 @@ func TestHistogramRecordAllocFree(t *testing.T) {
 		}
 	}); allocs != 0 {
 		t.Fatalf("Record allocated %.1f times", allocs)
+	}
+}
+
+// TestHistogramQuantileEdges pins the edge cases of Quantile: empty
+// histograms, p clamping at both ends, and single-bucket populations.
+func TestHistogramQuantileEdges(t *testing.T) {
+	single := func(v int64, n int) *Histogram {
+		var h Histogram
+		for i := 0; i < n; i++ {
+			h.Record(v)
+		}
+		return &h
+	}
+	tests := []struct {
+		name string
+		h    *Histogram
+		p    float64
+		want int64
+	}{
+		{"empty p0", &Histogram{}, 0, 0},
+		{"empty p50", &Histogram{}, 50, 0},
+		{"empty p100", &Histogram{}, 100, 0},
+		{"empty p-1", &Histogram{}, -1, 0},
+		{"empty p200", &Histogram{}, 200, 0},
+		{"one value p0", single(7, 1), 0, 7},
+		{"one value p50", single(7, 1), 50, 7},
+		{"one value p100", single(7, 1), 100, 7},
+		{"one value p-5 clamps to p0", single(7, 1), -5, 7},
+		{"one value p150 clamps to max", single(7, 1), 150, 7},
+		// 1000 in [1008,1023] midpoint 1016, but Quantile clamps to max.
+		{"single bucket p0", single(1000, 100), 0, 1000},
+		{"single bucket p50", single(1000, 100), 50, 1000},
+		{"single bucket p99", single(1000, 100), 99, 1000},
+		{"single bucket p100", single(1000, 100), 100, 1000},
+		{"zero only p100", single(0, 3), 100, 0},
+	}
+	for _, tc := range tests {
+		if got := tc.h.Quantile(tc.p); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v < 1<<20; v <<= 1 {
+		h.Record(v)
+	}
+	if h.Count() == 0 || h.Max() == 0 {
+		t.Fatal("setup recorded nothing")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(50) != 0 {
+		t.Fatalf("after Reset: count=%d max=%d q50=%d, want all 0",
+			h.Count(), h.Max(), h.Quantile(50))
+	}
+	h.Record(42)
+	if h.Count() != 1 || h.Quantile(100) != 42 {
+		t.Fatalf("reuse after Reset: count=%d q100=%d", h.Count(), h.Quantile(100))
+	}
+}
+
+// TestHistogramBucketGeometry pins the exported geometry contract: BucketUpper
+// is the largest value that still maps to its bucket, bounds are strictly
+// increasing, and AddBucket folds counts equivalently to Record up to bucket
+// resolution.
+func TestHistogramBucketGeometry(t *testing.T) {
+	for idx := 0; idx < Buckets; idx++ {
+		up := BucketUpper(idx)
+		if up == math.MaxInt64 {
+			// Buckets past the int64 range saturate; bucket 959 ends at
+			// exactly MaxInt64 and everything after is unreachable.
+			if idx < 959 {
+				t.Fatalf("BucketUpper(%d) saturated too early", idx)
+			}
+			continue
+		}
+		if got := BucketIndex(up); got != idx {
+			t.Fatalf("BucketIndex(BucketUpper(%d)=%d) = %d", idx, up, got)
+		}
+		if BucketIndex(up+1) == idx {
+			t.Fatalf("BucketUpper(%d)=%d is not the bucket's upper bound", idx, up)
+		}
+		if idx > 0 && up <= BucketUpper(idx-1) {
+			t.Fatalf("BucketUpper not increasing at %d", idx)
+		}
+	}
+	if BucketIndex(-5) != 0 {
+		t.Fatalf("BucketIndex(-5) = %d, want 0", BucketIndex(-5))
+	}
+
+	var direct, folded Histogram
+	vals := []int64{0, 3, 17, 999, 1 << 18, 1<<40 + 5}
+	for _, v := range vals {
+		direct.Record(v)
+		folded.AddBucket(BucketIndex(v), 1)
+		folded.ObserveMax(v)
+	}
+	if direct.Count() != folded.Count() || direct.Max() != folded.Max() {
+		t.Fatalf("fold mismatch: count %d/%d max %d/%d",
+			direct.Count(), folded.Count(), direct.Max(), folded.Max())
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if direct.Quantile(p) != folded.Quantile(p) {
+			t.Errorf("q%v: direct %d folded %d", p, direct.Quantile(p), folded.Quantile(p))
+		}
+	}
+	// AddBucket clamps out-of-range indices rather than corrupting memory.
+	var h Histogram
+	h.AddBucket(-1, 2)
+	h.AddBucket(Buckets+10, 3)
+	h.AddBucket(0, 0)  // no-op
+	h.AddBucket(5, -4) // no-op
+	if h.Count() != 5 || h.BucketCount(0) != 2 || h.BucketCount(Buckets-1) != 3 {
+		t.Fatalf("clamping: count=%d b0=%d blast=%d", h.Count(), h.BucketCount(0), h.BucketCount(Buckets-1))
 	}
 }

@@ -25,6 +25,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"pragmaprim/internal/obs"
 )
 
 // Op is the kind of logged mutation. Only applied mutations are logged, so
@@ -91,6 +93,21 @@ type Metrics struct {
 	Segments  int    // live segment files
 }
 
+// Hists are the log's observability recorders, installed with SetHists.
+// All three are optional (nil skips that measurement); recording goes
+// through obs.Recorder, so an instrumented commit path stays lock- and
+// allocation-free beyond the log's own mutex.
+type Hists struct {
+	// Fsync observes the latency of each data fsync, nanoseconds.
+	Fsync *obs.Recorder
+	// Commit observes each commit group end to end — window sleep, write,
+	// fsync — nanoseconds. Commit minus Fsync is the grouping overhead.
+	Commit *obs.Recorder
+	// Batch observes the size of each commit group, in records. The
+	// distribution shows how well group commit amortizes the fsync.
+	Batch *obs.Recorder
+}
+
 type segInfo struct {
 	name  string
 	first uint64
@@ -116,6 +133,7 @@ type Log struct {
 	active     File
 	activeSize int64
 	segs       []segInfo // includes the active segment (last entry)
+	hists      Hists     // observability recorders; zero value records nothing
 
 	appends, commits, fsyncs, rotations, truncated int64
 }
@@ -419,6 +437,11 @@ func (l *Log) Commit(lsn uint64) error {
 // l.mu held. The I/O section runs unlocked so appenders make progress.
 func (l *Log) leaderSync() {
 	l.syncing = true
+	hists := l.hists
+	var groupStart time.Time
+	if hists.Commit != nil {
+		groupStart = time.Now()
+	}
 	if w := l.opt.FsyncInterval; w > 0 {
 		// The grouping window: let concurrent connections pile appends into
 		// this group so the fsync below covers them all.
@@ -440,10 +463,23 @@ func (l *Log) leaderSync() {
 		}
 	}
 	if ioErr == nil {
+		var syncStart time.Time
+		if hists.Fsync != nil {
+			syncStart = time.Now()
+		}
 		synced = true
 		if err := active.Sync(); err != nil {
 			ioErr = err
 		}
+		if hists.Fsync != nil {
+			hists.Fsync.Record(int64(time.Since(syncStart)))
+		}
+	}
+	if hists.Commit != nil {
+		hists.Commit.Record(int64(time.Since(groupStart)))
+	}
+	if hists.Batch != nil {
+		hists.Batch.Record(int64(len(batch) / frameSize))
 	}
 
 	l.mu.Lock()
@@ -471,6 +507,15 @@ func (l *Log) leaderSync() {
 	}
 	l.syncing = false
 	l.cond.Broadcast()
+}
+
+// SetHists installs the observability recorders sampled by commit leaders.
+// Safe to call at any time (the mutex orders it against commit groups); the
+// server installs them right after recovery, before serving traffic.
+func (l *Log) SetHists(h Hists) {
+	l.mu.Lock()
+	l.hists = h
+	l.mu.Unlock()
 }
 
 // Sync forces everything appended so far to disk — a full-log Commit.

@@ -4,8 +4,11 @@
 # structures from the server's own registry (server -list), then for a
 # keyed structure from each family — the LLX/SCX multiset and the lock-free
 # hash map — start the server, drive it with the load generator for one
-# second, scrape the -metrics HTTP endpoint, send SIGTERM, and assert the
-# server drains and exits cleanly (status 0).
+# second, scrape the -metrics HTTP endpoint (both the text dump and the
+# Prometheus exposition, which loadgen parses with the in-repo parser and
+# renders as a server-vs-client latency table), dump the slow-op trace
+# endpoint, send SIGTERM, and assert the server drains and exits cleanly
+# (status 0).
 set -eu
 
 PORT=$((17000 + $$ % 1000))
@@ -43,7 +46,25 @@ for STRUCT in llx-multiset hashmap; do
     echo "server-smoke: running loadgen for 1s and scraping metrics"
     "$TMP/bench" -loadgen -addr "127.0.0.1:$PORT" \
         -lgdur 1s -lgdepth 16 -lgconns 2 \
-        -lgmetrics "http://127.0.0.1:$MPORT/metrics"
+        -lgmetrics "http://127.0.0.1:$MPORT/metrics" | tee "$TMP/loadgen.log"
+
+    # The Prometheus exposition must have parsed cleanly (loadgen runs it
+    # through obs.ParseProm) and carried the op latency histograms.
+    grep -q "prom scrape OK:" "$TMP/loadgen.log" || {
+        echo "server-smoke: FAILED: loadgen did not parse the prom exposition" >&2
+        exit 1
+    }
+    grep -q "server GET" "$TMP/loadgen.log" || {
+        echo "server-smoke: FAILED: no server-side GET latency row in loadgen output" >&2
+        exit 1
+    }
+
+    echo "server-smoke: dumping the slow-op trace endpoint"
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "http://127.0.0.1:$MPORT/trace" | head -5
+    else
+        wget -qO- "http://127.0.0.1:$MPORT/trace" | head -5
+    fi
 
     echo "server-smoke: SIGTERM, expecting clean drain"
     kill -TERM "$SERVER_PID"
